@@ -1,0 +1,66 @@
+// Experiment T7 — "for users who follow many accounts, in practice we have
+// found it more effective to limit the number of 'influencers' (e.g., B's)
+// each user can have. This has the additional benefit of limiting the size
+// of the S data structures held in memory."
+//
+// Sweeps the per-user influencer cap; reports S memory, recommendation
+// volume relative to the uncapped engine, and query latency.
+
+#include <cstdio>
+
+#include "workload.h"
+#include "core/engine.h"
+#include "util/str_format.h"
+
+using namespace magicrecs;
+using bench::MakeWorkload;
+using bench::Workload;
+using bench::WorkloadConfig;
+
+int main() {
+  std::printf("=== T7: influencer cap (limit each user's B's) ===\n\n");
+  WorkloadConfig config;
+  config.num_users = 15'000;
+  config.mean_followees = 60;  // heavy follow graph so the cap bites
+  config.num_events = 30'000;
+  config.seed = 7;
+  const Workload w = MakeWorkload(config);
+
+  std::printf("%10s %12s %12s %12s %10s %14s\n", "cap", "S edges", "S memory",
+              "recs", "recall", "query p99(us)");
+  uint64_t reference_recs = 0;
+  for (const uint32_t cap : {0u, 200u, 100u, 50u, 20u}) {
+    EngineOptions opt;
+    opt.detector.k = 3;
+    opt.detector.window = Minutes(10);
+    opt.detector.max_reported_witnesses = 0;
+    opt.max_influencers_per_user = cap;
+    auto engine = RecommenderEngine::Create(w.follow_graph, opt);
+    if (!engine.ok()) return 1;
+
+    std::vector<Recommendation> recs;
+    uint64_t total_recs = 0;
+    for (const TimestampedEdge& e : w.events) {
+      recs.clear();
+      if (!(*engine)->OnEdge(e.src, e.dst, e.created_at, &recs).ok()) {
+        return 1;
+      }
+      total_recs += recs.size();
+    }
+    if (cap == 0) reference_recs = total_recs;
+    std::printf("%10s %12s %12s %12s %9.1f%% %14.1f\n",
+                cap == 0 ? "unlimited" : CommaSeparated(cap).c_str(),
+                CommaSeparated((*engine)->follower_index().num_edges()).c_str(),
+                HumanBytes((*engine)->StaticMemoryUsage()).c_str(),
+                HumanCount(static_cast<double>(total_recs)).c_str(),
+                reference_recs == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(total_recs) /
+                          static_cast<double>(reference_recs),
+                (*engine)->stats().query_micros.Percentile(99));
+  }
+  std::printf("\nshape: the cap shrinks S roughly linearly once it binds and "
+              "trims only the\nlow-popularity followees' contribution to "
+              "recall — the production trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Ablation A1 — the intersection kernel ("intersections can be implemented
+// efficiently using well-known algorithms", §2).
+//
+// Pairwise: merge vs galloping across size ratios (the crossover justifies
+// kGallopRatioThreshold). k-of-n: scan-count vs heap-merge vs
+// candidate-verify on per-event-shaped inputs, including the celebrity-list
+// case candidate-verify exists for.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "intersect/intersect.h"
+#include "intersect/threshold.h"
+#include "util/random.h"
+
+namespace magicrecs {
+namespace {
+
+std::vector<VertexId> SortedRandom(size_t n, uint32_t universe, Rng* rng) {
+  std::vector<VertexId> v;
+  v.reserve(n);
+  std::set<VertexId> s;
+  while (s.size() < n) {
+    s.insert(static_cast<VertexId>(rng->UniformInt(universe)));
+  }
+  v.assign(s.begin(), s.end());
+  return v;
+}
+
+// --- pairwise: ratio sweep ----------------------------------------------------
+
+void BM_PairwiseIntersect(benchmark::State& state,
+                          size_t (*fn)(std::span<const VertexId>,
+                                       std::span<const VertexId>,
+                                       std::vector<VertexId>*)) {
+  const size_t small_size = 64;
+  const size_t ratio = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  const auto small = SortedRandom(small_size, 1'000'000, &rng);
+  const auto large = SortedRandom(small_size * ratio, 1'000'000, &rng);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(fn(small, large, &out));
+  }
+  state.SetLabel("ratio 1:" + std::to_string(ratio));
+}
+
+BENCHMARK_CAPTURE(BM_PairwiseIntersect, merge, &IntersectMerge)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(1024);
+BENCHMARK_CAPTURE(BM_PairwiseIntersect, galloping, &IntersectGalloping)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(1024);
+BENCHMARK_CAPTURE(BM_PairwiseIntersect, auto_select, &IntersectAuto)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(1024);
+
+// --- k-of-n: balanced per-event shape ------------------------------------------
+
+void BM_Threshold(benchmark::State& state, ThresholdAlgorithm algo) {
+  const size_t num_lists = 6;
+  const size_t list_size = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<std::vector<VertexId>> storage;
+  for (size_t i = 0; i < num_lists; ++i) {
+    storage.push_back(
+        SortedRandom(list_size, static_cast<uint32_t>(list_size * 4), &rng));
+  }
+  std::vector<std::span<const VertexId>> lists(storage.begin(), storage.end());
+  std::vector<ThresholdMatch> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ThresholdIntersect(lists, 3, &out, algo));
+  }
+  state.SetLabel("6 lists of " + std::to_string(list_size) + ", k=3");
+}
+
+BENCHMARK_CAPTURE(BM_Threshold, scan_count, ThresholdAlgorithm::kScanCount)
+    ->Arg(32)
+    ->Arg(512)
+    ->Arg(8192);
+BENCHMARK_CAPTURE(BM_Threshold, heap_merge, ThresholdAlgorithm::kHeapMerge)
+    ->Arg(32)
+    ->Arg(512)
+    ->Arg(8192);
+BENCHMARK_CAPTURE(BM_Threshold, candidate_verify,
+                  ThresholdAlgorithm::kCandidateVerify)
+    ->Arg(32)
+    ->Arg(512)
+    ->Arg(8192);
+BENCHMARK_CAPTURE(BM_Threshold, auto_select, ThresholdAlgorithm::kAuto)
+    ->Arg(32)
+    ->Arg(512)
+    ->Arg(8192);
+
+// --- k-of-n: one celebrity list (the candidate-verify case) --------------------
+
+void BM_ThresholdCelebrity(benchmark::State& state, ThresholdAlgorithm algo) {
+  // Two small lists + one huge follower list (a celebrity B).
+  const size_t celebrity_size = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<std::vector<VertexId>> storage;
+  storage.push_back(SortedRandom(64, 1'000'000, &rng));
+  storage.push_back(SortedRandom(64, 1'000'000, &rng));
+  storage.push_back(SortedRandom(celebrity_size, 1'000'000, &rng));
+  std::vector<std::span<const VertexId>> lists(storage.begin(), storage.end());
+  std::vector<ThresholdMatch> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ThresholdIntersect(lists, 2, &out, algo));
+  }
+  state.SetLabel("2x64 + celebrity " + std::to_string(celebrity_size) +
+                 ", k=2");
+}
+
+BENCHMARK_CAPTURE(BM_ThresholdCelebrity, scan_count,
+                  ThresholdAlgorithm::kScanCount)
+    ->Arg(10'000)
+    ->Arg(100'000);
+BENCHMARK_CAPTURE(BM_ThresholdCelebrity, heap_merge,
+                  ThresholdAlgorithm::kHeapMerge)
+    ->Arg(10'000)
+    ->Arg(100'000);
+BENCHMARK_CAPTURE(BM_ThresholdCelebrity, candidate_verify,
+                  ThresholdAlgorithm::kCandidateVerify)
+    ->Arg(10'000)
+    ->Arg(100'000);
+BENCHMARK_CAPTURE(BM_ThresholdCelebrity, auto_select, ThresholdAlgorithm::kAuto)
+    ->Arg(10'000)
+    ->Arg(100'000);
+
+}  // namespace
+}  // namespace magicrecs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Experiment T2 — "the actual graph queries take only a few milliseconds".
+//
+// Per-event motif-query latency (D lookup + S follower-list fetch +
+// k-threshold intersection), across graph sizes and k. The paper reports a
+// few ms at Twitter scale (1e8 vertices); our laptop-scale graphs run in
+// microseconds — the shape claim is that queries sit 3-4 orders of magnitude
+// below the multi-second queue delays.
+
+#include <cstdio>
+
+#include "workload.h"
+#include "core/diamond_detector.h"
+#include "util/str_format.h"
+
+using namespace magicrecs;
+using bench::MakeWorkload;
+using bench::Workload;
+using bench::WorkloadConfig;
+
+int main() {
+  std::printf("=== T2: per-event graph query latency (paper: a few ms) "
+              "===\n\n");
+  std::printf("%10s %4s %12s %12s %12s %12s %12s\n", "users", "k", "p50(us)",
+              "p90(us)", "p99(us)", "p999(us)", "max(us)");
+  for (const uint32_t users : {10'000u, 50'000u, 100'000u}) {
+    WorkloadConfig config;
+    config.num_users = users;
+    config.num_events = 20'000;
+    config.seed = users + 7;
+    const Workload w = MakeWorkload(config);
+    for (const uint32_t k : {2u, 3u, 5u}) {
+      DiamondOptions opt;
+      opt.k = k;
+      opt.window = Minutes(10);
+      opt.max_reported_witnesses = 0;
+      DiamondDetector detector(&w.follower_index, opt);
+      std::vector<Recommendation> recs;
+      for (const TimestampedEdge& e : w.events) {
+        recs.clear();
+        if (!detector.OnEdge(e.src, e.dst, e.created_at, &recs).ok()) {
+          return 1;
+        }
+      }
+      const Histogram& h = detector.stats().query_micros;
+      std::printf("%10u %4u %12.1f %12.1f %12.1f %12.1f %12lld\n", users, k,
+                  h.Percentile(50), h.Percentile(90), h.Percentile(99),
+                  h.Percentile(99.9), static_cast<long long>(h.Max()));
+    }
+  }
+  std::printf("\nshape check: worst-case queries stay in the sub-millisecond "
+              "to low-millisecond\nrange, orders of magnitude below the "
+              "multi-second queue propagation of T3.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Content recommendation via co-action: "the idea applies to recommending
+// content as well, based on user actions such as retweets, favorites" (§1).
+//
+// Uses the declarative motif DSL: when >= 2 of a user's followings retweet
+// the same tweet within 5 minutes, push that tweet. Follow events on the
+// same stream are ignored by the action filter.
+//
+//   $ ./content_recs
+
+#include <cstdio>
+
+#include "core/motif_engine.h"
+#include "core/motif_spec.h"
+#include "gen/activity_stream.h"
+#include "gen/social_graph.h"
+
+using namespace magicrecs;
+
+int main() {
+  constexpr const char* kCoRetweetDsl = R"(
+# push a tweet when two followings retweet it within five minutes
+motif co_retweet {
+  static A -> B;
+  dynamic B -> T window 5m action retweet;
+  trigger B -> T;
+  emit A recommends T when count(B) >= 2;
+}
+)";
+
+  auto spec = ParseMotif(kCoRetweetDsl);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "DSL parse failed: %s\n",
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+
+  SocialGraphOptions graph_options;
+  graph_options.num_users = 10'000;
+  graph_options.mean_followees = 25;
+  graph_options.seed = 7;
+  auto follow_graph = SocialGraphGenerator(graph_options).Generate();
+  if (!follow_graph.ok()) {
+    std::fprintf(stderr, "graph generation failed: %s\n",
+                 follow_graph.status().ToString().c_str());
+    return 1;
+  }
+
+  auto engine = MotifEngine::Create(*follow_graph, *spec);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine creation failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("compiled plan:\n%s\n", (*engine)->plan().Explain().c_str());
+
+  // A bursty retweet stream (tweet ids share the user id space here; a
+  // production deployment would use a separate id namespace per entity).
+  ActivityStreamOptions stream_options;
+  stream_options.num_events = 30'000;
+  stream_options.events_per_second = 2'000;
+  stream_options.burst_fraction = 0.4;
+  stream_options.burst_spread = Minutes(2);
+  stream_options.seed = 8;
+  auto stream =
+      ActivityStreamGenerator(&*follow_graph, stream_options).Generate();
+  if (!stream.ok()) {
+    std::fprintf(stderr, "stream generation failed: %s\n",
+                 stream.status().ToString().c_str());
+    return 1;
+  }
+
+  // Interleave retweets with follow noise; only retweets can complete the
+  // motif. Candidates are counted, keeping only a few samples (a production
+  // deployment streams them into the delivery pipeline instead).
+  std::vector<Recommendation> samples;
+  std::vector<Recommendation> recs;
+  uint64_t candidates = 0;
+  uint64_t follows = 0, retweets = 0;
+  for (size_t i = 0; i < stream->events.size(); ++i) {
+    const TimestampedEdge& e = stream->events[i];
+    const MotifAction action =
+        i % 3 == 0 ? MotifAction::kFollow : MotifAction::kRetweet;
+    (action == MotifAction::kFollow ? follows : retweets)++;
+    recs.clear();
+    const Status status =
+        (*engine)->OnEdge(e.src, e.dst, e.created_at, &recs, action);
+    if (!status.ok()) {
+      std::fprintf(stderr, "OnEdge failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    candidates += recs.size();
+    if (!recs.empty() && samples.size() < 5) samples.push_back(recs.front());
+  }
+
+  const MotifEngineStats& stats = (*engine)->stats();
+  std::printf("stream: %llu retweets + %llu follows (follows filtered by "
+              "the action guard: %llu)\n",
+              static_cast<unsigned long long>(retweets),
+              static_cast<unsigned long long>(follows),
+              static_cast<unsigned long long>(stats.filtered_by_action));
+  std::printf("co-retweet raw candidates: %llu (from %llu threshold "
+              "queries)\n",
+              static_cast<unsigned long long>(candidates),
+              static_cast<unsigned long long>(stats.threshold_queries));
+  for (const Recommendation& rec : samples) {
+    std::printf("  e.g. %s\n", rec.ToString().c_str());
+  }
+  return 0;
+}

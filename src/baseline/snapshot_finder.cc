@@ -1,0 +1,145 @@
+#include "baseline/snapshot_finder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "intersect/threshold.h"
+
+namespace magicrecs {
+
+SnapshotMotifFinder::SnapshotMotifFinder(const StaticGraph* follower_index,
+                                         const DiamondOptions& options)
+    : follower_index_(follower_index), options_(options) {}
+
+Result<std::vector<Recommendation>> SnapshotMotifFinder::FindAll(
+    const std::vector<TimestampedEdge>& stream) const {
+  if (options_.k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+
+  // Group dynamic edges by target, preserving time order within each group.
+  std::vector<TimestampedEdge> sorted(stream);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TimestampedEdge& a, const TimestampedEdge& b) {
+                     return a.created_at < b.created_at;
+                   });
+  std::unordered_map<VertexId, std::vector<TimestampedInEdge>> by_target;
+  for (const TimestampedEdge& e : sorted) {
+    by_target[e.dst].push_back(TimestampedInEdge{e.src, e.created_at});
+  }
+
+  std::vector<Recommendation> all;
+  std::vector<TimestampedInEdge> actors;
+  std::vector<std::span<const VertexId>> lists;
+  std::vector<VertexId> list_sources;
+  std::vector<ThresholdMatch> matches;
+
+  for (const auto& [target, log] : by_target) {
+    for (size_t i = 0; i < log.size(); ++i) {
+      const Timestamp t = log[i].created_at;
+      const Timestamp cutoff = t - options_.window;
+
+      // Visible range for this trigger: in-window entries ending at i,
+      // further clipped by the per-vertex retention cap (the D structure
+      // evicts oldest-first on insert).
+      size_t low = static_cast<size_t>(
+          std::upper_bound(log.begin(), log.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                           cutoff,
+                           [](Timestamp value, const TimestampedInEdge& e) {
+                             return value < e.created_at;
+                           }) -
+          log.begin());
+      if (options_.max_in_edges_per_vertex > 0) {
+        const size_t cap_low =
+            i + 1 > options_.max_in_edges_per_vertex
+                ? i + 1 - options_.max_in_edges_per_vertex
+                : 0;
+        low = std::max(low, cap_low);
+      }
+
+      // Distinct actors, most recent timestamp per source.
+      actors.assign(log.begin() + static_cast<std::ptrdiff_t>(low),
+                    log.begin() + static_cast<std::ptrdiff_t>(i + 1));
+      std::stable_sort(actors.begin(), actors.end(),
+                       [](const TimestampedInEdge& a,
+                          const TimestampedInEdge& b) { return a.src < b.src; });
+      auto write = actors.begin();
+      for (auto read = actors.begin(); read != actors.end();) {
+        auto next = read + 1;
+        while (next != actors.end() && next->src == read->src) {
+          read = next;
+          ++next;
+        }
+        *write++ = *read;
+        read = next;
+      }
+      actors.erase(write, actors.end());
+      if (actors.size() < options_.k) continue;
+
+      if (options_.max_witnesses_per_query > 0 &&
+          actors.size() > options_.max_witnesses_per_query) {
+        std::nth_element(
+            actors.begin(),
+            actors.begin() +
+                static_cast<std::ptrdiff_t>(options_.max_witnesses_per_query),
+            actors.end(),
+            [](const TimestampedInEdge& a, const TimestampedInEdge& b) {
+              return a.created_at > b.created_at;
+            });
+        actors.resize(options_.max_witnesses_per_query);
+      }
+
+      lists.clear();
+      list_sources.clear();
+      for (const TimestampedInEdge& actor : actors) {
+        const auto followers = follower_index_->Neighbors(actor.src);
+        if (followers.empty()) continue;
+        lists.push_back(followers);
+        list_sources.push_back(actor.src);
+      }
+      if (lists.size() < options_.k) continue;
+
+      ThresholdIntersect(lists, options_.k, &matches, options_.algorithm);
+      for (const ThresholdMatch& match : matches) {
+        const VertexId user = match.id;
+        if (user == target) continue;
+        if (options_.exclude_existing_followers) {
+          const bool static_follow = follower_index_->HasEdge(target, user);
+          const bool dynamic_follow = std::any_of(
+              actors.begin(), actors.end(),
+              [user](const TimestampedInEdge& e) { return e.src == user; });
+          if (static_follow || dynamic_follow) continue;
+        }
+        Recommendation rec;
+        rec.user = user;
+        rec.item = target;
+        rec.witness_count = match.count;
+        rec.event_time = t;
+        rec.trigger = log[i].src;
+        if (options_.max_reported_witnesses > 0) {
+          for (size_t li = 0;
+               li < list_sources.size() &&
+               rec.witnesses.size() < options_.max_reported_witnesses;
+               ++li) {
+            if (std::binary_search(lists[li].begin(), lists[li].end(), user)) {
+              rec.witnesses.push_back(list_sources[li]);
+            }
+          }
+          std::sort(rec.witnesses.begin(), rec.witnesses.end());
+        }
+        all.push_back(std::move(rec));
+      }
+    }
+  }
+
+  std::sort(all.begin(), all.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              if (a.event_time != b.event_time) return a.event_time < b.event_time;
+              if (a.item != b.item) return a.item < b.item;
+              return a.user < b.user;
+            });
+  return all;
+}
+
+}  // namespace magicrecs

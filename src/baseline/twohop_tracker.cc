@@ -1,0 +1,174 @@
+#include "baseline/twohop_tracker.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+#include "util/str_format.h"
+
+namespace magicrecs {
+
+TwoHopTracker::TwoHopTracker(const StaticGraph* follower_index,
+                             const TwoHopOptions& options)
+    : follower_index_(follower_index), options_(options) {}
+
+void TwoHopTracker::MaybeRotate(Timestamp t) {
+  const int64_t epoch = t / options_.window;
+  if (epoch == current_epoch_) return;
+  if (epoch == current_epoch_ + 1) {
+    // Adjacent epoch: current becomes previous.
+    for (auto& [user, state] : exact_) {
+      state.previous = std::move(state.current);
+      state.current.clear();
+    }
+    for (auto& [user, state] : approx_) {
+      state.previous = std::move(state.current);
+      state.current.assign(options_.counters_per_user, 0);
+    }
+    seen_edges_previous_ = std::move(seen_edges_current_);
+    seen_edges_current_.clear();
+  } else {
+    // Jumped more than one epoch: everything expired.
+    exact_.clear();
+    approx_.clear();
+    seen_edges_current_.clear();
+    seen_edges_previous_.clear();
+  }
+  current_epoch_ = epoch;
+  // Emission memory from expired epochs is stale.
+  for (auto it = emitted_epoch_.begin(); it != emitted_epoch_.end();) {
+    if (it->second < epoch - 1) {
+      it = emitted_epoch_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint32_t TwoHopTracker::CountFor(VertexId user, VertexId target) const {
+  if (options_.mode == TwoHopOptions::Mode::kExact) {
+    const auto user_it = exact_.find(user);
+    if (user_it == exact_.end()) return 0;
+    uint32_t count = 0;
+    const auto cur = user_it->second.current.find(target);
+    if (cur != user_it->second.current.end()) count += cur->second;
+    const auto prev = user_it->second.previous.find(target);
+    if (prev != user_it->second.previous.end()) count += prev->second;
+    return count;
+  }
+  const auto user_it = approx_.find(user);
+  if (user_it == approx_.end()) return 0;
+  const size_t slot = SplitMix64(target) % options_.counters_per_user;
+  uint32_t count = 0;
+  if (!user_it->second.current.empty()) count += user_it->second.current[slot];
+  if (!user_it->second.previous.empty()) {
+    count += user_it->second.previous[slot];
+  }
+  return count;
+}
+
+void TwoHopTracker::Bump(VertexId user, VertexId target) {
+  ++stats_.counter_updates;
+  if (options_.mode == TwoHopOptions::Mode::kExact) {
+    auto& state = exact_.try_emplace(user).first->second;
+    auto& count = state.current.try_emplace(target, 0).first->second;
+    if (count < std::numeric_limits<uint16_t>::max()) ++count;
+    return;
+  }
+  auto& state = approx_.try_emplace(user).first->second;
+  if (state.current.empty()) {
+    state.current.assign(options_.counters_per_user, 0);
+  }
+  const size_t slot = SplitMix64(target) % options_.counters_per_user;
+  if (state.current[slot] < std::numeric_limits<uint8_t>::max()) {
+    ++state.current[slot];
+  }
+}
+
+Status TwoHopTracker::OnEdge(VertexId src, VertexId dst, Timestamp t,
+                             std::vector<Recommendation>* out) {
+  if (src == kInvalidVertex || dst == kInvalidVertex) {
+    return Status::InvalidArgument("edge uses the reserved invalid vertex id");
+  }
+  MaybeRotate(t);
+  ++stats_.events;
+
+  // A repeat of the same stream edge within the epoch pair must not count
+  // as an extra witness.
+  const uint64_t edge_key = (static_cast<uint64_t>(src) << 32) | dst;
+  if (seen_edges_previous_.contains(edge_key) ||
+      !seen_edges_current_.insert(edge_key).second) {
+    return Status::OK();
+  }
+
+  // Fan the update out to every follower of the actor — the design's
+  // fundamental write amplification.
+  for (const VertexId user : follower_index_->Neighbors(src)) {
+    if (user == dst) continue;
+    Bump(user, dst);
+    if (CountFor(user, dst) < options_.k) continue;
+
+    const uint64_t key = (static_cast<uint64_t>(user) << 32) | dst;
+    const auto emitted_it = emitted_epoch_.find(key);
+    if (emitted_it != emitted_epoch_.end() &&
+        emitted_it->second >= current_epoch_ - 1) {
+      continue;
+    }
+    if (options_.exclude_existing_followers &&
+        follower_index_->HasEdge(dst, user)) {
+      continue;
+    }
+    Recommendation rec;
+    rec.user = user;
+    rec.item = dst;
+    rec.witness_count = CountFor(user, dst);
+    rec.event_time = t;
+    rec.trigger = src;
+    out->push_back(std::move(rec));
+    emitted_epoch_[key] = current_epoch_;
+    ++stats_.emitted;
+  }
+  return Status::OK();
+}
+
+const TwoHopStats& TwoHopTracker::stats() const {
+  stats_.tracked_users = options_.mode == TwoHopOptions::Mode::kExact
+                             ? exact_.size()
+                             : approx_.size();
+  return stats_;
+}
+
+size_t TwoHopTracker::MemoryUsage() const {
+  constexpr size_t kMapNodeOverhead = 48;
+  size_t total = 0;
+  if (options_.mode == TwoHopOptions::Mode::kExact) {
+    total += exact_.bucket_count() * sizeof(void*);
+    for (const auto& [user, state] : exact_) {
+      total += kMapNodeOverhead;
+      total += state.current.size() * (kMapNodeOverhead / 2 + 8);
+      total += state.previous.size() * (kMapNodeOverhead / 2 + 8);
+      total += state.current.bucket_count() * sizeof(void*);
+      total += state.previous.bucket_count() * sizeof(void*);
+    }
+    return total;
+  }
+  total += approx_.bucket_count() * sizeof(void*);
+  for (const auto& [user, state] : approx_) {
+    total += kMapNodeOverhead + state.current.capacity() +
+             state.previous.capacity();
+  }
+  total += (seen_edges_current_.size() + seen_edges_previous_.size()) *
+           (sizeof(uint64_t) + kMapNodeOverhead / 2);
+  return total;
+}
+
+std::string TwoHopStats::ToString() const {
+  return StrFormat(
+      "events=%llu counter_updates=%llu (amplification %.1fx) emitted=%llu "
+      "tracked_users=%llu",
+      static_cast<unsigned long long>(events),
+      static_cast<unsigned long long>(counter_updates), WriteAmplification(),
+      static_cast<unsigned long long>(emitted),
+      static_cast<unsigned long long>(tracked_users));
+}
+
+}  // namespace magicrecs

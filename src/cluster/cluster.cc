@@ -1,0 +1,258 @@
+#include "cluster/cluster.h"
+
+#include <bit>
+#include <chrono>
+
+#include "util/str_format.h"
+
+namespace magicrecs {
+
+Cluster::Cluster(const ClusterOptions& options, HashPartitioner partitioner)
+    : options_(options), partitioner_(partitioner) {}
+
+Cluster::~Cluster() { Stop(); }
+
+Result<std::unique_ptr<Cluster>> Cluster::Create(
+    const StaticGraph& follow_graph, const ClusterOptions& options) {
+  if (options.num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  if (options.replicas_per_partition == 0 ||
+      options.replicas_per_partition > 64) {
+    return Status::InvalidArgument(
+        "replicas_per_partition must be in [1, 64]");
+  }
+
+  HashPartitioner partitioner(options.num_partitions,
+                              options.partitioner_salt);
+  std::unique_ptr<Cluster> cluster(new Cluster(options, partitioner));
+
+  // Offline pipeline: influencer cap, invert to the follower index, then
+  // cut one shard per partition. Replicas share the immutable shard.
+  const StaticGraph capped = RecommenderEngine::ApplyInfluencerCap(
+      follow_graph, options.max_influencers_per_user);
+  const StaticGraph full_follower_index = capped.Transpose();
+
+  cluster->servers_.resize(options.num_partitions);
+  for (uint32_t p = 0; p < options.num_partitions; ++p) {
+    MAGICRECS_ASSIGN_OR_RETURN(
+        StaticGraph shard,
+        BuildPartitionShard(full_follower_index, partitioner, p));
+    // Replicas of a partition share the immutable shard; each owns its D.
+    auto shared_shard = std::make_shared<const StaticGraph>(std::move(shard));
+    for (uint32_t r = 0; r < options.replicas_per_partition; ++r) {
+      cluster->servers_[p].push_back(PartitionServer::CreateWithShard(
+          shared_shard, p, options.detector));
+    }
+    auto mask = std::make_unique<std::atomic<uint64_t>>(
+        options.replicas_per_partition == 64
+            ? ~uint64_t{0}
+            : (uint64_t{1} << options.replicas_per_partition) - 1);
+    cluster->alive_masks_.push_back(std::move(mask));
+  }
+  return cluster;
+}
+
+bool Cluster::ShouldEmit(uint32_t partition, uint32_t replica,
+                         uint64_t sequence) const {
+  const uint64_t mask =
+      alive_masks_[partition]->load(std::memory_order_acquire);
+  if ((mask & (uint64_t{1} << replica)) == 0) return false;
+  const int alive = std::popcount(mask);
+  if (alive == 0) return false;
+  // Rank of this replica among the alive ones.
+  const uint64_t below = mask & ((uint64_t{1} << replica) - 1);
+  const int rank = std::popcount(below);
+  return sequence % static_cast<uint64_t>(alive) ==
+         static_cast<uint64_t>(rank);
+}
+
+Status Cluster::OnEdge(VertexId src, VertexId dst, Timestamp t,
+                       std::vector<Recommendation>* out) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "inline OnEdge cannot be mixed with threaded mode");
+  }
+  EdgeEvent event;
+  event.edge = TimestampedEdge{src, dst, t};
+  event.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  events_published_.fetch_add(1, std::memory_order_relaxed);
+
+  for (uint32_t p = 0; p < options_.num_partitions; ++p) {
+    const uint64_t mask = alive_masks_[p]->load(std::memory_order_acquire);
+    for (uint32_t r = 0; r < options_.replicas_per_partition; ++r) {
+      if ((mask & (uint64_t{1} << r)) == 0) continue;  // dead: misses event
+      const bool emit = ShouldEmit(p, r, event.sequence);
+      MAGICRECS_RETURN_IF_ERROR(servers_[p][r]->OnEvent(event, emit, out));
+    }
+  }
+  return Status::OK();
+}
+
+Status Cluster::Start() {
+  if (running_) return Status::FailedPrecondition("cluster already running");
+  inboxes_.clear();
+  consumed_.clear();
+  inboxes_.resize(options_.num_partitions);
+  for (uint32_t p = 0; p < options_.num_partitions; ++p) {
+    for (uint32_t r = 0; r < options_.replicas_per_partition; ++r) {
+      inboxes_[p].push_back(
+          std::make_unique<MpmcQueue<EdgeEvent>>(options_.inbox_capacity));
+      consumed_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+    }
+  }
+  running_ = true;
+  for (uint32_t p = 0; p < options_.num_partitions; ++p) {
+    for (uint32_t r = 0; r < options_.replicas_per_partition; ++r) {
+      workers_.emplace_back([this, p, r] { WorkerLoop(p, r); });
+    }
+  }
+  return Status::OK();
+}
+
+Status Cluster::Publish(EdgeEvent event) {
+  if (!running_) {
+    return Status::FailedPrecondition("cluster is not running; call Start()");
+  }
+  event.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& partition_inboxes : inboxes_) {
+    for (auto& inbox : partition_inboxes) {
+      if (!inbox->Push(event)) {
+        return Status::Aborted("cluster stopped during publish");
+      }
+    }
+  }
+  events_published_.fetch_add(1, std::memory_order_release);
+  return Status::OK();
+}
+
+void Cluster::WorkerLoop(uint32_t partition, uint32_t replica) {
+  auto& inbox = *inboxes_[partition][replica];
+  auto& consumed =
+      *consumed_[partition * options_.replicas_per_partition + replica];
+  std::vector<Recommendation> local;
+  while (true) {
+    std::optional<EdgeEvent> event = inbox.Pop();
+    if (!event.has_value()) return;  // closed and drained
+    const uint64_t mask =
+        alive_masks_[partition]->load(std::memory_order_acquire);
+    if ((mask & (uint64_t{1} << replica)) != 0) {
+      local.clear();
+      const bool emit = ShouldEmit(partition, replica, event->sequence);
+      const Status s = servers_[partition][replica]->OnEvent(*event, emit,
+                                                             &local);
+      (void)s;  // per-event errors are reflected in detector stats
+      if (!local.empty()) {
+        std::lock_guard<std::mutex> lock(results_mu_);
+        results_.insert(results_.end(),
+                        std::make_move_iterator(local.begin()),
+                        std::make_move_iterator(local.end()));
+      }
+    }
+    consumed.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void Cluster::Drain() {
+  if (!running_) return;
+  const uint64_t target = events_published_.load(std::memory_order_acquire);
+  for (auto& consumed : consumed_) {
+    while (consumed->load(std::memory_order_acquire) < target) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+void Cluster::Stop() {
+  if (!running_) return;
+  for (auto& partition_inboxes : inboxes_) {
+    for (auto& inbox : partition_inboxes) inbox->Close();
+  }
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  running_ = false;
+}
+
+std::vector<Recommendation> Cluster::TakeRecommendations() {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  std::vector<Recommendation> out;
+  out.swap(results_);
+  return out;
+}
+
+Status Cluster::KillReplica(uint32_t partition, uint32_t replica) {
+  if (partition >= options_.num_partitions ||
+      replica >= options_.replicas_per_partition) {
+    return Status::InvalidArgument("no such replica");
+  }
+  alive_masks_[partition]->fetch_and(~(uint64_t{1} << replica),
+                                     std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status Cluster::RecoverReplica(uint32_t partition, uint32_t replica) {
+  if (partition >= options_.num_partitions ||
+      replica >= options_.replicas_per_partition) {
+    return Status::InvalidArgument("no such replica");
+  }
+  const uint64_t mask =
+      alive_masks_[partition]->load(std::memory_order_acquire);
+  if ((mask & (uint64_t{1} << replica)) != 0) {
+    return Status::AlreadyExists("replica is already alive");
+  }
+  // Bootstrap D from any healthy peer; without one, the replica rejoins
+  // with the state it last had (cold start on an empty partition group).
+  for (uint32_t r = 0; r < options_.replicas_per_partition; ++r) {
+    if (r != replica && (mask & (uint64_t{1} << r)) != 0) {
+      MAGICRECS_RETURN_IF_ERROR(
+          servers_[partition][replica]->SyncDynamicStateFrom(
+              *servers_[partition][r]));
+      break;
+    }
+  }
+  alive_masks_[partition]->fetch_or(uint64_t{1} << replica,
+                                    std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+uint32_t Cluster::alive_replicas(uint32_t partition) const {
+  return static_cast<uint32_t>(std::popcount(
+      alive_masks_[partition]->load(std::memory_order_acquire)));
+}
+
+size_t Cluster::TotalStaticMemory() const {
+  size_t total = 0;
+  for (const auto& partition : servers_) {
+    for (const auto& server : partition) total += server->StaticMemoryUsage();
+  }
+  return total;
+}
+
+size_t Cluster::TotalDynamicMemory() const {
+  size_t total = 0;
+  for (const auto& partition : servers_) {
+    for (const auto& server : partition) {
+      total += server->DynamicMemoryUsage();
+    }
+  }
+  return total;
+}
+
+DiamondStats Cluster::AggregatedStats() const {
+  DiamondStats total;
+  for (const auto& partition : servers_) {
+    for (const auto& server : partition) {
+      const DiamondStats& s = server->stats();
+      total.events += s.events;
+      total.threshold_queries += s.threshold_queries;
+      total.raw_candidates += s.raw_candidates;
+      total.recommendations += s.recommendations;
+      total.suppressed_existing += s.suppressed_existing;
+      total.suppressed_self += s.suppressed_self;
+      total.query_micros.Merge(s.query_micros);
+    }
+  }
+  return total;
+}
+
+}  // namespace magicrecs

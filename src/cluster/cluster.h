@@ -1,0 +1,179 @@
+// The distributed deployment of §2: N partitions (20 in production), each
+// holding an S shard for its resident A's plus a full copy of D, optionally
+// replicated "for both fault tolerance and increased query throughput".
+// Brokers fan the edge stream out to every partition (each partition consumes
+// the entire stream) and gather the per-partition recommendations.
+//
+// Two execution modes:
+//   * inline   — single-threaded, deterministic; every call processes one
+//                event through all partitions synchronously. Used by tests
+//                and virtual-time experiments.
+//   * threaded — one worker thread per replica with bounded inboxes; the
+//                Publish() path is the broker. Used by the throughput
+//                experiments.
+//
+// Replica semantics: every alive replica ingests every event (D must stay
+// complete on all of them); the motif query for an event runs on exactly one
+// replica per partition, chosen round-robin by sequence number — that is the
+// "increased query throughput" of the paper. Failover re-spreads queries
+// over the survivors; a recovered replica must re-sync D from a healthy peer
+// before rejoining.
+
+#ifndef MAGICRECS_CLUSTER_CLUSTER_H_
+#define MAGICRECS_CLUSTER_CLUSTER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cluster/partition_server.h"
+#include "cluster/partitioner.h"
+#include "core/diamond_detector.h"
+#include "core/engine.h"
+#include "core/recommendation.h"
+#include "graph/static_graph.h"
+#include "stream/event.h"
+#include "util/mpmc_queue.h"
+#include "util/result.h"
+
+namespace magicrecs {
+
+/// Cluster configuration.
+struct ClusterOptions {
+  /// Number of partitions (the paper's production value is 20).
+  uint32_t num_partitions = 20;
+
+  /// Replicas per partition (1 = no replication).
+  uint32_t replicas_per_partition = 1;
+
+  /// Detector parameters applied on every partition server.
+  DiamondOptions detector;
+
+  /// Influencer cap applied to the follow graph before sharding (see
+  /// EngineOptions::max_influencers_per_user).
+  uint32_t max_influencers_per_user = 0;
+
+  /// Bounded inbox size per replica in threaded mode (backpressure).
+  size_t inbox_capacity = 1 << 16;
+
+  /// Salt for the hash partitioner.
+  uint64_t partitioner_salt = 0;
+};
+
+/// The partitioned, replicated deployment.
+class Cluster {
+ public:
+  /// Builds all shards and replicas from the follow graph (edges A -> B).
+  static Result<std::unique_ptr<Cluster>> Create(
+      const StaticGraph& follow_graph, const ClusterOptions& options);
+
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- Inline mode -----------------------------------------------------------
+
+  /// Processes one edge-creation event through every partition
+  /// synchronously; appends gathered recommendations to *out. Must not be
+  /// mixed with threaded-mode calls.
+  Status OnEdge(VertexId src, VertexId dst, Timestamp t,
+                std::vector<Recommendation>* out);
+
+  // --- Threaded mode ---------------------------------------------------------
+
+  /// Spawns one worker thread per replica. FailedPrecondition if running.
+  Status Start();
+
+  /// Broker fan-out: enqueues the event on every replica's inbox (blocking
+  /// on backpressure). Assigns the event's sequence number.
+  Status Publish(EdgeEvent event);
+
+  /// Blocks until every replica has consumed everything published so far.
+  void Drain();
+
+  /// Closes inboxes and joins workers. Idempotent.
+  void Stop();
+
+  /// Moves out all recommendations gathered since the last call. Ordering
+  /// across partitions is unspecified (concurrent gathering).
+  std::vector<Recommendation> TakeRecommendations();
+
+  // --- Failure injection -----------------------------------------------------
+
+  /// Marks a replica dead: it stops ingesting and answering queries; other
+  /// replicas of the partition absorb its query share.
+  Status KillReplica(uint32_t partition, uint32_t replica);
+
+  /// Re-syncs the replica's dynamic state from a healthy peer (if any) and
+  /// marks it alive. In threaded mode, call only while quiesced (after
+  /// Drain()).
+  Status RecoverReplica(uint32_t partition, uint32_t replica);
+
+  // --- Introspection ---------------------------------------------------------
+
+  uint32_t num_partitions() const { return options_.num_partitions; }
+  uint32_t replicas_per_partition() const {
+    return options_.replicas_per_partition;
+  }
+  uint32_t alive_replicas(uint32_t partition) const;
+  const PartitionServer& server(uint32_t partition, uint32_t replica) const {
+    return *servers_[partition][replica];
+  }
+  const HashPartitioner& partitioner() const { return partitioner_; }
+  uint64_t events_published() const {
+    return events_published_.load(std::memory_order_relaxed);
+  }
+
+  /// Sum of all shard sizes (equals the unsharded S times the replication
+  /// factor).
+  size_t TotalStaticMemory() const;
+
+  /// Sum of all D copies — the paper's noted scalability bottleneck: D is
+  /// replicated into every partition, so this grows linearly with
+  /// partitions * replicas.
+  size_t TotalDynamicMemory() const;
+
+  /// Detector stats merged across all replicas.
+  DiamondStats AggregatedStats() const;
+
+ private:
+  struct Replica {
+    std::unique_ptr<PartitionServer> server;
+    std::unique_ptr<MpmcQueue<EdgeEvent>> inbox;
+    std::thread worker;
+    std::atomic<uint64_t> consumed{0};
+  };
+
+  Cluster(const ClusterOptions& options, HashPartitioner partitioner);
+
+  /// True iff `replica` should run the motif query for `sequence` given the
+  /// current alive mask of its partition.
+  bool ShouldEmit(uint32_t partition, uint32_t replica,
+                  uint64_t sequence) const;
+
+  void WorkerLoop(uint32_t partition, uint32_t replica);
+
+  ClusterOptions options_;
+  HashPartitioner partitioner_;
+  std::vector<std::vector<std::unique_ptr<PartitionServer>>> servers_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> alive_masks_;
+
+  // Threaded mode state.
+  bool running_ = false;
+  std::vector<std::vector<std::unique_ptr<MpmcQueue<EdgeEvent>>>> inboxes_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> consumed_;
+  std::atomic<uint64_t> events_published_{0};
+  std::atomic<uint64_t> next_sequence_{0};
+  std::mutex results_mu_;
+  std::vector<Recommendation> results_;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_CLUSTER_CLUSTER_H_

@@ -1,0 +1,67 @@
+#include "cluster/partition_server.h"
+
+namespace magicrecs {
+
+PartitionServer::PartitionServer(std::shared_ptr<const StaticGraph> shard,
+                                 uint32_t partition_id,
+                                 const DiamondOptions& options)
+    : shard_(std::move(shard)), partition_id_(partition_id), options_(options) {
+  detector_ = std::make_unique<DiamondDetector>(shard_.get(), options_);
+}
+
+Result<StaticGraph> BuildPartitionShard(const StaticGraph& full_follower_index,
+                                        const HashPartitioner& partitioner,
+                                        uint32_t partition_id) {
+  if (partition_id >= partitioner.num_partitions()) {
+    return Status::InvalidArgument("partition id out of range");
+  }
+  StaticGraphBuilder builder(full_follower_index.num_vertices());
+  Status status = Status::OK();
+  full_follower_index.ForEachEdge([&](VertexId b, VertexId a) {
+    if (!status.ok()) return;
+    if (partitioner.PartitionOf(a) == partition_id) {
+      status = builder.AddEdge(b, a);
+    }
+  });
+  MAGICRECS_RETURN_IF_ERROR(status);
+  return builder.Build();
+}
+
+Result<std::unique_ptr<PartitionServer>> PartitionServer::Create(
+    const StaticGraph& full_follower_index, const HashPartitioner& partitioner,
+    uint32_t partition_id, const DiamondOptions& options) {
+  MAGICRECS_ASSIGN_OR_RETURN(
+      StaticGraph shard,
+      BuildPartitionShard(full_follower_index, partitioner, partition_id));
+  return std::unique_ptr<PartitionServer>(new PartitionServer(
+      std::make_shared<const StaticGraph>(std::move(shard)), partition_id,
+      options));
+}
+
+std::unique_ptr<PartitionServer> PartitionServer::CreateWithShard(
+    std::shared_ptr<const StaticGraph> shard, uint32_t partition_id,
+    const DiamondOptions& options) {
+  return std::unique_ptr<PartitionServer>(
+      new PartitionServer(std::move(shard), partition_id, options));
+}
+
+Status PartitionServer::OnEvent(const EdgeEvent& event, bool emit,
+                                std::vector<Recommendation>* out) {
+  const TimestampedEdge& e = event.edge;
+  if (emit) {
+    return detector_->OnEdge(e.src, e.dst, e.created_at, out);
+  }
+  return detector_->Ingest(e.src, e.dst, e.created_at);
+}
+
+Status PartitionServer::SyncDynamicStateFrom(
+    const PartitionServer& healthy_peer) {
+  if (healthy_peer.partition_id_ != partition_id_) {
+    return Status::InvalidArgument(
+        "replicas can only sync within the same partition");
+  }
+  detector_->CopyDynamicStateFrom(*healthy_peer.detector_);
+  return Status::OK();
+}
+
+}  // namespace magicrecs

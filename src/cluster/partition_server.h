@@ -1,0 +1,78 @@
+// One partition server: the S shard for its resident A's, a full copy of the
+// D structure, and a diamond detector running against them. Mirrors the
+// paper's key design decision — "each partition needs to keep the complete D
+// data structure, since in principle any B can be in any partition", so every
+// server ingests the entire edge stream and all intersections stay local.
+
+#ifndef MAGICRECS_CLUSTER_PARTITION_SERVER_H_
+#define MAGICRECS_CLUSTER_PARTITION_SERVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/partitioner.h"
+#include "core/diamond_detector.h"
+#include "core/recommendation.h"
+#include "graph/static_graph.h"
+#include "stream/event.h"
+#include "util/result.h"
+
+namespace magicrecs {
+
+/// Cuts the S shard for one partition out of the full follower index: the
+/// follower lists restricted to the A's that `partitioner` assigns to
+/// `partition_id`. The same B appears in many shards ("the same B's may
+/// reside in multiple partitions"), but each A's row lives in exactly one.
+Result<StaticGraph> BuildPartitionShard(const StaticGraph& full_follower_index,
+                                        const HashPartitioner& partitioner,
+                                        uint32_t partition_id);
+
+/// A single partition replica. Thread-compatible: in threaded deployments
+/// each replica is driven by exactly one worker thread.
+class PartitionServer {
+ public:
+  /// Builds the S shard for `partition_id`: the follower lists of the full
+  /// index restricted to A's owned by this partition.
+  static Result<std::unique_ptr<PartitionServer>> Create(
+      const StaticGraph& full_follower_index, const HashPartitioner& partitioner,
+      uint32_t partition_id, const DiamondOptions& options);
+
+  /// Shares a pre-built shard (used when creating replicas of the same
+  /// partition: the immutable shard is built once, D is per-replica).
+  static std::unique_ptr<PartitionServer> CreateWithShard(
+      std::shared_ptr<const StaticGraph> shard, uint32_t partition_id,
+      const DiamondOptions& options);
+
+  /// Ingests one event into D; if `emit` is true, also runs the motif query
+  /// and appends local recommendations to *out. Standby replicas ingest with
+  /// emit=false to keep D warm without duplicating query work.
+  Status OnEvent(const EdgeEvent& event, bool emit,
+                 std::vector<Recommendation>* out);
+
+  uint32_t partition_id() const { return partition_id_; }
+  const DiamondStats& stats() const { return detector_->stats(); }
+  const StaticGraph& shard() const { return *shard_; }
+  size_t StaticMemoryUsage() const { return shard_->MemoryUsage(); }
+  size_t DynamicMemoryUsage() const { return detector_->DynamicMemoryUsage(); }
+  void Prune(Timestamp now) { detector_->Prune(now); }
+
+  /// Re-synchronizes this replica's dynamic state from a healthy peer of the
+  /// same partition (replica bootstrap after recovery).
+  Status SyncDynamicStateFrom(const PartitionServer& healthy_peer);
+
+ private:
+  PartitionServer(std::shared_ptr<const StaticGraph> shard,
+                  uint32_t partition_id, const DiamondOptions& options);
+
+  std::shared_ptr<const StaticGraph> shard_;
+  uint32_t partition_id_;
+  DiamondOptions options_;
+  std::unique_ptr<DiamondDetector> detector_;
+  std::vector<Recommendation> discard_;  // sink for emit=false runs
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_CLUSTER_PARTITION_SERVER_H_

@@ -1,0 +1,40 @@
+// Placement of users onto partitions. The paper partitions by the A's (the
+// recommendation recipients): "each partition holds a disjoint set of source
+// vertices for the S data structure ... all adjacency list intersections are
+// local to each partition" (§2).
+
+#ifndef MAGICRECS_CLUSTER_PARTITIONER_H_
+#define MAGICRECS_CLUSTER_PARTITIONER_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/random.h"
+#include "util/types.h"
+
+namespace magicrecs {
+
+/// Stateless hash partitioner over user ids. Mixing through SplitMix64
+/// keeps partitions balanced even if vertex ids are assigned sequentially.
+class HashPartitioner {
+ public:
+  explicit HashPartitioner(uint32_t num_partitions, uint64_t salt = 0)
+      : num_partitions_(num_partitions), salt_(salt) {
+    assert(num_partitions_ > 0);
+  }
+
+  /// Partition owning user `a` (the user's S rows and recommendations).
+  uint32_t PartitionOf(VertexId a) const {
+    return static_cast<uint32_t>(SplitMix64(a ^ salt_) % num_partitions_);
+  }
+
+  uint32_t num_partitions() const { return num_partitions_; }
+
+ private:
+  uint32_t num_partitions_;
+  uint64_t salt_;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_CLUSTER_PARTITIONER_H_

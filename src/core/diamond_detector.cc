@@ -1,0 +1,144 @@
+#include "core/diamond_detector.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/clock.h"
+#include "util/str_format.h"
+
+namespace magicrecs {
+
+namespace {
+
+DynamicGraphOptions MakeDynamicOptions(const DiamondOptions& options) {
+  DynamicGraphOptions dyn;
+  dyn.window = options.window;
+  dyn.max_in_edges_per_vertex = options.max_in_edges_per_vertex;
+  dyn.strict_time_order = options.strict_time_order;
+  return dyn;
+}
+
+}  // namespace
+
+DiamondDetector::DiamondDetector(const StaticGraph* follower_index,
+                                 const DiamondOptions& options)
+    : follower_index_(follower_index),
+      options_(options),
+      dynamic_index_(MakeDynamicOptions(options)) {
+  assert(follower_index_ != nullptr);
+  assert(options_.k >= 1);
+  assert(options_.window > 0);
+}
+
+Status DiamondDetector::Ingest(VertexId src, VertexId dst, Timestamp t) {
+  MAGICRECS_RETURN_IF_ERROR(dynamic_index_.Insert(src, dst, t));
+  ++stats_.events;
+  return Status::OK();
+}
+
+Status DiamondDetector::OnEdge(VertexId src, VertexId dst, Timestamp t,
+                               std::vector<Recommendation>* out) {
+  const Stopwatch timer;
+  MAGICRECS_RETURN_IF_ERROR(dynamic_index_.Insert(src, dst, t));
+  ++stats_.events;
+
+  // Top half of the diamond: distinct actors on dst within the window
+  // (includes the trigger edge just inserted).
+  dynamic_index_.GetRecentInEdges(dst, t, &actors_);
+  if (actors_.size() < options_.k) {
+    stats_.query_micros.Record(timer.ElapsedMicros());
+    return Status::OK();
+  }
+  ++stats_.threshold_queries;
+
+  // Celebrity-target guard: keep only the most recent actors.
+  if (options_.max_witnesses_per_query > 0 &&
+      actors_.size() > options_.max_witnesses_per_query) {
+    std::nth_element(
+        actors_.begin(),
+        actors_.begin() +
+            static_cast<std::ptrdiff_t>(options_.max_witnesses_per_query),
+        actors_.end(),
+        [](const TimestampedInEdge& a, const TimestampedInEdge& b) {
+          return a.created_at > b.created_at;
+        });
+    actors_.resize(options_.max_witnesses_per_query);
+  }
+
+  // Bottom half: gather the actors' follower lists from S …
+  lists_.clear();
+  list_sources_.clear();
+  for (const TimestampedInEdge& actor : actors_) {
+    const auto followers = follower_index_->Neighbors(actor.src);
+    if (followers.empty()) continue;
+    lists_.push_back(followers);
+    list_sources_.push_back(actor.src);
+  }
+  if (lists_.size() < options_.k) {
+    stats_.query_micros.Record(timer.ElapsedMicros());
+    return Status::OK();
+  }
+
+  // … and find every account in >= k of them.
+  ThresholdIntersect(lists_, options_.k, &matches_, options_.algorithm);
+  stats_.raw_candidates += matches_.size();
+
+  for (const ThresholdMatch& match : matches_) {
+    const VertexId user = match.id;
+    if (user == dst) {
+      ++stats_.suppressed_self;
+      continue;
+    }
+    if (options_.exclude_existing_followers) {
+      // Static follow of dst, or an in-window dynamic follow (user among
+      // the actors), means the user already has the item.
+      if (follower_index_->HasEdge(dst, user) ||
+          std::any_of(actors_.begin(), actors_.end(),
+                      [user](const TimestampedInEdge& e) {
+                        return e.src == user;
+                      })) {
+        ++stats_.suppressed_existing;
+        continue;
+      }
+    }
+
+    Recommendation rec;
+    rec.user = user;
+    rec.item = dst;
+    rec.witness_count = match.count;
+    rec.event_time = t;
+    rec.trigger = src;
+    if (options_.max_reported_witnesses > 0) {
+      for (size_t i = 0;
+           i < list_sources_.size() &&
+           rec.witnesses.size() < options_.max_reported_witnesses;
+           ++i) {
+        if (std::binary_search(lists_[i].begin(), lists_[i].end(), user)) {
+          rec.witnesses.push_back(list_sources_[i]);
+        }
+      }
+      std::sort(rec.witnesses.begin(), rec.witnesses.end());
+    }
+    out->push_back(std::move(rec));
+    ++stats_.recommendations;
+  }
+
+  stats_.query_micros.Record(timer.ElapsedMicros());
+  return Status::OK();
+}
+
+std::string DiamondStats::ToString() const {
+  return StrFormat(
+      "events=%llu threshold_queries=%llu raw_candidates=%llu "
+      "recommendations=%llu suppressed_existing=%llu suppressed_self=%llu\n"
+      "query latency: %s",
+      static_cast<unsigned long long>(events),
+      static_cast<unsigned long long>(threshold_queries),
+      static_cast<unsigned long long>(raw_candidates),
+      static_cast<unsigned long long>(recommendations),
+      static_cast<unsigned long long>(suppressed_existing),
+      static_cast<unsigned long long>(suppressed_self),
+      query_micros.ToString(1.0, "us").c_str());
+}
+
+}  // namespace magicrecs

@@ -1,0 +1,135 @@
+// Online detection of the paper's "diamond" motif (§2): when edge B -> C is
+// created at time t,
+//   1. query the dynamic index D for the other B's that followed C within
+//      (t - window, t]  — the top half of the diamond;
+//   2. if at least k distinct B's exist, look up their follower lists in the
+//      static index S and find every A present in >= k of them — the bottom
+//      half;
+//   3. each such A receives C as a recommendation.
+//
+// The production deployment uses k = 3; the paper's worked example (Fig. 1)
+// uses k = 2.
+
+#ifndef MAGICRECS_CORE_DIAMOND_DETECTOR_H_
+#define MAGICRECS_CORE_DIAMOND_DETECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/recommendation.h"
+#include "graph/dynamic_graph.h"
+#include "graph/static_graph.h"
+#include "intersect/threshold.h"
+#include "util/histogram.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace magicrecs {
+
+/// Tunable parameters of the diamond motif ("k and tau are tunable", §1).
+struct DiamondOptions {
+  /// Minimum number of distinct followings that must act on the same target
+  /// (the paper's k; production value 3).
+  uint32_t k = 3;
+
+  /// Freshness window tau: only actions within this window of the trigger
+  /// count toward k.
+  Duration window = Minutes(10);
+
+  /// Upper bound on dynamic in-edges retained per target (forwarded to the
+  /// D structure; 0 = unlimited).
+  size_t max_in_edges_per_vertex = 0;
+
+  /// Caps how many B's participate in one motif query; when exceeded, the
+  /// most recent actors are kept. Bounds worst-case query cost on celebrity
+  /// targets. 0 = unlimited.
+  size_t max_witnesses_per_query = 64;
+
+  /// Caps the witness ids materialized into each Recommendation (the count
+  /// is always exact). 0 = report none.
+  size_t max_reported_witnesses = 8;
+
+  /// Drop candidates who already follow the recommended account — they
+  /// cannot be "recommended" something they have (checked against both S
+  /// and the in-window dynamic edges).
+  bool exclude_existing_followers = true;
+
+  /// Threshold-intersection strategy (kAuto selects per query).
+  ThresholdAlgorithm algorithm = ThresholdAlgorithm::kAuto;
+
+  /// Rejects out-of-order event timestamps instead of clamping them.
+  bool strict_time_order = false;
+};
+
+/// Counters and latency distribution for one detector instance.
+struct DiamondStats {
+  uint64_t events = 0;             ///< edges ingested
+  uint64_t threshold_queries = 0;  ///< events with >= k in-window actors
+  uint64_t raw_candidates = 0;     ///< matches before exclusion filters
+  uint64_t recommendations = 0;    ///< emitted recommendations
+  uint64_t suppressed_existing = 0;  ///< dropped: already follows the item
+  uint64_t suppressed_self = 0;      ///< dropped: candidate == item
+  Histogram query_micros;          ///< wall-clock per-event detection cost
+
+  std::string ToString() const;
+};
+
+/// The online diamond-motif detector. Thread-compatible: the cluster layer
+/// runs one instance per partition server.
+class DiamondDetector {
+ public:
+  /// `follower_index` is the S structure: for vertex B, Neighbors(B) is the
+  /// sorted list of accounts following B. Must outlive the detector.
+  DiamondDetector(const StaticGraph* follower_index,
+                  const DiamondOptions& options);
+
+  DiamondDetector(const DiamondDetector&) = delete;
+  DiamondDetector& operator=(const DiamondDetector&) = delete;
+
+  /// Ingests edge src -> dst created at `t` and appends any recommendations
+  /// it completes to *out (not cleared). The stream must be delivered in
+  /// non-decreasing `t` order per destination (see
+  /// DynamicGraphOptions::strict_time_order for enforcement).
+  Status OnEdge(VertexId src, VertexId dst, Timestamp t,
+                std::vector<Recommendation>* out);
+
+  /// Ingests the edge into D without running the motif query. Standby
+  /// replicas use this to keep their dynamic state warm while the primary
+  /// answers queries.
+  Status Ingest(VertexId src, VertexId dst, Timestamp t);
+
+  /// Replaces this detector's dynamic state with a copy of `other`'s
+  /// (replica bootstrap after recovery).
+  void CopyDynamicStateFrom(const DiamondDetector& other) {
+    dynamic_index_ = other.dynamic_index_;
+  }
+
+  const DiamondOptions& options() const { return options_; }
+  const DiamondStats& stats() const { return stats_; }
+  const DynamicInEdgeIndex& dynamic_index() const { return dynamic_index_; }
+
+  /// Periodic maintenance: prune expired dynamic edges (memory relief on
+  /// long streams with cold targets).
+  void Prune(Timestamp now) { dynamic_index_.PruneAll(now); }
+
+  /// Bytes held by the dynamic index (S is owned by the caller).
+  size_t DynamicMemoryUsage() const { return dynamic_index_.MemoryUsage(); }
+
+ private:
+  const StaticGraph* follower_index_;
+  DiamondOptions options_;
+  DynamicInEdgeIndex dynamic_index_;
+  DiamondStats stats_;
+
+  // Scratch buffers reused across events to stay allocation-free on the
+  // hot path.
+  std::vector<TimestampedInEdge> actors_;
+  std::vector<std::span<const VertexId>> lists_;
+  std::vector<VertexId> list_sources_;
+  std::vector<ThresholdMatch> matches_;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_CORE_DIAMOND_DETECTOR_H_

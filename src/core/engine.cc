@@ -1,0 +1,78 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace magicrecs {
+
+RecommenderEngine::RecommenderEngine(StaticGraph follower_index,
+                                     const EngineOptions& options)
+    : options_(options), follower_index_(std::move(follower_index)) {
+  detector_ =
+      std::make_unique<DiamondDetector>(&follower_index_, options_.detector);
+}
+
+Result<std::unique_ptr<RecommenderEngine>> RecommenderEngine::Create(
+    const StaticGraph& follow_graph, const EngineOptions& options) {
+  if (options.detector.k == 0) {
+    return Status::InvalidArgument("detector k must be >= 1");
+  }
+  if (options.detector.window <= 0) {
+    return Status::InvalidArgument("detector window must be positive");
+  }
+  StaticGraph capped =
+      ApplyInfluencerCap(follow_graph, options.max_influencers_per_user);
+  StaticGraph follower_index = capped.Transpose();
+  return std::unique_ptr<RecommenderEngine>(
+      new RecommenderEngine(std::move(follower_index), options));
+}
+
+StaticGraph RecommenderEngine::ApplyInfluencerCap(
+    const StaticGraph& follow_graph, uint32_t cap) {
+  if (cap == 0) {
+    // Rebuild to return an owned copy with identical contents.
+    StaticGraphBuilder builder(follow_graph.num_vertices());
+    follow_graph.ForEachEdge([&](VertexId src, VertexId dst) {
+      const Status s = builder.AddEdge(src, dst);
+      (void)s;  // inputs come from a valid graph
+    });
+    auto rebuilt = builder.Build();
+    return std::move(rebuilt).value();
+  }
+
+  // Popularity = follower count = in-degree in the follow graph.
+  std::vector<uint32_t> in_degree(follow_graph.num_vertices(), 0);
+  follow_graph.ForEachEdge(
+      [&](VertexId, VertexId dst) { ++in_degree[dst]; });
+
+  StaticGraphBuilder builder(follow_graph.num_vertices());
+  std::vector<VertexId> followees;
+  for (size_t v = 0; v < follow_graph.num_vertices(); ++v) {
+    const VertexId src = static_cast<VertexId>(v);
+    const auto neighbors = follow_graph.Neighbors(src);
+    if (neighbors.size() <= cap) {
+      for (const VertexId dst : neighbors) {
+        const Status s = builder.AddEdge(src, dst);
+        (void)s;
+      }
+      continue;
+    }
+    followees.assign(neighbors.begin(), neighbors.end());
+    std::partial_sort(followees.begin(),
+                      followees.begin() + static_cast<std::ptrdiff_t>(cap),
+                      followees.end(), [&](VertexId a, VertexId b) {
+                        if (in_degree[a] != in_degree[b]) {
+                          return in_degree[a] > in_degree[b];
+                        }
+                        return a < b;
+                      });
+    for (uint32_t i = 0; i < cap; ++i) {
+      const Status s = builder.AddEdge(src, followees[i]);
+      (void)s;
+    }
+  }
+  auto rebuilt = builder.Build();
+  return std::move(rebuilt).value();
+}
+
+}  // namespace magicrecs

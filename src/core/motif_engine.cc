@@ -1,0 +1,181 @@
+#include "core/motif_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/clock.h"
+
+namespace magicrecs {
+
+namespace {
+
+/// The plan's static-lookup orientation, or kFollowersOfActor if the plan
+/// somehow lacks a gather op (CompileMotif always emits one).
+StaticLookup PlanLookup(const MotifPlan& plan) {
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind == PlanOpKind::kGatherStaticLists) return op.lookup;
+  }
+  return StaticLookup::kFollowersOfActor;
+}
+
+Duration PlanWindow(const MotifPlan& plan) {
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind == PlanOpKind::kInsertDynamic) return op.window;
+  }
+  return Minutes(10);
+}
+
+}  // namespace
+
+MotifEngine::MotifEngine(MotifPlan plan, StaticGraph static_index,
+                         const DynamicGraphOptions& dyn_options)
+    : plan_(std::move(plan)),
+      static_index_(std::move(static_index)),
+      dynamic_index_(dyn_options) {}
+
+Result<std::unique_ptr<MotifEngine>> MotifEngine::Create(
+    const StaticGraph& follow_graph, const MotifSpec& spec,
+    const PlannerOptions& options) {
+  MAGICRECS_ASSIGN_OR_RETURN(MotifPlan plan, CompileMotif(spec, options));
+
+  // Materialize only the orientation the plan reads. The DSL's static edge
+  // U -> W means "U follows W", matching the follow graph's orientation, so:
+  //   followers(actor)  needs the transpose;
+  //   followees(actor)  needs the graph as-is.
+  StaticGraph index;
+  if (PlanLookup(plan) == StaticLookup::kFollowersOfActor) {
+    index = follow_graph.Transpose();
+  } else {
+    // Copy via rebuild (StaticGraph is immutable and cheaply rebuildable).
+    StaticGraphBuilder builder(follow_graph.num_vertices());
+    follow_graph.ForEachEdge([&](VertexId src, VertexId dst) {
+      const Status s = builder.AddEdge(src, dst);
+      (void)s;
+    });
+    auto rebuilt = builder.Build();
+    index = std::move(rebuilt).value();
+  }
+
+  DynamicGraphOptions dyn;
+  dyn.window = PlanWindow(plan);
+  return std::unique_ptr<MotifEngine>(
+      new MotifEngine(std::move(plan), std::move(index), dyn));
+}
+
+Status MotifEngine::OnEdge(VertexId src, VertexId dst, Timestamp t,
+                           std::vector<Recommendation>* out,
+                           MotifAction action) {
+  const Stopwatch timer;
+
+  // The interpreter walks the compiled ops in order; every op manipulates
+  // the shared per-event context (actors_ / lists_ / matches_).
+  for (const PlanOp& op : plan_.ops) {
+    switch (op.kind) {
+      case PlanOpKind::kInsertDynamic: {
+        if (op.action != MotifAction::kAny && action != op.action) {
+          ++stats_.filtered_by_action;
+          return Status::OK();  // event is not of the motif's action type
+        }
+        MAGICRECS_RETURN_IF_ERROR(dynamic_index_.Insert(src, dst, t));
+        ++stats_.events;
+        break;
+      }
+      case PlanOpKind::kCollectActors: {
+        dynamic_index_.GetRecentInEdges(dst, t, &actors_);
+        break;
+      }
+      case PlanOpKind::kCheckThreshold: {
+        if (actors_.size() < op.k) {
+          stats_.query_micros.Record(timer.ElapsedMicros());
+          return Status::OK();
+        }
+        ++stats_.threshold_queries;
+        break;
+      }
+      case PlanOpKind::kCapWitnesses: {
+        if (op.cap > 0 && actors_.size() > op.cap) {
+          std::nth_element(
+              actors_.begin(),
+              actors_.begin() + static_cast<std::ptrdiff_t>(op.cap),
+              actors_.end(),
+              [](const TimestampedInEdge& a, const TimestampedInEdge& b) {
+                return a.created_at > b.created_at;
+              });
+          actors_.resize(op.cap);
+        }
+        break;
+      }
+      case PlanOpKind::kGatherStaticLists: {
+        lists_.clear();
+        list_sources_.clear();
+        for (const TimestampedInEdge& actor : actors_) {
+          const auto list = static_index_.Neighbors(actor.src);
+          if (list.empty()) continue;
+          lists_.push_back(list);
+          list_sources_.push_back(actor.src);
+        }
+        break;
+      }
+      case PlanOpKind::kThresholdIntersect: {
+        if (lists_.size() < op.k) {
+          stats_.query_micros.Record(timer.ElapsedMicros());
+          return Status::OK();
+        }
+        ThresholdIntersect(lists_, op.k, &matches_, op.algorithm);
+        stats_.raw_candidates += matches_.size();
+        break;
+      }
+      case PlanOpKind::kFilterCandidates: {
+        auto keep = matches_.begin();
+        for (auto it = matches_.begin(); it != matches_.end(); ++it) {
+          const VertexId user = it->id;
+          if (user == dst) continue;
+          if (op.exclude_existing) {
+            // "Already follows the item": a static in-edge of the item from
+            // the user (only checkable in follower orientation) or an
+            // in-window dynamic action by the user.
+            const bool static_follow =
+                PlanLookup(plan_) == StaticLookup::kFollowersOfActor &&
+                static_index_.HasEdge(dst, user);
+            const bool dynamic_follow = std::any_of(
+                actors_.begin(), actors_.end(),
+                [user](const TimestampedInEdge& e) { return e.src == user; });
+            if (static_follow || dynamic_follow) continue;
+          }
+          *keep++ = *it;
+        }
+        matches_.erase(keep, matches_.end());
+        break;
+      }
+      case PlanOpKind::kEmit: {
+        for (const ThresholdMatch& match : matches_) {
+          Recommendation rec;
+          rec.user = match.id;
+          rec.item = dst;
+          rec.witness_count = match.count;
+          rec.event_time = t;
+          rec.trigger = src;
+          if (op.cap > 0) {
+            for (size_t i = 0;
+                 i < list_sources_.size() && rec.witnesses.size() < op.cap;
+                 ++i) {
+              if (std::binary_search(lists_[i].begin(), lists_[i].end(),
+                                     match.id)) {
+                rec.witnesses.push_back(list_sources_[i]);
+              }
+            }
+            std::sort(rec.witnesses.begin(), rec.witnesses.end());
+          }
+          out->push_back(std::move(rec));
+          ++stats_.recommendations;
+        }
+        break;
+      }
+    }
+  }
+
+  stats_.query_micros.Record(timer.ElapsedMicros());
+  return Status::OK();
+}
+
+}  // namespace magicrecs

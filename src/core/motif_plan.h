@@ -1,0 +1,88 @@
+// Compilation of a declarative MotifSpec into a physical execution plan —
+// the "optimized query plan against an online graph database" of §3.
+//
+// The v1 planner supports the trigger-fan-in family of motifs, which covers
+// everything the paper discusses (diamond, triangle-closure, content
+// co-action):
+//   * exactly one dynamic edge, which is the trigger (W -> I);
+//   * the counted variable is the trigger source W, the emitted item is I;
+//   * the emitted user U is connected to W by one static edge, in either
+//     orientation (U -> W: recommend to W's followers; W -> U: recommend to
+//     W's followees).
+// Unsupported shapes return Unimplemented with an explanation, never a wrong
+// plan.
+
+#ifndef MAGICRECS_CORE_MOTIF_PLAN_H_
+#define MAGICRECS_CORE_MOTIF_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/motif_spec.h"
+#include "intersect/threshold.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace magicrecs {
+
+/// Physical operators of the streaming motif plan.
+enum class PlanOpKind {
+  kInsertDynamic,       ///< append trigger edge to D, prune window
+  kCollectActors,       ///< actors = distinct in-window sources on item
+  kCheckThreshold,      ///< stop unless |actors| >= k
+  kCapWitnesses,        ///< keep most recent N actors
+  kGatherStaticLists,   ///< per-actor sorted static adjacency from S
+  kThresholdIntersect,  ///< users present in >= k lists
+  kFilterCandidates,    ///< drop self / already-following users
+  kEmit,                ///< materialize Recommendations
+};
+
+std::string_view PlanOpKindName(PlanOpKind kind);
+
+/// Which orientation of the static graph kGatherStaticLists reads.
+enum class StaticLookup {
+  kFollowersOfActor,  ///< reverse index: who follows the actor (diamond)
+  kFolloweesOfActor,  ///< forward index: whom the actor follows
+};
+
+/// One plan step with its parameters (unused fields zero).
+struct PlanOp {
+  PlanOpKind kind = PlanOpKind::kInsertDynamic;
+  Duration window = 0;                    // kInsertDynamic/kCollectActors
+  uint32_t k = 0;                         // kCheckThreshold/kThresholdIntersect
+  size_t cap = 0;                         // kCapWitnesses/kEmit
+  StaticLookup lookup = StaticLookup::kFollowersOfActor;  // kGatherStaticLists
+  ThresholdAlgorithm algorithm = ThresholdAlgorithm::kAuto;  // intersect
+  bool exclude_existing = false;          // kFilterCandidates
+  MotifAction action = MotifAction::kAny;  // kInsertDynamic (stream filter)
+
+  /// Human-readable parameter summary for Explain().
+  std::string Describe() const;
+};
+
+/// Execution knobs the planner bakes into the plan (the same knobs
+/// DiamondOptions exposes, so generic and hand-coded paths are comparable).
+struct PlannerOptions {
+  size_t max_witnesses_per_query = 64;
+  size_t max_reported_witnesses = 8;
+  bool exclude_existing_followers = true;
+  ThresholdAlgorithm algorithm = ThresholdAlgorithm::kAuto;
+};
+
+/// A compiled, immutable plan.
+struct MotifPlan {
+  MotifSpec spec;
+  std::vector<PlanOp> ops;
+
+  /// EXPLAIN-style rendering of the plan.
+  std::string Explain() const;
+};
+
+/// Validates the spec's shape and emits the physical plan.
+Result<MotifPlan> CompileMotif(const MotifSpec& spec,
+                               const PlannerOptions& options = {});
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_CORE_MOTIF_PLAN_H_

@@ -1,0 +1,464 @@
+#include "core/motif_spec.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/str_format.h"
+
+namespace magicrecs {
+
+std::string_view MotifActionName(MotifAction action) {
+  switch (action) {
+    case MotifAction::kAny:
+      return "any";
+    case MotifAction::kFollow:
+      return "follow";
+    case MotifAction::kRetweet:
+      return "retweet";
+    case MotifAction::kFavorite:
+      return "favorite";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string FormatDuration(Duration d) {
+  if (d % kMicrosPerHour == 0) {
+    return StrFormat("%lldh", static_cast<long long>(d / kMicrosPerHour));
+  }
+  if (d % kMicrosPerMinute == 0) {
+    return StrFormat("%lldm", static_cast<long long>(d / kMicrosPerMinute));
+  }
+  if (d % kMicrosPerSecond == 0) {
+    return StrFormat("%llds", static_cast<long long>(d / kMicrosPerSecond));
+  }
+  return StrFormat("%lldms", static_cast<long long>(d / kMicrosPerMilli));
+}
+
+// --- Tokenizer ---------------------------------------------------------------
+
+enum class TokenKind {
+  kIdentifier,  // also keywords; classified by text
+  kNumber,      // digits, possibly with a duration suffix captured separately
+  kArrow,       // ->
+  kGe,          // >=
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= input_.size()) break;
+      const char c = input_[pos_];
+      Token token;
+      token.line = line_;
+      token.column = column_;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        token.kind = TokenKind::kIdentifier;
+        token.text = ConsumeWhile([](char ch) {
+          return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_';
+        });
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        token.kind = TokenKind::kNumber;
+        token.text = ConsumeWhile([](char ch) {
+          return std::isalnum(static_cast<unsigned char>(ch));
+        });
+      } else if (c == '-' && Peek(1) == '>') {
+        token.kind = TokenKind::kArrow;
+        token.text = "->";
+        Advance(2);
+      } else if (c == '>' && Peek(1) == '=') {
+        token.kind = TokenKind::kGe;
+        token.text = ">=";
+        Advance(2);
+      } else if (c == '{') {
+        token.kind = TokenKind::kLBrace;
+        token.text = "{";
+        Advance(1);
+      } else if (c == '}') {
+        token.kind = TokenKind::kRBrace;
+        token.text = "}";
+        Advance(1);
+      } else if (c == '(') {
+        token.kind = TokenKind::kLParen;
+        token.text = "(";
+        Advance(1);
+      } else if (c == ')') {
+        token.kind = TokenKind::kRParen;
+        token.text = ")";
+        Advance(1);
+      } else if (c == ';') {
+        token.kind = TokenKind::kSemicolon;
+        token.text = ";";
+        Advance(1);
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("motif DSL: unexpected character '%c' at %d:%d", c,
+                      line_, column_));
+      }
+      tokens.push_back(std::move(token));
+    }
+    Token end;
+    end.kind = TokenKind::kEnd;
+    end.line = line_;
+    end.column = column_;
+    tokens.push_back(end);
+    return tokens;
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+
+  void Advance(size_t n) {
+    for (size_t i = 0; i < n && pos_ < input_.size(); ++i, ++pos_) {
+      if (input_[pos_] == '\n') {
+        ++line_;
+        column_ = 1;
+      } else {
+        ++column_;
+      }
+    }
+  }
+
+  template <typename Pred>
+  std::string ConsumeWhile(Pred pred) {
+    const size_t start = pos_;
+    while (pos_ < input_.size() && pred(input_[pos_])) Advance(1);
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance(1);
+      } else if (c == '#') {
+        while (pos_ < input_.size() && input_[pos_] != '\n') Advance(1);
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+// --- Parser ------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<MotifSpec> Parse() {
+    MotifSpec spec;
+    MAGICRECS_RETURN_IF_ERROR(ExpectKeyword("motif"));
+    MAGICRECS_ASSIGN_OR_RETURN(spec.name, ExpectIdentifier("motif name"));
+    MAGICRECS_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'"));
+    bool saw_emit = false;
+    while (!AtKind(TokenKind::kRBrace)) {
+      const Token& tok = Current();
+      if (tok.kind != TokenKind::kIdentifier) {
+        return Error("statement keyword");
+      }
+      if (tok.text == "static" || tok.text == "dynamic") {
+        MAGICRECS_RETURN_IF_ERROR(ParseEdge(&spec));
+      } else if (tok.text == "trigger") {
+        MAGICRECS_RETURN_IF_ERROR(ParseTrigger(&spec));
+      } else if (tok.text == "emit") {
+        MAGICRECS_RETURN_IF_ERROR(ParseEmit(&spec));
+        saw_emit = true;
+      } else {
+        return Error("'static', 'dynamic', 'trigger', or 'emit'");
+      }
+    }
+    MAGICRECS_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "'}'"));
+    if (!saw_emit) {
+      return Status::InvalidArgument("motif DSL: missing 'emit' statement");
+    }
+    MAGICRECS_RETURN_IF_ERROR(spec.Validate());
+    return spec;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  bool AtKind(TokenKind kind) const { return Current().kind == kind; }
+
+  Status Error(const std::string& expected) const {
+    const Token& tok = Current();
+    return Status::InvalidArgument(
+        StrFormat("motif DSL: expected %s at %d:%d, found '%s'",
+                  expected.c_str(), tok.line, tok.column,
+                  tok.kind == TokenKind::kEnd ? "<end>" : tok.text.c_str()));
+  }
+
+  Status Expect(TokenKind kind, const std::string& what) {
+    if (!AtKind(kind)) return Error(what);
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!AtKind(TokenKind::kIdentifier) || Current().text != keyword) {
+      return Error(StrFormat("'%s'", keyword.c_str()));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    if (!AtKind(TokenKind::kIdentifier)) return Error(what);
+    return tokens_[pos_++].text;
+  }
+
+  Result<uint64_t> ExpectInteger(const std::string& what) {
+    if (!AtKind(TokenKind::kNumber)) return Error(what);
+    const std::string& text = tokens_[pos_].text;
+    uint64_t value = 0;
+    for (const char c : text) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return Error(StrFormat("%s (pure integer)", what.c_str()));
+      }
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+    }
+    ++pos_;
+    return value;
+  }
+
+  Result<Duration> ExpectDuration() {
+    if (!AtKind(TokenKind::kNumber)) return Error("duration (e.g. 10m, 30s)");
+    const std::string& text = tokens_[pos_].text;
+    size_t i = 0;
+    uint64_t value = 0;
+    while (i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i]))) {
+      value = value * 10 + static_cast<uint64_t>(text[i] - '0');
+      ++i;
+    }
+    const std::string suffix = text.substr(i);
+    Duration unit = 0;
+    if (suffix == "ms") {
+      unit = kMicrosPerMilli;
+    } else if (suffix == "s") {
+      unit = kMicrosPerSecond;
+    } else if (suffix == "m") {
+      unit = kMicrosPerMinute;
+    } else if (suffix == "h") {
+      unit = kMicrosPerHour;
+    } else {
+      return Error("duration suffix ms/s/m/h");
+    }
+    ++pos_;
+    return static_cast<Duration>(value) * unit;
+  }
+
+  Status ParseEdge(MotifSpec* spec) {
+    MotifEdgeSpec edge;
+    edge.kind = Current().text == "static" ? MotifEdgeKind::kStatic
+                                           : MotifEdgeKind::kDynamic;
+    ++pos_;
+    MAGICRECS_ASSIGN_OR_RETURN(edge.src, ExpectIdentifier("edge source"));
+    MAGICRECS_RETURN_IF_ERROR(Expect(TokenKind::kArrow, "'->'"));
+    MAGICRECS_ASSIGN_OR_RETURN(edge.dst, ExpectIdentifier("edge target"));
+    while (AtKind(TokenKind::kIdentifier)) {
+      if (Current().text == "window") {
+        if (edge.kind != MotifEdgeKind::kDynamic) {
+          return Status::InvalidArgument(
+              "motif DSL: 'window' applies to dynamic edges only");
+        }
+        ++pos_;
+        MAGICRECS_ASSIGN_OR_RETURN(edge.window, ExpectDuration());
+      } else if (Current().text == "action") {
+        if (edge.kind != MotifEdgeKind::kDynamic) {
+          return Status::InvalidArgument(
+              "motif DSL: 'action' applies to dynamic edges only");
+        }
+        ++pos_;
+        MAGICRECS_ASSIGN_OR_RETURN(const std::string action_name,
+                                   ExpectIdentifier("action name"));
+        if (action_name == "follow") {
+          edge.action = MotifAction::kFollow;
+        } else if (action_name == "retweet") {
+          edge.action = MotifAction::kRetweet;
+        } else if (action_name == "favorite") {
+          edge.action = MotifAction::kFavorite;
+        } else if (action_name == "any") {
+          edge.action = MotifAction::kAny;
+        } else {
+          return Status::InvalidArgument(StrFormat(
+              "motif DSL: unknown action '%s'", action_name.c_str()));
+        }
+      } else {
+        return Error("'window', 'action', or ';'");
+      }
+    }
+    MAGICRECS_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+    spec->edges.push_back(std::move(edge));
+    return Status::OK();
+  }
+
+  Status ParseTrigger(MotifSpec* spec) {
+    ++pos_;  // 'trigger'
+    MAGICRECS_ASSIGN_OR_RETURN(spec->trigger_src,
+                               ExpectIdentifier("trigger source"));
+    MAGICRECS_RETURN_IF_ERROR(Expect(TokenKind::kArrow, "'->'"));
+    MAGICRECS_ASSIGN_OR_RETURN(spec->trigger_dst,
+                               ExpectIdentifier("trigger target"));
+    return Expect(TokenKind::kSemicolon, "';'");
+  }
+
+  Status ParseEmit(MotifSpec* spec) {
+    ++pos_;  // 'emit'
+    MAGICRECS_ASSIGN_OR_RETURN(spec->emit_user,
+                               ExpectIdentifier("emit user variable"));
+    MAGICRECS_RETURN_IF_ERROR(ExpectKeyword("recommends"));
+    MAGICRECS_ASSIGN_OR_RETURN(spec->emit_item,
+                               ExpectIdentifier("emit item variable"));
+    MAGICRECS_RETURN_IF_ERROR(ExpectKeyword("when"));
+    MAGICRECS_RETURN_IF_ERROR(ExpectKeyword("count"));
+    MAGICRECS_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    MAGICRECS_ASSIGN_OR_RETURN(spec->counted,
+                               ExpectIdentifier("counted variable"));
+    MAGICRECS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    MAGICRECS_RETURN_IF_ERROR(Expect(TokenKind::kGe, "'>='"));
+    MAGICRECS_ASSIGN_OR_RETURN(const uint64_t threshold,
+                               ExpectInteger("threshold"));
+    if (threshold == 0 || threshold > 1'000'000) {
+      return Status::InvalidArgument("motif DSL: threshold must be in [1, 1e6]");
+    }
+    spec->threshold = static_cast<uint32_t>(threshold);
+    return Expect(TokenKind::kSemicolon, "';'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status MotifSpec::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("motif name is empty");
+  if (edges.empty()) return Status::InvalidArgument("motif has no edges");
+  if (threshold == 0) return Status::InvalidArgument("threshold must be >= 1");
+  bool trigger_found = false;
+  for (const MotifEdgeSpec& edge : edges) {
+    if (edge.src.empty() || edge.dst.empty()) {
+      return Status::InvalidArgument("edge variable name is empty");
+    }
+    if (edge.src == edge.dst) {
+      return Status::InvalidArgument(
+          StrFormat("self-loop pattern edge on '%s'", edge.src.c_str()));
+    }
+    if (edge.kind == MotifEdgeKind::kDynamic && edge.window <= 0) {
+      return Status::InvalidArgument(StrFormat(
+          "dynamic edge %s -> %s needs a positive window", edge.src.c_str(),
+          edge.dst.c_str()));
+    }
+    if (edge.kind == MotifEdgeKind::kStatic && edge.window != 0) {
+      return Status::InvalidArgument("static edges cannot carry a window");
+    }
+    if (edge.src == trigger_src && edge.dst == trigger_dst) {
+      if (edge.kind != MotifEdgeKind::kDynamic) {
+        return Status::InvalidArgument("trigger edge must be dynamic");
+      }
+      trigger_found = true;
+    }
+  }
+  if (trigger_src.empty() || trigger_dst.empty()) {
+    return Status::InvalidArgument("missing 'trigger' statement");
+  }
+  if (!trigger_found) {
+    return Status::InvalidArgument(
+        StrFormat("trigger %s -> %s does not match any dynamic edge",
+                  trigger_src.c_str(), trigger_dst.c_str()));
+  }
+  if (emit_user.empty() || emit_item.empty() || counted.empty()) {
+    return Status::InvalidArgument("incomplete 'emit' statement");
+  }
+  return Status::OK();
+}
+
+std::string MotifSpec::ToDsl() const {
+  std::string out = StrFormat("motif %s {\n", name.c_str());
+  for (const MotifEdgeSpec& edge : edges) {
+    if (edge.kind == MotifEdgeKind::kStatic) {
+      out += StrFormat("  static %s -> %s;\n", edge.src.c_str(),
+                       edge.dst.c_str());
+    } else {
+      out += StrFormat("  dynamic %s -> %s window %s", edge.src.c_str(),
+                       edge.dst.c_str(), FormatDuration(edge.window).c_str());
+      if (edge.action != MotifAction::kAny) {
+        out += StrFormat(" action %s",
+                         std::string(MotifActionName(edge.action)).c_str());
+      }
+      out += ";\n";
+    }
+  }
+  out += StrFormat("  trigger %s -> %s;\n", trigger_src.c_str(),
+                   trigger_dst.c_str());
+  out += StrFormat("  emit %s recommends %s when count(%s) >= %u;\n",
+                   emit_user.c_str(), emit_item.c_str(), counted.c_str(),
+                   threshold);
+  out += "}\n";
+  return out;
+}
+
+Result<MotifSpec> ParseMotif(std::string_view dsl) {
+  Lexer lexer(dsl);
+  MAGICRECS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+MotifSpec MakeDiamondSpec(uint32_t k, Duration window) {
+  MotifSpec spec;
+  spec.name = "diamond";
+  spec.edges.push_back(MotifEdgeSpec{"A", "B", MotifEdgeKind::kStatic, 0,
+                                     MotifAction::kAny});
+  spec.edges.push_back(MotifEdgeSpec{"B", "C", MotifEdgeKind::kDynamic, window,
+                                     MotifAction::kAny});
+  spec.trigger_src = "B";
+  spec.trigger_dst = "C";
+  spec.emit_user = "A";
+  spec.emit_item = "C";
+  spec.counted = "B";
+  spec.threshold = k;
+  return spec;
+}
+
+MotifSpec MakeTriangleClosureSpec(Duration window) {
+  MotifSpec spec = MakeDiamondSpec(1, window);
+  spec.name = "triangle_closure";
+  return spec;
+}
+
+MotifSpec MakeCoActionSpec(uint32_t k, Duration window, MotifAction action) {
+  MotifSpec spec = MakeDiamondSpec(k, window);
+  spec.name = "co_action";
+  spec.edges[1].action = action;
+  return spec;
+}
+
+}  // namespace magicrecs

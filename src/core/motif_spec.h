@@ -1,0 +1,113 @@
+// Declarative motif specifications — the paper's concluding vision: "the
+// development of a generalized framework where one can declaratively specify
+// a motif, which would yield an optimized query plan against an online graph
+// database" (§3).
+//
+// A motif is described in a small DSL:
+//
+//   motif diamond {
+//     static A -> B;
+//     dynamic B -> C window 10m;
+//     trigger B -> C;
+//     emit A recommends C when count(B) >= 3;
+//   }
+//
+// Statements:
+//   static X -> Y;                    X follows Y in the offline-loaded graph
+//   dynamic X -> Y window <dur> [action <follow|retweet|favorite>];
+//                                     X acts on Y on the real-time stream
+//   trigger X -> Y;                   the dynamic edge whose arrival fires
+//                                     the detection
+//   emit U recommends I when count(W) >= <k>;
+// Durations: 250ms, 30s, 10m, 2h.
+
+#ifndef MAGICRECS_CORE_MOTIF_SPEC_H_
+#define MAGICRECS_CORE_MOTIF_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace magicrecs {
+
+/// Whether a pattern edge lives in the offline graph (S) or on the
+/// real-time stream (D).
+enum class MotifEdgeKind { kStatic, kDynamic };
+
+/// User-action filter values for dynamic pattern edges; mirrors
+/// stream ActionType but kept independent so core does not depend on the
+/// stream module.
+enum class MotifAction : uint8_t {
+  kAny = 0,
+  kFollow,
+  kRetweet,
+  kFavorite,
+};
+
+std::string_view MotifActionName(MotifAction action);
+
+/// One pattern edge between two named vertex variables.
+struct MotifEdgeSpec {
+  std::string src;
+  std::string dst;
+  MotifEdgeKind kind = MotifEdgeKind::kStatic;
+  /// Freshness window; dynamic edges only (must be > 0 there).
+  Duration window = 0;
+  /// Which stream action qualifies; dynamic edges only.
+  MotifAction action = MotifAction::kAny;
+
+  friend bool operator==(const MotifEdgeSpec&,
+                         const MotifEdgeSpec&) = default;
+};
+
+/// A parsed motif specification.
+struct MotifSpec {
+  std::string name;
+  std::vector<MotifEdgeSpec> edges;
+
+  /// The dynamic edge whose creation triggers detection (by variable names).
+  std::string trigger_src;
+  std::string trigger_dst;
+
+  /// emit <user> recommends <item> when count(<counted>) >= threshold.
+  std::string emit_user;
+  std::string emit_item;
+  std::string counted;
+  uint32_t threshold = 1;
+
+  /// Structural sanity checks (names non-empty, trigger refers to a dynamic
+  /// edge, threshold >= 1, windows positive). The planner performs the
+  /// deeper shape checks.
+  Status Validate() const;
+
+  /// Canonical DSL text (Parse(ToDsl()) round-trips).
+  std::string ToDsl() const;
+
+  friend bool operator==(const MotifSpec&, const MotifSpec&) = default;
+};
+
+/// Parses the DSL. Returns InvalidArgument with line/column context on
+/// syntax errors.
+Result<MotifSpec> ParseMotif(std::string_view dsl);
+
+/// The paper's diamond motif: recommend C to A when >= k of A's followings
+/// follow C within `window`.
+MotifSpec MakeDiamondSpec(uint32_t k, Duration window);
+
+/// Single-witness closure: recommend C to A as soon as any one account A
+/// follows follows C (k = 1 diamond).
+MotifSpec MakeTriangleClosureSpec(Duration window);
+
+/// Content co-action: recommend item I to A when >= k of A's followings
+/// retweet I within `window` ("the idea applies to recommending content as
+/// well", §1).
+MotifSpec MakeCoActionSpec(uint32_t k, Duration window, MotifAction action);
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_CORE_MOTIF_SPEC_H_

@@ -1,0 +1,55 @@
+#include "delivery/dedup_cache.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace magicrecs {
+
+DedupCache::DedupCache() : DedupCache(Options()) {}
+
+DedupCache::DedupCache(const Options& options) : options_(options) {}
+
+bool DedupCache::IsDuplicate(VertexId user, VertexId item,
+                             Timestamp now) const {
+  const auto it = entries_.find(Key(user, item));
+  if (it == entries_.end()) return false;
+  if (now - it->second >= options_.ttl) return false;  // expired
+  ++duplicates_;
+  return true;
+}
+
+void DedupCache::Record(VertexId user, VertexId item, Timestamp now) {
+  entries_[Key(user, item)] = now;
+  if (options_.max_entries > 0 && entries_.size() > options_.max_entries) {
+    Cleanup(now);
+  }
+}
+
+void DedupCache::Cleanup(Timestamp now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second >= options_.ttl) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (options_.max_entries == 0 || entries_.size() <= options_.max_entries) {
+    return;
+  }
+  // Still over budget: evict the oldest entries. Rare (requires a TTL's
+  // worth of deliveries to exceed capacity), so the O(n log n) pass is fine.
+  std::vector<std::pair<Timestamp, uint64_t>> by_age;
+  by_age.reserve(entries_.size());
+  for (const auto& [key, t] : entries_) by_age.emplace_back(t, key);
+  std::sort(by_age.begin(), by_age.end());
+  const size_t to_evict = entries_.size() - options_.max_entries;
+  for (size_t i = 0; i < to_evict; ++i) entries_.erase(by_age[i].second);
+}
+
+size_t DedupCache::MemoryUsage() const {
+  constexpr size_t kPerNodeOverhead = 48;
+  return entries_.bucket_count() * sizeof(void*) +
+         entries_.size() * kPerNodeOverhead;
+}
+
+}  // namespace magicrecs

@@ -1,0 +1,58 @@
+// Duplicate suppression for delivered recommendations ("after eliminating
+// duplicates", §2). A (user, item) pair that was delivered within the TTL is
+// a duplicate. Also the safety net that absorbs double-emissions during
+// replica failover (see cluster/Cluster).
+
+#ifndef MAGICRECS_DELIVERY_DEDUP_CACHE_H_
+#define MAGICRECS_DELIVERY_DEDUP_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/types.h"
+
+namespace magicrecs {
+
+/// TTL + capacity bounded map of recently delivered (user, item) pairs.
+/// Thread-compatible.
+class DedupCache {
+ public:
+  struct Options {
+    /// How long a delivered pair stays suppressed.
+    Duration ttl = Hours(24);
+
+    /// Hard entry cap; when exceeded after expiry cleanup, the oldest
+    /// entries are evicted. 0 = unbounded.
+    size_t max_entries = 1 << 20;
+  };
+
+  DedupCache();
+  explicit DedupCache(const Options& options);
+
+  /// True iff (user, item) was recorded within the TTL.
+  bool IsDuplicate(VertexId user, VertexId item, Timestamp now) const;
+
+  /// Records a delivery at `now`, refreshing any existing entry.
+  void Record(VertexId user, VertexId item, Timestamp now);
+
+  /// Drops expired entries; enforces the capacity bound.
+  void Cleanup(Timestamp now);
+
+  size_t size() const { return entries_.size(); }
+  uint64_t duplicates_detected() const { return duplicates_; }
+  size_t MemoryUsage() const;
+
+ private:
+  static uint64_t Key(VertexId user, VertexId item) {
+    return (static_cast<uint64_t>(user) << 32) | item;
+  }
+
+  Options options_;
+  std::unordered_map<uint64_t, Timestamp> entries_;
+  mutable uint64_t duplicates_ = 0;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_DELIVERY_DEDUP_CACHE_H_

@@ -1,0 +1,72 @@
+#include "delivery/fatigue.h"
+
+#include <algorithm>
+
+namespace magicrecs {
+
+FatigueController::FatigueController() : FatigueController(Options()) {}
+
+FatigueController::FatigueController(const Options& options)
+    : options_(options) {}
+
+bool FatigueController::Allow(VertexId user, Timestamp now) {
+  UserState& state = users_.try_emplace(user).first->second;
+  if (!state.initialized) {
+    // Fresh user starts with a full bucket.
+    state.initialized = true;
+    state.tokens = options_.burst;
+    state.last_refill = now;
+    state.day = now / kMicrosPerDay;
+  }
+
+  // Refill.
+  const double hours_elapsed =
+      static_cast<double>(now - state.last_refill) /
+      static_cast<double>(kMicrosPerHour);
+  if (hours_elapsed > 0) {
+    state.tokens = std::min(
+        options_.burst,
+        state.tokens + hours_elapsed * options_.notifications_per_hour);
+    state.last_refill = now;
+  }
+
+  // Daily rollover.
+  const int64_t day = now / kMicrosPerDay;
+  if (day != state.day) {
+    state.day = day;
+    state.delivered_today = 0;
+  }
+
+  if (options_.max_per_day > 0 &&
+      state.delivered_today >= options_.max_per_day) {
+    ++suppressed_;
+    return false;
+  }
+  if (state.tokens < 1.0) {
+    ++suppressed_;
+    return false;
+  }
+  state.tokens -= 1.0;
+  ++state.delivered_today;
+  ++allowed_;
+  return true;
+}
+
+void FatigueController::Cleanup(Timestamp now) {
+  const int64_t day = now / kMicrosPerDay;
+  for (auto it = users_.begin(); it != users_.end();) {
+    const UserState& s = it->second;
+    const double hours_elapsed = static_cast<double>(now - s.last_refill) /
+                                 static_cast<double>(kMicrosPerHour);
+    const bool bucket_full =
+        s.tokens + hours_elapsed * options_.notifications_per_hour >=
+        options_.burst;
+    if (bucket_full && s.day != day) {
+      it = users_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace magicrecs

@@ -1,0 +1,62 @@
+// Notification fatigue control ("controlling for fatigue", §2): a per-user
+// token bucket plus a hard daily cap, so even highly-connected users receive
+// a bounded number of pushes.
+
+#ifndef MAGICRECS_DELIVERY_FATIGUE_H_
+#define MAGICRECS_DELIVERY_FATIGUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/types.h"
+
+namespace magicrecs {
+
+/// Per-user delivery rate limiting. Thread-compatible.
+class FatigueController {
+ public:
+  struct Options {
+    /// Sustained allowance (token refill rate).
+    double notifications_per_hour = 1.0;
+
+    /// Burst allowance (bucket size).
+    double burst = 2.0;
+
+    /// Hard ceiling per UTC day. 0 = no daily cap.
+    uint32_t max_per_day = 8;
+  };
+
+  FatigueController();
+  explicit FatigueController(const Options& options);
+
+  /// True iff a notification to `user` at `now` is within budget; consumes
+  /// budget when allowed.
+  bool Allow(VertexId user, Timestamp now);
+
+  uint64_t allowed() const { return allowed_; }
+  uint64_t suppressed() const { return suppressed_; }
+  size_t tracked_users() const { return users_.size(); }
+
+  /// Forgets users whose bucket has fully refilled and whose day rolled
+  /// over (their state is indistinguishable from a fresh one).
+  void Cleanup(Timestamp now);
+
+ private:
+  struct UserState {
+    bool initialized = false;
+    double tokens = 0;
+    Timestamp last_refill = 0;
+    uint32_t delivered_today = 0;
+    int64_t day = 0;
+  };
+
+  Options options_;
+  std::unordered_map<VertexId, UserState> users_;
+  uint64_t allowed_ = 0;
+  uint64_t suppressed_ = 0;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_DELIVERY_FATIGUE_H_

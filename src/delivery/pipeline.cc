@@ -1,0 +1,67 @@
+#include "delivery/pipeline.h"
+
+#include "util/str_format.h"
+
+namespace magicrecs {
+
+std::string_view DeliveryOutcomeName(DeliveryOutcome outcome) {
+  switch (outcome) {
+    case DeliveryOutcome::kDelivered:
+      return "delivered";
+    case DeliveryOutcome::kDuplicate:
+      return "duplicate";
+    case DeliveryOutcome::kQuietHours:
+      return "quiet-hours";
+    case DeliveryOutcome::kFatigued:
+      return "fatigued";
+  }
+  return "unknown";
+}
+
+std::string FunnelStats::ToString() const {
+  return StrFormat(
+      "raw=%llu -> after-dedup=%llu -> after-quiet-hours=%llu -> "
+      "delivered=%llu (reduction %.1fx)",
+      static_cast<unsigned long long>(raw_candidates),
+      static_cast<unsigned long long>(after_dedup),
+      static_cast<unsigned long long>(after_quiet_hours),
+      static_cast<unsigned long long>(delivered), ReductionFactor());
+}
+
+DeliveryPipeline::DeliveryPipeline() : DeliveryPipeline(Options()) {}
+
+DeliveryPipeline::DeliveryPipeline(const Options& options)
+    : options_(options),
+      dedup_(options.dedup),
+      quiet_hours_(options.quiet_hours),
+      fatigue_(options.fatigue) {}
+
+DeliveryOutcome DeliveryPipeline::Process(const Recommendation& rec,
+                                          Timestamp now,
+                                          std::vector<Notification>* out) {
+  ++funnel_.raw_candidates;
+
+  if (options_.enable_dedup && dedup_.IsDuplicate(rec.user, rec.item, now)) {
+    return DeliveryOutcome::kDuplicate;
+  }
+  ++funnel_.after_dedup;
+
+  if (options_.enable_quiet_hours && !quiet_hours_.IsAwake(rec.user, now)) {
+    return DeliveryOutcome::kQuietHours;
+  }
+  ++funnel_.after_quiet_hours;
+
+  if (options_.enable_fatigue && !fatigue_.Allow(rec.user, now)) {
+    return DeliveryOutcome::kFatigued;
+  }
+
+  if (options_.enable_dedup) dedup_.Record(rec.user, rec.item, now);
+  ++funnel_.delivered;
+  if (out != nullptr) {
+    out->push_back(Notification{rec.user, rec.item, rec.witness_count,
+                                rec.event_time, now});
+  }
+  return DeliveryOutcome::kDelivered;
+}
+
+}  // namespace magicrecs

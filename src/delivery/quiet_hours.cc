@@ -1,0 +1,70 @@
+#include "delivery/quiet_hours.h"
+
+#include <cassert>
+
+#include "util/random.h"
+
+namespace magicrecs {
+
+QuietHoursPolicy::QuietHoursPolicy() : QuietHoursPolicy(Options()) {}
+
+QuietHoursPolicy::QuietHoursPolicy(const Options& options)
+    : options_(options) {
+  assert(options_.wake_hour >= 0 && options_.wake_hour < 24);
+  assert(options_.sleep_hour >= 0 && options_.sleep_hour < 24);
+  assert(options_.wake_hour != options_.sleep_hour);
+}
+
+void QuietHoursPolicy::SetTimezone(VertexId user, int offset_hours) {
+  overrides_[user] = offset_hours;
+}
+
+int QuietHoursPolicy::TimezoneOf(VertexId user) const {
+  const auto it = overrides_.find(user);
+  if (it != overrides_.end()) return it->second;
+  if (options_.synthetic_timezone_spread == 0) return 0;
+  const int spread = options_.synthetic_timezone_spread;
+  // Deterministic offset in [-spread, spread).
+  return static_cast<int>(SplitMix64(user) % (2 * spread)) - spread;
+}
+
+namespace {
+
+/// Local hour of day (0-23) for a UTC timestamp and an offset in hours.
+int LocalHour(Timestamp now, int offset_hours) {
+  const Timestamp local = now + static_cast<Timestamp>(offset_hours) *
+                                    kMicrosPerHour;
+  // Flooring for times before the epoch too.
+  Timestamp within_day = local % kMicrosPerDay;
+  if (within_day < 0) within_day += kMicrosPerDay;
+  return static_cast<int>(within_day / kMicrosPerHour);
+}
+
+}  // namespace
+
+bool QuietHoursPolicy::IsAwake(VertexId user, Timestamp now) const {
+  const int hour = LocalHour(now, TimezoneOf(user));
+  if (options_.wake_hour < options_.sleep_hour) {
+    return hour >= options_.wake_hour && hour < options_.sleep_hour;
+  }
+  // Window wraps midnight (e.g. wake 22, sleep 6).
+  return hour >= options_.wake_hour || hour < options_.sleep_hour;
+}
+
+Timestamp QuietHoursPolicy::NextWakeTime(VertexId user, Timestamp now) const {
+  if (IsAwake(user, now)) return now;
+  const int offset = TimezoneOf(user);
+  // Advance to the next local wake_hour boundary. Hour granularity suffices:
+  // step to the next full local hour until awake (at most 24 steps).
+  const Timestamp local = now + static_cast<Timestamp>(offset) * kMicrosPerHour;
+  Timestamp within_hour = local % kMicrosPerHour;
+  if (within_hour < 0) within_hour += kMicrosPerHour;
+  Timestamp t = now + (kMicrosPerHour - within_hour);
+  for (int i = 0; i < 25; ++i) {
+    if (IsAwake(user, t)) return t;
+    t += kMicrosPerHour;
+  }
+  return t;  // unreachable for a valid window
+}
+
+}  // namespace magicrecs

@@ -1,0 +1,56 @@
+// Non-waking-hours suppression ("suppressing messages during non-waking
+// hours", §2). Each user has a timezone offset; pushes are only delivered
+// inside their local waking window. Without explicit assignment, a user's
+// timezone is derived deterministically from their id (a stand-in for the
+// profile data production would consult).
+
+#ifndef MAGICRECS_DELIVERY_QUIET_HOURS_H_
+#define MAGICRECS_DELIVERY_QUIET_HOURS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/types.h"
+
+namespace magicrecs {
+
+/// Waking-hours policy. Thread-compatible.
+class QuietHoursPolicy {
+ public:
+  struct Options {
+    /// Local hour (0-23) when delivery becomes allowed.
+    int wake_hour = 8;
+
+    /// Local hour (0-23) when delivery stops; must differ from wake_hour.
+    int sleep_hour = 23;
+
+    /// Spread synthetic timezones over this many hour offsets (east and
+    /// west of UTC). 0 = everyone is UTC.
+    int synthetic_timezone_spread = 12;
+  };
+
+  QuietHoursPolicy();
+  explicit QuietHoursPolicy(const Options& options);
+
+  /// Overrides the synthetic timezone for a user (offset in hours, may be
+  /// negative).
+  void SetTimezone(VertexId user, int offset_hours);
+
+  /// Timezone offset in effect for `user`.
+  int TimezoneOf(VertexId user) const;
+
+  /// True iff `now` falls in the user's local waking window.
+  bool IsAwake(VertexId user, Timestamp now) const;
+
+  /// Earliest time >= now at which the user is awake (== now if awake).
+  Timestamp NextWakeTime(VertexId user, Timestamp now) const;
+
+ private:
+  Options options_;
+  std::unordered_map<VertexId, int> overrides_;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_DELIVERY_QUIET_HOURS_H_

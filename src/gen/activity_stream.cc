@@ -1,0 +1,98 @@
+#include "gen/activity_stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/random.h"
+
+namespace magicrecs {
+
+ActivityStreamGenerator::ActivityStreamGenerator(
+    const StaticGraph* follow_graph, const ActivityStreamOptions& options)
+    : follow_graph_(follow_graph), options_(options) {}
+
+Result<ActivityStream> ActivityStreamGenerator::Generate() const {
+  const ActivityStreamOptions& opt = options_;
+  if (follow_graph_ == nullptr || follow_graph_->num_vertices() == 0) {
+    return Status::InvalidArgument("follow graph must be non-empty");
+  }
+  if (opt.events_per_second <= 0) {
+    return Status::InvalidArgument("events_per_second must be positive");
+  }
+  if (opt.burst_fraction < 0 || opt.burst_fraction > 1) {
+    return Status::InvalidArgument("burst_fraction must be within [0, 1]");
+  }
+  if (opt.burst_spread <= 0) {
+    return Status::InvalidArgument("burst_spread must be positive");
+  }
+
+  const uint32_t num_users =
+      static_cast<uint32_t>(follow_graph_->num_vertices());
+  Rng rng(opt.seed);
+
+  // Popularity-weighted background target sampling: weight = in-degree + 1.
+  const StaticGraph follower_index = follow_graph_->Transpose();
+  std::vector<double> weights(num_users);
+  for (VertexId v = 0; v < num_users; ++v) {
+    weights[v] = static_cast<double>(follower_index.OutDegree(v)) + 1.0;
+  }
+  AliasSampler target_sampler(weights);
+
+  ActivityStream stream;
+  stream.events.reserve(opt.num_events);
+
+  const double mean_gap_us =
+      static_cast<double>(kMicrosPerSecond) / opt.events_per_second;
+  Timestamp now = opt.start_time;
+
+  std::unordered_set<uint64_t> burst_pairs;  // dedupe (b, c) within a burst
+  while (stream.events.size() < opt.num_events) {
+    now += static_cast<Duration>(rng.Exponential(mean_gap_us)) + 1;
+    if (rng.Bernoulli(opt.burst_fraction)) {
+      // Burst: audience owner a, co-followers from a's followees, common
+      // target c chosen by popularity.
+      const VertexId a = static_cast<VertexId>(rng.UniformInt(num_users));
+      const auto followees = follow_graph_->Neighbors(a);
+      if (followees.size() < 2) continue;  // cannot form a motif from here
+      uint64_t size = std::max<uint64_t>(2, rng.Poisson(opt.mean_burst_size));
+      size = std::min<uint64_t>(size, followees.size());
+      const VertexId c = static_cast<VertexId>(target_sampler.Sample(&rng));
+
+      burst_pairs.clear();
+      uint64_t emitted = 0;
+      uint64_t attempts = 0;
+      while (emitted < size && attempts < size * 8) {
+        ++attempts;
+        const VertexId b = followees[rng.UniformInt(followees.size())];
+        if (b == c) continue;
+        if (!burst_pairs.insert((static_cast<uint64_t>(b) << 32) | c).second) {
+          continue;
+        }
+        const Timestamp t =
+            now + static_cast<Duration>(rng.UniformInt(
+                      static_cast<uint64_t>(opt.burst_spread)));
+        stream.events.push_back(TimestampedEdge{b, c, t});
+        ++emitted;
+        if (stream.events.size() >= opt.num_events) break;
+      }
+      if (emitted > 0) {
+        ++stream.bursts;
+        stream.burst_events += emitted;
+      }
+    } else {
+      const VertexId b = static_cast<VertexId>(rng.UniformInt(num_users));
+      VertexId c = static_cast<VertexId>(target_sampler.Sample(&rng));
+      if (c == b) c = (c + 1) % num_users;
+      stream.events.push_back(TimestampedEdge{b, c, now});
+    }
+  }
+
+  std::stable_sort(stream.events.begin(), stream.events.end(),
+                   [](const TimestampedEdge& x, const TimestampedEdge& y) {
+                     return x.created_at < y.created_at;
+                   });
+  return stream;
+}
+
+}  // namespace magicrecs

@@ -1,0 +1,55 @@
+#include "gen/figure1.h"
+
+#include <cassert>
+
+namespace magicrecs::figure1 {
+
+std::string_view Name(VertexId v) {
+  switch (v) {
+    case kA1:
+      return "A1";
+    case kA2:
+      return "A2";
+    case kA3:
+      return "A3";
+    case kB1:
+      return "B1";
+    case kB2:
+      return "B2";
+    case kC1:
+      return "C1";
+    case kC2:
+      return "C2";
+    case kC3:
+      return "C3";
+    default:
+      return "?";
+  }
+}
+
+StaticGraph FollowGraph() {
+  StaticGraphBuilder builder(kNumVertices);
+  Status s = builder.AddEdge(kA1, kB1);
+  s = s.ok() ? builder.AddEdge(kA2, kB1) : s;
+  s = s.ok() ? builder.AddEdge(kA2, kB2) : s;
+  s = s.ok() ? builder.AddEdge(kA3, kB2) : s;
+  assert(s.ok());
+  auto result = builder.Build();
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+std::vector<TimestampedEdge> DynamicEdges(Timestamp start) {
+  return {
+      TimestampedEdge{kB1, kC1, start + Seconds(1)},
+      TimestampedEdge{kB1, kC2, start + Seconds(2)},
+      TimestampedEdge{kB2, kC3, start + Seconds(3)},
+      TimestampedEdge{kB2, kC2, start + Seconds(4)},  // the trigger
+  };
+}
+
+TimestampedEdge TriggerEdge(Timestamp start) {
+  return DynamicEdges(start).back();
+}
+
+}  // namespace magicrecs::figure1

@@ -1,0 +1,45 @@
+// The paper's Figure 1: the eight-vertex sample fragment used to explain the
+// diamond motif. With k = 2, when edge B2 -> C2 is created the system must
+// recommend C2 to A2 (B1 already points to C2; A2 follows both B1 and B2).
+//
+// Exposed as a reusable fixture: the quickstart example, the unit tests, and
+// bench_fig1_walkthrough all replay exactly this scenario.
+
+#ifndef MAGICRECS_GEN_FIGURE1_H_
+#define MAGICRECS_GEN_FIGURE1_H_
+
+#include <string_view>
+#include <vector>
+
+#include "graph/edge.h"
+#include "graph/static_graph.h"
+#include "util/types.h"
+
+namespace magicrecs::figure1 {
+
+inline constexpr VertexId kA1 = 0;
+inline constexpr VertexId kA2 = 1;
+inline constexpr VertexId kA3 = 2;
+inline constexpr VertexId kB1 = 3;
+inline constexpr VertexId kB2 = 4;
+inline constexpr VertexId kC1 = 5;
+inline constexpr VertexId kC2 = 6;
+inline constexpr VertexId kC3 = 7;
+inline constexpr size_t kNumVertices = 8;
+
+/// "A1", "B2", ... for readable test failures and example output.
+std::string_view Name(VertexId v);
+
+/// The static follow edges (A's to B's): A1->B1, A2->B1, A2->B2, A3->B2.
+StaticGraph FollowGraph();
+
+/// The dynamic edge-creation stream (B's to C's), one second apart starting
+/// at `start`: B1->C1, B1->C2, B2->C3, and finally the trigger B2->C2.
+std::vector<TimestampedEdge> DynamicEdges(Timestamp start);
+
+/// The trigger edge (the last element of DynamicEdges()).
+TimestampedEdge TriggerEdge(Timestamp start);
+
+}  // namespace magicrecs::figure1
+
+#endif  // MAGICRECS_GEN_FIGURE1_H_

@@ -1,0 +1,87 @@
+#include "graph/compressed_graph.h"
+
+#include <cassert>
+
+namespace magicrecs {
+
+void AppendVarint(uint32_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+uint32_t DecodeVarint(const uint8_t* data, size_t* pos) {
+  uint32_t value = 0;
+  int shift = 0;
+  while (true) {
+    const uint8_t byte = data[(*pos)++];
+    value |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+    assert(shift < 35 && "malformed varint");
+  }
+}
+
+CompressedGraph CompressedGraph::FromStaticGraph(const StaticGraph& graph) {
+  CompressedGraph out;
+  const size_t v = graph.num_vertices();
+  out.offsets_.reserve(v + 1);
+  out.degrees_.reserve(v);
+  out.num_edges_ = graph.num_edges();
+  // Sorted lists gap-encode as: first id, then (id[i] - id[i-1]). Gaps are
+  // >= 1 for deduplicated lists, and small wherever ids cluster — varint
+  // then spends 1-2 bytes where CSR spends 4.
+  for (size_t src = 0; src < v; ++src) {
+    out.offsets_.push_back(out.bytes_.size());
+    const auto neighbors = graph.Neighbors(static_cast<VertexId>(src));
+    out.degrees_.push_back(static_cast<uint32_t>(neighbors.size()));
+    VertexId prev = 0;
+    bool first = true;
+    for (const VertexId id : neighbors) {
+      AppendVarint(first ? id : id - prev, &out.bytes_);
+      prev = id;
+      first = false;
+    }
+  }
+  out.offsets_.push_back(out.bytes_.size());
+  out.bytes_.shrink_to_fit();
+  return out;
+}
+
+size_t CompressedGraph::Decode(VertexId src,
+                               std::vector<VertexId>* out) const {
+  out->clear();
+  if (src >= num_vertices()) return 0;
+  const uint32_t degree = degrees_[src];
+  out->reserve(degree);
+  size_t pos = offsets_[src];
+  VertexId current = 0;
+  for (uint32_t i = 0; i < degree; ++i) {
+    const uint32_t delta = DecodeVarint(bytes_.data(), &pos);
+    current = i == 0 ? delta : current + delta;
+    out->push_back(current);
+  }
+  return out->size();
+}
+
+bool CompressedGraph::HasEdge(VertexId src, VertexId dst) const {
+  if (src >= num_vertices()) return false;
+  const uint32_t degree = degrees_[src];
+  size_t pos = offsets_[src];
+  VertexId current = 0;
+  for (uint32_t i = 0; i < degree; ++i) {
+    const uint32_t delta = DecodeVarint(bytes_.data(), &pos);
+    current = i == 0 ? delta : current + delta;
+    if (current == dst) return true;
+    if (current > dst) return false;  // lists are sorted
+  }
+  return false;
+}
+
+size_t CompressedGraph::OutDegree(VertexId src) const {
+  return src >= num_vertices() ? 0 : degrees_[src];
+}
+
+}  // namespace magicrecs

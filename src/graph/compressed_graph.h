@@ -1,0 +1,75 @@
+// Delta-varint compressed adjacency — the memory-pressure lever for the S
+// structure. The paper holds all data structures in main memory and limits
+// influencers partly "to limit the size of the S data structures held in
+// memory" (§2); Twitter's production graph stores compress sorted adjacency
+// exactly this way (gap encoding + variable-length bytes).
+//
+// Lists stay sorted, so they compress as first-value + gaps; queries decode
+// on the fly. The A3 ablation (bench_compression) measures the memory /
+// query-latency trade against the raw CSR StaticGraph.
+
+#ifndef MAGICRECS_GRAPH_COMPRESSED_GRAPH_H_
+#define MAGICRECS_GRAPH_COMPRESSED_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/static_graph.h"
+#include "util/types.h"
+
+namespace magicrecs {
+
+/// Appends `value` to `out` as LEB128 (7 bits per byte, high bit = more).
+void AppendVarint(uint32_t value, std::vector<uint8_t>* out);
+
+/// Decodes one varint at `data + *pos`, advancing *pos. Pre: valid encoding
+/// within bounds (callers iterate over buffers this module produced).
+uint32_t DecodeVarint(const uint8_t* data, size_t* pos);
+
+/// Immutable compressed adjacency built from a StaticGraph. Neighbor lists
+/// are materialized into a caller-provided scratch vector on access.
+class CompressedGraph {
+ public:
+  /// Compresses `graph` (sorted, deduplicated CSR). O(V + E).
+  static CompressedGraph FromStaticGraph(const StaticGraph& graph);
+
+  size_t num_vertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Decodes the sorted neighbor list of `src` into *out (cleared first).
+  /// Returns the degree. Out-of-range sources yield 0.
+  size_t Decode(VertexId src, std::vector<VertexId>* out) const;
+
+  /// O(degree) membership test via streaming decode with early exit (the
+  /// compressed layout trades CSR's O(log d) binary search away).
+  bool HasEdge(VertexId src, VertexId dst) const;
+
+  size_t OutDegree(VertexId src) const;
+
+  /// Bytes held by the compressed arrays.
+  size_t MemoryUsage() const {
+    return bytes_.size() + offsets_.size() * sizeof(uint64_t) +
+           degrees_.size() * sizeof(uint32_t);
+  }
+
+  /// Compression ratio versus the CSR baseline (csr_bytes / bytes).
+  double CompressionRatio(const StaticGraph& original) const {
+    return MemoryUsage() == 0
+               ? 0
+               : static_cast<double>(original.MemoryUsage()) /
+                     static_cast<double>(MemoryUsage());
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;     // concatenated gap-encoded lists
+  std::vector<uint64_t> offsets_;  // byte offset per vertex, size V+1
+  std::vector<uint32_t> degrees_;  // decoded length per vertex
+  size_t num_edges_ = 0;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_GRAPH_COMPRESSED_GRAPH_H_

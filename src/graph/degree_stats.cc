@@ -1,0 +1,50 @@
+#include "graph/degree_stats.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/str_format.h"
+
+namespace magicrecs {
+
+DegreeStats ComputeDegreeStats(const StaticGraph& graph) {
+  DegreeStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.num_edges = graph.num_edges();
+  if (stats.num_vertices == 0) return stats;
+
+  std::vector<uint64_t> degrees(stats.num_vertices);
+  Histogram hist;
+  for (size_t v = 0; v < stats.num_vertices; ++v) {
+    degrees[v] = graph.OutDegree(static_cast<VertexId>(v));
+    hist.Record(static_cast<int64_t>(degrees[v]));
+    stats.max_degree = std::max(stats.max_degree, degrees[v]);
+  }
+  stats.mean_degree =
+      static_cast<double>(stats.num_edges) / static_cast<double>(stats.num_vertices);
+  stats.p50 = hist.Percentile(50);
+  stats.p90 = hist.Percentile(90);
+  stats.p99 = hist.Percentile(99);
+
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  const size_t top = std::max<size_t>(1, stats.num_vertices / 100);
+  uint64_t top_edges = 0;
+  for (size_t i = 0; i < top; ++i) top_edges += degrees[i];
+  stats.top1pct_edge_share =
+      stats.num_edges == 0
+          ? 0
+          : static_cast<double>(top_edges) / static_cast<double>(stats.num_edges);
+  return stats;
+}
+
+std::string DegreeStats::ToString() const {
+  return StrFormat(
+      "V=%llu E=%llu mean=%.2f p50=%.0f p90=%.0f p99=%.0f max=%llu "
+      "top1%%-share=%.2f",
+      static_cast<unsigned long long>(num_vertices),
+      static_cast<unsigned long long>(num_edges), mean_degree, p50, p90, p99,
+      static_cast<unsigned long long>(max_degree), top1pct_edge_share);
+}
+
+}  // namespace magicrecs

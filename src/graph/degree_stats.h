@@ -1,0 +1,37 @@
+// Degree-distribution summaries, used to validate that the synthetic graph
+// generator reproduces the heavy-tailed shape of the Twitter follow graph
+// [Myers et al., WWW'14] and to report workload characteristics in benches.
+
+#ifndef MAGICRECS_GRAPH_DEGREE_STATS_H_
+#define MAGICRECS_GRAPH_DEGREE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/static_graph.h"
+
+namespace magicrecs {
+
+/// Summary of one degree distribution (out-degrees of a StaticGraph).
+struct DegreeStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint64_t max_degree = 0;
+  double mean_degree = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  /// Fraction of all edges incident to the top 1% highest-degree vertices —
+  /// the concentration measure that makes "celebrity" vertices a memory
+  /// hazard for the D structure.
+  double top1pct_edge_share = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes out-degree statistics. For in-degree stats, pass the transpose.
+DegreeStats ComputeDegreeStats(const StaticGraph& graph);
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_GRAPH_DEGREE_STATS_H_

@@ -1,0 +1,140 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/str_format.h"
+
+namespace magicrecs {
+
+DynamicInEdgeIndex::DynamicInEdgeIndex(const DynamicGraphOptions& options)
+    : options_(options) {
+  assert(options_.window > 0);
+}
+
+Status DynamicInEdgeIndex::Insert(VertexId src, VertexId dst, Timestamp t) {
+  if (src == kInvalidVertex || dst == kInvalidVertex) {
+    return Status::InvalidArgument("edge uses the reserved invalid vertex id");
+  }
+  Log& log = logs_[dst];
+  if (log.size() > 0 && t < log.entries.back().created_at) {
+    if (options_.strict_time_order) {
+      return Status::FailedPrecondition(
+          StrFormat("timestamp %lld precedes the newest in-edge of vertex %u",
+                    static_cast<long long>(t), dst));
+    }
+    // Tolerant mode: clamp so the log stays time-sorted; out-of-order
+    // deliveries from a real message queue are expected to be rare and
+    // barely late.
+    t = log.entries.back().created_at;
+  }
+  log.entries.push_back(TimestampedInEdge{src, t});
+  ++stats_.inserted;
+  ++stats_.current_edges;
+  PruneLog(&log, t);
+  if (options_.max_in_edges_per_vertex > 0 &&
+      log.size() > options_.max_in_edges_per_vertex) {
+    const size_t excess = log.size() - options_.max_in_edges_per_vertex;
+    log.begin += excess;
+    stats_.evicted += excess;
+    stats_.current_edges -= excess;
+  }
+  return Status::OK();
+}
+
+void DynamicInEdgeIndex::PruneLog(Log* log, Timestamp now) {
+  const Timestamp cutoff = now - options_.window;
+  size_t begin = log->begin;
+  const size_t end = log->entries.size();
+  while (begin < end && log->entries[begin].created_at <= cutoff) {
+    ++begin;
+  }
+  const size_t dropped = begin - log->begin;
+  if (dropped > 0) {
+    stats_.pruned += dropped;
+    stats_.current_edges -= dropped;
+    log->begin = begin;
+  }
+  // Compact when more than half the backing array is dead space.
+  if (log->begin > 0 && log->begin * 2 >= log->entries.size()) {
+    log->entries.erase(log->entries.begin(),
+                       log->entries.begin() +
+                           static_cast<std::ptrdiff_t>(log->begin));
+    log->begin = 0;
+  }
+}
+
+size_t DynamicInEdgeIndex::GetRecentInEdges(
+    VertexId dst, Timestamp now, std::vector<TimestampedInEdge>* out) const {
+  out->clear();
+  const auto it = logs_.find(dst);
+  if (it == logs_.end()) return 0;
+  const Log& log = it->second;
+  const Timestamp cutoff = now - options_.window;
+  for (size_t i = log.begin; i < log.entries.size(); ++i) {
+    const TimestampedInEdge& e = log.entries[i];
+    if (e.created_at > cutoff && e.created_at <= now) {
+      out->push_back(e);
+    }
+  }
+  // Deduplicate sources, keeping the most recent timestamp. The log is
+  // time-sorted, so after a stable sort by source the last entry per source
+  // is the freshest.
+  std::stable_sort(out->begin(), out->end(),
+                   [](const TimestampedInEdge& a, const TimestampedInEdge& b) {
+                     return a.src < b.src;
+                   });
+  auto write = out->begin();
+  for (auto read = out->begin(); read != out->end();) {
+    auto next = read + 1;
+    while (next != out->end() && next->src == read->src) {
+      read = next;
+      ++next;
+    }
+    *write++ = *read;
+    read = next;
+  }
+  out->erase(write, out->end());
+  return out->size();
+}
+
+size_t DynamicInEdgeIndex::CountRecentInEdges(VertexId dst,
+                                              Timestamp now) const {
+  // Distinct-source count requires the same dedup as materialization; the
+  // per-vertex logs are window-bounded so this stays cheap.
+  std::vector<TimestampedInEdge> scratch;
+  return GetRecentInEdges(dst, now, &scratch);
+}
+
+void DynamicInEdgeIndex::PruneAll(Timestamp now) {
+  for (auto it = logs_.begin(); it != logs_.end();) {
+    PruneLog(&it->second, now);
+    if (it->second.size() == 0) {
+      it = logs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+DynamicGraphStats DynamicInEdgeIndex::stats() const {
+  stats_.tracked_vertices = 0;
+  for (const auto& [dst, log] : logs_) {
+    if (log.size() > 0) ++stats_.tracked_vertices;
+  }
+  return stats_;
+}
+
+size_t DynamicInEdgeIndex::MemoryUsage() const {
+  // Approximation: capacity of each log plus per-bucket hash map overhead
+  // (node pointer + key/value + bucket array slot for libstdc++'s
+  // unordered_map).
+  constexpr size_t kPerNodeOverhead = 56;
+  size_t total = logs_.bucket_count() * sizeof(void*);
+  for (const auto& [dst, log] : logs_) {
+    total += kPerNodeOverhead + log.entries.capacity() * sizeof(TimestampedInEdge);
+  }
+  return total;
+}
+
+}  // namespace magicrecs

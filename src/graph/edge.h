@@ -1,0 +1,46 @@
+// Plain edge records shared across the graph, stream, and generator modules.
+
+#ifndef MAGICRECS_GRAPH_EDGE_H_
+#define MAGICRECS_GRAPH_EDGE_H_
+
+#include <tuple>
+
+#include "util/types.h"
+
+namespace magicrecs {
+
+/// A directed edge src -> dst ("src follows dst").
+struct Edge {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge& a, const Edge& b) {
+    return std::tie(a.src, a.dst) <=> std::tie(b.src, b.dst);
+  }
+};
+
+/// A directed edge with its creation time, as carried on the real-time
+/// edge-creation stream.
+struct TimestampedEdge {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  Timestamp created_at = 0;
+
+  friend bool operator==(const TimestampedEdge&,
+                         const TimestampedEdge&) = default;
+};
+
+/// An in-edge as returned by DynamicInEdgeIndex queries: the source vertex
+/// and when it created the edge (the destination is the query vertex).
+struct TimestampedInEdge {
+  VertexId src = kInvalidVertex;
+  Timestamp created_at = 0;
+
+  friend bool operator==(const TimestampedInEdge&,
+                         const TimestampedInEdge&) = default;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_GRAPH_EDGE_H_

@@ -1,0 +1,105 @@
+#include "graph/graph_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/str_format.h"
+
+namespace magicrecs {
+
+Status SaveEdgeList(const StaticGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Unavailable(
+        StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  out << "# magicrecs edge list: src dst\n";
+  graph.ForEachEdge([&](VertexId src, VertexId dst) {
+    out << src << ' ' << dst << '\n';
+  });
+  out.flush();
+  if (!out) {
+    return Status::Unavailable(StrFormat("write to %s failed", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<StaticGraph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  StaticGraphBuilder builder;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    uint64_t src = 0, dst = 0;
+    if (!(fields >> src >> dst)) {
+      return Status::Corruption(
+          StrFormat("%s:%zu: malformed edge line", path.c_str(), lineno));
+    }
+    if (src >= kInvalidVertex || dst >= kInvalidVertex) {
+      return Status::Corruption(
+          StrFormat("%s:%zu: vertex id out of range", path.c_str(), lineno));
+    }
+    MAGICRECS_RETURN_IF_ERROR(builder.AddEdge(static_cast<VertexId>(src),
+                                              static_cast<VertexId>(dst)));
+  }
+  return builder.Build();
+}
+
+Status SaveTimestampedEdges(const std::vector<TimestampedEdge>& edges,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Unavailable(
+        StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  out << "# magicrecs timestamped edges: src dst created_at_micros\n";
+  for (const TimestampedEdge& e : edges) {
+    out << e.src << ' ' << e.dst << ' ' << e.created_at << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::Unavailable(StrFormat("write to %s failed", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<TimestampedEdge>> LoadTimestampedEdges(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::vector<TimestampedEdge> edges;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    uint64_t src = 0, dst = 0;
+    int64_t t = 0;
+    if (!(fields >> src >> dst)) {
+      return Status::Corruption(
+          StrFormat("%s:%zu: malformed edge line", path.c_str(), lineno));
+    }
+    fields >> t;  // optional; stays 0 when absent
+    if (src >= kInvalidVertex || dst >= kInvalidVertex) {
+      return Status::Corruption(
+          StrFormat("%s:%zu: vertex id out of range", path.c_str(), lineno));
+    }
+    edges.push_back(TimestampedEdge{static_cast<VertexId>(src),
+                                    static_cast<VertexId>(dst), t});
+  }
+  return edges;
+}
+
+}  // namespace magicrecs

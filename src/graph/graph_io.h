@@ -1,0 +1,37 @@
+// Text edge-list persistence: the offline "compute A->B edges and load them
+// into the system periodically" path of the paper, at laptop scale.
+//
+// Format: one edge per line, "src dst" or "src dst timestamp_micros";
+// '#'-prefixed lines are comments. Whitespace-separated decimal ids.
+
+#ifndef MAGICRECS_GRAPH_GRAPH_IO_H_
+#define MAGICRECS_GRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/edge.h"
+#include "graph/static_graph.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace magicrecs {
+
+/// Writes every edge of `graph` to `path` as "src dst" lines.
+Status SaveEdgeList(const StaticGraph& graph, const std::string& path);
+
+/// Reads an edge list written by SaveEdgeList (timestamps, if present, are
+/// ignored) and builds the graph.
+Result<StaticGraph> LoadEdgeList(const std::string& path);
+
+/// Writes timestamped edges, one "src dst created_at" line each.
+Status SaveTimestampedEdges(const std::vector<TimestampedEdge>& edges,
+                            const std::string& path);
+
+/// Reads "src dst created_at" lines. Lines missing a timestamp get t=0.
+Result<std::vector<TimestampedEdge>> LoadTimestampedEdges(
+    const std::string& path);
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,93 @@
+#include "graph/static_graph.h"
+
+#include <algorithm>
+
+#include "util/str_format.h"
+
+namespace magicrecs {
+
+bool StaticGraph::HasEdge(VertexId src, VertexId dst) const {
+  const auto neighbors = Neighbors(src);
+  return std::binary_search(neighbors.begin(), neighbors.end(), dst);
+}
+
+void StaticGraph::ForEachEdge(
+    const std::function<void(VertexId, VertexId)>& fn) const {
+  const size_t v = num_vertices();
+  for (size_t src = 0; src < v; ++src) {
+    for (uint64_t i = offsets_[src]; i < offsets_[src + 1]; ++i) {
+      fn(static_cast<VertexId>(src), targets_[i]);
+    }
+  }
+}
+
+StaticGraph StaticGraph::Transpose() const {
+  StaticGraph out;
+  const size_t v = num_vertices();
+  out.offsets_.assign(v + 1, 0);
+  out.targets_.resize(num_edges());
+  // Counting sort by destination: one pass to count, one to place. The
+  // source ids are visited in increasing order, so each transposed adjacency
+  // list comes out already sorted.
+  for (const VertexId dst : targets_) {
+    out.offsets_[dst + 1]++;
+  }
+  for (size_t i = 1; i <= v; ++i) out.offsets_[i] += out.offsets_[i - 1];
+  std::vector<uint64_t> cursor(out.offsets_.begin(), out.offsets_.end() - 1);
+  for (size_t src = 0; src < v; ++src) {
+    for (uint64_t i = offsets_[src]; i < offsets_[src + 1]; ++i) {
+      out.targets_[cursor[targets_[i]]++] = static_cast<VertexId>(src);
+    }
+  }
+  return out;
+}
+
+Status StaticGraphBuilder::AddEdge(VertexId src, VertexId dst) {
+  if (src == kInvalidVertex || dst == kInvalidVertex) {
+    return Status::InvalidArgument("edge uses the reserved invalid vertex id");
+  }
+  if (declared_vertices_ > 0 &&
+      (src >= declared_vertices_ || dst >= declared_vertices_)) {
+    return Status::OutOfRange(
+        StrFormat("edge (%u -> %u) exceeds declared vertex count %zu", src,
+                  dst, declared_vertices_));
+  }
+  max_vertex_seen_ = std::max<size_t>(max_vertex_seen_, std::max(src, dst));
+  any_edge_ = true;
+  edges_.push_back(Edge{src, dst});
+  return Status::OK();
+}
+
+Status StaticGraphBuilder::AddEdges(const std::vector<Edge>& edges) {
+  for (const Edge& e : edges) {
+    MAGICRECS_RETURN_IF_ERROR(AddEdge(e.src, e.dst));
+  }
+  return Status::OK();
+}
+
+Result<StaticGraph> StaticGraphBuilder::Build() {
+  size_t num_vertices = declared_vertices_;
+  if (num_vertices == 0 && any_edge_) num_vertices = max_vertex_seen_ + 1;
+
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  StaticGraph graph;
+  graph.offsets_.assign(num_vertices + 1, 0);
+  graph.targets_.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    graph.offsets_[e.src + 1]++;
+    graph.targets_.push_back(e.dst);
+  }
+  for (size_t i = 1; i <= num_vertices; ++i) {
+    graph.offsets_[i] += graph.offsets_[i - 1];
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  max_vertex_seen_ = 0;
+  any_edge_ = false;
+  return graph;
+}
+
+}  // namespace magicrecs

@@ -1,0 +1,107 @@
+// The "S" data structure of the paper: the static part of the follow graph in
+// compressed sparse row (CSR) form with *sorted* adjacency lists.
+//
+// The paper stores the A -> B follow edges inverted, i.e. keyed by B with the
+// sorted list of A's that follow B, "so intersections can be implemented
+// efficiently using well-known algorithms" (§2). StaticGraph is direction-
+// agnostic: build it from whatever orientation you need and use Transpose()
+// to invert. Immutable after Build(), hence trivially shareable across
+// threads.
+
+#ifndef MAGICRECS_GRAPH_STATIC_GRAPH_H_
+#define MAGICRECS_GRAPH_STATIC_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/edge.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace magicrecs {
+
+/// Immutable CSR graph with per-source sorted, de-duplicated neighbor lists.
+class StaticGraph {
+ public:
+  /// Empty graph with zero vertices.
+  StaticGraph() = default;
+
+  /// Number of vertices (ids are dense: 0 .. num_vertices()-1).
+  size_t num_vertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Number of directed edges.
+  size_t num_edges() const { return targets_.size(); }
+
+  /// Sorted neighbors of `src`. Returns an empty span for out-of-range ids
+  /// (partitioned deployments routinely look up vertices they do not own).
+  std::span<const VertexId> Neighbors(VertexId src) const {
+    if (src >= num_vertices()) return {};
+    return {targets_.data() + offsets_[src],
+            targets_.data() + offsets_[src + 1]};
+  }
+
+  /// Out-degree of `src` (0 for out-of-range ids).
+  size_t OutDegree(VertexId src) const { return Neighbors(src).size(); }
+
+  /// True iff the edge src -> dst exists. O(log degree) binary search.
+  bool HasEdge(VertexId src, VertexId dst) const;
+
+  /// Invokes `fn(src, dst)` for every edge in CSR order.
+  void ForEachEdge(
+      const std::function<void(VertexId, VertexId)>& fn) const;
+
+  /// Returns the transposed graph (every edge reversed). This is how the
+  /// follower index ("who follows B") is derived from follow edges
+  /// ("A follows B"). O(V + E).
+  StaticGraph Transpose() const;
+
+  /// Bytes held by the CSR arrays.
+  size_t MemoryUsage() const {
+    return offsets_.size() * sizeof(uint64_t) +
+           targets_.size() * sizeof(VertexId);
+  }
+
+ private:
+  friend class StaticGraphBuilder;
+
+  std::vector<uint64_t> offsets_;  // size num_vertices()+1
+  std::vector<VertexId> targets_;  // size num_edges(), sorted per source
+};
+
+/// Accumulates edges and produces a StaticGraph. Edges may arrive in any
+/// order and may contain duplicates (deduplicated at Build time).
+class StaticGraphBuilder {
+ public:
+  /// If `num_vertices` > 0, vertex ids are validated against it; otherwise
+  /// the vertex count is inferred as max(id)+1 at Build time.
+  explicit StaticGraphBuilder(size_t num_vertices = 0)
+      : declared_vertices_(num_vertices) {}
+
+  /// Adds a directed edge. Returns InvalidArgument for invalid or
+  /// out-of-range ids.
+  Status AddEdge(VertexId src, VertexId dst);
+
+  /// Adds a batch of edges; stops at the first error.
+  Status AddEdges(const std::vector<Edge>& edges);
+
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Sorts, deduplicates, and packs into CSR form. The builder is left empty
+  /// and reusable.
+  Result<StaticGraph> Build();
+
+ private:
+  size_t declared_vertices_;
+  size_t max_vertex_seen_ = 0;
+  bool any_edge_ = false;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_GRAPH_STATIC_GRAPH_H_

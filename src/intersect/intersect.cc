@@ -1,0 +1,110 @@
+#include "intersect/intersect.h"
+
+#include <algorithm>
+
+namespace magicrecs {
+
+size_t IntersectMerge(std::span<const VertexId> a, std::span<const VertexId> b,
+                      std::vector<VertexId>* out) {
+  const size_t before = out->size();
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out->size() - before;
+}
+
+namespace {
+
+/// Index of the first element >= key in sorted[lo..), found by exponential
+/// then binary search. Gallops from `lo` so repeated probes advance.
+size_t GallopLowerBound(std::span<const VertexId> sorted, size_t lo,
+                        VertexId key) {
+  size_t hi = lo + 1;
+  while (hi < sorted.size() && sorted[hi] < key) {
+    const size_t step = hi - lo;
+    lo = hi;
+    hi += step * 2;
+  }
+  hi = std::min(hi, sorted.size());
+  const auto it = std::lower_bound(sorted.begin() + static_cast<std::ptrdiff_t>(lo),
+                                   sorted.begin() + static_cast<std::ptrdiff_t>(hi),
+                                   key);
+  return static_cast<size_t>(it - sorted.begin());
+}
+
+}  // namespace
+
+size_t IntersectGalloping(std::span<const VertexId> a,
+                          std::span<const VertexId> b,
+                          std::vector<VertexId>* out) {
+  // Probe the larger list with elements of the smaller.
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  const size_t before = out->size();
+  size_t pos = 0;
+  for (const VertexId key : small) {
+    if (pos >= large.size()) break;
+    pos = GallopLowerBound(large, pos, key);
+    if (pos < large.size() && large[pos] == key) {
+      out->push_back(key);
+      ++pos;
+    }
+  }
+  return out->size() - before;
+}
+
+size_t IntersectAuto(std::span<const VertexId> a, std::span<const VertexId> b,
+                     std::vector<VertexId>* out) {
+  const size_t small = std::min(a.size(), b.size());
+  const size_t large = std::max(a.size(), b.size());
+  if (small == 0) return 0;
+  if (large / small >= kGallopRatioThreshold) {
+    return IntersectGalloping(a, b, out);
+  }
+  return IntersectMerge(a, b, out);
+}
+
+size_t IntersectCount(std::span<const VertexId> a,
+                      std::span<const VertexId> b) {
+  const size_t small = std::min(a.size(), b.size());
+  const size_t large = std::max(a.size(), b.size());
+  if (small == 0) return 0;
+  if (large / small >= kGallopRatioThreshold) {
+    const auto& s = a.size() <= b.size() ? a : b;
+    const auto& l = a.size() <= b.size() ? b : a;
+    size_t count = 0, pos = 0;
+    for (const VertexId key : s) {
+      if (pos >= l.size()) break;
+      pos = GallopLowerBound(l, pos, key);
+      if (pos < l.size() && l[pos] == key) {
+        ++count;
+        ++pos;
+      }
+    }
+    return count;
+  }
+  size_t count = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace magicrecs

@@ -1,0 +1,46 @@
+// Pairwise sorted-list intersection — the "well-known algorithms" the paper
+// leans on for computing which A's follow both B's (§2). Lists are sorted
+// ascending with no duplicates, the invariant StaticGraph guarantees.
+//
+// Two families:
+//   * linear merge: optimal when list sizes are comparable;
+//   * galloping (exponential search) probe of the larger list: optimal at
+//     O(small * log(large/small)) when sizes are skewed — the common case
+//     here, since follower-list sizes span five orders of magnitude.
+
+#ifndef MAGICRECS_INTERSECT_INTERSECT_H_
+#define MAGICRECS_INTERSECT_INTERSECT_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/types.h"
+
+namespace magicrecs {
+
+/// Appends a ∩ b to *out (kept sorted). Returns the number appended.
+size_t IntersectMerge(std::span<const VertexId> a, std::span<const VertexId> b,
+                      std::vector<VertexId>* out);
+
+/// Galloping intersection: for each element of the smaller list, locate it in
+/// the larger via exponential + binary search. Appends to *out, returns count.
+size_t IntersectGalloping(std::span<const VertexId> a,
+                          std::span<const VertexId> b,
+                          std::vector<VertexId>* out);
+
+/// Chooses merge vs galloping from the size ratio (crossover measured by
+/// bench_intersection; see EXPERIMENTS.md A1).
+size_t IntersectAuto(std::span<const VertexId> a, std::span<const VertexId> b,
+                     std::vector<VertexId>* out);
+
+/// |a ∩ b| without materializing the result.
+size_t IntersectCount(std::span<const VertexId> a,
+                      std::span<const VertexId> b);
+
+/// Size ratio above which IntersectAuto switches to galloping.
+inline constexpr size_t kGallopRatioThreshold = 16;
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_INTERSECT_INTERSECT_H_

@@ -1,0 +1,194 @@
+#include "intersect/threshold.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+namespace magicrecs {
+
+std::string_view ThresholdAlgorithmName(ThresholdAlgorithm algo) {
+  switch (algo) {
+    case ThresholdAlgorithm::kAuto:
+      return "auto";
+    case ThresholdAlgorithm::kScanCount:
+      return "scan-count";
+    case ThresholdAlgorithm::kHeapMerge:
+      return "heap-merge";
+    case ThresholdAlgorithm::kCandidateVerify:
+      return "candidate-verify";
+  }
+  return "unknown";
+}
+
+namespace {
+
+size_t ScanCount(const std::vector<std::span<const VertexId>>& lists, size_t k,
+                 std::vector<ThresholdMatch>* out) {
+  std::unordered_map<VertexId, uint32_t> counts;
+  size_t total = 0;
+  for (const auto& list : lists) total += list.size();
+  counts.reserve(total);
+  for (const auto& list : lists) {
+    for (const VertexId v : list) ++counts[v];
+  }
+  for (const auto& [v, c] : counts) {
+    if (c >= k) out->push_back(ThresholdMatch{v, c});
+  }
+  std::sort(out->begin(), out->end(),
+            [](const ThresholdMatch& a, const ThresholdMatch& b) {
+              return a.id < b.id;
+            });
+  return out->size();
+}
+
+size_t HeapMerge(const std::vector<std::span<const VertexId>>& lists, size_t k,
+                 std::vector<ThresholdMatch>* out) {
+  // Min-heap of (head value, list index). Runs of equal popped values give
+  // the occurrence count directly because lists are duplicate-free.
+  using Head = std::pair<VertexId, uint32_t>;
+  std::priority_queue<Head, std::vector<Head>, std::greater<>> heap;
+  std::vector<size_t> pos(lists.size(), 0);
+  for (uint32_t i = 0; i < lists.size(); ++i) {
+    if (!lists[i].empty()) heap.emplace(lists[i][0], i);
+  }
+  while (!heap.empty()) {
+    const VertexId value = heap.top().first;
+    uint32_t count = 0;
+    while (!heap.empty() && heap.top().first == value) {
+      const uint32_t list = heap.top().second;
+      heap.pop();
+      ++count;
+      if (++pos[list] < lists[list].size()) {
+        heap.emplace(lists[list][pos[list]], list);
+      }
+    }
+    if (count >= k) out->push_back(ThresholdMatch{value, count});
+  }
+  return out->size();
+}
+
+/// First index >= `from` whose element is >= key (gallop + binary search).
+size_t GallopLowerBound(std::span<const VertexId> sorted, size_t from,
+                        VertexId key) {
+  size_t lo = from;
+  size_t hi = lo + 1;
+  while (hi < sorted.size() && sorted[hi] < key) {
+    const size_t step = hi - lo;
+    lo = hi;
+    hi += step * 2;
+  }
+  hi = std::min(hi, sorted.size());
+  const auto it =
+      std::lower_bound(sorted.begin() + static_cast<std::ptrdiff_t>(lo),
+                       sorted.begin() + static_cast<std::ptrdiff_t>(hi), key);
+  return static_cast<size_t>(it - sorted.begin());
+}
+
+size_t CandidateVerify(const std::vector<std::span<const VertexId>>& lists,
+                       size_t k, std::vector<ThresholdMatch>* out) {
+  const size_t n = lists.size();
+  // Order list indices by size: the n-k+1 smallest seed the candidate set,
+  // the k-1 largest are only probed.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return lists[a].size() < lists[b].size();
+  });
+  const size_t num_seed = n - k + 1;
+
+  // Merge the seed lists, tracking per-candidate seed occurrence counts.
+  // Per-event inputs are small, so a scan-count over seeds is fine; the
+  // savings come from never scanning the large verify lists.
+  std::unordered_map<VertexId, uint32_t> seed_counts;
+  for (size_t s = 0; s < num_seed; ++s) {
+    for (const VertexId v : lists[order[s]]) ++seed_counts[v];
+  }
+
+  std::vector<ThresholdMatch> candidates;
+  candidates.reserve(seed_counts.size());
+  for (const auto& [v, c] : seed_counts) {
+    candidates.push_back(ThresholdMatch{v, c});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ThresholdMatch& a, const ThresholdMatch& b) {
+              return a.id < b.id;
+            });
+
+  // Verify candidates against each large list with a galloping cursor; the
+  // candidates are sorted, so probes only move forward.
+  const size_t num_verify = n - num_seed;  // == k-1
+  std::vector<size_t> cursor(num_verify, 0);
+  for (auto& cand : candidates) {
+    uint32_t count = cand.count;
+    for (size_t vl = 0; vl < num_verify; ++vl) {
+      // Early exit: cannot reach k even if all remaining lists match.
+      if (count + (num_verify - vl) < k) break;
+      if (count >= k) break;
+      const auto list = lists[order[num_seed + vl]];
+      size_t& pos = cursor[vl];
+      if (pos >= list.size()) continue;
+      pos = GallopLowerBound(list, pos, cand.id);
+      if (pos < list.size() && list[pos] == cand.id) {
+        ++count;
+        ++pos;
+      }
+    }
+    if (count >= k) {
+      // The qualify loop may have stopped early at `count == k`; recount
+      // exactly so every strategy reports identical counts. Matches are
+      // sparse, so the extra O(n log) per match is negligible.
+      uint32_t exact = 0;
+      for (const auto& list : lists) {
+        if (std::binary_search(list.begin(), list.end(), cand.id)) ++exact;
+      }
+      out->push_back(ThresholdMatch{cand.id, exact});
+    }
+  }
+  return out->size();
+}
+
+}  // namespace
+
+ThresholdAlgorithm SelectThresholdAlgorithm(
+    const std::vector<std::span<const VertexId>>& lists, size_t k) {
+  size_t total = 0, largest = 0;
+  for (const auto& l : lists) {
+    total += l.size();
+    largest = std::max(largest, l.size());
+  }
+  const size_t rest = total - largest;
+  // A single dominant list that dwarfs the others (and k >= 2 so it can be
+  // relegated to verification) → candidate-verify skips scanning it.
+  if (k >= 2 && largest >= 8 * std::max<size_t>(rest, 1) && largest >= 1024) {
+    return ThresholdAlgorithm::kCandidateVerify;
+  }
+  if (total <= 4096) return ThresholdAlgorithm::kScanCount;
+  return ThresholdAlgorithm::kHeapMerge;
+}
+
+size_t ThresholdIntersect(const std::vector<std::span<const VertexId>>& lists,
+                          size_t k, std::vector<ThresholdMatch>* out,
+                          ThresholdAlgorithm algo) {
+  out->clear();
+  if (k == 0) k = 1;
+  if (lists.empty() || k > lists.size()) return 0;
+  if (algo == ThresholdAlgorithm::kAuto) {
+    algo = SelectThresholdAlgorithm(lists, k);
+  }
+  switch (algo) {
+    case ThresholdAlgorithm::kScanCount:
+      return ScanCount(lists, k, out);
+    case ThresholdAlgorithm::kHeapMerge:
+      return HeapMerge(lists, k, out);
+    case ThresholdAlgorithm::kCandidateVerify:
+      return CandidateVerify(lists, k, out);
+    case ThresholdAlgorithm::kAuto:
+      break;
+  }
+  assert(false && "unreachable");
+  return 0;
+}
+
+}  // namespace magicrecs

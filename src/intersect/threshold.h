@@ -1,0 +1,66 @@
+// k-of-n threshold intersection: given n sorted lists, find the elements that
+// appear in at least k of them. This is the exact kernel of the diamond
+// motif's bottom half — find the A's that follow >= k of the B's who just
+// followed C (§2; the paper's worked example is k=2, production is k=3).
+//
+// Three classic strategies, selectable for the A1 ablation:
+//   * ScanCount  — hash-count every occurrence; O(total), wins when lists
+//                  are short (the common per-event case).
+//   * HeapMerge  — n-way merge with a min-heap, counting runs of equal
+//                  values; O(total * log n), memory-light, output sorted for
+//                  free.
+//   * CandidateVerify — any qualifying element must occur in one of the
+//                  n-k+1 smallest lists (it can miss at most n-k lists);
+//                  union those as candidates, verify each against the larger
+//                  lists by galloping binary search with early exit. Wins
+//                  when a few lists are huge (celebrity B's).
+
+#ifndef MAGICRECS_INTERSECT_THRESHOLD_H_
+#define MAGICRECS_INTERSECT_THRESHOLD_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/types.h"
+
+namespace magicrecs {
+
+/// An element matched by a threshold intersection, with the number of input
+/// lists it occurred in (count >= the query's k).
+struct ThresholdMatch {
+  VertexId id = kInvalidVertex;
+  uint32_t count = 0;
+
+  friend bool operator==(const ThresholdMatch&,
+                         const ThresholdMatch&) = default;
+};
+
+enum class ThresholdAlgorithm {
+  kAuto = 0,
+  kScanCount,
+  kHeapMerge,
+  kCandidateVerify,
+};
+
+std::string_view ThresholdAlgorithmName(ThresholdAlgorithm algo);
+
+/// Computes the elements present in >= k of `lists` (each sorted ascending,
+/// duplicate-free). Results are appended to *out (cleared first) in
+/// ascending id order. Returns the number of matches.
+///
+/// k == 0 is treated as k == 1. If k > lists.size() the result is empty.
+size_t ThresholdIntersect(const std::vector<std::span<const VertexId>>& lists,
+                          size_t k, std::vector<ThresholdMatch>* out,
+                          ThresholdAlgorithm algo = ThresholdAlgorithm::kAuto);
+
+/// The heuristic used by kAuto, exposed for tests and benches: picks
+/// CandidateVerify when size skew is extreme, ScanCount for small inputs,
+/// HeapMerge otherwise.
+ThresholdAlgorithm SelectThresholdAlgorithm(
+    const std::vector<std::span<const VertexId>>& lists, size_t k);
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_INTERSECT_THRESHOLD_H_

@@ -1,0 +1,32 @@
+#include "stream/delay_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace magicrecs {
+
+namespace {
+constexpr double kZ99 = 2.3263478740408408;  // 99th percentile of N(0,1)
+}  // namespace
+
+std::unique_ptr<LogNormalDelay> LogNormalDelay::FromMedianAndP99(
+    Duration median, Duration p99) {
+  assert(median > 0);
+  assert(p99 >= median);
+  const double mu = std::log(static_cast<double>(median));
+  const double sigma =
+      (std::log(static_cast<double>(p99)) - mu) / kZ99;
+  return std::make_unique<LogNormalDelay>(mu, sigma);
+}
+
+Duration LogNormalDelay::Sample(Rng* rng) const {
+  const double v = rng->LogNormal(mu_, sigma_);
+  if (v <= 0) return 0;
+  return static_cast<Duration>(v);
+}
+
+std::unique_ptr<DelayModel> MakeTwitterCalibratedDelayModel() {
+  return LogNormalDelay::FromMedianAndP99(Seconds(7), Seconds(15));
+}
+
+}  // namespace magicrecs

@@ -1,0 +1,54 @@
+// Events carried on the real-time stream. The paper's primary action is the
+// follow, but "the idea applies to recommending content as well, based on
+// user actions such as retweets, favorites, etc." (§1) — the action type is
+// carried so content pipelines can reuse the same infrastructure (see
+// examples/content_recs.cpp).
+
+#ifndef MAGICRECS_STREAM_EVENT_H_
+#define MAGICRECS_STREAM_EVENT_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "graph/edge.h"
+#include "util/types.h"
+
+namespace magicrecs {
+
+/// The user action that created the dynamic edge.
+enum class ActionType : uint8_t {
+  kFollow = 0,
+  kRetweet = 1,
+  kFavorite = 2,
+};
+
+std::string_view ActionTypeName(ActionType action);
+
+/// One edge-creation event as published by the firehose.
+struct EdgeEvent {
+  /// The edge: src performed `action` on dst (dst is an account for follows,
+  /// a content id for retweets/favorites).
+  TimestampedEdge edge;
+
+  ActionType action = ActionType::kFollow;
+
+  /// Monotonic sequence number assigned by the producer; gives a total
+  /// order for events with equal timestamps.
+  uint64_t sequence = 0;
+};
+
+inline std::string_view ActionTypeName(ActionType action) {
+  switch (action) {
+    case ActionType::kFollow:
+      return "follow";
+    case ActionType::kRetweet:
+      return "retweet";
+    case ActionType::kFavorite:
+      return "favorite";
+  }
+  return "unknown";
+}
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_STREAM_EVENT_H_

@@ -1,0 +1,57 @@
+// Decomposed latency accounting for the end-to-end pipeline, mirroring the
+// paper's reporting: total latency "from the edge creation event to the
+// delivery of the recommendation", split into queue propagation vs graph
+// query time.
+
+#ifndef MAGICRECS_STREAM_LATENCY_TRACKER_H_
+#define MAGICRECS_STREAM_LATENCY_TRACKER_H_
+
+#include <string>
+
+#include "util/histogram.h"
+#include "util/str_format.h"
+#include "util/types.h"
+
+namespace magicrecs {
+
+/// Accumulates the three latency distributions of the pipeline.
+/// Thread-compatible.
+class LatencyTracker {
+ public:
+  /// Time spent in message queues before the event reached a detector.
+  void RecordQueueDelay(Duration d) { queue_.Record(d); }
+
+  /// Time the motif query itself took.
+  void RecordQueryLatency(Duration d) { query_.Record(d); }
+
+  /// Edge creation -> recommendation delivered.
+  void RecordEndToEnd(Duration d) { end_to_end_.Record(d); }
+
+  const Histogram& queue_delay() const { return queue_; }
+  const Histogram& query_latency() const { return query_; }
+  const Histogram& end_to_end() const { return end_to_end_; }
+
+  void Merge(const LatencyTracker& other) {
+    queue_.Merge(other.queue_);
+    query_.Merge(other.query_);
+    end_to_end_.Merge(other.end_to_end_);
+  }
+
+  /// Three-line report in seconds / milliseconds, the units the paper uses.
+  std::string ToString() const {
+    return StrFormat(
+        "queue delay   : %s\nquery latency : %s\nend-to-end    : %s",
+        queue_.ToString(1.0 / kMicrosPerSecond, "s").c_str(),
+        query_.ToString(1.0 / kMicrosPerMilli, "ms").c_str(),
+        end_to_end_.ToString(1.0 / kMicrosPerSecond, "s").c_str());
+  }
+
+ private:
+  Histogram queue_;
+  Histogram query_;
+  Histogram end_to_end_;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_STREAM_LATENCY_TRACKER_H_

@@ -1,0 +1,50 @@
+#include "stream/simulator.h"
+
+#include <algorithm>
+
+namespace magicrecs {
+
+void VirtualTimeSimulator::Schedule(const EdgeEvent& event,
+                                    Timestamp deliver_at) {
+  deliver_at = std::max(deliver_at, event.edge.created_at);
+  queue_.push(Scheduled{deliver_at, next_tie_breaker_++, event});
+}
+
+void VirtualTimeSimulator::ScheduleStream(
+    const std::vector<TimestampedEdge>& edges, ActionType action,
+    const DelayModel& delay, Rng* rng) {
+  for (const TimestampedEdge& edge : edges) {
+    EdgeEvent event;
+    event.edge = edge;
+    event.action = action;
+    event.sequence = next_sequence_++;
+    Schedule(event, edge.created_at + delay.Sample(rng));
+  }
+}
+
+size_t VirtualTimeSimulator::Run(const Handler& handler) {
+  size_t delivered = 0;
+  while (!queue_.empty()) {
+    const Scheduled top = queue_.top();
+    queue_.pop();
+    clock_->Set(top.deliver_at);
+    handler(top.event, top.deliver_at);
+    ++delivered;
+  }
+  return delivered;
+}
+
+size_t VirtualTimeSimulator::RunUntil(Timestamp deadline,
+                                      const Handler& handler) {
+  size_t delivered = 0;
+  while (!queue_.empty() && queue_.top().deliver_at <= deadline) {
+    const Scheduled top = queue_.top();
+    queue_.pop();
+    clock_->Set(top.deliver_at);
+    handler(top.event, top.deliver_at);
+    ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace magicrecs

@@ -1,0 +1,54 @@
+#include "util/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace magicrecs {
+
+BloomFilter::BloomFilter(size_t expected_keys, double bits_per_key) {
+  expected_keys = std::max<size_t>(expected_keys, 1);
+  bits_per_key = std::max(bits_per_key, 1.0);
+  num_bits_ = std::max<size_t>(
+      64, static_cast<size_t>(static_cast<double>(expected_keys) * bits_per_key));
+  num_probes_ = std::clamp(
+      static_cast<int>(bits_per_key * 0.69 + 0.5), 1, 30);  // ln(2) * bits/key
+  bits_.assign((num_bits_ + 63) / 64, 0);
+}
+
+void BloomFilter::Add(uint64_t key) {
+  uint64_t h = SplitMix64(key);
+  const uint64_t delta = (h >> 33) | (h << 31);  // second hash
+  for (int i = 0; i < num_probes_; ++i) {
+    const size_t bit = static_cast<size_t>(h % num_bits_);
+    bits_[bit >> 6] |= (uint64_t{1} << (bit & 63));
+    h += delta;
+  }
+  ++num_added_;
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  uint64_t h = SplitMix64(key);
+  const uint64_t delta = (h >> 33) | (h << 31);
+  for (int i = 0; i < num_probes_; ++i) {
+    const size_t bit = static_cast<size_t>(h % num_bits_);
+    if ((bits_[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+double BloomFilter::EstimatedFalsePositiveRate() const {
+  const double k = num_probes_;
+  const double n = static_cast<double>(num_added_);
+  const double m = static_cast<double>(num_bits_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+void BloomFilter::Reset() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  num_added_ = 0;
+}
+
+}  // namespace magicrecs

@@ -1,0 +1,130 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/str_format.h"
+
+namespace magicrecs {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  // Octave = position of the highest set bit; sub-bucket = the next
+  // kSubBucketBits bits below it.
+  const int msb = 63 - std::countl_zero(value);
+  const int octave = msb - kSubBucketBits + 1;  // >= 1 here
+  const int sub =
+      static_cast<int>((value >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  const int index = (octave + 1) * kSubBuckets + sub - kSubBuckets;
+  return std::min(index, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketLow(int index) {
+  if (index < kSubBuckets) return static_cast<uint64_t>(index);
+  const int octave = index / kSubBuckets - 1;
+  const int sub = index % kSubBuckets;
+  return (static_cast<uint64_t>(kSubBuckets) + sub) << octave;
+}
+
+uint64_t Histogram::BucketHigh(int index) {
+  if (index + 1 >= kNumBuckets) return ~uint64_t{0};
+  return BucketLow(index + 1) - 1;
+}
+
+void Histogram::Record(int64_t value) { RecordMany(value, 1); }
+
+void Histogram::RecordMany(int64_t value, uint64_t count) {
+  if (count == 0) return;
+  if (value < 0) value = 0;
+  buckets_[BucketFor(static_cast<uint64_t>(value))] += count;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  const double v = static_cast<double>(value);
+  sum_ += v * static_cast<double>(count);
+  sum_squares_ += v * v * static_cast<double>(count);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      const double lo = static_cast<double>(BucketLow(i));
+      const double hi = static_cast<double>(BucketHigh(i));
+      const double frac =
+          buckets_[i] == 0
+              ? 0
+              : (target - cumulative) / static_cast<double>(buckets_[i]);
+      double v = lo + (hi - lo) * frac;
+      // Exact bounds beat bucket interpolation at the extremes.
+      v = std::clamp(v, static_cast<double>(min_), static_cast<double>(max_));
+      return v;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max_);
+}
+
+int64_t Histogram::Min() const { return count_ == 0 ? 0 : min_; }
+int64_t Histogram::Max() const { return count_ == 0 ? 0 : max_; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::StdDev() const {
+  if (count_ == 0) return 0;
+  const double n = static_cast<double>(count_);
+  const double mean = sum_ / n;
+  const double var = std::max(0.0, sum_squares_ / n - mean * mean);
+  return std::sqrt(var);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = sum_squares_ = 0;
+}
+
+std::string Histogram::ToString() const { return ToString(1.0, ""); }
+
+std::string Histogram::ToString(double scale, const std::string& unit) const {
+  return StrFormat(
+      "count=%llu mean=%.2f%s p50=%.2f%s p90=%.2f%s p99=%.2f%s p999=%.2f%s "
+      "max=%.2f%s",
+      static_cast<unsigned long long>(count_), Mean() * scale, unit.c_str(),
+      Percentile(50) * scale, unit.c_str(), Percentile(90) * scale,
+      unit.c_str(), Percentile(99) * scale, unit.c_str(),
+      Percentile(99.9) * scale, unit.c_str(),
+      static_cast<double>(Max()) * scale, unit.c_str());
+}
+
+}  // namespace magicrecs

@@ -1,0 +1,36 @@
+#include "util/metrics.h"
+
+#include "util/str_format.h"
+
+namespace magicrecs {
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+std::vector<std::string> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back(StrFormat("%s %llu", name.c_str(),
+                            static_cast<unsigned long long>(counter->Value())));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back(StrFormat("%s %lld", name.c_str(),
+                            static_cast<long long>(gauge->Value())));
+  }
+  return out;
+}
+
+}  // namespace magicrecs

@@ -1,0 +1,63 @@
+// Lightweight operational metrics: named counters and gauges with a
+// snapshot/report facility, the in-process equivalent of the service
+// dashboards a production deployment would export to.
+
+#ifndef MAGICRECS_UTIL_METRICS_H_
+#define MAGICRECS_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace magicrecs {
+
+/// Monotonically increasing counter. Thread-safe.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed value. Thread-safe.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Registry of named metrics. Lookup creates on first use. Thread-safe.
+class MetricsRegistry {
+ public:
+  /// Returns the counter registered under `name`, creating it if needed.
+  /// The pointer remains valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+
+  /// Returns the gauge registered under `name`, creating it if needed.
+  Gauge* GetGauge(const std::string& name);
+
+  /// Sorted "name value" lines for reporting.
+  std::vector<std::string> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_UTIL_METRICS_H_

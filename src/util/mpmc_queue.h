@@ -1,0 +1,118 @@
+// Bounded multi-producer multi-consumer queue with blocking and non-blocking
+// operations and explicit close semantics. This is the in-process stand-in
+// for the message queues that carry the edge-creation stream between the
+// firehose, brokers, and partition servers.
+//
+// Mutex + condition variables rather than a lock-free ring: at the O(10^4)
+// events/s the paper targets, queue overhead is noise next to the graph
+// query, and the blocking close semantics keep shutdown code simple and
+// obviously correct.
+
+#ifndef MAGICRECS_UTIL_MPMC_QUEUE_H_
+#define MAGICRECS_UTIL_MPMC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace magicrecs {
+
+/// Thread-safe bounded FIFO. All methods may be called from any thread.
+template <typename T>
+class MpmcQueue {
+ public:
+  /// `capacity` == 0 means unbounded.
+  explicit MpmcQueue(size_t capacity = 0) : capacity_(capacity) {}
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Blocks until space is available. Returns false if the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || HasSpaceLocked(); });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. Returns false if full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || !HasSpaceLocked()) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and* drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::optional<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// After Close(), pushes fail and pops drain the remaining items then
+  /// return nullopt. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  bool HasSpaceLocked() const {
+    return capacity_ == 0 || items_.size() < capacity_;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_UTIL_MPMC_QUEUE_H_

@@ -1,0 +1,203 @@
+#include "util/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace magicrecs {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+namespace {
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the 256-bit state from SplitMix64 as recommended by the authors;
+  // guarantees the state is never all-zero.
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    sm += 0x9E3779B97F4A7C15ull;
+    uint64_t z = sm;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    s = z ^ (z >> 31);
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  assert(n > 0);
+  // Lemire's nearly-divisionless bounded sampling.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < n) {
+    uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(UniformInt(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 0.0);
+  double u2 = UniformDouble();
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+uint64_t Rng::Poisson(double mean) {
+  assert(mean >= 0);
+  if (mean == 0) return 0;
+  if (mean < 64) {
+    // Knuth's multiplication method.
+    double l = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= UniformDouble();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for workload
+  // generation at large means.
+  double x = Normal(mean, std::sqrt(mean));
+  return x < 0 ? 0 : static_cast<uint64_t>(x + 0.5);
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+// --- ZipfDistribution --------------------------------------------------------
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double q) : n_(n), q_(q) {
+  assert(n >= 1);
+  assert(q > 0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::exp(-q_ * std::log(2.0)));
+}
+
+double ZipfDistribution::H(double x) const {
+  const double log_x = std::log(x);
+  if (q_ == 1.0) return log_x;
+  return std::expm1((1.0 - q_) * log_x) / (1.0 - q_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (q_ == 1.0) return std::exp(x);
+  double t = x * (1.0 - q_);
+  if (t < -1.0) t = -1.0;  // numeric guard near the left boundary
+  return std::exp(std::log1p(t) / (1.0 - q_));
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    const double u = h_n_ + rng->UniformDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_) return k;
+    if (u >= H(kd + 0.5) - std::exp(-q_ * std::log(kd))) return k;
+  }
+}
+
+// --- AliasSampler ------------------------------------------------------------
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  const size_t n = weights.size();
+  double total = 0;
+  for (double w : weights) {
+    assert(w >= 0);
+    total += w;
+  }
+  assert(total > 0);
+
+  prob_.resize(n);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;  // numeric leftovers
+}
+
+size_t AliasSampler::Sample(Rng* rng) const {
+  const size_t i = static_cast<size_t>(rng->UniformInt(prob_.size()));
+  return rng->UniformDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace magicrecs

@@ -1,0 +1,74 @@
+// Result<T>: a value or a Status, the non-throwing analogue of
+// absl::StatusOr / arrow::Result. Accessing the value of a failed Result is a
+// programming error and asserts.
+
+#ifndef MAGICRECS_UTIL_RESULT_H_
+#define MAGICRECS_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace magicrecs {
+
+/// Holds either a T or a non-OK Status explaining why no T was produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (the common "return value;" case).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit from error status. Must not be OK: an OK Result needs a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace magicrecs
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs`.
+#define MAGICRECS_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  MAGICRECS_ASSIGN_OR_RETURN_IMPL_(                    \
+      MAGICRECS_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define MAGICRECS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                     \
+  if (!tmp.ok()) return tmp.status();                     \
+  lhs = std::move(tmp).value()
+
+#define MAGICRECS_CONCAT_(a, b) MAGICRECS_CONCAT_IMPL_(a, b)
+#define MAGICRECS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // MAGICRECS_UTIL_RESULT_H_

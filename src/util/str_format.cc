@@ -1,0 +1,68 @@
+#include "util/str_format.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace magicrecs {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed <= 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) {
+    return StrFormat("%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return StrFormat("%.1f %s", value, kUnits[unit]);
+}
+
+std::string HumanCount(double count) {
+  const char* suffix = "";
+  double value = count;
+  if (count >= 1e9) {
+    value = count / 1e9;
+    suffix = "B";
+  } else if (count >= 1e6) {
+    value = count / 1e6;
+    suffix = "M";
+  } else if (count >= 1e3) {
+    value = count / 1e3;
+    suffix = "k";
+  }
+  if (suffix[0] == '\0') return StrFormat("%.0f", value);
+  return StrFormat("%.1f%s", value, suffix);
+}
+
+std::string CommaSeparated(uint64_t value) {
+  std::string digits = StrFormat("%llu", static_cast<unsigned long long>(value));
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const size_t n = digits.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace magicrecs

@@ -1,0 +1,26 @@
+// Small string formatting helpers (the toolchain here lacks std::format).
+
+#ifndef MAGICRECS_UTIL_STR_FORMAT_H_
+#define MAGICRECS_UTIL_STR_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace magicrecs {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// "1.5 GiB", "213.4 MiB", "640 B" — for memory accounting output.
+std::string HumanBytes(uint64_t bytes);
+
+/// "1.2M", "34.5k", "712" — for counts and rates.
+std::string HumanCount(double count);
+
+/// "12,345,678" — exact counts with thousands separators.
+std::string CommaSeparated(uint64_t value);
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_UTIL_STR_FORMAT_H_

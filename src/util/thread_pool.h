@@ -1,0 +1,48 @@
+// Fixed-size worker pool used by the threaded cluster mode and the
+// benchmark harnesses.
+
+#ifndef MAGICRECS_UTIL_THREAD_POOL_H_
+#define MAGICRECS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace magicrecs {
+
+/// Runs submitted tasks on `num_threads` workers. Destruction waits for all
+/// queued tasks to finish.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after the destructor has begun.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_UTIL_THREAD_POOL_H_

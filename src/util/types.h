@@ -1,0 +1,59 @@
+// Core scalar types shared by every magicrecs module.
+//
+// The Twitter follow graph circa 2012 has O(10^8) vertices [Myers et al.,
+// WWW'14], so a 32-bit vertex id is sufficient and halves the footprint of
+// the in-memory adjacency structures relative to 64-bit ids. Timestamps are
+// microseconds since the UNIX epoch, signed so that durations and deltas can
+// be represented with the same type.
+
+#ifndef MAGICRECS_UTIL_TYPES_H_
+#define MAGICRECS_UTIL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace magicrecs {
+
+/// Identifier of a graph vertex (a Twitter user account).
+using VertexId = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Microseconds since the UNIX epoch.
+using Timestamp = int64_t;
+
+/// A span of time in microseconds.
+using Duration = int64_t;
+
+inline constexpr Duration kMicrosPerMilli = 1'000;
+inline constexpr Duration kMicrosPerSecond = 1'000'000;
+inline constexpr Duration kMicrosPerMinute = 60 * kMicrosPerSecond;
+inline constexpr Duration kMicrosPerHour = 60 * kMicrosPerMinute;
+inline constexpr Duration kMicrosPerDay = 24 * kMicrosPerHour;
+
+/// Converts whole seconds to a Duration in microseconds.
+constexpr Duration Seconds(int64_t s) { return s * kMicrosPerSecond; }
+
+/// Converts whole milliseconds to a Duration in microseconds.
+constexpr Duration Millis(int64_t ms) { return ms * kMicrosPerMilli; }
+
+/// Converts whole minutes to a Duration in microseconds.
+constexpr Duration Minutes(int64_t m) { return m * kMicrosPerMinute; }
+
+/// Converts whole hours to a Duration in microseconds.
+constexpr Duration Hours(int64_t h) { return h * kMicrosPerHour; }
+
+/// Converts a Duration to fractional seconds (for reporting).
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosPerSecond);
+}
+
+/// Converts a Duration to fractional milliseconds (for reporting).
+constexpr double ToMillis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosPerMilli);
+}
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_UTIL_TYPES_H_

@@ -1,0 +1,82 @@
+#include "baseline/snapshot_finder.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/figure1.h"
+
+namespace magicrecs {
+namespace {
+
+DiamondOptions Defaults(uint32_t k) {
+  DiamondOptions opt;
+  opt.k = k;
+  opt.window = Minutes(10);
+  return opt;
+}
+
+TEST(SnapshotFinderTest, FindsTheFigure1Diamond) {
+  const StaticGraph follower_index = figure1::FollowGraph().Transpose();
+  SnapshotMotifFinder finder(&follower_index, Defaults(2));
+  auto recs = finder.FindAll(figure1::DynamicEdges(0));
+  ASSERT_TRUE(recs.ok()) << recs.status();
+  ASSERT_EQ(recs->size(), 1u);
+  EXPECT_EQ((*recs)[0].user, figure1::kA2);
+  EXPECT_EQ((*recs)[0].item, figure1::kC2);
+  EXPECT_EQ((*recs)[0].witness_count, 2u);
+}
+
+TEST(SnapshotFinderTest, UnsortedInputHandled) {
+  const StaticGraph follower_index = figure1::FollowGraph().Transpose();
+  SnapshotMotifFinder finder(&follower_index, Defaults(2));
+  auto edges = figure1::DynamicEdges(0);
+  std::swap(edges[0], edges[3]);  // shuffle time order
+  auto recs = finder.FindAll(edges);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_EQ(recs->size(), 1u);
+}
+
+TEST(SnapshotFinderTest, EmptyStream) {
+  const StaticGraph follower_index = figure1::FollowGraph().Transpose();
+  SnapshotMotifFinder finder(&follower_index, Defaults(2));
+  auto recs = finder.FindAll({});
+  ASSERT_TRUE(recs.ok());
+  EXPECT_TRUE(recs->empty());
+}
+
+TEST(SnapshotFinderTest, WindowRespected) {
+  const StaticGraph follower_index = figure1::FollowGraph().Transpose();
+  SnapshotMotifFinder finder(&follower_index, Defaults(2));
+  // The two C2 edges are an hour apart: outside a 10-minute window.
+  auto recs = finder.FindAll({{figure1::kB1, figure1::kC2, 0},
+                              {figure1::kB2, figure1::kC2, Hours(1)}});
+  ASSERT_TRUE(recs.ok());
+  EXPECT_TRUE(recs->empty());
+}
+
+TEST(SnapshotFinderTest, ResultsOrderedByTime) {
+  // Two motif completions at different times must come out ordered.
+  StaticGraphBuilder builder(20);
+  ASSERT_TRUE(builder.AddEdges({{0, 1}, {0, 2}, {5, 6}, {5, 7}}).ok());
+  auto follow = builder.Build();
+  ASSERT_TRUE(follow.ok());
+  const StaticGraph follower_index = follow->Transpose();
+  SnapshotMotifFinder finder(&follower_index, Defaults(2));
+  auto recs = finder.FindAll({{6, 11, Seconds(1)},
+                              {7, 11, Seconds(2)},    // motif for user 5
+                              {1, 10, Seconds(3)},
+                              {2, 10, Seconds(4)}});  // motif for user 0
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs->size(), 2u);
+  EXPECT_EQ((*recs)[0].user, 5u);
+  EXPECT_EQ((*recs)[1].user, 0u);
+  EXPECT_LT((*recs)[0].event_time, (*recs)[1].event_time);
+}
+
+TEST(SnapshotFinderTest, ZeroKRejected) {
+  const StaticGraph follower_index = figure1::FollowGraph().Transpose();
+  SnapshotMotifFinder finder(&follower_index, Defaults(0));
+  EXPECT_TRUE(finder.FindAll({}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace magicrecs

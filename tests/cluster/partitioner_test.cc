@@ -1,0 +1,52 @@
+#include "cluster/partitioner.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+TEST(HashPartitionerTest, Deterministic) {
+  HashPartitioner p(20);
+  for (VertexId v = 0; v < 1000; ++v) {
+    EXPECT_EQ(p.PartitionOf(v), p.PartitionOf(v));
+  }
+}
+
+TEST(HashPartitionerTest, WithinRange) {
+  HashPartitioner p(20);
+  for (VertexId v = 0; v < 10'000; ++v) {
+    EXPECT_LT(p.PartitionOf(v), 20u);
+  }
+}
+
+TEST(HashPartitionerTest, SinglePartitionMapsEverythingToZero) {
+  HashPartitioner p(1);
+  for (VertexId v = 0; v < 100; ++v) EXPECT_EQ(p.PartitionOf(v), 0u);
+}
+
+TEST(HashPartitionerTest, BalancedOverSequentialIds) {
+  // Production vertex ids are roughly sequential; the mixer must still
+  // spread them evenly.
+  const uint32_t parts = 20;
+  HashPartitioner p(parts);
+  std::vector<int> counts(parts, 0);
+  const int n = 100'000;
+  for (VertexId v = 0; v < n; ++v) ++counts[p.PartitionOf(v)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / parts, n / parts * 0.1);
+  }
+}
+
+TEST(HashPartitionerTest, SaltChangesAssignment) {
+  HashPartitioner a(20, 0), b(20, 1);
+  int differing = 0;
+  for (VertexId v = 0; v < 1000; ++v) {
+    if (a.PartitionOf(v) != b.PartitionOf(v)) ++differing;
+  }
+  EXPECT_GT(differing, 800);
+}
+
+}  // namespace
+}  // namespace magicrecs

@@ -1,0 +1,337 @@
+#include "core/diamond_detector.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/figure1.h"
+
+namespace magicrecs {
+namespace {
+
+DiamondOptions Defaults(uint32_t k, Duration window = Minutes(10)) {
+  DiamondOptions opt;
+  opt.k = k;
+  opt.window = window;
+  return opt;
+}
+
+class Figure1DetectorTest : public ::testing::Test {
+ protected:
+  Figure1DetectorTest()
+      : follow_graph_(figure1::FollowGraph()),
+        follower_index_(follow_graph_.Transpose()) {}
+
+  StaticGraph follow_graph_;
+  StaticGraph follower_index_;
+};
+
+TEST_F(Figure1DetectorTest, PaperWalkthroughRecommendsC2ToA2) {
+  // "when the edge B2 -> C2 is created ... we want to push C2 to A2" (k=2).
+  DiamondDetector detector(&follower_index_, Defaults(2));
+  std::vector<Recommendation> recs;
+  for (const TimestampedEdge& e : figure1::DynamicEdges(0)) {
+    ASSERT_TRUE(detector.OnEdge(e.src, e.dst, e.created_at, &recs).ok());
+  }
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].user, figure1::kA2);
+  EXPECT_EQ(recs[0].item, figure1::kC2);
+  EXPECT_EQ(recs[0].witness_count, 2u);
+  EXPECT_EQ(recs[0].witnesses,
+            (std::vector<VertexId>{figure1::kB1, figure1::kB2}));
+  EXPECT_EQ(recs[0].trigger, figure1::kB2);
+}
+
+TEST_F(Figure1DetectorTest, NoRecommendationBeforeTrigger) {
+  DiamondDetector detector(&follower_index_, Defaults(2));
+  std::vector<Recommendation> recs;
+  const auto edges = figure1::DynamicEdges(0);
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {  // all but the trigger
+    ASSERT_TRUE(detector
+                    .OnEdge(edges[i].src, edges[i].dst, edges[i].created_at,
+                            &recs)
+                    .ok());
+  }
+  EXPECT_TRUE(recs.empty());
+}
+
+TEST_F(Figure1DetectorTest, ProductionKThreeNeedsAThirdWitness) {
+  // With k=3 the Figure 1 fragment cannot produce a recommendation.
+  DiamondDetector detector(&follower_index_, Defaults(3));
+  std::vector<Recommendation> recs;
+  for (const TimestampedEdge& e : figure1::DynamicEdges(0)) {
+    ASSERT_TRUE(detector.OnEdge(e.src, e.dst, e.created_at, &recs).ok());
+  }
+  EXPECT_TRUE(recs.empty());
+}
+
+TEST_F(Figure1DetectorTest, ExpiredWindowSuppressesTheMotif) {
+  // If B1 -> C2 happened an hour before B2 -> C2, tau = 10min excludes it.
+  DiamondDetector detector(&follower_index_, Defaults(2, Minutes(10)));
+  std::vector<Recommendation> recs;
+  ASSERT_TRUE(detector.OnEdge(figure1::kB1, figure1::kC2, 0, &recs).ok());
+  ASSERT_TRUE(
+      detector.OnEdge(figure1::kB2, figure1::kC2, Hours(1), &recs).ok());
+  EXPECT_TRUE(recs.empty());
+}
+
+TEST_F(Figure1DetectorTest, WindowBoundaryInclusive) {
+  DiamondDetector detector(&follower_index_, Defaults(2, Minutes(10)));
+  std::vector<Recommendation> recs;
+  ASSERT_TRUE(detector.OnEdge(figure1::kB1, figure1::kC2, 1, &recs).ok());
+  // Exactly window-1 later: still inside (t - window, t].
+  ASSERT_TRUE(detector
+                  .OnEdge(figure1::kB2, figure1::kC2, Minutes(10), &recs)
+                  .ok());
+  EXPECT_EQ(recs.size(), 1u);
+}
+
+TEST_F(Figure1DetectorTest, RepeatFollowByTheSameBDoesNotCount) {
+  // B1 following C2 twice is one distinct witness, not two.
+  DiamondDetector detector(&follower_index_, Defaults(2));
+  std::vector<Recommendation> recs;
+  ASSERT_TRUE(detector.OnEdge(figure1::kB1, figure1::kC2, 1, &recs).ok());
+  ASSERT_TRUE(detector.OnEdge(figure1::kB1, figure1::kC2, 2, &recs).ok());
+  EXPECT_TRUE(recs.empty());
+}
+
+TEST_F(Figure1DetectorTest, StatsAreAccurate) {
+  DiamondDetector detector(&follower_index_, Defaults(2));
+  std::vector<Recommendation> recs;
+  for (const TimestampedEdge& e : figure1::DynamicEdges(0)) {
+    ASSERT_TRUE(detector.OnEdge(e.src, e.dst, e.created_at, &recs).ok());
+  }
+  const DiamondStats& stats = detector.stats();
+  EXPECT_EQ(stats.events, 4u);
+  EXPECT_EQ(stats.threshold_queries, 1u);
+  EXPECT_EQ(stats.recommendations, 1u);
+  EXPECT_EQ(stats.query_micros.Count(), 4u);
+}
+
+TEST(DiamondDetectorTest, ExcludesExistingFollower) {
+  // A0 follows B1, B2 and already follows C9: no recommendation for A0.
+  StaticGraphBuilder builder(10);
+  ASSERT_TRUE(builder.AddEdges({{0, 1}, {0, 2}, {0, 9}}).ok());
+  auto follow = builder.Build();
+  ASSERT_TRUE(follow.ok());
+  StaticGraph follower_index = follow->Transpose();
+
+  DiamondDetector detector(&follower_index, Defaults(2));
+  std::vector<Recommendation> recs;
+  ASSERT_TRUE(detector.OnEdge(1, 9, 1, &recs).ok());
+  ASSERT_TRUE(detector.OnEdge(2, 9, 2, &recs).ok());
+  EXPECT_TRUE(recs.empty());
+  EXPECT_EQ(detector.stats().suppressed_existing, 1u);
+}
+
+TEST(DiamondDetectorTest, ExistingFollowerIncludedWhenDisabled) {
+  StaticGraphBuilder builder(10);
+  ASSERT_TRUE(builder.AddEdges({{0, 1}, {0, 2}, {0, 9}}).ok());
+  auto follow = builder.Build();
+  ASSERT_TRUE(follow.ok());
+  StaticGraph follower_index = follow->Transpose();
+
+  DiamondOptions opt = Defaults(2);
+  opt.exclude_existing_followers = false;
+  DiamondDetector detector(&follower_index, opt);
+  std::vector<Recommendation> recs;
+  ASSERT_TRUE(detector.OnEdge(1, 9, 1, &recs).ok());
+  ASSERT_TRUE(detector.OnEdge(2, 9, 2, &recs).ok());
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].user, 0u);
+}
+
+TEST(DiamondDetectorTest, ExcludesDynamicFollower) {
+  // A0 follows B1 and B2; A0 itself followed C9 two minutes ago on the
+  // stream (not in S). Still excluded.
+  StaticGraphBuilder builder(10);
+  ASSERT_TRUE(builder.AddEdges({{0, 1}, {0, 2}}).ok());
+  auto follow = builder.Build();
+  ASSERT_TRUE(follow.ok());
+  StaticGraph follower_index = follow->Transpose();
+
+  DiamondDetector detector(&follower_index, Defaults(2));
+  std::vector<Recommendation> recs;
+  ASSERT_TRUE(detector.OnEdge(0, 9, Seconds(1), &recs).ok());  // A0 -> C9
+  ASSERT_TRUE(detector.OnEdge(1, 9, Seconds(2), &recs).ok());
+  ASSERT_TRUE(detector.OnEdge(2, 9, Seconds(3), &recs).ok());
+  EXPECT_TRUE(recs.empty());
+  EXPECT_EQ(detector.stats().suppressed_existing, 1u);
+}
+
+TEST(DiamondDetectorTest, SelfRecommendationSuppressed) {
+  // C9 follows B1 and B2; B1, B2 follow C9 back: C9 must not be recommended
+  // to itself.
+  StaticGraphBuilder builder(10);
+  ASSERT_TRUE(builder.AddEdges({{9, 1}, {9, 2}}).ok());
+  auto follow = builder.Build();
+  ASSERT_TRUE(follow.ok());
+  StaticGraph follower_index = follow->Transpose();
+
+  DiamondDetector detector(&follower_index, Defaults(2));
+  std::vector<Recommendation> recs;
+  ASSERT_TRUE(detector.OnEdge(1, 9, 1, &recs).ok());
+  ASSERT_TRUE(detector.OnEdge(2, 9, 2, &recs).ok());
+  EXPECT_TRUE(recs.empty());
+  EXPECT_EQ(detector.stats().suppressed_self, 1u);
+}
+
+TEST(DiamondDetectorTest, MultipleUsersRecommendedAtOnce) {
+  // A0..A4 all follow B10 and B11; both follow C20 within the window.
+  StaticGraphBuilder builder(30);
+  for (VertexId a = 0; a < 5; ++a) {
+    ASSERT_TRUE(builder.AddEdge(a, 10).ok());
+    ASSERT_TRUE(builder.AddEdge(a, 11).ok());
+  }
+  auto follow = builder.Build();
+  ASSERT_TRUE(follow.ok());
+  StaticGraph follower_index = follow->Transpose();
+
+  DiamondDetector detector(&follower_index, Defaults(2));
+  std::vector<Recommendation> recs;
+  ASSERT_TRUE(detector.OnEdge(10, 20, 1, &recs).ok());
+  ASSERT_TRUE(detector.OnEdge(11, 20, 2, &recs).ok());
+  ASSERT_EQ(recs.size(), 5u);
+  for (const auto& rec : recs) EXPECT_EQ(rec.item, 20u);
+}
+
+TEST(DiamondDetectorTest, LaterWitnessesRetrigger) {
+  // After the first recommendation at k=2, a third B triggers another
+  // recommendation with witness_count=3 (downstream dedup collapses these).
+  StaticGraphBuilder builder(30);
+  ASSERT_TRUE(builder.AddEdges({{0, 10}, {0, 11}, {0, 12}}).ok());
+  auto follow = builder.Build();
+  ASSERT_TRUE(follow.ok());
+  StaticGraph follower_index = follow->Transpose();
+
+  DiamondDetector detector(&follower_index, Defaults(2));
+  std::vector<Recommendation> recs;
+  ASSERT_TRUE(detector.OnEdge(10, 20, 1, &recs).ok());
+  ASSERT_TRUE(detector.OnEdge(11, 20, 2, &recs).ok());
+  ASSERT_TRUE(detector.OnEdge(12, 20, 3, &recs).ok());
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].witness_count, 2u);
+  EXPECT_EQ(recs[1].witness_count, 3u);
+}
+
+TEST(DiamondDetectorTest, WitnessReportingCapKeepsCountExact) {
+  StaticGraphBuilder builder(30);
+  for (VertexId b = 10; b < 16; ++b) ASSERT_TRUE(builder.AddEdge(0, b).ok());
+  auto follow = builder.Build();
+  ASSERT_TRUE(follow.ok());
+  StaticGraph follower_index = follow->Transpose();
+
+  DiamondOptions opt = Defaults(6);
+  opt.max_reported_witnesses = 2;
+  DiamondDetector detector(&follower_index, opt);
+  std::vector<Recommendation> recs;
+  for (VertexId b = 10; b < 16; ++b) {
+    ASSERT_TRUE(detector.OnEdge(b, 20, b, &recs).ok());
+  }
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].witness_count, 6u);
+  EXPECT_EQ(recs[0].witnesses.size(), 2u);
+}
+
+TEST(DiamondDetectorTest, WitnessQueryCapBoundsWork) {
+  // 100 actors on a hot target, cap at 10: the query still works with the
+  // 10 most recent.
+  StaticGraphBuilder builder(200);
+  for (VertexId b = 50; b < 150; ++b) ASSERT_TRUE(builder.AddEdge(0, b).ok());
+  auto follow = builder.Build();
+  ASSERT_TRUE(follow.ok());
+  StaticGraph follower_index = follow->Transpose();
+
+  DiamondOptions opt = Defaults(3);
+  opt.max_witnesses_per_query = 10;
+  DiamondDetector detector(&follower_index, opt);
+  std::vector<Recommendation> recs;
+  for (VertexId b = 50; b < 150; ++b) {
+    ASSERT_TRUE(detector.OnEdge(b, 190, Seconds(b), &recs).ok());
+  }
+  EXPECT_FALSE(recs.empty());
+  for (const auto& rec : recs) {
+    EXPECT_LE(rec.witness_count, 10u);
+  }
+}
+
+TEST(DiamondDetectorTest, KOneDegeneratesToTriangleClosure) {
+  StaticGraphBuilder builder(10);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  auto follow = builder.Build();
+  ASSERT_TRUE(follow.ok());
+  StaticGraph follower_index = follow->Transpose();
+
+  DiamondDetector detector(&follower_index, Defaults(1));
+  std::vector<Recommendation> recs;
+  ASSERT_TRUE(detector.OnEdge(1, 5, 1, &recs).ok());
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].user, 0u);
+  EXPECT_EQ(recs[0].item, 5u);
+}
+
+TEST(DiamondDetectorTest, InvalidEdgeRejected) {
+  StaticGraph follower_index;
+  DiamondDetector detector(&follower_index, Defaults(2));
+  std::vector<Recommendation> recs;
+  EXPECT_TRUE(
+      detector.OnEdge(kInvalidVertex, 1, 0, &recs).IsInvalidArgument());
+}
+
+TEST(DiamondDetectorTest, StrictTimeOrderPropagates) {
+  StaticGraph follower_index;
+  DiamondOptions opt = Defaults(2);
+  opt.strict_time_order = true;
+  DiamondDetector detector(&follower_index, opt);
+  std::vector<Recommendation> recs;
+  ASSERT_TRUE(detector.OnEdge(1, 2, Seconds(10), &recs).ok());
+  EXPECT_TRUE(
+      detector.OnEdge(3, 2, Seconds(5), &recs).IsFailedPrecondition());
+}
+
+TEST(DiamondDetectorTest, IngestSkipsQueryWork) {
+  StaticGraph follow = figure1::FollowGraph();
+  StaticGraph follower_index = follow.Transpose();
+  DiamondDetector detector(&follower_index, Defaults(2));
+  for (const TimestampedEdge& e : figure1::DynamicEdges(0)) {
+    ASSERT_TRUE(detector.Ingest(e.src, e.dst, e.created_at).ok());
+  }
+  EXPECT_EQ(detector.stats().events, 4u);
+  EXPECT_EQ(detector.stats().threshold_queries, 0u);
+  EXPECT_EQ(detector.stats().recommendations, 0u);
+}
+
+TEST(DiamondDetectorTest, CopyDynamicStateTransfersWarmState) {
+  StaticGraph follow = figure1::FollowGraph();
+  StaticGraph follower_index = follow.Transpose();
+  DiamondDetector warm(&follower_index, Defaults(2));
+  DiamondDetector cold(&follower_index, Defaults(2));
+
+  const auto edges = figure1::DynamicEdges(0);
+  std::vector<Recommendation> recs;
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    ASSERT_TRUE(
+        warm.OnEdge(edges[i].src, edges[i].dst, edges[i].created_at, &recs)
+            .ok());
+  }
+  cold.CopyDynamicStateFrom(warm);
+  // The trigger lands on the previously cold replica and still detects.
+  ASSERT_TRUE(cold.OnEdge(edges.back().src, edges.back().dst,
+                          edges.back().created_at, &recs)
+                  .ok());
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].user, figure1::kA2);
+}
+
+TEST(DiamondDetectorTest, PruneReleasesExpiredState) {
+  StaticGraph follow = figure1::FollowGraph();
+  StaticGraph follower_index = follow.Transpose();
+  DiamondDetector detector(&follower_index, Defaults(2, Seconds(10)));
+  std::vector<Recommendation> recs;
+  ASSERT_TRUE(detector.OnEdge(figure1::kB1, figure1::kC2, 0, &recs).ok());
+  detector.Prune(Hours(1));
+  EXPECT_EQ(detector.dynamic_index().stats().current_edges, 0u);
+}
+
+}  // namespace
+}  // namespace magicrecs

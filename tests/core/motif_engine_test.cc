@@ -1,0 +1,147 @@
+#include "core/motif_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/diamond_detector.h"
+#include "gen/figure1.h"
+
+namespace magicrecs {
+namespace {
+
+TEST(MotifEngineTest, DiamondSpecReproducesFigure1) {
+  auto engine = MotifEngine::Create(figure1::FollowGraph(),
+                                    MakeDiamondSpec(2, Minutes(10)));
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  std::vector<Recommendation> recs;
+  for (const TimestampedEdge& e : figure1::DynamicEdges(0)) {
+    ASSERT_TRUE((*engine)->OnEdge(e.src, e.dst, e.created_at, &recs).ok());
+  }
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].user, figure1::kA2);
+  EXPECT_EQ(recs[0].item, figure1::kC2);
+  EXPECT_EQ(recs[0].witness_count, 2u);
+}
+
+TEST(MotifEngineTest, MatchesHandCodedDetectorOnFigure1) {
+  auto engine = MotifEngine::Create(figure1::FollowGraph(),
+                                    MakeDiamondSpec(2, Minutes(10)));
+  ASSERT_TRUE(engine.ok());
+
+  const StaticGraph follow = figure1::FollowGraph();
+  const StaticGraph follower_index = follow.Transpose();
+  DiamondOptions opt;
+  opt.k = 2;
+  opt.window = Minutes(10);
+  DiamondDetector detector(&follower_index, opt);
+
+  std::vector<Recommendation> generic, handcoded;
+  for (const TimestampedEdge& e : figure1::DynamicEdges(0)) {
+    ASSERT_TRUE((*engine)->OnEdge(e.src, e.dst, e.created_at, &generic).ok());
+    ASSERT_TRUE(detector.OnEdge(e.src, e.dst, e.created_at, &handcoded).ok());
+  }
+  EXPECT_EQ(generic, handcoded);
+}
+
+TEST(MotifEngineTest, TriangleClosureFiresOnFirstEdge) {
+  auto engine = MotifEngine::Create(figure1::FollowGraph(),
+                                    MakeTriangleClosureSpec(Minutes(10)));
+  ASSERT_TRUE(engine.ok());
+  std::vector<Recommendation> recs;
+  // B1 -> C1: followers of B1 (A1, A2) each get C1 immediately.
+  ASSERT_TRUE((*engine)->OnEdge(figure1::kB1, figure1::kC1, 1, &recs).ok());
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].user, figure1::kA1);
+  EXPECT_EQ(recs[1].user, figure1::kA2);
+}
+
+TEST(MotifEngineTest, ActionFilterSkipsOtherActions) {
+  auto engine = MotifEngine::Create(
+      figure1::FollowGraph(),
+      MakeCoActionSpec(2, Minutes(10), MotifAction::kRetweet));
+  ASSERT_TRUE(engine.ok());
+  std::vector<Recommendation> recs;
+  // Same shape as Figure 1, but delivered as follows: filtered out entirely.
+  for (const TimestampedEdge& e : figure1::DynamicEdges(0)) {
+    ASSERT_TRUE((*engine)
+                    ->OnEdge(e.src, e.dst, e.created_at, &recs,
+                             MotifAction::kFollow)
+                    .ok());
+  }
+  EXPECT_TRUE(recs.empty());
+  EXPECT_EQ((*engine)->stats().filtered_by_action, 4u);
+
+  // Replayed as retweets, the motif fires.
+  for (const TimestampedEdge& e : figure1::DynamicEdges(Hours(1))) {
+    ASSERT_TRUE((*engine)
+                    ->OnEdge(e.src, e.dst, e.created_at, &recs,
+                             MotifAction::kRetweet)
+                    .ok());
+  }
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].user, figure1::kA2);
+}
+
+TEST(MotifEngineTest, ReversedStaticEdgeRecommendsToFollowees) {
+  // Pattern: static B -> A (the actor follows A); dynamic B -> C. When >= 1
+  // actors who follow A act on C, recommend C to A. Build: B5 follows A0.
+  StaticGraphBuilder builder(10);
+  ASSERT_TRUE(builder.AddEdge(5, 0).ok());
+  auto follow = builder.Build();
+  ASSERT_TRUE(follow.ok());
+
+  MotifSpec spec = MakeDiamondSpec(1, Minutes(10));
+  spec.name = "followee_push";
+  spec.edges[0] = MotifEdgeSpec{"B", "A", MotifEdgeKind::kStatic, 0,
+                                MotifAction::kAny};
+  auto engine = MotifEngine::Create(*follow, spec);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  std::vector<Recommendation> recs;
+  ASSERT_TRUE((*engine)->OnEdge(5, 7, 1, &recs).ok());
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].user, 0u);  // A0, whom B5 follows
+  EXPECT_EQ(recs[0].item, 7u);
+}
+
+TEST(MotifEngineTest, RejectsUnplannableSpec) {
+  MotifSpec spec = MakeDiamondSpec(2, Minutes(1));
+  spec.emit_user = "Q";
+  auto engine = MotifEngine::Create(figure1::FollowGraph(), spec);
+  EXPECT_FALSE(engine.ok());
+  EXPECT_TRUE(engine.status().IsUnimplemented());
+}
+
+TEST(MotifEngineTest, StatsCountQueriesAndCandidates) {
+  auto engine = MotifEngine::Create(figure1::FollowGraph(),
+                                    MakeDiamondSpec(2, Minutes(10)));
+  ASSERT_TRUE(engine.ok());
+  std::vector<Recommendation> recs;
+  for (const TimestampedEdge& e : figure1::DynamicEdges(0)) {
+    ASSERT_TRUE((*engine)->OnEdge(e.src, e.dst, e.created_at, &recs).ok());
+  }
+  const MotifEngineStats& stats = (*engine)->stats();
+  EXPECT_EQ(stats.events, 4u);
+  EXPECT_EQ(stats.threshold_queries, 1u);
+  EXPECT_EQ(stats.recommendations, 1u);
+}
+
+TEST(MotifEngineTest, PruneAndMemoryAccounting) {
+  auto engine = MotifEngine::Create(figure1::FollowGraph(),
+                                    MakeDiamondSpec(2, Seconds(5)));
+  ASSERT_TRUE(engine.ok());
+  std::vector<Recommendation> recs;
+  ASSERT_TRUE((*engine)->OnEdge(figure1::kB1, figure1::kC1, 0, &recs).ok());
+  EXPECT_GT((*engine)->DynamicMemoryUsage(), 0u);
+  (*engine)->Prune(Hours(1));
+  SUCCEED();
+}
+
+TEST(MotifEngineTest, PlanIsExposedForExplain) {
+  auto engine = MotifEngine::Create(figure1::FollowGraph(),
+                                    MakeDiamondSpec(3, Minutes(10)));
+  ASSERT_TRUE(engine.ok());
+  EXPECT_NE((*engine)->plan().Explain().find("diamond"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace magicrecs

@@ -1,0 +1,181 @@
+#include "core/motif_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+constexpr const char* kDiamondDsl = R"(
+motif diamond {
+  static A -> B;
+  dynamic B -> C window 10m;
+  trigger B -> C;
+  emit A recommends C when count(B) >= 3;
+}
+)";
+
+TEST(MotifParseTest, ParsesTheDiamond) {
+  auto spec = ParseMotif(kDiamondDsl);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->name, "diamond");
+  ASSERT_EQ(spec->edges.size(), 2u);
+  EXPECT_EQ(spec->edges[0].kind, MotifEdgeKind::kStatic);
+  EXPECT_EQ(spec->edges[0].src, "A");
+  EXPECT_EQ(spec->edges[0].dst, "B");
+  EXPECT_EQ(spec->edges[1].kind, MotifEdgeKind::kDynamic);
+  EXPECT_EQ(spec->edges[1].window, Minutes(10));
+  EXPECT_EQ(spec->trigger_src, "B");
+  EXPECT_EQ(spec->trigger_dst, "C");
+  EXPECT_EQ(spec->emit_user, "A");
+  EXPECT_EQ(spec->emit_item, "C");
+  EXPECT_EQ(spec->counted, "B");
+  EXPECT_EQ(spec->threshold, 3u);
+}
+
+TEST(MotifParseTest, MatchesFactorySpec) {
+  auto parsed = ParseMotif(kDiamondDsl);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, MakeDiamondSpec(3, Minutes(10)));
+}
+
+TEST(MotifParseTest, RoundTripsThroughToDsl) {
+  const MotifSpec original = MakeDiamondSpec(3, Minutes(10));
+  auto reparsed = ParseMotif(original.ToDsl());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*reparsed, original);
+}
+
+TEST(MotifParseTest, CoActionRoundTrip) {
+  const MotifSpec original = MakeCoActionSpec(2, Seconds(90),
+                                              MotifAction::kRetweet);
+  auto reparsed = ParseMotif(original.ToDsl());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*reparsed, original);
+}
+
+TEST(MotifParseTest, DurationUnits) {
+  for (const auto& [text, expected] :
+       std::vector<std::pair<std::string, Duration>>{{"500ms", Millis(500)},
+                                                     {"30s", Seconds(30)},
+                                                     {"10m", Minutes(10)},
+                                                     {"2h", Hours(2)}}) {
+    const std::string dsl = "motif m { dynamic B -> C window " + text +
+                            "; trigger B -> C; static A -> B; "
+                            "emit A recommends C when count(B) >= 1; }";
+    auto spec = ParseMotif(dsl);
+    ASSERT_TRUE(spec.ok()) << text << ": " << spec.status();
+    EXPECT_EQ(spec->edges[0].window, expected) << text;
+  }
+}
+
+TEST(MotifParseTest, CommentsAreSkipped) {
+  const std::string dsl = R"(
+# the paper's motif
+motif d {
+  static A -> B;  # offline edge
+  dynamic B -> C window 5m;
+  trigger B -> C;
+  emit A recommends C when count(B) >= 2;
+}
+)";
+  auto spec = ParseMotif(dsl);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->threshold, 2u);
+}
+
+TEST(MotifParseTest, ActionFilterParsed) {
+  const std::string dsl =
+      "motif m { static A -> B; dynamic B -> C window 1m action retweet; "
+      "trigger B -> C; emit A recommends C when count(B) >= 2; }";
+  auto spec = ParseMotif(dsl);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->edges[1].action, MotifAction::kRetweet);
+}
+
+TEST(MotifParseTest, SyntaxErrorsCarryLocation) {
+  auto spec = ParseMotif("motif m { static A -> ; }");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_TRUE(spec.status().IsInvalidArgument());
+  EXPECT_NE(spec.status().message().find("1:"), std::string::npos)
+      << spec.status();
+}
+
+TEST(MotifParseTest, RejectsUnknownStatement) {
+  auto spec = ParseMotif("motif m { bogus A -> B; }");
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(MotifParseTest, RejectsMissingEmit) {
+  auto spec = ParseMotif(
+      "motif m { static A -> B; dynamic B -> C window 1m; trigger B -> C; }");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("emit"), std::string::npos);
+}
+
+TEST(MotifParseTest, RejectsWindowOnStaticEdge) {
+  auto spec = ParseMotif(
+      "motif m { static A -> B window 5m; dynamic B -> C window 1m; "
+      "trigger B -> C; emit A recommends C when count(B) >= 1; }");
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(MotifParseTest, RejectsZeroThreshold) {
+  auto spec = ParseMotif(
+      "motif m { static A -> B; dynamic B -> C window 1m; trigger B -> C; "
+      "emit A recommends C when count(B) >= 0; }");
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(MotifParseTest, RejectsUnknownAction) {
+  auto spec = ParseMotif(
+      "motif m { static A -> B; dynamic B -> C window 1m action poke; "
+      "trigger B -> C; emit A recommends C when count(B) >= 1; }");
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(MotifParseTest, RejectsGarbageCharacters) {
+  auto spec = ParseMotif("motif m @ {}");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("'@'"), std::string::npos);
+}
+
+TEST(MotifValidateTest, TriggerMustBeDynamic) {
+  MotifSpec spec = MakeDiamondSpec(2, Minutes(1));
+  spec.edges[1].kind = MotifEdgeKind::kStatic;
+  spec.edges[1].window = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(MotifValidateTest, DynamicEdgeNeedsWindow) {
+  MotifSpec spec = MakeDiamondSpec(2, Minutes(1));
+  spec.edges[1].window = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(MotifValidateTest, TriggerMustMatchAnEdge) {
+  MotifSpec spec = MakeDiamondSpec(2, Minutes(1));
+  spec.trigger_src = "X";
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(MotifValidateTest, SelfLoopRejected) {
+  MotifSpec spec = MakeDiamondSpec(2, Minutes(1));
+  spec.edges[0].dst = "A";
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(MotifFactoryTest, TriangleClosureIsKOne) {
+  const MotifSpec spec = MakeTriangleClosureSpec(Minutes(5));
+  EXPECT_EQ(spec.threshold, 1u);
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(MotifActionNameTest, AllNamed) {
+  EXPECT_EQ(MotifActionName(MotifAction::kAny), "any");
+  EXPECT_EQ(MotifActionName(MotifAction::kFollow), "follow");
+  EXPECT_EQ(MotifActionName(MotifAction::kRetweet), "retweet");
+  EXPECT_EQ(MotifActionName(MotifAction::kFavorite), "favorite");
+}
+
+}  // namespace
+}  // namespace magicrecs

@@ -1,0 +1,77 @@
+#include "delivery/dedup_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+DedupCache::Options TtlOptions(Duration ttl, size_t max_entries = 0) {
+  DedupCache::Options opt;
+  opt.ttl = ttl;
+  opt.max_entries = max_entries;
+  return opt;
+}
+
+TEST(DedupCacheTest, FreshPairIsNotDuplicate) {
+  DedupCache cache(TtlOptions(Hours(1)));
+  EXPECT_FALSE(cache.IsDuplicate(1, 2, 0));
+}
+
+TEST(DedupCacheTest, RecordedPairIsDuplicateWithinTtl) {
+  DedupCache cache(TtlOptions(Hours(1)));
+  cache.Record(1, 2, 0);
+  EXPECT_TRUE(cache.IsDuplicate(1, 2, Minutes(30)));
+  EXPECT_EQ(cache.duplicates_detected(), 1u);
+}
+
+TEST(DedupCacheTest, ExpiresAfterTtl) {
+  DedupCache cache(TtlOptions(Hours(1)));
+  cache.Record(1, 2, 0);
+  EXPECT_FALSE(cache.IsDuplicate(1, 2, Hours(1)));
+  EXPECT_FALSE(cache.IsDuplicate(1, 2, Hours(2)));
+}
+
+TEST(DedupCacheTest, DistinctPairsIndependent) {
+  DedupCache cache(TtlOptions(Hours(1)));
+  cache.Record(1, 2, 0);
+  EXPECT_FALSE(cache.IsDuplicate(1, 3, 0));
+  EXPECT_FALSE(cache.IsDuplicate(2, 2, 0));
+  // user/item are not interchangeable.
+  EXPECT_FALSE(cache.IsDuplicate(2, 1, 0));
+}
+
+TEST(DedupCacheTest, RecordRefreshesTtl) {
+  DedupCache cache(TtlOptions(Hours(1)));
+  cache.Record(1, 2, 0);
+  cache.Record(1, 2, Minutes(50));
+  EXPECT_TRUE(cache.IsDuplicate(1, 2, Minutes(100)));
+}
+
+TEST(DedupCacheTest, CleanupDropsExpired) {
+  DedupCache cache(TtlOptions(Minutes(10)));
+  cache.Record(1, 2, 0);
+  cache.Record(3, 4, Minutes(9));
+  cache.Cleanup(Minutes(12));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DedupCacheTest, CapacityEvictsOldestFirst) {
+  DedupCache cache(TtlOptions(Hours(10), 3));
+  cache.Record(1, 1, Seconds(1));
+  cache.Record(2, 2, Seconds(2));
+  cache.Record(3, 3, Seconds(3));
+  cache.Record(4, 4, Seconds(4));  // triggers eviction of (1,1)
+  EXPECT_LE(cache.size(), 3u);
+  EXPECT_FALSE(cache.IsDuplicate(1, 1, Seconds(5)));
+  EXPECT_TRUE(cache.IsDuplicate(4, 4, Seconds(5)));
+}
+
+TEST(DedupCacheTest, MemoryGrowsWithEntries) {
+  DedupCache cache(TtlOptions(Hours(1)));
+  const size_t before = cache.MemoryUsage();
+  for (VertexId i = 0; i < 10'000; ++i) cache.Record(i, i + 1, 0);
+  EXPECT_GT(cache.MemoryUsage(), before);
+}
+
+}  // namespace
+}  // namespace magicrecs

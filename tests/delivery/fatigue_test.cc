@@ -1,0 +1,101 @@
+#include "delivery/fatigue.h"
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+FatigueController::Options MakeOptions(double per_hour, double burst,
+                                        uint32_t max_per_day) {
+  FatigueController::Options opt;
+  opt.notifications_per_hour = per_hour;
+  opt.burst = burst;
+  opt.max_per_day = max_per_day;
+  return opt;
+}
+
+TEST(FatigueTest, FreshUserGetsBurstAllowance) {
+  FatigueController fatigue(MakeOptions(1.0, 2.0, 100));
+  const Timestamp noon = Hours(12);
+  EXPECT_TRUE(fatigue.Allow(1, noon));
+  EXPECT_TRUE(fatigue.Allow(1, noon));
+  EXPECT_FALSE(fatigue.Allow(1, noon));  // bucket exhausted
+}
+
+TEST(FatigueTest, TokensRefillOverTime) {
+  FatigueController fatigue(MakeOptions(1.0, 2.0, 100));
+  const Timestamp noon = Hours(12);
+  EXPECT_TRUE(fatigue.Allow(1, noon));
+  EXPECT_TRUE(fatigue.Allow(1, noon));
+  EXPECT_FALSE(fatigue.Allow(1, noon));
+  // One hour later one token has refilled.
+  EXPECT_TRUE(fatigue.Allow(1, noon + Hours(1)));
+  EXPECT_FALSE(fatigue.Allow(1, noon + Hours(1)));
+}
+
+TEST(FatigueTest, RefillCappedAtBurst) {
+  FatigueController fatigue(MakeOptions(1.0, 2.0, 100));
+  const Timestamp start = Hours(12);
+  EXPECT_TRUE(fatigue.Allow(1, start));
+  // A week later the bucket holds at most `burst` tokens.
+  const Timestamp later = start + 7 * kMicrosPerDay;
+  EXPECT_TRUE(fatigue.Allow(1, later));
+  EXPECT_TRUE(fatigue.Allow(1, later));
+  EXPECT_FALSE(fatigue.Allow(1, later));
+}
+
+TEST(FatigueTest, DailyCapBindsBeforeTokens) {
+  FatigueController fatigue(MakeOptions(100.0, 100.0, 3));
+  const Timestamp noon = Hours(12);
+  EXPECT_TRUE(fatigue.Allow(1, noon));
+  EXPECT_TRUE(fatigue.Allow(1, noon + Seconds(1)));
+  EXPECT_TRUE(fatigue.Allow(1, noon + Seconds(2)));
+  EXPECT_FALSE(fatigue.Allow(1, noon + Seconds(3)));
+  EXPECT_EQ(fatigue.suppressed(), 1u);
+}
+
+TEST(FatigueTest, DailyCapResetsAtMidnight) {
+  FatigueController fatigue(MakeOptions(100.0, 100.0, 1));
+  const Timestamp day0_noon = Hours(12);
+  EXPECT_TRUE(fatigue.Allow(1, day0_noon));
+  EXPECT_FALSE(fatigue.Allow(1, day0_noon + Hours(1)));
+  // Next UTC day.
+  EXPECT_TRUE(fatigue.Allow(1, day0_noon + kMicrosPerDay));
+}
+
+TEST(FatigueTest, UsersAreIndependent) {
+  FatigueController fatigue(MakeOptions(1.0, 1.0, 10));
+  const Timestamp noon = Hours(12);
+  EXPECT_TRUE(fatigue.Allow(1, noon));
+  EXPECT_TRUE(fatigue.Allow(2, noon));
+  EXPECT_FALSE(fatigue.Allow(1, noon));
+}
+
+TEST(FatigueTest, ZeroDailyCapMeansUncapped) {
+  FatigueController fatigue(MakeOptions(1000.0, 50.0, 0));
+  const Timestamp noon = Hours(12);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(fatigue.Allow(1, noon + Seconds(i))) << i;
+  }
+}
+
+TEST(FatigueTest, CountersTrackOutcomes) {
+  FatigueController fatigue(MakeOptions(1.0, 1.0, 10));
+  const Timestamp noon = Hours(12);
+  fatigue.Allow(1, noon);
+  fatigue.Allow(1, noon);
+  EXPECT_EQ(fatigue.allowed(), 1u);
+  EXPECT_EQ(fatigue.suppressed(), 1u);
+}
+
+TEST(FatigueTest, CleanupForgetsQuiescentUsers) {
+  FatigueController fatigue(MakeOptions(1.0, 2.0, 10));
+  const Timestamp noon = Hours(12);
+  fatigue.Allow(1, noon);
+  EXPECT_EQ(fatigue.tracked_users(), 1u);
+  fatigue.Cleanup(noon + 3 * kMicrosPerDay);
+  EXPECT_EQ(fatigue.tracked_users(), 0u);
+}
+
+}  // namespace
+}  // namespace magicrecs

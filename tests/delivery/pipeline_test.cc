@@ -1,0 +1,140 @@
+#include "delivery/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+Recommendation Rec(VertexId user, VertexId item) {
+  Recommendation rec;
+  rec.user = user;
+  rec.item = item;
+  rec.witness_count = 3;
+  rec.event_time = Hours(12);
+  return rec;
+}
+
+DeliveryPipeline::Options Permissive() {
+  DeliveryPipeline::Options opt;
+  opt.quiet_hours.synthetic_timezone_spread = 0;  // all UTC
+  opt.fatigue.notifications_per_hour = 1000;
+  opt.fatigue.burst = 1000;
+  opt.fatigue.max_per_day = 0;
+  return opt;
+}
+
+TEST(PipelineTest, DeliversCleanCandidate) {
+  DeliveryPipeline pipeline(Permissive());
+  std::vector<Notification> out;
+  EXPECT_EQ(pipeline.Process(Rec(1, 2), Hours(12), &out),
+            DeliveryOutcome::kDelivered);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].user, 1u);
+  EXPECT_EQ(out[0].item, 2u);
+  EXPECT_EQ(out[0].delivered_at, Hours(12));
+}
+
+TEST(PipelineTest, DuplicateSuppressed) {
+  DeliveryPipeline pipeline(Permissive());
+  std::vector<Notification> out;
+  EXPECT_EQ(pipeline.Process(Rec(1, 2), Hours(12), &out),
+            DeliveryOutcome::kDelivered);
+  EXPECT_EQ(pipeline.Process(Rec(1, 2), Hours(13), &out),
+            DeliveryOutcome::kDuplicate);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(PipelineTest, QuietHoursSuppressed) {
+  DeliveryPipeline pipeline(Permissive());
+  std::vector<Notification> out;
+  EXPECT_EQ(pipeline.Process(Rec(1, 2), Hours(3), &out),
+            DeliveryOutcome::kQuietHours);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PipelineTest, QuietHoursDoesNotChargeDedup) {
+  // A candidate suppressed at night can deliver in the morning.
+  DeliveryPipeline pipeline(Permissive());
+  std::vector<Notification> out;
+  EXPECT_EQ(pipeline.Process(Rec(1, 2), Hours(3), &out),
+            DeliveryOutcome::kQuietHours);
+  EXPECT_EQ(pipeline.Process(Rec(1, 2), Hours(12), &out),
+            DeliveryOutcome::kDelivered);
+}
+
+TEST(PipelineTest, FatigueSuppressed) {
+  DeliveryPipeline::Options opt = Permissive();
+  opt.fatigue.max_per_day = 1;
+  DeliveryPipeline pipeline(opt);
+  std::vector<Notification> out;
+  EXPECT_EQ(pipeline.Process(Rec(1, 2), Hours(12), &out),
+            DeliveryOutcome::kDelivered);
+  EXPECT_EQ(pipeline.Process(Rec(1, 3), Hours(12) + Seconds(5), &out),
+            DeliveryOutcome::kFatigued);
+}
+
+TEST(PipelineTest, FiltersCanBeDisabled) {
+  DeliveryPipeline::Options opt = Permissive();
+  opt.enable_dedup = false;
+  opt.enable_quiet_hours = false;
+  opt.enable_fatigue = false;
+  DeliveryPipeline pipeline(opt);
+  std::vector<Notification> out;
+  // Same pair twice at 3am: everything sails through.
+  EXPECT_EQ(pipeline.Process(Rec(1, 2), Hours(3), &out),
+            DeliveryOutcome::kDelivered);
+  EXPECT_EQ(pipeline.Process(Rec(1, 2), Hours(3), &out),
+            DeliveryOutcome::kDelivered);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(PipelineTest, FunnelCountsEveryStage) {
+  DeliveryPipeline::Options opt = Permissive();
+  opt.fatigue.max_per_day = 1;
+  DeliveryPipeline pipeline(opt);
+  std::vector<Notification> out;
+  pipeline.Process(Rec(1, 2), Hours(12), &out);               // delivered
+  pipeline.Process(Rec(1, 2), Hours(12) + Seconds(1), &out);  // duplicate
+  pipeline.Process(Rec(1, 3), Hours(3), &out);                // quiet hours
+  pipeline.Process(Rec(1, 4), Hours(12) + Seconds(2), &out);  // fatigued
+
+  const FunnelStats& funnel = pipeline.funnel();
+  EXPECT_EQ(funnel.raw_candidates, 4u);
+  EXPECT_EQ(funnel.after_dedup, 3u);
+  EXPECT_EQ(funnel.after_quiet_hours, 2u);
+  EXPECT_EQ(funnel.delivered, 1u);
+  EXPECT_DOUBLE_EQ(funnel.ReductionFactor(), 4.0);
+}
+
+TEST(PipelineTest, NullOutputVectorAccepted) {
+  DeliveryPipeline pipeline(Permissive());
+  EXPECT_EQ(pipeline.Process(Rec(1, 2), Hours(12), nullptr),
+            DeliveryOutcome::kDelivered);
+}
+
+TEST(PipelineTest, OutcomeNamesAreStable) {
+  EXPECT_EQ(DeliveryOutcomeName(DeliveryOutcome::kDelivered), "delivered");
+  EXPECT_EQ(DeliveryOutcomeName(DeliveryOutcome::kDuplicate), "duplicate");
+  EXPECT_EQ(DeliveryOutcomeName(DeliveryOutcome::kQuietHours), "quiet-hours");
+  EXPECT_EQ(DeliveryOutcomeName(DeliveryOutcome::kFatigued), "fatigued");
+}
+
+TEST(PipelineTest, FunnelToStringShowsReduction) {
+  DeliveryPipeline pipeline(Permissive());
+  std::vector<Notification> out;
+  pipeline.Process(Rec(1, 2), Hours(12), &out);
+  const std::string s = pipeline.funnel().ToString();
+  EXPECT_NE(s.find("raw=1"), std::string::npos);
+  EXPECT_NE(s.find("delivered=1"), std::string::npos);
+}
+
+TEST(PipelineTest, CleanupRunsUnderlyingMaintenance) {
+  DeliveryPipeline pipeline(Permissive());
+  std::vector<Notification> out;
+  pipeline.Process(Rec(1, 2), Hours(12), &out);
+  pipeline.Cleanup(Hours(12) + 3 * kMicrosPerDay);
+  EXPECT_EQ(pipeline.dedup().size(), 0u);
+}
+
+}  // namespace
+}  // namespace magicrecs

@@ -1,0 +1,101 @@
+#include "delivery/quiet_hours.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+QuietHoursPolicy::Options UtcOnly(int wake, int sleep) {
+  QuietHoursPolicy::Options opt;
+  opt.wake_hour = wake;
+  opt.sleep_hour = sleep;
+  opt.synthetic_timezone_spread = 0;
+  return opt;
+}
+
+TEST(QuietHoursTest, AwakeInsideWindow) {
+  QuietHoursPolicy policy(UtcOnly(8, 23));
+  EXPECT_TRUE(policy.IsAwake(1, Hours(12)));   // noon
+  EXPECT_TRUE(policy.IsAwake(1, Hours(8)));    // boundary: wake hour
+  EXPECT_TRUE(policy.IsAwake(1, Hours(22)));
+}
+
+TEST(QuietHoursTest, AsleepOutsideWindow) {
+  QuietHoursPolicy policy(UtcOnly(8, 23));
+  EXPECT_FALSE(policy.IsAwake(1, Hours(3)));
+  EXPECT_FALSE(policy.IsAwake(1, Hours(23)));  // boundary: sleep hour
+  EXPECT_FALSE(policy.IsAwake(1, Hours(24) - 1));
+}
+
+TEST(QuietHoursTest, WindowWrappingMidnight) {
+  QuietHoursPolicy policy(UtcOnly(22, 6));  // night-shift user
+  EXPECT_TRUE(policy.IsAwake(1, Hours(23)));
+  EXPECT_TRUE(policy.IsAwake(1, Hours(3)));
+  EXPECT_FALSE(policy.IsAwake(1, Hours(12)));
+}
+
+TEST(QuietHoursTest, TimezoneOffsetShiftsWindow) {
+  QuietHoursPolicy policy(UtcOnly(8, 23));
+  policy.SetTimezone(1, 5);  // UTC+5
+  // 4:00 UTC == 9:00 local: awake.
+  EXPECT_TRUE(policy.IsAwake(1, Hours(4)));
+  // 20:00 UTC == 1:00 local next day: asleep.
+  EXPECT_FALSE(policy.IsAwake(1, Hours(20)));
+}
+
+TEST(QuietHoursTest, NegativeOffset) {
+  QuietHoursPolicy policy(UtcOnly(8, 23));
+  policy.SetTimezone(1, -8);  // UTC-8
+  // 10:00 UTC == 2:00 local: asleep.
+  EXPECT_FALSE(policy.IsAwake(1, Hours(10)));
+  // 18:00 UTC == 10:00 local: awake.
+  EXPECT_TRUE(policy.IsAwake(1, Hours(18)));
+}
+
+TEST(QuietHoursTest, SyntheticTimezonesAreDeterministicAndSpread) {
+  QuietHoursPolicy::Options opt;
+  opt.synthetic_timezone_spread = 12;
+  QuietHoursPolicy policy(opt);
+  std::set<int> offsets;
+  for (VertexId user = 0; user < 1'000; ++user) {
+    const int tz = policy.TimezoneOf(user);
+    EXPECT_EQ(tz, policy.TimezoneOf(user));  // deterministic
+    EXPECT_GE(tz, -12);
+    EXPECT_LT(tz, 12);
+    offsets.insert(tz);
+  }
+  EXPECT_GT(offsets.size(), 12u);  // spread across many zones
+}
+
+TEST(QuietHoursTest, NextWakeTimeIsIdentityWhenAwake) {
+  QuietHoursPolicy policy(UtcOnly(8, 23));
+  EXPECT_EQ(policy.NextWakeTime(1, Hours(12)), Hours(12));
+}
+
+TEST(QuietHoursTest, NextWakeTimeLandsInsideWindow) {
+  QuietHoursPolicy policy(UtcOnly(8, 23));
+  const Timestamp at_3am = Hours(3) + Minutes(17);
+  const Timestamp wake = policy.NextWakeTime(1, at_3am);
+  EXPECT_GT(wake, at_3am);
+  EXPECT_TRUE(policy.IsAwake(1, wake));
+  EXPECT_LE(wake, Hours(9));  // should be ~8:00, certainly before 9
+}
+
+TEST(QuietHoursTest, NextWakeTimeCrossesMidnight) {
+  QuietHoursPolicy policy(UtcOnly(8, 23));
+  const Timestamp at_2330 = Hours(23) + Minutes(30);
+  const Timestamp wake = policy.NextWakeTime(1, at_2330);
+  EXPECT_TRUE(policy.IsAwake(1, wake));
+  EXPECT_GE(wake, Hours(24));
+}
+
+TEST(QuietHoursTest, TimesBeforeEpochHandled) {
+  QuietHoursPolicy policy(UtcOnly(8, 23));
+  // Negative timestamps (pre-1970) must not crash or mis-wrap.
+  EXPECT_NO_FATAL_FAILURE(policy.IsAwake(1, -Hours(30)));
+}
+
+}  // namespace
+}  // namespace magicrecs

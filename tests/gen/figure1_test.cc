@@ -1,0 +1,55 @@
+#include "gen/figure1.h"
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+TEST(Figure1Test, StaticFollowEdgesMatchThePaper) {
+  const StaticGraph g = figure1::FollowGraph();
+  EXPECT_EQ(g.num_vertices(), figure1::kNumVertices);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.HasEdge(figure1::kA1, figure1::kB1));
+  EXPECT_TRUE(g.HasEdge(figure1::kA2, figure1::kB1));
+  EXPECT_TRUE(g.HasEdge(figure1::kA2, figure1::kB2));
+  EXPECT_TRUE(g.HasEdge(figure1::kA3, figure1::kB2));
+  EXPECT_FALSE(g.HasEdge(figure1::kA1, figure1::kB2));
+}
+
+TEST(Figure1Test, DynamicEdgesEndWithTrigger) {
+  const auto edges = figure1::DynamicEdges(0);
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_EQ(edges.back().src, figure1::kB2);
+  EXPECT_EQ(edges.back().dst, figure1::kC2);
+  EXPECT_EQ(figure1::TriggerEdge(0), edges.back());
+}
+
+TEST(Figure1Test, DynamicEdgesAreTimeOrdered) {
+  const auto edges = figure1::DynamicEdges(Seconds(100));
+  for (size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_GT(edges[i].created_at, edges[i - 1].created_at);
+  }
+  EXPECT_GE(edges.front().created_at, Seconds(100));
+}
+
+TEST(Figure1Test, B1AlreadyPointsToC2BeforeTrigger) {
+  const auto edges = figure1::DynamicEdges(0);
+  bool found = false;
+  for (const auto& e : edges) {
+    if (e.src == figure1::kB1 && e.dst == figure1::kC2) {
+      found = true;
+      EXPECT_LT(e.created_at, figure1::TriggerEdge(0).created_at);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Figure1Test, NamesAreReadable) {
+  EXPECT_EQ(figure1::Name(figure1::kA1), "A1");
+  EXPECT_EQ(figure1::Name(figure1::kB2), "B2");
+  EXPECT_EQ(figure1::Name(figure1::kC3), "C3");
+  EXPECT_EQ(figure1::Name(200), "?");
+}
+
+}  // namespace
+}  // namespace magicrecs

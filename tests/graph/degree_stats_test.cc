@@ -1,0 +1,64 @@
+#include "graph/degree_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  StaticGraph g;
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.num_vertices, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 0);
+}
+
+TEST(DegreeStatsTest, RegularGraph) {
+  StaticGraphBuilder builder(10);
+  for (VertexId v = 0; v < 10; ++v) {
+    ASSERT_TRUE(builder.AddEdge(v, (v + 1) % 10).ok());
+    ASSERT_TRUE(builder.AddEdge(v, (v + 2) % 10).ok());
+  }
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  const DegreeStats stats = ComputeDegreeStats(*g);
+  EXPECT_EQ(stats.num_vertices, 10u);
+  EXPECT_EQ(stats.num_edges, 20u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 2.0);
+  EXPECT_EQ(stats.max_degree, 2u);
+}
+
+TEST(DegreeStatsTest, SkewedGraphConcentration) {
+  // One hub with 99 out-edges, everyone else with none.
+  StaticGraphBuilder builder(100);
+  for (VertexId v = 1; v < 100; ++v) ASSERT_TRUE(builder.AddEdge(0, v).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  const DegreeStats stats = ComputeDegreeStats(*g);
+  EXPECT_EQ(stats.max_degree, 99u);
+  // The top-1% (the single hub) holds every edge.
+  EXPECT_DOUBLE_EQ(stats.top1pct_edge_share, 1.0);
+  EXPECT_DOUBLE_EQ(stats.p50, 0.0);
+}
+
+TEST(DegreeStatsTest, InDegreeViaTranspose) {
+  StaticGraphBuilder builder(5);
+  ASSERT_TRUE(builder.AddEdges({{0, 4}, {1, 4}, {2, 4}, {3, 4}}).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  const DegreeStats in_stats = ComputeDegreeStats(g->Transpose());
+  EXPECT_EQ(in_stats.max_degree, 4u);  // vertex 4 has in-degree 4
+}
+
+TEST(DegreeStatsTest, ToStringIsInformative) {
+  StaticGraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  const std::string s = ComputeDegreeStats(*g).ToString();
+  EXPECT_NE(s.find("V=3"), std::string::npos);
+  EXPECT_NE(s.find("E=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace magicrecs

@@ -1,0 +1,118 @@
+// Property test: DynamicInEdgeIndex against a brute-force reference model
+// under long random operation sequences — insertions with drifting time,
+// interleaved queries, periodic global prunes.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/dynamic_graph.h"
+#include "util/random.h"
+
+namespace magicrecs {
+namespace {
+
+/// Brute-force model: remembers every edge ever inserted (with the same
+/// clamping rule) and recomputes window queries from scratch.
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(Duration window, size_t cap)
+      : window_(window), cap_(cap) {}
+
+  void Insert(VertexId src, VertexId dst, Timestamp t) {
+    auto& log = logs_[dst];
+    if (!log.empty() && t < log.back().created_at) {
+      t = log.back().created_at;  // tolerant-mode clamp
+    }
+    log.push_back(TimestampedInEdge{src, t});
+  }
+
+  std::vector<TimestampedInEdge> Query(VertexId dst, Timestamp now) const {
+    const auto it = logs_.find(dst);
+    if (it == logs_.end()) return {};
+    const auto& log = it->second;
+    // Replicate retention: per-insert window pruning plus the per-vertex
+    // cap. The retained window at index i spans the in-window suffix,
+    // clipped to the cap (eviction is oldest-first and cumulative; both
+    // boundaries only move forward, so the final state is the max).
+    size_t begin = 0;
+    for (size_t i = 0; i < log.size(); ++i) {
+      const Timestamp cutoff = log[i].created_at - window_;
+      size_t w = begin;
+      while (w <= i && log[w].created_at <= cutoff) ++w;
+      begin = std::max(begin, w);
+      if (cap_ > 0 && i + 1 - begin > cap_) begin = i + 1 - cap_;
+    }
+    // Visible in (now - window_, now], deduped by src keeping latest.
+    std::map<VertexId, Timestamp> best;
+    for (size_t i = begin; i < log.size(); ++i) {
+      if (log[i].created_at > now - window_ && log[i].created_at <= now) {
+        auto [it2, inserted] = best.try_emplace(log[i].src, log[i].created_at);
+        if (!inserted) it2->second = std::max(it2->second, log[i].created_at);
+      }
+    }
+    std::vector<TimestampedInEdge> out;
+    out.reserve(best.size());
+    for (const auto& [src, t] : best) {
+      out.push_back(TimestampedInEdge{src, t});
+    }
+    return out;
+  }
+
+ private:
+  Duration window_;
+  size_t cap_;
+  std::map<VertexId, std::vector<TimestampedInEdge>> logs_;
+};
+
+struct ModelCase {
+  Duration window;
+  size_t cap;
+};
+
+class DynamicGraphModelTest : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(DynamicGraphModelTest, AgreesWithBruteForceModel) {
+  const ModelCase param = GetParam();
+  DynamicGraphOptions opt;
+  opt.window = param.window;
+  opt.max_in_edges_per_vertex = param.cap;
+  DynamicInEdgeIndex index(opt);
+  ReferenceModel model(param.window, param.cap);
+
+  Rng rng(1234 + static_cast<uint64_t>(param.window) + param.cap);
+  Timestamp now = 0;
+  std::vector<TimestampedInEdge> actual;
+  for (int step = 0; step < 20'000; ++step) {
+    now += static_cast<Duration>(rng.UniformInt(Seconds(2)));
+    const VertexId src = static_cast<VertexId>(rng.UniformInt(40));
+    const VertexId dst = static_cast<VertexId>(rng.UniformInt(12));
+    ASSERT_TRUE(index.Insert(src, dst, now).ok());
+    model.Insert(src, dst, now);
+
+    if (step % 7 == 0) {
+      const VertexId q = static_cast<VertexId>(rng.UniformInt(12));
+      index.GetRecentInEdges(q, now, &actual);
+      const auto expected = model.Query(q, now);
+      ASSERT_EQ(actual, expected) << "step " << step << " dst " << q;
+    }
+    if (step % 1000 == 999) {
+      index.PruneAll(now);  // global prune must not change query results
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowsAndCaps, DynamicGraphModelTest,
+    ::testing::Values(ModelCase{Seconds(10), 0}, ModelCase{Seconds(10), 5},
+                      ModelCase{Minutes(5), 0}, ModelCase{Minutes(5), 64},
+                      ModelCase{Seconds(1), 3}),
+    [](const ::testing::TestParamInfo<ModelCase>& info) {
+      return "w" + std::to_string(info.param.window / kMicrosPerSecond) +
+             "s_cap" + std::to_string(info.param.cap);
+    });
+
+}  // namespace
+}  // namespace magicrecs

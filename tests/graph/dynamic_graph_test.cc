@@ -1,0 +1,191 @@
+#include "graph/dynamic_graph.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+DynamicGraphOptions WindowOptions(Duration window) {
+  DynamicGraphOptions opt;
+  opt.window = window;
+  return opt;
+}
+
+TEST(DynamicGraphTest, InsertAndQuery) {
+  DynamicInEdgeIndex d(WindowOptions(Seconds(10)));
+  ASSERT_TRUE(d.Insert(1, 100, Seconds(1)).ok());
+  ASSERT_TRUE(d.Insert(2, 100, Seconds(2)).ok());
+  std::vector<TimestampedInEdge> out;
+  EXPECT_EQ(d.GetRecentInEdges(100, Seconds(2), &out), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].src, 1u);
+  EXPECT_EQ(out[1].src, 2u);
+}
+
+TEST(DynamicGraphTest, UnknownVertexHasNoEdges) {
+  DynamicInEdgeIndex d(WindowOptions(Seconds(10)));
+  std::vector<TimestampedInEdge> out;
+  EXPECT_EQ(d.GetRecentInEdges(42, Seconds(100), &out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DynamicGraphTest, WindowExcludesOldEdges) {
+  DynamicInEdgeIndex d(WindowOptions(Seconds(10)));
+  ASSERT_TRUE(d.Insert(1, 100, Seconds(0)).ok());
+  ASSERT_TRUE(d.Insert(2, 100, Seconds(5)).ok());
+  std::vector<TimestampedInEdge> out;
+  // At t=12s the t=0 edge is outside (2, 12].
+  EXPECT_EQ(d.GetRecentInEdges(100, Seconds(12), &out), 1u);
+  EXPECT_EQ(out[0].src, 2u);
+}
+
+TEST(DynamicGraphTest, WindowBoundaryIsExclusiveAtCutoff) {
+  DynamicInEdgeIndex d(WindowOptions(Seconds(10)));
+  ASSERT_TRUE(d.Insert(1, 100, Seconds(0)).ok());
+  std::vector<TimestampedInEdge> out;
+  // cutoff = 10 - 10 = 0; created_at must be > cutoff, so exactly-at-cutoff
+  // is excluded.
+  EXPECT_EQ(d.GetRecentInEdges(100, Seconds(10), &out), 0u);
+  // One microsecond earlier it is still visible.
+  EXPECT_EQ(d.GetRecentInEdges(100, Seconds(10) - 1, &out), 1u);
+}
+
+TEST(DynamicGraphTest, FutureEdgesNotVisibleInThePast) {
+  DynamicInEdgeIndex d(WindowOptions(Seconds(10)));
+  ASSERT_TRUE(d.Insert(1, 100, Seconds(5)).ok());
+  std::vector<TimestampedInEdge> out;
+  EXPECT_EQ(d.GetRecentInEdges(100, Seconds(3), &out), 0u);
+}
+
+TEST(DynamicGraphTest, DuplicateSourceKeepsLatestTimestamp) {
+  DynamicInEdgeIndex d(WindowOptions(Seconds(100)));
+  ASSERT_TRUE(d.Insert(1, 100, Seconds(1)).ok());
+  ASSERT_TRUE(d.Insert(1, 100, Seconds(7)).ok());
+  std::vector<TimestampedInEdge> out;
+  EXPECT_EQ(d.GetRecentInEdges(100, Seconds(10), &out), 1u);
+  EXPECT_EQ(out[0].src, 1u);
+  EXPECT_EQ(out[0].created_at, Seconds(7));
+}
+
+TEST(DynamicGraphTest, ResultsSortedBySource) {
+  DynamicInEdgeIndex d(WindowOptions(Seconds(100)));
+  ASSERT_TRUE(d.Insert(9, 100, Seconds(1)).ok());
+  ASSERT_TRUE(d.Insert(3, 100, Seconds(2)).ok());
+  ASSERT_TRUE(d.Insert(7, 100, Seconds(3)).ok());
+  std::vector<TimestampedInEdge> out;
+  d.GetRecentInEdges(100, Seconds(5), &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].src, 3u);
+  EXPECT_EQ(out[1].src, 7u);
+  EXPECT_EQ(out[2].src, 9u);
+}
+
+TEST(DynamicGraphTest, PerVertexCapEvictsOldest) {
+  DynamicGraphOptions opt = WindowOptions(Hours(1));
+  opt.max_in_edges_per_vertex = 3;
+  DynamicInEdgeIndex d(opt);
+  for (VertexId b = 0; b < 10; ++b) {
+    ASSERT_TRUE(d.Insert(b, 100, Seconds(b)).ok());
+  }
+  std::vector<TimestampedInEdge> out;
+  EXPECT_EQ(d.GetRecentInEdges(100, Seconds(20), &out), 3u);
+  EXPECT_EQ(out[0].src, 7u);  // only the 3 most recent survive
+  EXPECT_EQ(d.stats().evicted, 7u);
+}
+
+TEST(DynamicGraphTest, InsertPrunesExpired) {
+  DynamicInEdgeIndex d(WindowOptions(Seconds(10)));
+  ASSERT_TRUE(d.Insert(1, 100, Seconds(0)).ok());
+  ASSERT_TRUE(d.Insert(2, 100, Seconds(30)).ok());
+  EXPECT_EQ(d.stats().pruned, 1u);
+  EXPECT_EQ(d.stats().current_edges, 1u);
+}
+
+TEST(DynamicGraphTest, PruneAllDropsEmptyLogs) {
+  DynamicInEdgeIndex d(WindowOptions(Seconds(10)));
+  ASSERT_TRUE(d.Insert(1, 100, Seconds(0)).ok());
+  ASSERT_TRUE(d.Insert(2, 200, Seconds(1)).ok());
+  d.PruneAll(Seconds(60));
+  EXPECT_EQ(d.stats().current_edges, 0u);
+  EXPECT_EQ(d.stats().tracked_vertices, 0u);
+}
+
+TEST(DynamicGraphTest, StrictTimeOrderRejectsRegression) {
+  DynamicGraphOptions opt = WindowOptions(Seconds(10));
+  opt.strict_time_order = true;
+  DynamicInEdgeIndex d(opt);
+  ASSERT_TRUE(d.Insert(1, 100, Seconds(5)).ok());
+  const Status s = d.Insert(2, 100, Seconds(3));
+  EXPECT_TRUE(s.IsFailedPrecondition()) << s;
+}
+
+TEST(DynamicGraphTest, TolerantModeClampsRegression) {
+  DynamicInEdgeIndex d(WindowOptions(Seconds(10)));
+  ASSERT_TRUE(d.Insert(1, 100, Seconds(5)).ok());
+  ASSERT_TRUE(d.Insert(2, 100, Seconds(3)).ok());  // clamped to t=5
+  std::vector<TimestampedInEdge> out;
+  EXPECT_EQ(d.GetRecentInEdges(100, Seconds(5), &out), 2u);
+}
+
+TEST(DynamicGraphTest, IndependentTargets) {
+  DynamicInEdgeIndex d(WindowOptions(Seconds(10)));
+  ASSERT_TRUE(d.Insert(1, 100, Seconds(1)).ok());
+  ASSERT_TRUE(d.Insert(1, 200, Seconds(2)).ok());
+  std::vector<TimestampedInEdge> out;
+  EXPECT_EQ(d.GetRecentInEdges(100, Seconds(3), &out), 1u);
+  EXPECT_EQ(d.GetRecentInEdges(200, Seconds(3), &out), 1u);
+}
+
+TEST(DynamicGraphTest, InvalidVertexRejected) {
+  DynamicInEdgeIndex d(WindowOptions(Seconds(10)));
+  EXPECT_TRUE(d.Insert(kInvalidVertex, 1, 0).IsInvalidArgument());
+  EXPECT_TRUE(d.Insert(1, kInvalidVertex, 0).IsInvalidArgument());
+}
+
+TEST(DynamicGraphTest, CountMatchesMaterialization) {
+  DynamicInEdgeIndex d(WindowOptions(Seconds(10)));
+  ASSERT_TRUE(d.Insert(1, 100, Seconds(1)).ok());
+  ASSERT_TRUE(d.Insert(2, 100, Seconds(2)).ok());
+  ASSERT_TRUE(d.Insert(1, 100, Seconds(3)).ok());  // dup source
+  EXPECT_EQ(d.CountRecentInEdges(100, Seconds(5)), 2u);
+}
+
+TEST(DynamicGraphTest, StatsTrackInsertions) {
+  DynamicInEdgeIndex d(WindowOptions(Seconds(10)));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(d.Insert(static_cast<VertexId>(i), 9, Seconds(i)).ok());
+  }
+  const DynamicGraphStats stats = d.stats();
+  EXPECT_EQ(stats.inserted, 5u);
+  EXPECT_EQ(stats.current_edges, 5u);
+  EXPECT_EQ(stats.tracked_vertices, 1u);
+}
+
+TEST(DynamicGraphTest, MemoryGrowsWithRetainedEdges) {
+  DynamicInEdgeIndex small(WindowOptions(Hours(1)));
+  DynamicInEdgeIndex large(WindowOptions(Hours(1)));
+  ASSERT_TRUE(small.Insert(0, 1, 0).ok());
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(
+        large.Insert(static_cast<VertexId>(i), i % 50, Seconds(1)).ok());
+  }
+  EXPECT_GT(large.MemoryUsage(), small.MemoryUsage());
+}
+
+TEST(DynamicGraphTest, LongStreamMemoryBoundedByWindow) {
+  // With a 1-second window and events arriving over an hour, retained edges
+  // stay tiny even though a million were inserted.
+  DynamicInEdgeIndex d(WindowOptions(Seconds(1)));
+  Timestamp t = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    t += Millis(36);  // 100k events over ~1 hour
+    ASSERT_TRUE(d.Insert(static_cast<VertexId>(i % 97), 5, t).ok());
+  }
+  EXPECT_LT(d.stats().current_edges, 100u);
+  EXPECT_GT(d.stats().pruned, 99'000u);
+}
+
+}  // namespace
+}  // namespace magicrecs

@@ -1,0 +1,136 @@
+#include "intersect/intersect.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace magicrecs {
+namespace {
+
+using IntersectFn = size_t (*)(std::span<const VertexId>,
+                               std::span<const VertexId>,
+                               std::vector<VertexId>*);
+
+struct IntersectCase {
+  const char* name;
+  IntersectFn fn;
+};
+
+class PairwiseIntersectTest : public ::testing::TestWithParam<IntersectCase> {
+ protected:
+  std::vector<VertexId> Run(const std::vector<VertexId>& a,
+                            const std::vector<VertexId>& b) {
+    std::vector<VertexId> out;
+    const size_t n = GetParam().fn(a, b, &out);
+    EXPECT_EQ(n, out.size());
+    return out;
+  }
+};
+
+TEST_P(PairwiseIntersectTest, BothEmpty) {
+  EXPECT_TRUE(Run({}, {}).empty());
+}
+
+TEST_P(PairwiseIntersectTest, OneEmpty) {
+  EXPECT_TRUE(Run({1, 2, 3}, {}).empty());
+  EXPECT_TRUE(Run({}, {1, 2, 3}).empty());
+}
+
+TEST_P(PairwiseIntersectTest, Disjoint) {
+  EXPECT_TRUE(Run({1, 3, 5}, {2, 4, 6}).empty());
+}
+
+TEST_P(PairwiseIntersectTest, Identical) {
+  const std::vector<VertexId> v{2, 4, 8, 16};
+  EXPECT_EQ(Run(v, v), v);
+}
+
+TEST_P(PairwiseIntersectTest, PartialOverlap) {
+  EXPECT_EQ(Run({1, 2, 3, 7, 9}, {2, 3, 4, 9, 11}),
+            (std::vector<VertexId>{2, 3, 9}));
+}
+
+TEST_P(PairwiseIntersectTest, SingletonHit) {
+  EXPECT_EQ(Run({5}, {1, 5, 10}), (std::vector<VertexId>{5}));
+}
+
+TEST_P(PairwiseIntersectTest, ExtremeSkew) {
+  std::vector<VertexId> small{100, 5'000, 99'999};
+  std::vector<VertexId> large;
+  for (VertexId v = 0; v < 100'000; ++v) large.push_back(v);
+  EXPECT_EQ(Run(small, large), small);
+}
+
+TEST_P(PairwiseIntersectTest, AppendsWithoutClearing) {
+  std::vector<VertexId> out{777};
+  GetParam().fn(std::vector<VertexId>{1, 2}, std::vector<VertexId>{2, 3},
+                &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 777u);
+  EXPECT_EQ(out[1], 2u);
+}
+
+TEST_P(PairwiseIntersectTest, RandomizedAgainstReference) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t size_a = rng.UniformInt(200);
+    const size_t size_b = rng.UniformInt(2'000);
+    std::set<VertexId> sa, sb;
+    for (size_t i = 0; i < size_a; ++i) {
+      sa.insert(static_cast<VertexId>(rng.UniformInt(500)));
+    }
+    for (size_t i = 0; i < size_b; ++i) {
+      sb.insert(static_cast<VertexId>(rng.UniformInt(500)));
+    }
+    std::vector<VertexId> a(sa.begin(), sa.end()), b(sb.begin(), sb.end());
+    std::vector<VertexId> expected;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected));
+    EXPECT_EQ(Run(a, b), expected) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, PairwiseIntersectTest,
+    ::testing::Values(IntersectCase{"merge", &IntersectMerge},
+                      IntersectCase{"galloping", &IntersectGalloping},
+                      IntersectCase{"auto", &IntersectAuto}),
+    [](const ::testing::TestParamInfo<IntersectCase>& info) {
+      return info.param.name;
+    });
+
+TEST(IntersectCountTest, MatchesMaterializedSize) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::set<VertexId> sa, sb;
+    for (size_t i = 0; i < rng.UniformInt(300); ++i) {
+      sa.insert(static_cast<VertexId>(rng.UniformInt(400)));
+    }
+    for (size_t i = 0; i < rng.UniformInt(300); ++i) {
+      sb.insert(static_cast<VertexId>(rng.UniformInt(400)));
+    }
+    std::vector<VertexId> a(sa.begin(), sa.end()), b(sb.begin(), sb.end());
+    std::vector<VertexId> out;
+    IntersectMerge(a, b, &out);
+    EXPECT_EQ(IntersectCount(a, b), out.size());
+  }
+}
+
+TEST(IntersectAutoTest, UsesGallopOnSkewWithoutChangingResult) {
+  // Regime choice must never change the result: run a heavily skewed input
+  // through auto and merge and compare.
+  std::vector<VertexId> small{10, 20, 30};
+  std::vector<VertexId> large;
+  for (VertexId v = 0; v < 10'000; v += 10) large.push_back(v);
+  std::vector<VertexId> via_auto, via_merge;
+  IntersectAuto(small, large, &via_auto);
+  IntersectMerge(small, large, &via_merge);
+  EXPECT_EQ(via_auto, via_merge);
+}
+
+}  // namespace
+}  // namespace magicrecs

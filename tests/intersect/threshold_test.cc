@@ -1,0 +1,195 @@
+#include "intersect/threshold.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace magicrecs {
+namespace {
+
+std::vector<std::span<const VertexId>> Spans(
+    const std::vector<std::vector<VertexId>>& lists) {
+  std::vector<std::span<const VertexId>> out;
+  out.reserve(lists.size());
+  for (const auto& l : lists) out.emplace_back(l);
+  return out;
+}
+
+/// Naive reference: count occurrences across lists with a map.
+std::vector<ThresholdMatch> Reference(
+    const std::vector<std::vector<VertexId>>& lists, size_t k) {
+  std::map<VertexId, uint32_t> counts;
+  for (const auto& list : lists) {
+    for (const VertexId v : list) ++counts[v];
+  }
+  std::vector<ThresholdMatch> out;
+  for (const auto& [v, c] : counts) {
+    if (c >= k) out.push_back(ThresholdMatch{v, c});
+  }
+  return out;
+}
+
+class ThresholdTest : public ::testing::TestWithParam<ThresholdAlgorithm> {
+ protected:
+  std::vector<ThresholdMatch> Run(
+      const std::vector<std::vector<VertexId>>& lists, size_t k) {
+    std::vector<ThresholdMatch> out;
+    const size_t n = ThresholdIntersect(Spans(lists), k, &out, GetParam());
+    EXPECT_EQ(n, out.size());
+    return out;
+  }
+};
+
+TEST_P(ThresholdTest, EmptyInput) {
+  EXPECT_TRUE(Run({}, 1).empty());
+}
+
+TEST_P(ThresholdTest, KLargerThanListCountIsEmpty) {
+  EXPECT_TRUE(Run({{1, 2}, {2, 3}}, 3).empty());
+}
+
+TEST_P(ThresholdTest, KZeroTreatedAsOne) {
+  const auto matches = Run({{1}, {2}}, 0);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].id, 1u);
+  EXPECT_EQ(matches[1].id, 2u);
+}
+
+TEST_P(ThresholdTest, PaperWorkedExample) {
+  // Figure 1 bottom half with k=2: followers(B1)={A1,A2}={0,1},
+  // followers(B2)={A2,A3}={1,2}; the intersection is A2={1}.
+  const auto matches = Run({{0, 1}, {1, 2}}, 2);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].id, 1u);
+  EXPECT_EQ(matches[0].count, 2u);
+}
+
+TEST_P(ThresholdTest, KEqualsOneIsUnionWithCounts) {
+  const auto matches = Run({{1, 3}, {3, 5}}, 1);
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0], (ThresholdMatch{1, 1}));
+  EXPECT_EQ(matches[1], (ThresholdMatch{3, 2}));
+  EXPECT_EQ(matches[2], (ThresholdMatch{5, 1}));
+}
+
+TEST_P(ThresholdTest, KEqualsNIsFullIntersection) {
+  const auto matches = Run({{1, 2, 3}, {2, 3, 4}, {3, 4, 5}}, 3);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].id, 3u);
+  EXPECT_EQ(matches[0].count, 3u);
+}
+
+TEST_P(ThresholdTest, CountsAreExactAboveThreshold) {
+  const auto matches = Run({{7}, {7}, {7}, {7, 9}}, 2);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].id, 7u);
+  EXPECT_EQ(matches[0].count, 4u);
+}
+
+TEST_P(ThresholdTest, OutputSortedById) {
+  const auto matches = Run({{5, 9, 100}, {5, 9, 100}, {1, 9}}, 2);
+  EXPECT_TRUE(std::is_sorted(
+      matches.begin(), matches.end(),
+      [](const ThresholdMatch& a, const ThresholdMatch& b) {
+        return a.id < b.id;
+      }));
+}
+
+TEST_P(ThresholdTest, EmptyListsAmongInputs) {
+  const auto matches = Run({{}, {4, 5}, {}, {5, 6}}, 2);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].id, 5u);
+}
+
+TEST_P(ThresholdTest, SkewedSizesWithCelebrityList) {
+  std::vector<VertexId> celebrity;
+  for (VertexId v = 0; v < 50'000; ++v) celebrity.push_back(v);
+  const auto matches = Run({{10, 70'000}, {10, 20}, celebrity}, 2);
+  // 10 appears in lists 0,1,2 (count 3); 20 in 1,2; 70000 only in 0.
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0], (ThresholdMatch{10, 3}));
+  EXPECT_EQ(matches[1], (ThresholdMatch{20, 2}));
+}
+
+TEST_P(ThresholdTest, RandomizedAgainstReference) {
+  Rng rng(555);
+  for (int trial = 0; trial < 120; ++trial) {
+    const size_t num_lists = 2 + rng.UniformInt(8);
+    std::vector<std::vector<VertexId>> lists(num_lists);
+    for (auto& list : lists) {
+      std::set<VertexId> s;
+      const size_t len = rng.UniformInt(trial % 3 == 0 ? 2'000 : 60);
+      for (size_t i = 0; i < len; ++i) {
+        s.insert(static_cast<VertexId>(rng.UniformInt(300)));
+      }
+      list.assign(s.begin(), s.end());
+    }
+    const size_t k = 1 + rng.UniformInt(num_lists);
+    const auto expected = Reference(lists, k);
+    const auto actual = Run(lists, k);
+    EXPECT_EQ(actual, expected)
+        << "trial " << trial << " k=" << k << " lists=" << num_lists;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, ThresholdTest,
+    ::testing::Values(ThresholdAlgorithm::kAuto,
+                      ThresholdAlgorithm::kScanCount,
+                      ThresholdAlgorithm::kHeapMerge,
+                      ThresholdAlgorithm::kCandidateVerify),
+    [](const ::testing::TestParamInfo<ThresholdAlgorithm>& info) {
+      std::string name(ThresholdAlgorithmName(info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(ThresholdSelectionTest, SmallInputsUseScanCount) {
+  std::vector<VertexId> a{1, 2, 3}, b{2, 3, 4};
+  EXPECT_EQ(SelectThresholdAlgorithm({a, b}, 2),
+            ThresholdAlgorithm::kScanCount);
+}
+
+TEST(ThresholdSelectionTest, DominantListUsesCandidateVerify) {
+  std::vector<VertexId> small{1, 2, 3};
+  std::vector<VertexId> huge(100'000);
+  for (VertexId v = 0; v < 100'000; ++v) huge[v] = v;
+  EXPECT_EQ(SelectThresholdAlgorithm({small, huge}, 2),
+            ThresholdAlgorithm::kCandidateVerify);
+}
+
+TEST(ThresholdSelectionTest, LargeBalancedInputsUseHeapMerge) {
+  std::vector<std::vector<VertexId>> lists(4, std::vector<VertexId>(4'000));
+  for (auto& l : lists) {
+    for (VertexId v = 0; v < 4'000; ++v) l[v] = v;
+  }
+  EXPECT_EQ(SelectThresholdAlgorithm(Spans(lists), 2),
+            ThresholdAlgorithm::kHeapMerge);
+}
+
+TEST(ThresholdSelectionTest, KOneNeverPicksCandidateVerify) {
+  // With k=1 every list seeds candidates, so candidate-verify degenerates.
+  std::vector<VertexId> small{1};
+  std::vector<VertexId> huge(100'000);
+  for (VertexId v = 0; v < 100'000; ++v) huge[v] = v;
+  EXPECT_NE(SelectThresholdAlgorithm({small, huge}, 1),
+            ThresholdAlgorithm::kCandidateVerify);
+}
+
+TEST(ThresholdAlgorithmNameTest, AllNamed) {
+  EXPECT_EQ(ThresholdAlgorithmName(ThresholdAlgorithm::kAuto), "auto");
+  EXPECT_EQ(ThresholdAlgorithmName(ThresholdAlgorithm::kScanCount),
+            "scan-count");
+  EXPECT_EQ(ThresholdAlgorithmName(ThresholdAlgorithm::kHeapMerge),
+            "heap-merge");
+  EXPECT_EQ(ThresholdAlgorithmName(ThresholdAlgorithm::kCandidateVerify),
+            "candidate-verify");
+}
+
+}  // namespace
+}  // namespace magicrecs

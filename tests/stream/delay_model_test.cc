@@ -1,0 +1,84 @@
+#include "stream/delay_model.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+double Percentile(std::vector<Duration>* samples, double p) {
+  const size_t idx = static_cast<size_t>(p * (samples->size() - 1));
+  std::nth_element(samples->begin(),
+                   samples->begin() + static_cast<std::ptrdiff_t>(idx),
+                   samples->end());
+  return static_cast<double>((*samples)[idx]);
+}
+
+TEST(ConstantDelayTest, AlwaysTheSame) {
+  ConstantDelay delay(Millis(5));
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(delay.Sample(&rng), Millis(5));
+}
+
+TEST(UniformDelayTest, WithinBounds) {
+  UniformDelay delay(Millis(10), Millis(20));
+  Rng rng(2);
+  for (int i = 0; i < 10'000; ++i) {
+    const Duration d = delay.Sample(&rng);
+    EXPECT_GE(d, Millis(10));
+    EXPECT_LE(d, Millis(20));
+  }
+}
+
+TEST(ExponentialDelayTest, MeanMatches) {
+  ExponentialDelay delay(Seconds(2));
+  Rng rng(3);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(delay.Sample(&rng));
+  EXPECT_NEAR(sum / n, static_cast<double>(Seconds(2)),
+              static_cast<double>(Seconds(2)) * 0.05);
+}
+
+TEST(LogNormalDelayTest, CalibratedMedianAndP99) {
+  auto delay = LogNormalDelay::FromMedianAndP99(Seconds(7), Seconds(15));
+  Rng rng(4);
+  std::vector<Duration> samples(200'000);
+  for (auto& s : samples) s = delay->Sample(&rng);
+  EXPECT_NEAR(Percentile(&samples, 0.5), static_cast<double>(Seconds(7)),
+              static_cast<double>(Seconds(7)) * 0.03);
+  EXPECT_NEAR(Percentile(&samples, 0.99), static_cast<double>(Seconds(15)),
+              static_cast<double>(Seconds(15)) * 0.05);
+}
+
+TEST(LogNormalDelayTest, NeverNegative) {
+  LogNormalDelay delay(0.0, 3.0);
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(delay.Sample(&rng), 0);
+}
+
+TEST(PipelineDelayTest, SumsStages) {
+  std::vector<std::unique_ptr<DelayModel>> stages;
+  stages.push_back(std::make_unique<ConstantDelay>(Millis(3)));
+  stages.push_back(std::make_unique<ConstantDelay>(Millis(4)));
+  stages.push_back(std::make_unique<ConstantDelay>(Millis(5)));
+  PipelineDelay pipeline(std::move(stages));
+  EXPECT_EQ(pipeline.num_stages(), 3u);
+  Rng rng(6);
+  EXPECT_EQ(pipeline.Sample(&rng), Millis(12));
+}
+
+TEST(TwitterCalibratedDelayTest, ReproducesPaperQuantiles) {
+  auto delay = MakeTwitterCalibratedDelayModel();
+  Rng rng(7);
+  std::vector<Duration> samples(200'000);
+  for (auto& s : samples) s = delay->Sample(&rng);
+  // The paper's production numbers: median 7s, p99 15s.
+  EXPECT_NEAR(Percentile(&samples, 0.5) / 1e6, 7.0, 0.3);
+  EXPECT_NEAR(Percentile(&samples, 0.99) / 1e6, 15.0, 0.8);
+}
+
+}  // namespace
+}  // namespace magicrecs

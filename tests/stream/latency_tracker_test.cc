@@ -1,0 +1,42 @@
+#include "stream/latency_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+TEST(LatencyTrackerTest, RecordsIntoSeparateHistograms) {
+  LatencyTracker tracker;
+  tracker.RecordQueueDelay(Seconds(7));
+  tracker.RecordQueryLatency(Millis(2));
+  tracker.RecordEndToEnd(Seconds(7) + Millis(2));
+  EXPECT_EQ(tracker.queue_delay().Count(), 1u);
+  EXPECT_EQ(tracker.query_latency().Count(), 1u);
+  EXPECT_EQ(tracker.end_to_end().Count(), 1u);
+  EXPECT_EQ(tracker.queue_delay().Max(), Seconds(7));
+}
+
+TEST(LatencyTrackerTest, MergeCombinesAllThree) {
+  LatencyTracker a, b;
+  a.RecordEndToEnd(Seconds(1));
+  b.RecordEndToEnd(Seconds(2));
+  b.RecordQueueDelay(Seconds(1));
+  a.Merge(b);
+  EXPECT_EQ(a.end_to_end().Count(), 2u);
+  EXPECT_EQ(a.queue_delay().Count(), 1u);
+}
+
+TEST(LatencyTrackerTest, ReportUsesPaperUnits) {
+  LatencyTracker tracker;
+  tracker.RecordQueueDelay(Seconds(7));
+  tracker.RecordQueryLatency(Millis(3));
+  tracker.RecordEndToEnd(Seconds(7));
+  const std::string report = tracker.ToString();
+  EXPECT_NE(report.find("queue delay"), std::string::npos);
+  EXPECT_NE(report.find("query latency"), std::string::npos);
+  EXPECT_NE(report.find("end-to-end"), std::string::npos);
+  EXPECT_NE(report.find("ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace magicrecs

@@ -1,0 +1,123 @@
+#include "stream/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+EdgeEvent MakeEvent(VertexId src, VertexId dst, Timestamp t) {
+  EdgeEvent e;
+  e.edge = TimestampedEdge{src, dst, t};
+  return e;
+}
+
+TEST(VirtualTimeSimulatorTest, DeliversInDeliverTimeOrder) {
+  SimulatedClock clock;
+  VirtualTimeSimulator sim(&clock);
+  sim.Schedule(MakeEvent(1, 2, Seconds(1)), Seconds(9));
+  sim.Schedule(MakeEvent(3, 4, Seconds(2)), Seconds(5));
+  sim.Schedule(MakeEvent(5, 6, Seconds(3)), Seconds(7));
+
+  std::vector<Timestamp> deliveries;
+  sim.Run([&](const EdgeEvent&, Timestamp at) { deliveries.push_back(at); });
+  EXPECT_EQ(deliveries,
+            (std::vector<Timestamp>{Seconds(5), Seconds(7), Seconds(9)}));
+}
+
+TEST(VirtualTimeSimulatorTest, ClockTracksDeliveryTime) {
+  SimulatedClock clock;
+  VirtualTimeSimulator sim(&clock);
+  sim.Schedule(MakeEvent(1, 2, 0), Seconds(42));
+  sim.Run([&](const EdgeEvent&, Timestamp) {
+    EXPECT_EQ(clock.Now(), Seconds(42));
+  });
+  EXPECT_EQ(clock.Now(), Seconds(42));
+}
+
+TEST(VirtualTimeSimulatorTest, EqualDeliveryTimesAreFifo) {
+  SimulatedClock clock;
+  VirtualTimeSimulator sim(&clock);
+  for (VertexId i = 0; i < 10; ++i) {
+    sim.Schedule(MakeEvent(i, 100, 0), Seconds(5));
+  }
+  std::vector<VertexId> order;
+  sim.Run([&](const EdgeEvent& e, Timestamp) { order.push_back(e.edge.src); });
+  for (VertexId i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(VirtualTimeSimulatorTest, DeliveryNeverPrecedesCreation) {
+  SimulatedClock clock;
+  VirtualTimeSimulator sim(&clock);
+  sim.Schedule(MakeEvent(1, 2, Seconds(10)), Seconds(3));  // clamped
+  sim.Run([&](const EdgeEvent& e, Timestamp at) {
+    EXPECT_GE(at, e.edge.created_at);
+  });
+}
+
+TEST(VirtualTimeSimulatorTest, RunUntilLeavesLaterEventsQueued) {
+  SimulatedClock clock;
+  VirtualTimeSimulator sim(&clock);
+  sim.Schedule(MakeEvent(1, 2, 0), Seconds(1));
+  sim.Schedule(MakeEvent(3, 4, 0), Seconds(10));
+  size_t delivered = sim.RunUntil(Seconds(5), [](const EdgeEvent&, Timestamp) {});
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(sim.pending(), 1u);
+  delivered = sim.Run([](const EdgeEvent&, Timestamp) {});
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(VirtualTimeSimulatorTest, ScheduleStreamAppliesDelays) {
+  SimulatedClock clock;
+  VirtualTimeSimulator sim(&clock);
+  std::vector<TimestampedEdge> edges = {{1, 2, Seconds(1)},
+                                        {3, 4, Seconds(2)}};
+  ConstantDelay delay(Seconds(7));
+  Rng rng(1);
+  sim.ScheduleStream(edges, ActionType::kFollow, delay, &rng);
+  std::vector<Duration> observed;
+  sim.Run([&](const EdgeEvent& e, Timestamp at) {
+    observed.push_back(at - e.edge.created_at);
+  });
+  EXPECT_EQ(observed, (std::vector<Duration>{Seconds(7), Seconds(7)}));
+}
+
+TEST(VirtualTimeSimulatorTest, ScheduleStreamAssignsSequences) {
+  SimulatedClock clock;
+  VirtualTimeSimulator sim(&clock);
+  std::vector<TimestampedEdge> edges = {{1, 2, 0}, {3, 4, 1}, {5, 6, 2}};
+  ConstantDelay delay(0);
+  Rng rng(1);
+  sim.ScheduleStream(edges, ActionType::kRetweet, delay, &rng);
+  std::vector<uint64_t> sequences;
+  sim.Run([&](const EdgeEvent& e, Timestamp) {
+    sequences.push_back(e.sequence);
+    EXPECT_EQ(e.action, ActionType::kRetweet);
+  });
+  EXPECT_EQ(sequences, (std::vector<uint64_t>{0, 1, 2}));
+}
+
+TEST(VirtualTimeSimulatorTest, HandlerMayScheduleMore) {
+  SimulatedClock clock;
+  VirtualTimeSimulator sim(&clock);
+  sim.Schedule(MakeEvent(1, 2, 0), Seconds(1));
+  size_t total = 0;
+  sim.Run([&](const EdgeEvent& e, Timestamp at) {
+    ++total;
+    if (e.edge.src == 1) {
+      sim.Schedule(MakeEvent(9, 9, at), at + Seconds(1));
+    }
+  });
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(ActionTypeTest, Names) {
+  EXPECT_EQ(ActionTypeName(ActionType::kFollow), "follow");
+  EXPECT_EQ(ActionTypeName(ActionType::kRetweet), "retweet");
+  EXPECT_EQ(ActionTypeName(ActionType::kFavorite), "favorite");
+}
+
+}  // namespace
+}  // namespace magicrecs

@@ -1,0 +1,87 @@
+#include "util/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace magicrecs {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bloom(1000, 10.0);
+  for (uint64_t k = 0; k < 1000; ++k) bloom.Add(k * 7919);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_TRUE(bloom.MayContain(k * 7919)) << k;
+  }
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  BloomFilter bloom(100, 10.0);
+  int positives = 0;
+  for (uint64_t k = 0; k < 1000; ++k) positives += bloom.MayContain(k);
+  EXPECT_EQ(positives, 0);
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTheoretical) {
+  const size_t n = 10'000;
+  BloomFilter bloom(n, 10.0);
+  for (uint64_t k = 0; k < n; ++k) bloom.Add(k);
+  int fp = 0;
+  const int probes = 100'000;
+  for (int i = 0; i < probes; ++i) {
+    if (bloom.MayContain(n + 1'000'000 + static_cast<uint64_t>(i))) ++fp;
+  }
+  const double rate = static_cast<double>(fp) / probes;
+  // 10 bits/key with optimal k gives ~0.8-1.2%.
+  EXPECT_LT(rate, 0.03);
+  EXPECT_NEAR(rate, bloom.EstimatedFalsePositiveRate(), 0.02);
+}
+
+TEST(BloomFilterTest, FewerBitsMoreFalsePositives) {
+  const size_t n = 5'000;
+  BloomFilter tight(n, 4.0), roomy(n, 16.0);
+  for (uint64_t k = 0; k < n; ++k) {
+    tight.Add(k);
+    roomy.Add(k);
+  }
+  int fp_tight = 0, fp_roomy = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    const uint64_t probe = n + 1'000'000 + static_cast<uint64_t>(i);
+    fp_tight += tight.MayContain(probe);
+    fp_roomy += roomy.MayContain(probe);
+  }
+  EXPECT_GT(fp_tight, fp_roomy);
+}
+
+TEST(BloomFilterTest, MemoryMatchesBitsPerKey) {
+  BloomFilter bloom(1'000'000, 8.0);
+  EXPECT_NEAR(static_cast<double>(bloom.MemoryUsage()), 1e6, 1e5);
+}
+
+TEST(BloomFilterTest, ResetClears) {
+  BloomFilter bloom(100, 10.0);
+  bloom.Add(42);
+  EXPECT_TRUE(bloom.MayContain(42));
+  bloom.Reset();
+  EXPECT_FALSE(bloom.MayContain(42));
+  EXPECT_EQ(bloom.num_added(), 0u);
+}
+
+TEST(BloomFilterTest, TracksAddCount) {
+  BloomFilter bloom(10, 10.0);
+  bloom.Add(1);
+  bloom.Add(1);
+  bloom.Add(2);
+  EXPECT_EQ(bloom.num_added(), 3u);
+}
+
+TEST(BloomFilterTest, DegenerateSizesClamped) {
+  BloomFilter bloom(0, 0.0);  // clamped internally
+  bloom.Add(5);
+  EXPECT_TRUE(bloom.MayContain(5));
+  EXPECT_GE(bloom.num_bits(), 64u);
+  EXPECT_GE(bloom.num_probes(), 1);
+}
+
+}  // namespace
+}  // namespace magicrecs

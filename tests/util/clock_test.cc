@@ -1,0 +1,69 @@
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+#include "util/types.h"
+
+namespace magicrecs {
+namespace {
+
+TEST(SystemClockTest, AdvancesMonotonically) {
+  SystemClock clock;
+  const Timestamp a = clock.Now();
+  const Timestamp b = clock.Now();
+  EXPECT_LE(a, b);
+  // Sanity: after 2020-01-01 in microseconds.
+  EXPECT_GT(a, 1'577'836'800'000'000LL);
+}
+
+TEST(SystemClockTest, DefaultSingletonIsStable) {
+  EXPECT_EQ(SystemClock::Default(), SystemClock::Default());
+}
+
+TEST(SimulatedClockTest, StartsWhereTold) {
+  SimulatedClock clock(123);
+  EXPECT_EQ(clock.Now(), 123);
+}
+
+TEST(SimulatedClockTest, AdvanceMovesForwardAndReturnsNewTime) {
+  SimulatedClock clock(100);
+  EXPECT_EQ(clock.Advance(50), 150);
+  EXPECT_EQ(clock.Now(), 150);
+}
+
+TEST(SimulatedClockTest, SetJumpsToAbsoluteTime) {
+  SimulatedClock clock;
+  clock.Set(Seconds(42));
+  EXPECT_EQ(clock.Now(), Seconds(42));
+}
+
+TEST(SimulatedClockTest, IsUsableThroughBaseClass) {
+  SimulatedClock sim(7);
+  Clock* clock = &sim;
+  EXPECT_EQ(clock->Now(), 7);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeElapsed) {
+  Stopwatch sw;
+  EXPECT_GE(sw.ElapsedMicros(), 0);
+}
+
+TEST(StopwatchTest, ResetRestartsMeasurement) {
+  Stopwatch sw;
+  (void)sw.ElapsedMicros();
+  sw.Reset();
+  EXPECT_GE(sw.ElapsedMicros(), 0);
+  EXPECT_LT(sw.ElapsedMicros(), 10'000'000);
+}
+
+TEST(TypesTest, DurationConversions) {
+  EXPECT_EQ(Seconds(1), 1'000'000);
+  EXPECT_EQ(Millis(1), 1'000);
+  EXPECT_EQ(Minutes(1), 60'000'000);
+  EXPECT_EQ(Hours(1), 3'600'000'000LL);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(250)), 250.0);
+}
+
+}  // namespace
+}  // namespace magicrecs

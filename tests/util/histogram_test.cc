@@ -1,0 +1,166 @@
+#include "util/histogram.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace magicrecs {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Min(), 42);
+  EXPECT_EQ(h.Max(), 42);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 42);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 42);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+TEST(HistogramTest, ExactForSmallValues) {
+  // Values below 16 land in exact unit buckets.
+  Histogram h;
+  for (int v = 0; v < 16; ++v) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0);
+  EXPECT_EQ(h.Max(), 15);
+  EXPECT_NEAR(h.Quantile(0.5), 7.5, 1.0);
+}
+
+TEST(HistogramTest, MeanAndStdDevExact) {
+  Histogram h;
+  for (int64_t v : {2, 4, 4, 4, 5, 5, 7, 9}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(h.StdDev(), 2.0);
+}
+
+TEST(HistogramTest, PercentileBoundedRelativeError) {
+  // With 4 sub-bucket bits, quantile estimates must be within ~6.25% + 1.
+  Histogram h;
+  Rng rng(7);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 50'000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.UniformInt(1'000'000));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double exact =
+        static_cast<double>(values[static_cast<size_t>(q * values.size())]);
+    const double approx = h.Quantile(q);
+    EXPECT_NEAR(approx, exact, exact * 0.08 + 1)
+        << "quantile " << q;
+  }
+}
+
+TEST(HistogramTest, RecordManyEqualsRepeatedRecord) {
+  Histogram a, b;
+  a.RecordMany(123, 1000);
+  for (int i = 0; i < 1000; ++i) b.Record(123);
+  EXPECT_EQ(a.Count(), b.Count());
+  EXPECT_DOUBLE_EQ(a.Mean(), b.Mean());
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), b.Quantile(0.5));
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_EQ(a.Min(), 10);
+  EXPECT_EQ(a.Max(), 1000);
+  EXPECT_DOUBLE_EQ(a.Mean(), 505.0);
+}
+
+TEST(HistogramTest, MergeEmptyIsNoop) {
+  Histogram a, empty;
+  a.Record(5);
+  a.Merge(empty);
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_EQ(a.Max(), 5);
+}
+
+TEST(HistogramTest, MergeIntoEmptyAdoptsMinMax) {
+  Histogram a, b;
+  b.Record(77);
+  a.Merge(b);
+  EXPECT_EQ(a.Min(), 77);
+  EXPECT_EQ(a.Max(), 77);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(9);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.9), 0);
+}
+
+TEST(HistogramTest, QuantileClampedToObservedRange) {
+  Histogram h;
+  h.Record(1000);
+  h.Record(1001);
+  EXPECT_GE(h.Quantile(0.0), 1000);
+  EXPECT_LE(h.Quantile(1.0), 1001);
+}
+
+TEST(HistogramTest, QuantilesMonotone) {
+  Histogram h;
+  Rng rng(13);
+  for (int i = 0; i < 10'000; ++i) {
+    h.Record(static_cast<int64_t>(rng.Exponential(5000)));
+  }
+  double prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, prev) << "at q=" << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, HugeValuesDoNotOverflow) {
+  Histogram h;
+  h.Record(int64_t{1} << 60);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Max(), int64_t{1} << 60);
+  EXPECT_GT(h.Quantile(0.5), 0);
+}
+
+TEST(HistogramTest, ToStringMentionsPercentiles) {
+  Histogram h;
+  h.Record(100);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+TEST(HistogramTest, ScaledToString) {
+  Histogram h;
+  h.Record(1'000'000);  // 1s in micros
+  const std::string s = h.ToString(1e-6, "s");
+  EXPECT_NE(s.find("s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace magicrecs

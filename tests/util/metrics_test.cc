@@ -1,0 +1,68 @@
+#include "util/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(5);
+  EXPECT_EQ(c.Value(), 6u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+}
+
+TEST(MetricsRegistryTest, SameNameSameCounter) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("events");
+  Counter* b = registry.GetCounter("events");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->Value(), 1u);
+}
+
+TEST(MetricsRegistryTest, DistinctNamesDistinctMetrics) {
+  MetricsRegistry registry;
+  EXPECT_NE(registry.GetCounter("a"), registry.GetCounter("b"));
+  EXPECT_NE(registry.GetGauge("a"), registry.GetGauge("b"));
+}
+
+TEST(MetricsRegistryTest, SnapshotContainsAll) {
+  MetricsRegistry registry;
+  registry.GetCounter("events")->Increment(3);
+  registry.GetGauge("depth")->Set(-2);
+  const auto lines = registry.Snapshot();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "events 3");
+  EXPECT_EQ(lines[1], "depth -2");
+}
+
+TEST(MetricsRegistryTest, ConcurrentAccessIsSafe) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1'000; ++i) {
+        registry.GetCounter("shared")->Increment();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared")->Value(), 4'000u);
+}
+
+}  // namespace
+}  // namespace magicrecs

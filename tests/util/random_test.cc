@@ -1,0 +1,250 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministic) {
+  EXPECT_EQ(SplitMix64(1), SplitMix64(1));
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.UniformInt(7), 7u);
+  }
+}
+
+TEST(RngTest, UniformIntOfOneIsZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(31);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, NormalMeanAndStddev) {
+  Rng rng(37);
+  const int n = 200'000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMedianIsExpMu) {
+  Rng rng(41);
+  const int n = 100'001;
+  std::vector<double> samples(n);
+  for (auto& s : samples) s = rng.LogNormal(std::log(7.0), 0.3);
+  std::nth_element(samples.begin(), samples.begin() + n / 2, samples.end());
+  EXPECT_NEAR(samples[n / 2], 7.0, 0.15);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(43);
+  const int n = 100'000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(3.0));
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(47);
+  const int n = 50'000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 1.0);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(53);
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(59);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(61);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(ZipfTest, SamplesWithinSupport) {
+  Rng rng(67);
+  ZipfDistribution zipf(1000, 1.2);
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t k = zipf.Sample(&rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 1000u);
+  }
+}
+
+TEST(ZipfTest, SingleElementSupport) {
+  Rng rng(71);
+  ZipfDistribution zipf(1, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 1u);
+}
+
+TEST(ZipfTest, RankOneDominates) {
+  Rng rng(73);
+  ZipfDistribution zipf(10'000, 1.1);
+  std::map<uint64_t, int> counts;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  // Rank 1 should be the most frequent element by a wide margin.
+  int max_count = 0;
+  uint64_t argmax = 0;
+  for (const auto& [k, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      argmax = k;
+    }
+  }
+  EXPECT_EQ(argmax, 1u);
+  EXPECT_GT(counts[1], 2 * counts[2] / 3);  // P(1)/P(2) = 2^1.1 ≈ 2.14
+}
+
+TEST(ZipfTest, FrequencyRatioMatchesExponent) {
+  Rng rng(79);
+  const double q = 2.0;
+  ZipfDistribution zipf(100, q);
+  std::map<uint64_t, int> counts;
+  const int n = 400'000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  // P(1)/P(2) should be close to 2^q = 4.
+  const double ratio =
+      static_cast<double>(counts[1]) / static_cast<double>(counts[2]);
+  EXPECT_NEAR(ratio, 4.0, 0.5);
+}
+
+TEST(ZipfTest, ExponentOneIsHandled) {
+  Rng rng(83);
+  ZipfDistribution zipf(50, 1.0);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100'000; ++i) ++counts[zipf.Sample(&rng)];
+  const double ratio =
+      static_cast<double>(counts[1]) / static_cast<double>(counts[2]);
+  EXPECT_NEAR(ratio, 2.0, 0.3);
+}
+
+TEST(AliasSamplerTest, RespectsWeights) {
+  Rng rng(89);
+  AliasSampler sampler({1.0, 3.0, 6.0});
+  std::vector<int> counts(3, 0);
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(&rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  Rng rng(97);
+  AliasSampler sampler({0.0, 1.0});
+  for (int i = 0; i < 10'000; ++i) EXPECT_EQ(sampler.Sample(&rng), 1u);
+}
+
+TEST(AliasSamplerTest, UniformWeights) {
+  Rng rng(101);
+  AliasSampler sampler(std::vector<double>(8, 1.0));
+  std::vector<int> counts(8, 0);
+  const int n = 80'000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 8, n / 8 * 0.15);
+}
+
+}  // namespace
+}  // namespace magicrecs

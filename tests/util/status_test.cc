@@ -1,0 +1,87 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("vertex 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "vertex 42");
+  EXPECT_EQ(s.ToString(), "not found: vertex 42");
+}
+
+TEST(StatusTest, EveryFactoryMapsToItsCode) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, PredicatesAreExclusive) {
+  Status s = Status::Corruption("bad bytes");
+  EXPECT_FALSE(s.IsNotFound());
+  EXPECT_FALSE(s.IsInvalidArgument());
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, ErrorWithEmptyMessageFormatsCodeOnly) {
+  EXPECT_EQ(Status(StatusCode::kAborted, "").ToString(), "aborted");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "resource exhausted");
+}
+
+Status FailsThenPropagates() {
+  MAGICRECS_RETURN_IF_ERROR(Status::Unavailable("downstream"));
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  Status s = FailsThenPropagates();
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(s.message(), "downstream");
+}
+
+Status SucceedsThrough() {
+  MAGICRECS_RETURN_IF_ERROR(Status::OK());
+  return Status::AlreadyExists("reached the end");
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPassesOk) {
+  EXPECT_TRUE(SucceedsThrough().IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace magicrecs

@@ -1,0 +1,44 @@
+#include "util/str_format.h"
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+TEST(StrFormatTest, BasicSubstitution) {
+  EXPECT_EQ(StrFormat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s!", "hello"), "hello!");
+}
+
+TEST(StrFormatTest, EmptyFormat) { EXPECT_EQ(StrFormat("%s", ""), ""); }
+
+TEST(StrFormatTest, LongOutputIsNotTruncated) {
+  std::string big(5'000, 'x');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 5'000u);
+}
+
+TEST(HumanBytesTest, Units) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KiB");
+  EXPECT_EQ(HumanBytes(5ull * 1024 * 1024), "5.0 MiB");
+  EXPECT_EQ(HumanBytes(3ull * 1024 * 1024 * 1024), "3.0 GiB");
+}
+
+TEST(HumanCountTest, Suffixes) {
+  EXPECT_EQ(HumanCount(999), "999");
+  EXPECT_EQ(HumanCount(1'500), "1.5k");
+  EXPECT_EQ(HumanCount(2'300'000), "2.3M");
+  EXPECT_EQ(HumanCount(7.1e9), "7.1B");
+}
+
+TEST(CommaSeparatedTest, GroupsThousands) {
+  EXPECT_EQ(CommaSeparated(0), "0");
+  EXPECT_EQ(CommaSeparated(999), "999");
+  EXPECT_EQ(CommaSeparated(1'000), "1,000");
+  EXPECT_EQ(CommaSeparated(1'234'567), "1,234,567");
+  EXPECT_EQ(CommaSeparated(10'000'000'000ull), "10,000,000,000");
+}
+
+}  // namespace
+}  // namespace magicrecs

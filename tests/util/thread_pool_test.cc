@@ -1,0 +1,76 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilTasksFinish) {
+  ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  pool.Submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    done = true;
+  });
+  pool.Wait();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&] { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> running{0};
+  std::atomic<int> max_running{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      const int now = running.fetch_add(1) + 1;
+      int prev = max_running.load();
+      while (prev < now && !max_running.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      running.fetch_sub(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_GE(max_running.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace magicrecs
