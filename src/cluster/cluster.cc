@@ -1,8 +1,11 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 
+#include "persist/recovery.h"
+#include "persist/wal.h"
 #include "util/str_format.h"
 
 namespace magicrecs {
@@ -50,7 +53,40 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(
             : (uint64_t{1} << options.replicas_per_partition) - 1);
     cluster->alive_masks_.push_back(std::move(mask));
   }
+
+  if (options.persist.enabled()) {
+    MAGICRECS_ASSIGN_OR_RETURN(cluster->wal_,
+                               WalWriter::Open(options.persist));
+    // Restart path: the directory may already hold a snapshot + WAL from a
+    // previous incarnation. Rebuild every replica's D from it (a cold start
+    // replays nothing) and resume sequence assignment after the last durable
+    // event — reassigning from 0 would corrupt the log's sequence order and
+    // make later recoveries skip the new events as "already covered".
+    RecoveryManager recovery(options.persist);
+    uint64_t resume_sequence = cluster->wal_->recovered_next_sequence();
+    for (auto& partition : cluster->servers_) {
+      for (auto& server : partition) {
+        RecoveryStats stats;
+        MAGICRECS_RETURN_IF_ERROR(
+            recovery.RecoverPartitionServer(server.get(), &stats));
+        resume_sequence = std::max(resume_sequence, stats.next_sequence);
+      }
+    }
+    cluster->next_sequence_.store(resume_sequence, std::memory_order_release);
+  }
   return cluster;
+}
+
+Status Cluster::AssignSequenceAndLog(EdgeEvent* event) {
+  if (wal_ == nullptr) {
+    event->sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  // Sequence assignment and the WAL append must be one atomic step: a log
+  // ordered by sequence is what lets replay resume from a snapshot cutoff.
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  event->sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  return wal_->Append(*event);
 }
 
 bool Cluster::ShouldEmit(uint32_t partition, uint32_t replica,
@@ -75,7 +111,7 @@ Status Cluster::OnEdge(VertexId src, VertexId dst, Timestamp t,
   }
   EdgeEvent event;
   event.edge = TimestampedEdge{src, dst, t};
-  event.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  MAGICRECS_RETURN_IF_ERROR(AssignSequenceAndLog(&event));
   events_published_.fetch_add(1, std::memory_order_relaxed);
 
   for (uint32_t p = 0; p < options_.num_partitions; ++p) {
@@ -114,7 +150,7 @@ Status Cluster::Publish(EdgeEvent event) {
   if (!running_) {
     return Status::FailedPrecondition("cluster is not running; call Start()");
   }
-  event.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  MAGICRECS_RETURN_IF_ERROR(AssignSequenceAndLog(&event));
   for (auto& partition_inboxes : inboxes_) {
     for (auto& inbox : partition_inboxes) {
       if (!inbox->Push(event)) {
@@ -171,6 +207,11 @@ void Cluster::Stop() {
   for (auto& worker : workers_) worker.join();
   workers_.clear();
   running_ = false;
+  if (wal_ != nullptr) {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    const Status s = wal_->Sync();
+    (void)s;  // shutdown path; durability loss is bounded by the OS buffer
+  }
 }
 
 std::vector<Recommendation> Cluster::TakeRecommendations() {
@@ -190,7 +231,8 @@ Status Cluster::KillReplica(uint32_t partition, uint32_t replica) {
   return Status::OK();
 }
 
-Status Cluster::RecoverReplica(uint32_t partition, uint32_t replica) {
+Status Cluster::RecoverReplica(uint32_t partition, uint32_t replica,
+                               RecoveryStats* recovery_stats) {
   if (partition >= options_.num_partitions ||
       replica >= options_.replicas_per_partition) {
     return Status::InvalidArgument("no such replica");
@@ -200,19 +242,63 @@ Status Cluster::RecoverReplica(uint32_t partition, uint32_t replica) {
   if ((mask & (uint64_t{1} << replica)) != 0) {
     return Status::AlreadyExists("replica is already alive");
   }
-  // Bootstrap D from any healthy peer; without one, the replica rejoins
-  // with the state it last had (cold start on an empty partition group).
-  for (uint32_t r = 0; r < options_.replicas_per_partition; ++r) {
-    if (r != replica && (mask & (uint64_t{1} << r)) != 0) {
-      MAGICRECS_RETURN_IF_ERROR(
-          servers_[partition][replica]->SyncDynamicStateFrom(
-              *servers_[partition][r]));
-      break;
+  if (options_.persist.enabled()) {
+    // Authoritative re-sync from durable state: drop whatever pre-crash D
+    // the replica still holds, load the newest snapshot, replay the WAL
+    // tail. Works even when the whole partition group died.
+    {
+      std::lock_guard<std::mutex> lock(wal_mu_);
+      MAGICRECS_RETURN_IF_ERROR(wal_->Sync());
+    }
+    RecoveryManager recovery(options_.persist);
+    MAGICRECS_RETURN_IF_ERROR(recovery.RecoverPartitionServer(
+        servers_[partition][replica].get(), recovery_stats));
+  } else {
+    // Bootstrap D from any healthy peer; without one, the replica rejoins
+    // with the state it last had (cold start on an empty partition group).
+    for (uint32_t r = 0; r < options_.replicas_per_partition; ++r) {
+      if (r != replica && (mask & (uint64_t{1} << r)) != 0) {
+        MAGICRECS_RETURN_IF_ERROR(
+            servers_[partition][replica]->SyncDynamicStateFrom(
+                *servers_[partition][r]));
+        break;
+      }
     }
   }
   alive_masks_[partition]->fetch_or(uint64_t{1} << replica,
                                     std::memory_order_acq_rel);
   return Status::OK();
+}
+
+Status Cluster::Checkpoint(Timestamp created_at) {
+  if (!options_.persist.enabled()) {
+    return Status::FailedPrecondition("cluster has no persistence configured");
+  }
+  // D is replicated whole into every partition and every alive replica has
+  // applied every published event once the cluster is quiesced, so any
+  // alive replica's detector is the canonical dynamic state.
+  const PartitionServer* source = nullptr;
+  for (uint32_t p = 0; p < options_.num_partitions && source == nullptr; ++p) {
+    const uint64_t mask = alive_masks_[p]->load(std::memory_order_acquire);
+    for (uint32_t r = 0; r < options_.replicas_per_partition; ++r) {
+      if ((mask & (uint64_t{1} << r)) != 0) {
+        source = servers_[p][r].get();
+        break;
+      }
+    }
+  }
+  if (source == nullptr) {
+    return Status::Unavailable("no alive replica to snapshot from");
+  }
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    MAGICRECS_RETURN_IF_ERROR(wal_->Sync());
+  }
+  RecoveryManager recovery(options_.persist);
+  return recovery.Checkpoint(source->detector(), /*follower_index=*/nullptr,
+                             source->partition_id(),
+                             next_sequence_.load(std::memory_order_acquire),
+                             created_at);
 }
 
 uint32_t Cluster::alive_replicas(uint32_t partition) const {

@@ -36,11 +36,15 @@
 #include "core/engine.h"
 #include "core/recommendation.h"
 #include "graph/static_graph.h"
+#include "persist/persist_options.h"
 #include "stream/event.h"
 #include "util/mpmc_queue.h"
 #include "util/result.h"
 
 namespace magicrecs {
+
+class WalWriter;
+struct RecoveryStats;
 
 /// Cluster configuration.
 struct ClusterOptions {
@@ -62,6 +66,12 @@ struct ClusterOptions {
 
   /// Salt for the hash partitioner.
   uint64_t partitioner_salt = 0;
+
+  /// Durability. When persist.dir is set, the broker write-ahead-logs every
+  /// published event (threaded and inline modes both), Checkpoint() writes
+  /// snapshots there, and RecoverReplica() rebuilds a dead replica from
+  /// snapshot + WAL even when no healthy peer survives.
+  PersistOptions persist;
 };
 
 /// The partitioned, replicated deployment.
@@ -109,10 +119,26 @@ class Cluster {
   /// replicas of the partition absorb its query share.
   Status KillReplica(uint32_t partition, uint32_t replica);
 
-  /// Re-syncs the replica's dynamic state from a healthy peer (if any) and
-  /// marks it alive. In threaded mode, call only while quiesced (after
-  /// Drain()).
-  Status RecoverReplica(uint32_t partition, uint32_t replica);
+  /// Re-syncs the replica's dynamic state and marks it alive. With
+  /// persistence configured the replica is rebuilt from snapshot + WAL
+  /// replay (authoritative even with zero healthy peers); otherwise D is
+  /// copied from a healthy peer if one exists. In threaded mode, call only
+  /// while quiesced (after Drain()). `recovery_stats` (optional) receives
+  /// what the persistent path read and replayed.
+  Status RecoverReplica(uint32_t partition, uint32_t replica,
+                        RecoveryStats* recovery_stats = nullptr);
+
+  // --- Durability ------------------------------------------------------------
+
+  /// Writes a snapshot of the dynamic state (D is identical on every alive
+  /// replica, so one copy covers the whole cluster) and reclaims the WAL
+  /// segments and snapshots it supersedes. Call while quiesced (inline
+  /// mode, or threaded mode after Drain()). FailedPrecondition without
+  /// persistence; Unavailable if every replica is dead.
+  Status Checkpoint(Timestamp created_at = 0);
+
+  /// The broker's WAL writer (null when persistence is disabled).
+  const WalWriter* wal() const { return wal_.get(); }
 
   // --- Introspection ---------------------------------------------------------
 
@@ -158,10 +184,19 @@ class Cluster {
 
   void WorkerLoop(uint32_t partition, uint32_t replica);
 
+  /// Assigns the event's sequence number and, when persistence is on,
+  /// appends it to the WAL — atomically together, so the log is ordered by
+  /// sequence.
+  Status AssignSequenceAndLog(EdgeEvent* event);
+
   ClusterOptions options_;
   HashPartitioner partitioner_;
   std::vector<std::vector<std::unique_ptr<PartitionServer>>> servers_;
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> alive_masks_;
+
+  // Durability state (null / unused when options_.persist is disabled).
+  std::unique_ptr<WalWriter> wal_;
+  std::mutex wal_mu_;
 
   // Threaded mode state.
   bool running_ = false;

@@ -1,5 +1,7 @@
 #include "cluster/partition_server.h"
 
+#include <algorithm>
+
 namespace magicrecs {
 
 PartitionServer::PartitionServer(std::shared_ptr<const StaticGraph> shard,
@@ -48,6 +50,7 @@ std::unique_ptr<PartitionServer> PartitionServer::CreateWithShard(
 Status PartitionServer::OnEvent(const EdgeEvent& event, bool emit,
                                 std::vector<Recommendation>* out) {
   const TimestampedEdge& e = event.edge;
+  next_sequence_ = std::max(next_sequence_, event.sequence + 1);
   if (emit) {
     return detector_->OnEdge(e.src, e.dst, e.created_at, out);
   }
@@ -61,6 +64,19 @@ Status PartitionServer::SyncDynamicStateFrom(
         "replicas can only sync within the same partition");
   }
   detector_->CopyDynamicStateFrom(*healthy_peer.detector_);
+  next_sequence_ = healthy_peer.next_sequence_;
+  return Status::OK();
+}
+
+void PartitionServer::ClearDynamicState() {
+  detector_->ClearDynamicState();
+  next_sequence_ = 0;
+}
+
+Status PartitionServer::RestoreDynamicState(const uint8_t* data, size_t size,
+                                            uint64_t next_sequence) {
+  MAGICRECS_RETURN_IF_ERROR(detector_->RestoreDynamicState(data, size));
+  next_sequence_ = next_sequence;
   return Status::OK();
 }
 

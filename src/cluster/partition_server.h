@@ -58,9 +58,25 @@ class PartitionServer {
   size_t DynamicMemoryUsage() const { return detector_->DynamicMemoryUsage(); }
   void Prune(Timestamp now) { detector_->Prune(now); }
 
+  /// 1 + the sequence of the last event applied to this replica (0 if
+  /// none). Checkpointing uses this as the snapshot's coverage cutoff.
+  uint64_t next_sequence() const { return next_sequence_; }
+
+  const DiamondDetector& detector() const { return *detector_; }
+
   /// Re-synchronizes this replica's dynamic state from a healthy peer of the
   /// same partition (replica bootstrap after recovery).
   Status SyncDynamicStateFrom(const PartitionServer& healthy_peer);
+
+  // Durability hooks (see src/persist/recovery.h). D is per-replica state;
+  // the immutable S shard is rebuilt offline, not persisted here.
+  void ClearDynamicState();
+  void EncodeDynamicState(std::string* out) const {
+    detector_->EncodeDynamicState(out);
+  }
+  /// Replaces D with snapshot bytes covering sequences [0, next_sequence).
+  Status RestoreDynamicState(const uint8_t* data, size_t size,
+                             uint64_t next_sequence);
 
  private:
   PartitionServer(std::shared_ptr<const StaticGraph> shard,
@@ -70,6 +86,7 @@ class PartitionServer {
   uint32_t partition_id_;
   DiamondOptions options_;
   std::unique_ptr<DiamondDetector> detector_;
+  uint64_t next_sequence_ = 0;
   std::vector<Recommendation> discard_;  // sink for emit=false runs
 };
 

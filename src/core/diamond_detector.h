@@ -100,9 +100,24 @@ class DiamondDetector {
   Status Ingest(VertexId src, VertexId dst, Timestamp t);
 
   /// Replaces this detector's dynamic state with a copy of `other`'s
-  /// (replica bootstrap after recovery).
+  /// (replica bootstrap from a live peer).
   void CopyDynamicStateFrom(const DiamondDetector& other) {
     dynamic_index_ = other.dynamic_index_;
+  }
+
+  /// Drops all dynamic state. Recovery resets a detector before restoring
+  /// it from a snapshot + WAL replay, so stale pre-crash edges cannot leak
+  /// into the rebuilt state.
+  void ClearDynamicState() { dynamic_index_.Clear(); }
+
+  /// Serializes the dynamic edge store for the persist/ snapshot module.
+  void EncodeDynamicState(std::string* out) const {
+    dynamic_index_.EncodeTo(out);
+  }
+
+  /// Restores the dynamic edge store from EncodeDynamicState() bytes.
+  Status RestoreDynamicState(const uint8_t* data, size_t size) {
+    return dynamic_index_.DecodeFrom(data, size);
   }
 
   const DiamondOptions& options() const { return options_; }

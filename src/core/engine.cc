@@ -12,17 +12,34 @@ RecommenderEngine::RecommenderEngine(StaticGraph follower_index,
       std::make_unique<DiamondDetector>(&follower_index_, options_.detector);
 }
 
-Result<std::unique_ptr<RecommenderEngine>> RecommenderEngine::Create(
-    const StaticGraph& follow_graph, const EngineOptions& options) {
+namespace {
+
+Status ValidateOptions(const EngineOptions& options) {
   if (options.detector.k == 0) {
     return Status::InvalidArgument("detector k must be >= 1");
   }
   if (options.detector.window <= 0) {
     return Status::InvalidArgument("detector window must be positive");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RecommenderEngine>> RecommenderEngine::Create(
+    const StaticGraph& follow_graph, const EngineOptions& options) {
+  MAGICRECS_RETURN_IF_ERROR(ValidateOptions(options));
   StaticGraph capped =
       ApplyInfluencerCap(follow_graph, options.max_influencers_per_user);
   StaticGraph follower_index = capped.Transpose();
+  return std::unique_ptr<RecommenderEngine>(
+      new RecommenderEngine(std::move(follower_index), options));
+}
+
+Result<std::unique_ptr<RecommenderEngine>>
+RecommenderEngine::CreateFromFollowerIndex(StaticGraph follower_index,
+                                           const EngineOptions& options) {
+  MAGICRECS_RETURN_IF_ERROR(ValidateOptions(options));
   return std::unique_ptr<RecommenderEngine>(
       new RecommenderEngine(std::move(follower_index), options));
 }

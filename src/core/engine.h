@@ -39,15 +39,39 @@ class RecommenderEngine {
   static Result<std::unique_ptr<RecommenderEngine>> Create(
       const StaticGraph& follow_graph, const EngineOptions& options);
 
+  /// Builds the engine directly from an already-inverted (and already
+  /// influencer-capped) follower index — the restore path: a snapshot
+  /// carries S in this form, so a crashed node can come back without
+  /// re-running the offline graph pipeline.
+  static Result<std::unique_ptr<RecommenderEngine>> CreateFromFollowerIndex(
+      StaticGraph follower_index, const EngineOptions& options);
+
   /// Ingests one edge-creation event; appends resulting recommendations.
   Status OnEdge(VertexId src, VertexId dst, Timestamp t,
                 std::vector<Recommendation>* out) {
     return detector_->OnEdge(src, dst, t, out);
   }
 
+  /// Ingests into D without the motif query (WAL replay: recommendations
+  /// for replayed events were already delivered before the crash).
+  Status Ingest(VertexId src, VertexId dst, Timestamp t) {
+    return detector_->Ingest(src, dst, t);
+  }
+
+  // Durability hooks (see src/persist/). The follower index is serialized
+  // separately via follower_index().EncodeTo.
+  void ClearDynamicState() { detector_->ClearDynamicState(); }
+  void EncodeDynamicState(std::string* out) const {
+    detector_->EncodeDynamicState(out);
+  }
+  Status RestoreDynamicState(const uint8_t* data, size_t size) {
+    return detector_->RestoreDynamicState(data, size);
+  }
+
   const EngineOptions& options() const { return options_; }
   const DiamondStats& stats() const { return detector_->stats(); }
   const StaticGraph& follower_index() const { return follower_index_; }
+  const DiamondDetector& detector() const { return *detector_; }
 
   void Prune(Timestamp now) { detector_->Prune(now); }
 

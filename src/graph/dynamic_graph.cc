@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "persist/codec.h"
 #include "util/str_format.h"
 
 namespace magicrecs {
@@ -115,6 +116,74 @@ void DynamicInEdgeIndex::PruneAll(Timestamp now) {
       ++it;
     }
   }
+}
+
+void DynamicInEdgeIndex::Clear() {
+  logs_.clear();
+  stats_ = DynamicGraphStats{};
+}
+
+void DynamicInEdgeIndex::EncodeTo(std::string* out) const {
+  std::vector<VertexId> destinations;
+  destinations.reserve(logs_.size());
+  for (const auto& [dst, log] : logs_) {
+    if (log.size() > 0) destinations.push_back(dst);
+  }
+  std::sort(destinations.begin(), destinations.end());
+
+  persist::PutU64(out, destinations.size());
+  for (const VertexId dst : destinations) {
+    const Log& log = logs_.at(dst);
+    persist::PutU32(out, dst);
+    persist::PutU64(out, log.size());
+    for (size_t i = log.begin; i < log.entries.size(); ++i) {
+      persist::PutU32(out, log.entries[i].src);
+      persist::PutI64(out, log.entries[i].created_at);
+    }
+  }
+}
+
+Status DynamicInEdgeIndex::DecodeFrom(const uint8_t* data, size_t size) {
+  persist::ByteReader reader(data, size);
+  uint64_t num_logs = 0;
+  if (!reader.GetU64(&num_logs)) {
+    return Status::Corruption("dynamic index encoding truncated");
+  }
+  std::unordered_map<VertexId, Log> logs;
+  uint64_t total_edges = 0;
+  for (uint64_t i = 0; i < num_logs; ++i) {
+    uint32_t dst = 0;
+    uint64_t count = 0;
+    if (!reader.GetU32(&dst) || !reader.GetU64(&count)) {
+      return Status::Corruption("dynamic index log header truncated");
+    }
+    constexpr size_t kEntryBytes = sizeof(uint32_t) + sizeof(int64_t);
+    if (count > reader.remaining() / kEntryBytes) {
+      return Status::Corruption("dynamic index entries truncated");
+    }
+    Log log;
+    log.entries.reserve(count);
+    Timestamp prev = std::numeric_limits<Timestamp>::min();
+    for (uint64_t j = 0; j < count; ++j) {
+      TimestampedInEdge e;
+      reader.GetU32(&e.src);
+      reader.GetI64(&e.created_at);
+      if (e.created_at < prev) {
+        return Status::Corruption("dynamic index log is not time-sorted");
+      }
+      prev = e.created_at;
+      log.entries.push_back(e);
+    }
+    total_edges += count;
+    if (!logs.emplace(dst, std::move(log)).second) {
+      return Status::Corruption("dynamic index encodes a destination twice");
+    }
+  }
+  logs_ = std::move(logs);
+  stats_ = DynamicGraphStats{};
+  stats_.inserted = total_edges;
+  stats_.current_edges = total_edges;
+  return Status::OK();
 }
 
 DynamicGraphStats DynamicInEdgeIndex::stats() const {

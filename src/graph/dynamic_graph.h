@@ -78,6 +78,20 @@ class DynamicInEdgeIndex {
   /// Approximate bytes held (hash map + logs).
   size_t MemoryUsage() const;
 
+  /// Drops every retained edge (recovery resets state before restoring it
+  /// from a snapshot + WAL replay). Lifetime counters are zeroed too.
+  void Clear();
+
+  /// Appends a deterministic binary encoding of the retained edges to *out
+  /// (destinations in ascending order, so identical state yields identical
+  /// bytes regardless of hash-map iteration order).
+  void EncodeTo(std::string* out) const;
+
+  /// Replaces this index's contents with edges decoded from EncodeTo()
+  /// bytes. Options are unchanged (they come from construction, not the
+  /// snapshot). Lifetime counters restart from the decoded edge count.
+  Status DecodeFrom(const uint8_t* data, size_t size);
+
  private:
   struct Log {
     std::vector<TimestampedInEdge> entries;

@@ -66,6 +66,14 @@ class StaticGraph {
            targets_.size() * sizeof(VertexId);
   }
 
+  /// Appends a self-delimiting binary encoding of the CSR arrays to *out
+  /// (little-endian; the persist/ snapshot format embeds this verbatim).
+  void EncodeTo(std::string* out) const;
+
+  /// Rebuilds a graph from EncodeTo() bytes. Corruption if the buffer is
+  /// truncated or structurally inconsistent.
+  static Result<StaticGraph> DecodeFrom(const uint8_t* data, size_t size);
+
  private:
   friend class StaticGraphBuilder;
 

@@ -1,0 +1,71 @@
+// Little-endian binary encode/decode primitives shared by the WAL and
+// snapshot formats. Fixed-width, memcpy-based: the on-disk format is defined
+// as little-endian regardless of host order (all supported targets are LE;
+// a big-endian port would byte-swap here and nowhere else).
+
+#ifndef MAGICRECS_PERSIST_CODEC_H_
+#define MAGICRECS_PERSIST_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace magicrecs::persist {
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+inline void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+/// Cursor over a read-only byte buffer. Get* return false on underrun and
+/// leave the cursor unchanged, so decoders can fail cleanly on truncation.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+  const uint8_t* cursor() const { return data_ + pos_; }
+
+  bool Skip(size_t n) {
+    if (remaining() < n) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool GetU8(uint8_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetI64(int64_t* v) { return GetRaw(v, sizeof(*v)); }
+
+ private:
+  bool GetRaw(void* v, size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(v, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace magicrecs::persist
+
+#endif  // MAGICRECS_PERSIST_CODEC_H_

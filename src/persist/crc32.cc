@@ -1,0 +1,36 @@
+#include "persist/crc32.h"
+
+#include <array>
+
+namespace magicrecs::persist {
+namespace {
+
+// Table for the reflected CRC-32C polynomial, generated at static-init time
+// (256 entries, trivially cheap).
+std::array<uint32_t, 256> MakeTable() {
+  constexpr uint32_t kPoly = 0x82f63b78u;  // reflected 0x1EDC6F41
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace magicrecs::persist

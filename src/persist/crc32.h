@@ -1,0 +1,32 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41) for framing WAL records and
+// snapshot sections — the same checksum RocksDB and LevelDB use for their
+// log formats. Software table implementation: persistence I/O is far from
+// the ingest hot path's inner loops, so hardware SSE4.2 dispatch is not
+// worth the build complexity yet.
+
+#ifndef MAGICRECS_PERSIST_CRC32_H_
+#define MAGICRECS_PERSIST_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace magicrecs::persist {
+
+/// CRC-32C of `data[0, size)`, seeded with `seed` (pass the previous return
+/// value to checksum data arriving in chunks).
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+/// Masked CRC, RocksDB-style: storing a CRC of data that itself embeds CRCs
+/// weakens the check, so stored checksums are rotated and offset.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace magicrecs::persist
+
+#endif  // MAGICRECS_PERSIST_CRC32_H_

@@ -1,0 +1,49 @@
+#include "persist/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/str_format.h"
+
+namespace magicrecs::persist {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    const std::string message =
+        StrFormat("open %s: %s", path.c_str(), std::strerror(errno));
+    return errno == ENOENT ? Status::NotFound(message)
+                           : Status::Internal(message);
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Status::Internal(StrFormat("read %s failed", path.c_str()));
+  }
+  return out;
+}
+
+Status SyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal(
+        StrFormat("open dir %s: %s", dir.c_str(), std::strerror(errno)));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal(
+        StrFormat("fsync dir %s: %s", dir.c_str(), std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace magicrecs::persist

@@ -1,0 +1,23 @@
+// Small file helpers shared by the WAL and snapshot modules.
+
+#ifndef MAGICRECS_PERSIST_FILE_UTIL_H_
+#define MAGICRECS_PERSIST_FILE_UTIL_H_
+
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace magicrecs::persist {
+
+/// Reads a whole file into memory. NotFound if the file does not exist,
+/// Internal on other I/O errors. WAL segments and snapshots are bounded by
+/// the segment-rotation size, so whole-file reads stay cheap.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// fsyncs a directory so a just-renamed file's directory entry is durable.
+Status SyncDirectory(const std::string& dir);
+
+}  // namespace magicrecs::persist
+
+#endif  // MAGICRECS_PERSIST_FILE_UTIL_H_

@@ -1,0 +1,35 @@
+// Shared configuration for the durability subsystem. A PersistOptions with a
+// non-empty `dir` turns a partition into a *durable* partition: every
+// ingested event is appended to the write-ahead log under `dir`, snapshots
+// are written there by Checkpoint(), and RecoveryManager can rebuild the
+// partition's state from `dir` alone after a crash.
+
+#ifndef MAGICRECS_PERSIST_PERSIST_OPTIONS_H_
+#define MAGICRECS_PERSIST_PERSIST_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace magicrecs {
+
+struct PersistOptions {
+  /// Directory holding WAL segments and snapshots. Empty disables
+  /// persistence entirely (the default: tests and experiments that do not
+  /// exercise durability pay zero cost).
+  std::string dir;
+
+  /// Rotate the active WAL segment once it exceeds this many bytes.
+  size_t wal_segment_bytes = 64u << 20;
+
+  /// fdatasync after every WAL append. Off by default: the paper's pipeline
+  /// already tolerates delivery delay, and a lost OS-buffer tail on power
+  /// failure only costs the most recent events — the same events the
+  /// upstream message queue can redeliver.
+  bool sync_each_append = false;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_PERSIST_PERSIST_OPTIONS_H_

@@ -1,0 +1,240 @@
+#include "persist/recovery.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "persist/wal.h"
+#include "util/clock.h"
+#include "util/str_format.h"
+
+namespace magicrecs {
+
+std::string RecoveryStats::ToString() const {
+  return StrFormat(
+      "snapshot=%s (%llu bytes) wal: %llu records / %llu bytes, "
+      "replayed=%llu skipped=%llu clean_tail=%s next_seq=%llu in %.1f ms",
+      snapshot_loaded ? "loaded" : "none",
+      static_cast<unsigned long long>(snapshot_bytes),
+      static_cast<unsigned long long>(wal_records),
+      static_cast<unsigned long long>(wal_bytes_read),
+      static_cast<unsigned long long>(events_replayed),
+      static_cast<unsigned long long>(events_skipped),
+      wal_clean_tail ? "true" : "false",
+      static_cast<unsigned long long>(next_sequence), ToMillis(wall_micros));
+}
+
+Status RecoveryManager::LoadLatestSnapshot(
+    std::optional<SnapshotContents>* contents, RecoveryStats* stats) const {
+  contents->reset();
+  Result<std::string> path = FindLatestSnapshot(options_.dir);
+  if (!path.ok()) {
+    if (path.status().IsNotFound()) return Status::OK();  // cold start
+    return path.status();
+  }
+  MAGICRECS_ASSIGN_OR_RETURN(SnapshotContents loaded, ReadSnapshot(*path));
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(*path, ec);
+  stats->snapshot_bytes = ec ? 0 : size;
+  stats->snapshot_loaded = true;
+  *contents = std::move(loaded);
+  return Status::OK();
+}
+
+Status RecoveryManager::ReplayFrom(
+    uint64_t min_sequence, const std::function<Status(const EdgeEvent&)>& ingest,
+    RecoveryStats* stats) const {
+  uint64_t max_seen = 0;
+  bool any = false;
+  WalReplayStats wal_stats;
+  MAGICRECS_RETURN_IF_ERROR(ReplayWal(
+      options_.dir, min_sequence,
+      [&](const EdgeEvent& event) {
+        max_seen = std::max(max_seen, event.sequence);
+        any = true;
+        return ingest(event);
+      },
+      &wal_stats));
+  stats->wal_bytes_read = wal_stats.bytes_read;
+  stats->wal_records = wal_stats.records;
+  stats->events_replayed = wal_stats.events_applied;
+  stats->events_skipped = wal_stats.events_skipped;
+  stats->wal_clean_tail = wal_stats.clean_tail;
+  stats->next_sequence = any ? max_seen + 1 : min_sequence;
+  return Status::OK();
+}
+
+Status RecoveryManager::RecoverDetector(DiamondDetector* detector,
+                                        RecoveryStats* stats) const {
+  RecoveryStats local;
+  RecoveryStats& out = stats != nullptr ? *stats : local;
+  out = RecoveryStats{};
+  if (!options_.enabled()) {
+    return Status::FailedPrecondition("persistence is not configured");
+  }
+  Stopwatch timer;
+
+  detector->ClearDynamicState();
+  std::optional<SnapshotContents> snapshot;
+  MAGICRECS_RETURN_IF_ERROR(LoadLatestSnapshot(&snapshot, &out));
+  uint64_t min_sequence = 0;
+  if (snapshot.has_value()) {
+    if (snapshot->has_dynamic) {
+      MAGICRECS_RETURN_IF_ERROR(detector->RestoreDynamicState(
+          reinterpret_cast<const uint8_t*>(snapshot->dynamic_bytes.data()),
+          snapshot->dynamic_bytes.size()));
+    }
+    min_sequence = snapshot->meta.next_sequence;
+  }
+  MAGICRECS_RETURN_IF_ERROR(ReplayFrom(
+      min_sequence,
+      [detector](const EdgeEvent& event) {
+        return detector->Ingest(event.edge.src, event.edge.dst,
+                                event.edge.created_at);
+      },
+      &out));
+  out.wall_micros = timer.ElapsedMicros();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RecommenderEngine>> RecoveryManager::RecoverEngine(
+    const EngineOptions& options, RecoveryStats* stats) const {
+  RecoveryStats local;
+  RecoveryStats& out = stats != nullptr ? *stats : local;
+  out = RecoveryStats{};
+  if (!options_.enabled()) {
+    return Status::FailedPrecondition("persistence is not configured");
+  }
+  Stopwatch timer;
+
+  std::optional<SnapshotContents> snapshot;
+  MAGICRECS_RETURN_IF_ERROR(LoadLatestSnapshot(&snapshot, &out));
+  if (!snapshot.has_value() || !snapshot->has_static) {
+    return Status::FailedPrecondition(
+        "engine recovery needs a snapshot carrying the follower index; "
+        "checkpoint with include_follower_index or rebuild from the follow "
+        "graph");
+  }
+  MAGICRECS_ASSIGN_OR_RETURN(
+      StaticGraph follower_index,
+      StaticGraph::DecodeFrom(
+          reinterpret_cast<const uint8_t*>(snapshot->static_bytes.data()),
+          snapshot->static_bytes.size()));
+  MAGICRECS_ASSIGN_OR_RETURN(
+      std::unique_ptr<RecommenderEngine> engine,
+      RecommenderEngine::CreateFromFollowerIndex(std::move(follower_index),
+                                                 options));
+  if (snapshot->has_dynamic) {
+    MAGICRECS_RETURN_IF_ERROR(engine->RestoreDynamicState(
+        reinterpret_cast<const uint8_t*>(snapshot->dynamic_bytes.data()),
+        snapshot->dynamic_bytes.size()));
+  }
+  RecommenderEngine* raw = engine.get();
+  MAGICRECS_RETURN_IF_ERROR(ReplayFrom(
+      snapshot->meta.next_sequence,
+      [raw](const EdgeEvent& event) {
+        return raw->Ingest(event.edge.src, event.edge.dst,
+                           event.edge.created_at);
+      },
+      &out));
+  out.wall_micros = timer.ElapsedMicros();
+  return engine;
+}
+
+Status RecoveryManager::RecoverEngineState(RecommenderEngine* engine,
+                                           RecoveryStats* stats) const {
+  RecoveryStats local;
+  RecoveryStats& out = stats != nullptr ? *stats : local;
+  out = RecoveryStats{};
+  if (!options_.enabled()) {
+    return Status::FailedPrecondition("persistence is not configured");
+  }
+  Stopwatch timer;
+
+  engine->ClearDynamicState();
+  std::optional<SnapshotContents> snapshot;
+  MAGICRECS_RETURN_IF_ERROR(LoadLatestSnapshot(&snapshot, &out));
+  uint64_t min_sequence = 0;
+  if (snapshot.has_value()) {
+    if (snapshot->has_dynamic) {
+      MAGICRECS_RETURN_IF_ERROR(engine->RestoreDynamicState(
+          reinterpret_cast<const uint8_t*>(snapshot->dynamic_bytes.data()),
+          snapshot->dynamic_bytes.size()));
+    }
+    min_sequence = snapshot->meta.next_sequence;
+  }
+  MAGICRECS_RETURN_IF_ERROR(ReplayFrom(
+      min_sequence,
+      [engine](const EdgeEvent& event) {
+        return engine->Ingest(event.edge.src, event.edge.dst,
+                              event.edge.created_at);
+      },
+      &out));
+  out.wall_micros = timer.ElapsedMicros();
+  return Status::OK();
+}
+
+Status RecoveryManager::RecoverPartitionServer(PartitionServer* server,
+                                               RecoveryStats* stats) const {
+  RecoveryStats local;
+  RecoveryStats& out = stats != nullptr ? *stats : local;
+  out = RecoveryStats{};
+  if (!options_.enabled()) {
+    return Status::FailedPrecondition("persistence is not configured");
+  }
+  Stopwatch timer;
+
+  server->ClearDynamicState();
+  std::optional<SnapshotContents> snapshot;
+  MAGICRECS_RETURN_IF_ERROR(LoadLatestSnapshot(&snapshot, &out));
+  uint64_t min_sequence = 0;
+  if (snapshot.has_value()) {
+    if (snapshot->has_dynamic) {
+      MAGICRECS_RETURN_IF_ERROR(server->RestoreDynamicState(
+          reinterpret_cast<const uint8_t*>(snapshot->dynamic_bytes.data()),
+          snapshot->dynamic_bytes.size(), snapshot->meta.next_sequence));
+    }
+    min_sequence = snapshot->meta.next_sequence;
+  }
+  std::vector<Recommendation> discard;
+  MAGICRECS_RETURN_IF_ERROR(ReplayFrom(
+      min_sequence,
+      [server, &discard](const EdgeEvent& event) {
+        discard.clear();
+        return server->OnEvent(event, /*emit=*/false, &discard);
+      },
+      &out));
+  out.wall_micros = timer.ElapsedMicros();
+  return Status::OK();
+}
+
+Status RecoveryManager::Checkpoint(const DiamondDetector& detector,
+                                   const StaticGraph* follower_index,
+                                   uint32_t partition_id,
+                                   uint64_t next_sequence,
+                                   Timestamp created_at) const {
+  if (!options_.enabled()) {
+    return Status::FailedPrecondition("persistence is not configured");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec) {
+    return Status::Internal(StrFormat("create_directories %s: %s",
+                                      options_.dir.c_str(),
+                                      ec.message().c_str()));
+  }
+  SnapshotMeta meta;
+  meta.partition_id = partition_id;
+  meta.next_sequence = next_sequence;
+  meta.created_at = created_at;
+  const std::string path =
+      options_.dir + "/" + SnapshotFileName(next_sequence);
+  MAGICRECS_RETURN_IF_ERROR(WriteSnapshot(path, meta, follower_index,
+                                          &detector.dynamic_index()));
+  // Reclaim everything the new snapshot supersedes. Failing to reclaim is
+  // not fatal to durability, but surfacing it beats silent disk growth.
+  MAGICRECS_RETURN_IF_ERROR(
+      TruncateWalBefore(options_.dir, next_sequence).status());
+  return RemoveSnapshotsBefore(options_.dir, next_sequence).status();
+}
+
+}  // namespace magicrecs

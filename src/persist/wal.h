@@ -1,0 +1,135 @@
+// Binary append-only write-ahead log for the edge-creation stream.
+//
+// Every ingested EdgeEvent is framed and appended to a segment file; after a
+// crash, replaying the log (optionally from a snapshot's sequence cutoff)
+// reconstructs the dynamic motif state D exactly, because D is a pure
+// deterministic function of the event stream.
+//
+// Segment files are named wal-<6-digit index>.log and rotated once they
+// exceed PersistOptions::wal_segment_bytes, so checkpointing can reclaim
+// space by deleting whole segments older than the snapshot.
+//
+// On-disk layout (little-endian):
+//   segment := magic "MRWAL001" (8 bytes)  record*
+//   record  := payload_len:u32  masked_crc32c(payload):u32  payload
+//   payload := src:u32 dst:u32 created_at:i64 action:u8 sequence:u64
+//
+// A torn write (crash mid-append) leaves a truncated or CRC-broken record at
+// the tail; replay stops cleanly at the last valid record, and WalWriter
+// truncates the damage away before appending again.
+
+#ifndef MAGICRECS_PERSIST_WAL_H_
+#define MAGICRECS_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/persist_options.h"
+#include "stream/event.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace magicrecs {
+
+/// Counters maintained by a WalWriter across its lifetime.
+struct WalWriterStats {
+  uint64_t records_appended = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t segments_created = 0;
+  uint64_t tail_bytes_repaired = 0;  ///< torn bytes truncated at Open()
+};
+
+/// Appends EdgeEvents to the log directory. Thread-compatible: callers that
+/// share a writer across threads must serialize Append() externally (the
+/// cluster broker holds its own mutex so sequence assignment and the append
+/// stay atomic together).
+class WalWriter {
+ public:
+  /// Creates `dir` if needed, repairs a torn tail left by a crash, and
+  /// positions the writer after the last valid record.
+  static Result<std::unique_ptr<WalWriter>> Open(const PersistOptions& options);
+
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one event, rotating segments as needed. Events must arrive in
+  /// non-decreasing `sequence` order (the replay cutoff depends on it).
+  Status Append(const EdgeEvent& event);
+
+  /// Flushes buffered appends to the OS and fdatasyncs the active segment.
+  Status Sync();
+
+  /// Flushes and closes the active segment. Idempotent; Append after Close
+  /// fails.
+  Status Close();
+
+  const WalWriterStats& stats() const { return stats_; }
+  const std::string& dir() const { return options_.dir; }
+
+  /// 1 + the sequence of the last valid record found in the log at Open()
+  /// time (0 for an empty log). A restarted producer must resume assigning
+  /// sequences from here, or the log's sequence order breaks.
+  uint64_t recovered_next_sequence() const { return recovered_next_sequence_; }
+
+ private:
+  explicit WalWriter(const PersistOptions& options) : options_(options) {}
+
+  /// Creates (truncating) segment `index` and makes it active.
+  Status OpenSegment(uint64_t index);
+  Status RotateIfNeeded();
+
+  PersistOptions options_;
+  std::FILE* file_ = nullptr;
+  uint64_t segment_index_ = 0;  // index of the active segment
+  uint64_t segment_bytes_ = 0;  // bytes in the active segment (incl. header)
+  uint64_t recovered_next_sequence_ = 0;
+  std::string encode_buf_;
+  WalWriterStats stats_;
+};
+
+/// Outcome of one replay pass.
+struct WalReplayStats {
+  uint64_t segments = 0;        ///< segment files visited
+  uint64_t bytes_read = 0;      ///< bytes consumed (valid records + headers)
+  uint64_t records = 0;         ///< valid records decoded
+  uint64_t events_applied = 0;  ///< records delivered to the callback
+  uint64_t events_skipped = 0;  ///< records below the sequence cutoff
+  /// False iff replay stopped early at a torn or CRC-mismatched record in
+  /// the FINAL segment (expected after a crash; the damage is confined to
+  /// the tail and bounded by one record).
+  bool clean_tail = true;
+
+  std::string ToString() const;
+};
+
+/// Replays every record with sequence >= `min_sequence` through `fn`, in log
+/// order. An invalid record in the final segment is torn-tail crash damage:
+/// replay stops cleanly there (see clean_tail). An invalid record in a
+/// NON-final segment means real data loss in the middle of the log — that
+/// returns Corruption, because silently skipping the later segments would
+/// rebuild arbitrarily stale state. A non-OK status from `fn` aborts the
+/// replay and is returned. A missing or empty directory replays nothing and
+/// returns OK (cold start).
+Status ReplayWal(const std::string& dir, uint64_t min_sequence,
+                 const std::function<Status(const EdgeEvent&)>& fn,
+                 WalReplayStats* stats);
+
+/// Deletes segments whose entire contents precede `min_sequence` (i.e. the
+/// snapshot at `min_sequence` supersedes them). The active (last) segment is
+/// never deleted. Returns the number of segments removed.
+Result<size_t> TruncateWalBefore(const std::string& dir,
+                                 uint64_t min_sequence);
+
+/// Sorted absolute paths of the WAL segments under `dir` (empty if the
+/// directory does not exist).
+std::vector<std::string> ListWalSegments(const std::string& dir);
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_PERSIST_WAL_H_

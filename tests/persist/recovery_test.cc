@@ -1,0 +1,363 @@
+// Recovery-equivalence integration tests: D is a deterministic function of
+// the event stream, so snapshot-load + WAL-replay must reproduce EXACTLY
+// the recommendations an uninterrupted run would have produced.
+
+#include "persist/recovery.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "gen/activity_stream.h"
+#include "gen/social_graph.h"
+#include "persist/wal.h"
+#include "scoped_temp_dir.h"
+
+namespace magicrecs {
+namespace {
+
+EngineOptions TestEngineOptions() {
+  EngineOptions options;
+  options.detector.k = 2;
+  options.detector.window = Minutes(10);
+  return options;
+}
+
+/// Deterministic motif-dense workload small enough for CI.
+struct TestWorkload {
+  StaticGraph follow_graph;
+  std::vector<TimestampedEdge> events;
+};
+
+TestWorkload MakeTestWorkload(uint64_t num_events) {
+  SocialGraphOptions gopt;
+  gopt.num_users = 2'000;
+  gopt.mean_followees = 20;
+  gopt.seed = 11;
+  auto graph = SocialGraphGenerator(gopt).Generate();
+  EXPECT_TRUE(graph.ok()) << graph.status();
+
+  ActivityStreamOptions sopt;
+  sopt.num_events = num_events;
+  sopt.events_per_second = 50;
+  sopt.seed = 12;
+  auto stream = ActivityStreamGenerator(&*graph, sopt).Generate();
+  EXPECT_TRUE(stream.ok()) << stream.status();
+
+  TestWorkload w;
+  w.follow_graph = std::move(graph).value();
+  w.events = std::move(stream).value().events;
+  return w;
+}
+
+EdgeEvent ToEvent(const TimestampedEdge& edge, uint64_t sequence) {
+  EdgeEvent event;
+  event.edge = edge;
+  event.sequence = sequence;
+  return event;
+}
+
+/// Runs `events[begin, end)` through the engine, collecting recommendations.
+std::vector<Recommendation> RunRange(RecommenderEngine* engine,
+                                     const std::vector<TimestampedEdge>& events,
+                                     size_t begin, size_t end,
+                                     WalWriter* wal = nullptr,
+                                     uint64_t first_sequence = 0) {
+  std::vector<Recommendation> recs;
+  for (size_t i = begin; i < end; ++i) {
+    if (wal != nullptr) {
+      EXPECT_TRUE(
+          wal->Append(ToEvent(events[i], first_sequence + (i - begin))).ok());
+    }
+    EXPECT_TRUE(engine
+                    ->OnEdge(events[i].src, events[i].dst,
+                             events[i].created_at, &recs)
+                    .ok());
+  }
+  return recs;
+}
+
+TEST(RecoveryEquivalenceTest, CrashAtMidStreamThenRecoverMatchesUninterrupted) {
+  const TestWorkload w = MakeTestWorkload(4'000);
+  const size_t half = w.events.size() / 2;
+
+  // Uninterrupted reference run.
+  auto baseline = RecommenderEngine::Create(w.follow_graph, TestEngineOptions());
+  ASSERT_TRUE(baseline.ok());
+  const std::vector<Recommendation> baseline_recs =
+      RunRange(baseline->get(), w.events, 0, w.events.size());
+  ASSERT_FALSE(baseline_recs.empty())
+      << "workload produced no recommendations; equivalence check is vacuous";
+
+  // Durable run: log every event, crash after half the stream.
+  ScopedTempDir dir;
+  PersistOptions persist;
+  persist.dir = dir.path();
+  std::vector<Recommendation> pre_crash_recs;
+  {
+    auto engine = RecommenderEngine::Create(w.follow_graph, TestEngineOptions());
+    ASSERT_TRUE(engine.ok());
+    auto wal = WalWriter::Open(persist);
+    ASSERT_TRUE(wal.ok());
+    pre_crash_recs = RunRange(engine->get(), w.events, 0, half, wal->get(), 0);
+    // <- crash: engine state dropped, only the WAL survives.
+  }
+
+  // Recover into a fresh engine and finish the stream.
+  auto recovered = RecommenderEngine::Create(w.follow_graph, TestEngineOptions());
+  ASSERT_TRUE(recovered.ok());
+  RecoveryManager recovery(persist);
+  RecoveryStats stats;
+  ASSERT_TRUE(recovery.RecoverEngineState(recovered->get(), &stats).ok());
+  EXPECT_FALSE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.events_replayed, half);
+  EXPECT_TRUE(stats.wal_clean_tail);
+  const std::vector<Recommendation> post_recovery_recs =
+      RunRange(recovered->get(), w.events, half, w.events.size());
+
+  // Byte-identical recommendations: pre-crash + post-recovery == baseline.
+  std::vector<Recommendation> combined = pre_crash_recs;
+  combined.insert(combined.end(), post_recovery_recs.begin(),
+                  post_recovery_recs.end());
+  EXPECT_EQ(combined, baseline_recs);
+}
+
+TEST(RecoveryEquivalenceTest, SnapshotPlusWalTailMatchesUninterrupted) {
+  const TestWorkload w = MakeTestWorkload(4'000);
+  const size_t n = w.events.size();
+  const size_t checkpoint_at = n / 2;
+  const size_t crash_at = 3 * n / 4;
+
+  auto baseline = RecommenderEngine::Create(w.follow_graph, TestEngineOptions());
+  ASSERT_TRUE(baseline.ok());
+  const std::vector<Recommendation> baseline_recs =
+      RunRange(baseline->get(), w.events, 0, n);
+  ASSERT_FALSE(baseline_recs.empty());
+
+  ScopedTempDir dir;
+  PersistOptions persist;
+  persist.dir = dir.path();
+  persist.wal_segment_bytes = 4096;  // force rotation so truncation has bite
+  RecoveryManager recovery(persist);
+  std::vector<Recommendation> pre_crash_recs;
+  {
+    auto engine = RecommenderEngine::Create(w.follow_graph, TestEngineOptions());
+    ASSERT_TRUE(engine.ok());
+    auto wal = WalWriter::Open(persist);
+    ASSERT_TRUE(wal.ok());
+    pre_crash_recs =
+        RunRange(engine->get(), w.events, 0, checkpoint_at, wal->get(), 0);
+    ASSERT_TRUE((*wal)->Sync().ok());
+
+    // Checkpoint with the follower index, so recovery is self-contained.
+    const size_t segments_before = ListWalSegments(dir.path()).size();
+    ASSERT_TRUE(recovery
+                    .Checkpoint((*engine)->detector(),
+                                &(*engine)->follower_index(),
+                                /*partition_id=*/0,
+                                /*next_sequence=*/checkpoint_at,
+                                /*created_at=*/0)
+                    .ok());
+    EXPECT_LT(ListWalSegments(dir.path()).size(), segments_before)
+        << "checkpoint should have reclaimed covered WAL segments";
+
+    const auto tail_recs = RunRange(engine->get(), w.events, checkpoint_at,
+                                    crash_at, wal->get(), checkpoint_at);
+    pre_crash_recs.insert(pre_crash_recs.end(), tail_recs.begin(),
+                          tail_recs.end());
+    // <- crash.
+  }
+
+  // Self-contained recovery: no follow graph needed, S comes from the
+  // snapshot and D from snapshot + WAL tail.
+  RecoveryStats stats;
+  auto recovered = recovery.RecoverEngine(TestEngineOptions(), &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(stats.snapshot_loaded);
+  EXPECT_GT(stats.snapshot_bytes, 0u);
+  EXPECT_EQ(stats.events_replayed, crash_at - checkpoint_at);
+  EXPECT_EQ(stats.next_sequence, crash_at);
+
+  const std::vector<Recommendation> post_recovery_recs =
+      RunRange(recovered->get(), w.events, crash_at, n);
+  std::vector<Recommendation> combined = pre_crash_recs;
+  combined.insert(combined.end(), post_recovery_recs.begin(),
+                  post_recovery_recs.end());
+  EXPECT_EQ(combined, baseline_recs);
+}
+
+TEST(RecoveryTest, ColdStartOnEmptyDirectoryIsOk) {
+  ScopedTempDir dir;
+  PersistOptions persist;
+  persist.dir = dir.path();
+  const TestWorkload w = MakeTestWorkload(16);
+  auto engine = RecommenderEngine::Create(w.follow_graph, TestEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  RecoveryStats stats;
+  ASSERT_TRUE(
+      RecoveryManager(persist).RecoverEngineState(engine->get(), &stats).ok());
+  EXPECT_FALSE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.events_replayed, 0u);
+  EXPECT_EQ(stats.next_sequence, 0u);
+}
+
+TEST(RecoveryTest, RecoverEngineWithoutSnapshotIsFailedPrecondition) {
+  ScopedTempDir dir;
+  PersistOptions persist;
+  persist.dir = dir.path();
+  RecoveryStats stats;
+  auto recovered =
+      RecoveryManager(persist).RecoverEngine(TestEngineOptions(), &stats);
+  EXPECT_TRUE(recovered.status().IsFailedPrecondition()) << recovered.status();
+}
+
+class ClusterRecoveryTest : public ::testing::Test {
+ protected:
+  ClusterRecoveryTest() : workload_(MakeTestWorkload(500)) {}
+
+  ClusterOptions Options(const std::string& persist_dir) const {
+    ClusterOptions options;
+    options.num_partitions = 2;
+    options.replicas_per_partition = 2;
+    options.detector.k = 2;
+    options.persist.dir = persist_dir;
+    return options;
+  }
+
+  Status Feed(Cluster* cluster, size_t begin, size_t end) {
+    std::vector<Recommendation> sink;
+    for (size_t i = begin; i < end; ++i) {
+      const TimestampedEdge& e = workload_.events[i];
+      MAGICRECS_RETURN_IF_ERROR(
+          cluster->OnEdge(e.src, e.dst, e.created_at, &sink));
+    }
+    return Status::OK();
+  }
+
+  static std::string DynamicStateOf(const Cluster& cluster, uint32_t p,
+                                    uint32_t r) {
+    std::string bytes;
+    cluster.server(p, r).EncodeDynamicState(&bytes);
+    return bytes;
+  }
+
+  TestWorkload workload_;
+};
+
+TEST_F(ClusterRecoveryTest, ReplicaRebuildsFromWalWithoutHealthyPeer) {
+  ScopedTempDir dir;
+  auto cluster = Cluster::Create(workload_.follow_graph, Options(dir.path()));
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  ASSERT_TRUE(Feed(cluster->get(), 0, 300).ok());
+  ASSERT_TRUE((*cluster)->KillReplica(1, 1).ok());
+  ASSERT_TRUE(Feed(cluster->get(), 300, 400).ok());  // missed by (1,1)
+
+  RecoveryStats stats;
+  ASSERT_TRUE((*cluster)->RecoverReplica(1, 1, &stats).ok());
+  EXPECT_EQ(stats.events_replayed, 400u);
+  EXPECT_FALSE(stats.snapshot_loaded);
+
+  // The recovered replica's D must be byte-identical to a replica that
+  // never died.
+  EXPECT_EQ(DynamicStateOf(**cluster, 1, 1), DynamicStateOf(**cluster, 1, 0));
+  EXPECT_EQ((*cluster)->server(1, 1).next_sequence(), 400u);
+  EXPECT_EQ((*cluster)->alive_replicas(1), 2u);
+}
+
+TEST_F(ClusterRecoveryTest, CheckpointBoundsReplayForLaterRecoveries) {
+  ScopedTempDir dir;
+  auto cluster = Cluster::Create(workload_.follow_graph, Options(dir.path()));
+  ASSERT_TRUE(cluster.ok());
+
+  ASSERT_TRUE(Feed(cluster->get(), 0, 400).ok());
+  ASSERT_TRUE((*cluster)->Checkpoint().ok());
+
+  ASSERT_TRUE((*cluster)->KillReplica(0, 1).ok());
+  ASSERT_TRUE(Feed(cluster->get(), 400, 500).ok());
+
+  RecoveryStats stats;
+  ASSERT_TRUE((*cluster)->RecoverReplica(0, 1, &stats).ok());
+  EXPECT_TRUE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.events_replayed, 100u);
+  EXPECT_EQ(DynamicStateOf(**cluster, 0, 1), DynamicStateOf(**cluster, 0, 0));
+}
+
+TEST_F(ClusterRecoveryTest, ThreadedModeLogsEveryPublishedEvent) {
+  ScopedTempDir dir;
+  auto cluster = Cluster::Create(workload_.follow_graph, Options(dir.path()));
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE((*cluster)->Start().ok());
+  for (size_t i = 0; i < 200; ++i) {
+    EdgeEvent event;
+    event.edge = workload_.events[i];
+    ASSERT_TRUE((*cluster)->Publish(event).ok());
+  }
+  (*cluster)->Drain();
+  (*cluster)->Stop();
+
+  WalReplayStats stats;
+  uint64_t seen = 0;
+  ASSERT_TRUE(ReplayWal(
+                  dir.path(), 0,
+                  [&](const EdgeEvent&) {
+                    ++seen;
+                    return Status::OK();
+                  },
+                  &stats)
+                  .ok());
+  EXPECT_EQ(seen, 200u);
+  EXPECT_TRUE(stats.clean_tail);
+}
+
+TEST_F(ClusterRecoveryTest, RestartedClusterResumesStateAndSequences) {
+  ScopedTempDir dir;
+  {
+    auto cluster = Cluster::Create(workload_.follow_graph, Options(dir.path()));
+    ASSERT_TRUE(cluster.ok());
+    ASSERT_TRUE(Feed(cluster->get(), 0, 300).ok());
+    // <- process "crashes": only the persistence directory survives.
+  }
+
+  auto restarted = Cluster::Create(workload_.follow_graph, Options(dir.path()));
+  ASSERT_TRUE(restarted.ok()) << restarted.status();
+  // Every replica came back with the pre-crash D and the right resume point.
+  EXPECT_EQ((*restarted)->server(0, 0).next_sequence(), 300u);
+  EXPECT_EQ(DynamicStateOf(**restarted, 0, 0),
+            DynamicStateOf(**restarted, 1, 1));
+
+  // New events must continue the sequence space, not restart at 0 —
+  // otherwise later recoveries would skip them as already covered.
+  ASSERT_TRUE(Feed(restarted->get(), 300, 400).ok());
+  ASSERT_TRUE((*restarted)->KillReplica(0, 0).ok());
+  ASSERT_TRUE(Feed(restarted->get(), 400, 500).ok());
+  RecoveryStats stats;
+  ASSERT_TRUE((*restarted)->RecoverReplica(0, 0, &stats).ok());
+  EXPECT_EQ(stats.next_sequence, 500u);
+  EXPECT_EQ(DynamicStateOf(**restarted, 0, 0),
+            DynamicStateOf(**restarted, 0, 1));
+
+  // And the full restarted lineage equals an uninterrupted cluster.
+  auto uninterrupted =
+      Cluster::Create(workload_.follow_graph, Options(""));
+  ASSERT_TRUE(uninterrupted.ok());
+  ASSERT_TRUE(Feed(uninterrupted->get(), 0, 500).ok());
+  EXPECT_EQ(DynamicStateOf(**restarted, 0, 1),
+            DynamicStateOf(**uninterrupted, 0, 1));
+}
+
+TEST_F(ClusterRecoveryTest, PeerSyncStillWorksWithoutPersistence) {
+  auto cluster = Cluster::Create(workload_.follow_graph, Options(""));
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE(Feed(cluster->get(), 0, 100).ok());
+  ASSERT_TRUE((*cluster)->KillReplica(0, 0).ok());
+  ASSERT_TRUE(Feed(cluster->get(), 100, 200).ok());
+  ASSERT_TRUE((*cluster)->RecoverReplica(0, 0).ok());
+  EXPECT_EQ(DynamicStateOf(**cluster, 0, 0), DynamicStateOf(**cluster, 0, 1));
+}
+
+}  // namespace
+}  // namespace magicrecs

@@ -1,0 +1,39 @@
+// Per-test scratch directory, removed on scope exit. Each test gets a
+// unique directory so persistence tests can run in parallel under ctest -j.
+
+#ifndef MAGICRECS_TESTS_PERSIST_SCOPED_TEMP_DIR_H_
+#define MAGICRECS_TESTS_PERSIST_SCOPED_TEMP_DIR_H_
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace magicrecs {
+
+class ScopedTempDir {
+ public:
+  ScopedTempDir() {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = (std::filesystem::temp_directory_path() /
+             (std::string("magicrecs_") + info->test_suite_name() + "_" +
+              info->name()))
+                .string();
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+
+  ~ScopedTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_TESTS_PERSIST_SCOPED_TEMP_DIR_H_

@@ -1,0 +1,241 @@
+#include "persist/snapshot.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scoped_temp_dir.h"
+
+namespace magicrecs {
+namespace {
+
+namespace fs = std::filesystem;
+
+StaticGraph MakeGraph() {
+  StaticGraphBuilder builder(6);
+  EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 3).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 5).ok());
+  EXPECT_TRUE(builder.AddEdge(4, 0).ok());
+  auto graph = builder.Build();
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+std::vector<std::pair<VertexId, VertexId>> EdgesOf(const StaticGraph& g) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  g.ForEachEdge([&](VertexId s, VertexId d) { edges.emplace_back(s, d); });
+  return edges;
+}
+
+TEST(StaticGraphCodecTest, RoundTripPreservesStructure) {
+  const StaticGraph graph = MakeGraph();
+  std::string bytes;
+  graph.EncodeTo(&bytes);
+  auto decoded = StaticGraph::DecodeFrom(
+      reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->num_vertices(), graph.num_vertices());
+  EXPECT_EQ(decoded->num_edges(), graph.num_edges());
+  EXPECT_EQ(EdgesOf(*decoded), EdgesOf(graph));
+}
+
+TEST(StaticGraphCodecTest, EmptyGraphRoundTrips) {
+  StaticGraph empty;
+  std::string bytes;
+  empty.EncodeTo(&bytes);
+  auto decoded = StaticGraph::DecodeFrom(
+      reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->num_vertices(), 0u);
+  EXPECT_EQ(decoded->num_edges(), 0u);
+}
+
+TEST(StaticGraphCodecTest, TruncationIsCorruption) {
+  const StaticGraph graph = MakeGraph();
+  std::string bytes;
+  graph.EncodeTo(&bytes);
+  for (const size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{3}}) {
+    auto decoded = StaticGraph::DecodeFrom(
+        reinterpret_cast<const uint8_t*>(bytes.data()), cut);
+    EXPECT_FALSE(decoded.ok());
+    EXPECT_TRUE(decoded.status().IsCorruption()) << decoded.status();
+  }
+}
+
+TEST(DynamicIndexCodecTest, RoundTripPreservesRecentEdges) {
+  DynamicGraphOptions options;
+  options.window = Minutes(10);
+  DynamicInEdgeIndex index(options);
+  ASSERT_TRUE(index.Insert(1, 100, Seconds(10)).ok());
+  ASSERT_TRUE(index.Insert(2, 100, Seconds(20)).ok());
+  ASSERT_TRUE(index.Insert(3, 200, Seconds(30)).ok());
+
+  std::string bytes;
+  index.EncodeTo(&bytes);
+  DynamicInEdgeIndex restored(options);
+  ASSERT_TRUE(restored
+                  .DecodeFrom(reinterpret_cast<const uint8_t*>(bytes.data()),
+                              bytes.size())
+                  .ok());
+
+  std::vector<TimestampedInEdge> expected;
+  std::vector<TimestampedInEdge> actual;
+  for (const VertexId dst : {100u, 200u, 300u}) {
+    index.GetRecentInEdges(dst, Seconds(30), &expected);
+    restored.GetRecentInEdges(dst, Seconds(30), &actual);
+    EXPECT_EQ(actual, expected) << "dst=" << dst;
+  }
+  EXPECT_EQ(restored.stats().current_edges, 3u);
+}
+
+TEST(DynamicIndexCodecTest, EncodingIsDeterministic) {
+  DynamicGraphOptions options;
+  DynamicInEdgeIndex a(options);
+  DynamicInEdgeIndex b(options);
+  // Same content inserted in different orders (per-destination time order
+  // still holds, as the stream contract requires).
+  ASSERT_TRUE(a.Insert(1, 10, Seconds(1)).ok());
+  ASSERT_TRUE(a.Insert(2, 20, Seconds(2)).ok());
+  ASSERT_TRUE(a.Insert(3, 10, Seconds(3)).ok());
+  ASSERT_TRUE(b.Insert(2, 20, Seconds(2)).ok());
+  ASSERT_TRUE(b.Insert(1, 10, Seconds(1)).ok());
+  ASSERT_TRUE(b.Insert(3, 10, Seconds(3)).ok());
+
+  std::string bytes_a;
+  std::string bytes_b;
+  a.EncodeTo(&bytes_a);
+  b.EncodeTo(&bytes_b);
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+TEST(DynamicIndexCodecTest, ClearDropsEverything) {
+  DynamicInEdgeIndex index;
+  ASSERT_TRUE(index.Insert(1, 10, Seconds(1)).ok());
+  index.Clear();
+  EXPECT_EQ(index.stats().current_edges, 0u);
+  EXPECT_EQ(index.CountRecentInEdges(10, Seconds(1)), 0u);
+}
+
+class SnapshotFileTest : public ::testing::Test {
+ protected:
+  std::string PathFor(uint64_t next_sequence) const {
+    return dir_.path() + "/" + SnapshotFileName(next_sequence);
+  }
+
+  ScopedTempDir dir_;
+};
+
+TEST_F(SnapshotFileTest, FullRoundTrip) {
+  const StaticGraph graph = MakeGraph();
+  DynamicInEdgeIndex index;
+  ASSERT_TRUE(index.Insert(1, 100, Seconds(5)).ok());
+
+  SnapshotMeta meta;
+  meta.partition_id = 7;
+  meta.next_sequence = 1234;
+  meta.created_at = Seconds(99);
+  ASSERT_TRUE(WriteSnapshot(PathFor(1234), meta, &graph, &index).ok());
+
+  auto contents = ReadSnapshot(PathFor(1234));
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  EXPECT_EQ(contents->meta.partition_id, 7u);
+  EXPECT_EQ(contents->meta.next_sequence, 1234u);
+  EXPECT_EQ(contents->meta.created_at, Seconds(99));
+  ASSERT_TRUE(contents->has_static);
+  ASSERT_TRUE(contents->has_dynamic);
+
+  auto decoded_graph = StaticGraph::DecodeFrom(
+      reinterpret_cast<const uint8_t*>(contents->static_bytes.data()),
+      contents->static_bytes.size());
+  ASSERT_TRUE(decoded_graph.ok());
+  EXPECT_EQ(EdgesOf(*decoded_graph), EdgesOf(graph));
+
+  DynamicInEdgeIndex restored;
+  ASSERT_TRUE(restored
+                  .DecodeFrom(reinterpret_cast<const uint8_t*>(
+                                  contents->dynamic_bytes.data()),
+                              contents->dynamic_bytes.size())
+                  .ok());
+  EXPECT_EQ(restored.CountRecentInEdges(100, Seconds(5)), 1u);
+}
+
+TEST_F(SnapshotFileTest, DynamicOnlySnapshotOmitsStaticSection) {
+  DynamicInEdgeIndex index;
+  SnapshotMeta meta;
+  ASSERT_TRUE(
+      WriteSnapshot(PathFor(1), meta, /*follower_index=*/nullptr, &index).ok());
+  auto contents = ReadSnapshot(PathFor(1));
+  ASSERT_TRUE(contents.ok());
+  EXPECT_FALSE(contents->has_static);
+  EXPECT_TRUE(contents->has_dynamic);
+}
+
+TEST_F(SnapshotFileTest, FlippedPayloadByteIsDetected) {
+  const StaticGraph graph = MakeGraph();
+  DynamicInEdgeIndex index;
+  ASSERT_TRUE(index.Insert(1, 100, Seconds(5)).ok());
+  SnapshotMeta meta;
+  ASSERT_TRUE(WriteSnapshot(PathFor(5), meta, &graph, &index).ok());
+
+  const auto size = fs::file_size(PathFor(5));
+  std::fstream f(PathFor(5), std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(static_cast<std::streamoff>(size / 2));
+  const char original = static_cast<char>(f.get());
+  f.seekp(static_cast<std::streamoff>(size / 2));
+  f.put(original ^ 0x40);
+  f.close();
+
+  auto contents = ReadSnapshot(PathFor(5));
+  ASSERT_FALSE(contents.ok());
+  EXPECT_TRUE(contents.status().IsCorruption()) << contents.status();
+}
+
+TEST_F(SnapshotFileTest, TruncatedFileIsDetected) {
+  DynamicInEdgeIndex index;
+  ASSERT_TRUE(index.Insert(1, 100, Seconds(5)).ok());
+  SnapshotMeta meta;
+  ASSERT_TRUE(WriteSnapshot(PathFor(5), meta, nullptr, &index).ok());
+  fs::resize_file(PathFor(5), fs::file_size(PathFor(5)) - 3);
+  EXPECT_TRUE(ReadSnapshot(PathFor(5)).status().IsCorruption());
+}
+
+TEST_F(SnapshotFileTest, FindLatestPicksHighestSequence) {
+  DynamicInEdgeIndex index;
+  SnapshotMeta meta;
+  for (const uint64_t seq : {5u, 300u, 40u}) {
+    meta.next_sequence = seq;
+    ASSERT_TRUE(WriteSnapshot(PathFor(seq), meta, nullptr, &index).ok());
+  }
+  auto latest = FindLatestSnapshot(dir_.path());
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, PathFor(300));
+
+  auto removed = RemoveSnapshotsBefore(dir_.path(), 300);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 2u);
+  EXPECT_TRUE(fs::exists(PathFor(300)));
+  EXPECT_FALSE(fs::exists(PathFor(5)));
+}
+
+TEST_F(SnapshotFileTest, FindLatestOnEmptyDirIsNotFound) {
+  EXPECT_TRUE(FindLatestSnapshot(dir_.path()).status().IsNotFound());
+}
+
+TEST_F(SnapshotFileTest, NoTempFileSurvivesAWrite) {
+  DynamicInEdgeIndex index;
+  SnapshotMeta meta;
+  ASSERT_TRUE(WriteSnapshot(PathFor(9), meta, nullptr, &index).ok());
+  size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_.path())) {
+    ++files;
+    EXPECT_EQ(entry.path().extension(), ".snap");
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+}  // namespace
+}  // namespace magicrecs

@@ -1,0 +1,287 @@
+#include "persist/wal.h"
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scoped_temp_dir.h"
+
+namespace magicrecs {
+namespace {
+
+namespace fs = std::filesystem;
+
+EdgeEvent MakeEvent(uint64_t sequence, VertexId src = 1, VertexId dst = 2,
+                    Timestamp t = 100) {
+  EdgeEvent event;
+  event.edge = TimestampedEdge{src, dst, t + static_cast<Timestamp>(sequence)};
+  event.action = ActionType::kFollow;
+  event.sequence = sequence;
+  return event;
+}
+
+std::vector<EdgeEvent> ReplayAll(const std::string& dir, uint64_t min_sequence,
+                                 WalReplayStats* stats) {
+  std::vector<EdgeEvent> out;
+  const Status s = ReplayWal(
+      dir, min_sequence,
+      [&](const EdgeEvent& e) {
+        out.push_back(e);
+        return Status::OK();
+      },
+      stats);
+  EXPECT_TRUE(s.ok()) << s;
+  return out;
+}
+
+TEST(WalTest, RoundTripPreservesEveryField) {
+  ScopedTempDir dir;
+  PersistOptions options;
+  options.dir = dir.path();
+  auto writer = WalWriter::Open(options);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  EdgeEvent event;
+  event.edge = TimestampedEdge{7, 9, 123456789};
+  event.action = ActionType::kRetweet;
+  event.sequence = 42;
+  ASSERT_TRUE((*writer)->Append(event).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  WalReplayStats stats;
+  const auto replayed = ReplayAll(dir.path(), 0, &stats);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].edge, event.edge);
+  EXPECT_EQ(replayed[0].action, ActionType::kRetweet);
+  EXPECT_EQ(replayed[0].sequence, 42u);
+  EXPECT_TRUE(stats.clean_tail);
+  EXPECT_EQ(stats.records, 1u);
+}
+
+TEST(WalTest, ReplayHonorsSequenceCutoff) {
+  ScopedTempDir dir;
+  PersistOptions options;
+  options.dir = dir.path();
+  auto writer = WalWriter::Open(options);
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t seq = 0; seq < 10; ++seq) {
+    ASSERT_TRUE((*writer)->Append(MakeEvent(seq)).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  WalReplayStats stats;
+  const auto replayed = ReplayAll(dir.path(), 6, &stats);
+  ASSERT_EQ(replayed.size(), 4u);
+  EXPECT_EQ(replayed.front().sequence, 6u);
+  EXPECT_EQ(replayed.back().sequence, 9u);
+  EXPECT_EQ(stats.events_skipped, 6u);
+  EXPECT_EQ(stats.events_applied, 4u);
+}
+
+TEST(WalTest, RotationSplitsSegmentsAndReplayCrossesThem) {
+  ScopedTempDir dir;
+  PersistOptions options;
+  options.dir = dir.path();
+  options.wal_segment_bytes = 64;  // a couple of records per segment
+  auto writer = WalWriter::Open(options);
+  ASSERT_TRUE(writer.ok());
+  constexpr uint64_t kEvents = 50;
+  for (uint64_t seq = 0; seq < kEvents; ++seq) {
+    ASSERT_TRUE((*writer)->Append(MakeEvent(seq)).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  EXPECT_GT(ListWalSegments(dir.path()).size(), 10u);
+  WalReplayStats stats;
+  const auto replayed = ReplayAll(dir.path(), 0, &stats);
+  ASSERT_EQ(replayed.size(), kEvents);
+  for (uint64_t seq = 0; seq < kEvents; ++seq) {
+    EXPECT_EQ(replayed[seq].sequence, seq);
+  }
+  EXPECT_TRUE(stats.clean_tail);
+}
+
+TEST(WalTest, TornTailStopsAtLastValidRecord) {
+  ScopedTempDir dir;
+  PersistOptions options;
+  options.dir = dir.path();
+  auto writer = WalWriter::Open(options);
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t seq = 0; seq < 5; ++seq) {
+    ASSERT_TRUE((*writer)->Append(MakeEvent(seq)).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  // Simulate a crash mid-append: chop bytes off the last record.
+  const auto segments = ListWalSegments(dir.path());
+  ASSERT_EQ(segments.size(), 1u);
+  const auto size = fs::file_size(segments[0]);
+  fs::resize_file(segments[0], size - 7);
+
+  WalReplayStats stats;
+  const auto replayed = ReplayAll(dir.path(), 0, &stats);
+  ASSERT_EQ(replayed.size(), 4u);
+  EXPECT_EQ(replayed.back().sequence, 3u);
+  EXPECT_FALSE(stats.clean_tail);
+}
+
+TEST(WalTest, CorruptRecordStopsCleanlyBeforeIt) {
+  ScopedTempDir dir;
+  PersistOptions options;
+  options.dir = dir.path();
+  auto writer = WalWriter::Open(options);
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t seq = 0; seq < 3; ++seq) {
+    ASSERT_TRUE((*writer)->Append(MakeEvent(seq)).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  // Flip one payload byte inside the middle record.
+  const auto segments = ListWalSegments(dir.path());
+  ASSERT_EQ(segments.size(), 1u);
+  const auto size = fs::file_size(segments[0]);
+  const size_t record_bytes = (size - 8) / 3;  // 8-byte segment header
+  std::fstream f(segments[0],
+                 std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(static_cast<std::streamoff>(8 + record_bytes + record_bytes / 2));
+  f.put('\xff');
+  f.close();
+
+  WalReplayStats stats;
+  const auto replayed = ReplayAll(dir.path(), 0, &stats);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].sequence, 0u);
+  EXPECT_FALSE(stats.clean_tail);
+}
+
+TEST(WalTest, ReopenRepairsTornTailAndContinuesAppending) {
+  ScopedTempDir dir;
+  PersistOptions options;
+  options.dir = dir.path();
+  {
+    auto writer = WalWriter::Open(options);
+    ASSERT_TRUE(writer.ok());
+    for (uint64_t seq = 0; seq < 4; ++seq) {
+      ASSERT_TRUE((*writer)->Append(MakeEvent(seq)).ok());
+    }
+  }
+  const auto segments = ListWalSegments(dir.path());
+  ASSERT_EQ(segments.size(), 1u);
+  fs::resize_file(segments[0], fs::file_size(segments[0]) - 3);
+
+  {
+    auto writer = WalWriter::Open(options);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    EXPECT_EQ((*writer)->stats().tail_bytes_repaired, 0u + 33 - 3);
+    // Sequence 3's record was torn; the producer redelivers it, then moves on.
+    ASSERT_TRUE((*writer)->Append(MakeEvent(3)).ok());
+    ASSERT_TRUE((*writer)->Append(MakeEvent(4)).ok());
+  }
+
+  WalReplayStats stats;
+  const auto replayed = ReplayAll(dir.path(), 0, &stats);
+  ASSERT_EQ(replayed.size(), 5u);
+  EXPECT_TRUE(stats.clean_tail);
+  for (uint64_t seq = 0; seq < 5; ++seq) {
+    EXPECT_EQ(replayed[seq].sequence, seq);
+  }
+}
+
+TEST(WalTest, TruncateBeforeDeletesFullyCoveredSegments) {
+  ScopedTempDir dir;
+  PersistOptions options;
+  options.dir = dir.path();
+  options.wal_segment_bytes = 64;
+  auto writer = WalWriter::Open(options);
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t seq = 0; seq < 40; ++seq) {
+    ASSERT_TRUE((*writer)->Append(MakeEvent(seq)).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+  const size_t before = ListWalSegments(dir.path()).size();
+  ASSERT_GT(before, 3u);
+
+  auto removed = TruncateWalBefore(dir.path(), 20);
+  ASSERT_TRUE(removed.ok()) << removed.status();
+  EXPECT_GT(*removed, 0u);
+  EXPECT_LT(ListWalSegments(dir.path()).size(), before);
+
+  // Everything at or above the cutoff must still replay.
+  WalReplayStats stats;
+  const auto replayed = ReplayAll(dir.path(), 20, &stats);
+  ASSERT_EQ(replayed.size(), 20u);
+  EXPECT_EQ(replayed.front().sequence, 20u);
+  EXPECT_EQ(replayed.back().sequence, 39u);
+}
+
+TEST(WalTest, MidLogCorruptionIsAnErrorNotACleanStop) {
+  ScopedTempDir dir;
+  PersistOptions options;
+  options.dir = dir.path();
+  options.wal_segment_bytes = 64;  // several segments
+  auto writer = WalWriter::Open(options);
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t seq = 0; seq < 20; ++seq) {
+    ASSERT_TRUE((*writer)->Append(MakeEvent(seq)).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+  const auto segments = ListWalSegments(dir.path());
+  ASSERT_GT(segments.size(), 2u);
+
+  // Flip a byte inside the FIRST segment: unlike a torn tail, an invalid
+  // record followed by newer segments is unrecoverable data loss.
+  std::fstream f(segments[0], std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(8 + 12);  // past segment header, into the first record's payload
+  f.put('\xff');
+  f.close();
+
+  const Status s = ReplayWal(
+      dir.path(), 0, [](const EdgeEvent&) { return Status::OK(); }, nullptr);
+  EXPECT_TRUE(s.IsCorruption()) << s;
+}
+
+TEST(WalTest, ReopenReportsRecoveredNextSequence) {
+  ScopedTempDir dir;
+  PersistOptions options;
+  options.dir = dir.path();
+  options.wal_segment_bytes = 64;
+  {
+    auto writer = WalWriter::Open(options);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_EQ((*writer)->recovered_next_sequence(), 0u);
+    for (uint64_t seq = 0; seq < 17; ++seq) {
+      ASSERT_TRUE((*writer)->Append(MakeEvent(seq)).ok());
+    }
+  }
+  auto reopened = WalWriter::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->recovered_next_sequence(), 17u);
+}
+
+TEST(WalTest, MissingDirectoryIsAColdStart) {
+  WalReplayStats stats;
+  const auto replayed =
+      ReplayAll("/nonexistent/magicrecs/wal", 0, &stats);
+  EXPECT_TRUE(replayed.empty());
+  EXPECT_EQ(stats.segments, 0u);
+  EXPECT_TRUE(stats.clean_tail);
+}
+
+TEST(WalTest, WriterStatsAccount) {
+  ScopedTempDir dir;
+  PersistOptions options;
+  options.dir = dir.path();
+  auto writer = WalWriter::Open(options);
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t seq = 0; seq < 8; ++seq) {
+    ASSERT_TRUE((*writer)->Append(MakeEvent(seq)).ok());
+  }
+  EXPECT_EQ((*writer)->stats().records_appended, 8u);
+  EXPECT_EQ((*writer)->stats().bytes_appended, 8u * 33u);
+  EXPECT_EQ((*writer)->stats().segments_created, 1u);
+  ASSERT_TRUE((*writer)->Sync().ok());
+}
+
+}  // namespace
+}  // namespace magicrecs

@@ -115,6 +115,119 @@ TEST(MpmcQueueTest, ManyProducersManyConsumersDeliverEverythingOnce) {
   EXPECT_EQ(sum.load(), static_cast<int64_t>(total) * (total - 1) / 2);
 }
 
+TEST(MpmcQueueTest, EveryItemDeliveredExactlyOnceUnderContention) {
+  // Stronger than sum-accounting: a per-item delivery counter catches both
+  // lost and duplicated items.
+  MpmcQueue<int> q(16);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 1'000;
+  constexpr int kTotal = kProducers * kPerProducer;
+
+  std::vector<std::atomic<int>> delivered(kTotal);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (true) {
+        auto v = q.Pop();
+        if (!v.has_value()) return;
+        delivered[static_cast<size_t>(*v)].fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  for (int i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(delivered[static_cast<size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
+TEST(MpmcQueueTest, CloseReleasesBlockedProducers) {
+  MpmcQueue<int> q(1);
+  ASSERT_TRUE(q.Push(0));  // full: every further Push blocks
+  constexpr int kBlocked = 3;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kBlocked; ++p) {
+    producers.emplace_back([&] {
+      if (!q.Push(1)) rejected.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(rejected.load(), 0);  // all still blocked on backpressure
+  q.Close();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(rejected.load(), kBlocked);
+  // The item enqueued before Close drains normally.
+  EXPECT_EQ(q.Pop(), 0);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(MpmcQueueTest, BoundedCapacityIsNeverExceeded) {
+  constexpr size_t kCapacity = 8;
+  MpmcQueue<int> q(kCapacity);
+  std::atomic<bool> overflow{false};
+  std::atomic<bool> stop{false};
+  std::thread watcher([&] {
+    while (!stop.load()) {
+      if (q.size() > kCapacity) overflow.store(true);
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 2'000; ++i) ASSERT_TRUE(q.Push(i));
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (q.Pop().has_value()) {
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  stop.store(true);
+  watcher.join();
+  EXPECT_FALSE(overflow.load());
+}
+
+TEST(MpmcQueueTest, TryVariantsUnderContentionLoseNothing) {
+  MpmcQueue<int> q(4);
+  constexpr int kTotal = 5'000;
+  std::atomic<int> consumed{0};
+  std::thread producer([&] {
+    for (int i = 0; i < kTotal; ++i) {
+      while (!q.TryPush(i)) std::this_thread::yield();
+    }
+  });
+  std::thread consumer([&] {
+    while (consumed.load() < kTotal) {
+      if (q.TryPop().has_value()) {
+        consumed.fetch_add(1);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(consumed.load(), kTotal);
+  EXPECT_EQ(q.size(), 0u);
+}
+
 TEST(MpmcQueueTest, MoveOnlyPayloads) {
   MpmcQueue<std::unique_ptr<int>> q;
   q.Push(std::make_unique<int>(9));
