@@ -1,0 +1,217 @@
+// Experiment T6 — the cost of the network boundary. The same workload is
+// driven through the same ClusterTransport interface three ways:
+//
+//   threaded    — the in-process broker (std::thread workers, no network)
+//   rpc         — RemoteCluster -> loopback TCP -> in-process RpcServer,
+//                 one Publish round trip per event
+//   rpc-batch   — same, but PublishBatch frames of 256 events
+//
+// Reported: ingest throughput (publish -> drain of the full stream) and the
+// publish->recommendation latency distribution (publish one event, drain,
+// gather — the time until that event's recommendations are in hand).
+// Per-event RPC pays one round trip per event, so batching is the lever
+// that recovers most of the gap; the latency table shows what one event
+// costs end to end on each transport.
+
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "workload.h"
+#include "cluster/transport.h"
+#include "net/remote_cluster.h"
+#include "net/rpc_server.h"
+#include "util/clock.h"
+#include "util/histogram.h"
+#include "util/str_format.h"
+
+using namespace magicrecs;
+using bench::MakeWorkload;
+using bench::Workload;
+using bench::WorkloadConfig;
+
+namespace {
+
+std::vector<EdgeEvent> ToEvents(const std::vector<TimestampedEdge>& edges) {
+  std::vector<EdgeEvent> events;
+  events.reserve(edges.size());
+  for (const TimestampedEdge& edge : edges) {
+    EdgeEvent event;
+    event.edge = edge;
+    events.push_back(event);
+  }
+  return events;
+}
+
+ClusterOptions MakeClusterOptions() {
+  ClusterOptions copt;
+  copt.num_partitions = 4;
+  copt.detector.k = 3;
+  copt.detector.window = Minutes(10);
+  copt.detector.max_reported_witnesses = 0;
+  return copt;
+}
+
+/// A transport plus whatever infrastructure keeps it alive.
+struct Endpoint {
+  ClusterTransport* transport = nullptr;
+  std::unique_ptr<LocalClusterTransport> local;
+  std::unique_ptr<LocalClusterTransport> hosted;
+  std::unique_ptr<net::RpcServer> server;
+  std::unique_ptr<net::RemoteCluster> remote;
+};
+
+/// Fresh in-process threaded endpoint.
+Endpoint MakeLocal(const StaticGraph& graph) {
+  Endpoint e;
+  auto local = LocalClusterTransport::Create(
+      graph, MakeClusterOptions(), LocalClusterTransport::Mode::kThreaded);
+  if (!local.ok()) {
+    std::fprintf(stderr, "local transport: %s\n",
+                 local.status().ToString().c_str());
+    std::exit(1);
+  }
+  e.local = std::move(local).value();
+  e.transport = e.local.get();
+  return e;
+}
+
+/// Fresh loopback RPC endpoint (server + connected client).
+Endpoint MakeRemote(const StaticGraph& graph) {
+  Endpoint e;
+  auto hosted = LocalClusterTransport::Create(
+      graph, MakeClusterOptions(), LocalClusterTransport::Mode::kThreaded);
+  if (!hosted.ok()) std::exit(1);
+  e.hosted = std::move(hosted).value();
+  auto server = net::RpcServer::Start(e.hosted.get(), net::RpcServerOptions{});
+  if (!server.ok()) {
+    std::fprintf(stderr, "rpc server: %s\n",
+                 server.status().ToString().c_str());
+    std::exit(1);
+  }
+  e.server = std::move(server).value();
+  net::RemoteClusterOptions ropt;
+  ropt.port = e.server->port();
+  auto remote = net::RemoteCluster::Connect(ropt);
+  if (!remote.ok()) std::exit(1);
+  e.remote = std::move(remote).value();
+  e.transport = e.remote.get();
+  return e;
+}
+
+struct ThroughputResult {
+  double events_per_sec = 0;
+  uint64_t recs = 0;
+};
+
+ThroughputResult RunThroughput(ClusterTransport* transport,
+                               const std::vector<EdgeEvent>& events,
+                               size_t batch) {
+  Stopwatch watch;
+  if (batch <= 1) {
+    for (const EdgeEvent& event : events) {
+      if (!transport->Publish(event).ok()) std::exit(1);
+    }
+  } else {
+    for (size_t i = 0; i < events.size(); i += batch) {
+      const size_t n = std::min(batch, events.size() - i);
+      if (!transport->PublishBatch(std::span(events.data() + i, n)).ok()) {
+        std::exit(1);
+      }
+    }
+  }
+  if (!transport->Drain().ok()) std::exit(1);
+  const double secs = watch.ElapsedSeconds();
+  auto recs = transport->TakeRecommendations();
+  if (!recs.ok()) std::exit(1);
+  ThroughputResult result;
+  result.events_per_sec = static_cast<double>(events.size()) / secs;
+  result.recs = recs->size();
+  return result;
+}
+
+Histogram RunLatency(ClusterTransport* transport,
+                     const std::vector<EdgeEvent>& events) {
+  Histogram micros;
+  for (const EdgeEvent& event : events) {
+    Stopwatch watch;
+    if (!transport->Publish(event).ok()) std::exit(1);
+    if (!transport->Drain().ok()) std::exit(1);
+    auto recs = transport->TakeRecommendations();
+    if (!recs.ok()) std::exit(1);
+    micros.Record(watch.ElapsedMicros());
+  }
+  return micros;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== T6: the network boundary — loopback RPC vs in-process "
+              "threaded broker ===\n\n");
+  // Same shape as the T3 throughput experiment (low burst correlation so
+  // motif hits stay rare): the per-event detector work is then small and
+  // what this experiment measures — the broker/transport boundary — is
+  // visible instead of being drowned by query cost.
+  WorkloadConfig config;
+  config.num_users = 20'000;
+  config.num_events = 20'000;
+  config.burst_fraction = 0.02;
+  config.mean_burst_size = 3;
+  config.seed = 6;
+  const Workload w = MakeWorkload(config);
+  const std::vector<EdgeEvent> events = ToEvents(w.events);
+
+  std::printf("--- ingest throughput (%s events, 4 partitions) ---\n",
+              HumanCount(static_cast<double>(events.size())).c_str());
+  std::printf("%11s %8s %12s %10s\n", "transport", "batch", "events/s",
+              "recs");
+  uint64_t reference_recs = 0;
+  struct Config {
+    const char* name;
+    bool remote;
+    size_t batch;
+  };
+  const Config configs[] = {
+      {"threaded", false, 1},
+      {"rpc", true, 1},
+      {"rpc-batch", true, 256},
+  };
+  for (const Config& c : configs) {
+    Endpoint endpoint = c.remote ? MakeRemote(w.follow_graph)
+                                 : MakeLocal(w.follow_graph);
+    const ThroughputResult result =
+        RunThroughput(endpoint.transport, events, c.batch);
+    if (c.batch == 1 && !c.remote) reference_recs = result.recs;
+    std::printf("%11s %8zu %12s %10s %s\n", c.name, c.batch,
+                HumanCount(result.events_per_sec).c_str(),
+                HumanCount(static_cast<double>(result.recs)).c_str(),
+                result.recs == reference_recs ? "[recs identical]"
+                                              : "[RECS DIFFER!]");
+  }
+
+  const size_t latency_events = 2'000;
+  std::printf("\n--- publish -> recommendation latency (first %s events, "
+              "fresh clusters) ---\n",
+              HumanCount(static_cast<double>(latency_events)).c_str());
+  std::printf("%11s %10s %10s %10s %10s\n", "transport", "p50", "p90", "p99",
+              "max");
+  for (const bool remote : {false, true}) {
+    Endpoint endpoint =
+        remote ? MakeRemote(w.follow_graph) : MakeLocal(w.follow_graph);
+    const std::vector<EdgeEvent> probe(events.begin(),
+                                       events.begin() + latency_events);
+    const Histogram micros = RunLatency(endpoint.transport, probe);
+    std::printf("%11s %9.0fu %9.0fu %9.0fu %9lldu\n",
+                remote ? "rpc" : "threaded", micros.Percentile(50),
+                micros.Percentile(90), micros.Percentile(99),
+                static_cast<long long>(micros.Max()));
+  }
+
+  std::printf("\nthe rpc transport pays three loopback round trips per "
+              "probed event (publish,\ndrain, gather); batching amortizes "
+              "the framing and syscall cost across 256 events\nand recovers "
+              "most of the in-process throughput.\n");
+  return 0;
+}

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <chrono>
 
 #include "persist/recovery.h"
 #include "persist/wal.h"
@@ -105,12 +104,17 @@ bool Cluster::ShouldEmit(uint32_t partition, uint32_t replica,
 
 Status Cluster::OnEdge(VertexId src, VertexId dst, Timestamp t,
                        std::vector<Recommendation>* out) {
+  EdgeEvent event;
+  event.edge = TimestampedEdge{src, dst, t};
+  return OnEdgeEvent(event, out);
+}
+
+Status Cluster::OnEdgeEvent(EdgeEvent event,
+                            std::vector<Recommendation>* out) {
   if (running_) {
     return Status::FailedPrecondition(
         "inline OnEdge cannot be mixed with threaded mode");
   }
-  EdgeEvent event;
-  event.edge = TimestampedEdge{src, dst, t};
   MAGICRECS_RETURN_IF_ERROR(AssignSequenceAndLog(&event));
   events_published_.fetch_add(1, std::memory_order_relaxed);
 
@@ -185,18 +189,32 @@ void Cluster::WorkerLoop(uint32_t partition, uint32_t replica) {
                         std::make_move_iterator(local.end()));
       }
     }
-    consumed.fetch_add(1, std::memory_order_release);
+    // seq_cst pairs with Drain(): either this worker sees the waiter's
+    // registration and notifies, or the waiter's predicate sees this
+    // increment — no missed wakeup, no sleep-polling.
+    consumed.fetch_add(1, std::memory_order_seq_cst);
+    if (drain_waiters_.load(std::memory_order_seq_cst) > 0) {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      drain_cv_.notify_all();
+    }
   }
 }
 
 void Cluster::Drain() {
   if (!running_) return;
   const uint64_t target = events_published_.load(std::memory_order_acquire);
-  for (auto& consumed : consumed_) {
-    while (consumed->load(std::memory_order_acquire) < target) {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+  const auto all_consumed = [&] {
+    for (const auto& consumed : consumed_) {
+      if (consumed->load(std::memory_order_seq_cst) < target) return false;
     }
+    return true;
+  };
+  drain_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock, all_consumed);
   }
+  drain_waiters_.fetch_sub(1, std::memory_order_seq_cst);
 }
 
 void Cluster::Stop() {

@@ -23,6 +23,7 @@
 #define MAGICRECS_CLUSTER_CLUSTER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -93,6 +94,11 @@ class Cluster {
   /// mixed with threaded-mode calls.
   Status OnEdge(VertexId src, VertexId dst, Timestamp t,
                 std::vector<Recommendation>* out);
+
+  /// Same, but keeps the event's action type (content pipelines and the RPC
+  /// transport publish retweet/favorite events too). The sequence field is
+  /// assigned here; any caller-provided value is overwritten.
+  Status OnEdgeEvent(EdgeEvent event, std::vector<Recommendation>* out);
 
   // --- Threaded mode ---------------------------------------------------------
 
@@ -203,6 +209,12 @@ class Cluster {
   std::vector<std::vector<std::unique_ptr<MpmcQueue<EdgeEvent>>>> inboxes_;
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> consumed_;
+  // Drain() rendezvous: workers wake waiters after bumping their consumed
+  // counter instead of the waiters sleep-polling. drain_waiters_ keeps the
+  // notify off the per-event hot path when nobody is draining.
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::atomic<int> drain_waiters_{0};
   std::atomic<uint64_t> events_published_{0};
   std::atomic<uint64_t> next_sequence_{0};
   std::mutex results_mu_;

@@ -1,0 +1,132 @@
+#include "cluster/transport.h"
+
+#include <utility>
+
+#include "util/str_format.h"
+
+namespace magicrecs {
+
+std::string ClusterStats::ToString() const {
+  return StrFormat(
+      "partitions=%u replicas=%u published=%llu ingests=%llu queries=%llu "
+      "recs=%llu S=%s D=%s",
+      num_partitions, replicas_per_partition,
+      static_cast<unsigned long long>(events_published),
+      static_cast<unsigned long long>(detector_events),
+      static_cast<unsigned long long>(threshold_queries),
+      static_cast<unsigned long long>(recommendations),
+      HumanBytes(static_memory_bytes).c_str(),
+      HumanBytes(dynamic_memory_bytes).c_str());
+}
+
+Status ClusterTransport::PublishBatch(std::span<const EdgeEvent> events) {
+  for (const EdgeEvent& event : events) {
+    MAGICRECS_RETURN_IF_ERROR(Publish(event));
+  }
+  return Status::OK();
+}
+
+// --- LocalClusterTransport ---------------------------------------------------
+
+Result<std::unique_ptr<LocalClusterTransport>> LocalClusterTransport::Create(
+    const StaticGraph& follow_graph, const ClusterOptions& options,
+    Mode mode) {
+  MAGICRECS_ASSIGN_OR_RETURN(std::unique_ptr<Cluster> cluster,
+                             Cluster::Create(follow_graph, options));
+  return Adopt(std::move(cluster), mode);
+}
+
+Result<std::unique_ptr<LocalClusterTransport>> LocalClusterTransport::Adopt(
+    std::unique_ptr<Cluster> cluster, Mode mode) {
+  if (cluster == nullptr) {
+    return Status::InvalidArgument("cluster must be non-null");
+  }
+  std::unique_ptr<LocalClusterTransport> transport(
+      new LocalClusterTransport(std::move(cluster), mode));
+  if (mode == Mode::kThreaded) {
+    MAGICRECS_RETURN_IF_ERROR(transport->cluster_->Start());
+  }
+  return transport;
+}
+
+LocalClusterTransport::~LocalClusterTransport() {
+  const Status s = Close();
+  (void)s;  // destructor cannot propagate
+}
+
+Status LocalClusterTransport::Publish(const EdgeEvent& event) {
+  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  if (closed_) return Status::FailedPrecondition("transport is closed");
+  if (mode_ == Mode::kThreaded) return cluster_->Publish(event);
+  std::lock_guard<std::mutex> lock(inline_mu_);
+  return cluster_->OnEdgeEvent(event, &inline_results_);
+}
+
+Status LocalClusterTransport::Drain() {
+  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  if (closed_) return Status::FailedPrecondition("transport is closed");
+  if (mode_ == Mode::kThreaded) cluster_->Drain();
+  return Status::OK();  // inline publishes are synchronous: always drained
+}
+
+Result<std::vector<Recommendation>> LocalClusterTransport::TakeRecommendations() {
+  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  if (closed_) return Status::FailedPrecondition("transport is closed");
+  if (mode_ == Mode::kThreaded) return cluster_->TakeRecommendations();
+  std::lock_guard<std::mutex> lock(inline_mu_);
+  std::vector<Recommendation> out;
+  out.swap(inline_results_);
+  return out;
+}
+
+Status LocalClusterTransport::Checkpoint(Timestamp created_at) {
+  // Exclusive: blocks publishers, then quiesces the workers, so the
+  // snapshot serializes a detector no thread is mutating.
+  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  if (closed_) return Status::FailedPrecondition("transport is closed");
+  if (mode_ == Mode::kThreaded) cluster_->Drain();
+  return cluster_->Checkpoint(created_at);
+}
+
+Status LocalClusterTransport::KillReplica(uint32_t partition,
+                                          uint32_t replica) {
+  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  if (closed_) return Status::FailedPrecondition("transport is closed");
+  return cluster_->KillReplica(partition, replica);  // one atomic bit flip
+}
+
+Status LocalClusterTransport::RecoverReplica(uint32_t partition,
+                                             uint32_t replica) {
+  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  if (closed_) return Status::FailedPrecondition("transport is closed");
+  if (mode_ == Mode::kThreaded) cluster_->Drain();  // recover quiesced
+  return cluster_->RecoverReplica(partition, replica);
+}
+
+Result<ClusterStats> LocalClusterTransport::GetStats() {
+  // Exclusive + drained: the per-detector counters and histograms are plain
+  // fields the worker threads mutate, so stats reads must be quiesced too.
+  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  if (closed_) return Status::FailedPrecondition("transport is closed");
+  if (mode_ == Mode::kThreaded) cluster_->Drain();
+  const DiamondStats detector = cluster_->AggregatedStats();
+  ClusterStats stats;
+  stats.num_partitions = cluster_->num_partitions();
+  stats.replicas_per_partition = cluster_->replicas_per_partition();
+  stats.events_published = cluster_->events_published();
+  stats.detector_events = detector.events;
+  stats.threshold_queries = detector.threshold_queries;
+  stats.recommendations = detector.recommendations;
+  stats.static_memory_bytes = cluster_->TotalStaticMemory();
+  stats.dynamic_memory_bytes = cluster_->TotalDynamicMemory();
+  return stats;
+}
+
+Status LocalClusterTransport::Close() {
+  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  if (closed_.exchange(true)) return Status::OK();
+  if (mode_ == Mode::kThreaded) cluster_->Stop();
+  return Status::OK();
+}
+
+}  // namespace magicrecs

@@ -1,0 +1,148 @@
+// The transport seam between stream producers and the partitioned cluster.
+//
+// The paper's production deployment is ~20 partition servers on separate
+// machines behind a fan-out broker; this repo started with a single-process
+// Cluster object whose "distributed" mode was std::thread. ClusterTransport
+// abstracts the boundary so the same driver code — tests, benches, examples,
+// the stream simulator — can run against
+//
+//   * LocalClusterTransport(kInline)   — synchronous, deterministic,
+//   * LocalClusterTransport(kThreaded) — one worker thread per replica,
+//   * RemoteCluster (src/net/)         — a real magicrecsd process over TCP,
+//
+// without knowing which one it has. The contract is publish/drain/gather:
+// Publish delivers an event to every partition, Drain blocks until all
+// published events are fully processed, TakeRecommendations moves out what
+// the motif queries emitted since the last call.
+
+#ifndef MAGICRECS_CLUSTER_TRANSPORT_H_
+#define MAGICRECS_CLUSTER_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/recommendation.h"
+#include "stream/event.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace magicrecs {
+
+/// Cluster-wide counters as reported over the stats RPC. A flat POD rather
+/// than DiamondStats so it has a stable wire encoding.
+struct ClusterStats {
+  uint32_t num_partitions = 0;
+  uint32_t replicas_per_partition = 0;
+  uint64_t events_published = 0;     ///< broker-side publish count
+  uint64_t detector_events = 0;      ///< ingests summed over all replicas
+  uint64_t threshold_queries = 0;    ///< motif queries summed over replicas
+  uint64_t recommendations = 0;      ///< emitted recommendations (sum)
+  uint64_t static_memory_bytes = 0;  ///< all S shards
+  uint64_t dynamic_memory_bytes = 0; ///< all D copies
+
+  friend bool operator==(const ClusterStats&, const ClusterStats&) = default;
+
+  std::string ToString() const;
+};
+
+/// Abstract cluster endpoint. Implementations are thread-safe: the RPC
+/// server drives one transport from several connection handler threads.
+class ClusterTransport {
+ public:
+  virtual ~ClusterTransport() = default;
+
+  /// Delivers one edge-creation event to every partition. The transport
+  /// assigns the sequence number; any caller-provided value is ignored.
+  virtual Status Publish(const EdgeEvent& event) = 0;
+
+  /// Delivers a batch in order. Default implementation loops Publish; the
+  /// remote transport overrides it with a single framed round trip.
+  virtual Status PublishBatch(std::span<const EdgeEvent> events);
+
+  /// Blocks until every event published so far is fully processed.
+  virtual Status Drain() = 0;
+
+  /// Moves out all recommendations gathered since the last call. Ordering
+  /// across partitions is unspecified.
+  virtual Result<std::vector<Recommendation>> TakeRecommendations() = 0;
+
+  /// Snapshots the durable state (see Cluster::Checkpoint). Call quiesced.
+  virtual Status Checkpoint(Timestamp created_at) = 0;
+
+  /// Failure injection (see Cluster::KillReplica / RecoverReplica).
+  virtual Status KillReplica(uint32_t partition, uint32_t replica) = 0;
+  virtual Status RecoverReplica(uint32_t partition, uint32_t replica) = 0;
+
+  virtual Result<ClusterStats> GetStats() = 0;
+
+  /// Releases the transport's resources (joins workers, closes the
+  /// connection). Idempotent; called by the destructor.
+  virtual Status Close() = 0;
+};
+
+/// In-process transport over a Cluster, in either execution mode.
+class LocalClusterTransport : public ClusterTransport {
+ public:
+  enum class Mode {
+    kInline,    ///< single-threaded, deterministic ordering
+    kThreaded,  ///< one worker per replica; Start() on creation
+  };
+
+  /// Builds the cluster from the follow graph and wraps it.
+  static Result<std::unique_ptr<LocalClusterTransport>> Create(
+      const StaticGraph& follow_graph, const ClusterOptions& options,
+      Mode mode);
+
+  /// Wraps an existing cluster (must not be running yet in kThreaded mode).
+  static Result<std::unique_ptr<LocalClusterTransport>> Adopt(
+      std::unique_ptr<Cluster> cluster, Mode mode);
+
+  ~LocalClusterTransport() override;
+
+  Status Publish(const EdgeEvent& event) override;
+  Status Drain() override;
+  Result<std::vector<Recommendation>> TakeRecommendations() override;
+  Status Checkpoint(Timestamp created_at) override;
+  Status KillReplica(uint32_t partition, uint32_t replica) override;
+  Status RecoverReplica(uint32_t partition, uint32_t replica) override;
+  Result<ClusterStats> GetStats() override;
+  Status Close() override;
+
+  Mode mode() const { return mode_; }
+  Cluster& cluster() { return *cluster_; }
+  const Cluster& cluster() const { return *cluster_; }
+
+ private:
+  LocalClusterTransport(std::unique_ptr<Cluster> cluster, Mode mode)
+      : cluster_(std::move(cluster)), mode_(mode) {}
+
+  std::unique_ptr<Cluster> cluster_;
+  const Mode mode_;
+  std::atomic<bool> closed_{false};
+
+  // Concurrency: several RPC connection handlers drive one transport. Data-
+  // plane calls (Publish, Drain, TakeRecommendations, KillReplica — all
+  // safe to run concurrently through the cluster's own synchronization)
+  // hold state_mu_ shared; control-plane calls that read or rewrite raw
+  // detector state (GetStats, Checkpoint, RecoverReplica) hold it exclusive
+  // and quiesce first, so they never observe a detector mid-mutation.
+  std::shared_mutex state_mu_;
+
+  // kInline state: Cluster::OnEdgeEvent is not thread-safe and returns
+  // recommendations synchronously, so the transport serializes calls and
+  // buffers the results to honor the publish/gather contract.
+  std::mutex inline_mu_;
+  std::vector<Recommendation> inline_results_;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_CLUSTER_TRANSPORT_H_

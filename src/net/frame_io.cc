@@ -1,0 +1,40 @@
+#include "net/frame_io.h"
+
+#include <cstdint>
+
+#include "persist/crc32.h"
+
+namespace magicrecs::net {
+
+Status ReadFrame(TcpSocket* socket, Frame* frame, bool* clean_eof) {
+  uint8_t header[kFrameHeaderBytes];
+  MAGICRECS_RETURN_IF_ERROR(
+      socket->ReadFull(header, kFrameHeaderBytes, clean_eof));
+  uint32_t body_len = 0;
+  uint32_t masked_crc = 0;
+  MAGICRECS_RETURN_IF_ERROR(
+      DecodeFrameHeader(header, &body_len, &masked_crc));
+  // Read the tag and the payload straight into their destinations; the body
+  // CRC is seed-chained over the two parts, so the payload is never staged
+  // in (and copied out of) a temporary body buffer.
+  uint8_t tag_byte = 0;
+  MAGICRECS_RETURN_IF_ERROR(socket->ReadFull(&tag_byte, 1));
+  frame->payload.resize(body_len - 1);
+  if (body_len > 1) {
+    MAGICRECS_RETURN_IF_ERROR(
+        socket->ReadFull(frame->payload.data(), body_len - 1));
+  }
+  uint32_t crc = persist::Crc32c(&tag_byte, 1);
+  crc = persist::Crc32c(frame->payload.data(), frame->payload.size(), crc);
+  if (crc != persist::UnmaskCrc(masked_crc)) {
+    return Status::Corruption("frame body CRC mismatch");
+  }
+  frame->tag = static_cast<MessageTag>(tag_byte);
+  return Status::OK();
+}
+
+Status WriteFrames(TcpSocket* socket, const std::string& bytes) {
+  return socket->WriteAll(bytes.data(), bytes.size());
+}
+
+}  // namespace magicrecs::net

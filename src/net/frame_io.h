@@ -1,0 +1,31 @@
+// Frame <-> socket plumbing shared by the server and the client: one place
+// that knows a frame is "8-byte header, then body", so both sides enforce
+// the same length / CRC discipline before a single payload byte is trusted.
+
+#ifndef MAGICRECS_NET_FRAME_IO_H_
+#define MAGICRECS_NET_FRAME_IO_H_
+
+#include <string>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace magicrecs::net {
+
+/// Reads one complete frame. `*clean_eof` (optional) is set when the peer
+/// closed the connection between frames — the orderly end of a session.
+/// Errors:
+///   Unavailable       — connection closed or reset (incl. mid-frame)
+///   InvalidArgument   — zero-length body
+///   ResourceExhausted — length prefix above kMaxFrameBodyBytes (nothing
+///                       is allocated; the stream is desynchronized)
+///   Corruption        — body CRC mismatch
+Status ReadFrame(TcpSocket* socket, Frame* frame, bool* clean_eof = nullptr);
+
+/// Writes pre-assembled frame bytes (from the Append* wire encoders).
+Status WriteFrames(TcpSocket* socket, const std::string& bytes);
+
+}  // namespace magicrecs::net
+
+#endif  // MAGICRECS_NET_FRAME_IO_H_

@@ -1,0 +1,171 @@
+#include "net/remote_cluster.h"
+
+#include <utility>
+
+#include "net/frame_io.h"
+#include "util/str_format.h"
+
+namespace magicrecs::net {
+namespace {
+
+Status UnexpectedReply(MessageTag got, const char* expected) {
+  return Status::Internal(StrFormat("server replied %s where %s was expected",
+                                    std::string(MessageTagName(got)).c_str(),
+                                    expected));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RemoteCluster>> RemoteCluster::Connect(
+    const RemoteClusterOptions& options) {
+  std::unique_ptr<RemoteCluster> client(new RemoteCluster(options));
+  MAGICRECS_ASSIGN_OR_RETURN(client->socket_,
+                             TcpSocket::Connect(options.host, options.port));
+  if (options.tcp_nodelay) {
+    MAGICRECS_RETURN_IF_ERROR(client->socket_.SetNoDelay(true));
+  }
+  return client;
+}
+
+RemoteCluster::~RemoteCluster() {
+  const Status s = Close();
+  (void)s;  // destructor cannot propagate
+}
+
+Status RemoteCluster::Exchange(const std::string& request, Frame* reply) {
+  if (closed_) return Status::FailedPrecondition("remote cluster is closed");
+  Status status = WriteFrames(&socket_, request);
+  if (status.ok()) status = ReadFrame(&socket_, reply);
+  if (!status.ok()) {
+    // The request may be half-written or the reply half-read; no further
+    // exchange on this socket can be trusted to be frame-aligned.
+    closed_ = true;
+    socket_.Close();
+  }
+  return status;
+}
+
+Status RemoteCluster::ExchangeForAck(const std::string& request) {
+  Frame reply;
+  MAGICRECS_RETURN_IF_ERROR(Exchange(request, &reply));
+  switch (reply.tag) {
+    case MessageTag::kAck:
+      return Status::OK();
+    case MessageTag::kError:
+      return DecodeError(reply.payload);
+    default:
+      return UnexpectedReply(reply.tag, "ack");
+  }
+}
+
+Status RemoteCluster::Publish(const EdgeEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  request_buf_.clear();
+  AppendPublish(event, &request_buf_);
+  return ExchangeForAck(request_buf_);
+}
+
+Status RemoteCluster::PublishBatch(std::span<const EdgeEvent> events) {
+  if (events.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  request_buf_.clear();
+  AppendPublishBatch(events, &request_buf_);
+  return ExchangeForAck(request_buf_);
+}
+
+Status RemoteCluster::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  request_buf_.clear();
+  AppendEmptyRequest(MessageTag::kDrain, &request_buf_);
+  return ExchangeForAck(request_buf_);
+}
+
+Result<std::vector<Recommendation>> RemoteCluster::TakeRecommendations() {
+  std::lock_guard<std::mutex> lock(mu_);
+  request_buf_.clear();
+  AppendEmptyRequest(MessageTag::kTakeRecommendations, &request_buf_);
+  Frame reply;
+  MAGICRECS_RETURN_IF_ERROR(Exchange(request_buf_, &reply));
+  std::vector<Recommendation> recs;
+  while (true) {
+    if (reply.tag == MessageTag::kError) return DecodeError(reply.payload);
+    if (reply.tag != MessageTag::kRecommendationsReply) {
+      return UnexpectedReply(reply.tag, "recommendations-reply");
+    }
+    bool has_more = false;
+    const Status decoded =
+        DecodeRecommendationsReply(reply.payload, &recs, &has_more);
+    if (!decoded.ok()) {
+      // A mangled chunk leaves an unknown number of follow-up frames in
+      // flight; the stream alignment is gone.
+      closed_ = true;
+      socket_.Close();
+      return decoded;
+    }
+    if (!has_more) return recs;
+    const Status next = ReadFrame(&socket_, &reply);
+    if (!next.ok()) {
+      closed_ = true;
+      socket_.Close();
+      return next;
+    }
+  }
+}
+
+Status RemoteCluster::Checkpoint(Timestamp created_at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  request_buf_.clear();
+  AppendCheckpoint(created_at, &request_buf_);
+  return ExchangeForAck(request_buf_);
+}
+
+Status RemoteCluster::KillReplica(uint32_t partition, uint32_t replica) {
+  std::lock_guard<std::mutex> lock(mu_);
+  request_buf_.clear();
+  AppendReplicaOp(MessageTag::kKillReplica, partition, replica, &request_buf_);
+  return ExchangeForAck(request_buf_);
+}
+
+Status RemoteCluster::RecoverReplica(uint32_t partition, uint32_t replica) {
+  std::lock_guard<std::mutex> lock(mu_);
+  request_buf_.clear();
+  AppendReplicaOp(MessageTag::kRecoverReplica, partition, replica,
+                  &request_buf_);
+  return ExchangeForAck(request_buf_);
+}
+
+Result<ClusterStats> RemoteCluster::GetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  request_buf_.clear();
+  AppendEmptyRequest(MessageTag::kStats, &request_buf_);
+  Frame reply;
+  MAGICRECS_RETURN_IF_ERROR(Exchange(request_buf_, &reply));
+  switch (reply.tag) {
+    case MessageTag::kStatsReply: {
+      ClusterStats stats;
+      MAGICRECS_RETURN_IF_ERROR(DecodeStatsReply(reply.payload, &stats));
+      return stats;
+    }
+    case MessageTag::kError:
+      return DecodeError(reply.payload);
+    default:
+      return UnexpectedReply(reply.tag, "stats-reply");
+  }
+}
+
+Status RemoteCluster::Ping() {
+  std::lock_guard<std::mutex> lock(mu_);
+  request_buf_.clear();
+  AppendEmptyRequest(MessageTag::kPing, &request_buf_);
+  return ExchangeForAck(request_buf_);
+}
+
+Status RemoteCluster::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return Status::OK();
+  closed_ = true;
+  socket_.Close();
+  return Status::OK();
+}
+
+}  // namespace magicrecs::net

@@ -1,0 +1,211 @@
+#include "net/rpc_server.h"
+
+#include <chrono>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/frame_io.h"
+#include "util/str_format.h"
+
+namespace magicrecs::net {
+
+Result<std::unique_ptr<RpcServer>> RpcServer::Start(
+    ClusterTransport* transport, const RpcServerOptions& options) {
+  if (transport == nullptr) {
+    return Status::InvalidArgument("transport must be non-null");
+  }
+  std::unique_ptr<RpcServer> server(new RpcServer(transport, options));
+  MAGICRECS_ASSIGN_OR_RETURN(
+      server->listener_,
+      TcpListener::Listen(options.host, options.port, options.backlog));
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+RpcServer::~RpcServer() { Stop(); }
+
+void RpcServer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  listener_.Close();  // unblocks Accept()
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::list<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) {
+    connection->socket.Shutdown();  // unblocks a handler stuck in recv
+  }
+  for (auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+RpcServerStats RpcServer::stats() const {
+  RpcServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.requests_served = requests_served_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void RpcServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Result<TcpSocket> accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      // Transient accept failure (e.g. EMFILE under a connection flood):
+      // keep serving, but back off instead of spinning a core until an fd
+      // frees up.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.tcp_nodelay) {
+      (void)accepted->SetNoDelay(true);
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->socket = std::move(accepted).value();
+    Connection* raw = connection.get();
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    ReapFinishedLocked();
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void RpcServer::ReapFinishedLocked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void RpcServer::ServeConnection(Connection* connection) {
+  TcpSocket& socket = connection->socket;
+  Frame request;
+  std::string response;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    bool clean_eof = false;
+    const Status read = ReadFrame(&socket, &request, &clean_eof);
+    if (!read.ok()) {
+      if (!clean_eof && !read.IsUnavailable()) {
+        // Malformed framing (oversized length, CRC mismatch, empty body):
+        // tell the peer why, then drop the connection — after a framing
+        // error the stream offsets can no longer be trusted.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        response.clear();
+        AppendError(read, &response);
+        (void)WriteFrames(&socket, response);
+        requests_served_.fetch_add(1, std::memory_order_relaxed);
+      } else if (!clean_eof) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    response.clear();
+    HandleRequest(request, &response);
+    if (!WriteFrames(&socket, response).ok()) break;
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Shutdown (FIN to the peer) rather than Close: Stop() may concurrently
+  // Shutdown() this socket too, and both only read the fd. The fd itself is
+  // released when the Connection is destroyed, strictly after join.
+  socket.Shutdown();
+  connection->done.store(true, std::memory_order_release);
+}
+
+void RpcServer::HandleRequest(const Frame& request, std::string* response) {
+  const std::string_view payload = request.payload;
+  Status status;
+  switch (request.tag) {
+    case MessageTag::kPublish: {
+      EdgeEvent event;
+      status = DecodePublish(payload, &event);
+      if (status.ok()) status = transport_->Publish(event);
+      break;
+    }
+    case MessageTag::kPublishBatch: {
+      std::vector<EdgeEvent> events;
+      status = DecodePublishBatch(payload, &events);
+      if (status.ok()) status = transport_->PublishBatch(events);
+      break;
+    }
+    case MessageTag::kTakeRecommendations: {
+      Result<std::vector<Recommendation>> recs =
+          transport_->TakeRecommendations();
+      if (recs.ok()) {
+        // A large gather streams as several bounded frames (one request,
+        // N ordered replies) so no reply can hit the frame-size cap.
+        // Delivery of a gather is at-most-once, mirroring the in-process
+        // move-out contract: recommendations taken here are gone if the
+        // reply write fails; the delivery pipeline's dedup absorbs any
+        // operator-level replay.
+        AppendRecommendationsReplyChunked(*recs, kRecommendationsChunkBytes,
+                                          response);
+        return;
+      }
+      status = recs.status();
+      break;
+    }
+    case MessageTag::kDrain:
+      status = transport_->Drain();
+      break;
+    case MessageTag::kCheckpoint: {
+      Timestamp created_at = 0;
+      status = DecodeCheckpoint(payload, &created_at);
+      if (status.ok()) status = transport_->Checkpoint(created_at);
+      break;
+    }
+    case MessageTag::kKillReplica:
+    case MessageTag::kRecoverReplica: {
+      uint32_t partition = 0;
+      uint32_t replica = 0;
+      status = DecodeReplicaOp(payload, &partition, &replica);
+      if (status.ok()) {
+        status = request.tag == MessageTag::kKillReplica
+                     ? transport_->KillReplica(partition, replica)
+                     : transport_->RecoverReplica(partition, replica);
+      }
+      break;
+    }
+    case MessageTag::kStats: {
+      Result<ClusterStats> stats = transport_->GetStats();
+      if (stats.ok()) {
+        AppendStatsReply(*stats, response);
+        return;
+      }
+      status = stats.status();
+      break;
+    }
+    case MessageTag::kPing:
+      status = Status::OK();
+      break;
+    default:
+      // Unknown or response-range tag: the frame itself was well-formed, so
+      // the stream is still aligned — answer and keep serving.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      AppendError(
+          Status::Unimplemented(StrFormat(
+              "unknown message tag 0x%02x",
+              static_cast<unsigned>(static_cast<uint8_t>(request.tag)))),
+          response);
+      return;
+  }
+  if (status.ok()) {
+    AppendAck(response);
+  } else {
+    AppendError(status, response);
+  }
+}
+
+}  // namespace magicrecs::net

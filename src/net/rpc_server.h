@@ -1,0 +1,124 @@
+// The daemon side of the RPC layer: a TCP listener and one handler thread
+// per connection, dispatching decoded frames onto a ClusterTransport. This
+// is the fan-out broker boundary of the paper's deployment — magicrecsd is
+// a thin main() around this class.
+//
+// Concurrency model: thread-per-connection, requests on one connection
+// handled strictly in order (each gets exactly one response). Backpressure
+// is inherited from the transport: a threaded cluster's bounded replica
+// inboxes make Publish block, which stalls the connection handler, which
+// stops reading from the socket, which fills the peer's TCP window — the
+// network applies the backpressure end to end.
+//
+// Protocol-error policy (exercised by tests/net/rpc_robustness_test.cc):
+//   * well-framed but unknown/unsupported tag -> kError response, the
+//     connection stays usable;
+//   * transport-level failure -> kError response carrying the Status, the
+//     connection stays usable;
+//   * oversized length prefix or CRC mismatch -> kError response, then the
+//     connection is closed: the byte stream can no longer be trusted to be
+//     frame-aligned;
+//   * truncated frame / dropped connection -> the connection is reaped.
+// None of these touch the other connections or the daemon's lifetime.
+
+#ifndef MAGICRECS_NET_RPC_SERVER_H_
+#define MAGICRECS_NET_RPC_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "cluster/transport.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace magicrecs::net {
+
+struct RpcServerOptions {
+  /// Numeric IPv4 listen address.
+  std::string host = "127.0.0.1";
+
+  /// 0 picks an ephemeral port (see RpcServer::port()).
+  uint16_t port = 0;
+
+  int backlog = 64;
+
+  /// Disable Nagle on accepted connections (request/response traffic).
+  bool tcp_nodelay = true;
+};
+
+/// Lifetime counters, readable while the server runs.
+struct RpcServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t requests_served = 0;   ///< responses sent, errors included
+  uint64_t protocol_errors = 0;   ///< malformed frames / unknown tags
+};
+
+class RpcServer {
+ public:
+  /// Binds, listens, and spawns the accept loop. `transport` must be
+  /// thread-safe and outlive the server; the server never owns it, so one
+  /// daemon process can host several servers over distinct transports.
+  static Result<std::unique_ptr<RpcServer>> Start(
+      ClusterTransport* transport, const RpcServerOptions& options);
+
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// The bound port (resolves an ephemeral request).
+  uint16_t port() const { return listener_.port(); }
+  const std::string& host() const { return options_.host; }
+
+  /// Stops accepting, severs open connections, joins every thread.
+  /// Idempotent.
+  void Stop();
+
+  RpcServerStats stats() const;
+
+ private:
+  struct Connection {
+    TcpSocket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  RpcServer(ClusterTransport* transport, const RpcServerOptions& options)
+      : transport_(transport), options_(options) {}
+
+  void AcceptLoop();
+  void ServeConnection(Connection* connection);
+
+  /// Appends the response frame(s) for one well-framed request to
+  /// *response. Framing-level errors (which do close the connection) are
+  /// handled in ServeConnection before dispatch reaches here.
+  void HandleRequest(const Frame& request, std::string* response);
+
+  /// Joins and erases finished connections (called with connections_mu_).
+  void ReapFinishedLocked();
+
+  ClusterTransport* transport_;
+  RpcServerOptions options_;
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;
+
+  std::mutex connections_mu_;
+  std::list<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace magicrecs::net
+
+#endif  // MAGICRECS_NET_RPC_SERVER_H_

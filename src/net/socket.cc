@@ -1,0 +1,196 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/str_format.h"
+
+namespace magicrecs::net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+Result<sockaddr_in> MakeAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("'%s' is not a numeric IPv4 address", host.c_str()));
+  }
+  return addr;
+}
+
+}  // namespace
+
+// --- TcpSocket ---------------------------------------------------------------
+
+TcpSocket::~TcpSocket() { Close(); }
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Result<TcpSocket> TcpSocket::Connect(const std::string& host, uint16_t port) {
+  MAGICRECS_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  TcpSocket socket(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Status::Unavailable(StrFormat("connect %s:%u: %s", host.c_str(),
+                                         port, std::strerror(errno)));
+  }
+  return socket;
+}
+
+Status TcpSocket::WriteAll(const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a dead peer must surface as a Status, not SIGPIPE.
+    const ssize_t written = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable("connection closed by peer");
+      }
+      return Errno("send");
+    }
+    p += written;
+    n -= static_cast<size_t>(written);
+  }
+  return Status::OK();
+}
+
+Status TcpSocket::ReadFull(void* data, size_t n, bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) {
+        return Status::Unavailable("connection reset by peer");
+      }
+      return Errno("recv");
+    }
+    if (r == 0) {
+      if (got == 0 && clean_eof != nullptr) *clean_eof = true;
+      return got == 0
+                 ? Status::Unavailable("connection closed by peer")
+                 : Status::Unavailable(StrFormat(
+                       "connection closed mid-message (%zu of %zu bytes)",
+                       got, n));
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status TcpSocket::SetNoDelay(bool enabled) {
+  const int flag = enabled ? 1 : 0;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+void TcpSocket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// --- TcpListener -------------------------------------------------------------
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)),
+      closed_(other.closed_.load(std::memory_order_relaxed)) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+    closed_.store(other.closed_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+Result<TcpListener> TcpListener::Listen(const std::string& host, uint16_t port,
+                                        int backlog) {
+  MAGICRECS_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  TcpListener listener;
+  listener.fd_ = fd;
+  const int reuse = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::Unavailable(StrFormat("bind %s:%u: %s", host.c_str(), port,
+                                         std::strerror(errno)));
+  }
+  if (::listen(fd, backlog) != 0) return Errno("listen");
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<TcpSocket> TcpListener::Accept() {
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return TcpSocket(fd);
+    if (errno == EINTR) continue;
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::Aborted("listener closed");
+    }
+    return Errno("accept");
+  }
+}
+
+void TcpListener::Close() {
+  closed_.store(true, std::memory_order_release);
+  // Shutdown (not close) unblocks a concurrent Accept() without freeing the
+  // fd number out from under it; the destructor releases the fd once the
+  // accept loop has been joined.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace magicrecs::net

@@ -1,0 +1,97 @@
+// Thin RAII wrappers over POSIX TCP sockets — the only place in the net/
+// subsystem that touches the sockets API. IPv4 numeric addresses only (the
+// deployment story is "partition servers behind a broker on a flat
+// network"; name resolution would drag in more surface than it is worth).
+
+#ifndef MAGICRECS_NET_SOCKET_H_
+#define MAGICRECS_NET_SOCKET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace magicrecs::net {
+
+/// A connected stream socket. Move-only; the destructor closes the fd.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket();
+
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Connects to host:port (numeric IPv4, e.g. "127.0.0.1").
+  static Result<TcpSocket> Connect(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all n bytes (retrying partial writes). Unavailable if the peer
+  /// closed the connection, Internal on other errors.
+  Status WriteAll(const void* data, size_t n);
+
+  /// Reads exactly n bytes. `*clean_eof` (optional) is set iff the peer
+  /// closed the connection before the FIRST byte — an orderly shutdown
+  /// between messages, reported as Unavailable. EOF mid-message is a
+  /// truncated frame and also reports Unavailable with *clean_eof false.
+  Status ReadFull(void* data, size_t n, bool* clean_eof = nullptr);
+
+  /// Disables Nagle's algorithm (latency-sensitive request/response).
+  Status SetNoDelay(bool enabled);
+
+  /// Shuts down both directions (unblocks a peer's blocking read) without
+  /// closing the fd.
+  void Shutdown();
+
+  /// Closes the fd. Idempotent.
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket. Move-only; the destructor closes.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on host:port. Port 0 picks an ephemeral port;
+  /// port() reports the actual one.
+  static Result<TcpListener> Listen(const std::string& host, uint16_t port,
+                                    int backlog = 64);
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. Aborted once Close() has been called
+  /// (the accept loop's clean shutdown signal).
+  Result<TcpSocket> Accept();
+
+  /// Stops accepting: shuts the listening socket down so a blocked
+  /// Accept() returns Aborted. The fd itself is released by the destructor,
+  /// after the accept loop has observably stopped using it.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace magicrecs::net
+
+#endif  // MAGICRECS_NET_SOCKET_H_

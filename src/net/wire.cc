@@ -1,0 +1,340 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "persist/codec.h"
+#include "persist/crc32.h"
+#include "util/str_format.h"
+
+namespace magicrecs::net {
+namespace {
+
+using persist::ByteReader;
+using persist::Crc32c;
+using persist::MaskCrc;
+using persist::PutI64;
+using persist::PutU32;
+using persist::PutU64;
+using persist::PutU8;
+using persist::UnmaskCrc;
+
+// src:u32 dst:u32 created_at:i64 action:u8
+constexpr size_t kEventBytes = 4 + 4 + 8 + 1;
+
+ByteReader ReaderOf(std::string_view payload) {
+  return ByteReader(reinterpret_cast<const uint8_t*>(payload.data()),
+                    payload.size());
+}
+
+void PutEvent(const EdgeEvent& event, std::string* out) {
+  PutU32(out, event.edge.src);
+  PutU32(out, event.edge.dst);
+  PutI64(out, event.edge.created_at);
+  PutU8(out, static_cast<uint8_t>(event.action));
+}
+
+bool GetEvent(ByteReader* reader, EdgeEvent* event) {
+  uint8_t action = 0;
+  if (!reader->GetU32(&event->edge.src) || !reader->GetU32(&event->edge.dst) ||
+      !reader->GetI64(&event->edge.created_at) || !reader->GetU8(&action)) {
+    return false;
+  }
+  event->action = static_cast<ActionType>(action);
+  event->sequence = 0;  // assigned by the receiving broker
+  return true;
+}
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(StrFormat("truncated %s payload", what));
+}
+
+Status TrailingGarbage(const char* what) {
+  return Status::InvalidArgument(
+      StrFormat("%s payload has trailing bytes", what));
+}
+
+}  // namespace
+
+std::string_view MessageTagName(MessageTag tag) {
+  switch (tag) {
+    case MessageTag::kPublish: return "publish";
+    case MessageTag::kPublishBatch: return "publish-batch";
+    case MessageTag::kTakeRecommendations: return "take-recommendations";
+    case MessageTag::kDrain: return "drain";
+    case MessageTag::kCheckpoint: return "checkpoint";
+    case MessageTag::kKillReplica: return "kill-replica";
+    case MessageTag::kRecoverReplica: return "recover-replica";
+    case MessageTag::kStats: return "stats";
+    case MessageTag::kPing: return "ping";
+    case MessageTag::kAck: return "ack";
+    case MessageTag::kError: return "error";
+    case MessageTag::kRecommendationsReply: return "recommendations-reply";
+    case MessageTag::kStatsReply: return "stats-reply";
+  }
+  return "unknown";
+}
+
+// --- frame assembly ----------------------------------------------------------
+
+void AppendFrame(MessageTag tag, std::string_view payload, std::string* out) {
+  const size_t body_len = 1 + payload.size();
+  PutU32(out, static_cast<uint32_t>(body_len));
+  const size_t crc_pos = out->size();
+  PutU32(out, 0);  // crc placeholder
+  PutU8(out, static_cast<uint8_t>(tag));
+  out->append(payload);
+  const uint32_t crc = MaskCrc(
+      Crc32c(out->data() + crc_pos + sizeof(uint32_t), body_len));
+  std::memcpy(out->data() + crc_pos, &crc, sizeof(crc));
+}
+
+Status DecodeFrameHeader(const uint8_t header[kFrameHeaderBytes],
+                         uint32_t* body_len, uint32_t* masked_crc) {
+  ByteReader reader(header, kFrameHeaderBytes);
+  reader.GetU32(body_len);
+  reader.GetU32(masked_crc);
+  if (*body_len == 0) {
+    return Status::InvalidArgument("frame body must carry at least a tag");
+  }
+  if (*body_len > kMaxFrameBodyBytes) {
+    return Status::ResourceExhausted(
+        StrFormat("frame body of %u bytes exceeds the %zu-byte limit",
+                  *body_len, kMaxFrameBodyBytes));
+  }
+  return Status::OK();
+}
+
+Status DecodeFrameBody(const uint8_t* body, size_t body_len,
+                       uint32_t masked_crc, MessageTag* tag) {
+  if (body_len == 0) {
+    return Status::InvalidArgument("frame body must carry at least a tag");
+  }
+  if (Crc32c(body, body_len) != UnmaskCrc(masked_crc)) {
+    return Status::Corruption("frame body CRC mismatch");
+  }
+  *tag = static_cast<MessageTag>(body[0]);
+  return Status::OK();
+}
+
+// --- requests ----------------------------------------------------------------
+
+void AppendPublish(const EdgeEvent& event, std::string* out) {
+  std::string payload;
+  payload.reserve(kEventBytes);
+  PutEvent(event, &payload);
+  AppendFrame(MessageTag::kPublish, payload, out);
+}
+
+void AppendPublishBatch(std::span<const EdgeEvent> events, std::string* out) {
+  std::string payload;
+  payload.reserve(4 + events.size() * kEventBytes);
+  PutU32(&payload, static_cast<uint32_t>(events.size()));
+  for (const EdgeEvent& event : events) PutEvent(event, &payload);
+  AppendFrame(MessageTag::kPublishBatch, payload, out);
+}
+
+void AppendEmptyRequest(MessageTag tag, std::string* out) {
+  AppendFrame(tag, {}, out);
+}
+
+void AppendCheckpoint(Timestamp created_at, std::string* out) {
+  std::string payload;
+  PutI64(&payload, created_at);
+  AppendFrame(MessageTag::kCheckpoint, payload, out);
+}
+
+void AppendReplicaOp(MessageTag tag, uint32_t partition, uint32_t replica,
+                     std::string* out) {
+  std::string payload;
+  PutU32(&payload, partition);
+  PutU32(&payload, replica);
+  AppendFrame(tag, payload, out);
+}
+
+Status DecodePublish(std::string_view payload, EdgeEvent* event) {
+  ByteReader reader = ReaderOf(payload);
+  if (!GetEvent(&reader, event)) return Truncated("publish");
+  if (reader.remaining() != 0) return TrailingGarbage("publish");
+  return Status::OK();
+}
+
+Status DecodePublishBatch(std::string_view payload,
+                          std::vector<EdgeEvent>* events) {
+  ByteReader reader = ReaderOf(payload);
+  uint32_t count = 0;
+  if (!reader.GetU32(&count)) return Truncated("publish-batch");
+  // Validate the count against the actual byte budget BEFORE reserving, so a
+  // forged count cannot become a multi-gigabyte allocation.
+  if (static_cast<uint64_t>(count) * kEventBytes != reader.remaining()) {
+    return Status::InvalidArgument(StrFormat(
+        "publish-batch count %u does not match %zu payload bytes", count,
+        reader.remaining()));
+  }
+  events->clear();
+  events->reserve(count);
+  EdgeEvent event;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!GetEvent(&reader, &event)) return Truncated("publish-batch");
+    events->push_back(event);
+  }
+  return Status::OK();
+}
+
+Status DecodeCheckpoint(std::string_view payload, Timestamp* created_at) {
+  ByteReader reader = ReaderOf(payload);
+  if (!reader.GetI64(created_at)) return Truncated("checkpoint");
+  if (reader.remaining() != 0) return TrailingGarbage("checkpoint");
+  return Status::OK();
+}
+
+Status DecodeReplicaOp(std::string_view payload, uint32_t* partition,
+                       uint32_t* replica) {
+  ByteReader reader = ReaderOf(payload);
+  if (!reader.GetU32(partition) || !reader.GetU32(replica)) {
+    return Truncated("replica-op");
+  }
+  if (reader.remaining() != 0) return TrailingGarbage("replica-op");
+  return Status::OK();
+}
+
+// --- responses ---------------------------------------------------------------
+
+void AppendAck(std::string* out) { AppendFrame(MessageTag::kAck, {}, out); }
+
+void AppendError(const Status& status, std::string* out) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(status.code()));
+  payload.append(status.message());
+  AppendFrame(MessageTag::kError, payload, out);
+}
+
+namespace {
+
+/// Encoded wire size of one recommendation.
+size_t RecWireBytes(const Recommendation& rec) {
+  return 4 + 4 + 4 + 4 + 8 + 4 + 4 * rec.witnesses.size();
+}
+
+}  // namespace
+
+void AppendRecommendationsReply(std::span<const Recommendation> recs,
+                                bool has_more, std::string* out) {
+  std::string payload;
+  PutU8(&payload, has_more ? 1 : 0);
+  PutU32(&payload, static_cast<uint32_t>(recs.size()));
+  for (const Recommendation& rec : recs) {
+    PutU32(&payload, rec.user);
+    PutU32(&payload, rec.item);
+    PutU32(&payload, rec.witness_count);
+    PutU32(&payload, rec.trigger);
+    PutI64(&payload, rec.event_time);
+    PutU32(&payload, static_cast<uint32_t>(rec.witnesses.size()));
+    for (const VertexId witness : rec.witnesses) PutU32(&payload, witness);
+  }
+  AppendFrame(MessageTag::kRecommendationsReply, payload, out);
+}
+
+void AppendRecommendationsReplyChunked(std::span<const Recommendation> recs,
+                                       size_t max_payload_bytes,
+                                       std::string* out) {
+  size_t begin = 0;
+  do {
+    size_t end = begin;
+    size_t bytes = 0;
+    while (end < recs.size() &&
+           (end == begin || bytes + RecWireBytes(recs[end]) <=
+                                max_payload_bytes)) {
+      bytes += RecWireBytes(recs[end]);
+      ++end;
+    }
+    AppendRecommendationsReply(recs.subspan(begin, end - begin),
+                               /*has_more=*/end < recs.size(), out);
+    begin = end;
+  } while (begin < recs.size());
+}
+
+void AppendStatsReply(const ClusterStats& stats, std::string* out) {
+  std::string payload;
+  PutU32(&payload, stats.num_partitions);
+  PutU32(&payload, stats.replicas_per_partition);
+  PutU64(&payload, stats.events_published);
+  PutU64(&payload, stats.detector_events);
+  PutU64(&payload, stats.threshold_queries);
+  PutU64(&payload, stats.recommendations);
+  PutU64(&payload, stats.static_memory_bytes);
+  PutU64(&payload, stats.dynamic_memory_bytes);
+  AppendFrame(MessageTag::kStatsReply, payload, out);
+}
+
+Status DecodeError(std::string_view payload) {
+  ByteReader reader = ReaderOf(payload);
+  uint8_t code = 0;
+  if (!reader.GetU8(&code)) {
+    return Status::Internal("server sent a truncated error payload");
+  }
+  if (code == static_cast<uint8_t>(StatusCode::kOk) ||
+      code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Internal(StrFormat("server sent unknown error code %u",
+                                      static_cast<unsigned>(code)));
+  }
+  return Status(static_cast<StatusCode>(code),
+                std::string(payload.substr(1)));
+}
+
+Status DecodeRecommendationsReply(std::string_view payload,
+                                  std::vector<Recommendation>* recs,
+                                  bool* has_more) {
+  ByteReader reader = ReaderOf(payload);
+  uint8_t more = 0;
+  uint32_t count = 0;
+  if (!reader.GetU8(&more) || !reader.GetU32(&count)) {
+    return Truncated("recommendations-reply");
+  }
+  *has_more = more != 0;
+  // Cheap sanity bound: each rec costs >= 28 bytes on the wire.
+  if (static_cast<uint64_t>(count) * 28 > reader.remaining()) {
+    return Status::InvalidArgument(
+        "recommendations-reply count exceeds payload");
+  }
+  recs->reserve(recs->size() + count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Recommendation rec;
+    uint32_t num_witnesses = 0;
+    if (!reader.GetU32(&rec.user) || !reader.GetU32(&rec.item) ||
+        !reader.GetU32(&rec.witness_count) || !reader.GetU32(&rec.trigger) ||
+        !reader.GetI64(&rec.event_time) || !reader.GetU32(&num_witnesses)) {
+      return Truncated("recommendations-reply");
+    }
+    if (static_cast<uint64_t>(num_witnesses) * 4 > reader.remaining()) {
+      return Status::InvalidArgument(
+          "recommendations-reply witness count exceeds payload");
+    }
+    rec.witnesses.resize(num_witnesses);
+    for (uint32_t w = 0; w < num_witnesses; ++w) {
+      reader.GetU32(&rec.witnesses[w]);
+    }
+    recs->push_back(std::move(rec));
+  }
+  if (reader.remaining() != 0) {
+    return TrailingGarbage("recommendations-reply");
+  }
+  return Status::OK();
+}
+
+Status DecodeStatsReply(std::string_view payload, ClusterStats* stats) {
+  ByteReader reader = ReaderOf(payload);
+  if (!reader.GetU32(&stats->num_partitions) ||
+      !reader.GetU32(&stats->replicas_per_partition) ||
+      !reader.GetU64(&stats->events_published) ||
+      !reader.GetU64(&stats->detector_events) ||
+      !reader.GetU64(&stats->threshold_queries) ||
+      !reader.GetU64(&stats->recommendations) ||
+      !reader.GetU64(&stats->static_memory_bytes) ||
+      !reader.GetU64(&stats->dynamic_memory_bytes)) {
+    return Truncated("stats-reply");
+  }
+  if (reader.remaining() != 0) return TrailingGarbage("stats-reply");
+  return Status::OK();
+}
+
+}  // namespace magicrecs::net

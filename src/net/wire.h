@@ -1,0 +1,165 @@
+// The magicrecs wire protocol: dependency-free, length-prefixed binary
+// frames over a byte stream, reusing the persist/ codec primitives and the
+// masked CRC-32C that already guards the WAL.
+//
+// Endianness: the wire format is DEFINED as little-endian and implemented
+// with the persist/codec.h memcpy primitives, which are correct on every
+// supported (LE) target; a big-endian port byte-swaps in codec.h and
+// nowhere else — the same stance the on-disk formats take.
+//
+// Frame layout (little-endian, same framing discipline as a WAL record):
+//
+//   frame := body_len:u32  masked_crc32c(body):u32  body
+//   body  := tag:u8  payload
+//
+// Request payloads (client -> server):
+//   kPublish            src:u32 dst:u32 created_at:i64 action:u8
+//   kPublishBatch       count:u32  (src dst created_at action)*
+//   kTakeRecommendations  (empty)
+//   kDrain                (empty)
+//   kCheckpoint         created_at:i64
+//   kKillReplica        partition:u32 replica:u32
+//   kRecoverReplica     partition:u32 replica:u32
+//   kStats                (empty)
+//   kPing                 (empty)
+//
+// Response payloads (server -> client):
+//   kAck                  (empty)
+//   kError              code:u8 message-bytes (to end of payload)
+//   kRecommendationsReply has_more:u8 count:u32 rec*   where
+//     rec := user:u32 item:u32 witness_count:u32 trigger:u32
+//            event_time:i64  nwitnesses:u32 witness:u32*
+//     A gather too large for one frame streams as several reply frames;
+//     has_more != 0 on all but the last. One request, N ordered frames.
+//   kStatsReply         num_partitions:u32 replicas:u32 published:u64
+//                       detector_events:u64 queries:u64 recs:u64
+//                       static_bytes:u64 dynamic_bytes:u64
+//
+// Every request is answered by exactly one response on the same connection,
+// in order (the client pipelines by batching, not by outstanding requests).
+// Sequence numbers are NOT carried for published events: the server's broker
+// assigns them at ingest, exactly as the in-process broker does.
+//
+// Robustness contract (tests/net/): a truncated frame, an oversized length
+// prefix, a CRC mismatch, or an unknown tag decodes to a Status error —
+// never a crash, an allocation bomb, or a hang.
+
+#ifndef MAGICRECS_NET_WIRE_H_
+#define MAGICRECS_NET_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/transport.h"
+#include "core/recommendation.h"
+#include "stream/event.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace magicrecs::net {
+
+/// Message discriminator, first byte of every frame body. Requests occupy
+/// the low range, responses have the top bit set.
+enum class MessageTag : uint8_t {
+  kPublish = 0x01,
+  kPublishBatch = 0x02,
+  kTakeRecommendations = 0x03,
+  kDrain = 0x04,
+  kCheckpoint = 0x05,
+  kKillReplica = 0x06,
+  kRecoverReplica = 0x07,
+  kStats = 0x08,
+  kPing = 0x09,
+
+  kAck = 0x80,
+  kError = 0x81,
+  kRecommendationsReply = 0x82,
+  kStatsReply = 0x83,
+};
+
+std::string_view MessageTagName(MessageTag tag);
+
+/// body_len:u32 + masked_crc:u32.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Upper bound on a frame body. Guards the daemon against allocation bombs
+/// from hostile or desynchronized peers: a length prefix above this is a
+/// protocol error, not an allocation.
+inline constexpr size_t kMaxFrameBodyBytes = 16u << 20;
+
+/// One decoded frame.
+struct Frame {
+  MessageTag tag;
+  std::string payload;  // body minus the tag byte
+};
+
+// --- frame assembly ----------------------------------------------------------
+
+/// Appends a complete frame (header + tag + payload) to *out.
+void AppendFrame(MessageTag tag, std::string_view payload, std::string* out);
+
+/// Validates a frame header. On success *body_len / *masked_crc are set;
+/// InvalidArgument for a zero-length body, ResourceExhausted for a length
+/// above kMaxFrameBodyBytes (the caller must NOT allocate body_len first).
+Status DecodeFrameHeader(const uint8_t header[kFrameHeaderBytes],
+                         uint32_t* body_len, uint32_t* masked_crc);
+
+/// Validates the body CRC and extracts the tag. Corruption on mismatch.
+Status DecodeFrameBody(const uint8_t* body, size_t body_len,
+                       uint32_t masked_crc, MessageTag* tag);
+
+// --- request encoders / decoders ---------------------------------------------
+
+void AppendPublish(const EdgeEvent& event, std::string* out);
+void AppendPublishBatch(std::span<const EdgeEvent> events, std::string* out);
+void AppendEmptyRequest(MessageTag tag, std::string* out);  // take/drain/...
+void AppendCheckpoint(Timestamp created_at, std::string* out);
+void AppendReplicaOp(MessageTag tag, uint32_t partition, uint32_t replica,
+                     std::string* out);
+
+Status DecodePublish(std::string_view payload, EdgeEvent* event);
+Status DecodePublishBatch(std::string_view payload,
+                          std::vector<EdgeEvent>* events);
+Status DecodeCheckpoint(std::string_view payload, Timestamp* created_at);
+Status DecodeReplicaOp(std::string_view payload, uint32_t* partition,
+                       uint32_t* replica);
+
+// --- response encoders / decoders --------------------------------------------
+
+void AppendAck(std::string* out);
+void AppendError(const Status& status, std::string* out);
+
+/// One reply frame holding exactly these recommendations.
+void AppendRecommendationsReply(std::span<const Recommendation> recs,
+                                bool has_more, std::string* out);
+
+/// Splits a gather across as many reply frames as its encoded size needs
+/// (target payload <= max_payload_bytes, one oversized rec still ships
+/// alone). Always emits at least one frame so an empty gather gets its
+/// empty reply.
+void AppendRecommendationsReplyChunked(std::span<const Recommendation> recs,
+                                       size_t max_payload_bytes,
+                                       std::string* out);
+
+/// Default chunk budget: comfortably under kMaxFrameBodyBytes.
+inline constexpr size_t kRecommendationsChunkBytes = 4u << 20;
+
+void AppendStatsReply(const ClusterStats& stats, std::string* out);
+
+/// Rebuilds the Status carried by a kError payload (always non-OK; a
+/// mangled error payload decodes to Internal).
+Status DecodeError(std::string_view payload);
+
+/// APPENDS the frame's recommendations to *recs (the caller accumulates
+/// across a chunked reply) and reports whether more frames follow.
+Status DecodeRecommendationsReply(std::string_view payload,
+                                  std::vector<Recommendation>* recs,
+                                  bool* has_more);
+Status DecodeStatsReply(std::string_view payload, ClusterStats* stats);
+
+}  // namespace magicrecs::net
+
+#endif  // MAGICRECS_NET_WIRE_H_

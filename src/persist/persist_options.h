@@ -27,6 +27,14 @@ struct PersistOptions {
   /// upstream message queue can redeliver.
   bool sync_each_append = false;
 
+  /// Group commit: with sync_each_append set, fdatasync once per this many
+  /// appends instead of per append (<= 1 keeps the per-append fsync).
+  /// Sync(), Close(), and segment rotation always flush regardless of the
+  /// batch position, so the durability exposure is bounded by fsync_batch-1
+  /// events — and the replayed log is byte-identical either way, fsync only
+  /// changes *when* bytes become durable, never what is written.
+  size_t fsync_batch = 1;
+
   bool enabled() const { return !dir.empty(); }
 };
 

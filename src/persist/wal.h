@@ -41,6 +41,7 @@ struct WalWriterStats {
   uint64_t bytes_appended = 0;
   uint64_t segments_created = 0;
   uint64_t tail_bytes_repaired = 0;  ///< torn bytes truncated at Open()
+  uint64_t fsyncs = 0;               ///< fdatasync calls issued
 };
 
 /// Appends EdgeEvents to the log directory. Thread-compatible: callers that
@@ -89,6 +90,7 @@ class WalWriter {
   uint64_t segment_index_ = 0;  // index of the active segment
   uint64_t segment_bytes_ = 0;  // bytes in the active segment (incl. header)
   uint64_t recovered_next_sequence_ = 0;
+  size_t appends_since_fsync_ = 0;  // group-commit position
   std::string encode_buf_;
   WalWriterStats stats_;
 };

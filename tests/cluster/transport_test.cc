@@ -1,0 +1,157 @@
+// ClusterTransport seam tests: the inline and threaded local transports
+// must be interchangeable behind the publish/drain/gather contract.
+
+#include "cluster/transport.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/activity_stream.h"
+#include "gen/figure1.h"
+#include "gen/social_graph.h"
+
+namespace magicrecs {
+namespace {
+
+using Mode = LocalClusterTransport::Mode;
+
+ClusterOptions MakeOptions(uint32_t partitions, uint32_t k = 2) {
+  ClusterOptions opt;
+  opt.num_partitions = partitions;
+  opt.detector.k = k;
+  opt.detector.window = Minutes(10);
+  return opt;
+}
+
+std::multiset<std::pair<VertexId, VertexId>> Pairs(
+    const std::vector<Recommendation>& recs) {
+  std::multiset<std::pair<VertexId, VertexId>> out;
+  for (const auto& r : recs) out.insert({r.user, r.item});
+  return out;
+}
+
+/// Runs the full figure-1 stream through a transport and gathers.
+std::vector<Recommendation> RunFigure1(ClusterTransport* transport) {
+  for (const TimestampedEdge& edge : figure1::DynamicEdges(0)) {
+    EdgeEvent event;
+    event.edge = edge;
+    EXPECT_TRUE(transport->Publish(event).ok());
+  }
+  EXPECT_TRUE(transport->Drain().ok());
+  auto recs = transport->TakeRecommendations();
+  EXPECT_TRUE(recs.ok());
+  return std::move(recs).value();
+}
+
+TEST(ClusterTransportTest, InlineAndThreadedAgreeOnFigure1) {
+  for (const Mode mode : {Mode::kInline, Mode::kThreaded}) {
+    auto transport =
+        LocalClusterTransport::Create(figure1::FollowGraph(),
+                                      MakeOptions(2), mode);
+    ASSERT_TRUE(transport.ok()) << transport.status();
+    const auto recs = RunFigure1(transport->get());
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].user, figure1::kA2);
+    EXPECT_EQ(recs[0].item, figure1::kC2);
+  }
+}
+
+TEST(ClusterTransportTest, ModesAgreeOnGeneratedStream) {
+  SocialGraphOptions gopt;
+  gopt.num_users = 300;
+  gopt.mean_followees = 10;
+  gopt.seed = 31;
+  auto graph = SocialGraphGenerator(gopt).Generate();
+  ASSERT_TRUE(graph.ok());
+  ActivityStreamOptions sopt;
+  sopt.num_events = 2'000;
+  sopt.seed = 32;
+  auto stream = ActivityStreamGenerator(&*graph, sopt).Generate();
+  ASSERT_TRUE(stream.ok());
+
+  std::multiset<std::pair<VertexId, VertexId>> reference;
+  for (const Mode mode : {Mode::kInline, Mode::kThreaded}) {
+    auto transport =
+        LocalClusterTransport::Create(*graph, MakeOptions(3), mode);
+    ASSERT_TRUE(transport.ok());
+    // Exercise both the per-event and the default batched path.
+    std::vector<EdgeEvent> batch;
+    for (const TimestampedEdge& edge : stream->events) {
+      EdgeEvent event;
+      event.edge = edge;
+      batch.push_back(event);
+    }
+    const size_t half = batch.size() / 2;
+    for (size_t i = 0; i < half; ++i) {
+      ASSERT_TRUE((*transport)->Publish(batch[i]).ok());
+    }
+    ASSERT_TRUE((*transport)
+                    ->PublishBatch(std::span(batch.data() + half,
+                                             batch.size() - half))
+                    .ok());
+    ASSERT_TRUE((*transport)->Drain().ok());
+    auto recs = (*transport)->TakeRecommendations();
+    ASSERT_TRUE(recs.ok());
+    if (mode == Mode::kInline) {
+      reference = Pairs(*recs);
+      EXPECT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(Pairs(*recs), reference);
+    }
+  }
+}
+
+TEST(ClusterTransportTest, StatsReflectThePublishedStream) {
+  auto transport = LocalClusterTransport::Create(figure1::FollowGraph(),
+                                                 MakeOptions(3), Mode::kInline);
+  ASSERT_TRUE(transport.ok());
+  const auto recs = RunFigure1(transport->get());
+  ASSERT_EQ(recs.size(), 1u);
+  auto stats = (*transport)->GetStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_partitions, 3u);
+  EXPECT_EQ(stats->replicas_per_partition, 1u);
+  EXPECT_EQ(stats->events_published, 4u);
+  EXPECT_EQ(stats->detector_events, 4u * 3u);  // every partition ingests all
+  EXPECT_EQ(stats->recommendations, 1u);
+  EXPECT_GT(stats->dynamic_memory_bytes, 0u);
+}
+
+TEST(ClusterTransportTest, TakeIsMoveOutInBothModes) {
+  for (const Mode mode : {Mode::kInline, Mode::kThreaded}) {
+    auto transport = LocalClusterTransport::Create(figure1::FollowGraph(),
+                                                   MakeOptions(2), mode);
+    ASSERT_TRUE(transport.ok());
+    ASSERT_EQ(RunFigure1(transport->get()).size(), 1u);
+    auto again = (*transport)->TakeRecommendations();
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(again->empty());
+  }
+}
+
+TEST(ClusterTransportTest, ClosedTransportRejectsCalls) {
+  auto transport = LocalClusterTransport::Create(figure1::FollowGraph(),
+                                                 MakeOptions(2),
+                                                 Mode::kThreaded);
+  ASSERT_TRUE(transport.ok());
+  ASSERT_TRUE((*transport)->Close().ok());
+  ASSERT_TRUE((*transport)->Close().ok()) << "Close must be idempotent";
+  EdgeEvent event;
+  event.edge = {figure1::kB1, figure1::kC1, 1};
+  EXPECT_TRUE((*transport)->Publish(event).IsFailedPrecondition());
+  EXPECT_TRUE(
+      (*transport)->TakeRecommendations().status().IsFailedPrecondition());
+}
+
+TEST(ClusterTransportTest, AdoptRejectsNull) {
+  EXPECT_TRUE(LocalClusterTransport::Adopt(nullptr, Mode::kInline)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace magicrecs

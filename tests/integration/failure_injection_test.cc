@@ -138,6 +138,91 @@ TEST(FailureInjectionTest, ThreadedFailoverWhileQuiesced) {
   EXPECT_EQ(Pairs(recs), Pairs(ref_recs));
 }
 
+TEST(FailureInjectionTest, ChaosKillRecoverLoopMatchesUninterruptedInline) {
+  // Chaos loop: every round kills one replica of every partition, streams a
+  // chunk of events through the survivors, then recovers the dead replica
+  // (peer re-sync) before the next round — rotating which replica dies.
+  // After N rounds the recommendations must match an uninterrupted run.
+  const Fixture f = MakeFixture(88);
+
+  auto healthy = Cluster::Create(f.graph, TwoReplicaOptions());
+  ASSERT_TRUE(healthy.ok());
+  std::vector<Recommendation> healthy_recs;
+  for (const TimestampedEdge& e : f.events) {
+    ASSERT_TRUE(
+        (*healthy)->OnEdge(e.src, e.dst, e.created_at, &healthy_recs).ok());
+  }
+
+  auto chaos = Cluster::Create(f.graph, TwoReplicaOptions());
+  ASSERT_TRUE(chaos.ok());
+  std::vector<Recommendation> chaos_recs;
+  constexpr size_t kRounds = 10;
+  const size_t chunk = (f.events.size() + kRounds - 1) / kRounds;
+  for (size_t round = 0; round * chunk < f.events.size(); ++round) {
+    const uint32_t victim = static_cast<uint32_t>(round % 2);
+    for (uint32_t p = 0; p < 4; ++p) {
+      ASSERT_TRUE((*chaos)->KillReplica(p, victim).ok());
+    }
+    const size_t begin = round * chunk;
+    const size_t end = std::min(begin + chunk, f.events.size());
+    for (size_t i = begin; i < end; ++i) {
+      const TimestampedEdge& e = f.events[i];
+      ASSERT_TRUE(
+          (*chaos)->OnEdge(e.src, e.dst, e.created_at, &chaos_recs).ok());
+    }
+    for (uint32_t p = 0; p < 4; ++p) {
+      ASSERT_TRUE((*chaos)->RecoverReplica(p, victim).ok());
+      ASSERT_EQ((*chaos)->alive_replicas(p), 2u);
+    }
+  }
+
+  EXPECT_EQ(Pairs(chaos_recs), Pairs(healthy_recs));
+  EXPECT_FALSE(healthy_recs.empty());
+}
+
+TEST(FailureInjectionTest, ChaosKillRecoverLoopMatchesUninterruptedThreaded) {
+  // The same chaos loop against the threaded broker, quiescing with Drain()
+  // around each kill/recover as RecoverReplica requires.
+  const Fixture f = MakeFixture(99);
+
+  auto reference = Cluster::Create(f.graph, TwoReplicaOptions());
+  ASSERT_TRUE(reference.ok());
+  std::vector<Recommendation> reference_recs;
+  for (const TimestampedEdge& e : f.events) {
+    ASSERT_TRUE(
+        (*reference)->OnEdge(e.src, e.dst, e.created_at, &reference_recs).ok());
+  }
+
+  auto chaos = Cluster::Create(f.graph, TwoReplicaOptions());
+  ASSERT_TRUE(chaos.ok());
+  ASSERT_TRUE((*chaos)->Start().ok());
+  constexpr size_t kRounds = 8;
+  const size_t chunk = (f.events.size() + kRounds - 1) / kRounds;
+  for (size_t round = 0; round * chunk < f.events.size(); ++round) {
+    const uint32_t victim = static_cast<uint32_t>(round % 2);
+    (*chaos)->Drain();
+    for (uint32_t p = 0; p < 4; ++p) {
+      ASSERT_TRUE((*chaos)->KillReplica(p, victim).ok());
+    }
+    const size_t begin = round * chunk;
+    const size_t end = std::min(begin + chunk, f.events.size());
+    for (size_t i = begin; i < end; ++i) {
+      EdgeEvent event;
+      event.edge = f.events[i];
+      ASSERT_TRUE((*chaos)->Publish(event).ok());
+    }
+    (*chaos)->Drain();
+    for (uint32_t p = 0; p < 4; ++p) {
+      ASSERT_TRUE((*chaos)->RecoverReplica(p, victim).ok());
+    }
+  }
+  (*chaos)->Drain();
+  (*chaos)->Stop();
+
+  EXPECT_EQ(Pairs((*chaos)->TakeRecommendations()), Pairs(reference_recs));
+  EXPECT_FALSE(reference_recs.empty());
+}
+
 TEST(FailureInjectionTest, DedupAbsorbsReplayAfterRecovery) {
   // If an operator replays part of the stream after a failover (at-least-
   // once delivery), the delivery pipeline's dedup keeps user-visible pushes

@@ -1,0 +1,263 @@
+// End-to-end acceptance for the net/ subsystem: a magicrecsd-style server
+// started in-process, driven through RemoteCluster over real loopback TCP,
+// must produce recommendations identical — full records, not just (user,
+// item) pairs — to the inline single-process Cluster on the same stream.
+
+#include "net/remote_cluster.h"
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../persist/scoped_temp_dir.h"
+#include "cluster/transport.h"
+#include "gen/activity_stream.h"
+#include "gen/figure1.h"
+#include "gen/social_graph.h"
+#include "net/rpc_server.h"
+
+namespace magicrecs {
+namespace {
+
+using net::RemoteCluster;
+using net::RemoteClusterOptions;
+using net::RpcServer;
+using net::RpcServerOptions;
+
+ClusterOptions MakeClusterOptions(uint32_t partitions, uint32_t replicas = 1,
+                                  uint32_t k = 2) {
+  ClusterOptions opt;
+  opt.num_partitions = partitions;
+  opt.replicas_per_partition = replicas;
+  opt.detector.k = k;
+  opt.detector.window = Minutes(10);
+  return opt;
+}
+
+/// Server + connected client over an ephemeral loopback port.
+struct RemoteHarness {
+  std::unique_ptr<LocalClusterTransport> hosted;
+  std::unique_ptr<RpcServer> server;
+  std::unique_ptr<RemoteCluster> remote;
+};
+
+RemoteHarness MakeHarness(const StaticGraph& graph,
+                          const ClusterOptions& options,
+                          LocalClusterTransport::Mode mode =
+                              LocalClusterTransport::Mode::kThreaded) {
+  RemoteHarness h;
+  auto hosted = LocalClusterTransport::Create(graph, options, mode);
+  EXPECT_TRUE(hosted.ok()) << hosted.status();
+  h.hosted = std::move(hosted).value();
+
+  RpcServerOptions server_options;  // port 0: ephemeral
+  auto server = RpcServer::Start(h.hosted.get(), server_options);
+  EXPECT_TRUE(server.ok()) << server.status();
+  h.server = std::move(server).value();
+
+  RemoteClusterOptions client_options;
+  client_options.port = h.server->port();
+  auto remote = RemoteCluster::Connect(client_options);
+  EXPECT_TRUE(remote.ok()) << remote.status();
+  h.remote = std::move(remote).value();
+  return h;
+}
+
+std::vector<Recommendation> Sorted(std::vector<Recommendation> recs) {
+  std::sort(recs.begin(), recs.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              return std::tie(a.user, a.item, a.witness_count, a.trigger,
+                              a.event_time, a.witnesses) <
+                     std::tie(b.user, b.item, b.witness_count, b.trigger,
+                              b.event_time, b.witnesses);
+            });
+  return recs;
+}
+
+std::vector<EdgeEvent> ToEvents(const std::vector<TimestampedEdge>& edges) {
+  std::vector<EdgeEvent> events;
+  events.reserve(edges.size());
+  for (const TimestampedEdge& edge : edges) {
+    EdgeEvent event;
+    event.edge = edge;
+    events.push_back(event);
+  }
+  return events;
+}
+
+/// The inline single-process reference run.
+std::vector<Recommendation> InlineReference(
+    const StaticGraph& graph, const ClusterOptions& options,
+    const std::vector<EdgeEvent>& events) {
+  auto inline_transport = LocalClusterTransport::Create(
+      graph, options, LocalClusterTransport::Mode::kInline);
+  EXPECT_TRUE(inline_transport.ok());
+  for (const EdgeEvent& event : events) {
+    EXPECT_TRUE((*inline_transport)->Publish(event).ok());
+  }
+  auto recs = (*inline_transport)->TakeRecommendations();
+  EXPECT_TRUE(recs.ok());
+  return std::move(recs).value();
+}
+
+TEST(RemoteClusterTest, Figure1OverTcp) {
+  RemoteHarness h =
+      MakeHarness(figure1::FollowGraph(), MakeClusterOptions(2));
+  ASSERT_TRUE(h.remote->Ping().ok());
+
+  for (const EdgeEvent& event : ToEvents(figure1::DynamicEdges(0))) {
+    ASSERT_TRUE(h.remote->Publish(event).ok());
+  }
+  ASSERT_TRUE(h.remote->Drain().ok());
+  auto recs = h.remote->TakeRecommendations();
+  ASSERT_TRUE(recs.ok()) << recs.status();
+  ASSERT_EQ(recs->size(), 1u);
+  EXPECT_EQ((*recs)[0].user, figure1::kA2);
+  EXPECT_EQ((*recs)[0].item, figure1::kC2);
+  EXPECT_EQ((*recs)[0].trigger, figure1::kB2);
+  EXPECT_EQ((*recs)[0].witness_count, 2u);
+
+  // A second take is empty (move-out semantics hold across the wire).
+  auto empty = h.remote->TakeRecommendations();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(RemoteClusterTest, TenThousandEventStreamMatchesInlineCluster) {
+  // The acceptance scenario: Figure-1's graph fragment is tiny, so the load
+  // test uses a generated social graph and a 10k-event stream, half
+  // published one event per round trip and half in batched frames.
+  SocialGraphOptions gopt;
+  gopt.num_users = 500;
+  gopt.mean_followees = 12;
+  gopt.seed = 404;
+  auto graph = SocialGraphGenerator(gopt).Generate();
+  ASSERT_TRUE(graph.ok());
+
+  ActivityStreamOptions sopt;
+  sopt.num_events = 10'000;
+  sopt.events_per_second = 200;
+  sopt.burst_fraction = 0.3;
+  sopt.seed = 405;
+  auto stream = ActivityStreamGenerator(&*graph, sopt).Generate();
+  ASSERT_TRUE(stream.ok());
+  const std::vector<EdgeEvent> events = ToEvents(stream->events);
+  ASSERT_EQ(events.size(), 10'000u);
+
+  const ClusterOptions options = MakeClusterOptions(4, 2);
+  RemoteHarness h = MakeHarness(*graph, options);
+
+  const size_t half = events.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(h.remote->Publish(events[i]).ok());
+  }
+  constexpr size_t kBatch = 512;
+  for (size_t i = half; i < events.size(); i += kBatch) {
+    const size_t n = std::min(kBatch, events.size() - i);
+    ASSERT_TRUE(
+        h.remote->PublishBatch(std::span(events.data() + i, n)).ok());
+  }
+  ASSERT_TRUE(h.remote->Drain().ok());
+  auto remote_recs = h.remote->TakeRecommendations();
+  ASSERT_TRUE(remote_recs.ok()) << remote_recs.status();
+
+  const std::vector<Recommendation> reference =
+      InlineReference(*graph, options, events);
+  ASSERT_FALSE(reference.empty()) << "workload produced no motifs";
+  EXPECT_EQ(Sorted(*remote_recs), Sorted(reference));
+
+  auto stats = h.remote->GetStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->events_published, events.size());
+  EXPECT_EQ(stats->num_partitions, 4u);
+  EXPECT_EQ(stats->replicas_per_partition, 2u);
+  EXPECT_EQ(stats->recommendations, reference.size());
+}
+
+TEST(RemoteClusterTest, ReplicaOpsAndErrorsPropagateOverTcp) {
+  RemoteHarness h =
+      MakeHarness(figure1::FollowGraph(), MakeClusterOptions(2, 2));
+
+  ASSERT_TRUE(h.remote->KillReplica(0, 1).ok());
+  ASSERT_TRUE(h.remote->RecoverReplica(0, 1).ok());
+
+  // Server-side Status codes survive the wire round trip.
+  EXPECT_TRUE(h.remote->KillReplica(99, 0).IsInvalidArgument());
+  EXPECT_TRUE(h.remote->RecoverReplica(0, 0).IsAlreadyExists());
+  EXPECT_TRUE(h.remote->Checkpoint(0).IsFailedPrecondition())
+      << "no persistence configured on the hosted cluster";
+}
+
+TEST(RemoteClusterTest, CheckpointAndRecoverOverTcpWithPersistence) {
+  ScopedTempDir dir;
+  ClusterOptions options = MakeClusterOptions(2, 2);
+  options.persist.dir = dir.path();
+  RemoteHarness h = MakeHarness(figure1::FollowGraph(), options);
+
+  // Stream everything but the trigger, checkpoint, kill+recover a replica
+  // (rebuilt from snapshot + WAL over the server side), then the trigger.
+  const auto edges = figure1::DynamicEdges(0);
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    EdgeEvent event;
+    event.edge = edges[i];
+    ASSERT_TRUE(h.remote->Publish(event).ok());
+  }
+  ASSERT_TRUE(h.remote->Checkpoint(Seconds(100)).ok());
+  ASSERT_TRUE(h.remote->KillReplica(0, 0).ok());
+  ASSERT_TRUE(h.remote->RecoverReplica(0, 0).ok());
+  EdgeEvent trigger;
+  trigger.edge = edges.back();
+  ASSERT_TRUE(h.remote->Publish(trigger).ok());
+  ASSERT_TRUE(h.remote->Drain().ok());
+
+  auto recs = h.remote->TakeRecommendations();
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs->size(), 1u);
+  EXPECT_EQ((*recs)[0].user, figure1::kA2);
+  EXPECT_EQ((*recs)[0].item, figure1::kC2);
+}
+
+TEST(RemoteClusterTest, InlineModeServerIsDeterministic) {
+  // The daemon can host an inline (single-threaded) broker too; ordering
+  // over one connection is then fully deterministic.
+  RemoteHarness h = MakeHarness(figure1::FollowGraph(), MakeClusterOptions(2),
+                                LocalClusterTransport::Mode::kInline);
+  for (const EdgeEvent& event : ToEvents(figure1::DynamicEdges(0))) {
+    ASSERT_TRUE(h.remote->Publish(event).ok());
+  }
+  ASSERT_TRUE(h.remote->Drain().ok());  // no-op, but must succeed
+  auto recs = h.remote->TakeRecommendations();
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs->size(), 1u);
+  EXPECT_EQ((*recs)[0].user, figure1::kA2);
+}
+
+TEST(RemoteClusterTest, CallsAfterCloseFailCleanly) {
+  RemoteHarness h =
+      MakeHarness(figure1::FollowGraph(), MakeClusterOptions(2));
+  ASSERT_TRUE(h.remote->Close().ok());
+  EdgeEvent event;
+  event.edge = {figure1::kB1, figure1::kC1, 1};
+  EXPECT_TRUE(h.remote->Publish(event).IsFailedPrecondition());
+  EXPECT_TRUE(h.remote->Drain().IsFailedPrecondition());
+  EXPECT_TRUE(h.remote->TakeRecommendations().status().IsFailedPrecondition());
+}
+
+TEST(RemoteClusterTest, ServerStopSeversClientCleanly) {
+  RemoteHarness h =
+      MakeHarness(figure1::FollowGraph(), MakeClusterOptions(2));
+  ASSERT_TRUE(h.remote->Ping().ok());
+  h.server->Stop();
+  // The client sees a connection error (Unavailable), not a hang or crash.
+  EdgeEvent event;
+  event.edge = {figure1::kB1, figure1::kC1, 1};
+  const Status s = h.remote->Publish(event);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable()) << s;
+}
+
+}  // namespace
+}  // namespace magicrecs

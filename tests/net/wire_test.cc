@@ -1,0 +1,333 @@
+// Byte-level wire protocol tests: every message round-trips, and every
+// malformed input — truncation, oversized length prefix, CRC damage,
+// unknown tags, forged counts — decodes to a Status error without crashing
+// or allocating absurd amounts.
+
+#include "net/wire.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace magicrecs::net {
+namespace {
+
+EdgeEvent MakeEvent(VertexId src, VertexId dst, Timestamp t,
+                    ActionType action = ActionType::kFollow) {
+  EdgeEvent event;
+  event.edge = TimestampedEdge{src, dst, t};
+  event.action = action;
+  event.sequence = 999;  // must NOT survive the wire: broker assigns
+  return event;
+}
+
+/// Splits a single encoded frame into (header, body) and decodes the body
+/// tag, asserting the framing is valid.
+struct SplitFrame {
+  uint32_t body_len = 0;
+  uint32_t masked_crc = 0;
+  std::string body;
+};
+
+SplitFrame Split(const std::string& frame) {
+  SplitFrame split;
+  EXPECT_GE(frame.size(), kFrameHeaderBytes);
+  const Status s = DecodeFrameHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), &split.body_len,
+      &split.masked_crc);
+  EXPECT_TRUE(s.ok()) << s;
+  EXPECT_EQ(frame.size(), kFrameHeaderBytes + split.body_len);
+  split.body = frame.substr(kFrameHeaderBytes);
+  return split;
+}
+
+/// Full header+body validation; returns the decoded Frame.
+Frame DecodeWhole(const std::string& frame) {
+  const SplitFrame split = Split(frame);
+  MessageTag tag;
+  const Status s = DecodeFrameBody(
+      reinterpret_cast<const uint8_t*>(split.body.data()), split.body.size(),
+      split.masked_crc, &tag);
+  EXPECT_TRUE(s.ok()) << s;
+  Frame out;
+  out.tag = tag;
+  out.payload = split.body.substr(1);
+  return out;
+}
+
+TEST(WireTest, PublishRoundTrip) {
+  std::string frame;
+  AppendPublish(MakeEvent(3, 7, 123456789, ActionType::kRetweet), &frame);
+  const Frame decoded = DecodeWhole(frame);
+  EXPECT_EQ(decoded.tag, MessageTag::kPublish);
+  EdgeEvent event;
+  ASSERT_TRUE(DecodePublish(decoded.payload, &event).ok());
+  EXPECT_EQ(event.edge.src, 3u);
+  EXPECT_EQ(event.edge.dst, 7u);
+  EXPECT_EQ(event.edge.created_at, 123456789);
+  EXPECT_EQ(event.action, ActionType::kRetweet);
+  EXPECT_EQ(event.sequence, 0u) << "sequence must be assigned by the broker";
+}
+
+TEST(WireTest, PublishBatchRoundTrip) {
+  std::vector<EdgeEvent> events;
+  for (int i = 0; i < 100; ++i) {
+    events.push_back(MakeEvent(i, i + 1, Seconds(i)));
+  }
+  std::string frame;
+  AppendPublishBatch(events, &frame);
+  const Frame decoded = DecodeWhole(frame);
+  EXPECT_EQ(decoded.tag, MessageTag::kPublishBatch);
+  std::vector<EdgeEvent> out;
+  ASSERT_TRUE(DecodePublishBatch(decoded.payload, &out).ok());
+  ASSERT_EQ(out.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(out[i].edge, events[i].edge);
+    EXPECT_EQ(out[i].action, events[i].action);
+  }
+}
+
+TEST(WireTest, ReplicaOpAndCheckpointRoundTrip) {
+  std::string frame;
+  AppendReplicaOp(MessageTag::kKillReplica, 7, 3, &frame);
+  Frame decoded = DecodeWhole(frame);
+  EXPECT_EQ(decoded.tag, MessageTag::kKillReplica);
+  uint32_t partition = 0, replica = 0;
+  ASSERT_TRUE(DecodeReplicaOp(decoded.payload, &partition, &replica).ok());
+  EXPECT_EQ(partition, 7u);
+  EXPECT_EQ(replica, 3u);
+
+  frame.clear();
+  AppendCheckpoint(-42, &frame);
+  decoded = DecodeWhole(frame);
+  EXPECT_EQ(decoded.tag, MessageTag::kCheckpoint);
+  Timestamp created_at = 0;
+  ASSERT_TRUE(DecodeCheckpoint(decoded.payload, &created_at).ok());
+  EXPECT_EQ(created_at, -42);
+}
+
+TEST(WireTest, ErrorRoundTripPreservesCodeAndMessage) {
+  std::string frame;
+  AppendError(Status::NotFound("no such snapshot"), &frame);
+  const Frame decoded = DecodeWhole(frame);
+  EXPECT_EQ(decoded.tag, MessageTag::kError);
+  const Status status = DecodeError(decoded.payload);
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(status.message(), "no such snapshot");
+}
+
+TEST(WireTest, RecommendationsReplyRoundTrip) {
+  std::vector<Recommendation> recs(2);
+  recs[0].user = 1;
+  recs[0].item = 2;
+  recs[0].witness_count = 5;
+  recs[0].witnesses = {10, 11, 12};
+  recs[0].event_time = Seconds(9);
+  recs[0].trigger = 12;
+  recs[1].user = 3;
+  recs[1].item = 4;
+  recs[1].witness_count = 2;  // witnesses capped away entirely
+  recs[1].event_time = -1;
+  recs[1].trigger = 8;
+
+  std::string frame;
+  AppendRecommendationsReply(recs, /*has_more=*/false, &frame);
+  const Frame decoded = DecodeWhole(frame);
+  EXPECT_EQ(decoded.tag, MessageTag::kRecommendationsReply);
+  std::vector<Recommendation> out;
+  bool has_more = true;
+  ASSERT_TRUE(
+      DecodeRecommendationsReply(decoded.payload, &out, &has_more).ok());
+  EXPECT_EQ(out, recs);
+  EXPECT_FALSE(has_more);
+}
+
+TEST(WireTest, ChunkedRecommendationsReassemble) {
+  // 100 recommendations against a deliberately tiny per-frame budget must
+  // split into many frames, all but the last flagged has_more, and
+  // reassemble into the original list in order.
+  std::vector<Recommendation> recs(100);
+  for (size_t i = 0; i < recs.size(); ++i) {
+    recs[i].user = static_cast<VertexId>(i);
+    recs[i].item = static_cast<VertexId>(i + 1);
+    recs[i].witness_count = 3;
+    recs[i].witnesses = {1, 2, 3};
+    recs[i].event_time = Seconds(static_cast<int64_t>(i));
+    recs[i].trigger = 3;
+  }
+  std::string frames;
+  AppendRecommendationsReplyChunked(recs, /*max_payload_bytes=*/256, &frames);
+
+  std::vector<Recommendation> out;
+  size_t pos = 0;
+  size_t num_frames = 0;
+  bool has_more = true;
+  while (has_more) {
+    ASSERT_GE(frames.size() - pos, kFrameHeaderBytes);
+    uint32_t body_len = 0, masked_crc = 0;
+    ASSERT_TRUE(DecodeFrameHeader(
+                    reinterpret_cast<const uint8_t*>(frames.data() + pos),
+                    &body_len, &masked_crc)
+                    .ok());
+    pos += kFrameHeaderBytes;
+    MessageTag tag;
+    ASSERT_TRUE(DecodeFrameBody(
+                    reinterpret_cast<const uint8_t*>(frames.data() + pos),
+                    body_len, masked_crc, &tag)
+                    .ok());
+    ASSERT_EQ(tag, MessageTag::kRecommendationsReply);
+    const std::string_view payload(frames.data() + pos + 1, body_len - 1);
+    ASSERT_TRUE(DecodeRecommendationsReply(payload, &out, &has_more).ok());
+    pos += body_len;
+    ++num_frames;
+  }
+  EXPECT_EQ(pos, frames.size()) << "no trailing bytes after the last chunk";
+  EXPECT_GT(num_frames, 5u) << "a 256-byte budget must split 100 recs";
+  EXPECT_EQ(out, recs);
+
+  // An empty gather still produces exactly one (empty, final) frame.
+  frames.clear();
+  AppendRecommendationsReplyChunked({}, 256, &frames);
+  const Frame only = DecodeWhole(frames);
+  out.clear();
+  has_more = true;
+  ASSERT_TRUE(DecodeRecommendationsReply(only.payload, &out, &has_more).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(has_more);
+}
+
+TEST(WireTest, StatsReplyRoundTrip) {
+  ClusterStats stats;
+  stats.num_partitions = 20;
+  stats.replicas_per_partition = 2;
+  stats.events_published = 1'000'000;
+  stats.detector_events = 40'000'000;
+  stats.threshold_queries = 123;
+  stats.recommendations = 456;
+  stats.static_memory_bytes = 1u << 30;
+  stats.dynamic_memory_bytes = 789;
+
+  std::string frame;
+  AppendStatsReply(stats, &frame);
+  const Frame decoded = DecodeWhole(frame);
+  EXPECT_EQ(decoded.tag, MessageTag::kStatsReply);
+  ClusterStats out;
+  ASSERT_TRUE(DecodeStatsReply(decoded.payload, &out).ok());
+  EXPECT_EQ(out, stats);
+}
+
+// --- robustness --------------------------------------------------------------
+
+TEST(WireTest, OversizedLengthPrefixIsResourceExhausted) {
+  uint8_t header[kFrameHeaderBytes] = {};
+  const uint32_t huge = kMaxFrameBodyBytes + 1;
+  std::memcpy(header, &huge, sizeof(huge));
+  uint32_t body_len = 0, masked_crc = 0;
+  const Status s = DecodeFrameHeader(header, &body_len, &masked_crc);
+  EXPECT_TRUE(s.IsResourceExhausted()) << s;
+}
+
+TEST(WireTest, ZeroLengthBodyIsInvalid) {
+  uint8_t header[kFrameHeaderBytes] = {};
+  uint32_t body_len = 0, masked_crc = 0;
+  EXPECT_TRUE(
+      DecodeFrameHeader(header, &body_len, &masked_crc).IsInvalidArgument());
+}
+
+TEST(WireTest, CrcMismatchIsCorruption) {
+  std::string frame;
+  AppendPublish(MakeEvent(1, 2, 3), &frame);
+  frame[frame.size() - 1] ^= 0x40;  // flip one payload bit
+  const SplitFrame split = Split(frame);
+  MessageTag tag;
+  const Status s = DecodeFrameBody(
+      reinterpret_cast<const uint8_t*>(split.body.data()), split.body.size(),
+      split.masked_crc, &tag);
+  EXPECT_TRUE(s.IsCorruption()) << s;
+}
+
+TEST(WireTest, TruncatedPayloadsAreInvalidNotCrash) {
+  // Every decoder must reject every strict prefix of a valid payload.
+  std::string frame;
+  AppendPublish(MakeEvent(1, 2, 3), &frame);
+  const std::string payload = DecodeWhole(frame).payload;
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EdgeEvent event;
+    EXPECT_FALSE(DecodePublish(payload.substr(0, cut), &event).ok()) << cut;
+  }
+
+  frame.clear();
+  AppendReplicaOp(MessageTag::kRecoverReplica, 1, 2, &frame);
+  const std::string replica_payload = DecodeWhole(frame).payload;
+  for (size_t cut = 0; cut < replica_payload.size(); ++cut) {
+    uint32_t partition = 0, replica = 0;
+    EXPECT_FALSE(
+        DecodeReplicaOp(replica_payload.substr(0, cut), &partition, &replica)
+            .ok())
+        << cut;
+  }
+}
+
+TEST(WireTest, TrailingGarbageRejected) {
+  std::string frame;
+  AppendPublish(MakeEvent(1, 2, 3), &frame);
+  std::string payload = DecodeWhole(frame).payload;
+  payload.push_back('\0');
+  EdgeEvent event;
+  EXPECT_TRUE(DecodePublish(payload, &event).IsInvalidArgument());
+}
+
+TEST(WireTest, ForgedBatchCountDoesNotAllocate) {
+  // A count of 2^31 with a 17-byte payload must fail fast on the byte
+  // budget check, not reserve gigabytes.
+  std::string payload;
+  const uint32_t forged = 1u << 31;
+  payload.append(reinterpret_cast<const char*>(&forged), sizeof(forged));
+  payload.append(17, '\0');
+  std::vector<EdgeEvent> events;
+  EXPECT_TRUE(DecodePublishBatch(payload, &events).IsInvalidArgument());
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(WireTest, ForgedRecommendationCountsRejected) {
+  std::string frame;
+  AppendRecommendationsReply({}, false, &frame);
+  std::string payload = DecodeWhole(frame).payload;
+  // Rewrite the count to claim 1M recommendations backed by zero bytes
+  // (count sits after the has_more byte).
+  const uint32_t forged = 1'000'000;
+  std::memcpy(payload.data() + 1, &forged, sizeof(forged));
+  std::vector<Recommendation> recs;
+  bool has_more = false;
+  EXPECT_TRUE(DecodeRecommendationsReply(payload, &recs, &has_more)
+                  .IsInvalidArgument());
+
+  // Same for a forged per-recommendation witness count.
+  std::vector<Recommendation> one(1);
+  one[0].witnesses = {1, 2};
+  frame.clear();
+  AppendRecommendationsReply(one, false, &frame);
+  payload = DecodeWhole(frame).payload;
+  const size_t witness_count_offset = 1 + 4 + 4 + 4 + 4 + 4 + 8;
+  std::memcpy(payload.data() + witness_count_offset, &forged, sizeof(forged));
+  EXPECT_TRUE(DecodeRecommendationsReply(payload, &recs, &has_more)
+                  .IsInvalidArgument());
+}
+
+TEST(WireTest, EveryTagHasAName) {
+  for (const MessageTag tag :
+       {MessageTag::kPublish, MessageTag::kPublishBatch,
+        MessageTag::kTakeRecommendations, MessageTag::kDrain,
+        MessageTag::kCheckpoint, MessageTag::kKillReplica,
+        MessageTag::kRecoverReplica, MessageTag::kStats, MessageTag::kPing,
+        MessageTag::kAck, MessageTag::kError,
+        MessageTag::kRecommendationsReply, MessageTag::kStatsReply}) {
+    EXPECT_NE(MessageTagName(tag), "unknown");
+  }
+  EXPECT_EQ(MessageTagName(static_cast<MessageTag>(0x55)), "unknown");
+}
+
+}  // namespace
+}  // namespace magicrecs::net

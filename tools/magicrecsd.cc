@@ -1,0 +1,219 @@
+// magicrecsd — the magicrecs partition daemon. Hosts a partitioned,
+// replicated cluster behind the binary RPC listener (src/net/), so the
+// deployment of §2 — partition servers as real processes behind a fan-out
+// broker — can be exercised over an actual network boundary instead of a
+// function call. RemoteCluster (or any client speaking the wire protocol in
+// src/net/wire.h) drives it.
+//
+// Typical invocations:
+//   magicrecsd --graph=fig1 --k=2 --port=7421
+//   magicrecsd --graph=synthetic --users=50000 --partitions=8 --port=7421
+//   magicrecsd --graph-file=edges.txt --persist-dir=/var/lib/magicrecs
+//
+// The daemon prints one "magicrecsd listening on HOST:PORT" line to stdout
+// once it is serving (scripts wait for it), then blocks until SIGINT or
+// SIGTERM, and shuts down cleanly (draining workers, syncing the WAL).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "cluster/transport.h"
+#include "gen/figure1.h"
+#include "gen/social_graph.h"
+#include "graph/graph_io.h"
+#include "net/rpc_server.h"
+#include "util/str_format.h"
+
+namespace {
+
+using namespace magicrecs;
+
+struct DaemonOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7421;
+
+  // Graph source: "fig1", "synthetic", or empty when graph_file is set.
+  std::string graph = "synthetic";
+  std::string graph_file;
+  uint32_t users = 10'000;
+  double mean_followees = 30;
+  uint64_t graph_seed = 42;
+
+  // Cluster shape.
+  ClusterOptions cluster;
+  bool inline_mode = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "magicrecsd — magicrecs partition daemon\n\n"
+      "  --host=ADDR            numeric IPv4 listen address (127.0.0.1)\n"
+      "  --port=N               listen port; 0 = ephemeral (7421)\n"
+      "  --graph=fig1|synthetic graph source (synthetic)\n"
+      "  --graph-file=PATH      load 'src dst' edge list instead\n"
+      "  --users=N              synthetic graph size (10000)\n"
+      "  --mean-followees=F     synthetic mean out-degree (30)\n"
+      "  --graph-seed=N         synthetic graph seed (42)\n"
+      "  --partitions=N         partition count (20)\n"
+      "  --replicas=N           replicas per partition (1)\n"
+      "  --k=N                  motif threshold k (3; fig1 wants 2)\n"
+      "  --window-secs=N        freshness window tau (600)\n"
+      "  --inbox-capacity=N     per-replica inbox bound (65536)\n"
+      "  --max-influencers=N    influencer cap, 0 = off (0)\n"
+      "  --persist-dir=PATH     WAL + snapshot directory, empty = off\n"
+      "  --fsync-batch=N        group-commit batch with --fsync (1)\n"
+      "  --fsync                fdatasync WAL appends\n"
+      "  --inline               single-threaded deterministic broker\n"
+      "  --help                 this text\n");
+}
+
+/// Parses "--name=value" into value; false if arg is not --name=...
+bool FlagValue(const char* arg, const char* name, std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *value = arg + prefix.size();
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, DaemonOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    if (std::strcmp(arg, "--help") == 0) {
+      PrintUsage();
+      std::exit(0);
+    } else if (std::strcmp(arg, "--inline") == 0) {
+      options->inline_mode = true;
+    } else if (std::strcmp(arg, "--fsync") == 0) {
+      options->cluster.persist.sync_each_append = true;
+    } else if (FlagValue(arg, "host", &value)) {
+      options->host = value;
+    } else if (FlagValue(arg, "port", &value)) {
+      options->port = static_cast<uint16_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (FlagValue(arg, "graph", &value)) {
+      options->graph = value;
+    } else if (FlagValue(arg, "graph-file", &value)) {
+      options->graph_file = value;
+    } else if (FlagValue(arg, "users", &value)) {
+      options->users = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (FlagValue(arg, "mean-followees", &value)) {
+      options->mean_followees = std::strtod(value.c_str(), nullptr);
+    } else if (FlagValue(arg, "graph-seed", &value)) {
+      options->graph_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (FlagValue(arg, "partitions", &value)) {
+      options->cluster.num_partitions = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (FlagValue(arg, "replicas", &value)) {
+      options->cluster.replicas_per_partition = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (FlagValue(arg, "k", &value)) {
+      options->cluster.detector.k = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (FlagValue(arg, "window-secs", &value)) {
+      options->cluster.detector.window = Seconds(std::strtoll(value.c_str(), nullptr, 10));
+    } else if (FlagValue(arg, "inbox-capacity", &value)) {
+      options->cluster.inbox_capacity = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (FlagValue(arg, "max-influencers", &value)) {
+      options->cluster.max_influencers_per_user = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (FlagValue(arg, "persist-dir", &value)) {
+      options->cluster.persist.dir = value;
+    } else if (FlagValue(arg, "fsync-batch", &value)) {
+      options->cluster.persist.fsync_batch = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "magicrecsd: unknown flag '%s'\n\n", arg);
+      PrintUsage();
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<StaticGraph> BuildGraph(const DaemonOptions& options) {
+  if (!options.graph_file.empty()) return LoadEdgeList(options.graph_file);
+  if (options.graph == "fig1") return figure1::FollowGraph();
+  if (options.graph == "synthetic") {
+    SocialGraphOptions gopt;
+    gopt.num_users = options.users;
+    gopt.mean_followees = options.mean_followees;
+    gopt.seed = options.graph_seed;
+    return SocialGraphGenerator(gopt).Generate();
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown --graph source '%s'", options.graph.c_str()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DaemonOptions options;
+  if (!ParseArgs(argc, argv, &options)) return 2;
+
+  // Block the shutdown signals in every thread the server will spawn; the
+  // main thread collects them with sigwait below.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  Result<StaticGraph> graph = BuildGraph(options);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "magicrecsd: building graph: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "magicrecsd: graph ready (%zu vertices, %zu edges)\n",
+               static_cast<size_t>(graph->num_vertices()),
+               static_cast<size_t>(graph->num_edges()));
+
+  auto transport = LocalClusterTransport::Create(
+      *graph, options.cluster,
+      options.inline_mode ? LocalClusterTransport::Mode::kInline
+                          : LocalClusterTransport::Mode::kThreaded);
+  if (!transport.ok()) {
+    std::fprintf(stderr, "magicrecsd: creating cluster: %s\n",
+                 transport.status().ToString().c_str());
+    return 1;
+  }
+
+  net::RpcServerOptions server_options;
+  server_options.host = options.host;
+  server_options.port = options.port;
+  auto server = net::RpcServer::Start(transport->get(), server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "magicrecsd: starting server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("magicrecsd listening on %s:%u (%u partitions x %u replicas, "
+              "k=%u, %s)\n",
+              options.host.c_str(), (*server)->port(),
+              options.cluster.num_partitions,
+              options.cluster.replicas_per_partition,
+              options.cluster.detector.k,
+              options.inline_mode ? "inline" : "threaded");
+  std::fflush(stdout);
+
+  int signal = 0;
+  sigwait(&signals, &signal);
+  std::fprintf(stderr, "magicrecsd: caught signal %d, shutting down\n",
+               signal);
+
+  (*server)->Stop();
+  const net::RpcServerStats stats = (*server)->stats();
+  const Status closed = (*transport)->Close();
+  if (!closed.ok()) {
+    std::fprintf(stderr, "magicrecsd: transport close: %s\n",
+                 closed.ToString().c_str());
+  }
+  std::fprintf(stderr,
+               "magicrecsd: served %llu requests over %llu connections "
+               "(%llu protocol errors)\n",
+               static_cast<unsigned long long>(stats.requests_served),
+               static_cast<unsigned long long>(stats.connections_accepted),
+               static_cast<unsigned long long>(stats.protocol_errors));
+  return closed.ok() ? 0 : 1;
+}
