@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 
 #include "persist/recovery.h"
 #include "persist/wal.h"
@@ -9,15 +10,37 @@
 
 namespace magicrecs {
 
+std::string ReplicaStats::ToString() const {
+  return StrFormat("p%u/r%u %s events=%llu queries=%llu recs=%llu", partition,
+                   replica, alive ? "alive" : "dead",
+                   static_cast<unsigned long long>(detector_events),
+                   static_cast<unsigned long long>(threshold_queries),
+                   static_cast<unsigned long long>(recommendations));
+}
+
 Cluster::Cluster(const ClusterOptions& options, HashPartitioner partitioner)
     : options_(options), partitioner_(partitioner) {}
+
+int Cluster::LocalPartitionIndex(uint32_t partition) const {
+  if (options_.group_size > 0) {
+    return partition == options_.group_partition ? 0 : -1;
+  }
+  return partition < owned_partitions_.size() ? static_cast<int>(partition)
+                                              : -1;
+}
 
 Cluster::~Cluster() { Stop(); }
 
 Result<std::unique_ptr<Cluster>> Cluster::Create(
     const StaticGraph& follow_graph, const ClusterOptions& options) {
-  if (options.num_partitions == 0) {
+  const bool group_mode = options.group_size > 0;
+  if (!group_mode && options.num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  if (group_mode && options.group_partition >= options.group_size) {
+    return Status::InvalidArgument(StrFormat(
+        "group_partition %u out of range for a %u-partition group",
+        options.group_partition, options.group_size));
   }
   if (options.replicas_per_partition == 0 ||
       options.replicas_per_partition > 64) {
@@ -25,25 +48,36 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(
         "replicas_per_partition must be in [1, 64]");
   }
 
-  HashPartitioner partitioner(options.num_partitions,
-                              options.partitioner_salt);
+  // The partitioner always spans the full deployment, so a group member's
+  // shard cut matches the same partition of a single all-hosting process.
+  HashPartitioner partitioner(
+      group_mode ? options.group_size : options.num_partitions,
+      options.partitioner_salt);
   std::unique_ptr<Cluster> cluster(new Cluster(options, partitioner));
+  if (group_mode) {
+    cluster->owned_partitions_ = {options.group_partition};
+  } else {
+    for (uint32_t p = 0; p < options.num_partitions; ++p) {
+      cluster->owned_partitions_.push_back(p);
+    }
+  }
 
   // Offline pipeline: influencer cap, invert to the follower index, then
-  // cut one shard per partition. Replicas share the immutable shard.
+  // cut one shard per hosted partition. Replicas share the immutable shard.
   const StaticGraph capped = RecommenderEngine::ApplyInfluencerCap(
       follow_graph, options.max_influencers_per_user);
   const StaticGraph full_follower_index = capped.Transpose();
 
-  cluster->servers_.resize(options.num_partitions);
-  for (uint32_t p = 0; p < options.num_partitions; ++p) {
+  cluster->servers_.resize(cluster->owned_partitions_.size());
+  for (size_t i = 0; i < cluster->owned_partitions_.size(); ++i) {
+    const uint32_t p = cluster->owned_partitions_[i];
     MAGICRECS_ASSIGN_OR_RETURN(
         StaticGraph shard,
         BuildPartitionShard(full_follower_index, partitioner, p));
     // Replicas of a partition share the immutable shard; each owns its D.
     auto shared_shard = std::make_shared<const StaticGraph>(std::move(shard));
     for (uint32_t r = 0; r < options.replicas_per_partition; ++r) {
-      cluster->servers_[p].push_back(PartitionServer::CreateWithShard(
+      cluster->servers_[i].push_back(PartitionServer::CreateWithShard(
           shared_shard, p, options.detector));
     }
     auto mask = std::make_unique<std::atomic<uint64_t>>(
@@ -88,10 +122,9 @@ Status Cluster::AssignSequenceAndLog(EdgeEvent* event) {
   return wal_->Append(*event);
 }
 
-bool Cluster::ShouldEmit(uint32_t partition, uint32_t replica,
+bool Cluster::ShouldEmit(uint32_t local, uint32_t replica,
                          uint64_t sequence) const {
-  const uint64_t mask =
-      alive_masks_[partition]->load(std::memory_order_acquire);
+  const uint64_t mask = alive_masks_[local]->load(std::memory_order_acquire);
   if ((mask & (uint64_t{1} << replica)) == 0) return false;
   const int alive = std::popcount(mask);
   if (alive == 0) return false;
@@ -118,12 +151,13 @@ Status Cluster::OnEdgeEvent(EdgeEvent event,
   MAGICRECS_RETURN_IF_ERROR(AssignSequenceAndLog(&event));
   events_published_.fetch_add(1, std::memory_order_relaxed);
 
-  for (uint32_t p = 0; p < options_.num_partitions; ++p) {
-    const uint64_t mask = alive_masks_[p]->load(std::memory_order_acquire);
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    const uint64_t mask = alive_masks_[i]->load(std::memory_order_acquire);
     for (uint32_t r = 0; r < options_.replicas_per_partition; ++r) {
       if ((mask & (uint64_t{1} << r)) == 0) continue;  // dead: misses event
-      const bool emit = ShouldEmit(p, r, event.sequence);
-      MAGICRECS_RETURN_IF_ERROR(servers_[p][r]->OnEvent(event, emit, out));
+      const bool emit = ShouldEmit(static_cast<uint32_t>(i), r,
+                                   event.sequence);
+      MAGICRECS_RETURN_IF_ERROR(servers_[i][r]->OnEvent(event, emit, out));
     }
   }
   return Status::OK();
@@ -131,20 +165,21 @@ Status Cluster::OnEdgeEvent(EdgeEvent event,
 
 Status Cluster::Start() {
   if (running_) return Status::FailedPrecondition("cluster already running");
+  const uint32_t local_partitions = static_cast<uint32_t>(servers_.size());
   inboxes_.clear();
   consumed_.clear();
-  inboxes_.resize(options_.num_partitions);
-  for (uint32_t p = 0; p < options_.num_partitions; ++p) {
+  inboxes_.resize(local_partitions);
+  for (uint32_t i = 0; i < local_partitions; ++i) {
     for (uint32_t r = 0; r < options_.replicas_per_partition; ++r) {
-      inboxes_[p].push_back(
+      inboxes_[i].push_back(
           std::make_unique<MpmcQueue<EdgeEvent>>(options_.inbox_capacity));
       consumed_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
     }
   }
   running_ = true;
-  for (uint32_t p = 0; p < options_.num_partitions; ++p) {
+  for (uint32_t i = 0; i < local_partitions; ++i) {
     for (uint32_t r = 0; r < options_.replicas_per_partition; ++r) {
-      workers_.emplace_back([this, p, r] { WorkerLoop(p, r); });
+      workers_.emplace_back([this, i, r] { WorkerLoop(i, r); });
     }
   }
   return Status::OK();
@@ -166,27 +201,26 @@ Status Cluster::Publish(EdgeEvent event) {
   return Status::OK();
 }
 
-void Cluster::WorkerLoop(uint32_t partition, uint32_t replica) {
-  auto& inbox = *inboxes_[partition][replica];
+void Cluster::WorkerLoop(uint32_t local, uint32_t replica) {
+  auto& inbox = *inboxes_[local][replica];
   auto& consumed =
-      *consumed_[partition * options_.replicas_per_partition + replica];
-  std::vector<Recommendation> local;
+      *consumed_[local * options_.replicas_per_partition + replica];
+  std::vector<Recommendation> gathered;
   while (true) {
     std::optional<EdgeEvent> event = inbox.Pop();
     if (!event.has_value()) return;  // closed and drained
-    const uint64_t mask =
-        alive_masks_[partition]->load(std::memory_order_acquire);
+    const uint64_t mask = alive_masks_[local]->load(std::memory_order_acquire);
     if ((mask & (uint64_t{1} << replica)) != 0) {
-      local.clear();
-      const bool emit = ShouldEmit(partition, replica, event->sequence);
-      const Status s = servers_[partition][replica]->OnEvent(*event, emit,
-                                                             &local);
+      gathered.clear();
+      const bool emit = ShouldEmit(local, replica, event->sequence);
+      const Status s =
+          servers_[local][replica]->OnEvent(*event, emit, &gathered);
       (void)s;  // per-event errors are reflected in detector stats
-      if (!local.empty()) {
+      if (!gathered.empty()) {
         std::lock_guard<std::mutex> lock(results_mu_);
         results_.insert(results_.end(),
-                        std::make_move_iterator(local.begin()),
-                        std::make_move_iterator(local.end()));
+                        std::make_move_iterator(gathered.begin()),
+                        std::make_move_iterator(gathered.end()));
       }
     }
     // seq_cst pairs with Drain(): either this worker sees the waiter's
@@ -240,23 +274,32 @@ std::vector<Recommendation> Cluster::TakeRecommendations() {
 }
 
 Status Cluster::KillReplica(uint32_t partition, uint32_t replica) {
-  if (partition >= options_.num_partitions ||
-      replica >= options_.replicas_per_partition) {
-    return Status::InvalidArgument("no such replica");
+  const int local = LocalPartitionIndex(partition);
+  if (local < 0 || replica >= options_.replicas_per_partition) {
+    return Status::InvalidArgument(
+        StrFormat("no such replica: partition %u replica %u is not hosted "
+                  "here (%s)",
+                  partition, replica,
+                  is_partition_group_member() ? "partition-group member"
+                                              : "out of range"));
   }
-  alive_masks_[partition]->fetch_and(~(uint64_t{1} << replica),
-                                     std::memory_order_acq_rel);
+  alive_masks_[local]->fetch_and(~(uint64_t{1} << replica),
+                                 std::memory_order_acq_rel);
   return Status::OK();
 }
 
 Status Cluster::RecoverReplica(uint32_t partition, uint32_t replica,
                                RecoveryStats* recovery_stats) {
-  if (partition >= options_.num_partitions ||
-      replica >= options_.replicas_per_partition) {
-    return Status::InvalidArgument("no such replica");
+  const int local = LocalPartitionIndex(partition);
+  if (local < 0 || replica >= options_.replicas_per_partition) {
+    return Status::InvalidArgument(
+        StrFormat("no such replica: partition %u replica %u is not hosted "
+                  "here (%s)",
+                  partition, replica,
+                  is_partition_group_member() ? "partition-group member"
+                                              : "out of range"));
   }
-  const uint64_t mask =
-      alive_masks_[partition]->load(std::memory_order_acquire);
+  const uint64_t mask = alive_masks_[local]->load(std::memory_order_acquire);
   if ((mask & (uint64_t{1} << replica)) != 0) {
     return Status::AlreadyExists("replica is already alive");
   }
@@ -270,21 +313,21 @@ Status Cluster::RecoverReplica(uint32_t partition, uint32_t replica,
     }
     RecoveryManager recovery(options_.persist);
     MAGICRECS_RETURN_IF_ERROR(recovery.RecoverPartitionServer(
-        servers_[partition][replica].get(), recovery_stats));
+        servers_[local][replica].get(), recovery_stats));
   } else {
     // Bootstrap D from any healthy peer; without one, the replica rejoins
     // with the state it last had (cold start on an empty partition group).
     for (uint32_t r = 0; r < options_.replicas_per_partition; ++r) {
       if (r != replica && (mask & (uint64_t{1} << r)) != 0) {
         MAGICRECS_RETURN_IF_ERROR(
-            servers_[partition][replica]->SyncDynamicStateFrom(
-                *servers_[partition][r]));
+            servers_[local][replica]->SyncDynamicStateFrom(
+                *servers_[local][r]));
         break;
       }
     }
   }
-  alive_masks_[partition]->fetch_or(uint64_t{1} << replica,
-                                    std::memory_order_acq_rel);
+  alive_masks_[local]->fetch_or(uint64_t{1} << replica,
+                                std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -296,11 +339,11 @@ Status Cluster::Checkpoint(Timestamp created_at) {
   // applied every published event once the cluster is quiesced, so any
   // alive replica's detector is the canonical dynamic state.
   const PartitionServer* source = nullptr;
-  for (uint32_t p = 0; p < options_.num_partitions && source == nullptr; ++p) {
-    const uint64_t mask = alive_masks_[p]->load(std::memory_order_acquire);
+  for (size_t i = 0; i < servers_.size() && source == nullptr; ++i) {
+    const uint64_t mask = alive_masks_[i]->load(std::memory_order_acquire);
     for (uint32_t r = 0; r < options_.replicas_per_partition; ++r) {
       if ((mask & (uint64_t{1} << r)) != 0) {
-        source = servers_[p][r].get();
+        source = servers_[i][r].get();
         break;
       }
     }
@@ -320,8 +363,17 @@ Status Cluster::Checkpoint(Timestamp created_at) {
 }
 
 uint32_t Cluster::alive_replicas(uint32_t partition) const {
-  return static_cast<uint32_t>(std::popcount(
-      alive_masks_[partition]->load(std::memory_order_acquire)));
+  const int local = LocalPartitionIndex(partition);
+  assert(local >= 0 && "partition is not hosted by this cluster");
+  return static_cast<uint32_t>(
+      std::popcount(alive_masks_[local]->load(std::memory_order_acquire)));
+}
+
+const PartitionServer& Cluster::server(uint32_t partition,
+                                       uint32_t replica) const {
+  const int local = LocalPartitionIndex(partition);
+  assert(local >= 0 && "partition is not hosted by this cluster");
+  return *servers_[local][replica];
 }
 
 size_t Cluster::TotalStaticMemory() const {
@@ -340,6 +392,26 @@ size_t Cluster::TotalDynamicMemory() const {
     }
   }
   return total;
+}
+
+std::vector<ReplicaStats> Cluster::PerReplicaStats() const {
+  std::vector<ReplicaStats> out;
+  out.reserve(servers_.size() * options_.replicas_per_partition);
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    const uint64_t mask = alive_masks_[i]->load(std::memory_order_acquire);
+    for (uint32_t r = 0; r < options_.replicas_per_partition; ++r) {
+      const DiamondStats& s = servers_[i][r]->stats();
+      ReplicaStats entry;
+      entry.partition = owned_partitions_[i];
+      entry.replica = r;
+      entry.alive = (mask & (uint64_t{1} << r)) != 0;
+      entry.detector_events = s.events;
+      entry.threshold_queries = s.threshold_queries;
+      entry.recommendations = s.recommendations;
+      out.push_back(entry);
+    }
+  }
+  return out;
 }
 
 DiamondStats Cluster::AggregatedStats() const {

@@ -18,6 +18,12 @@
 // "increased query throughput" of the paper. Failover re-spreads queries
 // over the survivors; a recovered replica must re-sync D from a healthy peer
 // before rejoining.
+//
+// Partition-group mode (ClusterOptions::group_size): one Cluster instance
+// hosts a single global partition of a wider deployment, so each partition
+// can run as its own magicrecsd process behind the fan-out broker in
+// net/fanout_cluster.h — the process-per-partition topology of the paper.
+// See docs/architecture.md.
 
 #ifndef MAGICRECS_CLUSTER_CLUSTER_H_
 #define MAGICRECS_CLUSTER_CLUSTER_H_
@@ -28,6 +34,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -46,6 +53,25 @@ namespace magicrecs {
 
 class WalWriter;
 struct RecoveryStats;
+
+/// Identity-tagged per-replica counters (surfaced as
+/// ClusterStats::per_replica and over the stats RPC): the global partition
+/// id and replica index ride along, so stats gathered from many
+/// partition-group daemons stay attributable to the shard that produced
+/// them.
+struct ReplicaStats {
+  uint32_t partition = 0;  ///< global partition id
+  uint32_t replica = 0;
+  bool alive = true;
+  uint64_t detector_events = 0;
+  uint64_t threshold_queries = 0;
+  uint64_t recommendations = 0;
+
+  friend bool operator==(const ReplicaStats&, const ReplicaStats&) = default;
+
+  /// e.g. "p3/r1 alive events=120 queries=60 recs=2".
+  std::string ToString() const;
+};
 
 /// Cluster configuration.
 struct ClusterOptions {
@@ -67,6 +93,18 @@ struct ClusterOptions {
 
   /// Salt for the hash partitioner.
   uint64_t partitioner_salt = 0;
+
+  /// Partition-group deployment (one daemon per partition). When group_size
+  /// is non-zero this cluster hosts ONLY global partition `group_partition`
+  /// of a group_size-wide deployment: the partitioner spans the full group,
+  /// so the S shard cut here is byte-identical to the corresponding shard of
+  /// a single process hosting all group_size partitions, and replica ops /
+  /// stats speak global partition ids. `num_partitions` is ignored. Every
+  /// group member must still ingest the entire edge stream (D is complete on
+  /// every partition) — the broker-side fan-out (net/fanout_cluster.h) does
+  /// that.
+  uint32_t group_size = 0;
+  uint32_t group_partition = 0;
 
   /// Durability. When persist.dir is set, the broker write-ahead-logs every
   /// published event (threaded and inline modes both), Checkpoint() writes
@@ -148,14 +186,26 @@ class Cluster {
 
   // --- Introspection ---------------------------------------------------------
 
-  uint32_t num_partitions() const { return options_.num_partitions; }
+  /// Deployment-wide partition count: the full group in partition-group
+  /// mode, not just the locally hosted slice.
+  uint32_t num_partitions() const { return partitioner_.num_partitions(); }
   uint32_t replicas_per_partition() const {
     return options_.replicas_per_partition;
   }
-  uint32_t alive_replicas(uint32_t partition) const;
-  const PartitionServer& server(uint32_t partition, uint32_t replica) const {
-    return *servers_[partition][replica];
+
+  /// The global partition ids hosted by this process — all of them normally,
+  /// exactly one in partition-group mode.
+  const std::vector<uint32_t>& owned_partitions() const {
+    return owned_partitions_;
   }
+  bool is_partition_group_member() const { return options_.group_size > 0; }
+  bool hosts_partition(uint32_t partition) const {
+    return LocalPartitionIndex(partition) >= 0;
+  }
+
+  /// `partition` is a global id; asserts it is hosted here.
+  uint32_t alive_replicas(uint32_t partition) const;
+  const PartitionServer& server(uint32_t partition, uint32_t replica) const;
   const HashPartitioner& partitioner() const { return partitioner_; }
   uint64_t events_published() const {
     return events_published_.load(std::memory_order_relaxed);
@@ -170,8 +220,12 @@ class Cluster {
   /// partitions * replicas.
   size_t TotalDynamicMemory() const;
 
-  /// Detector stats merged across all replicas.
+  /// Detector stats merged across all locally hosted replicas.
   DiamondStats AggregatedStats() const;
+
+  /// Per-replica counters tagged with global partition identity, ordered by
+  /// (partition, replica). The attributable complement of AggregatedStats().
+  std::vector<ReplicaStats> PerReplicaStats() const;
 
  private:
   struct Replica {
@@ -183,12 +237,16 @@ class Cluster {
 
   Cluster(const ClusterOptions& options, HashPartitioner partitioner);
 
-  /// True iff `replica` should run the motif query for `sequence` given the
-  /// current alive mask of its partition.
-  bool ShouldEmit(uint32_t partition, uint32_t replica,
-                  uint64_t sequence) const;
+  /// Index into servers_/alive_masks_/inboxes_ for a global partition id,
+  /// or -1 when this process does not host that partition.
+  int LocalPartitionIndex(uint32_t partition) const;
 
-  void WorkerLoop(uint32_t partition, uint32_t replica);
+  /// True iff `replica` should run the motif query for `sequence` given the
+  /// current alive mask of its partition. `local` is a local partition
+  /// index.
+  bool ShouldEmit(uint32_t local, uint32_t replica, uint64_t sequence) const;
+
+  void WorkerLoop(uint32_t local, uint32_t replica);
 
   /// Assigns the event's sequence number and, when persistence is on,
   /// appends it to the WAL — atomically together, so the log is ordered by
@@ -197,6 +255,9 @@ class Cluster {
 
   ClusterOptions options_;
   HashPartitioner partitioner_;
+  /// Global partition ids hosted here; servers_[i] / alive_masks_[i] /
+  /// inboxes_[i] belong to owned_partitions_[i].
+  std::vector<uint32_t> owned_partitions_;
   std::vector<std::vector<std::unique_ptr<PartitionServer>>> servers_;
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> alive_masks_;
 

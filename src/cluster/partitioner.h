@@ -29,6 +29,7 @@ class HashPartitioner {
   }
 
   uint32_t num_partitions() const { return num_partitions_; }
+  uint64_t salt() const { return salt_; }
 
  private:
   uint32_t num_partitions_;

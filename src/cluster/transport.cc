@@ -19,11 +19,25 @@ std::string ClusterStats::ToString() const {
       HumanBytes(dynamic_memory_bytes).c_str());
 }
 
+std::string ClusterStats::PerReplicaString() const {
+  std::string out;
+  for (const ReplicaStats& entry : per_replica) {
+    if (!out.empty()) out += '\n';
+    out += entry.ToString();
+  }
+  return out;
+}
+
 Status ClusterTransport::PublishBatch(std::span<const EdgeEvent> events) {
   for (const EdgeEvent& event : events) {
     MAGICRECS_RETURN_IF_ERROR(Publish(event));
   }
   return Status::OK();
+}
+
+Result<HashPartitioner> ClusterTransport::Partitioner() const {
+  return Status::Unimplemented(
+      "this transport carries no client-side partition placement");
 }
 
 // --- LocalClusterTransport ---------------------------------------------------
@@ -119,7 +133,13 @@ Result<ClusterStats> LocalClusterTransport::GetStats() {
   stats.recommendations = detector.recommendations;
   stats.static_memory_bytes = cluster_->TotalStaticMemory();
   stats.dynamic_memory_bytes = cluster_->TotalDynamicMemory();
+  stats.per_replica = cluster_->PerReplicaStats();
+  stats.partitioner_salt = cluster_->partitioner().salt();
   return stats;
+}
+
+Result<HashPartitioner> LocalClusterTransport::Partitioner() const {
+  return cluster_->partitioner();
 }
 
 Status LocalClusterTransport::Close() {

@@ -39,7 +39,7 @@ namespace magicrecs {
 /// Cluster-wide counters as reported over the stats RPC. A flat POD rather
 /// than DiamondStats so it has a stable wire encoding.
 struct ClusterStats {
-  uint32_t num_partitions = 0;
+  uint32_t num_partitions = 0;       ///< deployment-wide (full group)
   uint32_t replicas_per_partition = 0;
   uint64_t events_published = 0;     ///< broker-side publish count
   uint64_t detector_events = 0;      ///< ingests summed over all replicas
@@ -48,9 +48,23 @@ struct ClusterStats {
   uint64_t static_memory_bytes = 0;  ///< all S shards
   uint64_t dynamic_memory_bytes = 0; ///< all D copies
 
+  /// Identity-tagged counters, one entry per hosted replica, ordered by
+  /// (partition, replica). A partition-group daemon reports only its own
+  /// shard here, so stats merged from many daemons stay attributable.
+  std::vector<ReplicaStats> per_replica;
+
+  /// The hash-partitioner salt placement was computed with. Lets a fan-out
+  /// broker detect a daemon whose placement disagrees with its own
+  /// (FanoutCluster::Ping verifies it).
+  uint64_t partitioner_salt = 0;
+
   friend bool operator==(const ClusterStats&, const ClusterStats&) = default;
 
+  /// The aggregate counters on one line (per_replica not included).
   std::string ToString() const;
+
+  /// One line per per_replica entry, e.g. for an operator stats dump.
+  std::string PerReplicaString() const;
 };
 
 /// Abstract cluster endpoint. Implementations are thread-safe: the RPC
@@ -83,6 +97,13 @@ class ClusterTransport {
 
   virtual Result<ClusterStats> GetStats() = 0;
 
+  /// The user -> partition placement this transport routes by. Local
+  /// transports report their cluster's partitioner; the fan-out broker
+  /// (net/fanout_cluster.h) reports the group partitioner it routes replica
+  /// ops with. A transport with no client-side placement knowledge (a bare
+  /// RemoteCluster: placement lives server-side) reports Unimplemented.
+  virtual Result<HashPartitioner> Partitioner() const;
+
   /// Releases the transport's resources (joins workers, closes the
   /// connection). Idempotent; called by the destructor.
   virtual Status Close() = 0;
@@ -114,6 +135,7 @@ class LocalClusterTransport : public ClusterTransport {
   Status KillReplica(uint32_t partition, uint32_t replica) override;
   Status RecoverReplica(uint32_t partition, uint32_t replica) override;
   Result<ClusterStats> GetStats() override;
+  Result<HashPartitioner> Partitioner() const override;
   Status Close() override;
 
   Mode mode() const { return mode_; }

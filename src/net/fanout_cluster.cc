@@ -1,0 +1,610 @@
+#include "net/fanout_cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/frame_io.h"
+#include "util/str_format.h"
+
+namespace magicrecs::net {
+namespace {
+
+Status UnexpectedReply(MessageTag got, const char* expected) {
+  return Status::Internal(StrFormat("server replied %s where %s was expected",
+                                    std::string(MessageTagName(got)).c_str(),
+                                    expected));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FanoutCluster>> FanoutCluster::Connect(
+    const FanoutClusterOptions& options) {
+  if (options.endpoints.empty()) {
+    return Status::InvalidArgument("fan-out cluster needs >= 1 endpoint");
+  }
+  if (options.connections_per_daemon == 0) {
+    return Status::InvalidArgument("connections_per_daemon must be >= 1");
+  }
+
+  uint32_t group_size = options.group_size;
+  const bool single_all_hosting =
+      options.endpoints.size() == 1 &&
+      options.endpoints[0].partition == FanoutEndpoint::kAllPartitions;
+  if (!single_all_hosting) {
+    // Explicit partition-group topology: every daemon names its partition
+    // and together they cover 0..group_size-1 exactly once.
+    if (group_size == 0) {
+      group_size = static_cast<uint32_t>(options.endpoints.size());
+    }
+    if (options.endpoints.size() != group_size) {
+      return Status::InvalidArgument(StrFormat(
+          "a %u-partition group needs exactly %u endpoints, got %zu",
+          group_size, group_size, options.endpoints.size()));
+    }
+    std::vector<bool> covered(group_size, false);
+    for (const FanoutEndpoint& endpoint : options.endpoints) {
+      if (endpoint.partition == FanoutEndpoint::kAllPartitions) {
+        return Status::InvalidArgument(
+            "an all-hosting endpoint cannot be mixed with partition-group "
+            "endpoints");
+      }
+      if (endpoint.partition >= group_size) {
+        return Status::InvalidArgument(
+            StrFormat("endpoint partition %u out of range for a "
+                      "%u-partition group",
+                      endpoint.partition, group_size));
+      }
+      if (covered[endpoint.partition]) {
+        return Status::InvalidArgument(StrFormat(
+            "partition %u is hosted by two endpoints", endpoint.partition));
+      }
+      covered[endpoint.partition] = true;
+    }
+  }
+
+  std::unique_ptr<FanoutCluster> cluster(new FanoutCluster(options));
+  cluster->group_size_ = group_size;
+  return cluster;
+}
+
+FanoutCluster::FanoutCluster(const FanoutClusterOptions& options)
+    : options_(options) {
+  for (const FanoutEndpoint& endpoint : options.endpoints) {
+    auto daemon = std::make_unique<Daemon>();
+    daemon->endpoint = endpoint;
+    daemons_.push_back(std::move(daemon));
+  }
+}
+
+FanoutCluster::~FanoutCluster() {
+  const Status s = Close();
+  (void)s;  // destructor cannot propagate
+}
+
+Status FanoutCluster::TagError(const Daemon& daemon,
+                               const Status& status) const {
+  const FanoutEndpoint& e = daemon.endpoint;
+  const std::string where =
+      e.partition == FanoutEndpoint::kAllPartitions
+          ? StrFormat("daemon %s:%u", e.host.c_str(), e.port)
+          : StrFormat("daemon %s:%u (partition %u)", e.host.c_str(), e.port,
+                      e.partition);
+  return Status(status.code(),
+                StrFormat("%s: %s", where.c_str(),
+                          std::string(status.message()).c_str()));
+}
+
+void FanoutCluster::StartBackoffLocked(Daemon* daemon) {
+  daemon->backoff_ms =
+      daemon->backoff_ms == 0
+          ? options_.reconnect_backoff_ms
+          : std::min(daemon->backoff_ms * 2,
+                     options_.max_reconnect_backoff_ms);
+  daemon->next_attempt = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(daemon->backoff_ms);
+}
+
+Result<std::unique_ptr<FanoutCluster::Conn>> FanoutCluster::Acquire(
+    Daemon* daemon) {
+  std::unique_lock<std::mutex> lock(daemon->mu);
+  while (true) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition("fan-out cluster is closed");
+    }
+    if (!daemon->idle.empty()) {
+      std::unique_ptr<Conn> conn = std::move(daemon->idle.back());
+      daemon->idle.pop_back();
+      daemon->leased.push_back(conn.get());
+      return conn;
+    }
+    if (daemon->open_count < options_.connections_per_daemon) {
+      // Circuit breaker: inside the reconnect-backoff window fail fast
+      // instead of sleeping — one dead daemon must not stall every broker
+      // call (the healthy daemons are acquired in the same loop). The
+      // first call after the window redials.
+      if (daemon->next_attempt > std::chrono::steady_clock::now()) {
+        return TagError(*daemon,
+                        Status::Unavailable("in reconnect backoff"));
+      }
+      daemon->open_count++;  // reserve the slot while dialing unlocked
+      lock.unlock();
+      Result<TcpSocket> socket =
+          TcpSocket::Connect(daemon->endpoint.host, daemon->endpoint.port,
+                             options_.connect_timeout_ms);
+      Status status = socket.ok() ? Status::OK() : socket.status();
+      if (status.ok() && options_.tcp_nodelay) {
+        status = socket->SetNoDelay(true);
+      }
+      if (status.ok() && options_.recv_timeout_ms > 0) {
+        status = socket->SetRecvTimeout(options_.recv_timeout_ms);
+      }
+      lock.lock();
+      if (!status.ok()) {
+        daemon->open_count--;
+        StartBackoffLocked(daemon);
+        daemon->cv.notify_all();
+        return TagError(*daemon, status);
+      }
+      daemon->backoff_ms = 0;  // healthy again
+      auto conn = std::make_unique<Conn>();
+      conn->socket = std::move(socket).value();
+      daemon->leased.push_back(conn.get());
+      return conn;
+    }
+    daemon->cv.wait(lock);
+  }
+}
+
+void FanoutCluster::Release(Daemon* daemon, std::unique_ptr<Conn> conn,
+                            bool poisoned) {
+  std::lock_guard<std::mutex> lock(daemon->mu);
+  std::erase(daemon->leased, conn.get());
+  if (poisoned || closed_.load(std::memory_order_acquire)) {
+    daemon->open_count--;
+    if (poisoned) {
+      // Open the circuit-breaker window: the daemon just failed
+      // mid-exchange, so calls before it expires fail fast.
+      StartBackoffLocked(daemon);
+    }
+  } else {
+    daemon->idle.push_back(std::move(conn));
+  }
+  daemon->cv.notify_all();
+}
+
+FanoutCluster::Daemon* FanoutCluster::RouteToPartition(uint32_t partition) {
+  Daemon* all_hosting = nullptr;
+  for (const auto& daemon : daemons_) {
+    if (daemon->endpoint.partition == partition) return daemon.get();
+    if (daemon->endpoint.partition == FanoutEndpoint::kAllPartitions) {
+      all_hosting = daemon.get();
+    }
+  }
+  return all_hosting;
+}
+
+// --- broadcast plumbing ------------------------------------------------------
+
+std::vector<FanoutCluster::Slot> FanoutCluster::AcquireAll() {
+  std::vector<Slot> slots;
+  slots.reserve(daemons_.size());
+  for (const auto& daemon : daemons_) {
+    Slot slot;
+    slot.daemon = daemon.get();
+    Result<std::unique_ptr<Conn>> conn = Acquire(daemon.get());
+    if (conn.ok()) {
+      slot.conn = std::move(conn).value();
+    } else {
+      slot.status = conn.status();
+    }
+    slots.push_back(std::move(slot));
+  }
+  return slots;
+}
+
+void FanoutCluster::WriteAll(std::vector<Slot>* slots,
+                             const std::string& request) {
+  for (Slot& slot : *slots) {
+    if (slot.conn == nullptr || slot.poisoned) continue;
+    const Status written =
+        slot.conn->socket.WriteAll(request.data(), request.size());
+    if (!written.ok()) {
+      if (slot.status.ok()) slot.status = TagError(*slot.daemon, written);
+      slot.poisoned = true;
+    }
+  }
+}
+
+Status FanoutCluster::ReleaseAll(std::vector<Slot>* slots) {
+  Status first;
+  for (Slot& slot : *slots) {
+    if (slot.conn != nullptr) {
+      Release(slot.daemon, std::move(slot.conn), slot.poisoned);
+    }
+    if (first.ok() && !slot.status.ok()) first = slot.status;
+  }
+  return first;
+}
+
+bool FanoutCluster::ReadReply(Slot* slot, Frame* reply) {
+  // Note: a recorded kError status does NOT stop reads — the stream is
+  // still aligned and owed replies must be drained before the connection
+  // can go back to the pool.
+  if (slot->conn == nullptr || slot->poisoned) return false;
+  const Status read = ReadFrame(&slot->conn->socket, reply);
+  if (!read.ok()) {
+    if (slot->status.ok()) slot->status = TagError(*slot->daemon, read);
+    slot->poisoned = true;
+    return false;
+  }
+  return true;
+}
+
+Status FanoutCluster::BroadcastForAck(const std::string& request) {
+  std::shared_lock<std::shared_mutex> lifecycle(lifecycle_mu_);
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("fan-out cluster is closed");
+  }
+  std::vector<Slot> slots = AcquireAll();
+  WriteAll(&slots, request);
+  for (Slot& slot : slots) {
+    Frame reply;
+    if (!ReadReply(&slot, &reply)) continue;
+    if (reply.tag == MessageTag::kError) {
+      if (slot.status.ok()) {
+        slot.status = TagError(*slot.daemon, DecodeError(reply.payload));
+      }
+    } else if (reply.tag != MessageTag::kAck && slot.status.ok()) {
+      slot.status = TagError(*slot.daemon, UnexpectedReply(reply.tag, "ack"));
+    }
+  }
+  return ReleaseAll(&slots);
+}
+
+// --- ClusterTransport --------------------------------------------------------
+
+Status FanoutCluster::Publish(const EdgeEvent& event) {
+  return PublishBatch(std::span<const EdgeEvent>(&event, 1));
+}
+
+Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
+  if (events.empty()) return Status::OK();
+  std::shared_lock<std::shared_mutex> lifecycle(lifecycle_mu_);
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("fan-out cluster is closed");
+  }
+  // Encode once: the same chunked kPublishBatch frames stream to every
+  // daemon (each partition ingests the full stream).
+  const size_t chunk = std::max<size_t>(1, options_.publish_chunk_events);
+  std::vector<std::string> frames;
+  frames.reserve((events.size() + chunk - 1) / chunk);
+  for (size_t i = 0; i < events.size(); i += chunk) {
+    const size_t n = std::min(chunk, events.size() - i);
+    std::string frame;
+    AppendPublishBatch(events.subspan(i, n), &frame);
+    frames.push_back(std::move(frame));
+  }
+
+  std::vector<Slot> slots = AcquireAll();
+
+  // Reads one owed ack. On a kError reply the connection stays aligned (the
+  // server answered; later acks still arrive) so only the first error is
+  // recorded; a transport-level failure poisons the lane and abandons its
+  // remaining acks.
+  const auto reap_one_ack = [this](Slot* slot) {
+    Frame reply;
+    if (!ReadReply(slot, &reply)) {
+      slot->inflight = 0;
+      return;
+    }
+    slot->inflight--;
+    if (reply.tag == MessageTag::kError) {
+      if (slot->status.ok()) {
+        slot->status = TagError(*slot->daemon, DecodeError(reply.payload));
+      }
+    } else if (reply.tag != MessageTag::kAck && slot->status.ok()) {
+      slot->status = TagError(*slot->daemon, UnexpectedReply(reply.tag,
+                                                             "ack"));
+    }
+  };
+
+  // The pipeline: keep up to max_inflight_frames outstanding per daemon,
+  // writing frame f to every lane before frame f+1 so all daemons chew on
+  // the same prefix of the stream concurrently.
+  const size_t window = std::max<size_t>(1, options_.max_inflight_frames);
+  for (const std::string& frame : frames) {
+    for (Slot& slot : slots) {
+      if (slot.conn == nullptr || slot.poisoned) continue;
+      if (slot.inflight >= window) reap_one_ack(&slot);
+      if (slot.poisoned) continue;
+      const Status written =
+          slot.conn->socket.WriteAll(frame.data(), frame.size());
+      if (!written.ok()) {
+        if (slot.status.ok()) slot.status = TagError(*slot.daemon, written);
+        slot.poisoned = true;
+        continue;
+      }
+      slot.inflight++;
+    }
+  }
+  for (Slot& slot : slots) {
+    while (slot.conn != nullptr && !slot.poisoned && slot.inflight > 0) {
+      reap_one_ack(&slot);
+    }
+  }
+  return ReleaseAll(&slots);
+}
+
+Status FanoutCluster::Drain() {
+  std::string request;
+  AppendEmptyRequest(MessageTag::kDrain, &request);
+  return BroadcastForAck(request);
+}
+
+Result<std::vector<Recommendation>> FanoutCluster::TakeRecommendations() {
+  std::shared_lock<std::shared_mutex> lifecycle(lifecycle_mu_);
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("fan-out cluster is closed");
+  }
+  std::string request;
+  AppendEmptyRequest(MessageTag::kTakeRecommendations, &request);
+
+  // Start from whatever a previous partially-failed gather rescued.
+  std::vector<Recommendation> recs;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    recs.swap(pending_);
+  }
+
+  std::vector<Slot> slots = AcquireAll();
+  WriteAll(&slots, request);
+  // Gather: each daemon streams its share as chunked reply frames; the
+  // merged result is their concatenation (cross-partition ordering is
+  // unspecified, exactly as with the in-process broker).
+  for (Slot& slot : slots) {
+    bool has_more = true;
+    while (has_more) {
+      Frame reply;
+      if (!ReadReply(&slot, &reply)) break;
+      if (reply.tag == MessageTag::kError) {
+        slot.status = TagError(*slot.daemon, DecodeError(reply.payload));
+        break;
+      }
+      if (reply.tag != MessageTag::kRecommendationsReply) {
+        slot.status = TagError(
+            *slot.daemon,
+            UnexpectedReply(reply.tag, "recommendations-reply"));
+        break;
+      }
+      const Status decoded =
+          DecodeRecommendationsReply(reply.payload, &recs, &has_more);
+      if (!decoded.ok()) {
+        // A mangled chunk leaves an unknown number of follow-up frames in
+        // flight; the stream alignment is gone.
+        slot.status = TagError(*slot.daemon, decoded);
+        slot.poisoned = true;
+        break;
+      }
+    }
+  }
+  const Status first = ReleaseAll(&slots);
+  if (!first.ok()) {
+    // The healthy daemons already surrendered their share and a server-side
+    // take is destructive: park it for the next successful call instead of
+    // dropping it on the floor.
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.insert(pending_.end(),
+                    std::make_move_iterator(recs.begin()),
+                    std::make_move_iterator(recs.end()));
+    return first;
+  }
+  return recs;
+}
+
+Status FanoutCluster::Checkpoint(Timestamp created_at) {
+  std::string request;
+  AppendCheckpoint(created_at, &request);
+  return BroadcastForAck(request);
+}
+
+Status FanoutCluster::KillReplica(uint32_t partition, uint32_t replica) {
+  std::string request;
+  AppendReplicaOp(MessageTag::kKillReplica, partition, replica, &request);
+  Daemon* daemon = RouteToPartition(partition);
+  if (daemon == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("no daemon hosts partition %u", partition));
+  }
+  return ExchangeForAckOn(daemon, request);
+}
+
+Status FanoutCluster::RecoverReplica(uint32_t partition, uint32_t replica) {
+  std::string request;
+  AppendReplicaOp(MessageTag::kRecoverReplica, partition, replica, &request);
+  Daemon* daemon = RouteToPartition(partition);
+  if (daemon == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("no daemon hosts partition %u", partition));
+  }
+  return ExchangeForAckOn(daemon, request);
+}
+
+Status FanoutCluster::ExchangeForAckOn(Daemon* daemon,
+                                       const std::string& request) {
+  std::shared_lock<std::shared_mutex> lifecycle(lifecycle_mu_);
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("fan-out cluster is closed");
+  }
+  MAGICRECS_ASSIGN_OR_RETURN(std::unique_ptr<Conn> conn, Acquire(daemon));
+  Status status = conn->socket.WriteAll(request.data(), request.size());
+  Frame reply;
+  if (status.ok()) status = ReadFrame(&conn->socket, &reply);
+  if (!status.ok()) {
+    Release(daemon, std::move(conn), /*poisoned=*/true);
+    return TagError(*daemon, status);
+  }
+  Release(daemon, std::move(conn), /*poisoned=*/false);
+  if (reply.tag == MessageTag::kError) {
+    return TagError(*daemon, DecodeError(reply.payload));
+  }
+  if (reply.tag != MessageTag::kAck) {
+    return TagError(*daemon, UnexpectedReply(reply.tag, "ack"));
+  }
+  return Status::OK();
+}
+
+Result<ClusterStats> FanoutCluster::GetStats() {
+  std::shared_lock<std::shared_mutex> lifecycle(lifecycle_mu_);
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("fan-out cluster is closed");
+  }
+  std::string request;
+  AppendEmptyRequest(MessageTag::kStats, &request);
+
+  // Write-all-then-read-all like every other broadcast, so the per-daemon
+  // snapshots are taken concurrently (minimally skewed in time) instead of
+  // one round trip after another.
+  std::vector<Slot> slots = AcquireAll();
+  WriteAll(&slots, request);
+  ClusterStats merged;
+  for (Slot& slot : slots) {
+    ClusterStats stats;
+    if (!ReadStatsReply(&slot, &stats)) continue;
+    // Merge: shape fields take the widest daemon view; detector counters
+    // and memory sum across daemons; events_published takes the max (every
+    // daemon counts the same fanned-out stream, so summing would multiply
+    // the broker-side publish count by the daemon count).
+    merged.num_partitions = std::max(merged.num_partitions,
+                                     stats.num_partitions);
+    merged.replicas_per_partition =
+        std::max(merged.replicas_per_partition, stats.replicas_per_partition);
+    merged.events_published =
+        std::max(merged.events_published, stats.events_published);
+    merged.detector_events += stats.detector_events;
+    merged.threshold_queries += stats.threshold_queries;
+    merged.recommendations += stats.recommendations;
+    merged.static_memory_bytes += stats.static_memory_bytes;
+    merged.dynamic_memory_bytes += stats.dynamic_memory_bytes;
+    merged.partitioner_salt = stats.partitioner_salt;  // equal; Ping checks
+    merged.per_replica.insert(merged.per_replica.end(),
+                              stats.per_replica.begin(),
+                              stats.per_replica.end());
+  }
+  const Status first = ReleaseAll(&slots);
+  if (!first.ok()) return first;
+  std::sort(merged.per_replica.begin(), merged.per_replica.end(),
+            [](const ReplicaStats& a, const ReplicaStats& b) {
+              return a.partition != b.partition ? a.partition < b.partition
+                                                : a.replica < b.replica;
+            });
+  return merged;
+}
+
+Result<HashPartitioner> FanoutCluster::Partitioner() const {
+  if (group_size_ == 0) {
+    return Status::Unimplemented(
+        "single all-hosting daemon with no group_size configured: placement "
+        "lives server-side");
+  }
+  return HashPartitioner(group_size_, options_.partitioner_salt);
+}
+
+bool FanoutCluster::ReadStatsReply(Slot* slot, ClusterStats* stats) {
+  Frame reply;
+  if (!ReadReply(slot, &reply)) return false;
+  if (reply.tag == MessageTag::kError) {
+    slot->status = TagError(*slot->daemon, DecodeError(reply.payload));
+    return false;
+  }
+  if (reply.tag != MessageTag::kStatsReply) {
+    slot->status =
+        TagError(*slot->daemon, UnexpectedReply(reply.tag, "stats-reply"));
+    return false;
+  }
+  const Status decoded = DecodeStatsReply(reply.payload, stats);
+  if (!decoded.ok()) {
+    slot->status = TagError(*slot->daemon, decoded);
+    return false;
+  }
+  return true;
+}
+
+Status FanoutCluster::VerifyTopology() {
+  std::shared_lock<std::shared_mutex> lifecycle(lifecycle_mu_);
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("fan-out cluster is closed");
+  }
+  std::string request;
+  AppendEmptyRequest(MessageTag::kStats, &request);
+  std::vector<Slot> slots = AcquireAll();
+  WriteAll(&slots, request);
+  for (Slot& slot : slots) {
+    ClusterStats stats;
+    if (!ReadStatsReply(&slot, &stats)) continue;
+    const FanoutEndpoint& endpoint = slot.daemon->endpoint;
+    if (group_size_ > 0 && stats.num_partitions != group_size_) {
+      slot.status = TagError(
+          *slot.daemon,
+          Status::FailedPrecondition(StrFormat(
+              "daemon spans %u partitions, this broker expects a "
+              "%u-partition group (check --partition-group)",
+              stats.num_partitions, group_size_)));
+      continue;
+    }
+    if (stats.partitioner_salt != options_.partitioner_salt) {
+      slot.status = TagError(
+          *slot.daemon,
+          Status::FailedPrecondition(StrFormat(
+              "daemon partitioner salt %llu != broker salt %llu — "
+              "placement would disagree (check --partitioner-salt)",
+              static_cast<unsigned long long>(stats.partitioner_salt),
+              static_cast<unsigned long long>(
+                  options_.partitioner_salt))));
+      continue;
+    }
+    if (endpoint.partition == FanoutEndpoint::kAllPartitions) continue;
+    // An explicit-partition endpoint must host that partition and nothing
+    // else: a daemon missing its --partition-group flags hosts EVERY
+    // partition and would silently duplicate recommendations.
+    for (const ReplicaStats& entry : stats.per_replica) {
+      if (entry.partition != endpoint.partition) {
+        slot.status = TagError(
+            *slot.daemon,
+            Status::FailedPrecondition(StrFormat(
+                "daemon hosts partition %u but this endpoint is wired as "
+                "partition %u (swapped endpoints, or the daemon is missing "
+                "--partition-group/--partition-id?)",
+                entry.partition, endpoint.partition)));
+        break;
+      }
+    }
+  }
+  return ReleaseAll(&slots);
+}
+
+Status FanoutCluster::Ping() {
+  std::string request;
+  AppendEmptyRequest(MessageTag::kPing, &request);
+  MAGICRECS_RETURN_IF_ERROR(BroadcastForAck(request));
+  return VerifyTopology();
+}
+
+Status FanoutCluster::Close() {
+  if (closed_.exchange(true)) return Status::OK();
+  for (const auto& daemon : daemons_) {
+    std::lock_guard<std::mutex> lock(daemon->mu);
+    // Sever every socket: idle ones are dropped, leased ones get their
+    // blocked reads unstuck so the in-flight calls fail and return.
+    for (const auto& conn : daemon->idle) conn->socket.Shutdown();
+    for (Conn* conn : daemon->leased) conn->socket.Shutdown();
+    daemon->open_count -= daemon->idle.size();
+    daemon->idle.clear();  // destructors close the fds
+    daemon->cv.notify_all();
+  }
+  // Barrier: wait out the in-flight calls (their reads just failed) so the
+  // destructor can never free Daemon state under one.
+  std::unique_lock<std::shared_mutex> lifecycle(lifecycle_mu_);
+  return Status::OK();
+}
+
+}  // namespace magicrecs::net

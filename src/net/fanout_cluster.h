@@ -1,0 +1,259 @@
+// The broker side of the paper's production deployment: ~20 partition
+// servers on separate machines, each consuming the entire edge stream,
+// behind a broker that fans events out and gathers recommendations back.
+// FanoutCluster is that broker as a ClusterTransport — drivers written
+// against the seam (tests, benches, the stream simulator) run unchanged
+// against N magicrecsd processes, one per partition.
+//
+// Topology: each endpoint is one daemon. Either
+//   * one endpoint hosting the whole cluster (partition = kAllPartitions;
+//     the single-daemon deployment PR 2 shipped), or
+//   * N endpoints, each a partition-group member hosting exactly one global
+//     partition (magicrecsd --partition-group=N --partition-id=p), covering
+//     partitions 0..N-1.
+//
+// Routing: Publish/PublishBatch/Drain/TakeRecommendations/Checkpoint/Stats
+// broadcast to every daemon — every partition must ingest the full stream
+// (each holds a complete D copy), and a gather is the union of the per-
+// partition results. KillReplica/RecoverReplica route to the one daemon
+// hosting that partition. The group HashPartitioner is exposed through
+// ClusterTransport::Partitioner() so callers can attribute a user (and its
+// recommendations) to the daemon that owns it.
+//
+// Wire mechanics per daemon: a small connection pool (concurrent callers use
+// distinct sockets) and pipelined publishes — a PublishBatch splits into
+// chunked kPublishBatch frames and keeps up to max_inflight_frames of them
+// in flight on one connection before reaping acks, while the same bytes
+// stream to every other daemon; daemons process concurrently, the client
+// never blocks on one daemon before writing to the next.
+//
+// Failure handling per daemon: replies are bounded by a recv timeout, a
+// transport-level failure poisons only that daemon's connection, and every
+// error Status names the daemon (host:port and hosted partition) that
+// produced it. A failed daemon opens a circuit-breaker window (doubling
+// from reconnect_backoff_ms up to a cap): calls inside the window fail
+// fast with Unavailable instead of stalling the healthy daemons, and the
+// first call after it redials. A daemon kill mid-pipeline surfaces as a
+// Status error on the call — never a crash or a wedged broker — and
+// retrying after the daemon returns reconnects without rebuilding the
+// broker (tests/net/fanout_cluster_test.cc). Recommendations already
+// gathered from healthy daemons when another daemon fails mid-gather are
+// buffered and delivered by the next successful TakeRecommendations — the
+// take is destructive server-side, so dropping them would lose them.
+
+#ifndef MAGICRECS_NET_FANOUT_CLUSTER_H_
+#define MAGICRECS_NET_FANOUT_CLUSTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/partitioner.h"
+#include "cluster/transport.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace magicrecs::net {
+
+/// One partition daemon behind the broker.
+struct FanoutEndpoint {
+  /// The daemon hosts every partition (single-daemon deployment).
+  static constexpr uint32_t kAllPartitions = UINT32_MAX;
+
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  /// Global partition this daemon hosts (magicrecsd --partition-id), or
+  /// kAllPartitions.
+  uint32_t partition = kAllPartitions;
+};
+
+struct FanoutClusterOptions {
+  std::vector<FanoutEndpoint> endpoints;
+
+  /// Deployment-wide partition count, used to build the routing
+  /// partitioner and validate endpoint coverage. 0 derives it from the
+  /// endpoint list (endpoints.size() when partitions are explicit).
+  uint32_t group_size = 0;
+
+  /// Must match the daemons' partitioner salt (magicrecsd default: 0).
+  uint64_t partitioner_salt = 0;
+
+  /// Connections kept per daemon; concurrent broker calls beyond this block
+  /// until a connection frees up.
+  size_t connections_per_daemon = 2;
+
+  /// Events per pipelined kPublishBatch frame.
+  size_t publish_chunk_events = 256;
+
+  /// Publish frames in flight per daemon before acks are reaped.
+  size_t max_inflight_frames = 32;
+
+  /// Reply timeout per frame (0 = block forever).
+  int recv_timeout_ms = 30'000;
+
+  /// Dial timeout (0 = kernel default, which can be minutes against a
+  /// silently dropping host).
+  int connect_timeout_ms = 5'000;
+
+  /// Reconnect backoff after a daemon failure: starts at the first value,
+  /// doubles per consecutive failure, capped at the second.
+  int reconnect_backoff_ms = 50;
+  int max_reconnect_backoff_ms = 2'000;
+
+  bool tcp_nodelay = true;
+};
+
+/// The fan-out/gather broker endpoint. Thread-safe; calls from concurrent
+/// threads proceed on distinct pooled connections.
+class FanoutCluster : public ClusterTransport {
+ public:
+  /// Validates the topology (either one all-hosting daemon, or explicit
+  /// partitions exactly covering 0..group_size-1). Connections are opened
+  /// lazily on first use; call Ping() for an eager liveness sweep.
+  static Result<std::unique_ptr<FanoutCluster>> Connect(
+      const FanoutClusterOptions& options);
+
+  ~FanoutCluster() override;
+
+  Status Publish(const EdgeEvent& event) override;
+  Status PublishBatch(std::span<const EdgeEvent> events) override;
+  Status Drain() override;
+
+  /// Union of every daemon's gather. On a partial failure the error is
+  /// returned and everything already taken from healthy daemons is held in
+  /// a client-side buffer, prepended to the next successful call (server-
+  /// side takes are destructive; see the class comment).
+  Result<std::vector<Recommendation>> TakeRecommendations() override;
+  Status Checkpoint(Timestamp created_at) override;
+  Status KillReplica(uint32_t partition, uint32_t replica) override;
+  Status RecoverReplica(uint32_t partition, uint32_t replica) override;
+
+  /// Merged view: identity-tagged per_replica entries are concatenated from
+  /// all daemons (sorted by partition, replica); detector counters and
+  /// memory sum; events_published is the per-daemon maximum, since every
+  /// daemon counts the same fanned-out stream.
+  Result<ClusterStats> GetStats() override;
+
+  /// The group partitioner replica ops are routed with.
+  Result<HashPartitioner> Partitioner() const override;
+
+  /// Round-trips every daemon AND verifies each actually hosts what the
+  /// endpoint list claims — group size, hosted partition, partitioner salt
+  /// — via its stats reply. A swapped PORT:PARTITION pair, a daemon
+  /// missing its --partition-group flags, or a salt mismatch would
+  /// silently duplicate or drop recommendations; Ping makes it fail
+  /// loudly. Returns the first dead or misconfigured daemon's error.
+  Status Ping();
+
+  uint32_t group_size() const { return group_size_; }
+
+  Status Close() override;
+
+ private:
+  /// One pooled socket, leased to at most one call at a time.
+  struct Conn {
+    TcpSocket socket;
+  };
+
+  /// Per-daemon connection pool + reconnect/backoff state.
+  struct Daemon {
+    FanoutEndpoint endpoint;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::unique_ptr<Conn>> idle;
+    std::vector<Conn*> leased;  ///< outstanding leases, for Close() to sever
+    size_t open_count = 0;      ///< idle + leased
+    int backoff_ms = 0;         ///< 0 = healthy
+    std::chrono::steady_clock::time_point next_attempt{};
+  };
+
+  /// One daemon's slice of a broker call: the leased connection, the first
+  /// error it produced, and the pipelining bookkeeping.
+  struct Slot {
+    Daemon* daemon = nullptr;
+    std::unique_ptr<Conn> conn;
+    Status status;
+    bool poisoned = false;
+    size_t inflight = 0;
+  };
+
+  explicit FanoutCluster(const FanoutClusterOptions& options);
+
+  /// Leases a connection, dialing a new one if the pool is below its cap.
+  /// Blocks when every connection is leased. Inside a daemon's reconnect-
+  /// backoff window this fails fast with Unavailable (circuit breaker) —
+  /// one dead daemon must not stall calls touching the healthy ones.
+  /// Errors name the daemon.
+  Result<std::unique_ptr<Conn>> Acquire(Daemon* daemon);
+
+  /// Returns a leased connection. Poisoned connections (transport-level
+  /// failure: the stream may be mid-frame) are dropped and the daemon's
+  /// backoff clock starts; healthy ones go back to the pool.
+  void Release(Daemon* daemon, std::unique_ptr<Conn> conn, bool poisoned);
+
+  /// Opens/extends the daemon's circuit-breaker window after a failure.
+  /// Caller holds daemon->mu.
+  void StartBackoffLocked(Daemon* daemon);
+
+  /// Prefixes `status` with the daemon's identity.
+  Status TagError(const Daemon& daemon, const Status& status) const;
+
+  // Broadcast plumbing shared by every fan-out call: lease one connection
+  // per daemon (failures land in the slot's status), write the request on
+  // every healthy slot BEFORE reading any reply (daemons process
+  // concurrently), then release everything and surface the first error.
+  std::vector<Slot> AcquireAll();
+  void WriteAll(std::vector<Slot>* slots, const std::string& request);
+  Status ReleaseAll(std::vector<Slot>* slots);
+
+  /// Reads one reply frame on a live slot; a transport-level failure
+  /// poisons the slot and records the error. False when the slot cannot be
+  /// read (no connection, already poisoned, or this read failed).
+  bool ReadReply(Slot* slot, Frame* reply);
+
+  /// Reads and decodes one kStatsReply on a slot; false on any failure
+  /// (recorded in the slot's status).
+  bool ReadStatsReply(Slot* slot, ClusterStats* stats);
+
+  /// Stats sweep checking every daemon's reported group size, hosted
+  /// partitions, and partitioner salt against this broker's endpoint list.
+  Status VerifyTopology();
+
+  /// Sends `request` to every daemon and expects one kAck each; kError
+  /// replies decode to their Status. Returns the first failure (tagged).
+  Status BroadcastForAck(const std::string& request);
+
+  /// Single-daemon request/ack exchange (replica ops routed by partition).
+  Status ExchangeForAckOn(Daemon* daemon, const std::string& request);
+
+  /// The daemon hosting `partition`, or null.
+  Daemon* RouteToPartition(uint32_t partition);
+
+  FanoutClusterOptions options_;
+  std::vector<std::unique_ptr<Daemon>> daemons_;
+  uint32_t group_size_ = 0;
+  std::atomic<bool> closed_{false};
+
+  /// Every broker call holds this shared; Close() severs the leased
+  /// sockets (unblocking stalled reads) and then takes it exclusive, so
+  /// the destructor can never free Daemon state under an in-flight call.
+  std::shared_mutex lifecycle_mu_;
+
+  /// Recommendations rescued from a partially failed gather, owed to the
+  /// next successful TakeRecommendations.
+  std::mutex pending_mu_;
+  std::vector<Recommendation> pending_;
+};
+
+}  // namespace magicrecs::net
+
+#endif  // MAGICRECS_NET_FANOUT_CLUSTER_H_

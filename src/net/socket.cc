@@ -3,9 +3,12 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <utility>
@@ -47,16 +50,56 @@ TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
   return *this;
 }
 
-Result<TcpSocket> TcpSocket::Connect(const std::string& host, uint16_t port) {
+Result<TcpSocket> TcpSocket::Connect(const std::string& host, uint16_t port,
+                                     int connect_timeout_ms) {
   MAGICRECS_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
   TcpSocket socket(fd);
+  if (connect_timeout_ms <= 0) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      return Status::Unavailable(StrFormat("connect %s:%u: %s", host.c_str(),
+                                           port, std::strerror(errno)));
+    }
+    return socket;
+  }
+  // Bounded dial: non-blocking connect, poll for writability, then read
+  // the deferred error. Blocking mode is restored before handing back.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
-    return Status::Unavailable(StrFormat("connect %s:%u: %s", host.c_str(),
-                                         port, std::strerror(errno)));
+    if (errno != EINPROGRESS) {
+      return Status::Unavailable(StrFormat("connect %s:%u: %s", host.c_str(),
+                                           port, std::strerror(errno)));
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int polled;
+    do {
+      polled = ::poll(&pfd, 1, connect_timeout_ms);
+    } while (polled < 0 && errno == EINTR);
+    if (polled < 0) return Errno("poll(connect)");
+    if (polled == 0) {
+      return Status::Unavailable(StrFormat("connect %s:%u: timed out (%dms)",
+                                           host.c_str(), port,
+                                           connect_timeout_ms));
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status::Unavailable(StrFormat("connect %s:%u: %s", host.c_str(),
+                                           port, std::strerror(err)));
+    }
   }
+  if (::fcntl(fd, F_SETFL, flags) != 0) return Errno("fcntl(restore)");
   return socket;
 }
 
@@ -89,6 +132,12 @@ Status TcpSocket::ReadFull(void* data, size_t n, bool* clean_eof) {
       if (errno == ECONNRESET) {
         return Status::Unavailable("connection reset by peer");
       }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired (see SetRecvTimeout). Unavailable, like every
+        // other condition that forces the connection to be abandoned.
+        return Status::Unavailable(StrFormat(
+            "recv timed out (%zu of %zu bytes)", got, n));
+      }
       return Errno("recv");
     }
     if (r == 0) {
@@ -108,6 +157,17 @@ Status TcpSocket::SetNoDelay(bool enabled) {
   const int flag = enabled ? 1 : 0;
   if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag)) != 0) {
     return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Status TcpSocket::SetRecvTimeout(int millis) {
+  if (millis < 0) return Status::InvalidArgument("negative recv timeout");
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
   }
   return Status::OK();
 }

@@ -29,7 +29,11 @@ class TcpSocket {
   TcpSocket& operator=(const TcpSocket&) = delete;
 
   /// Connects to host:port (numeric IPv4, e.g. "127.0.0.1").
-  static Result<TcpSocket> Connect(const std::string& host, uint16_t port);
+  /// `connect_timeout_ms` > 0 bounds the connect itself (non-blocking dial
+  /// + poll) — without it a silently dropping host stalls the caller for
+  /// the kernel's SYN-retry timeout (minutes); 0 keeps the blocking dial.
+  static Result<TcpSocket> Connect(const std::string& host, uint16_t port,
+                                   int connect_timeout_ms = 0);
 
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
@@ -46,6 +50,13 @@ class TcpSocket {
 
   /// Disables Nagle's algorithm (latency-sensitive request/response).
   Status SetNoDelay(bool enabled);
+
+  /// Bounds every subsequent blocking read: a peer silent for longer than
+  /// `millis` makes ReadFull fail with Unavailable ("timed out") instead of
+  /// hanging forever — the fan-out broker's defense against a wedged
+  /// daemon. 0 restores the blocking default. The connection must be
+  /// abandoned after a timeout: a reply may be half-read.
+  Status SetRecvTimeout(int millis);
 
   /// Shuts down both directions (unblocks a peer's blocking read) without
   /// closing the fd.

@@ -263,6 +263,16 @@ void AppendStatsReply(const ClusterStats& stats, std::string* out) {
   PutU64(&payload, stats.recommendations);
   PutU64(&payload, stats.static_memory_bytes);
   PutU64(&payload, stats.dynamic_memory_bytes);
+  PutU32(&payload, static_cast<uint32_t>(stats.per_replica.size()));
+  for (const ReplicaStats& entry : stats.per_replica) {
+    PutU32(&payload, entry.partition);
+    PutU32(&payload, entry.replica);
+    PutU8(&payload, entry.alive ? 1 : 0);
+    PutU64(&payload, entry.detector_events);
+    PutU64(&payload, entry.threshold_queries);
+    PutU64(&payload, entry.recommendations);
+  }
+  PutU64(&payload, stats.partitioner_salt);
   AppendFrame(MessageTag::kStatsReply, payload, out);
 }
 
@@ -333,7 +343,39 @@ Status DecodeStatsReply(std::string_view payload, ClusterStats* stats) {
       !reader.GetU64(&stats->dynamic_memory_bytes)) {
     return Truncated("stats-reply");
   }
-  if (reader.remaining() != 0) return TrailingGarbage("stats-reply");
+  // Extension tails (absent in pre-extension encodings; tail-growth
+  // versioning, see wire.h): the per-replica identity list, then the
+  // partitioner salt.
+  stats->per_replica.clear();
+  stats->partitioner_salt = 0;
+  if (reader.remaining() == 0) return Status::OK();
+  uint32_t count = 0;
+  if (!reader.GetU32(&count)) return Truncated("stats-reply");
+  // partition + replica + alive + 3 counters = 33 bytes per entry; the
+  // optional salt adds 8 after the list.
+  const uint64_t entry_bytes = static_cast<uint64_t>(count) * 33;
+  if (entry_bytes != reader.remaining() &&
+      entry_bytes + 8 != reader.remaining()) {
+    return Status::InvalidArgument(StrFormat(
+        "stats-reply replica count %u does not match %zu payload bytes",
+        count, reader.remaining()));
+  }
+  stats->per_replica.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ReplicaStats entry;
+    uint8_t alive = 0;
+    if (!reader.GetU32(&entry.partition) || !reader.GetU32(&entry.replica) ||
+        !reader.GetU8(&alive) || !reader.GetU64(&entry.detector_events) ||
+        !reader.GetU64(&entry.threshold_queries) ||
+        !reader.GetU64(&entry.recommendations)) {
+      return Truncated("stats-reply");
+    }
+    entry.alive = alive != 0;
+    stats->per_replica.push_back(entry);
+  }
+  if (reader.remaining() != 0 && !reader.GetU64(&stats->partitioner_salt)) {
+    return Truncated("stats-reply");
+  }
   return Status::OK();
 }
 

@@ -34,11 +34,24 @@
 //   kStatsReply         num_partitions:u32 replicas:u32 published:u64
 //                       detector_events:u64 queries:u64 recs:u64
 //                       static_bytes:u64 dynamic_bytes:u64
+//                       [replica_count:u32 replica*  [salt:u64]]   where
+//     replica := partition:u32 replica:u32 alive:u8
+//                events:u64 queries:u64 recs:u64
+//     The bracketed tails are extensions: the per-replica identity list (so
+//     stats from many partition-group daemons stay attributable) and the
+//     partitioner salt (so a fan-out broker can detect placement
+//     disagreement). Decoders accept their absence — the pre-extension
+//     encodings — as empty/zero. This is the protocol's versioning
+//     discipline: payloads grow only at the tail, and a decoder treats a
+//     missing tail as the field's empty/zero value (docs/wire-protocol.md).
 //
 // Every request is answered by exactly one response on the same connection,
-// in order (the client pipelines by batching, not by outstanding requests).
-// Sequence numbers are NOT carried for published events: the server's broker
-// assigns them at ingest, exactly as the in-process broker does.
+// in request order. Clients MAY pipeline — write request N+1 before reading
+// response N (the fan-out broker keeps a bounded window of publish frames
+// in flight) — so servers must not assume at most one outstanding request
+// per connection. Sequence numbers are NOT carried for published events:
+// the server's broker assigns them at ingest, exactly as the in-process
+// broker does.
 //
 // Robustness contract (tests/net/): a truncated frame, an oversized length
 // prefix, a CRC mismatch, or an unknown tag decodes to a Status error —

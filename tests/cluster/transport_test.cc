@@ -119,6 +119,31 @@ TEST(ClusterTransportTest, StatsReflectThePublishedStream) {
   EXPECT_EQ(stats->detector_events, 4u * 3u);  // every partition ingests all
   EXPECT_EQ(stats->recommendations, 1u);
   EXPECT_GT(stats->dynamic_memory_bytes, 0u);
+
+  // The aggregate counters stay attributable: one identity-tagged entry per
+  // replica, summing back to the aggregate.
+  ASSERT_EQ(stats->per_replica.size(), 3u);
+  uint64_t summed = 0;
+  for (uint32_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(stats->per_replica[p].partition, p);
+    EXPECT_EQ(stats->per_replica[p].replica, 0u);
+    EXPECT_TRUE(stats->per_replica[p].alive);
+    summed += stats->per_replica[p].detector_events;
+  }
+  EXPECT_EQ(summed, stats->detector_events);
+  EXPECT_FALSE(stats->PerReplicaString().empty());
+}
+
+TEST(ClusterTransportTest, PartitionerIsExposedThroughTheSeam) {
+  auto transport = LocalClusterTransport::Create(figure1::FollowGraph(),
+                                                 MakeOptions(3), Mode::kInline);
+  ASSERT_TRUE(transport.ok());
+  auto partitioner = (*transport)->Partitioner();
+  ASSERT_TRUE(partitioner.ok()) << partitioner.status();
+  EXPECT_EQ(partitioner->num_partitions(), 3u);
+  // Placement routed through the seam matches the cluster's own.
+  EXPECT_EQ(partitioner->PartitionOf(figure1::kA2),
+            (*transport)->cluster().partitioner().PartitionOf(figure1::kA2));
 }
 
 TEST(ClusterTransportTest, TakeIsMoveOutInBothModes) {

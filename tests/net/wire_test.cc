@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "persist/codec.h"
+
 namespace magicrecs::net {
 namespace {
 
@@ -216,6 +218,67 @@ TEST(WireTest, StatsReplyRoundTrip) {
   ClusterStats out;
   ASSERT_TRUE(DecodeStatsReply(decoded.payload, &out).ok());
   EXPECT_EQ(out, stats);
+}
+
+TEST(WireTest, StatsReplyCarriesPerReplicaIdentity) {
+  // A partition-group daemon reports its own shard: the identity tail must
+  // survive the round trip exactly, dead replicas included.
+  ClusterStats stats;
+  stats.num_partitions = 8;
+  stats.replicas_per_partition = 2;
+  ReplicaStats alive;
+  alive.partition = 5;
+  alive.replica = 0;
+  alive.alive = true;
+  alive.detector_events = 10'000;
+  alive.threshold_queries = 5'000;
+  alive.recommendations = 42;
+  ReplicaStats dead = alive;
+  dead.replica = 1;
+  dead.alive = false;
+  stats.per_replica = {alive, dead};
+  stats.partitioner_salt = 0xfeedface;
+
+  std::string frame;
+  AppendStatsReply(stats, &frame);
+  ClusterStats out;
+  ASSERT_TRUE(DecodeStatsReply(DecodeWhole(frame).payload, &out).ok());
+  EXPECT_EQ(out, stats);
+  ASSERT_EQ(out.per_replica.size(), 2u);
+  EXPECT_EQ(out.per_replica[0].partition, 5u);
+  EXPECT_TRUE(out.per_replica[0].alive);
+  EXPECT_FALSE(out.per_replica[1].alive);
+  EXPECT_EQ(out.partitioner_salt, 0xfeedfaceu);
+}
+
+TEST(WireTest, StatsReplyWithoutIdentityTailDecodesAsEmpty) {
+  // The pre-extension encoding (no per-replica tail) must stay decodable:
+  // tail-growth versioning treats an absent tail as the empty list.
+  std::string payload;
+  persist::PutU32(&payload, 4);   // num_partitions
+  persist::PutU32(&payload, 1);   // replicas
+  for (int i = 0; i < 6; ++i) persist::PutU64(&payload, 100 + i);
+  ClusterStats out;
+  out.per_replica.resize(3);  // stale state must be cleared
+  out.partitioner_salt = 99;
+  ASSERT_TRUE(DecodeStatsReply(payload, &out).ok());
+  EXPECT_EQ(out.num_partitions, 4u);
+  EXPECT_TRUE(out.per_replica.empty());
+  EXPECT_EQ(out.partitioner_salt, 0u);
+}
+
+TEST(WireTest, StatsReplyWithForgedReplicaCountIsRejected) {
+  ClusterStats stats;
+  stats.per_replica.resize(1);
+  std::string frame;
+  AppendStatsReply(stats, &frame);
+  Frame decoded = DecodeWhole(frame);
+  // Forge the replica count upward without supplying the bytes.
+  std::string payload = decoded.payload;
+  const size_t count_pos = 4 + 4 + 6 * 8;
+  payload[count_pos] = 0x7f;
+  ClusterStats out;
+  EXPECT_TRUE(DecodeStatsReply(payload, &out).IsInvalidArgument());
 }
 
 // --- robustness --------------------------------------------------------------

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Fails CI on dead intra-repo markdown links.
+
+Scans every tracked *.md file for [text](target) links and checks that
+relative targets resolve to a real file or directory. External links
+(http/https/mailto) and bare anchors are skipped; a `#fragment` suffix on a
+relative target is checked against the target file's headings.
+
+Usage: python3 tools/check_md_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {".git", "build", "build-tsan", ".claude"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def heading_anchors(path):
+    """GitHub-style anchors for every markdown heading in `path`."""
+    anchors = set()
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                if not line.startswith("#"):
+                    continue
+                text = line.lstrip("#").strip().lower()
+                # GitHub: drop everything but word chars, spaces, hyphens;
+                # spaces become hyphens.
+                text = re.sub(r"[^\w\- ]", "", text)
+                anchors.add(text.replace(" ", "-"))
+    except OSError:
+        pass
+    return anchors
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    dead = []
+    checked = 0
+    for md in markdown_files(root):
+        with open(md, encoding="utf-8") as f:
+            content = f.read()
+        for match in LINK_RE.finditer(content):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            checked += 1
+            path, _, fragment = target.partition("#")
+            resolved = os.path.normpath(os.path.join(os.path.dirname(md), path))
+            rel_md = os.path.relpath(md, root)
+            if not os.path.exists(resolved):
+                dead.append(f"{rel_md}: {target} -> missing {path}")
+            elif fragment and os.path.isfile(resolved):
+                if fragment.lower() not in heading_anchors(resolved):
+                    dead.append(f"{rel_md}: {target} -> no heading #{fragment}")
+    if dead:
+        print(f"{len(dead)} dead intra-repo link(s):")
+        for line in dead:
+            print(f"  {line}")
+        return 1
+    print(f"all {checked} intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,13 @@
 //   magicrecsd --graph=synthetic --users=50000 --partitions=8 --port=7421
 //   magicrecsd --graph-file=edges.txt --persist-dir=/var/lib/magicrecs
 //
+// Partition-group deployment (one daemon per partition, see
+// docs/operations.md): daemon p of an N-wide group hosts only global
+// partition p and is driven through the fan-out broker
+// (net/fanout_cluster.h):
+//   magicrecsd --graph=fig1 --k=2 --partition-group=2 --partition-id=0 &
+//   magicrecsd --graph=fig1 --k=2 --partition-group=2 --partition-id=1 &
+//
 // The daemon prints one "magicrecsd listening on HOST:PORT" line to stdout
 // once it is serving (scripts wait for it), then blocks until SIGINT or
 // SIGTERM, and shuts down cleanly (draining workers, syncing the WAL).
@@ -47,6 +54,7 @@ struct DaemonOptions {
   // Cluster shape.
   ClusterOptions cluster;
   bool inline_mode = false;
+  bool partition_id_set = false;
 };
 
 void PrintUsage() {
@@ -60,6 +68,10 @@ void PrintUsage() {
       "  --mean-followees=F     synthetic mean out-degree (30)\n"
       "  --graph-seed=N         synthetic graph seed (42)\n"
       "  --partitions=N         partition count (20)\n"
+      "  --partition-group=N    host ONE partition of an N-wide group\n"
+      "  --partition-id=P       which global partition this daemon hosts\n"
+      "  --partitioner-salt=N   hash partitioner salt; must match across the\n"
+      "                         group and its broker (0)\n"
       "  --replicas=N           replicas per partition (1)\n"
       "  --k=N                  motif threshold k (3; fig1 wants 2)\n"
       "  --window-secs=N        freshness window tau (600)\n"
@@ -107,6 +119,13 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* options) {
       options->graph_seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (FlagValue(arg, "partitions", &value)) {
       options->cluster.num_partitions = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (FlagValue(arg, "partition-group", &value)) {
+      options->cluster.group_size = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (FlagValue(arg, "partition-id", &value)) {
+      options->cluster.group_partition = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+      options->partition_id_set = true;
+    } else if (FlagValue(arg, "partitioner-salt", &value)) {
+      options->cluster.partitioner_salt = std::strtoull(value.c_str(), nullptr, 10);
     } else if (FlagValue(arg, "replicas", &value)) {
       options->cluster.replicas_per_partition = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (FlagValue(arg, "k", &value)) {
@@ -126,6 +145,21 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* options) {
       PrintUsage();
       return false;
     }
+  }
+  // The two group flags only mean something together: a lone
+  // --partition-id is silently ignored (the daemon hosts EVERY partition —
+  // duplicate recommendations behind a fan-out broker), and a lone
+  // --partition-group would default every daemon to hosting partition 0.
+  // Refuse both misconfigurations.
+  if (options->partition_id_set && options->cluster.group_size == 0) {
+    std::fprintf(stderr,
+                 "magicrecsd: --partition-id requires --partition-group\n");
+    return false;
+  }
+  if (options->cluster.group_size > 0 && !options->partition_id_set) {
+    std::fprintf(stderr,
+                 "magicrecsd: --partition-group requires --partition-id\n");
+    return false;
   }
   return true;
 }
@@ -188,11 +222,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("magicrecsd listening on %s:%u (%u partitions x %u replicas, "
-              "k=%u, %s)\n",
-              options.host.c_str(), (*server)->port(),
-              options.cluster.num_partitions,
-              options.cluster.replicas_per_partition,
+  // The parenthesized suffix identifies the shard: partition-group members
+  // print which global partition they host, so operator logs from N daemons
+  // stay tellable apart. Scripts key on the "listening on HOST:PORT" prefix.
+  const std::string shape =
+      options.cluster.group_size > 0
+          ? StrFormat("partition %u/%u x %u replicas",
+                      options.cluster.group_partition,
+                      options.cluster.group_size,
+                      options.cluster.replicas_per_partition)
+          : StrFormat("%u partitions x %u replicas",
+                      options.cluster.num_partitions,
+                      options.cluster.replicas_per_partition);
+  std::printf("magicrecsd listening on %s:%u (%s, k=%u, %s)\n",
+              options.host.c_str(), (*server)->port(), shape.c_str(),
               options.cluster.detector.k,
               options.inline_mode ? "inline" : "threaded");
   std::fflush(stdout);
@@ -201,6 +244,14 @@ int main(int argc, char** argv) {
   sigwait(&signals, &signal);
   std::fprintf(stderr, "magicrecsd: caught signal %d, shutting down\n",
                signal);
+
+  // Final attributable stats dump before teardown: one line per hosted
+  // replica, tagged with its global partition id.
+  if (auto cluster_stats = (*transport)->GetStats(); cluster_stats.ok()) {
+    std::fprintf(stderr, "magicrecsd: %s\n",
+                 cluster_stats->ToString().c_str());
+    std::fprintf(stderr, "%s\n", cluster_stats->PerReplicaString().c_str());
+  }
 
   (*server)->Stop();
   const net::RpcServerStats stats = (*server)->stats();
