@@ -10,6 +10,11 @@
 //   fanout-4d   — FanoutCluster -> a 4-daemon partition group (one daemon
 //                 per partition), same pipelined batches fanned to all four
 //
+// Plus a degraded-mode section: the same 4-daemon group with one daemon
+// stopped, driven under FanoutPolicy::kQuorum — publishes to the dead
+// daemon fail fast into its replay buffer, gathers merge the three
+// survivors, and the GatherReport prices what availability costs.
+//
 // Reported: ingest throughput (publish -> drain of the full stream) and the
 // publish->recommendation latency distribution (publish one event, drain,
 // gather — the time until that event's recommendations are in hand).
@@ -19,6 +24,9 @@
 // process-per-partition deployment (every daemon ingests the full stream,
 // so fan-out multiplies bytes written, while the per-daemon detector work
 // shrinks with the shard).
+//
+// Every row is also appended to BENCH_net.json (one JSON array) so the
+// perf trajectory accumulates machine-readably across PRs.
 
 #include <cstdio>
 #include <memory>
@@ -119,10 +127,12 @@ Endpoint MakeRemote(const StaticGraph& graph) {
 
 /// Fresh fan-out endpoint: `daemons` == 1 hosts the whole cluster behind
 /// one server; otherwise one daemon per partition (a partition group).
-Endpoint MakeFanout(const StaticGraph& graph, uint32_t daemons) {
+Endpoint MakeFanout(const StaticGraph& graph, uint32_t daemons,
+                    net::FanoutPolicy policy = net::FanoutPolicy::kStrict) {
   Endpoint e;
   const ClusterOptions base = MakeClusterOptions();
   net::FanoutClusterOptions fopt;
+  fopt.policy = policy;
   fopt.group_size = base.num_partitions;
   if (daemons == 1) {
     net::FanoutEndpoint endpoint;
@@ -149,6 +159,47 @@ Endpoint MakeFanout(const StaticGraph& graph, uint32_t daemons) {
   e.transport = e.fanout.get();
   return e;
 }
+
+/// Accumulates one JSON array of row objects; written once at exit.
+class JsonRows {
+ public:
+  void AddThroughput(const char* section, const char* transport, size_t batch,
+                     double events_per_sec, uint64_t recs) {
+    rows_.push_back(StrFormat(
+        "{\"section\": \"%s\", \"transport\": \"%s\", \"batch\": %zu, "
+        "\"events_per_sec\": %.1f, \"recs\": %llu}",
+        section, transport, batch, events_per_sec,
+        static_cast<unsigned long long>(recs)));
+  }
+
+  void AddLatency(const char* transport, const Histogram& micros) {
+    rows_.push_back(StrFormat(
+        "{\"section\": \"latency\", \"transport\": \"%s\", "
+        "\"p50_us\": %.1f, \"p90_us\": %.1f, \"p99_us\": %.1f, "
+        "\"max_us\": %lld}",
+        transport, micros.Percentile(50), micros.Percentile(90),
+        micros.Percentile(99), static_cast<long long>(micros.Max())));
+  }
+
+  void Write(const char* path) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("\nwrote %zu rows to %s\n", rows_.size(), path);
+  }
+
+ private:
+  std::vector<std::string> rows_;
+};
 
 struct ThroughputResult {
   double events_per_sec = 0;
@@ -231,6 +282,7 @@ int main() {
       {"fanout-1d", Kind::kFanout1, 4096},
       {"fanout-4d", Kind::kFanout4, 4096},
   };
+  JsonRows json;
   for (const Config& c : configs) {
     Endpoint endpoint;
     switch (c.kind) {
@@ -247,6 +299,33 @@ int main() {
                 HumanCount(static_cast<double>(result.recs)).c_str(),
                 result.recs == reference_recs ? "[recs identical]"
                                               : "[RECS DIFFER!]");
+    json.AddThroughput("throughput", c.name, c.batch, result.events_per_sec,
+                       result.recs);
+  }
+
+  // --- degraded mode: 4-daemon quorum group, one daemon dead ---------------
+  std::printf("\n--- degraded mode (4-daemon group, quorum policy, daemon 3 "
+              "stopped) ---\n");
+  {
+    Endpoint endpoint =
+        MakeFanout(w.follow_graph, 4, net::FanoutPolicy::kQuorum);
+    // Kill one daemon cold: its publishes fail fast into the replay buffer
+    // once the circuit breaker opens, its gathers go missing.
+    endpoint.servers.back()->Stop();
+    const ThroughputResult result =
+        RunThroughput(endpoint.transport, events, 4096);
+    const GatherReport report = endpoint.fanout->LastGatherReport();
+    auto stats = endpoint.fanout->GetStats();
+    std::printf("%11s %8d %12s %10s [%s]\n", "fanout-3/4", 4096,
+                HumanCount(result.events_per_sec).c_str(),
+                HumanCount(static_cast<double>(result.recs)).c_str(),
+                report.ToString().c_str());
+    if (stats.ok()) {
+      std::printf("            degraded stats: %s\n",
+                  stats->ToString().c_str());
+    }
+    json.AddThroughput("degraded", "fanout-3of4-quorum", 4096,
+                       result.events_per_sec, result.recs);
   }
 
   const size_t latency_events = 2'000;
@@ -280,7 +359,9 @@ int main() {
                 micros.Percentile(50), micros.Percentile(90),
                 micros.Percentile(99),
                 static_cast<long long>(micros.Max()));
+    json.AddLatency(c.name, micros);
   }
+  json.Write("BENCH_net.json");
 
   std::printf("\nthe rpc transport pays three loopback round trips per "
               "probed event (publish,\ndrain, gather); batching amortizes "

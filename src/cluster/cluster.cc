@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 
+#include "cluster/transport.h"
 #include "persist/recovery.h"
 #include "persist/wal.h"
 #include "util/str_format.h"
@@ -16,6 +17,15 @@ std::string ReplicaStats::ToString() const {
                    static_cast<unsigned long long>(detector_events),
                    static_cast<unsigned long long>(threshold_queries),
                    static_cast<unsigned long long>(recommendations));
+}
+
+std::string PartitionHealth::ToString() const {
+  const std::string which =
+      partition == UINT32_MAX ? "all" : StrFormat("p%u", partition);
+  return StrFormat(
+      "%s missed=%llu (consecutive=%llu)", which.c_str(),
+      static_cast<unsigned long long>(gathers_missed_total),
+      static_cast<unsigned long long>(gathers_missed_consecutive));
 }
 
 Cluster::Cluster(const ClusterOptions& options, HashPartitioner partitioner)

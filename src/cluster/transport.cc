@@ -6,8 +6,20 @@
 
 namespace magicrecs {
 
+std::string GatherReport::ToString() const {
+  std::string out = StrFormat("%u/%u daemons answered", daemons_answered,
+                              daemons_total);
+  if (!missing_partitions.empty()) {
+    out += ", missing partitions:";
+    for (const uint32_t partition : missing_partitions) {
+      out += partition == UINT32_MAX ? " all" : StrFormat(" %u", partition);
+    }
+  }
+  return out;
+}
+
 std::string ClusterStats::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "partitions=%u replicas=%u published=%llu ingests=%llu queries=%llu "
       "recs=%llu S=%s D=%s",
       num_partitions, replicas_per_partition,
@@ -17,6 +29,23 @@ std::string ClusterStats::ToString() const {
       static_cast<unsigned long long>(recommendations),
       HumanBytes(static_memory_bytes).c_str(),
       HumanBytes(dynamic_memory_bytes).c_str());
+  // Broker-only counters ride along only when something degraded actually
+  // happened, so healthy output stays identical to what operators already
+  // grep for.
+  if (degraded_gathers != 0 || hedged_publishes != 0 || replayed_events != 0 ||
+      replay_dropped_events != 0 || rescued_recommendations != 0 ||
+      rescue_dropped != 0) {
+    out += StrFormat(
+        " degraded_gathers=%llu hedged=%llu replayed=%llu replay_dropped=%llu "
+        "rescued=%llu rescue_dropped=%llu",
+        static_cast<unsigned long long>(degraded_gathers),
+        static_cast<unsigned long long>(hedged_publishes),
+        static_cast<unsigned long long>(replayed_events),
+        static_cast<unsigned long long>(replay_dropped_events),
+        static_cast<unsigned long long>(rescued_recommendations),
+        static_cast<unsigned long long>(rescue_dropped));
+  }
+  return out;
 }
 
 std::string ClusterStats::PerReplicaString() const {
@@ -33,6 +62,17 @@ Status ClusterTransport::PublishBatch(std::span<const EdgeEvent> events) {
     MAGICRECS_RETURN_IF_ERROR(Publish(event));
   }
   return Status::OK();
+}
+
+GatherReport ClusterTransport::LastGatherReport() const {
+  return GatherReport{};  // no fan-out: every gather is complete
+}
+
+Result<std::vector<Recommendation>> ClusterTransport::TakeRecommendations(
+    GatherReport* report) {
+  Result<std::vector<Recommendation>> recs = TakeRecommendations();
+  if (report != nullptr) *report = LastGatherReport();
+  return recs;
 }
 
 Result<HashPartitioner> ClusterTransport::Partitioner() const {

@@ -36,6 +36,50 @@
 
 namespace magicrecs {
 
+/// Broker-side liveness of one partition's daemon across gathers. A
+/// consecutive count of 0 means the daemon answered the most recent
+/// TakeRecommendations; anything else is how stale that partition's
+/// recommendations currently are, measured in missed gathers.
+struct PartitionHealth {
+  /// Global partition id, or UINT32_MAX for an all-hosting daemon.
+  uint32_t partition = 0;
+  uint64_t gathers_missed_total = 0;
+  uint64_t gathers_missed_consecutive = 0;
+
+  friend bool operator==(const PartitionHealth&,
+                         const PartitionHealth&) = default;
+
+  /// e.g. "p3 missed=2 (consecutive=1)".
+  std::string ToString() const;
+};
+
+/// Coverage of one gather: which partitions the merged recommendations
+/// actually came from. A degraded-mode broker (net/fanout_cluster.h,
+/// FanoutPolicy::kQuorum / kBestEffort) returns merged results while some
+/// daemons are down; this report names what is missing so callers can tell
+/// a complete gather from a degraded one. Travels as a tail extension of
+/// the recommendations-reply wire message when (and only when) incomplete.
+struct GatherReport {
+  uint32_t daemons_total = 0;
+  uint32_t daemons_answered = 0;
+
+  /// Sorted, deduplicated global partition ids whose recommendations are
+  /// NOT in the merged result. UINT32_MAX marks a missing all-hosting
+  /// daemon (every partition is missing).
+  std::vector<uint32_t> missing_partitions;
+
+  /// True iff every daemon answered — also the state a transport with no
+  /// fan-out (local, single remote) always reports.
+  bool complete() const {
+    return daemons_answered == daemons_total && missing_partitions.empty();
+  }
+
+  friend bool operator==(const GatherReport&, const GatherReport&) = default;
+
+  /// e.g. "3/4 daemons answered, missing partitions: 2".
+  std::string ToString() const;
+};
+
 /// Cluster-wide counters as reported over the stats RPC. A flat POD rather
 /// than DiamondStats so it has a stable wire encoding.
 struct ClusterStats {
@@ -57,6 +101,33 @@ struct ClusterStats {
   /// broker detect a daemon whose placement disagrees with its own
   /// (FanoutCluster::Ping verifies it).
   uint64_t partitioner_salt = 0;
+
+  // --- degraded-mode broker counters -----------------------------------------
+  // Filled only by a fan-out broker (net/fanout_cluster.h); always zero on
+  // in-process transports and daemons, and deliberately NOT carried on the
+  // stats wire — they describe the broker, not the cluster behind it.
+
+  /// Gathers that returned successfully with >= 1 partition missing.
+  uint64_t degraded_gathers = 0;
+
+  /// Publish lanes re-sent on a fresh connection after the hedge threshold.
+  uint64_t hedged_publishes = 0;
+
+  /// Events delivered from a replay buffer after a daemon came back.
+  uint64_t replayed_events = 0;
+
+  /// Events dropped because a daemon's replay buffer overflowed (or the
+  /// daemon rejected a replayed frame).
+  uint64_t replay_dropped_events = 0;
+
+  /// Recommendations currently parked in the partial-gather rescue buffer.
+  uint64_t rescued_recommendations = 0;
+
+  /// Recommendations dropped because the rescue buffer overflowed.
+  uint64_t rescue_dropped = 0;
+
+  /// Per-partition gather staleness, ordered by partition (broker only).
+  std::vector<PartitionHealth> partition_health;
 
   friend bool operator==(const ClusterStats&, const ClusterStats&) = default;
 
@@ -88,6 +159,16 @@ class ClusterTransport {
   /// across partitions is unspecified.
   virtual Result<std::vector<Recommendation>> TakeRecommendations() = 0;
 
+  /// Same gather, also filling `*report` (if non-null) with THIS call's
+  /// coverage — the race-free form for concurrent callers, since
+  /// LastGatherReport() is a shared last-call slot that another thread's
+  /// gather may overwrite in between. The default implementation forwards
+  /// to the report-less overload and copies LastGatherReport(), which is
+  /// exact for transports whose gathers are always complete; transports
+  /// that can degrade (the fan-out broker, RemoteCluster) override it.
+  virtual Result<std::vector<Recommendation>> TakeRecommendations(
+      GatherReport* report);
+
   /// Snapshots the durable state (see Cluster::Checkpoint). Call quiesced.
   virtual Status Checkpoint(Timestamp created_at) = 0;
 
@@ -96,6 +177,13 @@ class ClusterTransport {
   virtual Status RecoverReplica(uint32_t partition, uint32_t replica) = 0;
 
   virtual Result<ClusterStats> GetStats() = 0;
+
+  /// Coverage of the most recent TakeRecommendations on this transport. A
+  /// transport that cannot partially fail (local, single remote daemon)
+  /// reports a complete GatherReport; the fan-out broker reports which
+  /// partitions were missing from the last merge. Callers that care about
+  /// degraded results read this right after a successful gather.
+  virtual GatherReport LastGatherReport() const;
 
   /// The user -> partition placement this transport routes by. Local
   /// transports report their cluster's partitioner; the fan-out broker

@@ -1,6 +1,7 @@
 #include "delivery/dedup_cache.h"
 
 #include <algorithm>
+#include <iterator>
 #include <vector>
 
 namespace magicrecs {
@@ -13,16 +14,45 @@ bool DedupCache::IsDuplicate(VertexId user, VertexId item,
                              Timestamp now) const {
   const auto it = entries_.find(Key(user, item));
   if (it == entries_.end()) return false;
-  if (now - it->second >= options_.ttl) return false;  // expired
+  if (now - it->second >= options_.ttl) {
+    // Lazy expiry: the entry can never suppress anything again, and
+    // leaving it would keep memory pinned (and MemoryUsage() inflated) on
+    // a workload that stays under max_entries forever.
+    entries_.erase(it);
+    return false;
+  }
   ++duplicates_;
   return true;
 }
 
 void DedupCache::Record(VertexId user, VertexId item, Timestamp now) {
   entries_[Key(user, item)] = now;
+  SweepSome(now);
   if (options_.max_entries > 0 && entries_.size() > options_.max_entries) {
     Cleanup(now);
   }
+}
+
+void DedupCache::SweepSome(Timestamp now) {
+  // A few buckets per Record keeps the sweep O(1) amortized while still
+  // cycling the whole table once per bucket_count/kBucketsPerSweep
+  // records — long before a TTL's worth of deliveries accumulates.
+  constexpr size_t kBucketsPerSweep = 4;
+  const size_t buckets = entries_.bucket_count();
+  if (buckets == 0) return;
+  uint64_t expired[kBucketsPerSweep * 4];
+  size_t num_expired = 0;
+  for (size_t i = 0; i < kBucketsPerSweep; ++i) {
+    sweep_cursor_ = (sweep_cursor_ + 1) % buckets;
+    for (auto it = entries_.begin(sweep_cursor_);
+         it != entries_.end(sweep_cursor_); ++it) {
+      if (now - it->second >= options_.ttl &&
+          num_expired < std::size(expired)) {
+        expired[num_expired++] = it->first;
+      }
+    }
+  }
+  for (size_t i = 0; i < num_expired; ++i) entries_.erase(expired[i]);
 }
 
 void DedupCache::Cleanup(Timestamp now) {

@@ -30,10 +30,14 @@ class DedupCache {
   DedupCache();
   explicit DedupCache(const Options& options);
 
-  /// True iff (user, item) was recorded within the TTL.
+  /// True iff (user, item) was recorded within the TTL. An expired entry
+  /// found by the probe is erased on the spot (lazy expiry), so a workload
+  /// that never exceeds max_entries still frees memory.
   bool IsDuplicate(VertexId user, VertexId item, Timestamp now) const;
 
-  /// Records a delivery at `now`, refreshing any existing entry.
+  /// Records a delivery at `now`, refreshing any existing entry. Also
+  /// sweeps a few buckets for expired entries (amortized O(1) per call),
+  /// so memory is reclaimed even for pairs that are never probed again.
   void Record(VertexId user, VertexId item, Timestamp now);
 
   /// Drops expired entries; enforces the capacity bound.
@@ -48,8 +52,14 @@ class DedupCache {
     return (static_cast<uint64_t>(user) << 32) | item;
   }
 
+  /// Erases expired entries in the next few hash buckets after
+  /// sweep_cursor_ (the incremental half of lazy expiry).
+  void SweepSome(Timestamp now);
+
   Options options_;
-  std::unordered_map<uint64_t, Timestamp> entries_;
+  /// Mutable so the const probe path can erase the expired entry it found.
+  mutable std::unordered_map<uint64_t, Timestamp> entries_;
+  size_t sweep_cursor_ = 0;
   mutable uint64_t duplicates_ = 0;
 };
 

@@ -17,6 +17,15 @@ Status UnexpectedReply(MessageTag got, const char* expected) {
 
 }  // namespace
 
+std::string_view FanoutPolicyName(FanoutPolicy policy) {
+  switch (policy) {
+    case FanoutPolicy::kStrict: return "strict";
+    case FanoutPolicy::kQuorum: return "quorum";
+    case FanoutPolicy::kBestEffort: return "best-effort";
+  }
+  return "unknown";
+}
+
 Result<std::unique_ptr<FanoutCluster>> FanoutCluster::Connect(
     const FanoutClusterOptions& options) {
   if (options.endpoints.empty()) {
@@ -24,6 +33,11 @@ Result<std::unique_ptr<FanoutCluster>> FanoutCluster::Connect(
   }
   if (options.connections_per_daemon == 0) {
     return Status::InvalidArgument("connections_per_daemon must be >= 1");
+  }
+  if (options.gather_quorum > options.endpoints.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "gather_quorum %u exceeds the %zu configured endpoints",
+        options.gather_quorum, options.endpoints.size()));
   }
 
   uint32_t group_size = options.group_size;
@@ -156,20 +170,34 @@ Result<std::unique_ptr<FanoutCluster::Conn>> FanoutCluster::Acquire(
 }
 
 void FanoutCluster::Release(Daemon* daemon, std::unique_ptr<Conn> conn,
-                            bool poisoned) {
+                            bool poisoned, bool start_backoff) {
   std::lock_guard<std::mutex> lock(daemon->mu);
   std::erase(daemon->leased, conn.get());
   if (poisoned || closed_.load(std::memory_order_acquire)) {
     daemon->open_count--;
-    if (poisoned) {
+    if (poisoned && start_backoff) {
       // Open the circuit-breaker window: the daemon just failed
-      // mid-exchange, so calls before it expires fail fast.
+      // mid-exchange, so calls before it expires fail fast. A hedge skips
+      // this (start_backoff false): it is about to dial the same daemon.
       StartBackoffLocked(daemon);
     }
   } else {
     daemon->idle.push_back(std::move(conn));
   }
   daemon->cv.notify_all();
+}
+
+size_t FanoutCluster::RequiredQuorum() const {
+  const size_t n = daemons_.size();
+  switch (options_.policy) {
+    case FanoutPolicy::kStrict: return n;
+    case FanoutPolicy::kQuorum:
+      return options_.gather_quorum == 0
+                 ? n / 2 + 1
+                 : static_cast<size_t>(options_.gather_quorum);
+    case FanoutPolicy::kBestEffort: return 0;
+  }
+  return n;
 }
 
 FanoutCluster::Daemon* FanoutCluster::RouteToPartition(uint32_t partition) {
@@ -194,12 +222,52 @@ std::vector<FanoutCluster::Slot> FanoutCluster::AcquireAll() {
     Result<std::unique_ptr<Conn>> conn = Acquire(daemon.get());
     if (conn.ok()) {
       slot.conn = std::move(conn).value();
+      // A reachable daemon is first owed whatever a degraded policy parked
+      // for it while it was away — replay preserves publish order.
+      if (degraded()) FlushReplayOn(&slot);
     } else {
       slot.status = conn.status();
     }
     slots.push_back(std::move(slot));
   }
   return slots;
+}
+
+void FanoutCluster::FlushReplayOn(Slot* slot) {
+  Daemon* daemon = slot->daemon;
+  // replay_mu is held across the flush IO so a concurrent caller cannot
+  // interleave its own traffic between two replayed frames.
+  std::lock_guard<std::mutex> lock(daemon->replay_mu);
+  while (!daemon->replay.empty() && slot->live()) {
+    const ReplayFrame& frame = daemon->replay.front();
+    Status status =
+        slot->conn->socket.WriteAll(frame.bytes.data(), frame.bytes.size());
+    Frame reply;
+    if (status.ok()) status = ReadFrame(&slot->conn->socket, &reply);
+    if (!status.ok()) {
+      // The daemon went away again mid-replay: poison the lane, keep the
+      // unacked frames parked for the next attempt.
+      if (slot->status.ok()) slot->status = TagError(*daemon, status);
+      slot->poisoned = true;
+      return;
+    }
+    if (reply.tag == MessageTag::kAck) {
+      replayed_events_.fetch_add(frame.events, std::memory_order_relaxed);
+    } else if (reply.tag == MessageTag::kError) {
+      // The daemon took the frame but rejected it; replaying it again
+      // would just re-fail. Count the loss and surface the rejection.
+      replay_dropped_events_.fetch_add(frame.events,
+                                       std::memory_order_relaxed);
+      const Status err = TagError(*daemon, DecodeError(reply.payload));
+      if (slot->server_error.ok()) slot->server_error = err;
+      if (slot->status.ok()) slot->status = err;
+    } else if (slot->status.ok()) {
+      slot->status =
+          TagError(*daemon, UnexpectedReply(reply.tag, "replay ack"));
+    }
+    daemon->replay_events -= frame.events;
+    daemon->replay.pop_front();
+  }
 }
 
 void FanoutCluster::WriteAll(std::vector<Slot>* slots,
@@ -240,7 +308,8 @@ bool FanoutCluster::ReadReply(Slot* slot, Frame* reply) {
   return true;
 }
 
-Status FanoutCluster::BroadcastForAck(const std::string& request) {
+Status FanoutCluster::BroadcastForAck(const std::string& request,
+                                      bool require_all) {
   std::shared_lock<std::shared_mutex> lifecycle(lifecycle_mu_);
   if (closed_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("fan-out cluster is closed");
@@ -258,13 +327,130 @@ Status FanoutCluster::BroadcastForAck(const std::string& request) {
       slot.status = TagError(*slot.daemon, UnexpectedReply(reply.tag, "ack"));
     }
   }
-  return ReleaseAll(&slots);
+  size_t answered = 0;
+  for (const Slot& slot : slots) {
+    if (slot.conn != nullptr && slot.status.ok()) answered++;
+  }
+  const Status first = ReleaseAll(&slots);
+  if (first.ok()) return first;
+  // Degraded policies tolerate missing daemons down to the quorum, except
+  // for the calls that must never silently degrade (require_all).
+  if (!require_all && degraded() && answered >= RequiredQuorum()) {
+    return Status::OK();
+  }
+  return first;
 }
 
 // --- ClusterTransport --------------------------------------------------------
 
 Status FanoutCluster::Publish(const EdgeEvent& event) {
   return PublishBatch(std::span<const EdgeEvent>(&event, 1));
+}
+
+void FanoutCluster::ReapOneAck(Slot* slot,
+                               const std::vector<std::string>& frames) {
+  // On a kError reply the connection stays aligned (the server answered;
+  // later acks still arrive) so only the first error is recorded; a
+  // transport-level failure poisons the lane — and, under a degraded
+  // policy, gets one hedge attempt before the lane's remaining acks are
+  // abandoned.
+  while (true) {
+    Frame reply;
+    if (ReadReply(slot, &reply)) {
+      slot->acked++;
+      if (reply.tag == MessageTag::kError) {
+        const Status err =
+            TagError(*slot->daemon, DecodeError(reply.payload));
+        if (slot->server_error.ok()) slot->server_error = err;
+        if (slot->status.ok()) slot->status = err;
+      } else if (reply.tag != MessageTag::kAck && slot->status.ok()) {
+        slot->status =
+            TagError(*slot->daemon, UnexpectedReply(reply.tag, "ack"));
+      }
+      return;
+    }
+    if (!TryHedgePublish(slot, frames)) return;
+    // Hedged: the unacked frames are back in flight on a fresh connection;
+    // loop to read their acks.
+  }
+}
+
+bool FanoutCluster::TryHedgePublish(Slot* slot,
+                                    const std::vector<std::string>& frames) {
+  if (!degraded() || options_.hedge_after_ms <= 0 || slot->hedged) {
+    return false;
+  }
+  if (closed_.load(std::memory_order_acquire)) return false;
+  slot->hedged = true;
+  // The old connection failed mid-exchange (most often: silent past the
+  // hedge threshold) but the daemon may be merely slow — drop it WITHOUT
+  // opening the circuit-breaker window and dial a replacement.
+  if (slot->conn != nullptr) {
+    Release(slot->daemon, std::move(slot->conn), /*poisoned=*/true,
+            /*start_backoff=*/false);
+  }
+  Result<std::unique_ptr<Conn>> fresh = Acquire(slot->daemon);
+  if (!fresh.ok()) {
+    if (slot->status.ok()) slot->status = fresh.status();
+    return false;  // conn stays null: QueueUnsent parks the whole tail
+  }
+  hedged_publishes_.fetch_add(1, std::memory_order_relaxed);
+  slot->conn = std::move(fresh).value();
+  slot->poisoned = false;
+  slot->status = slot->server_error;  // transport error superseded
+  // The hedged lane keeps the shortened ack wait: if this connection
+  // stalls too, the lane fails over to the replay buffer after another
+  // hedge window instead of pinning the publish for the full recv
+  // timeout. (Restored with the other lanes before release.)
+  (void)slot->conn->socket.SetRecvTimeout(options_.hedge_after_ms);
+  // Re-send everything written but unacked: the batch sequences make any
+  // frame the daemon did receive a suppressed duplicate (server-side
+  // dedup, rpc_server.h).
+  for (size_t f = slot->acked; f < slot->written; ++f) {
+    const Status written =
+        slot->conn->socket.WriteAll(frames[f].data(), frames[f].size());
+    if (!written.ok()) {
+      if (slot->status.ok()) slot->status = TagError(*slot->daemon, written);
+      slot->poisoned = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+void FanoutCluster::QueueUnsent(Slot* slot,
+                                const std::vector<std::string>& frames,
+                                const std::vector<size_t>& frame_events) {
+  // Only an unreachable lane parks frames: no connection at all (circuit
+  // breaker / connect failure) or a transport failure mid-call. A healthy
+  // lane whose server rejected a frame keeps that error — a rejection is
+  // not an availability problem and must surface, not retry forever.
+  if (slot->conn != nullptr && !slot->poisoned) return;
+  size_t queue_events = 0;
+  for (size_t f = slot->acked; f < frames.size(); ++f) {
+    queue_events += frame_events[f];
+  }
+  if (queue_events == 0) return;
+  Daemon* daemon = slot->daemon;
+  std::lock_guard<std::mutex> lock(daemon->replay_mu);
+  if (daemon->replay_events + queue_events > options_.replay_buffer_events) {
+    replay_dropped_events_.fetch_add(queue_events, std::memory_order_relaxed);
+    slot->status = TagError(
+        *daemon,
+        Status::ResourceExhausted(StrFormat(
+            "replay buffer full (%zu events parked, %zu more would exceed "
+            "the %zu-event bound): %zu events dropped",
+            daemon->replay_events, queue_events,
+            options_.replay_buffer_events, queue_events)));
+    return;
+  }
+  for (size_t f = slot->acked; f < frames.size(); ++f) {
+    daemon->replay.push_back(ReplayFrame{frames[f], frame_events[f]});
+    daemon->replay_events += frame_events[f];
+  }
+  // Parked is success: the events will be replayed, in order, once the
+  // daemon answers again. A server-side rejection still surfaces.
+  slot->status = slot->server_error;
 }
 
 Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
@@ -274,63 +460,82 @@ Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
     return Status::FailedPrecondition("fan-out cluster is closed");
   }
   // Encode once: the same chunked kPublishBatch frames stream to every
-  // daemon (each partition ingests the full stream).
+  // daemon (each partition ingests the full stream). Degraded policies tag
+  // every frame with a batch sequence so hedged re-sends are idempotent;
+  // strict mode emits the untagged (pre-extension) bytes.
   const size_t chunk = std::max<size_t>(1, options_.publish_chunk_events);
   std::vector<std::string> frames;
+  std::vector<size_t> frame_events;
   frames.reserve((events.size() + chunk - 1) / chunk);
+  frame_events.reserve(frames.capacity());
   for (size_t i = 0; i < events.size(); i += chunk) {
     const size_t n = std::min(chunk, events.size() - i);
+    const uint64_t sequence =
+        degraded()
+            ? next_batch_sequence_.fetch_add(1, std::memory_order_relaxed)
+            : 0;
     std::string frame;
-    AppendPublishBatch(events.subspan(i, n), &frame);
+    AppendPublishBatch(events.subspan(i, n), &frame, sequence);
     frames.push_back(std::move(frame));
+    frame_events.push_back(n);
   }
 
   std::vector<Slot> slots = AcquireAll();
 
-  // Reads one owed ack. On a kError reply the connection stays aligned (the
-  // server answered; later acks still arrive) so only the first error is
-  // recorded; a transport-level failure poisons the lane and abandons its
-  // remaining acks.
-  const auto reap_one_ack = [this](Slot* slot) {
-    Frame reply;
-    if (!ReadReply(slot, &reply)) {
-      slot->inflight = 0;
-      return;
+  // With hedging on, the ack reads wait only the hedge threshold (restored
+  // before the connections go back to the pool).
+  const bool hedging = degraded() && options_.hedge_after_ms > 0;
+  if (hedging) {
+    for (Slot& slot : slots) {
+      if (!slot.live()) continue;
+      (void)slot.conn->socket.SetRecvTimeout(options_.hedge_after_ms);
     }
-    slot->inflight--;
-    if (reply.tag == MessageTag::kError) {
-      if (slot->status.ok()) {
-        slot->status = TagError(*slot->daemon, DecodeError(reply.payload));
-      }
-    } else if (reply.tag != MessageTag::kAck && slot->status.ok()) {
-      slot->status = TagError(*slot->daemon, UnexpectedReply(reply.tag,
-                                                             "ack"));
-    }
-  };
+  }
 
   // The pipeline: keep up to max_inflight_frames outstanding per daemon,
   // writing frame f to every lane before frame f+1 so all daemons chew on
   // the same prefix of the stream concurrently.
   const size_t window = std::max<size_t>(1, options_.max_inflight_frames);
-  for (const std::string& frame : frames) {
+  for (size_t f = 0; f < frames.size(); ++f) {
     for (Slot& slot : slots) {
-      if (slot.conn == nullptr || slot.poisoned) continue;
-      if (slot.inflight >= window) reap_one_ack(&slot);
-      if (slot.poisoned) continue;
+      if (!slot.live()) continue;
+      if (slot.written - slot.acked >= window) ReapOneAck(&slot, frames);
+      if (!slot.live()) continue;
       const Status written =
-          slot.conn->socket.WriteAll(frame.data(), frame.size());
-      if (!written.ok()) {
-        if (slot.status.ok()) slot.status = TagError(*slot.daemon, written);
-        slot.poisoned = true;
+          slot.conn->socket.WriteAll(frames[f].data(), frames[f].size());
+      if (written.ok()) {
+        slot.written++;
         continue;
       }
-      slot.inflight++;
+      if (slot.status.ok()) slot.status = TagError(*slot.daemon, written);
+      slot.poisoned = true;
+      // One hedge may revive the lane; the current frame then still needs
+      // to go out on the fresh connection.
+      if (TryHedgePublish(&slot, frames)) {
+        const Status retry =
+            slot.conn->socket.WriteAll(frames[f].data(), frames[f].size());
+        if (retry.ok()) {
+          slot.written++;
+        } else {
+          if (slot.status.ok()) slot.status = TagError(*slot.daemon, retry);
+          slot.poisoned = true;
+        }
+      }
     }
   }
   for (Slot& slot : slots) {
-    while (slot.conn != nullptr && !slot.poisoned && slot.inflight > 0) {
-      reap_one_ack(&slot);
+    while (slot.live() && slot.acked < slot.written) {
+      ReapOneAck(&slot, frames);
     }
+  }
+  if (hedging) {
+    for (Slot& slot : slots) {
+      if (!slot.live()) continue;
+      (void)slot.conn->socket.SetRecvTimeout(options_.recv_timeout_ms);
+    }
+  }
+  if (degraded()) {
+    for (Slot& slot : slots) QueueUnsent(&slot, frames, frame_events);
   }
   return ReleaseAll(&slots);
 }
@@ -338,10 +543,15 @@ Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
 Status FanoutCluster::Drain() {
   std::string request;
   AppendEmptyRequest(MessageTag::kDrain, &request);
-  return BroadcastForAck(request);
+  return BroadcastForAck(request, /*require_all=*/false);
 }
 
 Result<std::vector<Recommendation>> FanoutCluster::TakeRecommendations() {
+  return TakeRecommendations(nullptr);
+}
+
+Result<std::vector<Recommendation>> FanoutCluster::TakeRecommendations(
+    GatherReport* caller_report) {
   std::shared_lock<std::shared_mutex> lifecycle(lifecycle_mu_);
   if (closed_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("fan-out cluster is closed");
@@ -360,7 +570,10 @@ Result<std::vector<Recommendation>> FanoutCluster::TakeRecommendations() {
   WriteAll(&slots, request);
   // Gather: each daemon streams its share as chunked reply frames; the
   // merged result is their concatenation (cross-partition ordering is
-  // unspecified, exactly as with the in-process broker).
+  // unspecified, exactly as with the in-process broker). A daemon that is
+  // itself a degraded broker forwards its own gaps as a GatherReport tail;
+  // those fold into this merge's report.
+  std::vector<uint32_t> downstream_missing;
   for (Slot& slot : slots) {
     bool has_more = true;
     while (has_more) {
@@ -376,8 +589,9 @@ Result<std::vector<Recommendation>> FanoutCluster::TakeRecommendations() {
             UnexpectedReply(reply.tag, "recommendations-reply"));
         break;
       }
-      const Status decoded =
-          DecodeRecommendationsReply(reply.payload, &recs, &has_more);
+      GatherReport chunk_report;
+      const Status decoded = DecodeRecommendationsReply(
+          reply.payload, &recs, &has_more, &chunk_report);
       if (!decoded.ok()) {
         // A mangled chunk leaves an unknown number of follow-up frames in
         // flight; the stream alignment is gone.
@@ -385,26 +599,88 @@ Result<std::vector<Recommendation>> FanoutCluster::TakeRecommendations() {
         slot.poisoned = true;
         break;
       }
+      downstream_missing.insert(downstream_missing.end(),
+                                chunk_report.missing_partitions.begin(),
+                                chunk_report.missing_partitions.end());
     }
   }
-  const Status first = ReleaseAll(&slots);
-  if (!first.ok()) {
-    // The healthy daemons already surrendered their share and a server-side
-    // take is destructive: park it for the next successful call instead of
-    // dropping it on the floor.
-    std::lock_guard<std::mutex> lock(pending_mu_);
-    pending_.insert(pending_.end(),
-                    std::make_move_iterator(recs.begin()),
-                    std::make_move_iterator(recs.end()));
-    return first;
+
+  // Build the coverage report and the per-daemon staleness counters.
+  GatherReport report;
+  report.daemons_total = static_cast<uint32_t>(slots.size());
+  for (const Slot& slot : slots) {
+    const bool missed = slot.conn == nullptr || !slot.status.ok();
+    Daemon* daemon = slot.daemon;
+    {
+      std::lock_guard<std::mutex> lock(daemon->mu);
+      if (missed) {
+        daemon->gathers_missed_total++;
+        daemon->gathers_missed_consecutive++;
+      } else {
+        daemon->gathers_missed_consecutive = 0;
+      }
+    }
+    if (!missed) {
+      report.daemons_answered++;
+      continue;
+    }
+    const uint32_t partition = daemon->endpoint.partition;
+    if (partition == FanoutEndpoint::kAllPartitions && group_size_ > 0) {
+      for (uint32_t p = 0; p < group_size_; ++p) {
+        report.missing_partitions.push_back(p);
+      }
+    } else {
+      report.missing_partitions.push_back(partition);
+    }
   }
-  return recs;
+  report.missing_partitions.insert(report.missing_partitions.end(),
+                                   downstream_missing.begin(),
+                                   downstream_missing.end());
+  std::sort(report.missing_partitions.begin(),
+            report.missing_partitions.end());
+  report.missing_partitions.erase(
+      std::unique(report.missing_partitions.begin(),
+                  report.missing_partitions.end()),
+      report.missing_partitions.end());
+
+  const Status first = ReleaseAll(&slots);
+  if (caller_report != nullptr) *caller_report = report;
+  {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    last_report_ = report;
+  }
+  if (first.ok() ||
+      (degraded() && report.daemons_answered >= RequiredQuorum())) {
+    if (!report.complete()) {
+      degraded_gathers_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return recs;
+  }
+  // Below quorum (or strict): the healthy daemons already surrendered
+  // their share and a server-side take is destructive, so park it —
+  // bounded — for the next successful call instead of dropping it on the
+  // floor. Overflow is counted, never silent.
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    const size_t cap = options_.max_pending_recommendations;
+    const size_t room = cap > pending_.size() ? cap - pending_.size() : 0;
+    const size_t keep = std::min(room, recs.size());
+    pending_.insert(pending_.end(), std::make_move_iterator(recs.begin()),
+                    std::make_move_iterator(recs.begin() + keep));
+    if (keep < recs.size()) {
+      rescue_dropped_.fetch_add(recs.size() - keep,
+                                std::memory_order_relaxed);
+    }
+  }
+  return first;
 }
 
 Status FanoutCluster::Checkpoint(Timestamp created_at) {
   std::string request;
   AppendCheckpoint(created_at, &request);
-  return BroadcastForAck(request);
+  // Durability never degrades: a checkpoint that silently skipped a daemon
+  // would leave that shard unrecoverable.
+  return BroadcastForAck(request, /*require_all=*/true);
 }
 
 Status FanoutCluster::KillReplica(uint32_t partition, uint32_t replica) {
@@ -467,9 +743,11 @@ Result<ClusterStats> FanoutCluster::GetStats() {
   std::vector<Slot> slots = AcquireAll();
   WriteAll(&slots, request);
   ClusterStats merged;
+  size_t answered = 0;
   for (Slot& slot : slots) {
     ClusterStats stats;
     if (!ReadStatsReply(&slot, &stats)) continue;
+    answered++;
     // Merge: shape fields take the widest daemon view; detector counters
     // and memory sum across daemons; events_published takes the max (every
     // daemon counts the same fanned-out stream, so summing would multiply
@@ -491,13 +769,45 @@ Result<ClusterStats> FanoutCluster::GetStats() {
                               stats.per_replica.end());
   }
   const Status first = ReleaseAll(&slots);
-  if (!first.ok()) return first;
+  if (!first.ok() && !(degraded() && answered >= RequiredQuorum())) {
+    return first;
+  }
   std::sort(merged.per_replica.begin(), merged.per_replica.end(),
             [](const ReplicaStats& a, const ReplicaStats& b) {
               return a.partition != b.partition ? a.partition < b.partition
                                                 : a.replica < b.replica;
             });
+  // Broker-side degraded-mode counters (never on the wire; see transport.h).
+  merged.degraded_gathers = degraded_gathers_.load(std::memory_order_relaxed);
+  merged.hedged_publishes = hedged_publishes_.load(std::memory_order_relaxed);
+  merged.replayed_events = replayed_events_.load(std::memory_order_relaxed);
+  merged.replay_dropped_events =
+      replay_dropped_events_.load(std::memory_order_relaxed);
+  merged.rescue_dropped = rescue_dropped_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    merged.rescued_recommendations = pending_.size();
+  }
+  for (const auto& daemon : daemons_) {
+    PartitionHealth health;
+    health.partition = daemon->endpoint.partition;
+    {
+      std::lock_guard<std::mutex> lock(daemon->mu);
+      health.gathers_missed_total = daemon->gathers_missed_total;
+      health.gathers_missed_consecutive = daemon->gathers_missed_consecutive;
+    }
+    merged.partition_health.push_back(health);
+  }
+  std::sort(merged.partition_health.begin(), merged.partition_health.end(),
+            [](const PartitionHealth& a, const PartitionHealth& b) {
+              return a.partition < b.partition;
+            });
   return merged;
+}
+
+GatherReport FanoutCluster::LastGatherReport() const {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  return last_report_;
 }
 
 Result<HashPartitioner> FanoutCluster::Partitioner() const {
@@ -585,7 +895,9 @@ Status FanoutCluster::VerifyTopology() {
 Status FanoutCluster::Ping() {
   std::string request;
   AppendEmptyRequest(MessageTag::kPing, &request);
-  MAGICRECS_RETURN_IF_ERROR(BroadcastForAck(request));
+  // Liveness/topology verification is strict under every policy: its whole
+  // point is to find the daemon that is down or miswired.
+  MAGICRECS_RETURN_IF_ERROR(BroadcastForAck(request, /*require_all=*/true));
   return VerifyTopology();
 }
 
@@ -604,6 +916,19 @@ Status FanoutCluster::Close() {
   // Barrier: wait out the in-flight calls (their reads just failed) so the
   // destructor can never free Daemon state under one.
   std::unique_lock<std::shared_mutex> lifecycle(lifecycle_mu_);
+  // With no call in flight anymore, drop everything a degraded run parked:
+  // rescued recommendations must not survive into a rebuilt broker's
+  // gathers, and replay buffers must not pin memory after close.
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.clear();
+    pending_.shrink_to_fit();
+  }
+  for (const auto& daemon : daemons_) {
+    std::lock_guard<std::mutex> lock(daemon->replay_mu);
+    daemon->replay.clear();
+    daemon->replay_events = 0;
+  }
   return Status::OK();
 }
 

@@ -38,8 +38,34 @@
 // retrying after the daemon returns reconnects without rebuilding the
 // broker (tests/net/fanout_cluster_test.cc). Recommendations already
 // gathered from healthy daemons when another daemon fails mid-gather are
-// buffered and delivered by the next successful TakeRecommendations — the
-// take is destructive server-side, so dropping them would lose them.
+// buffered (bounded; overflow is counted in ClusterStats::rescue_dropped)
+// and delivered by the next successful TakeRecommendations — the take is
+// destructive server-side, so dropping them would lose them.
+//
+// Degraded-mode policy (FanoutClusterOptions::policy): the paper's
+// deployment keeps serving recommendations while individual partition
+// hosts fail. Under kQuorum / kBestEffort the broker trades the strict
+// all-or-nothing contract for availability:
+//   * gathers return the merged recommendations of whichever daemons
+//     answered, as long as at least the quorum did; the partitions missing
+//     from the merge are named by LastGatherReport() (and forwarded on the
+//     wire when this broker itself sits behind an RpcServer);
+//   * publishes to a daemon in reconnect backoff are queued in a bounded
+//     per-daemon replay buffer and re-sent — in order, ahead of newer
+//     traffic — once the daemon answers again; overflow is an explicit
+//     ResourceExhausted, never a silent drop;
+//   * a publish lane silent for hedge_after_ms is hedged: the unacked
+//     frames are re-sent on a fresh pooled connection. Frames carry a
+//     batch sequence in degraded mode, so the daemon suppresses the
+//     duplicate if the original did land (RpcServer's dedup window);
+//   * Drain and GetStats tolerate missing daemons under the same quorum;
+//     Checkpoint, replica ops, and Ping stay strict under every policy —
+//     durability and topology verification must not silently degrade.
+// Degraded semantics are eventual, not exact: events parked in a replay
+// buffer are invisible to Drain until flushed, and a hedged batch may be
+// applied by the original (slow) lane after the hedge was acked, so
+// recommendations can trail into a later gather. Strict mode keeps the PR 3
+// contract — and its wire bytes — unchanged.
 
 #ifndef MAGICRECS_NET_FANOUT_CLUSTER_H_
 #define MAGICRECS_NET_FANOUT_CLUSTER_H_
@@ -48,6 +74,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -75,6 +102,16 @@ struct FanoutEndpoint {
   /// kAllPartitions.
   uint32_t partition = kAllPartitions;
 };
+
+/// How the broker behaves when some daemons are down (see the class
+/// comment for the full contract).
+enum class FanoutPolicy {
+  kStrict,      ///< any daemon failure fails the call (PR 3 behavior)
+  kQuorum,      ///< succeed when >= gather_quorum daemons answer
+  kBestEffort,  ///< succeed with whatever answered, even nothing
+};
+
+std::string_view FanoutPolicyName(FanoutPolicy policy);
 
 struct FanoutClusterOptions {
   std::vector<FanoutEndpoint> endpoints;
@@ -110,6 +147,32 @@ struct FanoutClusterOptions {
   int max_reconnect_backoff_ms = 2'000;
 
   bool tcp_nodelay = true;
+
+  // --- degraded-mode policy --------------------------------------------------
+
+  FanoutPolicy policy = FanoutPolicy::kStrict;
+
+  /// Daemons that must answer for a kQuorum gather/drain/stats to succeed.
+  /// 0 = majority (endpoints/2 + 1). Ignored by the other policies.
+  uint32_t gather_quorum = 0;
+
+  /// Hedge threshold: a publish lane silent for this long has its unacked
+  /// frames re-sent on a fresh pooled connection (once per daemon per
+  /// call). 0 disables hedging. Strict mode never hedges.
+  int hedge_after_ms = 0;
+
+  /// Per-daemon replay buffer bound, in events. Publishes that cannot
+  /// reach a daemon (backoff, connect failure, mid-pipeline death) are
+  /// queued up to this bound and replayed when the daemon answers again;
+  /// beyond it the publish returns ResourceExhausted and counts the
+  /// overflow in ClusterStats::replay_dropped_events.
+  size_t replay_buffer_events = 1 << 16;
+
+  /// Bound on the partial-gather rescue buffer (recommendations already
+  /// taken from healthy daemons when a gather failed, owed to the next
+  /// successful take). Overflow drops the newest rescued entries and
+  /// counts them in ClusterStats::rescue_dropped.
+  size_t max_pending_recommendations = 1 << 16;
 };
 
 /// The fan-out/gather broker endpoint. Thread-safe; calls from concurrent
@@ -128,11 +191,20 @@ class FanoutCluster : public ClusterTransport {
   Status PublishBatch(std::span<const EdgeEvent> events) override;
   Status Drain() override;
 
-  /// Union of every daemon's gather. On a partial failure the error is
-  /// returned and everything already taken from healthy daemons is held in
-  /// a client-side buffer, prepended to the next successful call (server-
-  /// side takes are destructive; see the class comment).
+  /// Union of every answering daemon's gather, subject to the policy: a
+  /// failure below quorum returns the error and rescues everything already
+  /// taken from healthy daemons into a bounded client-side buffer,
+  /// prepended to the next successful call (server-side takes are
+  /// destructive; see the class comment). A quorum/best-effort success with
+  /// daemons missing returns the partial merge; the report overload (or,
+  /// single-threaded, LastGatherReport()) names the missing partitions.
   Result<std::vector<Recommendation>> TakeRecommendations() override;
+  Result<std::vector<Recommendation>> TakeRecommendations(
+      GatherReport* report) override;
+
+  /// Coverage of the most recent gather (complete until one has run).
+  GatherReport LastGatherReport() const override;
+
   Status Checkpoint(Timestamp created_at) override;
   Status KillReplica(uint32_t partition, uint32_t replica) override;
   Status RecoverReplica(uint32_t partition, uint32_t replica) override;
@@ -164,6 +236,13 @@ class FanoutCluster : public ClusterTransport {
     TcpSocket socket;
   };
 
+  /// One encoded publish frame parked for a daemon that could not take it,
+  /// plus how many events it carries (the unit the buffer bound counts).
+  struct ReplayFrame {
+    std::string bytes;
+    size_t events = 0;
+  };
+
   /// Per-daemon connection pool + reconnect/backoff state.
   struct Daemon {
     FanoutEndpoint endpoint;
@@ -174,6 +253,18 @@ class FanoutCluster : public ClusterTransport {
     size_t open_count = 0;      ///< idle + leased
     int backoff_ms = 0;         ///< 0 = healthy
     std::chrono::steady_clock::time_point next_attempt{};
+
+    /// Gather staleness (guarded by mu): bumped when this daemon misses a
+    /// TakeRecommendations, zeroed when it answers one.
+    uint64_t gathers_missed_total = 0;
+    uint64_t gathers_missed_consecutive = 0;
+
+    /// Queue-and-replay state. replay_mu is held across the network writes
+    /// of a flush so replayed frames reach the daemon in publish order even
+    /// with concurrent brokers' callers; it never nests with mu.
+    std::mutex replay_mu;
+    std::deque<ReplayFrame> replay;
+    size_t replay_events = 0;  ///< sum over replay (guarded by replay_mu)
   };
 
   /// One daemon's slice of a broker call: the leased connection, the first
@@ -182,8 +273,19 @@ class FanoutCluster : public ClusterTransport {
     Daemon* daemon = nullptr;
     std::unique_ptr<Conn> conn;
     Status status;
+
+    /// First kError REPLY the daemon sent (as opposed to a transport
+    /// failure): preserved across a hedge or a queue-to-replay, which clear
+    /// the transport error but must not hide a server-side rejection.
+    Status server_error;
+
     bool poisoned = false;
-    size_t inflight = 0;
+    size_t written = 0;  ///< publish frames written on this lane
+    size_t acked = 0;    ///< publish frames answered (ack or server error)
+    bool hedged = false; ///< this lane already used its one hedge
+
+    /// Lane usable for IO: leased, and not known-broken.
+    bool live() const { return conn != nullptr && !poisoned; }
   };
 
   explicit FanoutCluster(const FanoutClusterOptions& options);
@@ -196,9 +298,12 @@ class FanoutCluster : public ClusterTransport {
   Result<std::unique_ptr<Conn>> Acquire(Daemon* daemon);
 
   /// Returns a leased connection. Poisoned connections (transport-level
-  /// failure: the stream may be mid-frame) are dropped and the daemon's
-  /// backoff clock starts; healthy ones go back to the pool.
-  void Release(Daemon* daemon, std::unique_ptr<Conn> conn, bool poisoned);
+  /// failure: the stream may be mid-frame) are dropped and — unless
+  /// `start_backoff` is false (a hedge replacing a slow-but-dialable
+  /// connection) — the daemon's backoff clock starts; healthy ones go back
+  /// to the pool.
+  void Release(Daemon* daemon, std::unique_ptr<Conn> conn, bool poisoned,
+               bool start_backoff = true);
 
   /// Opens/extends the daemon's circuit-breaker window after a failure.
   /// Caller holds daemon->mu.
@@ -211,9 +316,41 @@ class FanoutCluster : public ClusterTransport {
   // per daemon (failures land in the slot's status), write the request on
   // every healthy slot BEFORE reading any reply (daemons process
   // concurrently), then release everything and surface the first error.
+  // AcquireAll also flushes any replay buffer owed to a daemon that just
+  // became reachable again (degraded policies only), so every broker call
+  // is a replay opportunity.
   std::vector<Slot> AcquireAll();
   void WriteAll(std::vector<Slot>* slots, const std::string& request);
   Status ReleaseAll(std::vector<Slot>* slots);
+
+  /// True under a degraded policy (anything but kStrict).
+  bool degraded() const { return options_.policy != FanoutPolicy::kStrict; }
+
+  /// Daemons that must answer for a broadcast to succeed under the policy.
+  size_t RequiredQuorum() const;
+
+  /// Re-sends the daemon's parked replay frames on the slot's connection
+  /// (serial request/ack; this is the recovery path, not the hot path).
+  /// Transport failure poisons the slot; frames stay queued for next time.
+  void FlushReplayOn(Slot* slot);
+
+  /// Parks frames [slot->acked, frames.size()) in the daemon's replay
+  /// buffer after a lane failure, clearing the slot's transport error.
+  /// Overflow queues nothing more, counts the dropped events, and sets the
+  /// explicit ResourceExhausted status instead.
+  void QueueUnsent(Slot* slot, const std::vector<std::string>& frames,
+                   const std::vector<size_t>& frame_events);
+
+  /// One hedge attempt for a failed publish lane: drops the old connection
+  /// (without opening the backoff window — the daemon dialed, it is slow),
+  /// leases a fresh one, and re-sends the unacked frames. True iff the
+  /// lane is live again.
+  bool TryHedgePublish(Slot* slot, const std::vector<std::string>& frames);
+
+  /// Reads one publish ack on the lane, hedging once on failure when the
+  /// policy allows. kError replies record the first server error but keep
+  /// the lane (the stream is still aligned).
+  void ReapOneAck(Slot* slot, const std::vector<std::string>& frames);
 
   /// Reads one reply frame on a live slot; a transport-level failure
   /// poisons the slot and records the error. False when the slot cannot be
@@ -229,8 +366,11 @@ class FanoutCluster : public ClusterTransport {
   Status VerifyTopology();
 
   /// Sends `request` to every daemon and expects one kAck each; kError
-  /// replies decode to their Status. Returns the first failure (tagged).
-  Status BroadcastForAck(const std::string& request);
+  /// replies decode to their Status. `require_all` demands every daemon
+  /// answer regardless of policy (Checkpoint, Ping); otherwise failures are
+  /// tolerated down to RequiredQuorum(). Returns the first failure (tagged)
+  /// when the bar is missed.
+  Status BroadcastForAck(const std::string& request, bool require_all);
 
   /// Single-daemon request/ack exchange (replica ops routed by partition).
   Status ExchangeForAckOn(Daemon* daemon, const std::string& request);
@@ -249,9 +389,25 @@ class FanoutCluster : public ClusterTransport {
   std::shared_mutex lifecycle_mu_;
 
   /// Recommendations rescued from a partially failed gather, owed to the
-  /// next successful TakeRecommendations.
+  /// next successful TakeRecommendations. Bounded by
+  /// max_pending_recommendations; cleared by Close().
   std::mutex pending_mu_;
   std::vector<Recommendation> pending_;
+
+  /// Coverage of the most recent gather.
+  mutable std::mutex report_mu_;
+  GatherReport last_report_;
+
+  /// Source of the idempotent batch sequences hedged frames carry. Starts
+  /// at 1: sequence 0 is the wire's "no dedup" marker.
+  std::atomic<uint64_t> next_batch_sequence_{1};
+
+  // Degraded-mode counters surfaced through GetStats().
+  std::atomic<uint64_t> degraded_gathers_{0};
+  std::atomic<uint64_t> hedged_publishes_{0};
+  std::atomic<uint64_t> replayed_events_{0};
+  std::atomic<uint64_t> replay_dropped_events_{0};
+  std::atomic<uint64_t> rescue_dropped_{0};
 };
 
 }  // namespace magicrecs::net

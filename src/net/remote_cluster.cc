@@ -81,6 +81,11 @@ Status RemoteCluster::Drain() {
 }
 
 Result<std::vector<Recommendation>> RemoteCluster::TakeRecommendations() {
+  return TakeRecommendations(nullptr);
+}
+
+Result<std::vector<Recommendation>> RemoteCluster::TakeRecommendations(
+    GatherReport* caller_report) {
   std::lock_guard<std::mutex> lock(mu_);
   request_buf_.clear();
   AppendEmptyRequest(MessageTag::kTakeRecommendations, &request_buf_);
@@ -93,8 +98,9 @@ Result<std::vector<Recommendation>> RemoteCluster::TakeRecommendations() {
       return UnexpectedReply(reply.tag, "recommendations-reply");
     }
     bool has_more = false;
+    GatherReport report;
     const Status decoded =
-        DecodeRecommendationsReply(reply.payload, &recs, &has_more);
+        DecodeRecommendationsReply(reply.payload, &recs, &has_more, &report);
     if (!decoded.ok()) {
       // A mangled chunk leaves an unknown number of follow-up frames in
       // flight; the stream alignment is gone.
@@ -102,7 +108,14 @@ Result<std::vector<Recommendation>> RemoteCluster::TakeRecommendations() {
       socket_.Close();
       return decoded;
     }
-    if (!has_more) return recs;
+    if (!has_more) {
+      // The tail (if any) rides on the last frame: hand the server's
+      // gather coverage to this caller and to LastGatherReport.
+      if (caller_report != nullptr) *caller_report = report;
+      std::lock_guard<std::mutex> report_lock(report_mu_);
+      last_report_ = std::move(report);
+      return recs;
+    }
     const Status next = ReadFrame(&socket_, &reply);
     if (!next.ok()) {
       closed_ = true;
@@ -151,6 +164,11 @@ Result<ClusterStats> RemoteCluster::GetStats() {
     default:
       return UnexpectedReply(reply.tag, "stats-reply");
   }
+}
+
+GatherReport RemoteCluster::LastGatherReport() const {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  return last_report_;
 }
 
 Status RemoteCluster::Ping() {

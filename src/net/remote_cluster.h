@@ -47,10 +47,17 @@ class RemoteCluster : public ClusterTransport {
   Status PublishBatch(std::span<const EdgeEvent> events) override;
   Status Drain() override;
   Result<std::vector<Recommendation>> TakeRecommendations() override;
+  Result<std::vector<Recommendation>> TakeRecommendations(
+      GatherReport* report) override;
   Status Checkpoint(Timestamp created_at) override;
   Status KillReplica(uint32_t partition, uint32_t replica) override;
   Status RecoverReplica(uint32_t partition, uint32_t replica) override;
   Result<ClusterStats> GetStats() override;
+
+  /// Coverage of the last gather, forwarded from the server when the
+  /// serving transport (e.g. a fan-out broker behind the daemon) returned
+  /// a degraded merge; complete otherwise.
+  GatherReport LastGatherReport() const override;
 
   /// Round-trip liveness probe.
   Status Ping();
@@ -76,6 +83,11 @@ class RemoteCluster : public ClusterTransport {
   TcpSocket socket_;
   bool closed_ = false;
   std::string request_buf_;
+
+  /// Guards last_report_ separately from mu_ so LastGatherReport() does not
+  /// contend with (or deadlock inside) an in-flight exchange.
+  mutable std::mutex report_mu_;
+  GatherReport last_report_;
 };
 
 }  // namespace magicrecs::net

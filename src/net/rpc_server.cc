@@ -51,7 +51,28 @@ RpcServerStats RpcServer::stats() const {
       connections_accepted_.load(std::memory_order_relaxed);
   stats.requests_served = requests_served_.load(std::memory_order_relaxed);
   stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.duplicate_batches = duplicate_batches_.load(std::memory_order_relaxed);
   return stats;
+}
+
+bool RpcServer::IsDuplicateBatch(uint64_t sequence) {
+  std::lock_guard<std::mutex> lock(dedup_mu_);
+  if (options_.publish_dedup_window == 0) return false;
+  if (seen_batch_sequences_.contains(sequence)) return true;
+  seen_batch_sequences_.insert(sequence);
+  seen_batch_order_.push_back(sequence);
+  while (seen_batch_order_.size() > options_.publish_dedup_window) {
+    seen_batch_sequences_.erase(seen_batch_order_.front());
+    seen_batch_order_.pop_front();
+  }
+  return false;
+}
+
+void RpcServer::ForgetBatch(uint64_t sequence) {
+  std::lock_guard<std::mutex> lock(dedup_mu_);
+  // Only the set is authoritative; the stale FIFO entry ages out harmlessly
+  // (evicting a sequence that is no longer in the set is a no-op).
+  seen_batch_sequences_.erase(sequence);
 }
 
 void RpcServer::AcceptLoop() {
@@ -136,22 +157,46 @@ void RpcServer::HandleRequest(const Frame& request, std::string* response) {
     }
     case MessageTag::kPublishBatch: {
       std::vector<EdgeEvent> events;
-      status = DecodePublishBatch(payload, &events);
-      if (status.ok()) status = transport_->PublishBatch(events);
+      uint64_t batch_sequence = 0;
+      status = DecodePublishBatch(payload, &events, &batch_sequence);
+      // A non-zero sequence marks an idempotent batch: a hedged re-send of
+      // a frame this server already accepted (possibly on another
+      // connection) is acked without applying it twice. The sequence is
+      // recorded BEFORE the transport publish, so a racing duplicate is
+      // suppressed even while the original is still being applied.
+      if (status.ok() && batch_sequence != 0 &&
+          IsDuplicateBatch(batch_sequence)) {
+        duplicate_batches_.fetch_add(1, std::memory_order_relaxed);
+        break;  // status is OK: ack the duplicate
+      }
+      if (status.ok()) {
+        status = transport_->PublishBatch(events);
+        // A failed apply never landed: un-record the sequence so the
+        // broker's replay of this frame is applied instead of dup-acked.
+        if (!status.ok() && batch_sequence != 0) {
+          ForgetBatch(batch_sequence);
+        }
+      }
       break;
     }
     case MessageTag::kTakeRecommendations: {
+      GatherReport report;
       Result<std::vector<Recommendation>> recs =
-          transport_->TakeRecommendations();
+          transport_->TakeRecommendations(&report);
       if (recs.ok()) {
         // A large gather streams as several bounded frames (one request,
         // N ordered replies) so no reply can hit the frame-size cap.
         // Delivery of a gather is at-most-once, mirroring the in-process
         // move-out contract: recommendations taken here are gone if the
         // reply write fails; the delivery pipeline's dedup absorbs any
-        // operator-level replay.
-        AppendRecommendationsReplyChunked(*recs, kRecommendationsChunkBytes,
-                                          response);
+        // operator-level replay. When the transport's gather was degraded
+        // (a fan-out broker behind this server with daemons down), the
+        // GatherReport tail forwards which partitions are missing — taken
+        // from THIS call, not the shared last-call slot, so concurrent
+        // gatherers never receive each other's coverage.
+        AppendRecommendationsReplyChunked(
+            *recs, kRecommendationsChunkBytes, response,
+            report.complete() ? nullptr : &report);
         return;
       }
       status = recs.status();

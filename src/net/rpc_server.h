@@ -26,11 +26,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 
 #include "cluster/transport.h"
 #include "net/socket.h"
@@ -51,6 +53,12 @@ struct RpcServerOptions {
 
   /// Disable Nagle on accepted connections (request/response traffic).
   bool tcp_nodelay = true;
+
+  /// How many recently seen publish-batch sequences to remember for
+  /// idempotent-batch dedup (hedged publishes re-send the same sequence on
+  /// a fresh connection; see wire.h). Shared across connections. 0 turns
+  /// dedup off — every batch is applied, sequence or not.
+  size_t publish_dedup_window = 4096;
 };
 
 /// Lifetime counters, readable while the server runs.
@@ -58,6 +66,7 @@ struct RpcServerStats {
   uint64_t connections_accepted = 0;
   uint64_t requests_served = 0;   ///< responses sent, errors included
   uint64_t protocol_errors = 0;   ///< malformed frames / unknown tags
+  uint64_t duplicate_batches = 0; ///< hedged re-sends suppressed by dedup
 };
 
 class RpcServer {
@@ -104,6 +113,18 @@ class RpcServer {
   /// Joins and erases finished connections (called with connections_mu_).
   void ReapFinishedLocked();
 
+  /// True iff `sequence` was already seen inside the dedup window (and
+  /// records it otherwise). Called from every connection handler: the
+  /// check-and-insert is atomic under dedup_mu_, so exactly one of two
+  /// racing duplicates applies its batch.
+  bool IsDuplicateBatch(uint64_t sequence);
+
+  /// Un-records a sequence whose apply FAILED: the events never landed, so
+  /// a broker replay of the same frame must be applied, not dup-acked —
+  /// leaving the sequence recorded would turn the failure into silent
+  /// event loss reported as success.
+  void ForgetBatch(uint64_t sequence);
+
   ClusterTransport* transport_;
   RpcServerOptions options_;
   TcpListener listener_;
@@ -114,9 +135,16 @@ class RpcServer {
   std::mutex connections_mu_;
   std::list<std::unique_ptr<Connection>> connections_;
 
+  // Publish-batch idempotency window: the set for O(1) lookup, the deque
+  // for FIFO eviction once the window is full.
+  std::mutex dedup_mu_;
+  std::unordered_set<uint64_t> seen_batch_sequences_;
+  std::deque<uint64_t> seen_batch_order_;
+
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> duplicate_batches_{0};
 };
 
 }  // namespace magicrecs::net

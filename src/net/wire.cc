@@ -125,11 +125,14 @@ void AppendPublish(const EdgeEvent& event, std::string* out) {
   AppendFrame(MessageTag::kPublish, payload, out);
 }
 
-void AppendPublishBatch(std::span<const EdgeEvent> events, std::string* out) {
+void AppendPublishBatch(std::span<const EdgeEvent> events, std::string* out,
+                        uint64_t batch_sequence) {
   std::string payload;
-  payload.reserve(4 + events.size() * kEventBytes);
+  payload.reserve(4 + events.size() * kEventBytes +
+                  (batch_sequence != 0 ? 8 : 0));
   PutU32(&payload, static_cast<uint32_t>(events.size()));
   for (const EdgeEvent& event : events) PutEvent(event, &payload);
+  if (batch_sequence != 0) PutU64(&payload, batch_sequence);
   AppendFrame(MessageTag::kPublishBatch, payload, out);
 }
 
@@ -159,13 +162,18 @@ Status DecodePublish(std::string_view payload, EdgeEvent* event) {
 }
 
 Status DecodePublishBatch(std::string_view payload,
-                          std::vector<EdgeEvent>* events) {
+                          std::vector<EdgeEvent>* events,
+                          uint64_t* batch_sequence) {
   ByteReader reader = ReaderOf(payload);
   uint32_t count = 0;
   if (!reader.GetU32(&count)) return Truncated("publish-batch");
   // Validate the count against the actual byte budget BEFORE reserving, so a
-  // forged count cannot become a multi-gigabyte allocation.
-  if (static_cast<uint64_t>(count) * kEventBytes != reader.remaining()) {
+  // forged count cannot become a multi-gigabyte allocation. The idempotency
+  // tail (tail-growth versioning, see wire.h) adds exactly 8 bytes when
+  // present.
+  const uint64_t event_bytes = static_cast<uint64_t>(count) * kEventBytes;
+  const bool has_sequence_tail = event_bytes + 8 == reader.remaining();
+  if (event_bytes != reader.remaining() && !has_sequence_tail) {
     return Status::InvalidArgument(StrFormat(
         "publish-batch count %u does not match %zu payload bytes", count,
         reader.remaining()));
@@ -177,6 +185,11 @@ Status DecodePublishBatch(std::string_view payload,
     if (!GetEvent(&reader, &event)) return Truncated("publish-batch");
     events->push_back(event);
   }
+  uint64_t sequence = 0;
+  if (has_sequence_tail && !reader.GetU64(&sequence)) {
+    return Truncated("publish-batch");
+  }
+  if (batch_sequence != nullptr) *batch_sequence = sequence;
   return Status::OK();
 }
 
@@ -218,7 +231,8 @@ size_t RecWireBytes(const Recommendation& rec) {
 }  // namespace
 
 void AppendRecommendationsReply(std::span<const Recommendation> recs,
-                                bool has_more, std::string* out) {
+                                bool has_more, std::string* out,
+                                const GatherReport* report) {
   std::string payload;
   PutU8(&payload, has_more ? 1 : 0);
   PutU32(&payload, static_cast<uint32_t>(recs.size()));
@@ -231,12 +245,23 @@ void AppendRecommendationsReply(std::span<const Recommendation> recs,
     PutU32(&payload, static_cast<uint32_t>(rec.witnesses.size()));
     for (const VertexId witness : rec.witnesses) PutU32(&payload, witness);
   }
+  // A complete gather omits the tail: healthy-path bytes stay identical to
+  // the pre-extension encoding (tail-growth versioning, see wire.h).
+  if (report != nullptr && !report->complete()) {
+    PutU32(&payload, report->daemons_total);
+    PutU32(&payload, report->daemons_answered);
+    PutU32(&payload, static_cast<uint32_t>(report->missing_partitions.size()));
+    for (const uint32_t partition : report->missing_partitions) {
+      PutU32(&payload, partition);
+    }
+  }
   AppendFrame(MessageTag::kRecommendationsReply, payload, out);
 }
 
 void AppendRecommendationsReplyChunked(std::span<const Recommendation> recs,
                                        size_t max_payload_bytes,
-                                       std::string* out) {
+                                       std::string* out,
+                                       const GatherReport* report) {
   size_t begin = 0;
   do {
     size_t end = begin;
@@ -247,8 +272,9 @@ void AppendRecommendationsReplyChunked(std::span<const Recommendation> recs,
       bytes += RecWireBytes(recs[end]);
       ++end;
     }
-    AppendRecommendationsReply(recs.subspan(begin, end - begin),
-                               /*has_more=*/end < recs.size(), out);
+    const bool has_more = end < recs.size();
+    AppendRecommendationsReply(recs.subspan(begin, end - begin), has_more,
+                               out, has_more ? nullptr : report);
     begin = end;
   } while (begin < recs.size());
 }
@@ -293,7 +319,9 @@ Status DecodeError(std::string_view payload) {
 
 Status DecodeRecommendationsReply(std::string_view payload,
                                   std::vector<Recommendation>* recs,
-                                  bool* has_more) {
+                                  bool* has_more,
+                                  GatherReport* report) {
+  if (report != nullptr) *report = GatherReport{};  // absent tail = complete
   ByteReader reader = ReaderOf(payload);
   uint8_t more = 0;
   uint32_t count = 0;
@@ -325,9 +353,27 @@ Status DecodeRecommendationsReply(std::string_view payload,
     }
     recs->push_back(std::move(rec));
   }
-  if (reader.remaining() != 0) {
-    return TrailingGarbage("recommendations-reply");
+  if (reader.remaining() == 0) return Status::OK();
+  // GatherReport tail (tail-growth versioning): a degraded gather names the
+  // partitions missing from the merge. Bounds-check the missing count
+  // against the actual remaining bytes before reserving.
+  GatherReport tail;
+  uint32_t missing_count = 0;
+  if (!reader.GetU32(&tail.daemons_total) ||
+      !reader.GetU32(&tail.daemons_answered) ||
+      !reader.GetU32(&missing_count)) {
+    return Truncated("recommendations-reply gather-report");
   }
+  if (static_cast<uint64_t>(missing_count) * 4 != reader.remaining()) {
+    return Status::InvalidArgument(
+        "recommendations-reply gather-report missing-partition count does "
+        "not match payload");
+  }
+  tail.missing_partitions.resize(missing_count);
+  for (uint32_t i = 0; i < missing_count; ++i) {
+    reader.GetU32(&tail.missing_partitions[i]);
+  }
+  if (report != nullptr) *report = std::move(tail);
   return Status::OK();
 }
 

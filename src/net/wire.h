@@ -14,7 +14,12 @@
 //
 // Request payloads (client -> server):
 //   kPublish            src:u32 dst:u32 created_at:i64 action:u8
-//   kPublishBatch       count:u32  (src dst created_at action)*
+//   kPublishBatch       count:u32  (src dst created_at action)*  [batch_seq:u64]
+//     The bracketed batch_seq tail makes the frame idempotent: a broker
+//     hedging a slow daemon re-sends the same frame (same sequence) on a
+//     fresh connection, and the server suppresses the duplicate
+//     (rpc_server.h publish_dedup_window). 0 / absent = no dedup — the
+//     pre-extension encoding, which strict-mode brokers still emit.
 //   kTakeRecommendations  (empty)
 //   kDrain                (empty)
 //   kCheckpoint         created_at:i64
@@ -26,11 +31,18 @@
 // Response payloads (server -> client):
 //   kAck                  (empty)
 //   kError              code:u8 message-bytes (to end of payload)
-//   kRecommendationsReply has_more:u8 count:u32 rec*   where
+//   kRecommendationsReply has_more:u8 count:u32 rec*
+//                         [daemons_total:u32 daemons_answered:u32
+//                          missing_count:u32 missing_partition:u32*]   where
 //     rec := user:u32 item:u32 witness_count:u32 trigger:u32
 //            event_time:i64  nwitnesses:u32 witness:u32*
 //     A gather too large for one frame streams as several reply frames;
 //     has_more != 0 on all but the last. One request, N ordered frames.
+//     The bracketed GatherReport tail is appended to the LAST frame only
+//     when the serving transport's gather was degraded (a fan-out broker
+//     under quorum/best-effort policy with daemons down); a complete
+//     gather omits it, keeping healthy-path bytes identical to the
+//     pre-extension encoding.
 //   kStatsReply         num_partitions:u32 replicas:u32 published:u64
 //                       detector_events:u64 queries:u64 recs:u64
 //                       static_bytes:u64 dynamic_bytes:u64
@@ -127,15 +139,23 @@ Status DecodeFrameBody(const uint8_t* body, size_t body_len,
 // --- request encoders / decoders ---------------------------------------------
 
 void AppendPublish(const EdgeEvent& event, std::string* out);
-void AppendPublishBatch(std::span<const EdgeEvent> events, std::string* out);
+
+/// `batch_sequence` != 0 appends the idempotency tail (see the payload
+/// table); 0 emits the pre-extension encoding byte-identically.
+void AppendPublishBatch(std::span<const EdgeEvent> events, std::string* out,
+                        uint64_t batch_sequence = 0);
 void AppendEmptyRequest(MessageTag tag, std::string* out);  // take/drain/...
 void AppendCheckpoint(Timestamp created_at, std::string* out);
 void AppendReplicaOp(MessageTag tag, uint32_t partition, uint32_t replica,
                      std::string* out);
 
 Status DecodePublish(std::string_view payload, EdgeEvent* event);
+
+/// `*batch_sequence` (optional) receives the idempotency tail, or 0 when
+/// the payload carries the pre-extension encoding.
 Status DecodePublishBatch(std::string_view payload,
-                          std::vector<EdgeEvent>* events);
+                          std::vector<EdgeEvent>* events,
+                          uint64_t* batch_sequence = nullptr);
 Status DecodeCheckpoint(std::string_view payload, Timestamp* created_at);
 Status DecodeReplicaOp(std::string_view payload, uint32_t* partition,
                        uint32_t* replica);
@@ -145,17 +165,21 @@ Status DecodeReplicaOp(std::string_view payload, uint32_t* partition,
 void AppendAck(std::string* out);
 void AppendError(const Status& status, std::string* out);
 
-/// One reply frame holding exactly these recommendations.
+/// One reply frame holding exactly these recommendations. A non-null
+/// `report` that is not complete() appends the GatherReport tail (only
+/// meaningful on the final frame of a chunked reply).
 void AppendRecommendationsReply(std::span<const Recommendation> recs,
-                                bool has_more, std::string* out);
+                                bool has_more, std::string* out,
+                                const GatherReport* report = nullptr);
 
 /// Splits a gather across as many reply frames as its encoded size needs
 /// (target payload <= max_payload_bytes, one oversized rec still ships
 /// alone). Always emits at least one frame so an empty gather gets its
-/// empty reply.
+/// empty reply. The GatherReport tail (if any) rides on the last frame.
 void AppendRecommendationsReplyChunked(std::span<const Recommendation> recs,
                                        size_t max_payload_bytes,
-                                       std::string* out);
+                                       std::string* out,
+                                       const GatherReport* report = nullptr);
 
 /// Default chunk budget: comfortably under kMaxFrameBodyBytes.
 inline constexpr size_t kRecommendationsChunkBytes = 4u << 20;
@@ -168,9 +192,12 @@ Status DecodeError(std::string_view payload);
 
 /// APPENDS the frame's recommendations to *recs (the caller accumulates
 /// across a chunked reply) and reports whether more frames follow.
+/// `*report` (optional) receives the GatherReport tail when present, or a
+/// complete report when absent (the pre-extension encoding).
 Status DecodeRecommendationsReply(std::string_view payload,
                                   std::vector<Recommendation>* recs,
-                                  bool* has_more);
+                                  bool* has_more,
+                                  GatherReport* report = nullptr);
 Status DecodeStatsReply(std::string_view payload, ClusterStats* stats);
 
 }  // namespace magicrecs::net

@@ -49,7 +49,10 @@ class Histogram {
   /// (e.g. scale=1e-3, unit="ms" for micros data).
   std::string ToString(double scale, const std::string& unit) const;
 
- private:
+  // The bucket mapping, public so the boundary property
+  //   BucketLow(BucketFor(v)) <= v <= BucketHigh(BucketFor(v))
+  // can be tested exhaustively at the octave edges (2^k +- 1), where
+  // off-by-ones in log-bucketed histograms classically hide.
   static constexpr int kSubBucketBits = 4;  // 16 sub-buckets per octave
   static constexpr int kSubBuckets = 1 << kSubBucketBits;
   static constexpr int kNumBuckets = (64 - kSubBucketBits) * kSubBuckets;
@@ -59,6 +62,7 @@ class Histogram {
   static uint64_t BucketLow(int index);
   static uint64_t BucketHigh(int index);
 
+ private:
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;
   int64_t min_ = 0;

@@ -73,5 +73,36 @@ TEST(DedupCacheTest, MemoryGrowsWithEntries) {
   EXPECT_GT(cache.MemoryUsage(), before);
 }
 
+TEST(DedupCacheTest, ProbeErasesExpiredEntryLazily) {
+  // Regression: expired entries used to be reclaimed only by the
+  // over-capacity Cleanup, so a workload under budget never freed memory
+  // and MemoryUsage() over-reported. A probe that finds an expired entry
+  // must erase it on the spot.
+  DedupCache cache(TtlOptions(Hours(1)));
+  cache.Record(1, 2, 0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.IsDuplicate(1, 2, Hours(2)));
+  EXPECT_EQ(cache.size(), 0u) << "expired entry survived the probe";
+}
+
+TEST(DedupCacheTest, UnderBudgetWorkloadStillFreesExpiredEntries) {
+  // Record a cold generation, let it expire, then keep recording fresh
+  // pairs WITHOUT ever probing the cold keys or exceeding max_entries: the
+  // amortized sweep must reclaim the expired generation anyway.
+  DedupCache cache(TtlOptions(Hours(1), /*max_entries=*/1 << 20));
+  constexpr VertexId kCold = 10'000;
+  for (VertexId i = 0; i < kCold; ++i) cache.Record(i, i + 1, 0);
+  EXPECT_EQ(cache.size(), kCold);
+
+  // Fresh generation, recorded well past the cold TTL, disjoint keys.
+  for (VertexId i = 0; i < kCold; ++i) {
+    cache.Record(kCold + i, kCold + i + 1, Hours(2));
+  }
+  EXPECT_LT(cache.size(), 2 * kCold)
+      << "no expired entry was reclaimed despite staying under budget";
+  // The fresh generation itself must be intact.
+  EXPECT_TRUE(cache.IsDuplicate(kCold, kCold + 1, Hours(2)));
+}
+
 }  // namespace
 }  // namespace magicrecs

@@ -13,10 +13,11 @@
 #include <chrono>
 #include <memory>
 #include <thread>
-#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "fanout_test_util.h"
 
 #include "cluster/transport.h"
 #include "gen/activity_stream.h"
@@ -27,104 +28,19 @@
 namespace magicrecs {
 namespace {
 
+using fanout_test::Daemon;
+using fanout_test::Group;
+using fanout_test::InlineReference;
+using fanout_test::MakeClusterOptions;
+using fanout_test::Sorted;
+using fanout_test::StartDaemon;
+using fanout_test::StartGroup;
+using fanout_test::ToEvents;
 using net::FanoutCluster;
 using net::FanoutClusterOptions;
 using net::FanoutEndpoint;
 using net::RpcServer;
 using net::RpcServerOptions;
-
-ClusterOptions MakeClusterOptions(uint32_t partitions, uint32_t replicas = 1,
-                                  uint32_t k = 2) {
-  ClusterOptions opt;
-  opt.num_partitions = partitions;
-  opt.replicas_per_partition = replicas;
-  opt.detector.k = k;
-  opt.detector.window = Minutes(10);
-  return opt;
-}
-
-std::vector<Recommendation> Sorted(std::vector<Recommendation> recs) {
-  std::sort(recs.begin(), recs.end(),
-            [](const Recommendation& a, const Recommendation& b) {
-              return std::tie(a.user, a.item, a.witness_count, a.trigger,
-                              a.event_time, a.witnesses) <
-                     std::tie(b.user, b.item, b.witness_count, b.trigger,
-                              b.event_time, b.witnesses);
-            });
-  return recs;
-}
-
-std::vector<EdgeEvent> ToEvents(const std::vector<TimestampedEdge>& edges) {
-  std::vector<EdgeEvent> events;
-  events.reserve(edges.size());
-  for (const TimestampedEdge& edge : edges) {
-    EdgeEvent event;
-    event.edge = edge;
-    events.push_back(event);
-  }
-  return events;
-}
-
-/// One in-process "daemon": a hosted transport behind a real RpcServer on an
-/// ephemeral loopback port — the same wire path as a magicrecsd process.
-struct Daemon {
-  std::unique_ptr<LocalClusterTransport> hosted;
-  std::unique_ptr<RpcServer> server;
-};
-
-Daemon StartDaemon(const StaticGraph& graph, const ClusterOptions& options) {
-  Daemon d;
-  auto hosted = LocalClusterTransport::Create(
-      graph, options, LocalClusterTransport::Mode::kThreaded);
-  EXPECT_TRUE(hosted.ok()) << hosted.status();
-  d.hosted = std::move(hosted).value();
-  auto server = RpcServer::Start(d.hosted.get(), RpcServerOptions{});
-  EXPECT_TRUE(server.ok()) << server.status();
-  d.server = std::move(server).value();
-  return d;
-}
-
-/// A partition group: N daemons, each hosting one global partition.
-struct Group {
-  std::vector<Daemon> daemons;
-  std::unique_ptr<FanoutCluster> broker;
-};
-
-Group StartGroup(const StaticGraph& graph, uint32_t group_size,
-                 uint32_t replicas, uint32_t k = 2) {
-  Group g;
-  FanoutClusterOptions fopt;
-  fopt.group_size = group_size;
-  for (uint32_t p = 0; p < group_size; ++p) {
-    ClusterOptions options = MakeClusterOptions(1, replicas, k);
-    options.group_size = group_size;
-    options.group_partition = p;
-    g.daemons.push_back(StartDaemon(graph, options));
-    FanoutEndpoint endpoint;
-    endpoint.port = g.daemons.back().server->port();
-    endpoint.partition = p;
-    fopt.endpoints.push_back(endpoint);
-  }
-  auto broker = FanoutCluster::Connect(fopt);
-  EXPECT_TRUE(broker.ok()) << broker.status();
-  g.broker = std::move(broker).value();
-  return g;
-}
-
-/// The inline single-process reference run.
-std::vector<Recommendation> InlineReference(
-    const StaticGraph& graph, const ClusterOptions& options,
-    const std::vector<EdgeEvent>& events) {
-  auto inline_transport = LocalClusterTransport::Create(
-      graph, options, LocalClusterTransport::Mode::kInline);
-  EXPECT_TRUE(inline_transport.ok());
-  for (const EdgeEvent& event : events) {
-    EXPECT_TRUE((*inline_transport)->Publish(event).ok());
-  }
-  auto recs = (*inline_transport)->TakeRecommendations();
-  EXPECT_TRUE(recs.ok());
-  return std::move(recs).value();
-}
 
 /// Publishes the stream (mixing per-event and batched publishes), drains,
 /// and gathers.

@@ -1,0 +1,456 @@
+// Degraded-mode acceptance for the fan-out broker (FanoutPolicy): quorum
+// gathers keep serving the surviving partitions when a daemon dies and the
+// GatherReport names what is missing; hedged publishes re-send on a fresh
+// connection and the server-side batch-sequence dedup suppresses the
+// duplicate; publishes to an unreachable daemon park in a bounded replay
+// buffer and flow again — restoring byte-identical strict-mode results —
+// once the daemon returns. Strict mode on a healthy group must stay
+// byte-identical to the PR 3 contract.
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fanout_test_util.h"
+
+#include "cluster/transport.h"
+#include "gen/activity_stream.h"
+#include "gen/figure1.h"
+#include "gen/social_graph.h"
+#include "net/fanout_cluster.h"
+#include "net/rpc_server.h"
+
+namespace magicrecs {
+namespace {
+
+using fanout_test::Daemon;
+using fanout_test::Group;
+using fanout_test::InlineReference;
+using fanout_test::MakeClusterOptions;
+using fanout_test::Sorted;
+using fanout_test::StartDaemon;
+using fanout_test::StartGroup;
+using fanout_test::ToEvents;
+using net::FanoutCluster;
+using net::FanoutClusterOptions;
+using net::FanoutEndpoint;
+using net::FanoutPolicy;
+using net::RpcServer;
+using net::RpcServerOptions;
+
+/// A ClusterTransport decorator that stalls the first `delays` PublishBatch
+/// calls by `delay` — the "slow daemon" a hedged publish is designed to
+/// route around. Everything else forwards unchanged.
+class DelayingTransport : public ClusterTransport {
+ public:
+  DelayingTransport(ClusterTransport* wrapped,
+                    std::chrono::milliseconds delay, int delays)
+      : wrapped_(wrapped), delay_(delay), delays_left_(delays) {}
+
+  Status Publish(const EdgeEvent& event) override {
+    return wrapped_->Publish(event);
+  }
+  Status PublishBatch(std::span<const EdgeEvent> events) override {
+    if (delays_left_.fetch_sub(1, std::memory_order_relaxed) > 0) {
+      std::this_thread::sleep_for(delay_);
+    }
+    return wrapped_->PublishBatch(events);
+  }
+  Status Drain() override { return wrapped_->Drain(); }
+  Result<std::vector<Recommendation>> TakeRecommendations() override {
+    return wrapped_->TakeRecommendations();
+  }
+  Status Checkpoint(Timestamp created_at) override {
+    return wrapped_->Checkpoint(created_at);
+  }
+  Status KillReplica(uint32_t partition, uint32_t replica) override {
+    return wrapped_->KillReplica(partition, replica);
+  }
+  Status RecoverReplica(uint32_t partition, uint32_t replica) override {
+    return wrapped_->RecoverReplica(partition, replica);
+  }
+  Result<ClusterStats> GetStats() override { return wrapped_->GetStats(); }
+  Result<HashPartitioner> Partitioner() const override {
+    return wrapped_->Partitioner();
+  }
+  Status Close() override { return Status::OK(); }  // wrapped_ not owned
+
+ private:
+  ClusterTransport* wrapped_;
+  std::chrono::milliseconds delay_;
+  std::atomic<int> delays_left_;
+};
+
+/// A degraded-policy partition group.
+Group StartGroup(const StaticGraph& graph, uint32_t group_size,
+                 FanoutPolicy policy, uint32_t gather_quorum = 0,
+                 int hedge_after_ms = 0) {
+  FanoutClusterOptions fopt;
+  fopt.policy = policy;
+  fopt.gather_quorum = gather_quorum;
+  fopt.hedge_after_ms = hedge_after_ms;
+  return StartGroup(graph, group_size, /*replicas=*/1, /*k=*/2, fopt);
+}
+
+struct TestWorkload {
+  StaticGraph graph;
+  std::vector<EdgeEvent> events;
+};
+
+TestWorkload MakeTestWorkload(size_t num_events = 4'000) {
+  SocialGraphOptions gopt;
+  gopt.num_users = 300;
+  gopt.mean_followees = 10;
+  gopt.seed = 707;
+  auto graph = SocialGraphGenerator(gopt).Generate();
+  EXPECT_TRUE(graph.ok());
+
+  ActivityStreamOptions sopt;
+  sopt.num_events = num_events;
+  sopt.events_per_second = 300;
+  sopt.burst_fraction = 0.3;
+  sopt.seed = 708;
+  auto stream = ActivityStreamGenerator(&*graph, sopt).Generate();
+  EXPECT_TRUE(stream.ok());
+  return TestWorkload{*std::move(graph), ToEvents(stream->events)};
+}
+
+TEST(FanoutDegradedTest, QuorumGatherSurvivesDaemonKilledMidstream) {
+  // 4-daemon quorum group. Kill one daemon, keep going: the gather must
+  // return the three surviving partitions' recommendations and the
+  // GatherReport must name the dead one.
+  TestWorkload w = MakeTestWorkload();
+  constexpr uint32_t kGroup = 4;
+  const ClusterOptions ref_options = MakeClusterOptions(kGroup);
+  const std::vector<Recommendation> reference =
+      Sorted(InlineReference(w.graph, ref_options, w.events));
+  ASSERT_FALSE(reference.empty()) << "workload produced no motifs";
+
+  Group g = StartGroup(w.graph, kGroup, FanoutPolicy::kQuorum);
+  ASSERT_TRUE(g.broker->Ping().ok());
+
+  // First half healthy.
+  const size_t half = w.events.size() / 2;
+  ASSERT_TRUE(
+      g.broker->PublishBatch(std::span(w.events.data(), half)).ok());
+  ASSERT_TRUE(g.broker->Drain().ok());
+
+  // Kill daemon 2, then publish the rest in ONE call: the dead daemon's
+  // share parks in its replay buffer and the publish succeeds — a retry
+  // would double-deliver to the survivors and break byte-identity, so the
+  // degraded contract must hold on the first attempt.
+  const uint32_t victim = 2;
+  g.daemons[victim].server->Stop();
+  const Status published = g.broker->PublishBatch(
+      std::span(w.events.data() + half, w.events.size() - half));
+  ASSERT_TRUE(published.ok()) << published;
+
+  // Drain tolerates the dead daemon (3/4 >= majority quorum of 3).
+  ASSERT_TRUE(g.broker->Drain().ok());
+
+  auto degraded = g.broker->TakeRecommendations();
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  const GatherReport report = g.broker->LastGatherReport();
+  EXPECT_EQ(report.daemons_total, kGroup);
+  EXPECT_EQ(report.daemons_answered, kGroup - 1);
+  ASSERT_EQ(report.missing_partitions.size(), 1u);
+  EXPECT_EQ(report.missing_partitions[0], victim);
+  EXPECT_FALSE(report.complete());
+
+  // (1) The degraded merge covers exactly the surviving partitions: every
+  // reference recommendation NOT owned by the dead partition, except those
+  // triggered by events the victim never received (parked in its replay
+  // buffer — but those are all owned by the victim anyway).
+  auto partitioner = g.broker->Partitioner();
+  ASSERT_TRUE(partitioner.ok());
+  std::vector<Recommendation> expected_survivors;
+  for (const Recommendation& rec : reference) {
+    if (partitioner->PartitionOf(rec.user) != victim) {
+      expected_survivors.push_back(rec);
+    }
+  }
+  EXPECT_EQ(Sorted(*degraded), Sorted(expected_survivors))
+      << "degraded gather does not match the surviving partitions' share";
+
+  // Staleness is visible through the merged stats.
+  auto stats = g.broker->GetStats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GE(stats->degraded_gathers, 1u);
+  ASSERT_EQ(stats->partition_health.size(), kGroup);
+  for (const PartitionHealth& health : stats->partition_health) {
+    if (health.partition == victim) {
+      EXPECT_GE(health.gathers_missed_consecutive, 1u) << health.ToString();
+    } else {
+      EXPECT_EQ(health.gathers_missed_consecutive, 0u) << health.ToString();
+    }
+  }
+
+  // (3) Recovery: revive the daemon on the same port. Its replay buffer
+  // flushes the parked second half, after which the union of everything
+  // gathered is byte-identical to the strict-mode (inline) reference.
+  const uint16_t dead_port = g.daemons[victim].server->port();
+  g.daemons[victim].server->Stop();
+  {
+    RpcServerOptions ropt;
+    ropt.port = dead_port;
+    auto revived = RpcServer::Start(g.daemons[victim].hosted.get(), ropt);
+    ASSERT_TRUE(revived.ok()) << revived.status();
+    g.daemons[victim].server = std::move(revived).value();
+  }
+  std::vector<Recommendation> all = *degraded;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    ASSERT_TRUE(g.broker->Drain().ok());
+    auto taken = g.broker->TakeRecommendations();
+    ASSERT_TRUE(taken.ok()) << taken.status();
+    all.insert(all.end(), taken->begin(), taken->end());
+    if (g.broker->LastGatherReport().complete() &&
+        all.size() >= reference.size()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(Sorted(all), reference)
+      << "recovery did not restore byte-identical strict-mode results";
+  auto recovered_stats = g.broker->GetStats();
+  ASSERT_TRUE(recovered_stats.ok());
+  EXPECT_GT(recovered_stats->replayed_events, 0u)
+      << "the parked publishes were never replayed";
+  EXPECT_EQ(recovered_stats->replay_dropped_events, 0u);
+}
+
+TEST(FanoutDegradedTest, StrictModeOnHealthyGroupMatchesInlineReference) {
+  // The lock on PR 3 behavior: strict policy on a healthy group produces
+  // byte-identical records to the inline broker, and a complete report.
+  TestWorkload w = MakeTestWorkload(2'000);
+  constexpr uint32_t kGroup = 2;
+  const std::vector<Recommendation> reference = Sorted(
+      InlineReference(w.graph, MakeClusterOptions(kGroup), w.events));
+  ASSERT_FALSE(reference.empty());
+
+  Group g = StartGroup(w.graph, kGroup, FanoutPolicy::kStrict);
+  ASSERT_TRUE(g.broker->PublishBatch(w.events).ok());
+  ASSERT_TRUE(g.broker->Drain().ok());
+  auto recs = g.broker->TakeRecommendations();
+  ASSERT_TRUE(recs.ok());
+  EXPECT_EQ(Sorted(*recs), reference);
+  EXPECT_TRUE(g.broker->LastGatherReport().complete());
+  auto stats = g.broker->GetStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->degraded_gathers, 0u);
+  EXPECT_EQ(stats->hedged_publishes, 0u);
+  EXPECT_EQ(stats->replayed_events, 0u);
+}
+
+TEST(FanoutDegradedTest, BestEffortGatherSurvivesEveryDaemonDown) {
+  Group g = StartGroup(figure1::FollowGraph(), 2, FanoutPolicy::kBestEffort);
+  for (auto& daemon : g.daemons) daemon.server->Stop();
+  // Publishes park in the replay buffers, gathers return empty — nothing
+  // errors, the report says everything is missing.
+  EdgeEvent event;
+  event.edge = {figure1::kB1, figure1::kC1, 1};
+  EXPECT_TRUE(g.broker->Publish(event).ok());
+  auto recs = g.broker->TakeRecommendations();
+  ASSERT_TRUE(recs.ok()) << recs.status();
+  EXPECT_TRUE(recs->empty());
+  const GatherReport report = g.broker->LastGatherReport();
+  EXPECT_EQ(report.daemons_answered, 0u);
+  EXPECT_EQ(report.missing_partitions.size(), 2u);
+}
+
+TEST(FanoutDegradedTest, QuorumNotMetReturnsErrorAndRescues) {
+  // 2-daemon group with quorum 2: one death means the gather FAILS (below
+  // quorum) and the healthy daemon's share is rescued for the next
+  // successful take — the strict-mode rescue contract under quorum policy.
+  Group g = StartGroup(figure1::FollowGraph(), 2, FanoutPolicy::kQuorum,
+                       /*gather_quorum=*/2);
+  for (const EdgeEvent& event : ToEvents(figure1::DynamicEdges(0))) {
+    ASSERT_TRUE(g.broker->Publish(event).ok());
+  }
+  ASSERT_TRUE(g.broker->Drain().ok());
+
+  auto partitioner = g.broker->Partitioner();
+  ASSERT_TRUE(partitioner.ok());
+  const uint32_t owner = partitioner->PartitionOf(figure1::kA2);
+  const uint32_t victim = 1 - owner;
+  const uint16_t victim_port = g.daemons[victim].server->port();
+  g.daemons[victim].server->Stop();
+
+  Status failed;
+  for (int i = 0; i < 10 && failed.ok(); ++i) {
+    failed = g.broker->TakeRecommendations().status();
+  }
+  ASSERT_FALSE(failed.ok()) << "gather met a 2-quorum with 1 daemon";
+
+  {
+    RpcServerOptions ropt;
+    ropt.port = victim_port;
+    auto revived = RpcServer::Start(g.daemons[victim].hosted.get(), ropt);
+    ASSERT_TRUE(revived.ok()) << revived.status();
+    g.daemons[victim].server = std::move(revived).value();
+  }
+  std::vector<Recommendation> recs;
+  for (int i = 0; i < 100; ++i) {
+    auto taken = g.broker->TakeRecommendations();
+    if (taken.ok()) {
+      recs = std::move(taken).value();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_EQ(recs.size(), 1u) << "the rescued recommendation was dropped";
+  EXPECT_EQ(recs[0].user, figure1::kA2);
+  EXPECT_EQ(recs[0].item, figure1::kC2);
+}
+
+TEST(FanoutDegradedTest, RescueBufferIsBoundedAndCountsDrops) {
+  // A rescue buffer capped at 1: a failed gather holding several
+  // recommendations keeps one and counts the rest as dropped — growth is
+  // bounded no matter how often partial gathers repeat.
+  TestWorkload w = MakeTestWorkload(2'000);
+  constexpr uint32_t kGroup = 2;
+  const std::vector<Recommendation> reference = Sorted(
+      InlineReference(w.graph, MakeClusterOptions(kGroup), w.events));
+  ASSERT_GT(reference.size(), 1u) << "need >= 2 recs to overflow a 1-cap";
+
+  FanoutClusterOptions fopt;
+  fopt.policy = FanoutPolicy::kQuorum;
+  fopt.gather_quorum = 2;  // any death -> below quorum -> rescue path
+  fopt.max_pending_recommendations = 1;
+  Group g = StartGroup(w.graph, kGroup, /*replicas=*/1, /*k=*/2, fopt);
+  ASSERT_TRUE(g.broker->PublishBatch(w.events).ok());
+  ASSERT_TRUE(g.broker->Drain().ok());
+
+  // Find a victim whose death leaves >= 2 recs on the survivor.
+  auto partitioner = g.broker->Partitioner();
+  ASSERT_TRUE(partitioner.ok());
+  size_t per_partition[kGroup] = {};
+  for (const Recommendation& rec : reference) {
+    per_partition[partitioner->PartitionOf(rec.user)]++;
+  }
+  const uint32_t survivor = per_partition[0] >= 2 ? 0 : 1;
+  ASSERT_GE(per_partition[survivor], 2u)
+      << "workload left no partition with 2+ recs";
+  const uint32_t victim = 1 - survivor;
+  const uint16_t victim_port = g.daemons[victim].server->port();
+  g.daemons[victim].server->Stop();
+
+  Status failed;
+  for (int i = 0; i < 10 && failed.ok(); ++i) {
+    failed = g.broker->TakeRecommendations().status();
+  }
+  ASSERT_FALSE(failed.ok());
+
+  // Revive the victim so the 2-quorum stats sweep can answer, then check
+  // the rescue accounting: 1 kept (the bound), the rest counted dropped.
+  {
+    RpcServerOptions ropt;
+    ropt.port = victim_port;
+    auto revived = RpcServer::Start(g.daemons[victim].hosted.get(), ropt);
+    ASSERT_TRUE(revived.ok()) << revived.status();
+    g.daemons[victim].server = std::move(revived).value();
+  }
+  Status reconnected;
+  for (int i = 0; i < 100; ++i) {
+    reconnected = g.broker->Ping();
+    if (reconnected.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(reconnected.ok()) << reconnected;
+  auto stats = g.broker->GetStats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->rescued_recommendations, 1u)
+      << "rescue buffer exceeded its bound";
+  EXPECT_EQ(stats->rescue_dropped, per_partition[survivor] - 1);
+}
+
+TEST(FanoutDegradedTest, HedgedPublishIsDedupedServerSide) {
+  // One daemon whose transport stalls its first PublishBatch far past the
+  // hedge threshold: the broker re-sends on a fresh connection, the
+  // server's sequence dedup suppresses the duplicate, and the events are
+  // applied exactly once.
+  TestWorkload w = MakeTestWorkload(256);
+  ClusterOptions options = MakeClusterOptions(2);
+
+  auto hosted = LocalClusterTransport::Create(
+      w.graph, options, LocalClusterTransport::Mode::kThreaded);
+  ASSERT_TRUE(hosted.ok()) << hosted.status();
+  DelayingTransport delaying(hosted->get(), std::chrono::milliseconds(400),
+                             /*delays=*/1);
+  auto server = RpcServer::Start(&delaying, RpcServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  FanoutClusterOptions fopt;
+  fopt.group_size = 2;
+  fopt.policy = FanoutPolicy::kQuorum;
+  fopt.hedge_after_ms = 60;
+  FanoutEndpoint endpoint;
+  endpoint.port = (*server)->port();
+  fopt.endpoints.push_back(endpoint);
+  auto broker = FanoutCluster::Connect(fopt);
+  ASSERT_TRUE(broker.ok()) << broker.status();
+
+  // One 256-event batch = one frame. The original lane sleeps 400ms inside
+  // the server; the hedge fires after ~60ms on a fresh connection and is
+  // acked as a duplicate immediately.
+  ASSERT_TRUE((*broker)->PublishBatch(w.events).ok());
+  auto stats = (*broker)->GetStats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->hedged_publishes, 1u) << "the hedge never fired";
+
+  // Wait out the stalled original, then verify exactly-once application:
+  // the daemon counted every event once despite two deliveries.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  ASSERT_TRUE((*broker)->Drain().ok());
+  auto settled = (*broker)->GetStats();
+  ASSERT_TRUE(settled.ok()) << settled.status();
+  EXPECT_EQ(settled->events_published, w.events.size())
+      << "hedged batch was applied twice (dedup failed) or dropped";
+}
+
+TEST(FanoutDegradedTest, ReplayBufferOverflowIsExplicit) {
+  // A replay buffer bounded at 100 events: parking past it must refuse
+  // with ResourceExhausted and count the drop, never silently grow or
+  // silently discard.
+  TestWorkload w = MakeTestWorkload(1'024);
+  FanoutClusterOptions fopt;
+  fopt.policy = FanoutPolicy::kQuorum;
+  fopt.gather_quorum = 1;
+  fopt.replay_buffer_events = 100;
+  Group g = StartGroup(w.graph, 2, /*replicas=*/1, /*k=*/2, fopt);
+  g.daemons[1].server->Stop();
+
+  // 64-event batches park fine until the 100-event bound would be crossed.
+  Status status;
+  int overflow_at = -1;
+  for (int i = 0; i < 10; ++i) {
+    status = g.broker->PublishBatch(std::span(w.events.data() + i * 64, 64));
+    if (status.IsResourceExhausted()) {
+      overflow_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(overflow_at, 0) << "overflow never surfaced: " << status;
+  EXPECT_NE(status.ToString().find("replay buffer full"), std::string::npos)
+      << status;
+  auto stats = g.broker->GetStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->replay_dropped_events, 64u)
+      << "exactly the refused batch should be counted dropped";
+}
+
+TEST(FanoutDegradedTest, QuorumValidationAtConnect) {
+  FanoutClusterOptions fopt;
+  fopt.endpoints.resize(2);
+  fopt.endpoints[0].partition = 0;
+  fopt.endpoints[1].partition = 1;
+  fopt.policy = FanoutPolicy::kQuorum;
+  fopt.gather_quorum = 3;  // > endpoints
+  EXPECT_TRUE(FanoutCluster::Connect(fopt).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace magicrecs

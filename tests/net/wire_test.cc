@@ -379,6 +379,173 @@ TEST(WireTest, ForgedRecommendationCountsRejected) {
                   .IsInvalidArgument());
 }
 
+TEST(WireTest, PublishBatchSequenceTailRoundTrips) {
+  const std::vector<EdgeEvent> events = {MakeEvent(1, 2, 100),
+                                         MakeEvent(3, 4, 200)};
+  std::string frame;
+  AppendPublishBatch(events, &frame, /*batch_sequence=*/0xfeedbeefcafe);
+  const Frame split = DecodeWhole(frame);
+  EXPECT_EQ(split.tag, MessageTag::kPublishBatch);
+  std::vector<EdgeEvent> decoded;
+  uint64_t sequence = 0;
+  ASSERT_TRUE(DecodePublishBatch(split.payload, &decoded, &sequence).ok());
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].edge.src, 1u);
+  EXPECT_EQ(decoded[1].edge.dst, 4u);
+  EXPECT_EQ(sequence, 0xfeedbeefcafeull);
+}
+
+TEST(WireTest, PublishBatchWithoutSequenceTailIsByteIdenticalAndDecodes) {
+  // Sequence 0 must emit the pre-extension encoding byte for byte (strict
+  // brokers keep their PR 3 wire behavior), and the new decoder must read
+  // it as "no sequence".
+  const std::vector<EdgeEvent> events = {MakeEvent(7, 8, 300)};
+  std::string old_frame;
+  AppendPublishBatch(events, &old_frame);
+  std::string explicit_zero;
+  AppendPublishBatch(events, &explicit_zero, /*batch_sequence=*/0);
+  EXPECT_EQ(old_frame, explicit_zero);
+
+  std::vector<EdgeEvent> decoded;
+  uint64_t sequence = 99;
+  ASSERT_TRUE(DecodePublishBatch(DecodeWhole(old_frame).payload, &decoded,
+                                 &sequence)
+                  .ok());
+  EXPECT_EQ(sequence, 0u);
+  // The old call shape (no out-param) still works.
+  ASSERT_TRUE(DecodePublishBatch(DecodeWhole(old_frame).payload, &decoded)
+                  .ok());
+}
+
+TEST(WireTest, PublishBatchRejectsMangledSequenceTail) {
+  const std::vector<EdgeEvent> events = {MakeEvent(1, 2, 100)};
+  std::string frame;
+  AppendPublishBatch(events, &frame, /*batch_sequence=*/5);
+  std::string payload = DecodeWhole(frame).payload;
+  payload.resize(payload.size() - 3);  // tail is now neither 0 nor 8 bytes
+  std::vector<EdgeEvent> decoded;
+  EXPECT_TRUE(DecodePublishBatch(payload, &decoded).IsInvalidArgument());
+}
+
+TEST(WireTest, GatherReportTailRoundTrips) {
+  GatherReport report;
+  report.daemons_total = 4;
+  report.daemons_answered = 3;
+  report.missing_partitions = {2};
+
+  std::vector<Recommendation> recs(1);
+  recs[0].user = 11;
+  recs[0].item = 22;
+  recs[0].witnesses = {1, 2};
+  std::string frame;
+  AppendRecommendationsReply(recs, /*has_more=*/false, &frame, &report);
+
+  std::vector<Recommendation> decoded;
+  bool has_more = true;
+  GatherReport decoded_report;
+  ASSERT_TRUE(DecodeRecommendationsReply(DecodeWhole(frame).payload,
+                                         &decoded, &has_more,
+                                         &decoded_report)
+                  .ok());
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].user, 11u);
+  EXPECT_FALSE(has_more);
+  EXPECT_EQ(decoded_report, report);
+  EXPECT_FALSE(decoded_report.complete());
+}
+
+TEST(WireTest, CompleteGatherOmitsReportTailAndDecodesAsComplete) {
+  // A complete report must not change the bytes at all (back-compat with
+  // PR 3 clients on the healthy path), and the pre-extension encoding must
+  // decode to a complete report.
+  GatherReport complete;
+  complete.daemons_total = 4;
+  complete.daemons_answered = 4;
+  std::vector<Recommendation> recs(1);
+  std::string with_report;
+  AppendRecommendationsReply(recs, false, &with_report, &complete);
+  std::string without_report;
+  AppendRecommendationsReply(recs, false, &without_report);
+  EXPECT_EQ(with_report, without_report);
+
+  std::vector<Recommendation> decoded;
+  bool has_more = false;
+  GatherReport report;
+  report.missing_partitions = {7};  // stale state must be overwritten
+  ASSERT_TRUE(DecodeRecommendationsReply(DecodeWhole(without_report).payload,
+                                         &decoded, &has_more, &report)
+                  .ok());
+  EXPECT_TRUE(report.complete());
+  EXPECT_TRUE(report.missing_partitions.empty());
+}
+
+TEST(WireTest, ChunkedReplyCarriesReportOnLastFrameOnly) {
+  GatherReport report;
+  report.daemons_total = 2;
+  report.daemons_answered = 1;
+  report.missing_partitions = {0};
+
+  // Force several chunks with a tiny budget.
+  std::vector<Recommendation> recs(5);
+  for (size_t i = 0; i < recs.size(); ++i) {
+    recs[i].user = static_cast<VertexId>(i);
+    recs[i].witnesses = {1, 2, 3};
+  }
+  std::string frames;
+  AppendRecommendationsReplyChunked(recs, /*max_payload_bytes=*/64, &frames,
+                                    &report);
+
+  // Walk the frames; only the final one may carry the tail.
+  std::vector<Recommendation> decoded;
+  size_t offset = 0;
+  bool has_more = true;
+  GatherReport frame_report;
+  size_t frame_count = 0;
+  while (offset < frames.size()) {
+    uint32_t body_len = 0;
+    uint32_t crc = 0;
+    ASSERT_TRUE(DecodeFrameHeader(
+                    reinterpret_cast<const uint8_t*>(frames.data() + offset),
+                    &body_len, &crc)
+                    .ok());
+    const std::string_view payload(frames.data() + offset +
+                                       kFrameHeaderBytes + 1,
+                                   body_len - 1);
+    ASSERT_TRUE(DecodeRecommendationsReply(payload, &decoded, &has_more,
+                                           &frame_report)
+                    .ok());
+    if (has_more) {
+      EXPECT_TRUE(frame_report.complete())
+          << "non-final frame carried the report tail";
+    }
+    offset += kFrameHeaderBytes + body_len;
+    frame_count++;
+  }
+  EXPECT_GT(frame_count, 1u) << "budget did not force chunking";
+  EXPECT_FALSE(has_more);
+  EXPECT_EQ(frame_report, report) << "final frame lost the report tail";
+  EXPECT_EQ(decoded.size(), recs.size());
+}
+
+TEST(WireTest, GatherReportTailRejectsForgedMissingCount) {
+  GatherReport report;
+  report.daemons_total = 2;
+  report.daemons_answered = 1;
+  report.missing_partitions = {1};
+  std::string frame;
+  AppendRecommendationsReply({}, false, &frame, &report);
+  std::string payload = DecodeWhole(frame).payload;
+  // The missing count sits 4 bytes before the single missing id at the
+  // payload tail; forge it to claim more ids than the bytes provide.
+  const uint32_t forged = 1'000'000;
+  std::memcpy(payload.data() + payload.size() - 8, &forged, sizeof(forged));
+  std::vector<Recommendation> recs;
+  bool has_more = false;
+  GatherReport decoded;
+  EXPECT_TRUE(DecodeRecommendationsReply(payload, &recs, &has_more, &decoded)
+                  .IsInvalidArgument());
+}
+
 TEST(WireTest, EveryTagHasAName) {
   for (const MessageTag tag :
        {MessageTag::kPublish, MessageTag::kPublishBatch,

@@ -139,6 +139,58 @@ TEST(HistogramTest, QuantilesMonotone) {
   }
 }
 
+TEST(HistogramTest, BucketRoundTripHoldsAtOctaveBoundaries) {
+  // The satellite audit for the log-bucket math: for every value v the
+  // containing bucket's range must actually contain v —
+  //   BucketLow(BucketFor(v)) <= v <= BucketHigh(BucketFor(v))
+  // — checked exhaustively where off-by-ones hide: 2^k - 1, 2^k, 2^k + 1
+  // for every octave, every sub-bucket edge ((16 + s) << o, +- 1), the
+  // direct-indexed range, and the saturated top bucket.
+  const auto check = [](uint64_t v) {
+    const int index = Histogram::BucketFor(v);
+    ASSERT_GE(index, 0) << "v=" << v;
+    ASSERT_LT(index, Histogram::kNumBuckets) << "v=" << v;
+    EXPECT_LE(Histogram::BucketLow(index), v)
+        << "BucketLow(BucketFor(" << v << ")) overshoots, index=" << index;
+    EXPECT_GE(Histogram::BucketHigh(index), v)
+        << "BucketHigh(BucketFor(" << v << ")) undershoots, index=" << index;
+    // Ranges must also be internally consistent.
+    EXPECT_LE(Histogram::BucketLow(index), Histogram::BucketHigh(index))
+        << "inverted bucket " << index;
+  };
+  // Every small value (the direct-indexed range and the first octaves).
+  for (uint64_t v = 0; v < 4096; ++v) check(v);
+  // Power-of-two boundaries across all 64 bits.
+  for (int k = 0; k < 64; ++k) {
+    const uint64_t p = uint64_t{1} << k;
+    check(p - 1);
+    check(p);
+    if (p + 1 != 0) check(p + 1);
+  }
+  // Sub-bucket edges of every octave: (16 + s) << o is the exact lower
+  // bound of a bucket; its neighbors must land in the adjacent buckets
+  // without gaps.
+  for (int o = 0; o < 59; ++o) {
+    for (int s = 0; s < Histogram::kSubBuckets; ++s) {
+      const uint64_t edge = (uint64_t{16} + s) << o;
+      check(edge - 1);
+      check(edge);
+      check(edge + 1);
+    }
+  }
+  // The saturated top.
+  check(~uint64_t{0});
+  check(~uint64_t{0} - 1);
+
+  // Bucket lower bounds are strictly increasing, so with
+  // BucketHigh(i) = BucketLow(i+1) - 1 the buckets tile the value space
+  // with no gap, overlap, or inversion.
+  for (int index = 0; index + 1 < Histogram::kNumBuckets; ++index) {
+    EXPECT_LT(Histogram::BucketLow(index), Histogram::BucketLow(index + 1))
+        << "bucket lower bounds not monotonic at " << index;
+  }
+}
+
 TEST(HistogramTest, HugeValuesDoNotOverflow) {
   Histogram h;
   h.Record(int64_t{1} << 60);

@@ -55,6 +55,10 @@ struct DaemonOptions {
   ClusterOptions cluster;
   bool inline_mode = false;
   bool partition_id_set = false;
+
+  // Idempotent publish-batch dedup window (hedged broker re-sends; see
+  // net/rpc_server.h). 0 disables dedup.
+  size_t publish_dedup_window = 4096;
 };
 
 void PrintUsage() {
@@ -77,6 +81,8 @@ void PrintUsage() {
       "  --window-secs=N        freshness window tau (600)\n"
       "  --inbox-capacity=N     per-replica inbox bound (65536)\n"
       "  --max-influencers=N    influencer cap, 0 = off (0)\n"
+      "  --publish-dedup-window=N  idempotent batch sequences remembered\n"
+      "                         for hedged-publish dedup; 0 = off (4096)\n"
       "  --persist-dir=PATH     WAL + snapshot directory, empty = off\n"
       "  --fsync-batch=N        group-commit batch with --fsync (1)\n"
       "  --fsync                fdatasync WAL appends\n"
@@ -136,6 +142,8 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* options) {
       options->cluster.inbox_capacity = std::strtoull(value.c_str(), nullptr, 10);
     } else if (FlagValue(arg, "max-influencers", &value)) {
       options->cluster.max_influencers_per_user = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (FlagValue(arg, "publish-dedup-window", &value)) {
+      options->publish_dedup_window = std::strtoull(value.c_str(), nullptr, 10);
     } else if (FlagValue(arg, "persist-dir", &value)) {
       options->cluster.persist.dir = value;
     } else if (FlagValue(arg, "fsync-batch", &value)) {
@@ -215,6 +223,7 @@ int main(int argc, char** argv) {
   net::RpcServerOptions server_options;
   server_options.host = options.host;
   server_options.port = options.port;
+  server_options.publish_dedup_window = options.publish_dedup_window;
   auto server = net::RpcServer::Start(transport->get(), server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "magicrecsd: starting server: %s\n",
@@ -262,9 +271,10 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "magicrecsd: served %llu requests over %llu connections "
-               "(%llu protocol errors)\n",
+               "(%llu protocol errors, %llu duplicate batches suppressed)\n",
                static_cast<unsigned long long>(stats.requests_served),
                static_cast<unsigned long long>(stats.connections_accepted),
-               static_cast<unsigned long long>(stats.protocol_errors));
+               static_cast<unsigned long long>(stats.protocol_errors),
+               static_cast<unsigned long long>(stats.duplicate_batches));
   return closed.ok() ? 0 : 1;
 }
