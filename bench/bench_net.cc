@@ -25,8 +25,10 @@
 // so fan-out multiplies bytes written, while the per-daemon detector work
 // shrinks with the shard).
 //
-// Every row is also appended to BENCH_net.json (one JSON array) so the
-// perf trajectory accumulates machine-readably across PRs.
+// Every row is also written to BENCH_net.json (one JSON array, rewritten
+// per run) so a CI job or an operator can diff runs machine-readably;
+// the file itself is gitignored — accumulating a trajectory across PRs
+// means archiving each run's file (e.g. as a CI artifact).
 
 #include <cstdio>
 #include <memory>

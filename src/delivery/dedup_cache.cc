@@ -10,8 +10,7 @@ DedupCache::DedupCache() : DedupCache(Options()) {}
 
 DedupCache::DedupCache(const Options& options) : options_(options) {}
 
-bool DedupCache::IsDuplicate(VertexId user, VertexId item,
-                             Timestamp now) const {
+bool DedupCache::IsDuplicate(VertexId user, VertexId item, Timestamp now) {
   const auto it = entries_.find(Key(user, item));
   if (it == entries_.end()) return false;
   if (now - it->second >= options_.ttl) {

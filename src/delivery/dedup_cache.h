@@ -15,7 +15,10 @@
 namespace magicrecs {
 
 /// TTL + capacity bounded map of recently delivered (user, item) pairs.
-/// Thread-compatible.
+/// Thread-compatible, NOT thread-safe: every member — including the probe,
+/// IsDuplicate, which erases the expired entries it finds — may mutate the
+/// map, so concurrent callers need external synchronization (the delivery
+/// pipeline runs it single-threaded).
 class DedupCache {
  public:
   struct Options {
@@ -32,8 +35,10 @@ class DedupCache {
 
   /// True iff (user, item) was recorded within the TTL. An expired entry
   /// found by the probe is erased on the spot (lazy expiry), so a workload
-  /// that never exceeds max_entries still frees memory.
-  bool IsDuplicate(VertexId user, VertexId item, Timestamp now) const;
+  /// that never exceeds max_entries still frees memory. Deliberately
+  /// non-const: the erase is a real mutation, and a const signature would
+  /// invite unsynchronized concurrent probes.
+  bool IsDuplicate(VertexId user, VertexId item, Timestamp now);
 
   /// Records a delivery at `now`, refreshing any existing entry. Also
   /// sweeps a few buckets for expired entries (amortized O(1) per call),
@@ -57,10 +62,9 @@ class DedupCache {
   void SweepSome(Timestamp now);
 
   Options options_;
-  /// Mutable so the const probe path can erase the expired entry it found.
-  mutable std::unordered_map<uint64_t, Timestamp> entries_;
+  std::unordered_map<uint64_t, Timestamp> entries_;
   size_t sweep_cursor_ = 0;
-  mutable uint64_t duplicates_ = 0;
+  uint64_t duplicates_ = 0;
 };
 
 }  // namespace magicrecs

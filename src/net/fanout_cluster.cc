@@ -1,6 +1,7 @@
 #include "net/fanout_cluster.h"
 
 #include <algorithm>
+#include <random>
 #include <utility>
 
 #include "net/frame_io.h"
@@ -83,11 +84,35 @@ Result<std::unique_ptr<FanoutCluster>> FanoutCluster::Connect(
 
 FanoutCluster::FanoutCluster(const FanoutClusterOptions& options)
     : options_(options) {
+  // Batch sequences must be unique across broker incarnations, not just
+  // within one: the daemons' dedup window is keyed by the raw u64 and
+  // outlives any one broker's connections, so a counter restarting at 1
+  // after a broker restart (or a second broker publishing to the same
+  // daemons) would reuse sequences already in the window and have its
+  // genuinely new batches acked without being applied — silent event loss
+  // reported as success. A random 64-bit epoch per incarnation puts
+  // distinct brokers in disjoint sequence ranges with overwhelming
+  // probability (a window of W sequences collides with a fresh epoch with
+  // probability ~W/2^64).
+  std::random_device rd;
+  uint64_t epoch =
+      (static_cast<uint64_t>(rd()) << 32) | static_cast<uint64_t>(rd());
+  if (epoch == 0) epoch = 1;  // 0 is the wire's "no dedup" marker
+  next_batch_sequence_.store(epoch, std::memory_order_relaxed);
   for (const FanoutEndpoint& endpoint : options.endpoints) {
     auto daemon = std::make_unique<Daemon>();
     daemon->endpoint = endpoint;
     daemons_.push_back(std::move(daemon));
   }
+}
+
+uint64_t FanoutCluster::NextBatchSequence() {
+  uint64_t sequence =
+      next_batch_sequence_.fetch_add(1, std::memory_order_relaxed);
+  while (sequence == 0) {  // wrapped onto the "no dedup" marker: skip it
+    sequence = next_batch_sequence_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return sequence;
 }
 
 FanoutCluster::~FanoutCluster() {
@@ -261,9 +286,18 @@ void FanoutCluster::FlushReplayOn(Slot* slot) {
       const Status err = TagError(*daemon, DecodeError(reply.payload));
       if (slot->server_error.ok()) slot->server_error = err;
       if (slot->status.ok()) slot->status = err;
-    } else if (slot->status.ok()) {
-      slot->status =
-          TagError(*daemon, UnexpectedReply(reply.tag, "replay ack"));
+    } else {
+      // Neither ack nor error: the stream can no longer be trusted to be
+      // frame-aligned (version skew or a protocol bug). Poison the lane
+      // and keep the frame parked for the next attempt — consuming it
+      // here would lose its events without counting them anywhere, and
+      // replaying further frames would mispair their replies.
+      if (slot->status.ok()) {
+        slot->status =
+            TagError(*daemon, UnexpectedReply(reply.tag, "replay ack"));
+      }
+      slot->poisoned = true;
+      return;
     }
     daemon->replay_events -= frame.events;
     daemon->replay.pop_front();
@@ -308,6 +342,34 @@ bool FanoutCluster::ReadReply(Slot* slot, Frame* reply) {
   return true;
 }
 
+Status FanoutCluster::FirstReplayRejection(
+    const std::vector<Slot>& slots) const {
+  // In the broadcast calls, Slot::server_error can only have been set by
+  // AcquireAll's replay flush (ReapOneAck's setter runs on the publish
+  // path, which finalizes its own statuses): a daemon took a replayed
+  // frame and REJECTED it, so those parked events are permanently lost
+  // and were dropped from the buffer. That loss must fail the observing
+  // call loudly — quorum tolerance is for daemons that are absent, not
+  // for events that are gone.
+  for (const Slot& slot : slots) {
+    if (!slot.server_error.ok()) return slot.server_error;
+  }
+  return Status::OK();
+}
+
+void FanoutCluster::RescuePending(std::vector<Recommendation>* recs) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  const size_t cap = options_.max_pending_recommendations;
+  const size_t room = cap > pending_.size() ? cap - pending_.size() : 0;
+  const size_t keep = std::min(room, recs->size());
+  pending_.insert(pending_.end(), std::make_move_iterator(recs->begin()),
+                  std::make_move_iterator(recs->begin() + keep));
+  if (keep < recs->size()) {
+    rescue_dropped_.fetch_add(recs->size() - keep,
+                              std::memory_order_relaxed);
+  }
+}
+
 Status FanoutCluster::BroadcastForAck(const std::string& request,
                                       bool require_all) {
   std::shared_lock<std::shared_mutex> lifecycle(lifecycle_mu_);
@@ -319,24 +381,32 @@ Status FanoutCluster::BroadcastForAck(const std::string& request,
   for (Slot& slot : slots) {
     Frame reply;
     if (!ReadReply(&slot, &reply)) continue;
-    if (reply.tag == MessageTag::kError) {
+    if (reply.tag == MessageTag::kAck) {
+      slot.answered = true;
+    } else if (reply.tag == MessageTag::kError) {
       if (slot.status.ok()) {
         slot.status = TagError(*slot.daemon, DecodeError(reply.payload));
       }
-    } else if (reply.tag != MessageTag::kAck && slot.status.ok()) {
+    } else if (slot.status.ok()) {
       slot.status = TagError(*slot.daemon, UnexpectedReply(reply.tag, "ack"));
     }
   }
+  // Quorum counts daemons that acked THIS request; an error carried over
+  // from a replay flush (surfaced below) must not shrink the answering
+  // set.
   size_t answered = 0;
   for (const Slot& slot : slots) {
-    if (slot.conn != nullptr && slot.status.ok()) answered++;
+    if (slot.answered) answered++;
   }
+  const Status replay_rejection = FirstReplayRejection(slots);
   const Status first = ReleaseAll(&slots);
   if (first.ok()) return first;
   // Degraded policies tolerate missing daemons down to the quorum, except
-  // for the calls that must never silently degrade (require_all).
+  // for the calls that must never silently degrade (require_all). A
+  // replay-flush rejection still surfaces: it is permanent event loss,
+  // not a coverage gap.
   if (!require_all && degraded() && answered >= RequiredQuorum()) {
-    return Status::OK();
+    return replay_rejection;
   }
   return first;
 }
@@ -357,16 +427,31 @@ void FanoutCluster::ReapOneAck(Slot* slot,
   while (true) {
     Frame reply;
     if (ReadReply(slot, &reply)) {
-      slot->acked++;
-      if (reply.tag == MessageTag::kError) {
-        const Status err =
-            TagError(*slot->daemon, DecodeError(reply.payload));
-        if (slot->server_error.ok()) slot->server_error = err;
-        if (slot->status.ok()) slot->status = err;
-      } else if (reply.tag != MessageTag::kAck && slot->status.ok()) {
+      if (reply.tag == MessageTag::kAck ||
+          reply.tag == MessageTag::kError) {
+        // Ack or server rejection: either way the server answered THIS
+        // frame, the stream is still aligned, and the lane stays usable.
+        slot->acked++;
+        if (reply.tag == MessageTag::kError) {
+          const Status err =
+              TagError(*slot->daemon, DecodeError(reply.payload));
+          if (slot->server_error.ok()) slot->server_error = err;
+          if (slot->status.ok()) slot->status = err;
+        }
+        return;
+      }
+      // Any other tag means the stream can no longer be trusted to be
+      // frame-aligned (version skew or a protocol bug): counting it as an
+      // ack would mark events applied that never were, and pooling the
+      // connection would corrupt the next call that leases it. Poison
+      // without hedging — re-sending to a daemon that violates the
+      // protocol invites worse; the normal failure path (replay parking
+      // under a degraded policy, an error under strict) takes over.
+      if (slot->status.ok()) {
         slot->status =
             TagError(*slot->daemon, UnexpectedReply(reply.tag, "ack"));
       }
+      slot->poisoned = true;
       return;
     }
     if (!TryHedgePublish(slot, frames)) return;
@@ -470,10 +555,7 @@ Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
   frame_events.reserve(frames.capacity());
   for (size_t i = 0; i < events.size(); i += chunk) {
     const size_t n = std::min(chunk, events.size() - i);
-    const uint64_t sequence =
-        degraded()
-            ? next_batch_sequence_.fetch_add(1, std::memory_order_relaxed)
-            : 0;
+    const uint64_t sequence = degraded() ? NextBatchSequence() : 0;
     std::string frame;
     AppendPublishBatch(events.subspan(i, n), &frame, sequence);
     frames.push_back(std::move(frame));
@@ -572,9 +654,18 @@ Result<std::vector<Recommendation>> FanoutCluster::TakeRecommendations(
   // merged result is their concatenation (cross-partition ordering is
   // unspecified, exactly as with the in-process broker). A daemon that is
   // itself a degraded broker forwards its own gaps as a GatherReport tail;
-  // those fold into this merge's report.
+  // those fold into this merge's report. Each daemon's chunks are STAGED
+  // and merged only when its stream completes: a daemon that dies
+  // mid-stream is reported missing, and recommendations it did deliver
+  // must not sit in a merge whose report names their partition absent — a
+  // caller compensating per the report would double-count them. The
+  // partial share is rescued instead (the server-side take was
+  // destructive) and rides with the next successful gather, like any
+  // other rescued share.
   std::vector<uint32_t> downstream_missing;
   for (Slot& slot : slots) {
+    std::vector<Recommendation> staged;
+    std::vector<uint32_t> staged_missing;
     bool has_more = true;
     while (has_more) {
       Frame reply;
@@ -591,7 +682,7 @@ Result<std::vector<Recommendation>> FanoutCluster::TakeRecommendations(
       }
       GatherReport chunk_report;
       const Status decoded = DecodeRecommendationsReply(
-          reply.payload, &recs, &has_more, &chunk_report);
+          reply.payload, &staged, &has_more, &chunk_report);
       if (!decoded.ok()) {
         // A mangled chunk leaves an unknown number of follow-up frames in
         // flight; the stream alignment is gone.
@@ -599,17 +690,30 @@ Result<std::vector<Recommendation>> FanoutCluster::TakeRecommendations(
         slot.poisoned = true;
         break;
       }
+      staged_missing.insert(staged_missing.end(),
+                            chunk_report.missing_partitions.begin(),
+                            chunk_report.missing_partitions.end());
+      if (!has_more) slot.answered = true;
+    }
+    if (slot.answered) {
+      recs.insert(recs.end(), std::make_move_iterator(staged.begin()),
+                  std::make_move_iterator(staged.end()));
       downstream_missing.insert(downstream_missing.end(),
-                                chunk_report.missing_partitions.begin(),
-                                chunk_report.missing_partitions.end());
+                                staged_missing.begin(),
+                                staged_missing.end());
+    } else if (!staged.empty()) {
+      RescuePending(&staged);
     }
   }
 
-  // Build the coverage report and the per-daemon staleness counters.
+  // Build the coverage report and the per-daemon staleness counters. A
+  // daemon answered iff THIS gather's chunk stream completed on its lane —
+  // a replay-flush error carried in slot.status must not mark a daemon
+  // missing when its recommendations are in the merge.
   GatherReport report;
   report.daemons_total = static_cast<uint32_t>(slots.size());
   for (const Slot& slot : slots) {
-    const bool missed = slot.conn == nullptr || !slot.status.ok();
+    const bool missed = !slot.answered;
     Daemon* daemon = slot.daemon;
     {
       std::lock_guard<std::mutex> lock(daemon->mu);
@@ -643,36 +747,32 @@ Result<std::vector<Recommendation>> FanoutCluster::TakeRecommendations(
                   report.missing_partitions.end()),
       report.missing_partitions.end());
 
+  const Status replay_rejection = FirstReplayRejection(slots);
   const Status first = ReleaseAll(&slots);
   if (caller_report != nullptr) *caller_report = report;
   {
     std::lock_guard<std::mutex> lock(report_mu_);
     last_report_ = report;
   }
-  if (first.ok() ||
-      (degraded() && report.daemons_answered >= RequiredQuorum())) {
+  // Quorum tolerance covers ABSENT daemons, not data loss: a replay-flush
+  // rejection (permanent loss of parked events, surfaced exactly once)
+  // fails the call even when enough daemons answered this gather.
+  const bool covered =
+      first.ok() ||
+      (degraded() && report.daemons_answered >= RequiredQuorum());
+  if (covered && replay_rejection.ok()) {
     if (!report.complete()) {
       degraded_gathers_.fetch_add(1, std::memory_order_relaxed);
     }
     return recs;
   }
-  // Below quorum (or strict): the healthy daemons already surrendered
-  // their share and a server-side take is destructive, so park it —
-  // bounded — for the next successful call instead of dropping it on the
-  // floor. Overflow is counted, never silent.
-  {
-    std::lock_guard<std::mutex> lock(pending_mu_);
-    const size_t cap = options_.max_pending_recommendations;
-    const size_t room = cap > pending_.size() ? cap - pending_.size() : 0;
-    const size_t keep = std::min(room, recs.size());
-    pending_.insert(pending_.end(), std::make_move_iterator(recs.begin()),
-                    std::make_move_iterator(recs.begin() + keep));
-    if (keep < recs.size()) {
-      rescue_dropped_.fetch_add(recs.size() - keep,
-                                std::memory_order_relaxed);
-    }
-  }
-  return first;
+  // Below quorum (or strict, or a replay rejection): the healthy daemons
+  // already surrendered their share and a server-side take is
+  // destructive, so park it — bounded — for the next successful call
+  // instead of dropping it on the floor. Overflow is counted, never
+  // silent.
+  RescuePending(&recs);
+  return covered ? replay_rejection : first;
 }
 
 Status FanoutCluster::Checkpoint(Timestamp created_at) {
@@ -768,10 +868,13 @@ Result<ClusterStats> FanoutCluster::GetStats() {
                               stats.per_replica.begin(),
                               stats.per_replica.end());
   }
+  const Status replay_rejection = FirstReplayRejection(slots);
   const Status first = ReleaseAll(&slots);
   if (!first.ok() && !(degraded() && answered >= RequiredQuorum())) {
     return first;
   }
+  // Quorum met: tolerated, unless a replay flush lost events for good.
+  if (!replay_rejection.ok()) return replay_rejection;
   std::sort(merged.per_replica.begin(), merged.per_replica.end(),
             [](const ReplicaStats& a, const ReplicaStats& b) {
               return a.partition != b.partition ? a.partition < b.partition

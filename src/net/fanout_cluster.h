@@ -37,10 +37,12 @@
 // Status error on the call — never a crash or a wedged broker — and
 // retrying after the daemon returns reconnects without rebuilding the
 // broker (tests/net/fanout_cluster_test.cc). Recommendations already
-// gathered from healthy daemons when another daemon fails mid-gather are
-// buffered (bounded; overflow is counted in ClusterStats::rescue_dropped)
-// and delivered by the next successful TakeRecommendations — the take is
-// destructive server-side, so dropping them would lose them.
+// gathered when a gather fails — from healthy daemons, and any partial
+// share a daemon streamed before dying mid-reply — are buffered (bounded;
+// overflow is counted in ClusterStats::rescue_dropped) and delivered by
+// the next successful TakeRecommendations: the take is destructive
+// server-side, so dropping them would lose them, and a partial share must
+// not sit in a merge whose report names its partition missing.
 //
 // Degraded-mode policy (FanoutClusterOptions::policy): the paper's
 // deployment keeps serving recommendations while individual partition
@@ -57,15 +59,18 @@
 //   * a publish lane silent for hedge_after_ms is hedged: the unacked
 //     frames are re-sent on a fresh pooled connection. Frames carry a
 //     batch sequence in degraded mode, so the daemon suppresses the
-//     duplicate if the original did land (RpcServer's dedup window);
+//     duplicate if the original did land (RpcServer's dedup window); a
+//     duplicate racing the original's still-in-flight apply is held until
+//     that apply resolves — an ack always means the events landed — so a
+//     hedge routes around connection-level slowness, while a server-side
+//     stall past the ack timeout fails the lane over to the replay buffer;
 //   * Drain and GetStats tolerate missing daemons under the same quorum;
 //     Checkpoint, replica ops, and Ping stay strict under every policy —
 //     durability and topology verification must not silently degrade.
 // Degraded semantics are eventual, not exact: events parked in a replay
-// buffer are invisible to Drain until flushed, and a hedged batch may be
-// applied by the original (slow) lane after the hedge was acked, so
-// recommendations can trail into a later gather. Strict mode keeps the PR 3
-// contract — and its wire bytes — unchanged.
+// buffer are invisible to Drain until flushed, so recommendations can
+// trail into a later gather. Strict mode keeps the PR 3 contract — and its
+// wire bytes — unchanged.
 
 #ifndef MAGICRECS_NET_FANOUT_CLUSTER_H_
 #define MAGICRECS_NET_FANOUT_CLUSTER_H_
@@ -284,6 +289,14 @@ class FanoutCluster : public ClusterTransport {
     size_t acked = 0;    ///< publish frames answered (ack or server error)
     bool hedged = false; ///< this lane already used its one hedge
 
+    /// THIS call's request/reply exchange completed on this lane (gather:
+    /// every chunk decoded; ack broadcasts: kAck read). Deliberately
+    /// distinct from `status`: a replay-flush failure carried over from
+    /// AcquireAll lands in status, and keying "did this daemon answer"
+    /// off status would report a daemon as missing a gather whose
+    /// recommendations it fully delivered into the merge.
+    bool answered = false;
+
     /// Lane usable for IO: leased, and not known-broken.
     bool live() const { return conn != nullptr && !poisoned; }
   };
@@ -326,8 +339,22 @@ class FanoutCluster : public ClusterTransport {
   /// True under a degraded policy (anything but kStrict).
   bool degraded() const { return options_.policy != FanoutPolicy::kStrict; }
 
+  /// Next idempotent batch sequence (never 0, the "no dedup" marker).
+  uint64_t NextBatchSequence();
+
   /// Daemons that must answer for a broadcast to succeed under the policy.
   size_t RequiredQuorum() const;
+
+  /// First replay-flush rejection recorded on the slots (Status::OK when
+  /// none): a daemon took a replayed frame and refused it, so its events
+  /// are permanently lost — the observing call must fail loudly even when
+  /// the quorum is met.
+  Status FirstReplayRejection(const std::vector<Slot>& slots) const;
+
+  /// Parks recommendations (moved out of *recs) in the bounded pending_
+  /// rescue buffer for the next successful gather; overflow is counted in
+  /// rescue_dropped_, never silent.
+  void RescuePending(std::vector<Recommendation>* recs);
 
   /// Re-sends the daemon's parked replay frames on the slot's connection
   /// (serial request/ack; this is the recovery path, not the hot path).
@@ -398,8 +425,12 @@ class FanoutCluster : public ClusterTransport {
   mutable std::mutex report_mu_;
   GatherReport last_report_;
 
-  /// Source of the idempotent batch sequences hedged frames carry. Starts
-  /// at 1: sequence 0 is the wire's "no dedup" marker.
+  /// Source of the idempotent batch sequences hedged frames carry. Seeded
+  /// with a random epoch per broker incarnation (see the constructor): the
+  /// daemons' dedup window is keyed by the raw sequence and outlives this
+  /// broker, so a restarted or second broker must not reuse values an
+  /// earlier incarnation already burned. NextBatchSequence() never hands
+  /// out 0, the wire's "no dedup" marker.
   std::atomic<uint64_t> next_batch_sequence_{1};
 
   // Degraded-mode counters surfaced through GetStats().

@@ -55,24 +55,55 @@ RpcServerStats RpcServer::stats() const {
   return stats;
 }
 
-bool RpcServer::IsDuplicateBatch(uint64_t sequence) {
-  std::lock_guard<std::mutex> lock(dedup_mu_);
+bool RpcServer::BeginBatch(uint64_t sequence) {
+  std::unique_lock<std::mutex> lock(dedup_mu_);
   if (options_.publish_dedup_window == 0) return false;
-  if (seen_batch_sequences_.contains(sequence)) return true;
-  seen_batch_sequences_.insert(sequence);
-  seen_batch_order_.push_back(sequence);
-  while (seen_batch_order_.size() > options_.publish_dedup_window) {
-    seen_batch_sequences_.erase(seen_batch_order_.front());
-    seen_batch_order_.pop_front();
+  while (true) {
+    if (seen_batch_sequences_.contains(sequence)) return true;
+    const auto it = inflight_batches_.find(sequence);
+    if (it == inflight_batches_.end()) {
+      inflight_batches_.emplace(sequence,
+                                std::make_shared<InflightBatch>());
+      return false;
+    }
+    // The original copy of this sequence is mid-apply on another
+    // connection. Waiting (rather than acking now) keeps the ack honest:
+    // if that apply fails, this copy wakes, claims the sequence, and
+    // applies the batch itself. Bounded by the original's apply; the
+    // hedging broker's recv timeout covers a pathological stall. The
+    // outcome is read from the shared record, not the window — a success
+    // the window has already evicted must still suppress this copy.
+    const std::shared_ptr<InflightBatch> state = it->second;
+    dedup_cv_.wait(lock, [&] { return state->resolved; });
+    if (state->applied) return true;
+    // Failed: the record is gone from the map (FinishBatch erased it), so
+    // one waiter's retry claims the sequence; the rest wait on that
+    // fresh attempt.
   }
-  return false;
 }
 
-void RpcServer::ForgetBatch(uint64_t sequence) {
+void RpcServer::FinishBatch(uint64_t sequence, bool applied) {
   std::lock_guard<std::mutex> lock(dedup_mu_);
-  // Only the set is authoritative; the stale FIFO entry ages out harmlessly
-  // (evicting a sequence that is no longer in the set is a no-op).
-  seen_batch_sequences_.erase(sequence);
+  if (options_.publish_dedup_window == 0) return;
+  const auto it = inflight_batches_.find(sequence);
+  if (it != inflight_batches_.end()) {
+    it->second->resolved = true;
+    it->second->applied = applied;
+    inflight_batches_.erase(it);  // waiters hold their own shared_ptr
+  }
+  // A failed apply leaves no trace: the events never landed, so a broker
+  // replay of the same frame must be applied, not dup-acked — recording
+  // the sequence anyway would turn the failure into silent event loss
+  // reported as success.
+  if (applied) {
+    seen_batch_sequences_.insert(sequence);
+    seen_batch_order_.push_back(sequence);
+    while (seen_batch_order_.size() > options_.publish_dedup_window) {
+      seen_batch_sequences_.erase(seen_batch_order_.front());
+      seen_batch_order_.pop_front();
+    }
+  }
+  dedup_cv_.notify_all();
 }
 
 void RpcServer::AcceptLoop() {
@@ -160,22 +191,17 @@ void RpcServer::HandleRequest(const Frame& request, std::string* response) {
       uint64_t batch_sequence = 0;
       status = DecodePublishBatch(payload, &events, &batch_sequence);
       // A non-zero sequence marks an idempotent batch: a hedged re-send of
-      // a frame this server already accepted (possibly on another
-      // connection) is acked without applying it twice. The sequence is
-      // recorded BEFORE the transport publish, so a racing duplicate is
-      // suppressed even while the original is still being applied.
-      if (status.ok() && batch_sequence != 0 &&
-          IsDuplicateBatch(batch_sequence)) {
+      // a frame this server already APPLIED (possibly on another
+      // connection) is acked without applying it twice. A re-send racing
+      // the original's in-flight apply waits for its outcome inside
+      // BeginBatch — an ack always means some copy of the batch landed.
+      if (status.ok() && batch_sequence != 0 && BeginBatch(batch_sequence)) {
         duplicate_batches_.fetch_add(1, std::memory_order_relaxed);
         break;  // status is OK: ack the duplicate
       }
       if (status.ok()) {
         status = transport_->PublishBatch(events);
-        // A failed apply never landed: un-record the sequence so the
-        // broker's replay of this frame is applied instead of dup-acked.
-        if (!status.ok() && batch_sequence != 0) {
-          ForgetBatch(batch_sequence);
-        }
+        if (batch_sequence != 0) FinishBatch(batch_sequence, status.ok());
       }
       break;
     }

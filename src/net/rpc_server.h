@@ -25,6 +25,7 @@
 #define MAGICRECS_NET_RPC_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <list>
@@ -32,6 +33,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "cluster/transport.h"
@@ -113,17 +115,22 @@ class RpcServer {
   /// Joins and erases finished connections (called with connections_mu_).
   void ReapFinishedLocked();
 
-  /// True iff `sequence` was already seen inside the dedup window (and
-  /// records it otherwise). Called from every connection handler: the
-  /// check-and-insert is atomic under dedup_mu_, so exactly one of two
-  /// racing duplicates applies its batch.
-  bool IsDuplicateBatch(uint64_t sequence);
+  /// Idempotent-batch admission. True iff `sequence` was already APPLIED
+  /// inside the dedup window — the caller acks without applying. Otherwise
+  /// marks the sequence in flight and returns false; the caller MUST
+  /// follow up with FinishBatch(sequence, applied). A duplicate arriving
+  /// while the original's apply is still in flight blocks here until that
+  /// apply resolves: suppressing it immediately would ack events that may
+  /// yet fail to land (the original's failure would then be silent loss),
+  /// so it is suppressed only on the original's success and claims the
+  /// sequence itself on the original's failure.
+  bool BeginBatch(uint64_t sequence);
 
-  /// Un-records a sequence whose apply FAILED: the events never landed, so
-  /// a broker replay of the same frame must be applied, not dup-acked —
-  /// leaving the sequence recorded would turn the failure into silent
-  /// event loss reported as success.
-  void ForgetBatch(uint64_t sequence);
+  /// Resolves an in-flight sequence. `applied` records it in the dedup
+  /// window; a failed apply leaves no trace, so a broker replay of the
+  /// same frame is applied instead of dup-acked. Wakes racing duplicates
+  /// blocked in BeginBatch either way.
+  void FinishBatch(uint64_t sequence, bool applied);
 
   ClusterTransport* transport_;
   RpcServerOptions options_;
@@ -135,10 +142,25 @@ class RpcServer {
   std::mutex connections_mu_;
   std::list<std::unique_ptr<Connection>> connections_;
 
+  /// Outcome record for a sequence whose apply is in flight. Shared with
+  /// every duplicate waiting on it: the outcome is handed to waiters
+  /// through this record, NOT re-read from the evictable dedup window — a
+  /// success evicted from the window between the resolve and a waiter's
+  /// wake-up must still suppress that waiter, never double-apply.
+  struct InflightBatch {
+    bool resolved = false;
+    bool applied = false;
+  };
+
   // Publish-batch idempotency window: the set for O(1) lookup, the deque
-  // for FIFO eviction once the window is full.
+  // for FIFO eviction once the window is full, plus the in-flight records
+  // (applied sequences enter the window only on success; dedup_cv_ wakes
+  // duplicates waiting on an in-flight original).
   std::mutex dedup_mu_;
+  std::condition_variable dedup_cv_;
   std::unordered_set<uint64_t> seen_batch_sequences_;
+  std::unordered_map<uint64_t, std::shared_ptr<InflightBatch>>
+      inflight_batches_;
   std::deque<uint64_t> seen_batch_order_;
 
   std::atomic<uint64_t> connections_accepted_{0};

@@ -21,6 +21,20 @@ using persist::UnmaskCrc;
 // src:u32 dst:u32 created_at:i64 action:u8
 constexpr size_t kEventBytes = 4 + 4 + 8 + 1;
 
+// The publish-batch idempotency tail: a presence marker byte followed by
+// the u64 sequence. The marker exists so the tail is never inferred from
+// payload length alone — a corrupted or forged count that happens to leave
+// tail-sized residue must not have garbage silently consumed as a
+// sequence (with 8 bytes of event data misattributed along the way).
+constexpr uint8_t kBatchSequenceMarker = 0x01;
+constexpr size_t kBatchSequenceTailBytes = 1 + 8;
+
+// The recommendations-reply GatherReport tail leads with the same kind of
+// presence marker, for the same reason: a forged or corrupted rec count
+// that leaves plausible residue must not have recommendation bytes
+// silently re-decoded as coverage data.
+constexpr uint8_t kGatherReportMarker = 0x01;
+
 ByteReader ReaderOf(std::string_view payload) {
   return ByteReader(reinterpret_cast<const uint8_t*>(payload.data()),
                     payload.size());
@@ -129,10 +143,13 @@ void AppendPublishBatch(std::span<const EdgeEvent> events, std::string* out,
                         uint64_t batch_sequence) {
   std::string payload;
   payload.reserve(4 + events.size() * kEventBytes +
-                  (batch_sequence != 0 ? 8 : 0));
+                  (batch_sequence != 0 ? kBatchSequenceTailBytes : 0));
   PutU32(&payload, static_cast<uint32_t>(events.size()));
   for (const EdgeEvent& event : events) PutEvent(event, &payload);
-  if (batch_sequence != 0) PutU64(&payload, batch_sequence);
+  if (batch_sequence != 0) {
+    PutU8(&payload, kBatchSequenceMarker);
+    PutU64(&payload, batch_sequence);
+  }
   AppendFrame(MessageTag::kPublishBatch, payload, out);
 }
 
@@ -169,10 +186,12 @@ Status DecodePublishBatch(std::string_view payload,
   if (!reader.GetU32(&count)) return Truncated("publish-batch");
   // Validate the count against the actual byte budget BEFORE reserving, so a
   // forged count cannot become a multi-gigabyte allocation. The idempotency
-  // tail (tail-growth versioning, see wire.h) adds exactly 8 bytes when
-  // present.
+  // tail (tail-growth versioning, see wire.h) adds exactly marker + u64
+  // bytes when present, and its marker is verified below — length alone
+  // never turns stray bytes into a sequence.
   const uint64_t event_bytes = static_cast<uint64_t>(count) * kEventBytes;
-  const bool has_sequence_tail = event_bytes + 8 == reader.remaining();
+  const bool has_sequence_tail =
+      event_bytes + kBatchSequenceTailBytes == reader.remaining();
   if (event_bytes != reader.remaining() && !has_sequence_tail) {
     return Status::InvalidArgument(StrFormat(
         "publish-batch count %u does not match %zu payload bytes", count,
@@ -186,8 +205,13 @@ Status DecodePublishBatch(std::string_view payload,
     events->push_back(event);
   }
   uint64_t sequence = 0;
-  if (has_sequence_tail && !reader.GetU64(&sequence)) {
-    return Truncated("publish-batch");
+  if (has_sequence_tail) {
+    uint8_t marker = 0;
+    if (!reader.GetU8(&marker) || marker != kBatchSequenceMarker) {
+      return Status::InvalidArgument(
+          "publish-batch sequence tail lacks its presence marker");
+    }
+    if (!reader.GetU64(&sequence)) return Truncated("publish-batch");
   }
   if (batch_sequence != nullptr) *batch_sequence = sequence;
   return Status::OK();
@@ -248,6 +272,7 @@ void AppendRecommendationsReply(std::span<const Recommendation> recs,
   // A complete gather omits the tail: healthy-path bytes stay identical to
   // the pre-extension encoding (tail-growth versioning, see wire.h).
   if (report != nullptr && !report->complete()) {
+    PutU8(&payload, kGatherReportMarker);
     PutU32(&payload, report->daemons_total);
     PutU32(&payload, report->daemons_answered);
     PutU32(&payload, static_cast<uint32_t>(report->missing_partitions.size()));
@@ -355,8 +380,16 @@ Status DecodeRecommendationsReply(std::string_view payload,
   }
   if (reader.remaining() == 0) return Status::OK();
   // GatherReport tail (tail-growth versioning): a degraded gather names the
-  // partitions missing from the merge. Bounds-check the missing count
-  // against the actual remaining bytes before reserving.
+  // partitions missing from the merge. The tail must lead with its
+  // presence marker — trailing bytes that are not a marked tail are
+  // corruption, not coverage data — and the missing count is bounds-
+  // checked against the actual remaining bytes before reserving.
+  uint8_t marker = 0;
+  if (!reader.GetU8(&marker) || marker != kGatherReportMarker) {
+    return Status::InvalidArgument(
+        "recommendations-reply gather-report tail lacks its presence "
+        "marker");
+  }
   GatherReport tail;
   uint32_t missing_count = 0;
   if (!reader.GetU32(&tail.daemons_total) ||

@@ -14,12 +14,16 @@
 //
 // Request payloads (client -> server):
 //   kPublish            src:u32 dst:u32 created_at:i64 action:u8
-//   kPublishBatch       count:u32  (src dst created_at action)*  [batch_seq:u64]
+//   kPublishBatch       count:u32  (src dst created_at action)*
+//                       [marker:u8=0x01 batch_seq:u64]
 //     The bracketed batch_seq tail makes the frame idempotent: a broker
 //     hedging a slow daemon re-sends the same frame (same sequence) on a
 //     fresh connection, and the server suppresses the duplicate
-//     (rpc_server.h publish_dedup_window). 0 / absent = no dedup — the
-//     pre-extension encoding, which strict-mode brokers still emit.
+//     (rpc_server.h publish_dedup_window). Absent tail = no dedup — the
+//     pre-extension encoding, which strict-mode brokers still emit. The
+//     marker byte means presence is never inferred from payload length
+//     alone: a forged count that leaves tail-sized residue is rejected,
+//     not silently decoded as a sequence.
 //   kTakeRecommendations  (empty)
 //   kDrain                (empty)
 //   kCheckpoint         created_at:i64
@@ -32,8 +36,9 @@
 //   kAck                  (empty)
 //   kError              code:u8 message-bytes (to end of payload)
 //   kRecommendationsReply has_more:u8 count:u32 rec*
-//                         [daemons_total:u32 daemons_answered:u32
-//                          missing_count:u32 missing_partition:u32*]   where
+//                         [marker:u8=0x01 daemons_total:u32
+//                          daemons_answered:u32 missing_count:u32
+//                          missing_partition:u32*]   where
 //     rec := user:u32 item:u32 witness_count:u32 trigger:u32
 //            event_time:i64  nwitnesses:u32 witness:u32*
 //     A gather too large for one frame streams as several reply frames;
@@ -55,7 +60,13 @@
 //     disagreement). Decoders accept their absence — the pre-extension
 //     encodings — as empty/zero. This is the protocol's versioning
 //     discipline: payloads grow only at the tail, and a decoder treats a
-//     missing tail as the field's empty/zero value (docs/wire-protocol.md).
+//     missing tail as the field's empty/zero value. The converse does NOT
+//     hold — a pre-extension decoder rejects an unfamiliar tail as
+//     trailing garbage — so a grown payload must not be EMITTED until the
+//     peer that decodes it is upgraded. The degraded-mode tails (batch_seq,
+//     GatherReport) are therefore tied to explicit operator opt-in
+//     (FanoutPolicy != strict): upgrade every binary first, enable the
+//     policy second (docs/wire-protocol.md, "Versioning and compatibility").
 //
 // Every request is answered by exactly one response on the same connection,
 // in request order. Clients MAY pipeline — write request N+1 before reading

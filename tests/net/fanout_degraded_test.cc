@@ -9,7 +9,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -22,7 +24,10 @@
 #include "gen/figure1.h"
 #include "gen/social_graph.h"
 #include "net/fanout_cluster.h"
+#include "net/frame_io.h"
 #include "net/rpc_server.h"
+#include "net/socket.h"
+#include "net/wire.h"
 
 namespace magicrecs {
 namespace {
@@ -83,6 +88,68 @@ class DelayingTransport : public ClusterTransport {
   ClusterTransport* wrapped_;
   std::chrono::milliseconds delay_;
   std::atomic<int> delays_left_;
+};
+
+/// A ClusterTransport decorator whose FIRST PublishBatch blocks until
+/// Release() and then fails without applying anything — an apply caught in
+/// flight whose outcome turns out to be failure, exactly the window where
+/// a racing hedged duplicate must not be blind-acked. Later calls forward.
+class GatedFailingTransport : public ClusterTransport {
+ public:
+  explicit GatedFailingTransport(ClusterTransport* wrapped)
+      : wrapped_(wrapped) {}
+
+  /// True once the first PublishBatch is inside the gate.
+  bool first_apply_started() const {
+    return started_.load(std::memory_order_acquire);
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  Status Publish(const EdgeEvent& event) override {
+    return wrapped_->Publish(event);
+  }
+  Status PublishBatch(std::span<const EdgeEvent> events) override {
+    if (!first_taken_.exchange(true)) {
+      started_.store(true, std::memory_order_release);
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return released_; });
+      return Status::Internal("injected apply failure");
+    }
+    return wrapped_->PublishBatch(events);
+  }
+  Status Drain() override { return wrapped_->Drain(); }
+  Result<std::vector<Recommendation>> TakeRecommendations() override {
+    return wrapped_->TakeRecommendations();
+  }
+  Status Checkpoint(Timestamp created_at) override {
+    return wrapped_->Checkpoint(created_at);
+  }
+  Status KillReplica(uint32_t partition, uint32_t replica) override {
+    return wrapped_->KillReplica(partition, replica);
+  }
+  Status RecoverReplica(uint32_t partition, uint32_t replica) override {
+    return wrapped_->RecoverReplica(partition, replica);
+  }
+  Result<ClusterStats> GetStats() override { return wrapped_->GetStats(); }
+  Result<HashPartitioner> Partitioner() const override {
+    return wrapped_->Partitioner();
+  }
+  Status Close() override { return Status::OK(); }  // wrapped_ not owned
+
+ private:
+  ClusterTransport* wrapped_;
+  std::atomic<bool> first_taken_{false};
+  std::atomic<bool> started_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
 };
 
 /// A degraded-policy partition group.
@@ -394,21 +461,131 @@ TEST(FanoutDegradedTest, HedgedPublishIsDedupedServerSide) {
   ASSERT_TRUE(broker.ok()) << broker.status();
 
   // One 256-event batch = one frame. The original lane sleeps 400ms inside
-  // the server; the hedge fires after ~60ms on a fresh connection and is
-  // acked as a duplicate immediately.
+  // the server; the hedge fires after ~60ms on a fresh connection, where
+  // the dedup admission HOLDS the duplicate until the original's apply
+  // resolves — an ack must mean the events landed, never a blind promise
+  // over an apply that could still fail. The hedge lane's shortened ack
+  // timeout therefore expires too; the frame fails over to the replay
+  // buffer and the publish still returns OK without waiting out the stall.
   ASSERT_TRUE((*broker)->PublishBatch(w.events).ok());
-  auto stats = (*broker)->GetStats();
-  ASSERT_TRUE(stats.ok()) << stats.status();
-  EXPECT_EQ(stats->hedged_publishes, 1u) << "the hedge never fired";
 
-  // Wait out the stalled original, then verify exactly-once application:
-  // the daemon counted every event once despite two deliveries.
+  // Wait out the stalled original and the backoff window; the next broker
+  // calls flush the parked replay, which the server dup-acks (the
+  // original's copy applied). Exactly-once: the daemon counted every
+  // event once despite up to three deliveries of the same frame.
   std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  Status recovered;
+  for (int i = 0; i < 100; ++i) {
+    recovered = (*broker)->Ping();
+    if (recovered.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(recovered.ok()) << recovered;
   ASSERT_TRUE((*broker)->Drain().ok());
   auto settled = (*broker)->GetStats();
   ASSERT_TRUE(settled.ok()) << settled.status();
+  EXPECT_EQ(settled->hedged_publishes, 1u) << "the hedge never fired";
   EXPECT_EQ(settled->events_published, w.events.size())
       << "hedged batch was applied twice (dedup failed) or dropped";
+}
+
+TEST(FanoutDegradedTest, RestartedBrokerIsNotDupSuppressed) {
+  // The daemon's dedup window is keyed by the raw sequence and outlives
+  // any one broker's connections. A restarted broker — or a second broker
+  // publishing to the same daemon — must not have its genuinely NEW
+  // batches acked-without-applying because an earlier incarnation already
+  // burned the same sequence values: that is silent event loss reported
+  // as success. Sequences carry a random per-incarnation epoch, so the
+  // second incarnation below draws from a disjoint range.
+  TestWorkload w = MakeTestWorkload(512);
+  ClusterOptions options = MakeClusterOptions(2);
+  auto hosted = LocalClusterTransport::Create(
+      w.graph, options, LocalClusterTransport::Mode::kThreaded);
+  ASSERT_TRUE(hosted.ok()) << hosted.status();
+  auto server = RpcServer::Start(hosted->get(), RpcServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  FanoutClusterOptions fopt;
+  fopt.group_size = 2;
+  fopt.policy = FanoutPolicy::kQuorum;
+  FanoutEndpoint endpoint;
+  endpoint.port = (*server)->port();
+  fopt.endpoints.push_back(endpoint);
+
+  // Each 256-event publish is exactly one frame (default chunk size), so
+  // each incarnation emits exactly one sequence — a bare counter would
+  // collide on its very first batch.
+  {
+    auto first = FanoutCluster::Connect(fopt);
+    ASSERT_TRUE(first.ok()) << first.status();
+    ASSERT_TRUE((*first)->PublishBatch(std::span(w.events.data(), 256)).ok());
+    ASSERT_TRUE((*first)->Close().ok());
+  }
+  auto second = FanoutCluster::Connect(fopt);
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_TRUE(
+      (*second)->PublishBatch(std::span(w.events.data() + 256, 256)).ok());
+  ASSERT_TRUE((*second)->Drain().ok());
+  auto stats = (*second)->GetStats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->events_published, w.events.size())
+      << "the restarted broker's first batch was dup-suppressed";
+}
+
+TEST(FanoutDegradedTest, RacingDuplicateWaitsForOriginalApplyOutcome) {
+  // A hedged duplicate that arrives while the original's apply is still
+  // in flight must not be blind-acked: if the original then FAILS, the
+  // batch never landed and the broker would treat it as delivered. The
+  // duplicate has to wait for the original's outcome and, on failure,
+  // claim the sequence and apply the batch itself.
+  TestWorkload w = MakeTestWorkload(64);
+  ClusterOptions options = MakeClusterOptions(2);
+  auto hosted = LocalClusterTransport::Create(
+      w.graph, options, LocalClusterTransport::Mode::kThreaded);
+  ASSERT_TRUE(hosted.ok()) << hosted.status();
+  GatedFailingTransport gated(hosted->get());
+  auto server = RpcServer::Start(&gated, RpcServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  std::string frame;
+  net::AppendPublishBatch(w.events, &frame, /*batch_sequence=*/0x1234);
+
+  // Original copy: its handler enters the (gated, doomed) apply.
+  auto original = net::TcpSocket::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(original.ok()) << original.status();
+  ASSERT_TRUE(original->WriteAll(frame.data(), frame.size()).ok());
+  for (int i = 0; i < 500 && !gated.first_apply_started(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(gated.first_apply_started());
+
+  // Hedged copy on a fresh connection, racing the in-flight apply. Give
+  // its handler time to reach the dedup admission before resolving the
+  // original (the interesting interleaving either way: if it has not
+  // arrived yet, it simply finds no trace of the failed sequence later).
+  auto hedge = net::TcpSocket::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(hedge.ok()) << hedge.status();
+  ASSERT_TRUE(hedge->WriteAll(frame.data(), frame.size()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  gated.Release();
+
+  // The original reports the injected failure; the hedge is acked only
+  // because it applied the batch itself.
+  net::Frame reply;
+  ASSERT_TRUE(net::ReadFrame(&*original, &reply).ok());
+  EXPECT_EQ(reply.tag, net::MessageTag::kError);
+  ASSERT_TRUE(net::ReadFrame(&*hedge, &reply).ok());
+  EXPECT_EQ(reply.tag, net::MessageTag::kAck)
+      << "the duplicate of a failed apply must succeed, not inherit the "
+         "failure";
+
+  // Exactly one application landed despite two deliveries and one failure.
+  ASSERT_TRUE(hosted->get()->Drain().ok());
+  auto stats = hosted->get()->GetStats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->events_published, w.events.size())
+      << "racing duplicate was blind-acked over a failed apply (0 = lost) "
+         "or double-applied (2x)";
 }
 
 TEST(FanoutDegradedTest, ReplayBufferOverflowIsExplicit) {

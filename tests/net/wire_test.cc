@@ -422,7 +422,39 @@ TEST(WireTest, PublishBatchRejectsMangledSequenceTail) {
   std::string frame;
   AppendPublishBatch(events, &frame, /*batch_sequence=*/5);
   std::string payload = DecodeWhole(frame).payload;
-  payload.resize(payload.size() - 3);  // tail is now neither 0 nor 8 bytes
+  payload.resize(payload.size() - 3);  // tail is now neither 0 nor 9 bytes
+  std::vector<EdgeEvent> decoded;
+  EXPECT_TRUE(DecodePublishBatch(payload, &decoded).IsInvalidArgument());
+}
+
+TEST(WireTest, PublishBatchRejectsTailWithoutPresenceMarker) {
+  // Exactly tail-sized trailing residue whose first byte is not the
+  // presence marker must be rejected, never consumed as a sequence — this
+  // is the shape a corrupted/forged count produces, and before the marker
+  // existed it would silently misattribute 8 bytes of "sequence".
+  const std::vector<EdgeEvent> events = {MakeEvent(1, 2, 100)};
+  std::string frame;
+  AppendPublishBatch(events, &frame);  // pre-extension encoding
+  std::string payload = DecodeWhole(frame).payload;
+  payload.append(9, '\0');  // marker 0x00 + 8 garbage bytes
+  std::vector<EdgeEvent> decoded;
+  uint64_t sequence = 0;
+  EXPECT_TRUE(
+      DecodePublishBatch(payload, &decoded, &sequence).IsInvalidArgument());
+
+  // A bare markerless u64 (the pre-marker tail shape) is likewise a
+  // count/length mismatch, not a sequence.
+  payload.resize(payload.size() - 1);
+  EXPECT_TRUE(
+      DecodePublishBatch(payload, &decoded, &sequence).IsInvalidArgument());
+}
+
+TEST(WireTest, PublishBatchRejectsCorruptedPresenceMarker) {
+  const std::vector<EdgeEvent> events = {MakeEvent(1, 2, 100)};
+  std::string frame;
+  AppendPublishBatch(events, &frame, /*batch_sequence=*/7);
+  std::string payload = DecodeWhole(frame).payload;
+  payload[4 + 17] = '\x02';  // the marker byte, after count + one event
   std::vector<EdgeEvent> decoded;
   EXPECT_TRUE(DecodePublishBatch(payload, &decoded).IsInvalidArgument());
 }
@@ -544,6 +576,34 @@ TEST(WireTest, GatherReportTailRejectsForgedMissingCount) {
   GatherReport decoded;
   EXPECT_TRUE(DecodeRecommendationsReply(payload, &recs, &has_more, &decoded)
                   .IsInvalidArgument());
+}
+
+TEST(WireTest, GatherReportTailRejectsResidueWithoutPresenceMarker) {
+  // Trailing bytes that do not lead with the presence marker are
+  // corruption (e.g. a forged rec count leaving recommendation bytes
+  // unconsumed), never coverage data.
+  std::string frame;
+  AppendRecommendationsReply({}, false, &frame);
+  std::string payload = DecodeWhole(frame).payload;
+  payload.append(13, '\0');  // tail-shaped residue, marker byte 0x00
+  std::vector<Recommendation> recs;
+  bool has_more = false;
+  GatherReport decoded;
+  EXPECT_TRUE(DecodeRecommendationsReply(payload, &recs, &has_more, &decoded)
+                  .IsInvalidArgument());
+
+  // A genuine tail whose marker byte is corrupted is rejected too.
+  GatherReport report;
+  report.daemons_total = 2;
+  report.daemons_answered = 1;
+  report.missing_partitions = {1};
+  std::string with_tail;
+  AppendRecommendationsReply({}, false, &with_tail, &report);
+  std::string tail_payload = DecodeWhole(with_tail).payload;
+  tail_payload[1 + 4] = '\x7f';  // the marker, after has_more + count
+  EXPECT_TRUE(
+      DecodeRecommendationsReply(tail_payload, &recs, &has_more, &decoded)
+          .IsInvalidArgument());
 }
 
 TEST(WireTest, EveryTagHasAName) {
