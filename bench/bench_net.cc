@@ -30,6 +30,8 @@
 // the file itself is gitignored — accumulating a trajectory across PRs
 // means archiving each run's file (e.g. as a CI artifact).
 
+#include <dirent.h>
+
 #include <cstdio>
 #include <memory>
 #include <span>
@@ -38,8 +40,11 @@
 #include "workload.h"
 #include "cluster/transport.h"
 #include "net/fanout_cluster.h"
+#include "net/frame_io.h"
 #include "net/remote_cluster.h"
 #include "net/rpc_server.h"
+#include "net/socket.h"
+#include "net/wire.h"
 #include "util/clock.h"
 #include "util/histogram.h"
 #include "util/str_format.h"
@@ -174,6 +179,15 @@ class JsonRows {
         static_cast<unsigned long long>(recs)));
   }
 
+  void AddConnScale(const char* loop, size_t connections,
+                    double requests_per_sec, long server_threads) {
+    rows_.push_back(StrFormat(
+        "{\"section\": \"conn-scale\", \"loop\": \"%s\", "
+        "\"connections\": %zu, \"requests_per_sec\": %.1f, "
+        "\"server_threads\": %ld}",
+        loop, connections, requests_per_sec, server_threads));
+  }
+
   void AddLatency(const char* transport, const Histogram& micros) {
     rows_.push_back(StrFormat(
         "{\"section\": \"latency\", \"transport\": \"%s\", "
@@ -207,6 +221,83 @@ struct ThroughputResult {
   double events_per_sec = 0;
   uint64_t recs = 0;
 };
+
+/// Threads in this process right now (/proc/self/task entries).
+long CountThreads() {
+  long count = 0;
+  if (DIR* dir = ::opendir("/proc/self/task")) {
+    while (const dirent* entry = ::readdir(dir)) {
+      if (entry->d_name[0] != '.') count++;
+    }
+    ::closedir(dir);
+  }
+  return count;
+}
+
+struct ConnScaleResult {
+  double requests_per_sec = 0;
+  long server_threads = 0;  ///< threads the server added for N connections
+};
+
+/// The many-connection experiment: N raw client sockets against one
+/// in-process daemon, round-robin ping round trips across all of them.
+/// The thread-per-connection loop pays one OS thread per socket; the epoll
+/// reactor serves all N from one reactor thread + a fixed worker pool —
+/// the number this section exists to put on the record.
+ConnScaleResult RunConnScale(const StaticGraph& graph,
+                             net::ServerLoop loop, size_t connections,
+                             size_t rounds) {
+  Endpoint e;
+  auto hosted = LocalClusterTransport::Create(
+      graph, MakeClusterOptions(), LocalClusterTransport::Mode::kThreaded);
+  if (!hosted.ok()) std::exit(1);
+  e.hosted.push_back(std::move(hosted).value());
+  const long threads_before = CountThreads();
+  net::RpcServerOptions sopt;
+  sopt.loop = loop;
+  auto server = net::RpcServer::Start(e.hosted.back().get(), sopt);
+  if (!server.ok()) std::exit(1);
+
+  std::vector<net::TcpSocket> sockets;
+  sockets.reserve(connections);
+  for (size_t i = 0; i < connections; ++i) {
+    auto socket = net::TcpSocket::Connect("127.0.0.1", (*server)->port());
+    if (!socket.ok()) {
+      std::fprintf(stderr, "conn-scale dial %zu: %s\n", i,
+                   socket.status().ToString().c_str());
+      std::exit(1);
+    }
+    sockets.push_back(std::move(socket).value());
+  }
+  std::string ping;
+  net::AppendEmptyRequest(net::MessageTag::kPing, &ping);
+  // One warm-up round trip per connection so every handler thread (threads
+  // loop) exists before the census.
+  for (net::TcpSocket& socket : sockets) {
+    if (!socket.WriteAll(ping.data(), ping.size()).ok()) std::exit(1);
+    net::Frame reply;
+    if (!net::ReadFrame(&socket, &reply).ok()) std::exit(1);
+  }
+  ConnScaleResult result;
+  result.server_threads = CountThreads() - threads_before;
+
+  Stopwatch watch;
+  for (size_t round = 0; round < rounds; ++round) {
+    // Write the whole wave, then collect the replies: all N connections
+    // have a request outstanding at once.
+    for (net::TcpSocket& socket : sockets) {
+      if (!socket.WriteAll(ping.data(), ping.size()).ok()) std::exit(1);
+    }
+    for (net::TcpSocket& socket : sockets) {
+      net::Frame reply;
+      if (!net::ReadFrame(&socket, &reply).ok()) std::exit(1);
+    }
+  }
+  result.requests_per_sec =
+      static_cast<double>(connections * rounds) / watch.ElapsedSeconds();
+  (*server)->Stop();
+  return result;
+}
 
 ThroughputResult RunThroughput(ClusterTransport* transport,
                                const std::vector<EdgeEvent>& events,
@@ -330,6 +421,29 @@ int main() {
                        result.events_per_sec, result.recs);
   }
 
+  // --- connection scaling: threads vs epoll under 256 peers ----------------
+  std::printf("\n--- connection scaling (256 concurrent connections, "
+              "round-robin pings) ---\n");
+  std::printf("%11s %13s %14s %15s\n", "loop", "connections", "requests/s",
+              "server threads");
+  {
+    constexpr size_t kConnections = 256;
+    constexpr size_t kRounds = 40;
+    const net::ServerLoop loops[] = {net::ServerLoop::kThreads,
+                                     net::ServerLoop::kEpoll};
+    for (const net::ServerLoop loop : loops) {
+      const ConnScaleResult result =
+          RunConnScale(w.follow_graph, loop, kConnections, kRounds);
+      const char* name =
+          loop == net::ServerLoop::kEpoll ? "epoll" : "threads";
+      std::printf("%11s %13zu %14s %15ld\n", name, kConnections,
+                  HumanCount(result.requests_per_sec).c_str(),
+                  result.server_threads);
+      json.AddConnScale(name, kConnections, result.requests_per_sec,
+                        result.server_threads);
+    }
+  }
+
   const size_t latency_events = 2'000;
   std::printf("\n--- publish -> recommendation latency (first %s events, "
               "fresh clusters) ---\n",
@@ -372,6 +486,11 @@ int main() {
               "pipelining\n(several batch frames in flight per daemon); the "
               "4-daemon row writes every event\nto four sockets — the "
               "paper's deployment trades that broker-side fan-out cost\nfor "
-              "per-partition detector parallelism across processes.\n");
+              "per-partition detector parallelism across processes. the "
+              "conn-scale rows are\nthe reason the epoll reactor exists: "
+              "the threads loop pays one OS thread per\npeer (256 "
+              "connections -> ~256 server threads), the reactor serves the "
+              "same peers\nfrom one epoll thread plus a fixed worker "
+              "pool.\n");
   return 0;
 }

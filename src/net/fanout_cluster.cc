@@ -4,7 +4,6 @@
 #include <random>
 #include <utility>
 
-#include "net/frame_io.h"
 #include "util/str_format.h"
 
 namespace magicrecs::net {
@@ -31,9 +30,6 @@ Result<std::unique_ptr<FanoutCluster>> FanoutCluster::Connect(
     const FanoutClusterOptions& options) {
   if (options.endpoints.empty()) {
     return Status::InvalidArgument("fan-out cluster needs >= 1 endpoint");
-  }
-  if (options.connections_per_daemon == 0) {
-    return Status::InvalidArgument("connections_per_daemon must be >= 1");
   }
   if (options.gather_quorum > options.endpoints.size()) {
     return Status::InvalidArgument(StrFormat(
@@ -143,73 +139,80 @@ void FanoutCluster::StartBackoffLocked(Daemon* daemon) {
                          std::chrono::milliseconds(daemon->backoff_ms);
 }
 
-Result<std::unique_ptr<FanoutCluster::Conn>> FanoutCluster::Acquire(
+Result<std::shared_ptr<MuxConnection>> FanoutCluster::AcquireConn(
     Daemon* daemon) {
   std::unique_lock<std::mutex> lock(daemon->mu);
   while (true) {
     if (closed_.load(std::memory_order_acquire)) {
       return Status::FailedPrecondition("fan-out cluster is closed");
     }
-    if (!daemon->idle.empty()) {
-      std::unique_ptr<Conn> conn = std::move(daemon->idle.back());
-      daemon->idle.pop_back();
-      daemon->leased.push_back(conn.get());
-      return conn;
+    if (daemon->conn != nullptr) {
+      if (!daemon->conn->broken()) return daemon->conn;
+      daemon->conn.reset();  // died while idle; fall through to redial
     }
-    if (daemon->open_count < options_.connections_per_daemon) {
-      // Circuit breaker: inside the reconnect-backoff window fail fast
-      // instead of sleeping — one dead daemon must not stall every broker
-      // call (the healthy daemons are acquired in the same loop). The
-      // first call after the window redials.
-      if (daemon->next_attempt > std::chrono::steady_clock::now()) {
-        return TagError(*daemon,
-                        Status::Unavailable("in reconnect backoff"));
-      }
-      daemon->open_count++;  // reserve the slot while dialing unlocked
-      lock.unlock();
-      Result<TcpSocket> socket =
-          TcpSocket::Connect(daemon->endpoint.host, daemon->endpoint.port,
-                             options_.connect_timeout_ms);
-      Status status = socket.ok() ? Status::OK() : socket.status();
-      if (status.ok() && options_.tcp_nodelay) {
-        status = socket->SetNoDelay(true);
-      }
-      if (status.ok() && options_.recv_timeout_ms > 0) {
-        status = socket->SetRecvTimeout(options_.recv_timeout_ms);
-      }
-      lock.lock();
-      if (!status.ok()) {
-        daemon->open_count--;
-        StartBackoffLocked(daemon);
-        daemon->cv.notify_all();
-        return TagError(*daemon, status);
-      }
-      daemon->backoff_ms = 0;  // healthy again
-      auto conn = std::make_unique<Conn>();
-      conn->socket = std::move(socket).value();
-      daemon->leased.push_back(conn.get());
-      return conn;
+    if (daemon->dialing) {
+      // Another caller is mid-dial: share its outcome instead of racing a
+      // second connection to the same daemon.
+      daemon->cv.wait(lock);
+      continue;
     }
-    daemon->cv.wait(lock);
+    // Circuit breaker: inside the reconnect-backoff window fail fast
+    // instead of sleeping — one dead daemon must not stall every broker
+    // call (the healthy daemons are acquired in the same loop). The
+    // first call after the window redials.
+    if (daemon->next_attempt > std::chrono::steady_clock::now()) {
+      return TagError(*daemon, Status::Unavailable("in reconnect backoff"));
+    }
+    daemon->dialing = true;
+    lock.unlock();
+    MuxConnectionOptions mopt;
+    mopt.enable_mux = options_.enable_mux;
+    mopt.tcp_nodelay = options_.tcp_nodelay;
+    mopt.connect_timeout_ms = options_.connect_timeout_ms;
+    // A host whose kernel accepts while the daemon is wedged must fail
+    // the dial inside the reply-silence bound, not pin every caller
+    // behind the dialing flag.
+    mopt.hello_timeout_ms = options_.recv_timeout_ms;
+    Result<std::unique_ptr<MuxConnection>> dialed =
+        MuxConnection::Dial(daemon->endpoint.host, daemon->endpoint.port,
+                            mopt);
+    lock.lock();
+    daemon->dialing = false;
+    daemon->cv.notify_all();
+    if (!dialed.ok()) {
+      StartBackoffLocked(daemon);
+      return TagError(*daemon, dialed.status());
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      (*dialed)->Shutdown();
+      return Status::FailedPrecondition("fan-out cluster is closed");
+    }
+    daemon->backoff_ms = 0;  // healthy again
+    daemon->conn = std::shared_ptr<MuxConnection>(std::move(dialed).value());
+    return daemon->conn;
   }
 }
 
-void FanoutCluster::Release(Daemon* daemon, std::unique_ptr<Conn> conn,
-                            bool poisoned, bool start_backoff) {
-  std::lock_guard<std::mutex> lock(daemon->mu);
-  std::erase(daemon->leased, conn.get());
-  if (poisoned || closed_.load(std::memory_order_acquire)) {
-    daemon->open_count--;
-    if (poisoned && start_backoff) {
-      // Open the circuit-breaker window: the daemon just failed
-      // mid-exchange, so calls before it expires fail fast. A hedge skips
-      // this (start_backoff false): it is about to dial the same daemon.
-      StartBackoffLocked(daemon);
+void FanoutCluster::DropConn(Daemon* daemon,
+                             const std::shared_ptr<MuxConnection>& conn,
+                             bool start_backoff) {
+  if (conn == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(daemon->mu);
+    // Only the FIRST observer of this connection's death opens (or
+    // extends) the breaker window: every concurrent caller whose await
+    // just failed lands here with the same dead connection, and counting
+    // each as a fresh failure would double the backoff once per caller —
+    // or worse, re-penalize a daemon a later caller already redialed
+    // successfully (daemon->conn has moved on by then).
+    if (daemon->conn == conn) {
+      daemon->conn.reset();
+      if (start_backoff) StartBackoffLocked(daemon);
     }
-  } else {
-    daemon->idle.push_back(std::move(conn));
   }
-  daemon->cv.notify_all();
+  // Sever outside the lock: failing the other callers' in-flight awaits
+  // takes the connection's own mutex.
+  conn->Shutdown();
 }
 
 size_t FanoutCluster::RequiredQuorum() const {
@@ -244,7 +247,7 @@ std::vector<FanoutCluster::Slot> FanoutCluster::AcquireAll() {
   for (const auto& daemon : daemons_) {
     Slot slot;
     slot.daemon = daemon.get();
-    Result<std::unique_ptr<Conn>> conn = Acquire(daemon.get());
+    Result<std::shared_ptr<MuxConnection>> conn = AcquireConn(daemon.get());
     if (conn.ok()) {
       slot.conn = std::move(conn).value();
       // A reachable daemon is first owed whatever a degraded policy parked
@@ -260,43 +263,45 @@ std::vector<FanoutCluster::Slot> FanoutCluster::AcquireAll() {
 
 void FanoutCluster::FlushReplayOn(Slot* slot) {
   Daemon* daemon = slot->daemon;
-  // replay_mu is held across the flush IO so a concurrent caller cannot
-  // interleave its own traffic between two replayed frames.
+  // replay_mu is held across the flush exchanges so a concurrent caller
+  // cannot interleave its own traffic between two replayed frames — every
+  // broker call flushes (and therefore queues here) before sending its
+  // own.
   std::lock_guard<std::mutex> lock(daemon->replay_mu);
   while (!daemon->replay.empty() && slot->live()) {
     const ReplayFrame& frame = daemon->replay.front();
-    Status status =
-        slot->conn->socket.WriteAll(frame.bytes.data(), frame.bytes.size());
-    Frame reply;
-    if (status.ok()) status = ReadFrame(&slot->conn->socket, &reply);
+    std::vector<Frame> reply;
+    const Status status = slot->conn->CallOne(
+        frame.bytes, options_.recv_timeout_ms, &reply);
     if (!status.ok()) {
-      // The daemon went away again mid-replay: poison the lane, keep the
+      // The daemon went away again mid-replay: fail the lane, keep the
       // unacked frames parked for the next attempt.
       if (slot->status.ok()) slot->status = TagError(*daemon, status);
       slot->poisoned = true;
+      DropConn(daemon, slot->conn, /*start_backoff=*/true);
       return;
     }
-    if (reply.tag == MessageTag::kAck) {
+    const MessageTag tag =
+        reply.empty() ? MessageTag::kMuxResponse : reply.front().tag;
+    if (tag == MessageTag::kAck) {
       replayed_events_.fetch_add(frame.events, std::memory_order_relaxed);
-    } else if (reply.tag == MessageTag::kError) {
+    } else if (tag == MessageTag::kError) {
       // The daemon took the frame but rejected it; replaying it again
       // would just re-fail. Count the loss and surface the rejection.
       replay_dropped_events_.fetch_add(frame.events,
                                        std::memory_order_relaxed);
-      const Status err = TagError(*daemon, DecodeError(reply.payload));
+      const Status err = TagError(*daemon, DecodeError(reply.front().payload));
       if (slot->server_error.ok()) slot->server_error = err;
       if (slot->status.ok()) slot->status = err;
     } else {
-      // Neither ack nor error: the stream can no longer be trusted to be
-      // frame-aligned (version skew or a protocol bug). Poison the lane
-      // and keep the frame parked for the next attempt — consuming it
-      // here would lose its events without counting them anywhere, and
-      // replaying further frames would mispair their replies.
+      // Neither ack nor error: version skew or a protocol bug. Fail the
+      // lane and keep the frame parked for the next attempt — consuming it
+      // here would lose its events without counting them anywhere.
       if (slot->status.ok()) {
-        slot->status =
-            TagError(*daemon, UnexpectedReply(reply.tag, "replay ack"));
+        slot->status = TagError(*daemon, UnexpectedReply(tag, "replay ack"));
       }
       slot->poisoned = true;
+      DropConn(daemon, slot->conn, /*start_backoff=*/true);
       return;
     }
     daemon->replay_events -= frame.events;
@@ -304,42 +309,43 @@ void FanoutCluster::FlushReplayOn(Slot* slot) {
   }
 }
 
-void FanoutCluster::WriteAll(std::vector<Slot>* slots,
+void FanoutCluster::StartAll(std::vector<Slot>* slots,
                              const std::string& request) {
   for (Slot& slot : *slots) {
-    if (slot.conn == nullptr || slot.poisoned) continue;
-    const Status written =
-        slot.conn->socket.WriteAll(request.data(), request.size());
-    if (!written.ok()) {
-      if (slot.status.ok()) slot.status = TagError(*slot.daemon, written);
-      slot.poisoned = true;
+    if (!slot.live()) continue;
+    Result<MuxConnection::CallHandle> started =
+        slot.conn->Start(request, options_.recv_timeout_ms);
+    if (started.ok()) {
+      slot.call = std::move(started).value();
+      continue;
     }
+    if (slot.status.ok()) {
+      slot.status = TagError(*slot.daemon, started.status());
+    }
+    slot.poisoned = true;
+    DropConn(slot.daemon, slot.conn, /*start_backoff=*/true);
   }
 }
 
-Status FanoutCluster::ReleaseAll(std::vector<Slot>* slots) {
-  Status first;
-  for (Slot& slot : *slots) {
-    if (slot.conn != nullptr) {
-      Release(slot.daemon, std::move(slot.conn), slot.poisoned);
-    }
-    if (first.ok() && !slot.status.ok()) first = slot.status;
+Status FanoutCluster::FirstError(const std::vector<Slot>& slots) const {
+  for (const Slot& slot : slots) {
+    if (!slot.status.ok()) return slot.status;
   }
-  return first;
+  return Status::OK();
 }
 
-bool FanoutCluster::ReadReply(Slot* slot, Frame* reply) {
-  // Note: a recorded kError status does NOT stop reads — the stream is
-  // still aligned and owed replies must be drained before the connection
-  // can go back to the pool.
-  if (slot->conn == nullptr || slot->poisoned) return false;
-  const Status read = ReadFrame(&slot->conn->socket, reply);
-  if (!read.ok()) {
-    if (slot->status.ok()) slot->status = TagError(*slot->daemon, read);
-    slot->poisoned = true;
-    return false;
-  }
-  return true;
+bool FanoutCluster::AwaitReply(Slot* slot, std::vector<Frame>* frames) {
+  if (slot->call == nullptr || !slot->live()) return false;
+  const Status status =
+      slot->conn->Await(slot->call, options_.recv_timeout_ms, frames);
+  if (status.ok()) return true;
+  // Timed out or the connection died. Either way this call treats the
+  // daemon as failed: drop the shared connection and open the breaker
+  // window. (Frames that did arrive stay in *frames for rescue.)
+  if (slot->status.ok()) slot->status = TagError(*slot->daemon, status);
+  slot->poisoned = true;
+  DropConn(slot->daemon, slot->conn, /*start_backoff=*/true);
+  return false;
 }
 
 Status FanoutCluster::FirstReplayRejection(
@@ -377,18 +383,21 @@ Status FanoutCluster::BroadcastForAck(const std::string& request,
     return Status::FailedPrecondition("fan-out cluster is closed");
   }
   std::vector<Slot> slots = AcquireAll();
-  WriteAll(&slots, request);
+  StartAll(&slots, request);
   for (Slot& slot : slots) {
-    Frame reply;
-    if (!ReadReply(&slot, &reply)) continue;
-    if (reply.tag == MessageTag::kAck) {
+    std::vector<Frame> reply;
+    if (!AwaitReply(&slot, &reply)) continue;
+    const MessageTag tag =
+        reply.empty() ? MessageTag::kMuxResponse : reply.front().tag;
+    if (tag == MessageTag::kAck) {
       slot.answered = true;
-    } else if (reply.tag == MessageTag::kError) {
+    } else if (tag == MessageTag::kError) {
       if (slot.status.ok()) {
-        slot.status = TagError(*slot.daemon, DecodeError(reply.payload));
+        slot.status =
+            TagError(*slot.daemon, DecodeError(reply.front().payload));
       }
     } else if (slot.status.ok()) {
-      slot.status = TagError(*slot.daemon, UnexpectedReply(reply.tag, "ack"));
+      slot.status = TagError(*slot.daemon, UnexpectedReply(tag, "ack"));
     }
   }
   // Quorum counts daemons that acked THIS request; an error carried over
@@ -399,7 +408,7 @@ Status FanoutCluster::BroadcastForAck(const std::string& request,
     if (slot.answered) answered++;
   }
   const Status replay_rejection = FirstReplayRejection(slots);
-  const Status first = ReleaseAll(&slots);
+  const Status first = FirstError(slots);
   if (first.ok()) return first;
   // Degraded policies tolerate missing daemons down to the quorum, except
   // for the calls that must never silently degrade (require_all). A
@@ -419,44 +428,57 @@ Status FanoutCluster::Publish(const EdgeEvent& event) {
 
 void FanoutCluster::ReapOneAck(Slot* slot,
                                const std::vector<std::string>& frames) {
-  // On a kError reply the connection stays aligned (the server answered;
-  // later acks still arrive) so only the first error is recorded; a
-  // transport-level failure poisons the lane — and, under a degraded
-  // policy, gets one hedge attempt before the lane's remaining acks are
-  // abandoned.
-  while (true) {
-    Frame reply;
-    if (ReadReply(slot, &reply)) {
-      if (reply.tag == MessageTag::kAck ||
-          reply.tag == MessageTag::kError) {
+  // On a kError reply the session stays usable (the server answered; later
+  // acks still arrive) so only the first error is recorded; a transport
+  // failure or silence past the deadline fails the lane — after, under a
+  // degraded policy, one hedge attempt re-issues the unacked frames under
+  // fresh request_ids.
+  const bool hedging = degraded() && options_.hedge_after_ms > 0;
+  while (slot->live() && slot->acked < slot->calls.size()) {
+    // With hedging on, acks are awaited only for the hedge threshold —
+    // both before the hedge (so it can fire) and after it (so a server
+    // stalled past two windows fails over to the replay buffer instead of
+    // pinning the publish for the full recv timeout).
+    const int timeout_ms =
+        hedging ? options_.hedge_after_ms : options_.recv_timeout_ms;
+    std::vector<Frame> reply;
+    const Status status =
+        slot->conn->Await(slot->calls[slot->acked], timeout_ms, &reply);
+    if (status.ok()) {
+      const MessageTag tag =
+          reply.empty() ? MessageTag::kMuxResponse : reply.front().tag;
+      if (tag == MessageTag::kAck || tag == MessageTag::kError) {
         // Ack or server rejection: either way the server answered THIS
-        // frame, the stream is still aligned, and the lane stays usable.
+        // frame and the lane stays usable.
         slot->acked++;
-        if (reply.tag == MessageTag::kError) {
+        if (tag == MessageTag::kError) {
           const Status err =
-              TagError(*slot->daemon, DecodeError(reply.payload));
+              TagError(*slot->daemon, DecodeError(reply.front().payload));
           if (slot->server_error.ok()) slot->server_error = err;
           if (slot->status.ok()) slot->status = err;
         }
         return;
       }
-      // Any other tag means the stream can no longer be trusted to be
-      // frame-aligned (version skew or a protocol bug): counting it as an
-      // ack would mark events applied that never were, and pooling the
-      // connection would corrupt the next call that leases it. Poison
-      // without hedging — re-sending to a daemon that violates the
-      // protocol invites worse; the normal failure path (replay parking
-      // under a degraded policy, an error under strict) takes over.
+      // Any other tag is a protocol violation: counting it as an ack would
+      // mark events applied that never were. Fail the lane without
+      // hedging — re-sending to a daemon that violates the protocol
+      // invites worse; the normal failure path (replay parking under a
+      // degraded policy, an error under strict) takes over.
       if (slot->status.ok()) {
-        slot->status =
-            TagError(*slot->daemon, UnexpectedReply(reply.tag, "ack"));
+        slot->status = TagError(*slot->daemon, UnexpectedReply(tag, "ack"));
       }
       slot->poisoned = true;
+      DropConn(slot->daemon, slot->conn, /*start_backoff=*/true);
       return;
     }
-    if (!TryHedgePublish(slot, frames)) return;
-    // Hedged: the unacked frames are back in flight on a fresh connection;
-    // loop to read their acks.
+    if (slot->status.ok()) slot->status = TagError(*slot->daemon, status);
+    if (!TryHedgePublish(slot, frames)) {
+      slot->poisoned = true;
+      DropConn(slot->daemon, slot->conn, /*start_backoff=*/true);
+      return;
+    }
+    // Hedged: the unacked frames are back in flight under fresh ids; loop
+    // to await their acks.
   }
 }
 
@@ -467,38 +489,43 @@ bool FanoutCluster::TryHedgePublish(Slot* slot,
   }
   if (closed_.load(std::memory_order_acquire)) return false;
   slot->hedged = true;
-  // The old connection failed mid-exchange (most often: silent past the
-  // hedge threshold) but the daemon may be merely slow — drop it WITHOUT
-  // opening the circuit-breaker window and dial a replacement.
-  if (slot->conn != nullptr) {
-    Release(slot->daemon, std::move(slot->conn), /*poisoned=*/true,
-            /*start_backoff=*/false);
+  // Forget the unacked originals: late replies to abandoned ids are
+  // discarded by the session, and the batch sequences make each duplicate
+  // below a suppressed re-send of a frame the daemon may already have
+  // applied (server-side dedup, rpc_server.h).
+  for (size_t f = slot->acked; f < slot->calls.size(); ++f) {
+    if (slot->calls[f] != nullptr) slot->conn->Abandon(slot->calls[f]);
   }
-  Result<std::unique_ptr<Conn>> fresh = Acquire(slot->daemon);
-  if (!fresh.ok()) {
-    if (slot->status.ok()) slot->status = fresh.status();
-    return false;  // conn stays null: QueueUnsent parks the whole tail
+  // A standing connection means the daemon is slow, not gone: the hedge is
+  // a plain second request_id on the same socket. A broken one is dropped
+  // WITHOUT opening the circuit-breaker window (the daemon dialed; it may
+  // be merely slow) and replaced. On the legacy in-order session an
+  // abandon above poisons the connection by design, which lands in the
+  // redial branch — the old "fresh pooled connection" behavior.
+  if (slot->conn->broken()) {
+    DropConn(slot->daemon, slot->conn, /*start_backoff=*/false);
+    Result<std::shared_ptr<MuxConnection>> fresh = AcquireConn(slot->daemon);
+    if (!fresh.ok()) {
+      if (slot->status.ok()) slot->status = fresh.status();
+      return false;  // lane stays down: QueueUnsent parks the whole tail
+    }
+    slot->conn = std::move(fresh).value();
   }
   hedged_publishes_.fetch_add(1, std::memory_order_relaxed);
-  slot->conn = std::move(fresh).value();
   slot->poisoned = false;
   slot->status = slot->server_error;  // transport error superseded
-  // The hedged lane keeps the shortened ack wait: if this connection
-  // stalls too, the lane fails over to the replay buffer after another
-  // hedge window instead of pinning the publish for the full recv
-  // timeout. (Restored with the other lanes before release.)
-  (void)slot->conn->socket.SetRecvTimeout(options_.hedge_after_ms);
-  // Re-send everything written but unacked: the batch sequences make any
-  // frame the daemon did receive a suppressed duplicate (server-side
-  // dedup, rpc_server.h).
-  for (size_t f = slot->acked; f < slot->written; ++f) {
-    const Status written =
-        slot->conn->socket.WriteAll(frames[f].data(), frames[f].size());
-    if (!written.ok()) {
-      if (slot->status.ok()) slot->status = TagError(*slot->daemon, written);
+  for (size_t f = slot->acked; f < slot->calls.size(); ++f) {
+    Result<MuxConnection::CallHandle> dup =
+        slot->conn->Start(frames[f], options_.recv_timeout_ms);
+    if (!dup.ok()) {
+      if (slot->status.ok()) {
+        slot->status = TagError(*slot->daemon, dup.status());
+      }
       slot->poisoned = true;
+      DropConn(slot->daemon, slot->conn, /*start_backoff=*/true);
       return false;
     }
+    slot->calls[f] = std::move(dup).value();
   }
   return true;
 }
@@ -510,7 +537,7 @@ void FanoutCluster::QueueUnsent(Slot* slot,
   // breaker / connect failure) or a transport failure mid-call. A healthy
   // lane whose server rejected a frame keeps that error — a rejection is
   // not an availability problem and must surface, not retry forever.
-  if (slot->conn != nullptr && !slot->poisoned) return;
+  if (slot->live()) return;
   size_t queue_events = 0;
   for (size_t f = slot->acked; f < frames.size(); ++f) {
     queue_events += frame_events[f];
@@ -564,62 +591,56 @@ Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
 
   std::vector<Slot> slots = AcquireAll();
 
-  // With hedging on, the ack reads wait only the hedge threshold (restored
-  // before the connections go back to the pool).
-  const bool hedging = degraded() && options_.hedge_after_ms > 0;
-  if (hedging) {
-    for (Slot& slot : slots) {
-      if (!slot.live()) continue;
-      (void)slot.conn->socket.SetRecvTimeout(options_.hedge_after_ms);
-    }
-  }
-
-  // The pipeline: keep up to max_inflight_frames outstanding per daemon,
-  // writing frame f to every lane before frame f+1 so all daemons chew on
-  // the same prefix of the stream concurrently.
+  // The pipeline: keep up to max_inflight_frames outstanding request_ids
+  // per daemon, starting frame f on every lane before frame f+1 so all
+  // daemons chew on the same prefix of the stream concurrently. (The
+  // session additionally honors the cap the daemon advertised in its hello
+  // reply — MuxConnection::Start blocks there.)
   const size_t window = std::max<size_t>(1, options_.max_inflight_frames);
   for (size_t f = 0; f < frames.size(); ++f) {
     for (Slot& slot : slots) {
       if (!slot.live()) continue;
-      if (slot.written - slot.acked >= window) ReapOneAck(&slot, frames);
+      if (slot.calls.size() - slot.acked >= window) ReapOneAck(&slot, frames);
       if (!slot.live()) continue;
-      const Status written =
-          slot.conn->socket.WriteAll(frames[f].data(), frames[f].size());
-      if (written.ok()) {
-        slot.written++;
+      Result<MuxConnection::CallHandle> started =
+          slot.conn->Start(frames[f], options_.recv_timeout_ms);
+      if (started.ok()) {
+        slot.calls.push_back(std::move(started).value());
         continue;
       }
-      if (slot.status.ok()) slot.status = TagError(*slot.daemon, written);
+      if (slot.status.ok()) {
+        slot.status = TagError(*slot.daemon, started.status());
+      }
       slot.poisoned = true;
       // One hedge may revive the lane; the current frame then still needs
-      // to go out on the fresh connection.
+      // to go out under its own fresh id so slot.calls stays aligned with
+      // the frame list.
       if (TryHedgePublish(&slot, frames)) {
-        const Status retry =
-            slot.conn->socket.WriteAll(frames[f].data(), frames[f].size());
+        Result<MuxConnection::CallHandle> retry =
+            slot.conn->Start(frames[f], options_.recv_timeout_ms);
         if (retry.ok()) {
-          slot.written++;
+          slot.calls.push_back(std::move(retry).value());
         } else {
-          if (slot.status.ok()) slot.status = TagError(*slot.daemon, retry);
+          if (slot.status.ok()) {
+            slot.status = TagError(*slot.daemon, retry.status());
+          }
           slot.poisoned = true;
+          DropConn(slot.daemon, slot.conn, /*start_backoff=*/true);
         }
+      } else {
+        DropConn(slot.daemon, slot.conn, /*start_backoff=*/true);
       }
     }
   }
   for (Slot& slot : slots) {
-    while (slot.live() && slot.acked < slot.written) {
+    while (slot.live() && slot.acked < slot.calls.size()) {
       ReapOneAck(&slot, frames);
-    }
-  }
-  if (hedging) {
-    for (Slot& slot : slots) {
-      if (!slot.live()) continue;
-      (void)slot.conn->socket.SetRecvTimeout(options_.recv_timeout_ms);
     }
   }
   if (degraded()) {
     for (Slot& slot : slots) QueueUnsent(&slot, frames, frame_events);
   }
-  return ReleaseAll(&slots);
+  return FirstError(slots);
 }
 
 Status FanoutCluster::Drain() {
@@ -649,7 +670,7 @@ Result<std::vector<Recommendation>> FanoutCluster::TakeRecommendations(
   }
 
   std::vector<Slot> slots = AcquireAll();
-  WriteAll(&slots, request);
+  StartAll(&slots, request);
   // Gather: each daemon streams its share as chunked reply frames; the
   // merged result is their concatenation (cross-partition ordering is
   // unspecified, exactly as with the in-process broker). A daemon that is
@@ -664,38 +685,64 @@ Result<std::vector<Recommendation>> FanoutCluster::TakeRecommendations(
   // other rescued share.
   std::vector<uint32_t> downstream_missing;
   for (Slot& slot : slots) {
+    std::vector<Frame> reply;
+    const bool replied = AwaitReply(&slot, &reply);
     std::vector<Recommendation> staged;
     std::vector<uint32_t> staged_missing;
-    bool has_more = true;
-    while (has_more) {
-      Frame reply;
-      if (!ReadReply(&slot, &reply)) break;
-      if (reply.tag == MessageTag::kError) {
-        slot.status = TagError(*slot.daemon, DecodeError(reply.payload));
+    bool complete = replied && !reply.empty();
+    for (size_t i = 0; i < reply.size() && complete; ++i) {
+      const Frame& frame = reply[i];
+      if (frame.tag == MessageTag::kError) {
+        slot.status = TagError(*slot.daemon, DecodeError(frame.payload));
+        complete = false;
         break;
       }
-      if (reply.tag != MessageTag::kRecommendationsReply) {
+      if (frame.tag != MessageTag::kRecommendationsReply) {
         slot.status = TagError(
             *slot.daemon,
-            UnexpectedReply(reply.tag, "recommendations-reply"));
+            UnexpectedReply(frame.tag, "recommendations-reply"));
+        complete = false;
         break;
       }
+      bool has_more = false;
       GatherReport chunk_report;
       const Status decoded = DecodeRecommendationsReply(
-          reply.payload, &staged, &has_more, &chunk_report);
+          frame.payload, &staged, &has_more, &chunk_report);
       if (!decoded.ok()) {
-        // A mangled chunk leaves an unknown number of follow-up frames in
-        // flight; the stream alignment is gone.
         slot.status = TagError(*slot.daemon, decoded);
-        slot.poisoned = true;
+        complete = false;
         break;
       }
       staged_missing.insert(staged_missing.end(),
                             chunk_report.missing_partitions.begin(),
                             chunk_report.missing_partitions.end());
-      if (!has_more) slot.answered = true;
+      if (i + 1 == reply.size() && has_more) {
+        // The session said "last frame" while the chunking protocol
+        // promised more: the reply stream is broken.
+        slot.status = TagError(
+            *slot.daemon,
+            Status::Internal("chunked reply ended with has_more set"));
+        complete = false;
+      }
     }
-    if (slot.answered) {
+    // A timed-out or died-mid-stream lane may still have decodable chunks
+    // in `reply`: decode what arrived so the partial share is rescued,
+    // never dropped (the server-side take was destructive).
+    if (!replied && !reply.empty() && staged.empty()) {
+      bool more = true;
+      for (const Frame& frame : reply) {
+        if (frame.tag != MessageTag::kRecommendationsReply || !more) break;
+        GatherReport ignored;
+        if (!DecodeRecommendationsReply(frame.payload, &staged, &more,
+                                        &ignored)
+                 .ok()) {
+          break;
+        }
+      }
+      complete = false;
+    }
+    if (complete) {
+      slot.answered = true;
       recs.insert(recs.end(), std::make_move_iterator(staged.begin()),
                   std::make_move_iterator(staged.end()));
       downstream_missing.insert(downstream_missing.end(),
@@ -748,7 +795,7 @@ Result<std::vector<Recommendation>> FanoutCluster::TakeRecommendations(
       report.missing_partitions.end());
 
   const Status replay_rejection = FirstReplayRejection(slots);
-  const Status first = ReleaseAll(&slots);
+  const Status first = FirstError(slots);
   if (caller_report != nullptr) *caller_report = report;
   {
     std::lock_guard<std::mutex> lock(report_mu_);
@@ -811,20 +858,22 @@ Status FanoutCluster::ExchangeForAckOn(Daemon* daemon,
   if (closed_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("fan-out cluster is closed");
   }
-  MAGICRECS_ASSIGN_OR_RETURN(std::unique_ptr<Conn> conn, Acquire(daemon));
-  Status status = conn->socket.WriteAll(request.data(), request.size());
-  Frame reply;
-  if (status.ok()) status = ReadFrame(&conn->socket, &reply);
+  MAGICRECS_ASSIGN_OR_RETURN(std::shared_ptr<MuxConnection> conn,
+                             AcquireConn(daemon));
+  std::vector<Frame> reply;
+  const Status status =
+      conn->CallOne(request, options_.recv_timeout_ms, &reply);
   if (!status.ok()) {
-    Release(daemon, std::move(conn), /*poisoned=*/true);
+    DropConn(daemon, conn, /*start_backoff=*/true);
     return TagError(*daemon, status);
   }
-  Release(daemon, std::move(conn), /*poisoned=*/false);
-  if (reply.tag == MessageTag::kError) {
-    return TagError(*daemon, DecodeError(reply.payload));
+  const MessageTag tag =
+      reply.empty() ? MessageTag::kMuxResponse : reply.front().tag;
+  if (tag == MessageTag::kError) {
+    return TagError(*daemon, DecodeError(reply.front().payload));
   }
-  if (reply.tag != MessageTag::kAck) {
-    return TagError(*daemon, UnexpectedReply(reply.tag, "ack"));
+  if (tag != MessageTag::kAck) {
+    return TagError(*daemon, UnexpectedReply(tag, "ack"));
   }
   return Status::OK();
 }
@@ -837,21 +886,22 @@ Result<ClusterStats> FanoutCluster::GetStats() {
   std::string request;
   AppendEmptyRequest(MessageTag::kStats, &request);
 
-  // Write-all-then-read-all like every other broadcast, so the per-daemon
+  // Start-all-then-await-all like every other broadcast, so the per-daemon
   // snapshots are taken concurrently (minimally skewed in time) instead of
   // one round trip after another.
   std::vector<Slot> slots = AcquireAll();
-  WriteAll(&slots, request);
+  StartAll(&slots, request);
   ClusterStats merged;
   size_t answered = 0;
   for (Slot& slot : slots) {
     ClusterStats stats;
-    if (!ReadStatsReply(&slot, &stats)) continue;
+    if (!AwaitStatsReply(&slot, &stats)) continue;
     answered++;
-    // Merge: shape fields take the widest daemon view; detector counters
-    // and memory sum across daemons; events_published takes the max (every
-    // daemon counts the same fanned-out stream, so summing would multiply
-    // the broker-side publish count by the daemon count).
+    // Merge: shape fields take the widest daemon view; detector counters,
+    // memory, and server-loop counters sum across daemons;
+    // events_published takes the max (every daemon counts the same
+    // fanned-out stream, so summing would multiply the broker-side publish
+    // count by the daemon count).
     merged.num_partitions = std::max(merged.num_partitions,
                                      stats.num_partitions);
     merged.replicas_per_partition =
@@ -864,12 +914,19 @@ Result<ClusterStats> FanoutCluster::GetStats() {
     merged.static_memory_bytes += stats.static_memory_bytes;
     merged.dynamic_memory_bytes += stats.dynamic_memory_bytes;
     merged.partitioner_salt = stats.partitioner_salt;  // equal; Ping checks
+    if (stats.server.loop != 0) merged.server.loop = stats.server.loop;
+    merged.server.connections_open += stats.server.connections_open;
+    merged.server.requests_served += stats.server.requests_served;
+    merged.server.partial_reads += stats.server.partial_reads;
+    merged.server.partial_writes += stats.server.partial_writes;
+    merged.server.inflight_stalls += stats.server.inflight_stalls;
+    merged.server.mux_connections += stats.server.mux_connections;
     merged.per_replica.insert(merged.per_replica.end(),
                               stats.per_replica.begin(),
                               stats.per_replica.end());
   }
   const Status replay_rejection = FirstReplayRejection(slots);
-  const Status first = ReleaseAll(&slots);
+  const Status first = FirstError(slots);
   if (!first.ok() && !(degraded() && answered >= RequiredQuorum())) {
     return first;
   }
@@ -922,19 +979,20 @@ Result<HashPartitioner> FanoutCluster::Partitioner() const {
   return HashPartitioner(group_size_, options_.partitioner_salt);
 }
 
-bool FanoutCluster::ReadStatsReply(Slot* slot, ClusterStats* stats) {
-  Frame reply;
-  if (!ReadReply(slot, &reply)) return false;
-  if (reply.tag == MessageTag::kError) {
-    slot->status = TagError(*slot->daemon, DecodeError(reply.payload));
+bool FanoutCluster::AwaitStatsReply(Slot* slot, ClusterStats* stats) {
+  std::vector<Frame> reply;
+  if (!AwaitReply(slot, &reply) || reply.empty()) return false;
+  const Frame& frame = reply.front();
+  if (frame.tag == MessageTag::kError) {
+    slot->status = TagError(*slot->daemon, DecodeError(frame.payload));
     return false;
   }
-  if (reply.tag != MessageTag::kStatsReply) {
+  if (frame.tag != MessageTag::kStatsReply) {
     slot->status =
-        TagError(*slot->daemon, UnexpectedReply(reply.tag, "stats-reply"));
+        TagError(*slot->daemon, UnexpectedReply(frame.tag, "stats-reply"));
     return false;
   }
-  const Status decoded = DecodeStatsReply(reply.payload, stats);
+  const Status decoded = DecodeStatsReply(frame.payload, stats);
   if (!decoded.ok()) {
     slot->status = TagError(*slot->daemon, decoded);
     return false;
@@ -950,10 +1008,10 @@ Status FanoutCluster::VerifyTopology() {
   std::string request;
   AppendEmptyRequest(MessageTag::kStats, &request);
   std::vector<Slot> slots = AcquireAll();
-  WriteAll(&slots, request);
+  StartAll(&slots, request);
   for (Slot& slot : slots) {
     ClusterStats stats;
-    if (!ReadStatsReply(&slot, &stats)) continue;
+    if (!AwaitStatsReply(&slot, &stats)) continue;
     const FanoutEndpoint& endpoint = slot.daemon->endpoint;
     if (group_size_ > 0 && stats.num_partitions != group_size_) {
       slot.status = TagError(
@@ -992,7 +1050,7 @@ Status FanoutCluster::VerifyTopology() {
       }
     }
   }
-  return ReleaseAll(&slots);
+  return FirstError(slots);
 }
 
 Status FanoutCluster::Ping() {
@@ -1007,17 +1065,20 @@ Status FanoutCluster::Ping() {
 Status FanoutCluster::Close() {
   if (closed_.exchange(true)) return Status::OK();
   for (const auto& daemon : daemons_) {
-    std::lock_guard<std::mutex> lock(daemon->mu);
-    // Sever every socket: idle ones are dropped, leased ones get their
-    // blocked reads unstuck so the in-flight calls fail and return.
-    for (const auto& conn : daemon->idle) conn->socket.Shutdown();
-    for (Conn* conn : daemon->leased) conn->socket.Shutdown();
-    daemon->open_count -= daemon->idle.size();
-    daemon->idle.clear();  // destructors close the fds
-    daemon->cv.notify_all();
+    std::shared_ptr<MuxConnection> conn;
+    {
+      std::lock_guard<std::mutex> lock(daemon->mu);
+      conn = std::move(daemon->conn);
+      daemon->conn.reset();
+      daemon->cv.notify_all();
+    }
+    // Sever outside the lock: in-flight calls fail their awaits and
+    // return. The connection object itself dies when the last in-flight
+    // slot drops its reference.
+    if (conn != nullptr) conn->Shutdown();
   }
-  // Barrier: wait out the in-flight calls (their reads just failed) so the
-  // destructor can never free Daemon state under one.
+  // Barrier: wait out the in-flight calls (their awaits just failed) so
+  // the destructor can never free Daemon state under one.
   std::unique_lock<std::shared_mutex> lifecycle(lifecycle_mu_);
   // With no call in flight anymore, drop everything a degraded run parked:
   // rescued recommendations must not survive into a rebuilt broker's

@@ -20,15 +20,21 @@
 // ClusterTransport::Partitioner() so callers can attribute a user (and its
 // recommendations) to the daemon that owns it.
 //
-// Wire mechanics per daemon: a small connection pool (concurrent callers use
-// distinct sockets) and pipelined publishes — a PublishBatch splits into
+// Wire mechanics per daemon: ONE multiplexed connection
+// (net/mux_connection.h), shared by every broker caller. Each logical call
+// is a request_id on that socket; replies demultiplex to their callers, so
+// concurrent gathers, stats probes, and publish pipelines coexist on the
+// same connection without a leased-socket pool. A PublishBatch splits into
 // chunked kPublishBatch frames and keeps up to max_inflight_frames of them
-// in flight on one connection before reaping acks, while the same bytes
-// stream to every other daemon; daemons process concurrently, the client
-// never blocks on one daemon before writing to the next.
+// outstanding (distinct request_ids) per daemon before awaiting acks,
+// while the same bytes stream to every other daemon; daemons process
+// concurrently, the client never blocks on one daemon before writing to
+// the next. Against a pre-versioning daemon the session downgrades to the
+// strict in-order protocol (the hello probe, net/wire.h) and the same
+// pipeline runs FIFO — wire bytes identical to the pre-mux broker.
 //
-// Failure handling per daemon: replies are bounded by a recv timeout, a
-// transport-level failure poisons only that daemon's connection, and every
+// Failure handling per daemon: replies are bounded by a per-call recv
+// timeout, a connection failure fails only that daemon's lane, and every
 // error Status names the daemon (host:port and hosted partition) that
 // produced it. A failed daemon opens a circuit-breaker window (doubling
 // from reconnect_backoff_ms up to a cap): calls inside the window fail
@@ -57,20 +63,22 @@
 //     traffic — once the daemon answers again; overflow is an explicit
 //     ResourceExhausted, never a silent drop;
 //   * a publish lane silent for hedge_after_ms is hedged: the unacked
-//     frames are re-sent on a fresh pooled connection. Frames carry a
-//     batch sequence in degraded mode, so the daemon suppresses the
-//     duplicate if the original did land (RpcServer's dedup window); a
-//     duplicate racing the original's still-in-flight apply is held until
-//     that apply resolves — an ack always means the events landed — so a
-//     hedge routes around connection-level slowness, while a server-side
-//     stall past the ack timeout fails the lane over to the replay buffer;
+//     frames are re-sent under fresh request_ids — on the same multiplexed
+//     connection when it still stands (a server-side stall), or on a
+//     redialed one when it died. Frames carry a batch sequence in degraded
+//     mode, so the daemon suppresses the duplicate if the original did
+//     land (RpcServer's dedup window); a duplicate racing the original's
+//     still-in-flight apply is held until that apply resolves — an ack
+//     always means the events landed — so a hedge routes around slowness,
+//     while a stall that outlives the hedge window too fails the lane over
+//     to the replay buffer;
 //   * Drain and GetStats tolerate missing daemons under the same quorum;
 //     Checkpoint, replica ops, and Ping stay strict under every policy —
 //     durability and topology verification must not silently degrade.
 // Degraded semantics are eventual, not exact: events parked in a replay
 // buffer are invisible to Drain until flushed, so recommendations can
-// trail into a later gather. Strict mode keeps the PR 3 contract — and its
-// wire bytes — unchanged.
+// trail into a later gather. Strict mode keeps the PR 3 contract — and,
+// against pre-versioning daemons, its wire bytes — unchanged.
 
 #ifndef MAGICRECS_NET_FANOUT_CLUSTER_H_
 #define MAGICRECS_NET_FANOUT_CLUSTER_H_
@@ -88,7 +96,7 @@
 
 #include "cluster/partitioner.h"
 #include "cluster/transport.h"
-#include "net/socket.h"
+#include "net/mux_connection.h"
 #include "net/wire.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -129,17 +137,15 @@ struct FanoutClusterOptions {
   /// Must match the daemons' partitioner salt (magicrecsd default: 0).
   uint64_t partitioner_salt = 0;
 
-  /// Connections kept per daemon; concurrent broker calls beyond this block
-  /// until a connection frees up.
-  size_t connections_per_daemon = 2;
-
   /// Events per pipelined kPublishBatch frame.
   size_t publish_chunk_events = 256;
 
-  /// Publish frames in flight per daemon before acks are reaped.
+  /// Publish frames (request_ids) in flight per daemon before acks are
+  /// awaited. The effective window also honors the cap an upgraded daemon
+  /// advertises in its hello reply.
   size_t max_inflight_frames = 32;
 
-  /// Reply timeout per frame (0 = block forever).
+  /// Reply timeout per logical call (0 = block forever).
   int recv_timeout_ms = 30'000;
 
   /// Dial timeout (0 = kernel default, which can be minutes against a
@@ -153,6 +159,10 @@ struct FanoutClusterOptions {
 
   bool tcp_nodelay = true;
 
+  /// Probe daemons with kHello and multiplex when accepted. False forces
+  /// the legacy in-order session on every lane (back-compat testing).
+  bool enable_mux = true;
+
   // --- degraded-mode policy --------------------------------------------------
 
   FanoutPolicy policy = FanoutPolicy::kStrict;
@@ -162,8 +172,8 @@ struct FanoutClusterOptions {
   uint32_t gather_quorum = 0;
 
   /// Hedge threshold: a publish lane silent for this long has its unacked
-  /// frames re-sent on a fresh pooled connection (once per daemon per
-  /// call). 0 disables hedging. Strict mode never hedges.
+  /// frames re-sent under fresh request_ids (once per daemon per call).
+  /// 0 disables hedging. Strict mode never hedges.
   int hedge_after_ms = 0;
 
   /// Per-daemon replay buffer bound, in events. Publishes that cannot
@@ -180,8 +190,8 @@ struct FanoutClusterOptions {
   size_t max_pending_recommendations = 1 << 16;
 };
 
-/// The fan-out/gather broker endpoint. Thread-safe; calls from concurrent
-/// threads proceed on distinct pooled connections.
+/// The fan-out/gather broker endpoint. Thread-safe; concurrent callers
+/// multiplex over one shared connection per daemon.
 class FanoutCluster : public ClusterTransport {
  public:
   /// Validates the topology (either one all-hosting daemon, or explicit
@@ -215,9 +225,10 @@ class FanoutCluster : public ClusterTransport {
   Status RecoverReplica(uint32_t partition, uint32_t replica) override;
 
   /// Merged view: identity-tagged per_replica entries are concatenated from
-  /// all daemons (sorted by partition, replica); detector counters and
-  /// memory sum; events_published is the per-daemon maximum, since every
-  /// daemon counts the same fanned-out stream.
+  /// all daemons (sorted by partition, replica); detector counters, memory,
+  /// and server-loop reactor counters sum; events_published is the
+  /// per-daemon maximum, since every daemon counts the same fanned-out
+  /// stream.
   Result<ClusterStats> GetStats() override;
 
   /// The group partitioner replica ops are routed with.
@@ -236,11 +247,6 @@ class FanoutCluster : public ClusterTransport {
   Status Close() override;
 
  private:
-  /// One pooled socket, leased to at most one call at a time.
-  struct Conn {
-    TcpSocket socket;
-  };
-
   /// One encoded publish frame parked for a daemon that could not take it,
   /// plus how many events it carries (the unit the buffer bound counts).
   struct ReplayFrame {
@@ -248,15 +254,18 @@ class FanoutCluster : public ClusterTransport {
     size_t events = 0;
   };
 
-  /// Per-daemon connection pool + reconnect/backoff state.
+  /// Per-daemon shared connection + reconnect/backoff state.
   struct Daemon {
     FanoutEndpoint endpoint;
     std::mutex mu;
-    std::condition_variable cv;
-    std::vector<std::unique_ptr<Conn>> idle;
-    std::vector<Conn*> leased;  ///< outstanding leases, for Close() to sever
-    size_t open_count = 0;      ///< idle + leased
-    int backoff_ms = 0;         ///< 0 = healthy
+    std::condition_variable cv;  ///< waits out a concurrent dial
+
+    /// The one multiplexed connection every caller shares. Null until the
+    /// first use (or after a failure dropped it).
+    std::shared_ptr<MuxConnection> conn;
+    bool dialing = false;
+
+    int backoff_ms = 0;  ///< 0 = healthy
     std::chrono::steady_clock::time_point next_attempt{};
 
     /// Gather staleness (guarded by mu): bumped when this daemon misses a
@@ -264,19 +273,21 @@ class FanoutCluster : public ClusterTransport {
     uint64_t gathers_missed_total = 0;
     uint64_t gathers_missed_consecutive = 0;
 
-    /// Queue-and-replay state. replay_mu is held across the network writes
-    /// of a flush so replayed frames reach the daemon in publish order even
-    /// with concurrent brokers' callers; it never nests with mu.
+    /// Queue-and-replay state. replay_mu is held across the replay
+    /// exchanges of a flush so replayed frames reach the daemon in publish
+    /// order ahead of any caller's new frames (every broker call flushes —
+    /// and therefore queues behind an in-progress flush — before sending
+    /// its own traffic); it never nests with mu.
     std::mutex replay_mu;
     std::deque<ReplayFrame> replay;
     size_t replay_events = 0;  ///< sum over replay (guarded by replay_mu)
   };
 
-  /// One daemon's slice of a broker call: the leased connection, the first
-  /// error it produced, and the pipelining bookkeeping.
+  /// One daemon's slice of a broker call: the connection snapshot, the
+  /// first error it produced, and the pipelining bookkeeping.
   struct Slot {
     Daemon* daemon = nullptr;
-    std::unique_ptr<Conn> conn;
+    std::shared_ptr<MuxConnection> conn;
     Status status;
 
     /// First kError REPLY the daemon sent (as opposed to a transport
@@ -284,10 +295,17 @@ class FanoutCluster : public ClusterTransport {
     /// the transport error but must not hide a server-side rejection.
     Status server_error;
 
-    bool poisoned = false;
-    size_t written = 0;  ///< publish frames written on this lane
-    size_t acked = 0;    ///< publish frames answered (ack or server error)
-    bool hedged = false; ///< this lane already used its one hedge
+    bool poisoned = false;  ///< lane unusable for the rest of this call
+    bool hedged = false;    ///< this lane already used its one hedge
+
+    /// Publish pipeline: calls[i] is frame i's in-flight handle; the first
+    /// `acked` frames are confirmed (ack or server error).
+    std::vector<MuxConnection::CallHandle> calls;
+    size_t acked = 0;
+
+    /// Single-exchange broadcasts (drain, stats, gather) park their one
+    /// handle here between the start and await passes.
+    MuxConnection::CallHandle call;
 
     /// THIS call's request/reply exchange completed on this lane (gather:
     /// every chunk decoded; ack broadcasts: kAck read). Deliberately
@@ -297,26 +315,23 @@ class FanoutCluster : public ClusterTransport {
     /// recommendations it fully delivered into the merge.
     bool answered = false;
 
-    /// Lane usable for IO: leased, and not known-broken.
+    /// Lane usable for IO.
     bool live() const { return conn != nullptr && !poisoned; }
   };
 
   explicit FanoutCluster(const FanoutClusterOptions& options);
 
-  /// Leases a connection, dialing a new one if the pool is below its cap.
-  /// Blocks when every connection is leased. Inside a daemon's reconnect-
-  /// backoff window this fails fast with Unavailable (circuit breaker) —
-  /// one dead daemon must not stall calls touching the healthy ones.
-  /// Errors name the daemon.
-  Result<std::unique_ptr<Conn>> Acquire(Daemon* daemon);
+  /// The daemon's shared connection, dialing it if absent. Inside a
+  /// daemon's reconnect-backoff window this fails fast with Unavailable
+  /// (circuit breaker) — one dead daemon must not stall calls touching
+  /// the healthy ones. Errors name the daemon.
+  Result<std::shared_ptr<MuxConnection>> AcquireConn(Daemon* daemon);
 
-  /// Returns a leased connection. Poisoned connections (transport-level
-  /// failure: the stream may be mid-frame) are dropped and — unless
-  /// `start_backoff` is false (a hedge replacing a slow-but-dialable
-  /// connection) — the daemon's backoff clock starts; healthy ones go back
-  /// to the pool.
-  void Release(Daemon* daemon, std::unique_ptr<Conn> conn, bool poisoned,
-               bool start_backoff = true);
+  /// Severs `conn` and forgets it as the daemon's shared connection (a
+  /// newer one is left alone). `start_backoff` opens the circuit-breaker
+  /// window; a hedge redial passes false — the daemon dialed, it is slow.
+  void DropConn(Daemon* daemon, const std::shared_ptr<MuxConnection>& conn,
+                bool start_backoff);
 
   /// Opens/extends the daemon's circuit-breaker window after a failure.
   /// Caller holds daemon->mu.
@@ -325,16 +340,21 @@ class FanoutCluster : public ClusterTransport {
   /// Prefixes `status` with the daemon's identity.
   Status TagError(const Daemon& daemon, const Status& status) const;
 
-  // Broadcast plumbing shared by every fan-out call: lease one connection
-  // per daemon (failures land in the slot's status), write the request on
-  // every healthy slot BEFORE reading any reply (daemons process
-  // concurrently), then release everything and surface the first error.
+  // Broadcast plumbing shared by every fan-out call: snapshot one
+  // connection per daemon (failures land in the slot's status), start the
+  // request on every live slot BEFORE awaiting any reply (daemons process
+  // concurrently), then surface the first error in daemon order.
   // AcquireAll also flushes any replay buffer owed to a daemon that just
   // became reachable again (degraded policies only), so every broker call
   // is a replay opportunity.
   std::vector<Slot> AcquireAll();
-  void WriteAll(std::vector<Slot>* slots, const std::string& request);
-  Status ReleaseAll(std::vector<Slot>* slots);
+  void StartAll(std::vector<Slot>* slots, const std::string& request);
+  Status FirstError(const std::vector<Slot>& slots) const;
+
+  /// Awaits the slot's single-exchange reply. On success the reply frames
+  /// land in *frames and true returns; failures poison the slot, drop the
+  /// connection, and record the tagged error.
+  bool AwaitReply(Slot* slot, std::vector<Frame>* frames);
 
   /// True under a degraded policy (anything but kStrict).
   bool degraded() const { return options_.policy != FanoutPolicy::kStrict; }
@@ -358,7 +378,7 @@ class FanoutCluster : public ClusterTransport {
 
   /// Re-sends the daemon's parked replay frames on the slot's connection
   /// (serial request/ack; this is the recovery path, not the hot path).
-  /// Transport failure poisons the slot; frames stay queued for next time.
+  /// A failure poisons the slot; frames stay queued for next time.
   void FlushReplayOn(Slot* slot);
 
   /// Parks frames [slot->acked, frames.size()) in the daemon's replay
@@ -368,25 +388,21 @@ class FanoutCluster : public ClusterTransport {
   void QueueUnsent(Slot* slot, const std::vector<std::string>& frames,
                    const std::vector<size_t>& frame_events);
 
-  /// One hedge attempt for a failed publish lane: drops the old connection
-  /// (without opening the backoff window — the daemon dialed, it is slow),
-  /// leases a fresh one, and re-sends the unacked frames. True iff the
-  /// lane is live again.
+  /// One hedge attempt for a failed publish lane: re-issues every unacked
+  /// frame under fresh request_ids — on the standing connection when it
+  /// survived (server-side stall), on a redial (without opening the
+  /// backoff window) when it died. True iff the lane is live again with
+  /// slot->calls realigned to the frame list.
   bool TryHedgePublish(Slot* slot, const std::vector<std::string>& frames);
 
-  /// Reads one publish ack on the lane, hedging once on failure when the
-  /// policy allows. kError replies record the first server error but keep
-  /// the lane (the stream is still aligned).
+  /// Awaits the oldest unacked publish frame on the lane, hedging once on
+  /// failure when the policy allows. kError replies record the first
+  /// server error but keep the lane (the session is still usable).
   void ReapOneAck(Slot* slot, const std::vector<std::string>& frames);
 
-  /// Reads one reply frame on a live slot; a transport-level failure
-  /// poisons the slot and records the error. False when the slot cannot be
-  /// read (no connection, already poisoned, or this read failed).
-  bool ReadReply(Slot* slot, Frame* reply);
-
-  /// Reads and decodes one kStatsReply on a slot; false on any failure
+  /// Awaits and decodes one kStatsReply on a slot; false on any failure
   /// (recorded in the slot's status).
-  bool ReadStatsReply(Slot* slot, ClusterStats* stats);
+  bool AwaitStatsReply(Slot* slot, ClusterStats* stats);
 
   /// Stats sweep checking every daemon's reported group size, hosted
   /// partitions, and partitioner salt against this broker's endpoint list.
@@ -410,9 +426,10 @@ class FanoutCluster : public ClusterTransport {
   uint32_t group_size_ = 0;
   std::atomic<bool> closed_{false};
 
-  /// Every broker call holds this shared; Close() severs the leased
-  /// sockets (unblocking stalled reads) and then takes it exclusive, so
-  /// the destructor can never free Daemon state under an in-flight call.
+  /// Every broker call holds this shared; Close() severs the shared
+  /// connections (unblocking stalled awaits) and then takes it exclusive,
+  /// so the destructor can never free Daemon state under an in-flight
+  /// call.
   std::shared_mutex lifecycle_mu_;
 
   /// Recommendations rescued from a partially failed gather, owed to the

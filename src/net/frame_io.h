@@ -5,6 +5,8 @@
 #ifndef MAGICRECS_NET_FRAME_IO_H_
 #define MAGICRECS_NET_FRAME_IO_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "net/socket.h"
@@ -25,6 +27,39 @@ Status ReadFrame(TcpSocket* socket, Frame* frame, bool* clean_eof = nullptr);
 
 /// Writes pre-assembled frame bytes (from the Append* wire encoders).
 Status WriteFrames(TcpSocket* socket, const std::string& bytes);
+
+/// Incremental frame parser for the non-blocking reactor: bytes arrive in
+/// arbitrary slices (a header split across two reads, ten frames in one),
+/// Append() buffers them, Next() pulls complete frames one at a time.
+///
+/// Enforces the same discipline as ReadFrame — the length bound BEFORE any
+/// allocation, the body CRC before a payload byte is trusted — so the two
+/// server loops share one robustness contract. After Next() returns an
+/// error the stream is desynchronized and the connection must be dropped.
+class FrameAssembler {
+ public:
+  /// Buffers `n` more bytes from the wire.
+  void Append(const char* data, size_t n);
+
+  /// Extracts the next complete frame into *frame. `*ready` is false (with
+  /// an OK status) when the buffered bytes do not yet hold one. Errors:
+  ///   InvalidArgument   — zero-length body
+  ///   ResourceExhausted — length prefix above kMaxFrameBodyBytes (the
+  ///                       oversized body is never buffered whole: the
+  ///                       check runs as soon as the 8 header bytes exist)
+  ///   Corruption        — body CRC mismatch
+  Status Next(Frame* frame, bool* ready);
+
+  /// True when a partial frame is buffered — EOF now means a truncated
+  /// frame, not an orderly close.
+  bool mid_frame() const { return buffer_.size() - consumed_ > 0; }
+
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< parsed-and-released prefix of buffer_
+};
 
 }  // namespace magicrecs::net
 

@@ -1,0 +1,298 @@
+#include "net/mux_connection.h"
+
+#include <chrono>
+#include <utility>
+
+#include "net/frame_io.h"
+#include "util/str_format.h"
+
+namespace magicrecs::net {
+namespace {
+
+/// True when a legacy (bare) reply frame ends its logical call: everything
+/// except a chunked recommendations reply with has_more set.
+bool LegacyReplyComplete(const Frame& frame) {
+  if (frame.tag != MessageTag::kRecommendationsReply) return true;
+  if (frame.payload.empty()) return true;  // malformed; caller will reject
+  return frame.payload[0] == 0;  // has_more is the leading byte
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MuxConnection>> MuxConnection::Dial(
+    const std::string& host, uint16_t port,
+    const MuxConnectionOptions& options) {
+  std::unique_ptr<MuxConnection> conn(new MuxConnection());
+  conn->options_ = options;
+  MAGICRECS_ASSIGN_OR_RETURN(
+      conn->socket_,
+      TcpSocket::Connect(host, port, options.connect_timeout_ms));
+  if (options.tcp_nodelay) {
+    MAGICRECS_RETURN_IF_ERROR(conn->socket_.SetNoDelay(true));
+  }
+  if (options.enable_mux) {
+    // The hello probe doubles as version detection: a pre-versioning
+    // server answers kError for the unknown tag and keeps the connection
+    // usable — the downgrade path, locked by the back-compat tests. The
+    // reply read is bounded by hello_timeout_ms (connect_timeout_ms only
+    // bounds the TCP dial): a wedged daemon behind a live kernel must
+    // fail the dial, not hang it.
+    if (options.hello_timeout_ms > 0) {
+      MAGICRECS_RETURN_IF_ERROR(
+          conn->socket_.SetRecvTimeout(options.hello_timeout_ms));
+    }
+    std::string hello;
+    AppendHello(kFeatureMux, &hello);
+    MAGICRECS_RETURN_IF_ERROR(WriteFrames(&conn->socket_, hello));
+    Frame reply;
+    MAGICRECS_RETURN_IF_ERROR(ReadFrame(&conn->socket_, &reply));
+    if (options.hello_timeout_ms > 0) {
+      // The reader thread's waits are deadline-based; the socket itself
+      // goes back to blocking reads.
+      MAGICRECS_RETURN_IF_ERROR(conn->socket_.SetRecvTimeout(0));
+    }
+    if (reply.tag == MessageTag::kHelloReply) {
+      uint32_t peer_version = 0;
+      uint32_t features = 0;
+      uint32_t max_inflight = 0;
+      MAGICRECS_RETURN_IF_ERROR(DecodeHelloReply(
+          reply.payload, &peer_version, &features, &max_inflight));
+      conn->muxed_ = (features & kFeatureMux) != 0;
+      conn->server_max_inflight_ = max_inflight;
+    } else if (reply.tag != MessageTag::kError) {
+      return Status::Internal(StrFormat(
+          "server answered hello with %s",
+          std::string(MessageTagName(reply.tag)).c_str()));
+    }
+    // kError: an old server; fall through to the legacy in-order path.
+  }
+  conn->reader_ = std::thread([c = conn.get()] { c->ReaderLoop(); });
+  return conn;
+}
+
+MuxConnection::~MuxConnection() {
+  Shutdown();
+  if (reader_.joinable()) reader_.join();
+}
+
+bool MuxConnection::broken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return broken_;
+}
+
+void MuxConnection::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!broken_) {
+      broken_ = true;
+      broken_status_ = Status::FailedPrecondition("connection shut down");
+      FailAllLocked(Status::Unavailable("connection shut down"));
+    }
+  }
+  socket_.Shutdown();  // unblocks the reader; it exits on the error
+}
+
+void MuxConnection::FailAllLocked(const Status& status) {
+  broken_ = true;
+  if (broken_status_.ok()) broken_status_ = status;
+  for (auto& [id, call] : pending_) {
+    if (!call->done) {
+      call->status = status;
+      call->done = true;
+    }
+  }
+  pending_.clear();
+  for (const CallHandle& call : fifo_) {
+    if (!call->done) {
+      call->status = status;
+      call->done = true;
+    }
+  }
+  fifo_.clear();
+  cv_.notify_all();
+}
+
+void MuxConnection::ReaderLoop() {
+  while (true) {
+    Frame frame;
+    bool clean_eof = false;
+    const Status read = ReadFrame(&socket_, &frame, &clean_eof);
+    if (!read.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      FailAllLocked(read);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (broken_) return;  // shut down while we were reading
+    if (muxed_) {
+      if (frame.tag != MessageTag::kMuxResponse) {
+        // The only bare frame a muxed server sends is the framing-error
+        // kError that precedes a sever; anything else is protocol
+        // corruption. Either way the session is over.
+        FailAllLocked(frame.tag == MessageTag::kError
+                          ? DecodeError(frame.payload)
+                          : Status::Internal(StrFormat(
+                                "bare %s frame on a multiplexed session",
+                                std::string(MessageTagName(frame.tag))
+                                    .c_str())));
+        return;
+      }
+      uint64_t request_id = 0;
+      bool last = false;
+      Frame inner;
+      const Status decoded =
+          DecodeMuxResponse(frame.payload, &request_id, &last, &inner);
+      if (!decoded.ok()) {
+        FailAllLocked(decoded);
+        return;
+      }
+      const auto it = pending_.find(request_id);
+      if (it == pending_.end()) continue;  // abandoned call: discard
+      it->second->frames.push_back(std::move(inner));
+      if (last) {
+        it->second->done = true;
+        pending_.erase(it);
+        cv_.notify_all();
+      }
+    } else {
+      if (fifo_.empty()) {
+        FailAllLocked(Status::Internal("server sent an unsolicited reply"));
+        return;
+      }
+      const CallHandle& call = fifo_.front();
+      const bool complete = LegacyReplyComplete(frame);
+      call->frames.push_back(std::move(frame));
+      if (complete) {
+        call->done = true;
+        fifo_.pop_front();
+        cv_.notify_all();
+      }
+    }
+  }
+}
+
+Result<MuxConnection::CallHandle> MuxConnection::Start(
+    const std::string& framed_request, int cap_wait_ms) {
+  std::lock_guard<std::mutex> send_lock(send_mu_);
+  CallHandle call;
+  std::string wrapped;
+  const std::string* bytes = &framed_request;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Muxed sessions honor the server's advertised in-flight cap: waiting
+    // here (with the send lock held — later Starts queue behind) is the
+    // client half of the reactor's backpressure. The wait is bounded: a
+    // daemon that stops answering stops freeing slots, and every timeout
+    // that could notice lives in Await, which a hung Start never reaches.
+    if (muxed_ && server_max_inflight_ > 0) {
+      const auto slot_free = [&] {
+        return broken_ || pending_.size() < server_max_inflight_;
+      };
+      if (cap_wait_ms > 0) {
+        if (!cv_.wait_for(lock, std::chrono::milliseconds(cap_wait_ms),
+                          slot_free)) {
+          return Status::Unavailable(StrFormat(
+              "no in-flight slot freed in %dms (%zu of %u outstanding)",
+              cap_wait_ms, pending_.size(), server_max_inflight_));
+        }
+      } else {
+        cv_.wait(lock, slot_free);
+      }
+    }
+    if (broken_) return broken_status_;
+    call = std::make_shared<Call>();
+    call->id = next_id_++;
+    if (muxed_) {
+      pending_.emplace(call->id, call);
+    } else {
+      fifo_.push_back(call);
+    }
+  }
+  if (muxed_) {
+    AppendMuxRequest(call->id, framed_request, &wrapped);
+    bytes = &wrapped;
+  }
+  const Status written = socket_.WriteAll(bytes->data(), bytes->size());
+  if (!written.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    FailAllLocked(written);
+    return written;
+  }
+  return call;
+}
+
+Status MuxConnection::Await(const CallHandle& call, int timeout_ms,
+                           std::vector<Frame>* frames) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (timeout_ms <= 0) {
+    cv_.wait(lock, [&] { return call->done; });
+  } else {
+    // The deadline bounds SILENCE, not total call duration: every reply
+    // frame that arrives extends it, so a long chunked gather that keeps
+    // streaming never times out mid-delivery — the same semantics the
+    // per-read SO_RCVTIMEO gave the pre-mux client.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    size_t progress = call->frames.size();
+    bool timed = false;
+    while (!call->done && !timed) {
+      if (cv_.wait_until(lock, deadline, [&] {
+            return call->done || call->frames.size() != progress;
+          })) {
+        progress = call->frames.size();
+        deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(timeout_ms);
+      } else {
+        timed = true;
+      }
+    }
+    if (timed) {
+      // Timed out. Hand back whatever arrived — a gather's partial share
+      // is rescuable — then abandon (mux) or poison (legacy).
+      const Status timeout = Status::Unavailable(StrFormat(
+          "call timed out after %dms (%zu reply frames received)",
+          timeout_ms, call->frames.size()));
+      *frames = std::move(call->frames);
+      call->frames.clear();
+      call->status = timeout;
+      call->done = true;
+      if (muxed_) {
+        pending_.erase(call->id);  // late frames will be discarded
+        cv_.notify_all();          // a Start blocked at the cap may proceed
+      } else {
+        // The reply may land mid-future-call: the stream cannot realign.
+        FailAllLocked(timeout);
+        lock.unlock();
+        socket_.Shutdown();
+      }
+      return timeout;
+    }
+  }
+  *frames = std::move(call->frames);
+  call->frames.clear();
+  return call->status;
+}
+
+void MuxConnection::Abandon(const CallHandle& call) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (call->done) return;
+  call->done = true;
+  call->status = Status::Aborted("call abandoned");
+  if (muxed_) {
+    pending_.erase(call->id);
+    cv_.notify_all();  // a Start blocked at the cap may proceed
+    return;
+  }
+  FailAllLocked(Status::Unavailable("in-order call abandoned"));
+  lock.unlock();
+  socket_.Shutdown();
+}
+
+Status MuxConnection::CallOne(const std::string& framed_request,
+                              int timeout_ms, std::vector<Frame>* frames) {
+  MAGICRECS_ASSIGN_OR_RETURN(CallHandle call,
+                             Start(framed_request, timeout_ms));
+  return Await(call, timeout_ms, frames);
+}
+
+}  // namespace magicrecs::net

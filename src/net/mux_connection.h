@@ -1,0 +1,169 @@
+// One shared, request-id-multiplexed connection to an RPC daemon — the
+// client half of the wire protocol's hello/mux session extension
+// (net/wire.h). Many threads issue logical calls on the same socket:
+// Start() assigns a request id, wraps the request in a kMuxRequest
+// envelope, and registers a waiter; a dedicated reader thread demultiplexes
+// every incoming kMuxResponse to its waiter by id, so replies may return in
+// any order and one slow call never blocks the wire for the others.
+//
+// Negotiation and the legacy path: Dial() opens the session with kHello. A
+// pre-versioning server answers kError(Unimplemented) — that IS the
+// downgrade signal, and the connection falls back to the strict in-order
+// protocol: requests go out bare, the reader matches replies to waiters
+// FIFO (pipelining still works — the old protocol allows writing request
+// N+1 before reply N — but replies cannot overtake, and an abandoned call
+// would desynchronize the stream, so a timeout poisons the connection).
+// Either way the calls LOOK the same to the caller; muxed() reports which
+// wire form is live.
+//
+// Timeouts: a muxed call that misses its deadline is abandoned — the id is
+// forgotten, late frames for it are discarded, and the connection stays
+// usable (the stream is still frame-aligned; this is the property the old
+// leased-socket pool could not offer). Frames that DID arrive before the
+// deadline are handed back with the timeout, so a gather's partial share
+// can be rescued rather than dropped. On the legacy path a timeout severs
+// the connection, exactly like the pre-mux client.
+//
+// Lifetime: Shutdown() (or destruction) severs the socket; the reader
+// fails every outstanding call with Unavailable and exits. A broken
+// connection stays broken — callers redial, which is where the fan-out
+// broker's backoff/circuit-breaker policy lives.
+
+#ifndef MAGICRECS_NET_MUX_CONNECTION_H_
+#define MAGICRECS_NET_MUX_CONNECTION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace magicrecs::net {
+
+struct MuxConnectionOptions {
+  /// Open the session with a kHello probe. False skips the handshake and
+  /// speaks the pre-versioning in-order protocol unconditionally — the
+  /// back-compat tests use this to emit byte-identical legacy traffic.
+  bool enable_mux = true;
+
+  bool tcp_nodelay = true;
+
+  /// Bounds the dial (see TcpSocket::Connect). 0 = kernel default.
+  int connect_timeout_ms = 0;
+
+  /// Bounds the hello exchange's reply read: a host whose kernel accepts
+  /// the connection while the daemon process is wedged must fail the dial
+  /// within this window, not hang it (and, behind the fan-out broker,
+  /// everyone parked on the dialing flag with it). 0 = wait forever.
+  int hello_timeout_ms = 0;
+};
+
+class MuxConnection {
+ public:
+  /// One logical in-flight call. Opaque; thread-compatible (one thread
+  /// awaits a given call, any number may hold the handle).
+  struct Call {
+    uint64_t id = 0;
+    std::vector<Frame> frames;  ///< reply frames, in per-call order
+    bool done = false;
+    Status status;  ///< non-OK when the call failed (set before done)
+  };
+  using CallHandle = std::shared_ptr<Call>;
+
+  /// Connects and runs the hello exchange (unless disabled), then starts
+  /// the reader. Unavailable when the peer cannot be reached.
+  static Result<std::unique_ptr<MuxConnection>> Dial(
+      const std::string& host, uint16_t port,
+      const MuxConnectionOptions& options);
+
+  ~MuxConnection();
+
+  MuxConnection(const MuxConnection&) = delete;
+  MuxConnection& operator=(const MuxConnection&) = delete;
+
+  /// True when the hello exchange negotiated request-id multiplexing.
+  bool muxed() const { return muxed_; }
+
+  /// The per-connection in-flight cap the server advertised (0 on the
+  /// legacy path). Start() enforces it for muxed sessions.
+  uint32_t server_max_inflight() const { return server_max_inflight_; }
+
+  /// True once the connection failed; every Start/Await fails thereafter.
+  bool broken() const;
+
+  /// Sends one framed request (exactly one frame from the wire encoders)
+  /// and registers its waiter. Muxed sessions block at the server's
+  /// in-flight cap until a slot frees; `cap_wait_ms` bounds that wait
+  /// (0 = forever) — a daemon that stops answering stops freeing slots,
+  /// and without the bound a publisher would hang here ahead of every
+  /// timeout that lives in Await. A cap-wait miss fails ONLY this call
+  /// (Unavailable); the connection is not poisoned. On a write failure
+  /// the connection is poisoned and the error returned.
+  Result<CallHandle> Start(const std::string& framed_request,
+                           int cap_wait_ms = 0);
+
+  /// Waits for the call's final reply frame and moves the frames out.
+  /// `timeout_ms` 0 waits forever; otherwise it bounds SILENCE — each
+  /// arriving reply frame extends the deadline, so a chunked reply that
+  /// keeps streaming never times out mid-delivery (the per-read recv
+  /// timeout semantics of the pre-mux client). On a timeout, frames that
+  /// already arrived are still moved out (rescuable partial share); the
+  /// call is abandoned on a muxed session, the whole connection poisoned
+  /// on the legacy path (see the file comment).
+  Status Await(const CallHandle& call, int timeout_ms,
+               std::vector<Frame>* frames);
+
+  /// Forgets a muxed call (late frames are discarded). On the legacy path
+  /// an outstanding call cannot be skipped, so this poisons the
+  /// connection.
+  void Abandon(const CallHandle& call);
+
+  /// Start + Await; `timeout_ms` bounds both the cap wait and the reply
+  /// silence.
+  Status CallOne(const std::string& framed_request, int timeout_ms,
+                 std::vector<Frame>* frames);
+
+  /// Severs the socket: outstanding calls fail with Unavailable, the
+  /// reader exits. Idempotent; the destructor calls it.
+  void Shutdown();
+
+ private:
+  MuxConnection() = default;
+
+  void ReaderLoop();
+
+  /// Fails every outstanding call and marks the connection broken.
+  /// Caller holds mu_.
+  void FailAllLocked(const Status& status);
+
+  MuxConnectionOptions options_;
+  TcpSocket socket_;
+  bool muxed_ = false;
+  uint32_t server_max_inflight_ = 0;
+  std::thread reader_;
+
+  /// Serializes socket writes AND (with mu_) keeps legacy FIFO
+  /// registration in write order. Lock order: send_mu_ before mu_.
+  std::mutex send_mu_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_id_ = 1;
+  bool broken_ = false;
+  Status broken_status_;
+  std::unordered_map<uint64_t, CallHandle> pending_;  ///< muxed sessions
+  std::deque<CallHandle> fifo_;                       ///< legacy sessions
+};
+
+}  // namespace magicrecs::net
+
+#endif  // MAGICRECS_NET_MUX_CONNECTION_H_

@@ -2,7 +2,6 @@
 
 #include <utility>
 
-#include "net/frame_io.h"
 #include "util/str_format.h"
 
 namespace magicrecs::net {
@@ -19,11 +18,11 @@ Status UnexpectedReply(MessageTag got, const char* expected) {
 Result<std::unique_ptr<RemoteCluster>> RemoteCluster::Connect(
     const RemoteClusterOptions& options) {
   std::unique_ptr<RemoteCluster> client(new RemoteCluster(options));
-  MAGICRECS_ASSIGN_OR_RETURN(client->socket_,
-                             TcpSocket::Connect(options.host, options.port));
-  if (options.tcp_nodelay) {
-    MAGICRECS_RETURN_IF_ERROR(client->socket_.SetNoDelay(true));
-  }
+  MuxConnectionOptions mopt;
+  mopt.enable_mux = options.enable_mux;
+  mopt.tcp_nodelay = options.tcp_nodelay;
+  MAGICRECS_ASSIGN_OR_RETURN(
+      client->conn_, MuxConnection::Dial(options.host, options.port, mopt));
   return client;
 }
 
@@ -32,52 +31,41 @@ RemoteCluster::~RemoteCluster() {
   (void)s;  // destructor cannot propagate
 }
 
-Status RemoteCluster::Exchange(const std::string& request, Frame* reply) {
-  if (closed_) return Status::FailedPrecondition("remote cluster is closed");
-  Status status = WriteFrames(&socket_, request);
-  if (status.ok()) status = ReadFrame(&socket_, reply);
-  if (!status.ok()) {
-    // The request may be half-written or the reply half-read; no further
-    // exchange on this socket can be trusted to be frame-aligned.
-    closed_ = true;
-    socket_.Close();
+Status RemoteCluster::CallForAck(const std::string& request) {
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("remote cluster is closed");
   }
-  return status;
-}
-
-Status RemoteCluster::ExchangeForAck(const std::string& request) {
-  Frame reply;
-  MAGICRECS_RETURN_IF_ERROR(Exchange(request, &reply));
-  switch (reply.tag) {
+  std::vector<Frame> frames;
+  MAGICRECS_RETURN_IF_ERROR(conn_->CallOne(request, /*timeout_ms=*/0,
+                                           &frames));
+  if (frames.empty()) return Status::Internal("empty reply");
+  switch (frames.front().tag) {
     case MessageTag::kAck:
       return Status::OK();
     case MessageTag::kError:
-      return DecodeError(reply.payload);
+      return DecodeError(frames.front().payload);
     default:
-      return UnexpectedReply(reply.tag, "ack");
+      return UnexpectedReply(frames.front().tag, "ack");
   }
 }
 
 Status RemoteCluster::Publish(const EdgeEvent& event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  request_buf_.clear();
-  AppendPublish(event, &request_buf_);
-  return ExchangeForAck(request_buf_);
+  std::string request;
+  AppendPublish(event, &request);
+  return CallForAck(request);
 }
 
 Status RemoteCluster::PublishBatch(std::span<const EdgeEvent> events) {
   if (events.empty()) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
-  request_buf_.clear();
-  AppendPublishBatch(events, &request_buf_);
-  return ExchangeForAck(request_buf_);
+  std::string request;
+  AppendPublishBatch(events, &request);
+  return CallForAck(request);
 }
 
 Status RemoteCluster::Drain() {
-  std::lock_guard<std::mutex> lock(mu_);
-  request_buf_.clear();
-  AppendEmptyRequest(MessageTag::kDrain, &request_buf_);
-  return ExchangeForAck(request_buf_);
+  std::string request;
+  AppendEmptyRequest(MessageTag::kDrain, &request);
+  return CallForAck(request);
 }
 
 Result<std::vector<Recommendation>> RemoteCluster::TakeRecommendations() {
@@ -86,73 +74,76 @@ Result<std::vector<Recommendation>> RemoteCluster::TakeRecommendations() {
 
 Result<std::vector<Recommendation>> RemoteCluster::TakeRecommendations(
     GatherReport* caller_report) {
-  std::lock_guard<std::mutex> lock(mu_);
-  request_buf_.clear();
-  AppendEmptyRequest(MessageTag::kTakeRecommendations, &request_buf_);
-  Frame reply;
-  MAGICRECS_RETURN_IF_ERROR(Exchange(request_buf_, &reply));
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("remote cluster is closed");
+  }
+  std::string request;
+  AppendEmptyRequest(MessageTag::kTakeRecommendations, &request);
+  std::vector<Frame> frames;
+  MAGICRECS_RETURN_IF_ERROR(conn_->CallOne(request, /*timeout_ms=*/0,
+                                           &frames));
   std::vector<Recommendation> recs;
-  while (true) {
+  GatherReport report;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    const Frame& reply = frames[i];
     if (reply.tag == MessageTag::kError) return DecodeError(reply.payload);
     if (reply.tag != MessageTag::kRecommendationsReply) {
       return UnexpectedReply(reply.tag, "recommendations-reply");
     }
     bool has_more = false;
-    GatherReport report;
-    const Status decoded =
-        DecodeRecommendationsReply(reply.payload, &recs, &has_more, &report);
-    if (!decoded.ok()) {
-      // A mangled chunk leaves an unknown number of follow-up frames in
-      // flight; the stream alignment is gone.
-      closed_ = true;
-      socket_.Close();
-      return decoded;
-    }
-    if (!has_more) {
-      // The tail (if any) rides on the last frame: hand the server's
-      // gather coverage to this caller and to LastGatherReport.
-      if (caller_report != nullptr) *caller_report = report;
-      std::lock_guard<std::mutex> report_lock(report_mu_);
-      last_report_ = std::move(report);
-      return recs;
-    }
-    const Status next = ReadFrame(&socket_, &reply);
-    if (!next.ok()) {
-      closed_ = true;
-      socket_.Close();
-      return next;
+    GatherReport chunk_report;
+    MAGICRECS_RETURN_IF_ERROR(DecodeRecommendationsReply(
+        reply.payload, &recs, &has_more, &chunk_report));
+    const bool is_last = i + 1 == frames.size();
+    if (is_last) {
+      if (has_more) {
+        // The session-layer "last frame" marker and the chunking protocol
+        // disagree: the reply stream is broken.
+        return Status::Internal(
+            "chunked reply ended while has_more was still set");
+      }
+      report = std::move(chunk_report);
     }
   }
+  // The tail (if any) rode on the last frame: hand the server's gather
+  // coverage to this caller and to LastGatherReport.
+  if (caller_report != nullptr) *caller_report = report;
+  {
+    std::lock_guard<std::mutex> report_lock(report_mu_);
+    last_report_ = std::move(report);
+  }
+  return recs;
 }
 
 Status RemoteCluster::Checkpoint(Timestamp created_at) {
-  std::lock_guard<std::mutex> lock(mu_);
-  request_buf_.clear();
-  AppendCheckpoint(created_at, &request_buf_);
-  return ExchangeForAck(request_buf_);
+  std::string request;
+  AppendCheckpoint(created_at, &request);
+  return CallForAck(request);
 }
 
 Status RemoteCluster::KillReplica(uint32_t partition, uint32_t replica) {
-  std::lock_guard<std::mutex> lock(mu_);
-  request_buf_.clear();
-  AppendReplicaOp(MessageTag::kKillReplica, partition, replica, &request_buf_);
-  return ExchangeForAck(request_buf_);
+  std::string request;
+  AppendReplicaOp(MessageTag::kKillReplica, partition, replica, &request);
+  return CallForAck(request);
 }
 
 Status RemoteCluster::RecoverReplica(uint32_t partition, uint32_t replica) {
-  std::lock_guard<std::mutex> lock(mu_);
-  request_buf_.clear();
-  AppendReplicaOp(MessageTag::kRecoverReplica, partition, replica,
-                  &request_buf_);
-  return ExchangeForAck(request_buf_);
+  std::string request;
+  AppendReplicaOp(MessageTag::kRecoverReplica, partition, replica, &request);
+  return CallForAck(request);
 }
 
 Result<ClusterStats> RemoteCluster::GetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  request_buf_.clear();
-  AppendEmptyRequest(MessageTag::kStats, &request_buf_);
-  Frame reply;
-  MAGICRECS_RETURN_IF_ERROR(Exchange(request_buf_, &reply));
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("remote cluster is closed");
+  }
+  std::string request;
+  AppendEmptyRequest(MessageTag::kStats, &request);
+  std::vector<Frame> frames;
+  MAGICRECS_RETURN_IF_ERROR(conn_->CallOne(request, /*timeout_ms=*/0,
+                                           &frames));
+  if (frames.empty()) return Status::Internal("empty reply");
+  const Frame& reply = frames.front();
   switch (reply.tag) {
     case MessageTag::kStatsReply: {
       ClusterStats stats;
@@ -172,17 +163,16 @@ GatherReport RemoteCluster::LastGatherReport() const {
 }
 
 Status RemoteCluster::Ping() {
-  std::lock_guard<std::mutex> lock(mu_);
-  request_buf_.clear();
-  AppendEmptyRequest(MessageTag::kPing, &request_buf_);
-  return ExchangeForAck(request_buf_);
+  std::string request;
+  AppendEmptyRequest(MessageTag::kPing, &request);
+  return CallForAck(request);
 }
 
 Status RemoteCluster::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (closed_) return Status::OK();
-  closed_ = true;
-  socket_.Close();
+  if (closed_.exchange(true)) return Status::OK();
+  // conn_ is null when Connect() failed before the dial completed and the
+  // half-built client is being destroyed on the error path.
+  if (conn_ != nullptr) conn_->Shutdown();
   return Status::OK();
 }
 

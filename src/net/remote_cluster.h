@@ -3,15 +3,19 @@
 // written against ClusterTransport — tests, benches, the stream simulator —
 // run unchanged against a real network boundary.
 //
-// One socket, strict request/response: every call sends one frame and
-// blocks for its reply, so calls observe the same ordering guarantees as
-// the in-process broker. PublishBatch amortizes the round trip over many
-// events — the lever that closes most of the loopback throughput gap
-// (bench_net measures both).
+// One MuxConnection carries every call (net/mux_connection.h): against an
+// upgraded daemon the session is request-id multiplexed, so calls from
+// concurrent threads share the socket without serializing behind each
+// other; against a pre-versioning daemon the hello probe downgrades the
+// session to the strict one-call-at-a-time in-order protocol — the bytes
+// on the wire are then identical to the pre-mux client's. PublishBatch
+// amortizes the round trip over many events either way (bench_net measures
+// both).
 
 #ifndef MAGICRECS_NET_REMOTE_CLUSTER_H_
 #define MAGICRECS_NET_REMOTE_CLUSTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -19,7 +23,7 @@
 #include <vector>
 
 #include "cluster/transport.h"
-#include "net/socket.h"
+#include "net/mux_connection.h"
 #include "net/wire.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -32,10 +36,17 @@ struct RemoteClusterOptions {
 
   /// Disable Nagle (one small frame per request; latency matters).
   bool tcp_nodelay = true;
+
+  /// Probe the server with kHello and multiplex when it accepts. False
+  /// forces the legacy in-order protocol (byte-identical to the pre-mux
+  /// client) — the back-compat tests pin both sides of the negotiation
+  /// with it.
+  bool enable_mux = true;
 };
 
-/// A connected remote cluster endpoint. Thread-safe: a mutex serializes the
-/// request/response exchanges.
+/// A connected remote cluster endpoint. Thread-safe: calls from concurrent
+/// threads share the multiplexed connection (or serialize on the legacy
+/// in-order session).
 class RemoteCluster : public ClusterTransport {
  public:
   static Result<std::unique_ptr<RemoteCluster>> Connect(
@@ -62,6 +73,9 @@ class RemoteCluster : public ClusterTransport {
   /// Round-trip liveness probe.
   Status Ping();
 
+  /// True when the session negotiated request-id multiplexing.
+  bool muxed() const { return conn_->muxed(); }
+
   /// Shuts the connection down. Calls after Close fail with
   /// FailedPrecondition. Idempotent.
   Status Close() override;
@@ -70,22 +84,14 @@ class RemoteCluster : public ClusterTransport {
   explicit RemoteCluster(const RemoteClusterOptions& options)
       : options_(options) {}
 
-  /// Sends `request` and reads the reply into *reply. Must hold mu_. A
-  /// transport-level failure poisons the connection (closed_ is set): with
-  /// a request possibly half-written, the stream is no longer aligned.
-  Status Exchange(const std::string& request, Frame* reply);
-
-  /// Exchange + "expect kAck": decodes kError into its Status.
-  Status ExchangeForAck(const std::string& request);
+  /// One request, one kAck (kError decodes to its Status).
+  Status CallForAck(const std::string& request);
 
   RemoteClusterOptions options_;
-  std::mutex mu_;
-  TcpSocket socket_;
-  bool closed_ = false;
-  std::string request_buf_;
+  std::unique_ptr<MuxConnection> conn_;
+  std::atomic<bool> closed_{false};
 
-  /// Guards last_report_ separately from mu_ so LastGatherReport() does not
-  /// contend with (or deadlock inside) an in-flight exchange.
+  /// Guards last_report_ only; the connection has its own locking.
   mutable std::mutex report_mu_;
   GatherReport last_report_;
 };

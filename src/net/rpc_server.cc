@@ -1,26 +1,77 @@
 #include "net/rpc_server.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "net/epoll_reactor.h"
 #include "net/frame_io.h"
 #include "util/str_format.h"
 
 namespace magicrecs::net {
+
+ServerLoop ResolveServerLoop(ServerLoop requested) {
+  if (requested != ServerLoop::kAuto) return requested;
+  if (const char* env = std::getenv("MAGICRECS_SERVER_LOOP")) {
+    ServerLoop from_env;
+    if (ParseServerLoop(env, &from_env) && from_env != ServerLoop::kAuto) {
+      return from_env;
+    }
+  }
+  return ServerLoop::kEpoll;
+}
+
+std::string_view ServerLoopFlag(ServerLoop loop) {
+  switch (loop) {
+    case ServerLoop::kThreads: return "threads";
+    case ServerLoop::kEpoll: return "epoll";
+    case ServerLoop::kAuto: return "auto";
+  }
+  return "unknown";
+}
+
+bool ParseServerLoop(std::string_view value, ServerLoop* loop) {
+  if (value == "threads") {
+    *loop = ServerLoop::kThreads;
+    return true;
+  }
+  if (value == "epoll") {
+    *loop = ServerLoop::kEpoll;
+    return true;
+  }
+  return false;
+}
+
+RpcServer::RpcServer(ClusterTransport* transport,
+                     const RpcServerOptions& options)
+    : transport_(transport), options_(options) {}
 
 Result<std::unique_ptr<RpcServer>> RpcServer::Start(
     ClusterTransport* transport, const RpcServerOptions& options) {
   if (transport == nullptr) {
     return Status::InvalidArgument("transport must be non-null");
   }
+  if (options.max_inflight_per_conn == 0) {
+    return Status::InvalidArgument("max_inflight_per_conn must be >= 1");
+  }
+  if (options.worker_threads <= 0) {
+    return Status::InvalidArgument("worker_threads must be >= 1");
+  }
   std::unique_ptr<RpcServer> server(new RpcServer(transport, options));
+  server->loop_ = ResolveServerLoop(options.loop);
   MAGICRECS_ASSIGN_OR_RETURN(
       server->listener_,
       TcpListener::Listen(options.host, options.port, options.backlog));
-  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  if (server->loop_ == ServerLoop::kEpoll) {
+    server->reactor_ = std::make_unique<EpollReactor>(server.get());
+    MAGICRECS_RETURN_IF_ERROR(server->reactor_->Start());
+  } else {
+    server->accept_thread_ =
+        std::thread([s = server.get()] { s->AcceptLoop(); });
+  }
   return server;
 }
 
@@ -30,7 +81,8 @@ void RpcServer::Stop() {
   if (stopped_) return;
   stopped_ = true;
   stopping_.store(true, std::memory_order_release);
-  listener_.Close();  // unblocks Accept()
+  listener_.Close();  // unblocks Accept() / wakes the reactor
+  if (reactor_ != nullptr) reactor_->Stop();
   if (accept_thread_.joinable()) accept_thread_.join();
   std::list<std::unique_ptr<Connection>> connections;
   {
@@ -52,7 +104,24 @@ RpcServerStats RpcServer::stats() const {
   stats.requests_served = requests_served_.load(std::memory_order_relaxed);
   stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   stats.duplicate_batches = duplicate_batches_.load(std::memory_order_relaxed);
+  stats.connections_open = connections_open_.load(std::memory_order_relaxed);
+  stats.partial_reads = partial_reads_.load(std::memory_order_relaxed);
+  stats.partial_writes = partial_writes_.load(std::memory_order_relaxed);
+  stats.inflight_stalls = inflight_stalls_.load(std::memory_order_relaxed);
+  stats.mux_connections = mux_connections_.load(std::memory_order_relaxed);
   return stats;
+}
+
+ServerLoopStats RpcServer::SnapshotLoopStats() const {
+  ServerLoopStats s;
+  s.loop = loop_ == ServerLoop::kEpoll ? 2 : 1;
+  s.connections_open = connections_open_.load(std::memory_order_relaxed);
+  s.requests_served = requests_served_.load(std::memory_order_relaxed);
+  s.partial_reads = partial_reads_.load(std::memory_order_relaxed);
+  s.partial_writes = partial_writes_.load(std::memory_order_relaxed);
+  s.inflight_stalls = inflight_stalls_.load(std::memory_order_relaxed);
+  s.mux_connections = mux_connections_.load(std::memory_order_relaxed);
+  return s;
 }
 
 bool RpcServer::BeginBatch(uint64_t sequence) {
@@ -144,8 +213,10 @@ void RpcServer::ReapFinishedLocked() {
 
 void RpcServer::ServeConnection(Connection* connection) {
   TcpSocket& socket = connection->socket;
+  connections_open_.fetch_add(1, std::memory_order_relaxed);
   Frame request;
   std::string response;
+  bool negotiated = false;
   while (!stopping_.load(std::memory_order_acquire)) {
     bool clean_eof = false;
     const Status read = ReadFrame(&socket, &request, &clean_eof);
@@ -165,7 +236,19 @@ void RpcServer::ServeConnection(Connection* connection) {
       break;
     }
     response.clear();
-    HandleRequest(request, &response);
+    // Session frames first: the hello handshake flips the connection into
+    // mux framing, under which each request arrives as an envelope and
+    // every reply frame is wrapped with the request's id. This loop is
+    // serial, so replies still go out in request order — legal: mux allows
+    // reordering, it never requires it.
+    if (request.tag == MessageTag::kHello && options_.enable_mux) {
+      HandleHello(request, &response, &negotiated);
+    } else if (request.tag == MessageTag::kMuxRequest &&
+               options_.enable_mux) {
+      HandleMuxEnvelope(request, negotiated, &response);
+    } else {
+      HandleRequest(request, negotiated, &response);
+    }
     if (!WriteFrames(&socket, response).ok()) break;
     requests_served_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -173,10 +256,54 @@ void RpcServer::ServeConnection(Connection* connection) {
   // Shutdown() this socket too, and both only read the fd. The fd itself is
   // released when the Connection is destroyed, strictly after join.
   socket.Shutdown();
+  connections_open_.fetch_sub(1, std::memory_order_relaxed);
   connection->done.store(true, std::memory_order_release);
 }
 
-void RpcServer::HandleRequest(const Frame& request, std::string* response) {
+void RpcServer::HandleHello(const Frame& request, std::string* response,
+                            bool* negotiated) {
+  uint32_t peer_version = 0;
+  uint32_t wanted = 0;
+  const Status decoded = DecodeHello(request.payload, &peer_version, &wanted);
+  if (!decoded.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    AppendError(decoded, response);
+    return;
+  }
+  const uint32_t accepted = wanted & kFeatureMux;
+  if ((accepted & kFeatureMux) != 0 && !*negotiated) {
+    mux_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  *negotiated = *negotiated || (accepted & kFeatureMux) != 0;
+  AppendHelloReply(accepted,
+                   static_cast<uint32_t>(options_.max_inflight_per_conn),
+                   response);
+}
+
+void RpcServer::HandleMuxEnvelope(const Frame& envelope, bool negotiated,
+                                  std::string* response) {
+  uint64_t request_id = 0;
+  Frame inner;
+  const Status decoded =
+      DecodeMuxRequest(envelope.payload, &request_id, &inner);
+  if (!decoded.ok()) {
+    // The envelope itself was well-framed; only its payload is bad.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    AppendError(decoded, response);
+    return;
+  }
+  std::string inner_response;
+  HandleRequest(inner, negotiated, &inner_response);
+  const Status wrapped =
+      WrapMuxResponses(request_id, inner_response, response);
+  if (!wrapped.ok()) {
+    response->clear();
+    AppendError(wrapped, response);
+  }
+}
+
+void RpcServer::HandleRequest(const Frame& request, bool negotiated,
+                              std::string* response) {
   const std::string_view payload = request.payload;
   Status status;
   switch (request.tag) {
@@ -252,7 +379,11 @@ void RpcServer::HandleRequest(const Frame& request, std::string* response) {
     case MessageTag::kStats: {
       Result<ClusterStats> stats = transport_->GetStats();
       if (stats.ok()) {
-        AppendStatsReply(*stats, response);
+        // The server-loop counters ride only toward hello-speaking peers:
+        // a pre-versioning decoder rejects the unfamiliar tail (wire.h,
+        // "Versioning and compatibility").
+        if (negotiated) stats->server = SnapshotLoopStats();
+        AppendStatsReply(*stats, response, negotiated);
         return;
       }
       status = stats.status();

@@ -1,16 +1,36 @@
-// The daemon side of the RPC layer: a TCP listener and one handler thread
-// per connection, dispatching decoded frames onto a ClusterTransport. This
-// is the fan-out broker boundary of the paper's deployment — magicrecsd is
-// a thin main() around this class.
+// The daemon side of the RPC layer: a TCP listener and one of two server
+// loops, dispatching decoded frames onto a ClusterTransport. This is the
+// fan-out broker boundary of the paper's deployment — magicrecsd is a thin
+// main() around this class.
 //
-// Concurrency model: thread-per-connection, requests on one connection
-// handled strictly in order (each gets exactly one response). Backpressure
-// is inherited from the transport: a threaded cluster's bounded replica
-// inboxes make Publish block, which stalls the connection handler, which
-// stops reading from the socket, which fills the peer's TCP window — the
-// network applies the backpressure end to end.
+// Server loops (RpcServerOptions::loop):
+//   * kEpoll (the default) — one reactor thread multiplexes every
+//     connection through epoll: non-blocking reads feed an incremental
+//     FrameAssembler, decoded requests are dispatched onto a small
+//     ThreadPool, responses drain through per-connection write buffers
+//     with partial-write state machines. Connection count is bounded by
+//     fds, not threads — the shape the paper's "millions of users behind a
+//     handful of hosts" deployment needs.
+//   * kThreads — the original thread-per-connection loop: simple, strictly
+//     serial per connection, one OS thread per peer. Still the right tool
+//     for a handful of long-lived broker connections; kept as the
+//     rolling-upgrade fallback (docs/operations.md has the decision
+//     table).
+// Both loops speak the same protocol, pass the same robustness suite, and
+// support the hello/mux session extension (net/wire.h): a multiplexed
+// connection carries many logical calls, identified by request_id.
 //
-// Protocol-error policy (exercised by tests/net/rpc_robustness_test.cc):
+// Ordering and backpressure: requests that mutate the event stream
+// (IsOrderSensitive) are applied in per-connection arrival order on both
+// loops; on an epoll connection order-free reads may overtake a stalled
+// write. Each epoll connection caps dispatched-but-unanswered requests at
+// max_inflight_per_conn — at the cap the reactor stops reading that
+// connection, the kernel's TCP window fills, and the peer blocks: the same
+// end-to-end backpressure the threaded loop gets from its blocking
+// handler, without a thread pinned per peer.
+//
+// Protocol-error policy (exercised by tests/net/rpc_robustness_test.cc and
+// tests/net/epoll_server_test.cc, identical across loops):
 //   * well-framed but unknown/unsupported tag -> kError response, the
 //     connection stays usable;
 //   * transport-level failure -> kError response carrying the Status, the
@@ -32,6 +52,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -43,6 +64,26 @@
 #include "util/status.h"
 
 namespace magicrecs::net {
+
+class EpollReactor;
+
+/// Which concurrency model serves the connections.
+enum class ServerLoop {
+  kAuto,     ///< resolve via MAGICRECS_SERVER_LOOP env, else kEpoll
+  kThreads,  ///< thread-per-connection (the PR 2 loop)
+  kEpoll,    ///< event-driven reactor + worker pool
+};
+
+/// Resolves kAuto: the MAGICRECS_SERVER_LOOP environment variable
+/// ("threads" / "epoll") decides, defaulting to kEpoll — this is how CI
+/// runs the whole suite under either loop without per-test plumbing.
+ServerLoop ResolveServerLoop(ServerLoop requested);
+
+/// "threads" / "epoll" (resolved loops only).
+std::string_view ServerLoopFlag(ServerLoop loop);
+
+/// Parses a --server-loop flag value; false on anything unknown.
+bool ParseServerLoop(std::string_view value, ServerLoop* loop);
 
 struct RpcServerOptions {
   /// Numeric IPv4 listen address.
@@ -58,9 +99,26 @@ struct RpcServerOptions {
 
   /// How many recently seen publish-batch sequences to remember for
   /// idempotent-batch dedup (hedged publishes re-send the same sequence on
-  /// a fresh connection; see wire.h). Shared across connections. 0 turns
+  /// a second request; see wire.h). Shared across connections. 0 turns
   /// dedup off — every batch is applied, sequence or not.
   size_t publish_dedup_window = 4096;
+
+  /// Server loop (kAuto: MAGICRECS_SERVER_LOOP env, else epoll).
+  ServerLoop loop = ServerLoop::kAuto;
+
+  /// Epoll loop: cap on dispatched-but-unanswered requests per connection;
+  /// at the cap the reactor stops reading that peer (backpressure). Also
+  /// advertised to hello-speaking clients as their pipelining budget.
+  size_t max_inflight_per_conn = 64;
+
+  /// Epoll loop: worker threads the reactor dispatches requests onto.
+  int worker_threads = 4;
+
+  /// Answer the kHello session handshake (request-id multiplexing). False
+  /// makes the server behave like a pre-versioning binary — kHello and
+  /// kMuxRequest become unknown tags — which is how the back-compat tests
+  /// pin the downgrade path.
+  bool enable_mux = true;
 };
 
 /// Lifetime counters, readable while the server runs.
@@ -69,11 +127,19 @@ struct RpcServerStats {
   uint64_t requests_served = 0;   ///< responses sent, errors included
   uint64_t protocol_errors = 0;   ///< malformed frames / unknown tags
   uint64_t duplicate_batches = 0; ///< hedged re-sends suppressed by dedup
+
+  // Reactor / session counters (see ServerLoopStats in cluster/transport.h
+  // for the wire-visible form).
+  uint32_t connections_open = 0;
+  uint64_t partial_reads = 0;     ///< reads that left a frame incomplete
+  uint64_t partial_writes = 0;    ///< writes cut short by a full buffer
+  uint64_t inflight_stalls = 0;   ///< reads paused at the in-flight cap
+  uint64_t mux_connections = 0;   ///< connections that negotiated mux
 };
 
 class RpcServer {
  public:
-  /// Binds, listens, and spawns the accept loop. `transport` must be
+  /// Binds, listens, and spawns the serving loop. `transport` must be
   /// thread-safe and outlive the server; the server never owns it, so one
   /// daemon process can host several servers over distinct transports.
   static Result<std::unique_ptr<RpcServer>> Start(
@@ -88,6 +154,9 @@ class RpcServer {
   uint16_t port() const { return listener_.port(); }
   const std::string& host() const { return options_.host; }
 
+  /// The loop actually serving (kAuto resolved).
+  ServerLoop loop() const { return loop_; }
+
   /// Stops accepting, severs open connections, joins every thread.
   /// Idempotent.
   void Stop();
@@ -95,22 +164,43 @@ class RpcServer {
   RpcServerStats stats() const;
 
  private:
+  friend class EpollReactor;
+
   struct Connection {
     TcpSocket socket;
     std::thread thread;
     std::atomic<bool> done{false};
   };
 
-  RpcServer(ClusterTransport* transport, const RpcServerOptions& options)
-      : transport_(transport), options_(options) {}
+  RpcServer(ClusterTransport* transport, const RpcServerOptions& options);
 
   void AcceptLoop();
   void ServeConnection(Connection* connection);
 
   /// Appends the response frame(s) for one well-framed request to
   /// *response. Framing-level errors (which do close the connection) are
-  /// handled in ServeConnection before dispatch reaches here.
-  void HandleRequest(const Frame& request, std::string* response);
+  /// handled by the serving loop before dispatch reaches here.
+  /// `negotiated` marks a peer that completed the hello exchange — the
+  /// only peers the stats reply may grow its server-loop tail toward.
+  /// Thread-safe: the epoll loop calls it from several workers at once.
+  void HandleRequest(const Frame& request, bool negotiated,
+                     std::string* response);
+
+  /// Negotiates a kHello. Appends the reply frame and reports whether the
+  /// session is multiplexed from here on.
+  void HandleHello(const Frame& request, std::string* response,
+                   bool* negotiated);
+
+  /// Unwraps one kMuxRequest envelope, handles the inner request, and
+  /// appends the id-wrapped reply frames (or a bare error for a mangled
+  /// envelope payload — the stream itself is still aligned). Shared by
+  /// both server loops so their error policy cannot diverge; thread-safe
+  /// like HandleRequest.
+  void HandleMuxEnvelope(const Frame& envelope, bool negotiated,
+                         std::string* response);
+
+  /// Snapshot of the wire-visible server-loop counters.
+  ServerLoopStats SnapshotLoopStats() const;
 
   /// Joins and erases finished connections (called with connections_mu_).
   void ReapFinishedLocked();
@@ -134,8 +224,10 @@ class RpcServer {
 
   ClusterTransport* transport_;
   RpcServerOptions options_;
+  ServerLoop loop_ = ServerLoop::kThreads;
   TcpListener listener_;
   std::thread accept_thread_;
+  std::unique_ptr<EpollReactor> reactor_;
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;
 
@@ -167,6 +259,11 @@ class RpcServer {
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> duplicate_batches_{0};
+  std::atomic<uint32_t> connections_open_{0};
+  std::atomic<uint64_t> partial_reads_{0};
+  std::atomic<uint64_t> partial_writes_{0};
+  std::atomic<uint64_t> inflight_stalls_{0};
+  std::atomic<uint64_t> mux_connections_{0};
 };
 
 }  // namespace magicrecs::net

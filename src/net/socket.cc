@@ -22,6 +22,16 @@ Status Errno(const char* what) {
   return Status::Internal(StrFormat("%s: %s", what, std::strerror(errno)));
 }
 
+Status SetFdNonBlocking(int fd, bool enabled) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags && ::fcntl(fd, F_SETFL, wanted) != 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
 Result<sockaddr_in> MakeAddr(const std::string& host, uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -153,6 +163,58 @@ Status TcpSocket::ReadFull(void* data, size_t n, bool* clean_eof) {
   return Status::OK();
 }
 
+Status TcpSocket::SetNonBlocking(bool enabled) {
+  return SetFdNonBlocking(fd_, enabled);
+}
+
+Result<IoChunk> TcpSocket::ReadChunk(void* data, size_t capacity) {
+  IoChunk chunk;
+  while (true) {
+    const ssize_t r = ::recv(fd_, data, capacity, 0);
+    if (r > 0) {
+      chunk.bytes = static_cast<size_t>(r);
+      return chunk;
+    }
+    if (r == 0) {
+      chunk.eof = true;
+      return chunk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      chunk.would_block = true;
+      return chunk;
+    }
+    if (errno == ECONNRESET) {
+      return Status::Unavailable("connection reset by peer");
+    }
+    return Errno("recv");
+  }
+}
+
+Result<IoChunk> TcpSocket::WriteChunk(const void* data, size_t n) {
+  IoChunk chunk;
+  const char* p = static_cast<const char*>(data);
+  while (chunk.bytes < n) {
+    // MSG_NOSIGNAL: a dead peer must surface as a Status, not SIGPIPE.
+    const ssize_t written =
+        ::send(fd_, p + chunk.bytes, n - chunk.bytes, MSG_NOSIGNAL);
+    if (written > 0) {
+      chunk.bytes += static_cast<size_t>(written);
+      continue;
+    }
+    if (written < 0 && errno == EINTR) continue;
+    if (written < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      chunk.would_block = true;
+      return chunk;
+    }
+    if (written < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return Status::Unavailable("connection closed by peer");
+    }
+    return Errno("send");
+  }
+  return chunk;
+}
+
 Status TcpSocket::SetNoDelay(bool enabled) {
   const int flag = enabled ? 1 : 0;
   if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag)) != 0) {
@@ -242,6 +304,30 @@ Result<TcpSocket> TcpListener::Accept() {
       return Status::Aborted("listener closed");
     }
     return Errno("accept");
+  }
+}
+
+Status TcpListener::SetNonBlocking(bool enabled) {
+  return SetFdNonBlocking(fd_, enabled);
+}
+
+Result<TcpSocket> TcpListener::AcceptNonBlocking(bool* would_block) {
+  *would_block = false;
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return TcpSocket(fd);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *would_block = true;
+      return TcpSocket();
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::Aborted("listener closed");
+    }
+    // EMFILE / ECONNABORTED and friends: transient, the reactor should
+    // keep serving the connections it has instead of dying.
+    return Status::Unavailable(
+        StrFormat("accept: %s", std::strerror(errno)));
   }
 }
 

@@ -16,6 +16,15 @@
 
 namespace magicrecs::net {
 
+/// Outcome of one non-blocking read/write attempt (see TcpSocket::ReadChunk
+/// / WriteChunk). Exactly one of {bytes > 0, would_block, eof} describes
+/// what happened; errors travel as the surrounding Result's Status.
+struct IoChunk {
+  size_t bytes = 0;        ///< bytes moved by this attempt
+  bool would_block = false;///< the fd had nothing to give / no room
+  bool eof = false;        ///< reads only: the peer closed the connection
+};
+
 /// A connected stream socket. Move-only; the destructor closes the fd.
 class TcpSocket {
  public:
@@ -50,6 +59,22 @@ class TcpSocket {
 
   /// Disables Nagle's algorithm (latency-sensitive request/response).
   Status SetNoDelay(bool enabled);
+
+  /// Flips O_NONBLOCK — the epoll reactor runs every connection fd
+  /// non-blocking and uses ReadChunk/WriteChunk below.
+  Status SetNonBlocking(bool enabled);
+
+  /// One recv() attempt: reads up to `capacity` bytes without blocking
+  /// semantics beyond the fd's own mode. On a non-blocking fd an empty
+  /// socket reports would_block instead of an error; an orderly close
+  /// reports eof. Connection-fatal conditions (ECONNRESET, ...) surface as
+  /// Unavailable.
+  Result<IoChunk> ReadChunk(void* data, size_t capacity);
+
+  /// One send() attempt: writes as much of [data, data+n) as the socket
+  /// buffer takes. A full buffer on a non-blocking fd reports would_block
+  /// (possibly after a short write); a dead peer is Unavailable.
+  Result<IoChunk> WriteChunk(const void* data, size_t n);
 
   /// Bounds every subsequent blocking read: a peer silent for longer than
   /// `millis` makes ReadFull fail with Unavailable ("timed out") instead of
@@ -87,10 +112,21 @@ class TcpListener {
 
   bool valid() const { return fd_ >= 0; }
   uint16_t port() const { return port_; }
+  int fd() const { return fd_; }
 
   /// Blocks for the next connection. Aborted once Close() has been called
   /// (the accept loop's clean shutdown signal).
   Result<TcpSocket> Accept();
+
+  /// Flips O_NONBLOCK on the listening fd (the reactor polls it).
+  Status SetNonBlocking(bool enabled);
+
+  /// One accept attempt on a non-blocking listener. `*would_block` is set
+  /// when no connection is pending (the returned socket is invalid and the
+  /// status OK). Transient per-connection failures (ECONNABORTED, EMFILE)
+  /// surface as Unavailable so the reactor can log-and-continue; Aborted
+  /// after Close().
+  Result<TcpSocket> AcceptNonBlocking(bool* would_block);
 
   /// Stops accepting: shuts the listening socket down so a blocked
   /// Accept() returns Aborted. The fd itself is released by the destructor,

@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <cassert>
 #include <cstring>
 
 #include "persist/codec.h"
@@ -34,6 +35,13 @@ constexpr size_t kBatchSequenceTailBytes = 1 + 8;
 // that leaves plausible residue must not have recommendation bytes
 // silently re-decoded as coverage data.
 constexpr uint8_t kGatherReportMarker = 0x01;
+
+// The hello marker, the stats-reply server-loop tail marker, and the fixed
+// envelope prefix sizes (request_id:u64 [+ last:u8]).
+constexpr uint8_t kHelloMarker = 0x01;
+constexpr uint8_t kServerLoopMarker = 0x01;
+constexpr size_t kMuxRequestPrefixBytes = 8;
+constexpr size_t kMuxResponsePrefixBytes = 8 + 1;
 
 ByteReader ReaderOf(std::string_view payload) {
   return ByteReader(reinterpret_cast<const uint8_t*>(payload.data()),
@@ -80,12 +88,30 @@ std::string_view MessageTagName(MessageTag tag) {
     case MessageTag::kRecoverReplica: return "recover-replica";
     case MessageTag::kStats: return "stats";
     case MessageTag::kPing: return "ping";
+    case MessageTag::kHello: return "hello";
+    case MessageTag::kMuxRequest: return "mux-request";
     case MessageTag::kAck: return "ack";
     case MessageTag::kError: return "error";
     case MessageTag::kRecommendationsReply: return "recommendations-reply";
     case MessageTag::kStatsReply: return "stats-reply";
+    case MessageTag::kHelloReply: return "hello-reply";
+    case MessageTag::kMuxResponse: return "mux-response";
   }
   return "unknown";
+}
+
+bool IsOrderSensitive(MessageTag tag) {
+  switch (tag) {
+    case MessageTag::kPublish:
+    case MessageTag::kPublishBatch:
+    case MessageTag::kDrain:
+    case MessageTag::kCheckpoint:
+    case MessageTag::kKillReplica:
+    case MessageTag::kRecoverReplica:
+      return true;
+    default:
+      return false;
+  }
 }
 
 // --- frame assembly ----------------------------------------------------------
@@ -234,6 +260,151 @@ Status DecodeReplicaOp(std::string_view payload, uint32_t* partition,
   return Status::OK();
 }
 
+// --- session negotiation / multiplexing ---------------------------------------
+
+namespace {
+
+/// Splits one complete frame off the front of `bytes`: *body is the frame
+/// body (tag + payload), *rest what follows. False when `bytes` does not
+/// start with a complete frame.
+bool SplitFrame(std::string_view bytes, std::string_view* body,
+                std::string_view* rest) {
+  if (bytes.size() < kFrameHeaderBytes) return false;
+  uint32_t body_len = 0;
+  std::memcpy(&body_len, bytes.data(), sizeof(body_len));
+  if (body_len == 0 ||
+      bytes.size() < kFrameHeaderBytes + static_cast<size_t>(body_len)) {
+    return false;
+  }
+  *body = bytes.substr(kFrameHeaderBytes, body_len);
+  *rest = bytes.substr(kFrameHeaderBytes + body_len);
+  return true;
+}
+
+}  // namespace
+
+void AppendHello(uint32_t features, std::string* out) {
+  std::string payload;
+  PutU8(&payload, kHelloMarker);
+  PutU32(&payload, kProtocolVersion);
+  PutU32(&payload, features);
+  AppendFrame(MessageTag::kHello, payload, out);
+}
+
+Status DecodeHello(std::string_view payload, uint32_t* proto_version,
+                   uint32_t* features) {
+  ByteReader reader = ReaderOf(payload);
+  uint8_t marker = 0;
+  if (!reader.GetU8(&marker) || marker != kHelloMarker) {
+    return Status::InvalidArgument("hello payload lacks its marker");
+  }
+  if (!reader.GetU32(proto_version) || !reader.GetU32(features)) {
+    return Truncated("hello");
+  }
+  // Tail-growth versioning: a newer peer may have appended fields this
+  // decoder does not know; ignore them rather than reject the session.
+  return Status::OK();
+}
+
+void AppendHelloReply(uint32_t features, uint32_t max_inflight,
+                      std::string* out) {
+  std::string payload;
+  PutU32(&payload, kProtocolVersion);
+  PutU32(&payload, features);
+  PutU32(&payload, max_inflight);
+  AppendFrame(MessageTag::kHelloReply, payload, out);
+}
+
+Status DecodeHelloReply(std::string_view payload, uint32_t* proto_version,
+                        uint32_t* features, uint32_t* max_inflight) {
+  ByteReader reader = ReaderOf(payload);
+  if (!reader.GetU32(proto_version) || !reader.GetU32(features) ||
+      !reader.GetU32(max_inflight)) {
+    return Truncated("hello-reply");
+  }
+  return Status::OK();  // tail-growth: future fields are ignored
+}
+
+void AppendMuxRequest(uint64_t request_id, std::string_view frame,
+                      std::string* out) {
+  std::string_view body;
+  std::string_view rest;
+  const bool one_frame = SplitFrame(frame, &body, &rest) && rest.empty();
+  assert(one_frame && "AppendMuxRequest needs exactly one complete frame");
+  if (!one_frame) return;
+  std::string payload;
+  payload.reserve(kMuxRequestPrefixBytes + body.size());
+  PutU64(&payload, request_id);
+  payload.append(body);
+  AppendFrame(MessageTag::kMuxRequest, payload, out);
+}
+
+Status DecodeMuxRequest(std::string_view payload, uint64_t* request_id,
+                        Frame* inner) {
+  ByteReader reader = ReaderOf(payload);
+  uint8_t tag = 0;
+  if (!reader.GetU64(request_id) || !reader.GetU8(&tag)) {
+    return Truncated("mux-request");
+  }
+  inner->tag = static_cast<MessageTag>(tag);
+  inner->payload.assign(
+      payload.substr(kMuxRequestPrefixBytes + 1));
+  return Status::OK();
+}
+
+void AppendMuxResponse(uint64_t request_id, bool last, std::string_view frame,
+                       std::string* out) {
+  std::string_view body;
+  std::string_view rest;
+  const bool one_frame = SplitFrame(frame, &body, &rest) && rest.empty();
+  assert(one_frame && "AppendMuxResponse needs exactly one complete frame");
+  if (!one_frame) return;
+  std::string payload;
+  payload.reserve(kMuxResponsePrefixBytes + body.size());
+  PutU64(&payload, request_id);
+  PutU8(&payload, last ? 1 : 0);
+  payload.append(body);
+  AppendFrame(MessageTag::kMuxResponse, payload, out);
+}
+
+Status WrapMuxResponses(uint64_t request_id, std::string_view frames,
+                        std::string* out) {
+  if (frames.empty()) {
+    return Status::InvalidArgument("mux response wrap needs >= 1 frame");
+  }
+  while (!frames.empty()) {
+    std::string_view body;
+    std::string_view rest;
+    if (!SplitFrame(frames, &body, &rest)) {
+      return Status::InvalidArgument(
+          "mux response wrap given a misaligned frame buffer");
+    }
+    std::string payload;
+    payload.reserve(kMuxResponsePrefixBytes + body.size());
+    PutU64(&payload, request_id);
+    PutU8(&payload, rest.empty() ? 1 : 0);
+    payload.append(body);
+    AppendFrame(MessageTag::kMuxResponse, payload, out);
+    frames = rest;
+  }
+  return Status::OK();
+}
+
+Status DecodeMuxResponse(std::string_view payload, uint64_t* request_id,
+                         bool* last, Frame* inner) {
+  ByteReader reader = ReaderOf(payload);
+  uint8_t last_byte = 0;
+  uint8_t tag = 0;
+  if (!reader.GetU64(request_id) || !reader.GetU8(&last_byte) ||
+      !reader.GetU8(&tag)) {
+    return Truncated("mux-response");
+  }
+  *last = last_byte != 0;
+  inner->tag = static_cast<MessageTag>(tag);
+  inner->payload.assign(payload.substr(kMuxResponsePrefixBytes + 1));
+  return Status::OK();
+}
+
 // --- responses ---------------------------------------------------------------
 
 void AppendAck(std::string* out) { AppendFrame(MessageTag::kAck, {}, out); }
@@ -304,7 +475,8 @@ void AppendRecommendationsReplyChunked(std::span<const Recommendation> recs,
   } while (begin < recs.size());
 }
 
-void AppendStatsReply(const ClusterStats& stats, std::string* out) {
+void AppendStatsReply(const ClusterStats& stats, std::string* out,
+                      bool include_server_tail) {
   std::string payload;
   PutU32(&payload, stats.num_partitions);
   PutU32(&payload, stats.replicas_per_partition);
@@ -324,6 +496,19 @@ void AppendStatsReply(const ClusterStats& stats, std::string* out) {
     PutU64(&payload, entry.recommendations);
   }
   PutU64(&payload, stats.partitioner_salt);
+  // Server-loop reactor counters: a marker-led tail after the salt, emitted
+  // only toward peers that completed the hello exchange (see wire.h) — the
+  // pre-versioning decoders reject unfamiliar trailing bytes.
+  if (include_server_tail) {
+    PutU8(&payload, kServerLoopMarker);
+    PutU8(&payload, stats.server.loop);
+    PutU32(&payload, stats.server.connections_open);
+    PutU64(&payload, stats.server.requests_served);
+    PutU64(&payload, stats.server.partial_reads);
+    PutU64(&payload, stats.server.partial_writes);
+    PutU64(&payload, stats.server.inflight_stalls);
+    PutU64(&payload, stats.server.mux_connections);
+  }
   AppendFrame(MessageTag::kStatsReply, payload, out);
 }
 
@@ -424,17 +609,21 @@ Status DecodeStatsReply(std::string_view payload, ClusterStats* stats) {
   }
   // Extension tails (absent in pre-extension encodings; tail-growth
   // versioning, see wire.h): the per-replica identity list, then the
-  // partitioner salt.
+  // partitioner salt, then the marker-led server-loop counters.
   stats->per_replica.clear();
   stats->partitioner_salt = 0;
+  stats->server = ServerLoopStats{};
   if (reader.remaining() == 0) return Status::OK();
   uint32_t count = 0;
   if (!reader.GetU32(&count)) return Truncated("stats-reply");
   // partition + replica + alive + 3 counters = 33 bytes per entry; the
-  // optional salt adds 8 after the list.
+  // optional salt adds 8 after the list, the optional server-loop tail
+  // (marker + loop + u32 + 5 x u64) another 46 after the salt.
+  constexpr uint64_t kServerTailBytes = 1 + 1 + 4 + 5 * 8;
   const uint64_t entry_bytes = static_cast<uint64_t>(count) * 33;
   if (entry_bytes != reader.remaining() &&
-      entry_bytes + 8 != reader.remaining()) {
+      entry_bytes + 8 != reader.remaining() &&
+      entry_bytes + 8 + kServerTailBytes != reader.remaining()) {
     return Status::InvalidArgument(StrFormat(
         "stats-reply replica count %u does not match %zu payload bytes",
         count, reader.remaining()));
@@ -454,6 +643,21 @@ Status DecodeStatsReply(std::string_view payload, ClusterStats* stats) {
   }
   if (reader.remaining() != 0 && !reader.GetU64(&stats->partitioner_salt)) {
     return Truncated("stats-reply");
+  }
+  if (reader.remaining() == 0) return Status::OK();
+  uint8_t marker = 0;
+  if (!reader.GetU8(&marker) || marker != kServerLoopMarker) {
+    return Status::InvalidArgument(
+        "stats-reply server-loop tail lacks its presence marker");
+  }
+  if (!reader.GetU8(&stats->server.loop) ||
+      !reader.GetU32(&stats->server.connections_open) ||
+      !reader.GetU64(&stats->server.requests_served) ||
+      !reader.GetU64(&stats->server.partial_reads) ||
+      !reader.GetU64(&stats->server.partial_writes) ||
+      !reader.GetU64(&stats->server.inflight_stalls) ||
+      !reader.GetU64(&stats->server.mux_connections)) {
+    return Truncated("stats-reply server-loop");
   }
   return Status::OK();
 }

@@ -51,7 +51,11 @@
 //   kStatsReply         num_partitions:u32 replicas:u32 published:u64
 //                       detector_events:u64 queries:u64 recs:u64
 //                       static_bytes:u64 dynamic_bytes:u64
-//                       [replica_count:u32 replica*  [salt:u64]]   where
+//                       [replica_count:u32 replica*  [salt:u64
+//                        [marker:u8=0x01 loop:u8 conns_open:u32
+//                         requests:u64 partial_reads:u64
+//                         partial_writes:u64 inflight_stalls:u64
+//                         mux_conns:u64]]]   where
 //     replica := partition:u32 replica:u32 alive:u8
 //                events:u64 queries:u64 recs:u64
 //     The bracketed tails are extensions: the per-replica identity list (so
@@ -68,13 +72,41 @@
 //     (FanoutPolicy != strict): upgrade every binary first, enable the
 //     policy second (docs/wire-protocol.md, "Versioning and compatibility").
 //
-// Every request is answered by exactly one response on the same connection,
-// in request order. Clients MAY pipeline — write request N+1 before reading
-// response N (the fan-out broker keeps a bounded window of publish frames
-// in flight) — so servers must not assume at most one outstanding request
-// per connection. Sequence numbers are NOT carried for published events:
-// the server's broker assigns them at ingest, exactly as the in-process
-// broker does.
+// Session negotiation and multiplexing (protocol version 1):
+//   kHello              marker:u8=0x01 proto_version:u32 features:u32
+//   kHelloReply         proto_version:u32 features:u32 max_inflight:u32
+//   kMuxRequest         request_id:u64 inner_tag:u8 inner_payload
+//   kMuxResponse        request_id:u64 last:u8 inner_tag:u8 inner_payload
+//     A client MAY open a session with kHello naming the features it wants
+//     (bit 0, kFeatureMux: request-id multiplexing). A server that
+//     understands it answers kHelloReply with the intersection of features
+//     it accepts plus the per-connection in-flight request cap it will
+//     enforce; a PRE-VERSIONING server answers kError(Unimplemented) — an
+//     unknown-but-well-framed tag — and the connection stays usable, which
+//     IS the negotiation: the client falls back to the strict in-order
+//     encoding below, byte-identical to the pre-extension protocol. Once
+//     mux is negotiated, many logical calls share the connection: each
+//     request travels as a kMuxRequest envelope around the ordinary
+//     request body, every reply frame comes back as a kMuxResponse
+//     envelope carrying the same request_id, and replies for DIFFERENT
+//     request_ids may arrive in any order (frames of one chunked reply
+//     stay ordered; `last` marks its final frame). Request ids are chosen
+//     by the client and opaque to the server; reusing an id while it is in
+//     flight is a client bug. Hello payloads grow at the tail like every
+//     other message; the leading marker byte keeps a hello distinguishable
+//     from residue under the same discipline as the other tails.
+//
+// Without negotiation, every request is answered by exactly one response on
+// the same connection, in request order. Clients MAY pipeline — write
+// request N+1 before reading response N (the fan-out broker keeps a bounded
+// window of publish frames in flight) — so servers must not assume at most
+// one outstanding request per connection. Ordering: requests that mutate
+// the event stream (publish, publish-batch, drain, checkpoint, replica
+// ops) are applied in per-connection arrival order even on a multiplexed
+// connection — out-of-order completion is only allowed for reads (gather,
+// stats, ping), which may overtake a stalled write. Sequence numbers are
+// NOT carried for published events: the server's broker assigns them at
+// ingest, exactly as the in-process broker does.
 //
 // Robustness contract (tests/net/): a truncated frame, an oversized length
 // prefix, a CRC mismatch, or an unknown tag decodes to a Status error —
@@ -109,12 +141,27 @@ enum class MessageTag : uint8_t {
   kRecoverReplica = 0x07,
   kStats = 0x08,
   kPing = 0x09,
+  kHello = 0x0A,
+  kMuxRequest = 0x0B,
 
   kAck = 0x80,
   kError = 0x81,
   kRecommendationsReply = 0x82,
   kStatsReply = 0x83,
+  kHelloReply = 0x84,
+  kMuxResponse = 0x85,
 };
+
+/// Wire protocol version carried by the hello exchange.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Hello feature bits.
+inline constexpr uint32_t kFeatureMux = 1u << 0;
+
+/// True for requests that must be applied in per-connection arrival order
+/// (they mutate the event stream or durable state); false for reads, which
+/// a multiplexing server may run concurrently and answer out of order.
+bool IsOrderSensitive(MessageTag tag);
 
 std::string_view MessageTagName(MessageTag tag);
 
@@ -171,6 +218,42 @@ Status DecodeCheckpoint(std::string_view payload, Timestamp* created_at);
 Status DecodeReplicaOp(std::string_view payload, uint32_t* partition,
                        uint32_t* replica);
 
+// --- session negotiation / multiplexing ---------------------------------------
+
+void AppendHello(uint32_t features, std::string* out);
+Status DecodeHello(std::string_view payload, uint32_t* proto_version,
+                   uint32_t* features);
+
+void AppendHelloReply(uint32_t features, uint32_t max_inflight,
+                      std::string* out);
+Status DecodeHelloReply(std::string_view payload, uint32_t* proto_version,
+                        uint32_t* features, uint32_t* max_inflight);
+
+/// Wraps ONE complete frame (header + body, as produced by the Append*
+/// encoders) into a kMuxRequest envelope frame. `frame` must hold exactly
+/// one frame; violations are programming errors caught by assert.
+void AppendMuxRequest(uint64_t request_id, std::string_view frame,
+                      std::string* out);
+
+/// Unwraps a kMuxRequest payload into the id and the inner frame.
+Status DecodeMuxRequest(std::string_view payload, uint64_t* request_id,
+                        Frame* inner);
+
+/// Wraps one reply frame into a kMuxResponse envelope; `last` marks the
+/// final frame of the logical reply.
+void AppendMuxResponse(uint64_t request_id, bool last, std::string_view frame,
+                       std::string* out);
+
+/// Walks a buffer of complete reply frames (e.g. a chunked recommendations
+/// reply) and wraps each into a kMuxResponse envelope, marking the final
+/// one `last`. InvalidArgument if `frames` is empty or not frame-aligned.
+Status WrapMuxResponses(uint64_t request_id, std::string_view frames,
+                        std::string* out);
+
+/// Unwraps a kMuxResponse payload.
+Status DecodeMuxResponse(std::string_view payload, uint64_t* request_id,
+                         bool* last, Frame* inner);
+
 // --- response encoders / decoders --------------------------------------------
 
 void AppendAck(std::string* out);
@@ -195,7 +278,13 @@ void AppendRecommendationsReplyChunked(std::span<const Recommendation> recs,
 /// Default chunk budget: comfortably under kMaxFrameBodyBytes.
 inline constexpr size_t kRecommendationsChunkBytes = 4u << 20;
 
-void AppendStatsReply(const ClusterStats& stats, std::string* out);
+/// `include_server_tail` appends the serving loop's reactor counters as a
+/// marker-led tail after the salt (ClusterStats::server). Emit it ONLY to a
+/// peer that completed the hello exchange: a pre-versioning decoder rejects
+/// unfamiliar trailing bytes (see "Versioning" above), and the hello is how
+/// the server knows the peer is not one.
+void AppendStatsReply(const ClusterStats& stats, std::string* out,
+                      bool include_server_tail = false);
 
 /// Rebuilds the Status carried by a kError payload (always non-OK; a
 /// mangled error payload decodes to Internal).

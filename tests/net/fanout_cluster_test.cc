@@ -149,6 +149,7 @@ TEST(FanoutClusterTest, TenThousandEventStreamIdenticalAcrossAllTransports) {
     Daemon daemon = StartDaemon(*graph, options);
     FanoutClusterOptions fopt;
     fopt.group_size = kGroup;
+    fopt.recv_timeout_ms = 180'000;  // see StartGroup in fanout_test_util.h
     FanoutEndpoint endpoint;
     endpoint.port = daemon.server->port();
     fopt.endpoints.push_back(endpoint);

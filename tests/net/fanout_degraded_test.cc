@@ -485,8 +485,17 @@ TEST(FanoutDegradedTest, HedgedPublishIsDedupedServerSide) {
   auto settled = (*broker)->GetStats();
   ASSERT_TRUE(settled.ok()) << settled.status();
   EXPECT_EQ(settled->hedged_publishes, 1u) << "the hedge never fired";
+  // Exactly-once accounting end to end: the daemon applied the events one
+  // time (publish counters unchanged by the hedge), and the extra copies
+  // — the hedged duplicate and/or the replay of the parked frame — were
+  // suppressed by the sequence dedup, not silently double-applied.
   EXPECT_EQ(settled->events_published, w.events.size())
       << "hedged batch was applied twice (dedup failed) or dropped";
+  EXPECT_GE((*server)->stats().duplicate_batches, 1u)
+      << "no duplicate was ever suppressed — the exactly-once result above "
+         "would then be luck, not dedup";
+  EXPECT_EQ(settled->detector_events, w.events.size() * 2)
+      << "each of the 2 partitions must ingest every event exactly once";
 }
 
 TEST(FanoutDegradedTest, RestartedBrokerIsNotDupSuppressed) {

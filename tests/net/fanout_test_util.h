@@ -92,6 +92,14 @@ inline Group StartGroup(const StaticGraph& graph, uint32_t group_size,
   Group g;
   fopt.endpoints.clear();
   fopt.group_size = group_size;
+  // The acceptance workloads gather hundreds of thousands of
+  // recommendations, and the server encodes the whole chunked reply
+  // before the first byte ships — under TSan with a parallel ctest run
+  // that can outlast the 30s production default. The contract under test
+  // is byte-identity, not latency; give silence detection real headroom.
+  if (fopt.recv_timeout_ms == net::FanoutClusterOptions{}.recv_timeout_ms) {
+    fopt.recv_timeout_ms = 180'000;
+  }
   for (uint32_t p = 0; p < group_size; ++p) {
     ClusterOptions options = MakeClusterOptions(1, replicas, k);
     options.group_size = group_size;

@@ -1,0 +1,300 @@
+// Session-layer acceptance: the hello negotiation (both directions of
+// version skew), request-id multiplexing with out-of-order completion on
+// one socket, timeout-abandon keeping the connection usable, and the
+// legacy in-order fallback staying byte-compatible with pre-versioning
+// peers — the back-compat lock the rolling-upgrade story rests on.
+
+#include "net/mux_connection.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stub_transport.h"
+
+#include "cluster/transport.h"
+#include "gen/figure1.h"
+#include "net/remote_cluster.h"
+#include "net/rpc_server.h"
+#include "net/wire.h"
+
+namespace magicrecs::net {
+namespace {
+
+using net_test::StubTransport;
+
+std::string PingFrame() {
+  std::string frame;
+  AppendEmptyRequest(MessageTag::kPing, &frame);
+  return frame;
+}
+
+std::string DrainFrame() {
+  std::string frame;
+  AppendEmptyRequest(MessageTag::kDrain, &frame);
+  return frame;
+}
+
+struct Harness {
+  StubTransport transport;
+  std::unique_ptr<RpcServer> server;
+};
+
+std::unique_ptr<Harness> StartServer(ServerLoop loop,
+                                     bool server_mux = true) {
+  auto h = std::make_unique<Harness>();
+  RpcServerOptions options;
+  options.loop = loop;
+  options.enable_mux = server_mux;
+  auto server = RpcServer::Start(&h->transport, options);
+  EXPECT_TRUE(server.ok()) << server.status();
+  h->server = std::move(server).value();
+  return h;
+}
+
+TEST(MuxConnectionTest, NegotiatesWithAnUpgradedServer) {
+  for (const ServerLoop loop : {ServerLoop::kThreads, ServerLoop::kEpoll}) {
+    auto h = StartServer(loop);
+    auto conn = MuxConnection::Dial("127.0.0.1", h->server->port(), {});
+    ASSERT_TRUE(conn.ok()) << conn.status();
+    EXPECT_TRUE((*conn)->muxed());
+    EXPECT_EQ((*conn)->server_max_inflight(), 64u);
+    std::vector<Frame> reply;
+    ASSERT_TRUE((*conn)->CallOne(PingFrame(), 0, &reply).ok());
+    ASSERT_EQ(reply.size(), 1u);
+    EXPECT_EQ(reply[0].tag, MessageTag::kAck);
+    EXPECT_EQ(h->server->stats().mux_connections, 1u);
+  }
+}
+
+TEST(MuxConnectionTest, FallsBackAgainstAPreVersioningServer) {
+  // enable_mux=false makes the server treat kHello as an unknown tag —
+  // exactly what a pre-PR5 binary does. The client must downgrade to the
+  // strict in-order session and still serve calls.
+  for (const ServerLoop loop : {ServerLoop::kThreads, ServerLoop::kEpoll}) {
+    auto h = StartServer(loop, /*server_mux=*/false);
+    auto conn = MuxConnection::Dial("127.0.0.1", h->server->port(), {});
+    ASSERT_TRUE(conn.ok()) << conn.status();
+    EXPECT_FALSE((*conn)->muxed());
+    std::vector<Frame> reply;
+    ASSERT_TRUE((*conn)->CallOne(PingFrame(), 0, &reply).ok());
+    ASSERT_EQ(reply.size(), 1u);
+    EXPECT_EQ(reply[0].tag, MessageTag::kAck);
+    EXPECT_EQ(h->server->stats().mux_connections, 0u);
+  }
+}
+
+TEST(MuxConnectionTest, LegacyClientSpeaksToAnUpgradedServer) {
+  // The other direction of version skew: a pre-versioning client never
+  // sends kHello, so the server must serve bare in-order traffic forever.
+  for (const ServerLoop loop : {ServerLoop::kThreads, ServerLoop::kEpoll}) {
+    auto h = StartServer(loop);
+    MuxConnectionOptions mopt;
+    mopt.enable_mux = false;
+    auto conn = MuxConnection::Dial("127.0.0.1", h->server->port(), mopt);
+    ASSERT_TRUE(conn.ok()) << conn.status();
+    EXPECT_FALSE((*conn)->muxed());
+    std::vector<Frame> reply;
+    ASSERT_TRUE((*conn)->CallOne(PingFrame(), 0, &reply).ok());
+    EXPECT_EQ(reply[0].tag, MessageTag::kAck);
+  }
+}
+
+TEST(MuxConnectionTest, OrderFreeReadOvertakesAStalledWriteOnOneSocket) {
+  // The reason mux exists: a gated Drain holds its worker on the epoll
+  // server while a Ping issued LATER on the SAME connection completes
+  // first — out-of-order replies demultiplexed by request_id.
+  auto h = StartServer(ServerLoop::kEpoll);
+  h->transport.GateDrains();
+  auto conn = MuxConnection::Dial("127.0.0.1", h->server->port(), {});
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  ASSERT_TRUE((*conn)->muxed());
+
+  auto drain = (*conn)->Start(DrainFrame());
+  ASSERT_TRUE(drain.ok()) << drain.status();
+  for (int i = 0; i < 500 && !h->transport.drain_blocked(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(h->transport.drain_blocked());
+
+  // The ping (order-free) must answer while the drain is still parked.
+  std::vector<Frame> ping_reply;
+  ASSERT_TRUE((*conn)->CallOne(PingFrame(), /*timeout_ms=*/5'000,
+                               &ping_reply)
+                  .ok())
+      << "the ping should overtake the gated drain";
+  EXPECT_EQ(ping_reply[0].tag, MessageTag::kAck);
+
+  h->transport.Release();
+  std::vector<Frame> drain_reply;
+  ASSERT_TRUE((*conn)->Await(*drain, 5'000, &drain_reply).ok());
+  EXPECT_EQ(drain_reply[0].tag, MessageTag::kAck);
+}
+
+TEST(MuxConnectionTest, TimedOutCallIsAbandonedAndTheConnectionSurvives) {
+  // The property the old leased-socket pool could not offer: a deadline
+  // miss forgets the request id instead of poisoning the stream. The late
+  // reply is discarded and the SAME connection keeps serving.
+  auto h = StartServer(ServerLoop::kEpoll);
+  h->transport.GateDrains();
+  auto conn = MuxConnection::Dial("127.0.0.1", h->server->port(), {});
+  ASSERT_TRUE(conn.ok()) << conn.status();
+
+  std::vector<Frame> reply;
+  const Status timed_out =
+      (*conn)->CallOne(DrainFrame(), /*timeout_ms=*/50, &reply);
+  ASSERT_TRUE(timed_out.IsUnavailable()) << timed_out;
+  EXPECT_FALSE((*conn)->broken());
+
+  h->transport.Release();  // the late ack will arrive and be discarded
+  for (int i = 0; i < 20; ++i) {
+    std::vector<Frame> ping_reply;
+    ASSERT_TRUE((*conn)->CallOne(PingFrame(), 5'000, &ping_reply).ok())
+        << "connection must stay usable after an abandoned call";
+    EXPECT_EQ(ping_reply[0].tag, MessageTag::kAck);
+  }
+}
+
+TEST(MuxConnectionTest, CapWaitIsBoundedAgainstASilentServer) {
+  // A daemon that stops answering stops freeing in-flight slots. A Start
+  // blocked at the cap must fail within its bound — without poisoning the
+  // connection — instead of hanging ahead of every Await-side timeout.
+  auto h = std::make_unique<Harness>();
+  RpcServerOptions options;
+  options.loop = ServerLoop::kEpoll;
+  options.max_inflight_per_conn = 1;
+  auto server = RpcServer::Start(&h->transport, options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  h->server = std::move(server).value();
+  h->transport.GateDrains();
+
+  auto conn = MuxConnection::Dial("127.0.0.1", h->server->port(), {});
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  ASSERT_EQ((*conn)->server_max_inflight(), 1u);
+  auto drain = (*conn)->Start(DrainFrame());
+  ASSERT_TRUE(drain.ok()) << drain.status();
+
+  std::vector<Frame> reply;
+  const Status capped = (*conn)->CallOne(PingFrame(), 200, &reply);
+  ASSERT_TRUE(capped.IsUnavailable()) << capped;
+  EXPECT_NE(capped.ToString().find("in-flight slot"), std::string::npos)
+      << capped;
+  EXPECT_FALSE((*conn)->broken())
+      << "a cap-wait miss fails the call, not the connection";
+
+  h->transport.Release();
+  std::vector<Frame> drain_reply;
+  ASSERT_TRUE((*conn)->Await(*drain, 5'000, &drain_reply).ok());
+  ASSERT_TRUE((*conn)->CallOne(PingFrame(), 5'000, &reply).ok());
+  EXPECT_EQ(reply[0].tag, MessageTag::kAck);
+}
+
+TEST(MuxConnectionTest, ManyThreadsShareOneConnection) {
+  auto h = StartServer(ServerLoop::kEpoll);
+  auto conn = MuxConnection::Dial("127.0.0.1", h->server->port(), {});
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        std::vector<Frame> reply;
+        if (!(*conn)->CallOne(PingFrame(), 10'000, &reply).ok() ||
+            reply.size() != 1 || reply[0].tag != MessageTag::kAck) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(h->server->stats().requests_served,
+            static_cast<uint64_t>(kThreads * kCallsPerThread) + 1)
+      << "every call (plus the hello) answered exactly once";
+}
+
+TEST(MuxConnectionTest, ShutdownFailsInflightCallsAndFutureStarts) {
+  auto h = StartServer(ServerLoop::kEpoll);
+  h->transport.GateDrains();
+  auto conn = MuxConnection::Dial("127.0.0.1", h->server->port(), {});
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  auto call = (*conn)->Start(DrainFrame());
+  ASSERT_TRUE(call.ok());
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    (*conn)->Shutdown();
+  });
+  std::vector<Frame> reply;
+  const Status awaited = (*conn)->Await(*call, 0, &reply);
+  EXPECT_TRUE(awaited.IsUnavailable()) << awaited;
+  closer.join();
+  EXPECT_TRUE((*conn)->broken());
+  EXPECT_TRUE((*conn)->Start(PingFrame()).status().IsFailedPrecondition());
+  h->transport.Release();  // let the parked worker finish before teardown
+}
+
+TEST(MuxConnectionTest, FailedDialReturnsErrorNotCrash) {
+  // Nothing listens on the reserved port: the dial must come back as a
+  // Status — and tearing down the half-built RemoteCluster (conn_ never
+  // assigned) must not crash in Close().
+  RemoteClusterOptions ropt;
+  ropt.port = 1;
+  auto remote = RemoteCluster::Connect(ropt);
+  EXPECT_FALSE(remote.ok());
+  EXPECT_TRUE(remote.status().IsUnavailable()) << remote.status();
+}
+
+// --- the ClusterTransport-level back-compat locks ----------------------------
+
+TEST(MuxConnectionTest, RemoteClusterLegacyModeMatchesFigure1) {
+  // Full client driving the legacy wire (enable_mux=false): the bytes on
+  // the wire are the pre-versioning protocol's, and the results must be
+  // identical to the muxed session's.
+  for (const bool client_mux : {true, false}) {
+    ClusterOptions options;
+    options.num_partitions = 2;
+    options.detector.k = 2;
+    options.detector.window = Minutes(10);
+    auto hosted = LocalClusterTransport::Create(
+        figure1::FollowGraph(), options,
+        LocalClusterTransport::Mode::kThreaded);
+    ASSERT_TRUE(hosted.ok()) << hosted.status();
+    auto server = RpcServer::Start(hosted->get(), RpcServerOptions{});
+    ASSERT_TRUE(server.ok()) << server.status();
+
+    RemoteClusterOptions ropt;
+    ropt.port = (*server)->port();
+    ropt.enable_mux = client_mux;
+    auto remote = RemoteCluster::Connect(ropt);
+    ASSERT_TRUE(remote.ok()) << remote.status();
+    EXPECT_EQ((*remote)->muxed(), client_mux);
+
+    for (const TimestampedEdge& edge : figure1::DynamicEdges(0)) {
+      EdgeEvent event;
+      event.edge = edge;
+      ASSERT_TRUE((*remote)->Publish(event).ok());
+    }
+    ASSERT_TRUE((*remote)->Drain().ok());
+    auto recs = (*remote)->TakeRecommendations();
+    ASSERT_TRUE(recs.ok()) << recs.status();
+    ASSERT_EQ(recs->size(), 1u);
+    EXPECT_EQ((*recs)[0].user, figure1::kA2);
+    EXPECT_EQ((*recs)[0].item, figure1::kC2);
+
+    // The negotiated stats tail must never leak to a legacy session.
+    auto stats = (*remote)->GetStats();
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_EQ(stats->server.any(), client_mux)
+        << "server-loop counters are a negotiated extension";
+  }
+}
+
+}  // namespace
+}  // namespace magicrecs::net

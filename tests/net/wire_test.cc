@@ -612,11 +612,216 @@ TEST(WireTest, EveryTagHasAName) {
         MessageTag::kTakeRecommendations, MessageTag::kDrain,
         MessageTag::kCheckpoint, MessageTag::kKillReplica,
         MessageTag::kRecoverReplica, MessageTag::kStats, MessageTag::kPing,
-        MessageTag::kAck, MessageTag::kError,
-        MessageTag::kRecommendationsReply, MessageTag::kStatsReply}) {
+        MessageTag::kHello, MessageTag::kMuxRequest, MessageTag::kAck,
+        MessageTag::kError, MessageTag::kRecommendationsReply,
+        MessageTag::kStatsReply, MessageTag::kHelloReply,
+        MessageTag::kMuxResponse}) {
     EXPECT_NE(MessageTagName(tag), "unknown");
   }
   EXPECT_EQ(MessageTagName(static_cast<MessageTag>(0x55)), "unknown");
+}
+
+// --- session negotiation / multiplexing --------------------------------------
+
+TEST(WireTest, HelloRoundTrip) {
+  std::string frame;
+  AppendHello(kFeatureMux, &frame);
+  const Frame decoded = DecodeWhole(frame);
+  EXPECT_EQ(decoded.tag, MessageTag::kHello);
+  uint32_t version = 0, features = 0;
+  ASSERT_TRUE(DecodeHello(decoded.payload, &version, &features).ok());
+  EXPECT_EQ(version, kProtocolVersion);
+  EXPECT_EQ(features, kFeatureMux);
+}
+
+TEST(WireTest, HelloToleratesFutureTailButNotMissingMarker) {
+  std::string frame;
+  AppendHello(kFeatureMux, &frame);
+  Frame decoded = DecodeWhole(frame);
+  // Tail-growth: a future peer appends fields; this decoder ignores them.
+  decoded.payload += std::string(12, '\x5a');
+  uint32_t version = 0, features = 0;
+  EXPECT_TRUE(DecodeHello(decoded.payload, &version, &features).ok());
+  // But the leading marker is mandatory — residue is never a hello.
+  std::string mangled = decoded.payload;
+  mangled[0] = '\x7e';
+  EXPECT_TRUE(
+      DecodeHello(mangled, &version, &features).IsInvalidArgument());
+  EXPECT_TRUE(DecodeHello("", &version, &features).IsInvalidArgument());
+}
+
+TEST(WireTest, HelloReplyRoundTrip) {
+  std::string frame;
+  AppendHelloReply(kFeatureMux, 64, &frame);
+  const Frame decoded = DecodeWhole(frame);
+  EXPECT_EQ(decoded.tag, MessageTag::kHelloReply);
+  uint32_t version = 0, features = 0, max_inflight = 0;
+  ASSERT_TRUE(
+      DecodeHelloReply(decoded.payload, &version, &features, &max_inflight)
+          .ok());
+  EXPECT_EQ(version, kProtocolVersion);
+  EXPECT_EQ(features, kFeatureMux);
+  EXPECT_EQ(max_inflight, 64u);
+  EXPECT_TRUE(DecodeHelloReply("\x01\x02", &version, &features, &max_inflight)
+                  .IsInvalidArgument());
+}
+
+TEST(WireTest, MuxRequestRoundTrip) {
+  std::string inner;
+  AppendPublish(MakeEvent(3, 7, 42), &inner);
+  std::string envelope;
+  AppendMuxRequest(0xDEADBEEFCAFE, inner, &envelope);
+  const Frame decoded = DecodeWhole(envelope);
+  EXPECT_EQ(decoded.tag, MessageTag::kMuxRequest);
+  uint64_t id = 0;
+  Frame unwrapped;
+  ASSERT_TRUE(DecodeMuxRequest(decoded.payload, &id, &unwrapped).ok());
+  EXPECT_EQ(id, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(unwrapped.tag, MessageTag::kPublish);
+  EdgeEvent event;
+  ASSERT_TRUE(DecodePublish(unwrapped.payload, &event).ok());
+  EXPECT_EQ(event.edge.src, 3u);
+  EXPECT_EQ(event.edge.dst, 7u);
+}
+
+TEST(WireTest, MuxResponseRoundTripWithLastFlag) {
+  std::string inner;
+  AppendAck(&inner);
+  std::string envelope;
+  AppendMuxResponse(17, /*last=*/true, inner, &envelope);
+  const Frame decoded = DecodeWhole(envelope);
+  EXPECT_EQ(decoded.tag, MessageTag::kMuxResponse);
+  uint64_t id = 0;
+  bool last = false;
+  Frame unwrapped;
+  ASSERT_TRUE(DecodeMuxResponse(decoded.payload, &id, &last, &unwrapped).ok());
+  EXPECT_EQ(id, 17u);
+  EXPECT_TRUE(last);
+  EXPECT_EQ(unwrapped.tag, MessageTag::kAck);
+}
+
+TEST(WireTest, WrapMuxResponsesMarksOnlyTheFinalFrameLast) {
+  // A chunked reply: three recommendation frames wrapped under one id.
+  std::vector<Recommendation> recs(7);
+  for (size_t i = 0; i < recs.size(); ++i) {
+    recs[i].user = static_cast<VertexId>(i);
+    recs[i].item = static_cast<VertexId>(100 + i);
+  }
+  std::string frames;
+  AppendRecommendationsReplyChunked(recs, /*max_payload_bytes=*/64, &frames);
+  std::string wrapped;
+  ASSERT_TRUE(WrapMuxResponses(99, frames, &wrapped).ok());
+
+  // Walk the envelopes: same id on each, `last` only on the final one,
+  // and the unwrapped chunks re-assemble the original list.
+  std::vector<Recommendation> reassembled;
+  size_t offset = 0;
+  size_t envelopes = 0;
+  bool saw_last = false;
+  while (offset < wrapped.size()) {
+    uint32_t body_len = 0;
+    std::memcpy(&body_len, wrapped.data() + offset, sizeof(body_len));
+    const std::string frame = wrapped.substr(
+        offset, kFrameHeaderBytes + body_len);
+    offset += frame.size();
+    const Frame decoded = DecodeWhole(frame);
+    ASSERT_EQ(decoded.tag, MessageTag::kMuxResponse);
+    uint64_t id = 0;
+    bool last = false;
+    Frame inner;
+    ASSERT_TRUE(DecodeMuxResponse(decoded.payload, &id, &last, &inner).ok());
+    EXPECT_EQ(id, 99u);
+    EXPECT_FALSE(saw_last) << "frames after the last-marked one";
+    saw_last = last;
+    bool has_more = false;
+    ASSERT_TRUE(DecodeRecommendationsReply(inner.payload, &reassembled,
+                                           &has_more, nullptr)
+                    .ok());
+    EXPECT_EQ(has_more, !last) << "chunk has_more and envelope last disagree";
+    envelopes++;
+  }
+  EXPECT_TRUE(saw_last);
+  EXPECT_GT(envelopes, 1u) << "test meant to exercise a multi-frame reply";
+  ASSERT_EQ(reassembled.size(), recs.size());
+  EXPECT_TRUE(WrapMuxResponses(1, "", &wrapped).IsInvalidArgument());
+  EXPECT_TRUE(WrapMuxResponses(1, "garbage", &wrapped).IsInvalidArgument());
+}
+
+TEST(WireTest, TruncatedMuxPayloadsAreInvalidNotCrash) {
+  uint64_t id = 0;
+  bool last = false;
+  Frame inner;
+  EXPECT_TRUE(DecodeMuxRequest("", &id, &inner).IsInvalidArgument());
+  EXPECT_TRUE(DecodeMuxRequest("1234567", &id, &inner).IsInvalidArgument());
+  EXPECT_TRUE(DecodeMuxRequest("12345678", &id, &inner).IsInvalidArgument())
+      << "id but no inner tag";
+  EXPECT_TRUE(DecodeMuxResponse("", &id, &last, &inner).IsInvalidArgument());
+  EXPECT_TRUE(
+      DecodeMuxResponse("123456781", &id, &last, &inner).IsInvalidArgument())
+      << "id + last but no inner tag";
+}
+
+TEST(WireTest, OrderSensitivityClassification) {
+  // The mutating requests must never be reordered; the reads may overtake.
+  for (const MessageTag tag :
+       {MessageTag::kPublish, MessageTag::kPublishBatch, MessageTag::kDrain,
+        MessageTag::kCheckpoint, MessageTag::kKillReplica,
+        MessageTag::kRecoverReplica}) {
+    EXPECT_TRUE(IsOrderSensitive(tag)) << MessageTagName(tag);
+  }
+  for (const MessageTag tag :
+       {MessageTag::kTakeRecommendations, MessageTag::kStats,
+        MessageTag::kPing, MessageTag::kHello}) {
+    EXPECT_FALSE(IsOrderSensitive(tag)) << MessageTagName(tag);
+  }
+}
+
+TEST(WireTest, StatsReplyServerLoopTailRoundTrips) {
+  ClusterStats stats;
+  stats.num_partitions = 2;
+  stats.partitioner_salt = 7;
+  stats.server.loop = 2;
+  stats.server.connections_open = 300;
+  stats.server.requests_served = 12345;
+  stats.server.partial_reads = 17;
+  stats.server.partial_writes = 5;
+  stats.server.inflight_stalls = 3;
+  stats.server.mux_connections = 299;
+
+  // Emitted only toward negotiated peers...
+  std::string with_tail;
+  AppendStatsReply(stats, &with_tail, /*include_server_tail=*/true);
+  ClusterStats decoded;
+  ASSERT_TRUE(
+      DecodeStatsReply(DecodeWhole(with_tail).payload, &decoded).ok());
+  EXPECT_EQ(decoded.server, stats.server);
+  EXPECT_EQ(decoded.partitioner_salt, 7u);
+
+  // ...and omitted otherwise, decoding as all-zero (pre-versioning form).
+  std::string without_tail;
+  AppendStatsReply(stats, &without_tail, /*include_server_tail=*/false);
+  ClusterStats bare;
+  ASSERT_TRUE(
+      DecodeStatsReply(DecodeWhole(without_tail).payload, &bare).ok());
+  EXPECT_EQ(bare.server, ServerLoopStats{});
+  EXPECT_FALSE(bare.server.any());
+}
+
+TEST(WireTest, StatsReplyServerLoopTailRejectsForgedResidue) {
+  ClusterStats stats;
+  stats.server.loop = 1;
+  std::string frame;
+  AppendStatsReply(stats, &frame, /*include_server_tail=*/true);
+  std::string payload = DecodeWhole(frame).payload;
+  // Corrupt the tail's presence marker: length-compatible residue must not
+  // decode as reactor counters.
+  payload[payload.size() - (1 + 1 + 4 + 5 * 8)] = '\x7c';
+  ClusterStats decoded;
+  EXPECT_TRUE(DecodeStatsReply(payload, &decoded).IsInvalidArgument());
+  // And a truncated tail is rejected, not zero-filled.
+  std::string truncated = DecodeWhole(frame).payload;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_TRUE(DecodeStatsReply(truncated, &decoded).IsInvalidArgument());
 }
 
 }  // namespace

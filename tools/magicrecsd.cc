@@ -59,6 +59,12 @@ struct DaemonOptions {
   // Idempotent publish-batch dedup window (hedged broker re-sends; see
   // net/rpc_server.h). 0 disables dedup.
   size_t publish_dedup_window = 4096;
+
+  // Server loop (net/rpc_server.h): kAuto resolves MAGICRECS_SERVER_LOOP,
+  // defaulting to the epoll reactor.
+  net::ServerLoop server_loop = net::ServerLoop::kAuto;
+  size_t max_inflight_per_conn = 64;
+  int rpc_workers = 4;
 };
 
 void PrintUsage() {
@@ -83,6 +89,12 @@ void PrintUsage() {
       "  --max-influencers=N    influencer cap, 0 = off (0)\n"
       "  --publish-dedup-window=N  idempotent batch sequences remembered\n"
       "                         for hedged-publish dedup; 0 = off (4096)\n"
+      "  --server-loop=MODE     threads | epoll (default: epoll, or the\n"
+      "                         MAGICRECS_SERVER_LOOP environment variable)\n"
+      "  --max-inflight-per-conn=N  epoll loop: dispatched-but-unanswered\n"
+      "                         requests per connection before the reactor\n"
+      "                         stops reading that peer (64)\n"
+      "  --rpc-workers=N        epoll loop: request worker threads (4)\n"
       "  --persist-dir=PATH     WAL + snapshot directory, empty = off\n"
       "  --fsync-batch=N        group-commit batch with --fsync (1)\n"
       "  --fsync                fdatasync WAL appends\n"
@@ -144,6 +156,20 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* options) {
       options->cluster.max_influencers_per_user = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (FlagValue(arg, "publish-dedup-window", &value)) {
       options->publish_dedup_window = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (FlagValue(arg, "server-loop", &value)) {
+      if (!net::ParseServerLoop(value, &options->server_loop)) {
+        std::fprintf(stderr,
+                     "magicrecsd: --server-loop must be threads or epoll, "
+                     "got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+    } else if (FlagValue(arg, "max-inflight-per-conn", &value)) {
+      options->max_inflight_per_conn =
+          std::strtoull(value.c_str(), nullptr, 10);
+    } else if (FlagValue(arg, "rpc-workers", &value)) {
+      options->rpc_workers =
+          static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
     } else if (FlagValue(arg, "persist-dir", &value)) {
       options->cluster.persist.dir = value;
     } else if (FlagValue(arg, "fsync-batch", &value)) {
@@ -224,6 +250,9 @@ int main(int argc, char** argv) {
   server_options.host = options.host;
   server_options.port = options.port;
   server_options.publish_dedup_window = options.publish_dedup_window;
+  server_options.loop = options.server_loop;
+  server_options.max_inflight_per_conn = options.max_inflight_per_conn;
+  server_options.worker_threads = options.rpc_workers;
   auto server = net::RpcServer::Start(transport->get(), server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "magicrecsd: starting server: %s\n",
@@ -243,10 +272,11 @@ int main(int argc, char** argv) {
           : StrFormat("%u partitions x %u replicas",
                       options.cluster.num_partitions,
                       options.cluster.replicas_per_partition);
-  std::printf("magicrecsd listening on %s:%u (%s, k=%u, %s)\n",
+  std::printf("magicrecsd listening on %s:%u (%s, k=%u, %s, %s loop)\n",
               options.host.c_str(), (*server)->port(), shape.c_str(),
               options.cluster.detector.k,
-              options.inline_mode ? "inline" : "threaded");
+              options.inline_mode ? "inline" : "threaded",
+              std::string(net::ServerLoopFlag((*server)->loop())).c_str());
   std::fflush(stdout);
 
   int signal = 0;
@@ -271,10 +301,16 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "magicrecsd: served %llu requests over %llu connections "
-               "(%llu protocol errors, %llu duplicate batches suppressed)\n",
+               "(%llu protocol errors, %llu duplicate batches suppressed, "
+               "%llu mux sessions, %llu partial reads, %llu partial writes, "
+               "%llu inflight stalls)\n",
                static_cast<unsigned long long>(stats.requests_served),
                static_cast<unsigned long long>(stats.connections_accepted),
                static_cast<unsigned long long>(stats.protocol_errors),
-               static_cast<unsigned long long>(stats.duplicate_batches));
+               static_cast<unsigned long long>(stats.duplicate_batches),
+               static_cast<unsigned long long>(stats.mux_connections),
+               static_cast<unsigned long long>(stats.partial_reads),
+               static_cast<unsigned long long>(stats.partial_writes),
+               static_cast<unsigned long long>(stats.inflight_stalls));
   return closed.ok() ? 0 : 1;
 }
