@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "workload.h"
 #include "core/diamond_detector.h"
 #include "stream/delay_model.h"
@@ -81,6 +82,17 @@ int main() {
   std::printf("queue share of end-to-end at the median: %.3f%%\n",
               100.0 * latency.queue_delay().Median() /
                   latency.end_to_end().Median());
+
+  // Per-stage rows into the shared bench artifact, next to bench_net's
+  // wire-trace decomposition (MergeWrite preserves its sections).
+  bench::JsonRows json;
+  json.AddStage("e2e-stages", "simulated", "queue-delay",
+                latency.queue_delay());
+  json.AddStage("e2e-stages", "simulated", "graph-query",
+                latency.query_latency());
+  json.AddStage("e2e-stages", "simulated", "end-to-end",
+                latency.end_to_end());
+  json.MergeWrite("BENCH_net.json");
 
   const bool shape_holds = p50 > 6.0 && p50 < 8.0 && p99 > 13.0 && p99 < 17.5;
   std::printf("\nshape check (median in [6,8]s, p99 in [13,17.5]s): %s\n",

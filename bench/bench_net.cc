@@ -32,11 +32,13 @@
 
 #include <dirent.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "bench_json.h"
 #include "workload.h"
 #include "cluster/transport.h"
 #include "net/fanout_cluster.h"
@@ -48,6 +50,7 @@
 #include "util/clock.h"
 #include "util/histogram.h"
 #include "util/str_format.h"
+#include "util/trace.h"
 
 using namespace magicrecs;
 using bench::MakeWorkload;
@@ -108,8 +111,11 @@ net::RpcServer* SpawnDaemon(Endpoint* e, const StaticGraph& graph,
       graph, options, LocalClusterTransport::Mode::kThreaded);
   if (!hosted.ok()) std::exit(1);
   e->hosted.push_back(std::move(hosted).value());
-  auto server =
-      net::RpcServer::Start(e->hosted.back().get(), net::RpcServerOptions{});
+  net::RpcServerOptions sopt;
+  // Partition-group members stamp traces with their global partition id,
+  // exactly as magicrecsd wires it.
+  if (options.group_size > 0) sopt.trace_party = options.group_partition;
+  auto server = net::RpcServer::Start(e->hosted.back().get(), sopt);
   if (!server.ok()) {
     std::fprintf(stderr, "rpc server: %s\n",
                  server.status().ToString().c_str());
@@ -134,12 +140,15 @@ Endpoint MakeRemote(const StaticGraph& graph) {
 
 /// Fresh fan-out endpoint: `daemons` == 1 hosts the whole cluster behind
 /// one server; otherwise one daemon per partition (a partition group).
+/// trace_sample_every == 0 keeps the broker's default sampling rate.
 Endpoint MakeFanout(const StaticGraph& graph, uint32_t daemons,
-                    net::FanoutPolicy policy = net::FanoutPolicy::kStrict) {
+                    net::FanoutPolicy policy = net::FanoutPolicy::kStrict,
+                    uint64_t trace_sample_every = 0) {
   Endpoint e;
   const ClusterOptions base = MakeClusterOptions();
   net::FanoutClusterOptions fopt;
   fopt.policy = policy;
+  if (trace_sample_every > 0) fopt.trace_sample_every = trace_sample_every;
   fopt.group_size = base.num_partitions;
   if (daemons == 1) {
     net::FanoutEndpoint endpoint;
@@ -166,56 +175,6 @@ Endpoint MakeFanout(const StaticGraph& graph, uint32_t daemons,
   e.transport = e.fanout.get();
   return e;
 }
-
-/// Accumulates one JSON array of row objects; written once at exit.
-class JsonRows {
- public:
-  void AddThroughput(const char* section, const char* transport, size_t batch,
-                     double events_per_sec, uint64_t recs) {
-    rows_.push_back(StrFormat(
-        "{\"section\": \"%s\", \"transport\": \"%s\", \"batch\": %zu, "
-        "\"events_per_sec\": %.1f, \"recs\": %llu}",
-        section, transport, batch, events_per_sec,
-        static_cast<unsigned long long>(recs)));
-  }
-
-  void AddConnScale(const char* loop, size_t connections,
-                    double requests_per_sec, long server_threads) {
-    rows_.push_back(StrFormat(
-        "{\"section\": \"conn-scale\", \"loop\": \"%s\", "
-        "\"connections\": %zu, \"requests_per_sec\": %.1f, "
-        "\"server_threads\": %ld}",
-        loop, connections, requests_per_sec, server_threads));
-  }
-
-  void AddLatency(const char* transport, const Histogram& micros) {
-    rows_.push_back(StrFormat(
-        "{\"section\": \"latency\", \"transport\": \"%s\", "
-        "\"p50_us\": %.1f, \"p90_us\": %.1f, \"p99_us\": %.1f, "
-        "\"max_us\": %lld}",
-        transport, micros.Percentile(50), micros.Percentile(90),
-        micros.Percentile(99), static_cast<long long>(micros.Max())));
-  }
-
-  void Write(const char* path) {
-    std::FILE* f = std::fopen(path, "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", path);
-      return;
-    }
-    std::fprintf(f, "[\n");
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      std::fprintf(f, "  %s%s\n", rows_[i].c_str(),
-                   i + 1 < rows_.size() ? "," : "");
-    }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
-    std::printf("\nwrote %zu rows to %s\n", rows_.size(), path);
-  }
-
- private:
-  std::vector<std::string> rows_;
-};
 
 struct ThroughputResult {
   double events_per_sec = 0;
@@ -375,7 +334,7 @@ int main() {
       {"fanout-1d", Kind::kFanout1, 4096},
       {"fanout-4d", Kind::kFanout4, 4096},
   };
-  JsonRows json;
+  bench::JsonRows json;
   for (const Config& c : configs) {
     Endpoint endpoint;
     switch (c.kind) {
@@ -477,7 +436,86 @@ int main() {
                 static_cast<long long>(micros.Max()));
     json.AddLatency(c.name, micros);
   }
-  json.Write("BENCH_net.json");
+
+  // --- per-stage trace decomposition (wire-propagated trace stamps) --------
+  // Every publish is sampled (trace_sample_every=1) against the 4-daemon
+  // group; the stamps that ride back on ack and gather tails decompose the
+  // publish -> recommendation path per stage — the distributed twin of the
+  // T3 decomposition, measured on the real wire instead of virtual time.
+  std::printf("\n--- per-stage trace decomposition (4-daemon group, every "
+              "publish sampled) ---\n");
+  {
+    Endpoint endpoint = MakeFanout(w.follow_graph, 4,
+                                   net::FanoutPolicy::kStrict,
+                                   /*trace_sample_every=*/1);
+    constexpr size_t kTraceBatch = 256;
+    constexpr size_t kTracePublishes = 64;  // == the broker's trace ring
+    for (size_t i = 0; i < kTracePublishes; ++i) {
+      const size_t offset = i * kTraceBatch;
+      if (offset >= events.size()) break;
+      const size_t n = std::min(kTraceBatch, events.size() - offset);
+      if (!endpoint.transport
+               ->PublishBatch(std::span(events.data() + offset, n))
+               .ok()) {
+        std::exit(1);
+      }
+    }
+    if (!endpoint.transport->Drain().ok()) std::exit(1);
+    if (!endpoint.transport->TakeRecommendations().ok()) std::exit(1);
+    const std::vector<TraceContext> traces = endpoint.transport->TakeTraces();
+    Histogram encode, dequeue, apply, gather, end_to_end;
+    for (const TraceContext& trace : traces) {
+      const TraceStamp* enc = trace.Find(TraceStage::kBrokerEncode);
+      const TraceStamp* gat = trace.Find(TraceStage::kGather);
+      if (enc == nullptr) continue;
+      encode.Record(enc->at_us - trace.origin_us);
+      // Pair each daemon's detector-apply with ITS dequeue stamp (one pair
+      // per partition), and close the gather against the slowest apply.
+      int64_t dequeue_at[16] = {};
+      int64_t last_apply = enc->at_us;
+      for (const TraceStamp& stamp : trace.stamps) {
+        if (stamp.stage ==
+            static_cast<uint8_t>(TraceStage::kDaemonDequeue)) {
+          dequeue.Record(stamp.at_us - enc->at_us);
+          if (stamp.party < 16) dequeue_at[stamp.party] = stamp.at_us;
+        } else if (stamp.stage ==
+                   static_cast<uint8_t>(TraceStage::kDetectorApply)) {
+          const int64_t from = stamp.party < 16 && dequeue_at[stamp.party] > 0
+                                   ? dequeue_at[stamp.party]
+                                   : enc->at_us;
+          apply.Record(stamp.at_us - from);
+          last_apply = std::max(last_apply, stamp.at_us);
+        }
+      }
+      if (gat != nullptr) {
+        gather.Record(gat->at_us - last_apply);
+        end_to_end.Record(gat->at_us - trace.origin_us);
+      }
+    }
+    struct StageRow {
+      const char* name;
+      const Histogram* micros;
+    };
+    const StageRow stages[] = {
+        {"broker-encode", &encode},   {"daemon-dequeue", &dequeue},
+        {"detector-apply", &apply},   {"gather", &gather},
+        {"end-to-end", &end_to_end},
+    };
+    std::printf("%11s %15s %8s %10s %10s %10s\n", "transport", "stage",
+                "count", "p50", "p99", "max");
+    for (const StageRow& stage : stages) {
+      std::printf("%11s %15s %8llu %9.0fu %9.0fu %9lldu\n", "fanout-4d",
+                  stage.name,
+                  static_cast<unsigned long long>(stage.micros->Count()),
+                  stage.micros->Percentile(50), stage.micros->Percentile(99),
+                  static_cast<long long>(stage.micros->Max()));
+      json.AddStage("trace-stages", "fanout-4d", stage.name, *stage.micros);
+    }
+    if (traces.empty()) {
+      std::fprintf(stderr, "trace decomposition: no traces came back!\n");
+    }
+  }
+  json.MergeWrite("BENCH_net.json");
 
   std::printf("\nthe rpc transport pays three loopback round trips per "
               "probed event (publish,\ndrain, gather); batching amortizes "

@@ -7,6 +7,8 @@
 #include "cluster/transport.h"
 #include "persist/recovery.h"
 #include "persist/wal.h"
+#include "util/clock.h"
+#include "util/metrics.h"
 #include "util/str_format.h"
 
 namespace magicrecs {
@@ -95,6 +97,9 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(
             ? ~uint64_t{0}
             : (uint64_t{1} << options.replicas_per_partition) - 1);
     cluster->alive_masks_.push_back(std::move(mask));
+    cluster->apply_histograms_.push_back(
+        MetricsRegistry::Default()->GetHistogram(
+            "publish_apply_us", {{"partition", StrFormat("%u", p)}}));
   }
 
   if (options.persist.enabled()) {
@@ -163,12 +168,14 @@ Status Cluster::OnEdgeEvent(EdgeEvent event,
 
   for (size_t i = 0; i < servers_.size(); ++i) {
     const uint64_t mask = alive_masks_[i]->load(std::memory_order_acquire);
+    const Stopwatch apply_timer;
     for (uint32_t r = 0; r < options_.replicas_per_partition; ++r) {
       if ((mask & (uint64_t{1} << r)) == 0) continue;  // dead: misses event
       const bool emit = ShouldEmit(static_cast<uint32_t>(i), r,
                                    event.sequence);
       MAGICRECS_RETURN_IF_ERROR(servers_[i][r]->OnEvent(event, emit, out));
     }
+    apply_histograms_[i]->Record(apply_timer.ElapsedMicros());
   }
   return Status::OK();
 }
@@ -223,9 +230,11 @@ void Cluster::WorkerLoop(uint32_t local, uint32_t replica) {
     if ((mask & (uint64_t{1} << replica)) != 0) {
       gathered.clear();
       const bool emit = ShouldEmit(local, replica, event->sequence);
+      const Stopwatch apply_timer;
       const Status s =
           servers_[local][replica]->OnEvent(*event, emit, &gathered);
       (void)s;  // per-event errors are reflected in detector stats
+      apply_histograms_[local]->Record(apply_timer.ElapsedMicros());
       if (!gathered.empty()) {
         std::lock_guard<std::mutex> lock(results_mu_);
         results_.insert(results_.end(),
@@ -436,6 +445,7 @@ DiamondStats Cluster::AggregatedStats() const {
       total.suppressed_existing += s.suppressed_existing;
       total.suppressed_self += s.suppressed_self;
       total.query_micros.Merge(s.query_micros);
+      total.intersection_sizes.Merge(s.intersection_sizes);
     }
   }
   return total;

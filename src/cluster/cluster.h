@@ -51,6 +51,7 @@
 
 namespace magicrecs {
 
+class HistogramMetric;
 class WalWriter;
 struct RecoveryStats;
 
@@ -260,6 +261,10 @@ class Cluster {
   std::vector<uint32_t> owned_partitions_;
   std::vector<std::vector<std::unique_ptr<PartitionServer>>> servers_;
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> alive_masks_;
+
+  /// publish_apply_us{partition=P}, one per hosted partition, resolved once
+  /// at Create so the per-event path never takes the registry lock.
+  std::vector<HistogramMetric*> apply_histograms_;
 
   // Durability state (null / unused when options_.persist is disabled).
   std::unique_ptr<WalWriter> wal_;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/metrics.h"
 #include "util/str_format.h"
 
 namespace magicrecs {
@@ -102,6 +103,12 @@ Result<HashPartitioner> ClusterTransport::Partitioner() const {
       "this transport carries no client-side partition placement");
 }
 
+Result<std::string> ClusterTransport::GetStatsText() {
+  return MetricsRegistry::Default()->RenderText();
+}
+
+std::vector<TraceContext> ClusterTransport::TakeTraces() { return {}; }
+
 // --- LocalClusterTransport ---------------------------------------------------
 
 Result<std::unique_ptr<LocalClusterTransport>> LocalClusterTransport::Create(
@@ -198,6 +205,36 @@ Result<ClusterStats> LocalClusterTransport::GetStats() {
   stats.per_replica = cluster_->PerReplicaStats();
   stats.partitioner_salt = cluster_->partitioner().salt();
   return stats;
+}
+
+Result<std::string> LocalClusterTransport::GetStatsText() {
+  // Scrape-time collector: the detector counters and histograms are plain
+  // fields the workers mutate, so quiesce (as GetStats does), then mirror
+  // the aggregates into the process registry. ReplaceWith/RaiseTo — not
+  // Merge/Increment — because the mirror re-runs wholesale on every scrape.
+  {
+    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    if (closed_) return Status::FailedPrecondition("transport is closed");
+    if (mode_ == Mode::kThreaded) cluster_->Drain();
+    const DiamondStats detector = cluster_->AggregatedStats();
+    MetricsRegistry* registry = MetricsRegistry::Default();
+    registry->GetCounter("detector_events")->RaiseTo(detector.events);
+    registry->GetCounter("detector_threshold_queries")
+        ->RaiseTo(detector.threshold_queries);
+    registry->GetCounter("detector_recommendations")
+        ->RaiseTo(detector.recommendations);
+    registry->GetCounter("detector_suppressed_existing")
+        ->RaiseTo(detector.suppressed_existing);
+    registry->GetCounter("detector_suppressed_self")
+        ->RaiseTo(detector.suppressed_self);
+    registry->GetHistogram("detector_query_us")
+        ->ReplaceWith(detector.query_micros);
+    registry->GetHistogram("detector_intersection_size")
+        ->ReplaceWith(detector.intersection_sizes);
+    registry->GetCounter("events_published")
+        ->RaiseTo(cluster_->events_published());
+  }
+  return MetricsRegistry::Default()->RenderText();
 }
 
 Result<HashPartitioner> LocalClusterTransport::Partitioner() const {

@@ -32,6 +32,7 @@
 #include "stream/event.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/trace.h"
 #include "util/types.h"
 
 namespace magicrecs {
@@ -212,6 +213,19 @@ class ClusterTransport {
 
   virtual Result<ClusterStats> GetStats() = 0;
 
+  /// The text exposition of every metric this endpoint knows (see
+  /// docs/observability.md for the format). The default renders the
+  /// process-wide MetricsRegistry; transports that sit in front of other
+  /// processes (the fan-out broker, RemoteCluster) override it to pull the
+  /// remote surface too. Serves the kStatsText RPC.
+  virtual Result<std::string> GetStatsText();
+
+  /// Moves out the completed end-to-end traces collected since the last
+  /// call (bounded; oldest dropped first). Only transports that originate
+  /// sampled traces (the fan-out broker) or ferry them (RemoteCluster)
+  /// return anything; the default is empty.
+  virtual std::vector<TraceContext> TakeTraces();
+
   /// Coverage of the most recent TakeRecommendations on this transport. A
   /// transport that cannot partially fail (local, single remote daemon)
   /// reports a complete GatherReport; the fan-out broker reports which
@@ -257,6 +271,7 @@ class LocalClusterTransport : public ClusterTransport {
   Status KillReplica(uint32_t partition, uint32_t replica) override;
   Status RecoverReplica(uint32_t partition, uint32_t replica) override;
   Result<ClusterStats> GetStats() override;
+  Result<std::string> GetStatsText() override;
   Result<HashPartitioner> Partitioner() const override;
   Status Close() override;
 

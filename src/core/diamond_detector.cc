@@ -64,6 +64,7 @@ Status DiamondDetector::OnEdge(VertexId src, VertexId dst, Timestamp t,
         });
     actors_.resize(options_.max_witnesses_per_query);
   }
+  stats_.intersection_sizes.Record(static_cast<int64_t>(actors_.size()));
 
   // Bottom half: gather the actors' follower lists from S …
   lists_.clear();

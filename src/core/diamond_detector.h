@@ -72,6 +72,11 @@ struct DiamondStats {
   uint64_t suppressed_self = 0;      ///< dropped: candidate == item
   Histogram query_micros;          ///< wall-clock per-event detection cost
 
+  /// Witness-set size per threshold query (after the celebrity cap): the
+  /// paper's main cost driver, since intersection work scales with the
+  /// actors' follower lists.
+  Histogram intersection_sizes;
+
   std::string ToString() const;
 };
 

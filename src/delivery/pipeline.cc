@@ -1,5 +1,6 @@
 #include "delivery/pipeline.h"
 
+#include "util/metrics.h"
 #include "util/str_format.h"
 
 namespace magicrecs {
@@ -34,7 +35,15 @@ DeliveryPipeline::DeliveryPipeline(const Options& options)
     : options_(options),
       dedup_(options.dedup),
       quiet_hours_(options.quiet_hours),
-      fatigue_(options.fatigue) {}
+      fatigue_(options.fatigue),
+      delivered_metric_(
+          MetricsRegistry::Default()->GetCounter("delivery_delivered")),
+      dedup_drops_metric_(
+          MetricsRegistry::Default()->GetCounter("delivery_dedup_drops")),
+      quiet_hours_drops_metric_(MetricsRegistry::Default()->GetCounter(
+          "delivery_quiet_hours_drops")),
+      fatigue_drops_metric_(
+          MetricsRegistry::Default()->GetCounter("delivery_fatigue_drops")) {}
 
 DeliveryOutcome DeliveryPipeline::Process(const Recommendation& rec,
                                           Timestamp now,
@@ -42,21 +51,25 @@ DeliveryOutcome DeliveryPipeline::Process(const Recommendation& rec,
   ++funnel_.raw_candidates;
 
   if (options_.enable_dedup && dedup_.IsDuplicate(rec.user, rec.item, now)) {
+    dedup_drops_metric_->Increment();
     return DeliveryOutcome::kDuplicate;
   }
   ++funnel_.after_dedup;
 
   if (options_.enable_quiet_hours && !quiet_hours_.IsAwake(rec.user, now)) {
+    quiet_hours_drops_metric_->Increment();
     return DeliveryOutcome::kQuietHours;
   }
   ++funnel_.after_quiet_hours;
 
   if (options_.enable_fatigue && !fatigue_.Allow(rec.user, now)) {
+    fatigue_drops_metric_->Increment();
     return DeliveryOutcome::kFatigued;
   }
 
   if (options_.enable_dedup) dedup_.Record(rec.user, rec.item, now);
   ++funnel_.delivered;
+  delivered_metric_->Increment();
   if (out != nullptr) {
     out->push_back(Notification{rec.user, rec.item, rec.witness_count,
                                 rec.event_time, now});

@@ -20,6 +20,8 @@
 
 namespace magicrecs {
 
+class Counter;
+
 /// Why a candidate did or did not reach the user's device.
 enum class DeliveryOutcome : uint8_t {
   kDelivered = 0,
@@ -95,6 +97,14 @@ class DeliveryPipeline {
   QuietHoursPolicy quiet_hours_;
   FatigueController fatigue_;
   FunnelStats funnel_;
+
+  // Process-registry mirrors of the funnel outcomes (util/metrics.h),
+  // resolved once at construction; every pipeline instance in the process
+  // feeds the same counters.
+  Counter* delivered_metric_;
+  Counter* dedup_drops_metric_;
+  Counter* quiet_hours_drops_metric_;
+  Counter* fatigue_drops_metric_;
 };
 
 }  // namespace magicrecs

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "net/rpc_server.h"
+#include "util/metrics.h"
 #include "util/str_format.h"
 
 namespace magicrecs::net {
@@ -68,7 +69,7 @@ void EpollReactor::Stop() {
   // pool's destructor waits them out BEFORE the fds close.
   pool_.reset();
   for (auto& [id, conn] : conns_) {
-    server_->connections_open_.fetch_sub(1, std::memory_order_relaxed);
+    server_->connections_open_metric_->Add(-1);
     (void)id;
     (void)conn;  // sockets close with the map
   }
@@ -174,7 +175,7 @@ void EpollReactor::AcceptReady() {
       return;
     }
     if (would_block) return;
-    server_->connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    server_->connections_accepted_metric_->Increment();
     if (server_->options_.tcp_nodelay) (void)accepted->SetNoDelay(true);
     if (!accepted->SetNonBlocking(true).ok()) continue;  // drops the socket
     auto conn = std::make_unique<Conn>();
@@ -187,7 +188,7 @@ void EpollReactor::AcceptReady() {
       continue;  // socket closes with conn going out of scope
     }
     conn->interest = EPOLLIN;
-    server_->connections_open_.fetch_add(1, std::memory_order_relaxed);
+    server_->connections_open_metric_->Add(1);
     conns_.emplace(conn->id, std::move(conn));
   }
 }
@@ -209,7 +210,7 @@ void EpollReactor::UpdateInterest(Conn* conn) {
 
 void EpollReactor::DestroyConn(Conn* conn) {
   (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->socket.fd(), nullptr);
-  server_->connections_open_.fetch_sub(1, std::memory_order_relaxed);
+  server_->connections_open_metric_->Add(-1);
   conns_.erase(conn->id);  // closes the socket
 }
 
@@ -225,7 +226,7 @@ void EpollReactor::HandleConnEvent(uint64_t id, uint32_t events) {
   if ((events & (EPOLLERR | EPOLLHUP)) != 0 &&
       (conn->read_paused || conn->eof_seen)) {
     if (!conn->eof_seen) {
-      server_->protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      server_->protocol_errors_metric_->Increment();
     }
     DestroyConn(conn);
     return;
@@ -248,7 +249,7 @@ void EpollReactor::ReadReady(Conn* conn) {
     if (!chunk.ok()) {
       // Reset or a genuine socket error: not an orderly end-of-session, so
       // it counts like any other mid-stream death.
-      server_->protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      server_->protocol_errors_metric_->Increment();
       DestroyConn(conn);
       return;
     }
@@ -258,7 +259,7 @@ void EpollReactor::ReadReady(Conn* conn) {
       if (conn->assembler.mid_frame()) {
         // Peer hung up inside a frame (or left undecodable residue): the
         // truncated tail is unservable.
-        server_->protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        server_->protocol_errors_metric_->Increment();
         conn->drop_residue = true;
       }
       break;
@@ -269,7 +270,7 @@ void EpollReactor::ReadReady(Conn* conn) {
     // frame boundary: a cap stall (read_paused) leaves COMPLETE frames
     // buffered and already has its own counter.
     if (conn->assembler.mid_frame() && !conn->read_paused) {
-      server_->partial_reads_.fetch_add(1, std::memory_order_relaxed);
+      server_->partial_reads_metric_->Increment();
     }
   }
   UpdateInterest(conn);
@@ -281,7 +282,7 @@ void EpollReactor::DrainFrames(Conn* conn) {
     if (conn->parked.size() + conn->inflight >= cap) {
       if (!conn->read_paused) {
         conn->read_paused = true;
-        server_->inflight_stalls_.fetch_add(1, std::memory_order_relaxed);
+        server_->inflight_stalls_metric_->Increment();
       }
       break;
     }
@@ -294,7 +295,7 @@ void EpollReactor::DrainFrames(Conn* conn) {
       // reading. The error reply itself is deferred until every earlier
       // request has answered — it must not overtake replies the peer is
       // still owed (SettleFramingError).
-      server_->protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      server_->protocol_errors_metric_->Increment();
       conn->framing_error = next;
       conn->read_paused = true;
       break;
@@ -310,7 +311,7 @@ void EpollReactor::SettleFramingError(Conn* conn) {
   if (conn->framing_error.ok() || conn->close_after_flush) return;
   if (conn->inflight != 0 || !conn->parked.empty()) return;
   AppendError(conn->framing_error, &conn->outbox);
-  server_->requests_served_.fetch_add(1, std::memory_order_relaxed);
+  server_->requests_served_metric_->Increment();
   conn->close_after_flush = true;
 }
 
@@ -322,14 +323,14 @@ void EpollReactor::ParkFrame(Conn* conn, Frame frame) {
     // keeps the reply from overtaking responses still owed to earlier
     // requests.
     if (conn->inflight != 0 || !conn->parked.empty()) {
-      server_->protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      server_->protocol_errors_metric_->Increment();
       AppendError(
           Status::FailedPrecondition("hello must precede in-flight requests"),
           &conn->outbox);
     } else {
-      server_->HandleHello(frame, &conn->outbox, &conn->negotiated);
+      server_->HandleHello(frame, &conn->outbox, &conn->features);
     }
-    server_->requests_served_.fetch_add(1, std::memory_order_relaxed);
+    server_->requests_served_metric_->Increment();
     return;
   }
   if (frame.tag == MessageTag::kMuxRequest && mux_enabled) {
@@ -380,15 +381,15 @@ void EpollReactor::TryDispatch(Conn* conn) {
 
 void EpollReactor::Dispatch(Conn* conn, Parked parked) {
   conn->inflight++;
-  pool_->Submit([this, conn_id = conn->id, negotiated = conn->negotiated,
+  pool_->Submit([this, conn_id = conn->id, features = conn->features,
                  p = std::move(parked)]() mutable {
     Completion completion;
     completion.conn_id = conn_id;
     completion.order_sensitive = p.order_sensitive;
     if (p.is_mux) {
-      server_->HandleMuxEnvelope(p.frame, negotiated, &completion.bytes);
+      server_->HandleMuxEnvelope(p.frame, features, &completion.bytes);
     } else {
-      server_->HandleRequest(p.frame, negotiated, &completion.bytes);
+      server_->HandleRequest(p.frame, features, &completion.bytes);
     }
     {
       std::lock_guard<std::mutex> lock(completions_mu_);
@@ -411,7 +412,7 @@ void EpollReactor::DrainCompletions() {
     conn->inflight--;
     if (completion.order_sensitive) conn->serial_busy = false;
     conn->outbox += completion.bytes;
-    server_->requests_served_.fetch_add(1, std::memory_order_relaxed);
+    server_->requests_served_metric_->Increment();
     // Room freed: resume a paused read (the assembler may already hold the
     // next frames) and dispatch whatever became eligible. A connection
     // paused by a framing error never resumes — it drains and severs.
@@ -442,7 +443,7 @@ bool EpollReactor::FlushOutbox(Conn* conn) {
     }
     conn->outbox_off += chunk->bytes;
     if (chunk->would_block) {
-      server_->partial_writes_.fetch_add(1, std::memory_order_relaxed);
+      server_->partial_writes_metric_->Increment();
       break;
     }
   }

@@ -94,7 +94,7 @@ class EpollReactor {
     std::deque<Parked> parked;
     size_t inflight = 0;       ///< dispatched, completion not yet drained
     bool serial_busy = false;  ///< an order-sensitive request is running
-    bool negotiated = false;   ///< hello exchange completed (mux session)
+    uint32_t features = 0;     ///< hello-granted feature bits (kFeature*)
     bool read_paused = false;  ///< EPOLLIN dropped at the in-flight cap
     bool eof_seen = false;     ///< peer half-closed; serve what is parked
     bool drop_residue = false; ///< truncated tail at EOF: ignore buffer

@@ -4,6 +4,8 @@
 #include <random>
 #include <utility>
 
+#include "util/clock.h"
+#include "util/metrics.h"
 #include "util/str_format.h"
 
 namespace magicrecs::net {
@@ -95,6 +97,12 @@ FanoutCluster::FanoutCluster(const FanoutClusterOptions& options)
       (static_cast<uint64_t>(rd()) << 32) | static_cast<uint64_t>(rd());
   if (epoch == 0) epoch = 1;  // 0 is the wire's "no dedup" marker
   next_batch_sequence_.store(epoch, std::memory_order_relaxed);
+  // Trace ids get their own epoch for the same cross-incarnation reason
+  // (two brokers' traces must not collide in a shared log).
+  uint64_t trace_epoch =
+      (static_cast<uint64_t>(rd()) << 32) | static_cast<uint64_t>(rd());
+  if (trace_epoch == 0) trace_epoch = 1;  // 0 is the wire's "no trace"
+  next_trace_id_.store(trace_epoch, std::memory_order_relaxed);
   for (const FanoutEndpoint& endpoint : options.endpoints) {
     auto daemon = std::make_unique<Daemon>();
     daemon->endpoint = endpoint;
@@ -173,6 +181,7 @@ Result<std::shared_ptr<MuxConnection>> FanoutCluster::AcquireConn(
     // the dial inside the reply-silence bound, not pin every caller
     // behind the dialing flag.
     mopt.hello_timeout_ms = options_.recv_timeout_ms;
+    mopt.slow_call_us = options_.slow_call_us;
     Result<std::unique_ptr<MuxConnection>> dialed =
         MuxConnection::Dial(daemon->endpoint.host, daemon->endpoint.port,
                             mopt);
@@ -427,7 +436,8 @@ Status FanoutCluster::Publish(const EdgeEvent& event) {
 }
 
 void FanoutCluster::ReapOneAck(Slot* slot,
-                               const std::vector<std::string>& frames) {
+                               const std::vector<std::string>& frames,
+                               TraceContext* trace) {
   // On a kError reply the session stays usable (the server answered; later
   // acks still arrive) so only the first error is recorded; a transport
   // failure or silence past the deadline fails the lane — after, under a
@@ -451,6 +461,17 @@ void FanoutCluster::ReapOneAck(Slot* slot,
         // Ack or server rejection: either way the server answered THIS
         // frame and the lane stays usable.
         slot->acked++;
+        if (tag == MessageTag::kAck && trace != nullptr) {
+          // A traced frame's ack echoes the daemon's stamps; fold them into
+          // the originating context (MergeStampsFrom drops the repeated
+          // broker-encode stamp). Stale echoes for some other trace — a
+          // hedge's plain duplicate, a dedup-suppressed ack — stay out.
+          TraceContext echoed;
+          if (DecodeAck(reply.front().payload, &echoed).ok() &&
+              echoed.trace_id == trace->trace_id) {
+            trace->MergeStampsFrom(echoed);
+          }
+        }
         if (tag == MessageTag::kError) {
           const Status err =
               TagError(*slot->daemon, DecodeError(reply.front().payload));
@@ -571,13 +592,34 @@ Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
   if (closed_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("fan-out cluster is closed");
   }
+  // Sampling decision for end-to-end tracing: 1 in trace_sample_every
+  // publishes originates a TraceContext. Unsampled publishes never touch a
+  // clock and their frames are byte-identical to a pre-trace broker's.
+  TraceContext trace;
+  if (options_.trace_sample_every > 0 &&
+      publish_count_.fetch_add(1, std::memory_order_relaxed) %
+              options_.trace_sample_every ==
+          0) {
+    uint64_t id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+    while (id == 0) {  // wrapped onto the "no trace" marker: skip it
+      id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+    }
+    trace.trace_id = id;
+    trace.origin_us = SystemClock::Default()->Now();
+  }
+
   // Encode once: the same chunked kPublishBatch frames stream to every
   // daemon (each partition ingests the full stream). Degraded policies tag
   // every frame with a batch sequence so hedged re-sends are idempotent;
-  // strict mode emits the untagged (pre-extension) bytes.
+  // strict mode emits the untagged (pre-extension) bytes. A sampled
+  // publish additionally encodes a traced VARIANT of the first frame: the
+  // trace tail rides only toward trace-negotiated lanes, while hedges and
+  // the replay buffer reuse the canonical plain bytes (a replayed trace
+  // would stamp a long-finished pipeline).
   const size_t chunk = std::max<size_t>(1, options_.publish_chunk_events);
   std::vector<std::string> frames;
   std::vector<size_t> frame_events;
+  std::string traced_first_frame;
   frames.reserve((events.size() + chunk - 1) / chunk);
   frame_events.reserve(frames.capacity());
   for (size_t i = 0; i < events.size(); i += chunk) {
@@ -585,11 +627,18 @@ Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
     const uint64_t sequence = degraded() ? NextBatchSequence() : 0;
     std::string frame;
     AppendPublishBatch(events.subspan(i, n), &frame, sequence);
+    if (i == 0 && trace.active()) {
+      trace.Stamp(TraceStage::kBrokerEncode, kTracePartyBroker,
+                  SystemClock::Default()->Now());
+      AppendPublishBatch(events.subspan(i, n), &traced_first_frame, sequence,
+                         &trace);
+    }
     frames.push_back(std::move(frame));
     frame_events.push_back(n);
   }
 
   std::vector<Slot> slots = AcquireAll();
+  TraceContext* trace_out = trace.active() ? &trace : nullptr;
 
   // The pipeline: keep up to max_inflight_frames outstanding request_ids
   // per daemon, starting frame f on every lane before frame f+1 so all
@@ -600,10 +649,18 @@ Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
   for (size_t f = 0; f < frames.size(); ++f) {
     for (Slot& slot : slots) {
       if (!slot.live()) continue;
-      if (slot.calls.size() - slot.acked >= window) ReapOneAck(&slot, frames);
+      if (slot.calls.size() - slot.acked >= window) {
+        ReapOneAck(&slot, frames, trace_out);
+      }
       if (!slot.live()) continue;
+      // The traced variant of frame 0 rides only to lanes whose hello
+      // granted kFeatureTrace; everyone else gets the canonical bytes.
+      const std::string& bytes =
+          (f == 0 && trace.active() && slot.conn->trace_negotiated())
+              ? traced_first_frame
+              : frames[f];
       Result<MuxConnection::CallHandle> started =
-          slot.conn->Start(frames[f], options_.recv_timeout_ms);
+          slot.conn->Start(bytes, options_.recv_timeout_ms);
       if (started.ok()) {
         slot.calls.push_back(std::move(started).value());
         continue;
@@ -634,11 +691,19 @@ Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
   }
   for (Slot& slot : slots) {
     while (slot.live() && slot.acked < slot.calls.size()) {
-      ReapOneAck(&slot, frames);
+      ReapOneAck(&slot, frames, trace_out);
     }
   }
   if (degraded()) {
     for (Slot& slot : slots) QueueUnsent(&slot, frames, frame_events);
+  }
+  // Park the trace for the gather stamp only if at least one daemon echoed
+  // its stamps back (one lone broker-encode stamp says nothing). The ring
+  // is bounded: a broker nobody scrapes must not grow without bound.
+  if (trace.active() && trace.stamps.size() > 1) {
+    std::lock_guard<std::mutex> lock(traces_mu_);
+    traces_.push_back(std::move(trace));
+    while (traces_.size() > kMaxParkedTraces) traces_.pop_front();
   }
   return FirstError(slots);
 }
@@ -811,6 +876,18 @@ Result<std::vector<Recommendation>> FanoutCluster::TakeRecommendations(
     if (!report.complete()) {
       degraded_gathers_.fetch_add(1, std::memory_order_relaxed);
     }
+    // A successful gather closes every parked trace that was still waiting
+    // for one: this is the merge that carries the traced batch's
+    // recommendations (or would have, had it produced any).
+    {
+      std::lock_guard<std::mutex> lock(traces_mu_);
+      for (TraceContext& parked : traces_) {
+        if (parked.Find(TraceStage::kGather) == nullptr) {
+          parked.Stamp(TraceStage::kGather, kTracePartyBroker,
+                       SystemClock::Default()->Now());
+        }
+      }
+    }
     return recs;
   }
   // Below quorum (or strict, or a replay rejection): the healthy daemons
@@ -968,6 +1045,81 @@ Result<ClusterStats> FanoutCluster::GetStats() {
 GatherReport FanoutCluster::LastGatherReport() const {
   std::lock_guard<std::mutex> lock(report_mu_);
   return last_report_;
+}
+
+std::vector<TraceContext> FanoutCluster::TakeTraces() {
+  std::vector<TraceContext> out;
+  std::lock_guard<std::mutex> lock(traces_mu_);
+  out.assign(std::make_move_iterator(traces_.begin()),
+             std::make_move_iterator(traces_.end()));
+  traces_.clear();
+  return out;
+}
+
+Result<std::string> FanoutCluster::GetStatsText() {
+  std::shared_lock<std::shared_mutex> lifecycle(lifecycle_mu_);
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("fan-out cluster is closed");
+  }
+  // Mirror the broker-side degraded-mode atomics into the process registry
+  // at scrape time. RaiseTo (CAS-to-max) keeps concurrent scrapes and the
+  // monotone sources consistent without double-counting.
+  MetricsRegistry* registry = MetricsRegistry::Default();
+  registry->GetCounter("broker_degraded_gathers")
+      ->RaiseTo(degraded_gathers_.load(std::memory_order_relaxed));
+  registry->GetCounter("broker_hedged_publishes")
+      ->RaiseTo(hedged_publishes_.load(std::memory_order_relaxed));
+  registry->GetCounter("broker_replayed_events")
+      ->RaiseTo(replayed_events_.load(std::memory_order_relaxed));
+  registry->GetCounter("broker_replay_dropped_events")
+      ->RaiseTo(replay_dropped_events_.load(std::memory_order_relaxed));
+  registry->GetCounter("broker_rescue_dropped")
+      ->RaiseTo(rescue_dropped_.load(std::memory_order_relaxed));
+
+  std::string out = "# source broker\n";
+  out += registry->RenderText();
+
+  // Scrape every daemon concurrently. A daemon that cannot answer (down,
+  // or a pre-kStatsText binary answering kError) degrades to an annotated
+  // header line — an observability probe into a degraded cluster must
+  // return the healthy daemons' text, not fail wholesale.
+  std::string request;
+  AppendEmptyRequest(MessageTag::kStatsText, &request);
+  std::vector<Slot> slots = AcquireAll();
+  StartAll(&slots, request);
+  for (Slot& slot : slots) {
+    const FanoutEndpoint& e = slot.daemon->endpoint;
+    std::string header =
+        e.partition == FanoutEndpoint::kAllPartitions
+            ? StrFormat("# source daemon %s:%u", e.host.c_str(), e.port)
+            : StrFormat("# source daemon %s:%u partition %u", e.host.c_str(),
+                        e.port, e.partition);
+    std::vector<Frame> reply;
+    if (!AwaitReply(&slot, &reply) || reply.empty()) {
+      out += StrFormat("%s unreachable: %s\n", header.c_str(),
+                       std::string(slot.status.message()).c_str());
+      continue;
+    }
+    const Frame& frame = reply.front();
+    if (frame.tag == MessageTag::kError) {
+      const Status err = DecodeError(frame.payload);
+      out += StrFormat("%s error: %s\n", header.c_str(),
+                       std::string(err.message()).c_str());
+      continue;
+    }
+    std::string text;
+    if (frame.tag != MessageTag::kStatsTextReply ||
+        !DecodeStatsTextReply(frame.payload, &text).ok()) {
+      out += StrFormat("%s error: malformed stats-text reply\n",
+                       header.c_str());
+      continue;
+    }
+    out += header;
+    out += '\n';
+    out += text;
+    if (!text.empty() && text.back() != '\n') out += '\n';
+  }
+  return out;
 }
 
 Result<HashPartitioner> FanoutCluster::Partitioner() const {

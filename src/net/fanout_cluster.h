@@ -163,6 +163,18 @@ struct FanoutClusterOptions {
   /// the legacy in-order session on every lane (back-compat testing).
   bool enable_mux = true;
 
+  /// Sample one publish in this many for end-to-end tracing (util/trace.h):
+  /// the sampled batch's FIRST frame carries a trace tail toward every
+  /// trace-negotiated daemon, the daemons' ack echoes fold back into one
+  /// context, and the next gather stamps it complete. 0 disables tracing.
+  /// Unsampled publishes emit bytes identical to a pre-trace broker.
+  uint64_t trace_sample_every = 1024;
+
+  /// When > 0, any logical call (publish ack, gather, stats) slower than
+  /// this logs one stderr line — with the per-stage trace breakdown when
+  /// the reply echoed one (MuxConnectionOptions::slow_call_us). 0 = off.
+  int64_t slow_call_us = 0;
+
   // --- degraded-mode policy --------------------------------------------------
 
   FanoutPolicy policy = FanoutPolicy::kStrict;
@@ -230,6 +242,17 @@ class FanoutCluster : public ClusterTransport {
   /// per-daemon maximum, since every daemon counts the same fanned-out
   /// stream.
   Result<ClusterStats> GetStats() override;
+
+  /// The broker's own registry exposition followed by one `# source`-headed
+  /// section per daemon (its kStatsText reply). A daemon that cannot answer
+  /// — down, or pre-kStatsText — degrades to an annotated header instead of
+  /// failing the whole scrape: an observability probe into a degraded
+  /// cluster is exactly when partial output matters most.
+  Result<std::string> GetStatsText() override;
+
+  /// Drains the completed-trace ring (bounded; oldest dropped on
+  /// overflow). A trace completes when a gather ran after its publish.
+  std::vector<TraceContext> TakeTraces() override;
 
   /// The group partitioner replica ops are routed with.
   Result<HashPartitioner> Partitioner() const override;
@@ -397,8 +420,11 @@ class FanoutCluster : public ClusterTransport {
 
   /// Awaits the oldest unacked publish frame on the lane, hedging once on
   /// failure when the policy allows. kError replies record the first
-  /// server error but keep the lane (the session is still usable).
-  void ReapOneAck(Slot* slot, const std::vector<std::string>& frames);
+  /// server error but keep the lane (the session is still usable). A
+  /// non-null `trace` folds the stamps echoed on an ack's trace tail into
+  /// the publish's originating context.
+  void ReapOneAck(Slot* slot, const std::vector<std::string>& frames,
+                  TraceContext* trace);
 
   /// Awaits and decodes one kStatsReply on a slot; false on any failure
   /// (recorded in the slot's status).
@@ -450,12 +476,27 @@ class FanoutCluster : public ClusterTransport {
   /// out 0, the wire's "no dedup" marker.
   std::atomic<uint64_t> next_batch_sequence_{1};
 
-  // Degraded-mode counters surfaced through GetStats().
+  // Degraded-mode counters surfaced through GetStats() (and mirrored into
+  // the process registry at GetStatsText() scrape time via RaiseTo).
   std::atomic<uint64_t> degraded_gathers_{0};
   std::atomic<uint64_t> hedged_publishes_{0};
   std::atomic<uint64_t> replayed_events_{0};
   std::atomic<uint64_t> replay_dropped_events_{0};
   std::atomic<uint64_t> rescue_dropped_{0};
+
+  /// Publishes seen, for the 1-in-trace_sample_every sampling decision.
+  std::atomic<uint64_t> publish_count_{0};
+
+  /// Trace-id source; like batch sequences, seeded with a random epoch per
+  /// incarnation so two brokers' traces stay distinguishable. Never 0.
+  std::atomic<uint64_t> next_trace_id_{1};
+
+  /// Traces whose publish finished, awaiting (or holding) their kGather
+  /// stamp. Bounded to kMaxParkedTraces; oldest dropped on overflow — a
+  /// trace is a diagnostic, never backpressure.
+  static constexpr size_t kMaxParkedTraces = 64;
+  std::mutex traces_mu_;
+  std::deque<TraceContext> traces_;
 };
 
 }  // namespace magicrecs::net

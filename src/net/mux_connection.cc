@@ -1,13 +1,23 @@
 #include "net/mux_connection.h"
 
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "net/frame_io.h"
 #include "util/str_format.h"
+#include "util/trace.h"
 
 namespace magicrecs::net {
 namespace {
+
+/// Monotonic microseconds, for slow-call accounting only (never on the
+/// wire — wall-clock trace stamps come from SystemClock).
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// True when a legacy (bare) reply frame ends its logical call: everything
 /// except a chunked recommendations reply with has_more set.
@@ -42,7 +52,7 @@ Result<std::unique_ptr<MuxConnection>> MuxConnection::Dial(
           conn->socket_.SetRecvTimeout(options.hello_timeout_ms));
     }
     std::string hello;
-    AppendHello(kFeatureMux, &hello);
+    AppendHello(kFeatureMux | kFeatureTrace, &hello);
     MAGICRECS_RETURN_IF_ERROR(WriteFrames(&conn->socket_, hello));
     Frame reply;
     MAGICRECS_RETURN_IF_ERROR(ReadFrame(&conn->socket_, &reply));
@@ -58,6 +68,7 @@ Result<std::unique_ptr<MuxConnection>> MuxConnection::Dial(
       MAGICRECS_RETURN_IF_ERROR(DecodeHelloReply(
           reply.payload, &peer_version, &features, &max_inflight));
       conn->muxed_ = (features & kFeatureMux) != 0;
+      conn->features_ = features & (kFeatureMux | kFeatureTrace);
       conn->server_max_inflight_ = max_inflight;
     } else if (reply.tag != MessageTag::kError) {
       return Status::Internal(StrFormat(
@@ -202,6 +213,7 @@ Result<MuxConnection::CallHandle> MuxConnection::Start(
     if (broken_) return broken_status_;
     call = std::make_shared<Call>();
     call->id = next_id_++;
+    if (options_.slow_call_us > 0) call->started_at_us = SteadyNowMicros();
     if (muxed_) {
       pending_.emplace(call->id, call);
     } else {
@@ -270,7 +282,32 @@ Status MuxConnection::Await(const CallHandle& call, int timeout_ms,
   }
   *frames = std::move(call->frames);
   call->frames.clear();
+  MaybeLogSlowCall(*call, *frames);
   return call->status;
+}
+
+void MuxConnection::MaybeLogSlowCall(const Call& call,
+                                     const std::vector<Frame>& frames) const {
+  if (options_.slow_call_us <= 0 || call.started_at_us == 0) return;
+  const int64_t elapsed_us = SteadyNowMicros() - call.started_at_us;
+  if (elapsed_us < options_.slow_call_us) return;
+  // When the slow reply is an ack echoing a trace tail, print the
+  // per-stage breakdown with it — the whole point of carrying stamps.
+  std::string breakdown;
+  if (frames.size() == 1 && frames.front().tag == MessageTag::kAck &&
+      !frames.front().payload.empty()) {
+    TraceContext trace;
+    if (DecodeAck(frames.front().payload, &trace).ok() && trace.active()) {
+      breakdown = " " + trace.ToString();
+    }
+  }
+  std::fprintf(stderr,
+               "[magicrecs] slow call id=%llu took %lldus (threshold "
+               "%lldus)%s\n",
+               static_cast<unsigned long long>(call.id),
+               static_cast<long long>(elapsed_us),
+               static_cast<long long>(options_.slow_call_us),
+               breakdown.c_str());
 }
 
 void MuxConnection::Abandon(const CallHandle& call) {

@@ -65,6 +65,13 @@ struct MuxConnectionOptions {
   /// within this window, not hang it (and, behind the fan-out broker,
   /// everyone parked on the dialing flag with it). 0 = wait forever.
   int hello_timeout_ms = 0;
+
+  /// When > 0, a call whose reply takes at least this many microseconds
+  /// (Start to final frame) logs one line to stderr — and, when the reply
+  /// is an ack echoing a trace tail, the per-stage breakdown with it, so a
+  /// slow publish names the stage that ate the time. 0 = off. The
+  /// client-side mirror of RpcServerOptions::slow_request_us.
+  int64_t slow_call_us = 0;
 };
 
 class MuxConnection {
@@ -76,6 +83,7 @@ class MuxConnection {
     std::vector<Frame> frames;  ///< reply frames, in per-call order
     bool done = false;
     Status status;  ///< non-OK when the call failed (set before done)
+    int64_t started_at_us = 0;  ///< set by Start when slow_call_us > 0
   };
   using CallHandle = std::shared_ptr<Call>;
 
@@ -92,6 +100,13 @@ class MuxConnection {
 
   /// True when the hello exchange negotiated request-id multiplexing.
   bool muxed() const { return muxed_; }
+
+  /// The full feature mask the server granted (0 on the legacy path).
+  uint32_t features() const { return features_; }
+
+  /// True when the server granted kFeatureTrace: publishes may carry a
+  /// trace tail and acks/replies may echo stamps back (net/wire.h).
+  bool trace_negotiated() const { return (features_ & kFeatureTrace) != 0; }
 
   /// The per-connection in-flight cap the server advertised (0 on the
   /// legacy path). Start() enforces it for muxed sessions.
@@ -141,6 +156,11 @@ class MuxConnection {
 
   void ReaderLoop();
 
+  /// Logs a completed call that outlived options_.slow_call_us, with its
+  /// trace breakdown when the reply carried one.
+  void MaybeLogSlowCall(const Call& call,
+                        const std::vector<Frame>& frames) const;
+
   /// Fails every outstanding call and marks the connection broken.
   /// Caller holds mu_.
   void FailAllLocked(const Status& status);
@@ -148,6 +168,7 @@ class MuxConnection {
   MuxConnectionOptions options_;
   TcpSocket socket_;
   bool muxed_ = false;
+  uint32_t features_ = 0;
   uint32_t server_max_inflight_ = 0;
   std::thread reader_;
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/metrics.h"
 #include "util/str_format.h"
 
 namespace magicrecs::net {
@@ -21,6 +22,7 @@ Result<std::unique_ptr<RemoteCluster>> RemoteCluster::Connect(
   MuxConnectionOptions mopt;
   mopt.enable_mux = options.enable_mux;
   mopt.tcp_nodelay = options.tcp_nodelay;
+  mopt.slow_call_us = options.slow_call_us;
   MAGICRECS_ASSIGN_OR_RETURN(
       client->conn_, MuxConnection::Dial(options.host, options.port, mopt));
   return client;
@@ -92,8 +94,16 @@ Result<std::vector<Recommendation>> RemoteCluster::TakeRecommendations(
     }
     bool has_more = false;
     GatherReport chunk_report;
+    TraceContext chunk_trace;
     MAGICRECS_RETURN_IF_ERROR(DecodeRecommendationsReply(
-        reply.payload, &recs, &has_more, &chunk_report));
+        reply.payload, &recs, &has_more, &chunk_report, &chunk_trace));
+    if (chunk_trace.active()) {
+      // The serving transport ferried a completed end-to-end trace back on
+      // this reply's tail; park it for TakeTraces.
+      std::lock_guard<std::mutex> traces_lock(traces_mu_);
+      traces_.push_back(std::move(chunk_trace));
+      while (traces_.size() > kMaxParkedTraces) traces_.pop_front();
+    }
     const bool is_last = i + 1 == frames.size();
     if (is_last) {
       if (has_more) {
@@ -155,6 +165,55 @@ Result<ClusterStats> RemoteCluster::GetStats() {
     default:
       return UnexpectedReply(reply.tag, "stats-reply");
   }
+}
+
+Result<std::string> RemoteCluster::GetStatsText() {
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("remote cluster is closed");
+  }
+  std::string out = "# source client\n";
+  out += MetricsRegistry::Default()->RenderText();
+  const std::string header = StrFormat("# source daemon %s:%u",
+                                       options_.host.c_str(),
+                                       static_cast<unsigned>(options_.port));
+  std::string request;
+  AppendEmptyRequest(MessageTag::kStatsText, &request);
+  std::vector<Frame> frames;
+  const Status called = conn_->CallOne(request, /*timeout_ms=*/0, &frames);
+  if (!called.ok() || frames.empty()) {
+    const std::string why =
+        called.ok() ? "empty reply" : std::string(called.message());
+    out += StrFormat("%s unreachable: %s\n", header.c_str(), why.c_str());
+    return out;
+  }
+  const Frame& reply = frames.front();
+  if (reply.tag == MessageTag::kError) {
+    // A pre-kStatsText daemon answers Unimplemented; annotate, don't fail.
+    const Status err = DecodeError(reply.payload);
+    out += StrFormat("%s error: %s\n", header.c_str(),
+                     std::string(err.message()).c_str());
+    return out;
+  }
+  std::string text;
+  if (reply.tag != MessageTag::kStatsTextReply ||
+      !DecodeStatsTextReply(reply.payload, &text).ok()) {
+    out += StrFormat("%s error: malformed stats-text reply\n", header.c_str());
+    return out;
+  }
+  out += header;
+  out += '\n';
+  out += text;
+  if (!text.empty() && text.back() != '\n') out += '\n';
+  return out;
+}
+
+std::vector<TraceContext> RemoteCluster::TakeTraces() {
+  std::vector<TraceContext> out;
+  std::lock_guard<std::mutex> lock(traces_mu_);
+  out.assign(std::make_move_iterator(traces_.begin()),
+             std::make_move_iterator(traces_.end()));
+  traces_.clear();
+  return out;
 }
 
 GatherReport RemoteCluster::LastGatherReport() const {

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,6 +43,10 @@ struct RemoteClusterOptions {
   /// client) — the back-compat tests pin both sides of the negotiation
   /// with it.
   bool enable_mux = true;
+
+  /// When > 0, any call slower than this many microseconds logs one
+  /// stderr line (MuxConnectionOptions::slow_call_us). 0 = off.
+  int64_t slow_call_us = 0;
 };
 
 /// A connected remote cluster endpoint. Thread-safe: calls from concurrent
@@ -64,6 +69,15 @@ class RemoteCluster : public ClusterTransport {
   Status KillReplica(uint32_t partition, uint32_t replica) override;
   Status RecoverReplica(uint32_t partition, uint32_t replica) override;
   Result<ClusterStats> GetStats() override;
+
+  /// This process's registry followed by the daemon's kStatsText scrape,
+  /// each under a `# source` header. A pre-kStatsText daemon degrades to
+  /// an annotated header line instead of failing the scrape.
+  Result<std::string> GetStatsText() override;
+
+  /// Drains the traces ferried back on recommendation-reply tails since
+  /// the last call (bounded ring; oldest dropped on overflow).
+  std::vector<TraceContext> TakeTraces() override;
 
   /// Coverage of the last gather, forwarded from the server when the
   /// serving transport (e.g. a fan-out broker behind the daemon) returned
@@ -94,6 +108,12 @@ class RemoteCluster : public ClusterTransport {
   /// Guards last_report_ only; the connection has its own locking.
   mutable std::mutex report_mu_;
   GatherReport last_report_;
+
+  /// Traces the server echoed on gather-reply tails, parked for
+  /// TakeTraces. Bounded: an unscraped client must not grow without bound.
+  static constexpr size_t kMaxParkedTraces = 64;
+  std::mutex traces_mu_;
+  std::deque<TraceContext> traces_;
 };
 
 }  // namespace magicrecs::net

@@ -1,6 +1,7 @@
 #include "net/rpc_server.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <string_view>
 #include <thread>
@@ -9,6 +10,8 @@
 
 #include "net/epoll_reactor.h"
 #include "net/frame_io.h"
+#include "util/clock.h"
+#include "util/metrics.h"
 #include "util/str_format.h"
 
 namespace magicrecs::net {
@@ -65,6 +68,48 @@ Result<std::unique_ptr<RpcServer>> RpcServer::Start(
   MAGICRECS_ASSIGN_OR_RETURN(
       server->listener_,
       TcpListener::Listen(options.host, options.port, options.backlog));
+  // Resolve the registry counters now that the bound port is known (an
+  // ephemeral request has resolved) and BEFORE any serving thread exists,
+  // so the hot paths increment through already-cached pointers. The
+  // baseline snapshot makes stats() a per-server-lifetime delta even when a
+  // later server in this process reuses the same host:port label.
+  {
+    const MetricLabels labels = {
+        {"server", StrFormat("%s:%u", options.host.c_str(),
+                             static_cast<unsigned>(server->port()))}};
+    MetricsRegistry* registry = MetricsRegistry::Default();
+    server->connections_accepted_metric_ =
+        registry->GetCounter("rpc_connections_accepted", labels);
+    server->requests_served_metric_ =
+        registry->GetCounter("rpc_requests_served", labels);
+    server->protocol_errors_metric_ =
+        registry->GetCounter("rpc_protocol_errors", labels);
+    server->duplicate_batches_metric_ =
+        registry->GetCounter("rpc_duplicate_batches", labels);
+    server->connections_open_metric_ =
+        registry->GetGauge("rpc_connections_open", labels);
+    server->partial_reads_metric_ =
+        registry->GetCounter("rpc_partial_reads", labels);
+    server->partial_writes_metric_ =
+        registry->GetCounter("rpc_partial_writes", labels);
+    server->inflight_stalls_metric_ =
+        registry->GetCounter("rpc_inflight_stalls", labels);
+    server->mux_connections_metric_ =
+        registry->GetCounter("rpc_mux_connections", labels);
+    server->slow_requests_metric_ =
+        registry->GetCounter("rpc_slow_requests", labels);
+    RpcServerStats& base = server->baseline_;
+    base.connections_accepted = server->connections_accepted_metric_->Value();
+    base.requests_served = server->requests_served_metric_->Value();
+    base.protocol_errors = server->protocol_errors_metric_->Value();
+    base.duplicate_batches = server->duplicate_batches_metric_->Value();
+    base.connections_open = 0;  // the gauge self-corrects as peers close
+    base.partial_reads = server->partial_reads_metric_->Value();
+    base.partial_writes = server->partial_writes_metric_->Value();
+    base.inflight_stalls = server->inflight_stalls_metric_->Value();
+    base.mux_connections = server->mux_connections_metric_->Value();
+    base.slow_requests = server->slow_requests_metric_->Value();
+  }
   if (server->loop_ == ServerLoop::kEpoll) {
     server->reactor_ = std::make_unique<EpollReactor>(server.get());
     MAGICRECS_RETURN_IF_ERROR(server->reactor_->Start());
@@ -100,27 +145,36 @@ void RpcServer::Stop() {
 RpcServerStats RpcServer::stats() const {
   RpcServerStats stats;
   stats.connections_accepted =
-      connections_accepted_.load(std::memory_order_relaxed);
-  stats.requests_served = requests_served_.load(std::memory_order_relaxed);
-  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
-  stats.duplicate_batches = duplicate_batches_.load(std::memory_order_relaxed);
-  stats.connections_open = connections_open_.load(std::memory_order_relaxed);
-  stats.partial_reads = partial_reads_.load(std::memory_order_relaxed);
-  stats.partial_writes = partial_writes_.load(std::memory_order_relaxed);
-  stats.inflight_stalls = inflight_stalls_.load(std::memory_order_relaxed);
-  stats.mux_connections = mux_connections_.load(std::memory_order_relaxed);
+      connections_accepted_metric_->Value() - baseline_.connections_accepted;
+  stats.requests_served =
+      requests_served_metric_->Value() - baseline_.requests_served;
+  stats.protocol_errors =
+      protocol_errors_metric_->Value() - baseline_.protocol_errors;
+  stats.duplicate_batches =
+      duplicate_batches_metric_->Value() - baseline_.duplicate_batches;
+  stats.connections_open =
+      static_cast<uint32_t>(connections_open_metric_->Value());
+  stats.partial_reads = partial_reads_metric_->Value() - baseline_.partial_reads;
+  stats.partial_writes =
+      partial_writes_metric_->Value() - baseline_.partial_writes;
+  stats.inflight_stalls =
+      inflight_stalls_metric_->Value() - baseline_.inflight_stalls;
+  stats.mux_connections =
+      mux_connections_metric_->Value() - baseline_.mux_connections;
+  stats.slow_requests = slow_requests_metric_->Value() - baseline_.slow_requests;
   return stats;
 }
 
 ServerLoopStats RpcServer::SnapshotLoopStats() const {
+  const RpcServerStats current = stats();
   ServerLoopStats s;
   s.loop = loop_ == ServerLoop::kEpoll ? 2 : 1;
-  s.connections_open = connections_open_.load(std::memory_order_relaxed);
-  s.requests_served = requests_served_.load(std::memory_order_relaxed);
-  s.partial_reads = partial_reads_.load(std::memory_order_relaxed);
-  s.partial_writes = partial_writes_.load(std::memory_order_relaxed);
-  s.inflight_stalls = inflight_stalls_.load(std::memory_order_relaxed);
-  s.mux_connections = mux_connections_.load(std::memory_order_relaxed);
+  s.connections_open = current.connections_open;
+  s.requests_served = current.requests_served;
+  s.partial_reads = current.partial_reads;
+  s.partial_writes = current.partial_writes;
+  s.inflight_stalls = current.inflight_stalls;
+  s.mux_connections = current.mux_connections;
   return s;
 }
 
@@ -186,7 +240,7 @@ void RpcServer::AcceptLoop() {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_metric_->Increment();
     if (options_.tcp_nodelay) {
       (void)accepted->SetNoDelay(true);
     }
@@ -213,10 +267,10 @@ void RpcServer::ReapFinishedLocked() {
 
 void RpcServer::ServeConnection(Connection* connection) {
   TcpSocket& socket = connection->socket;
-  connections_open_.fetch_add(1, std::memory_order_relaxed);
+  connections_open_metric_->Add(1);
   Frame request;
   std::string response;
-  bool negotiated = false;
+  uint32_t features = 0;
   while (!stopping_.load(std::memory_order_acquire)) {
     bool clean_eof = false;
     const Status read = ReadFrame(&socket, &request, &clean_eof);
@@ -225,13 +279,13 @@ void RpcServer::ServeConnection(Connection* connection) {
         // Malformed framing (oversized length, CRC mismatch, empty body):
         // tell the peer why, then drop the connection — after a framing
         // error the stream offsets can no longer be trusted.
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        protocol_errors_metric_->Increment();
         response.clear();
         AppendError(read, &response);
         (void)WriteFrames(&socket, response);
-        requests_served_.fetch_add(1, std::memory_order_relaxed);
+        requests_served_metric_->Increment();
       } else if (!clean_eof) {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        protocol_errors_metric_->Increment();
       }
       break;
     }
@@ -242,45 +296,45 @@ void RpcServer::ServeConnection(Connection* connection) {
     // serial, so replies still go out in request order — legal: mux allows
     // reordering, it never requires it.
     if (request.tag == MessageTag::kHello && options_.enable_mux) {
-      HandleHello(request, &response, &negotiated);
+      HandleHello(request, &response, &features);
     } else if (request.tag == MessageTag::kMuxRequest &&
                options_.enable_mux) {
-      HandleMuxEnvelope(request, negotiated, &response);
+      HandleMuxEnvelope(request, features, &response);
     } else {
-      HandleRequest(request, negotiated, &response);
+      HandleRequest(request, features, &response);
     }
     if (!WriteFrames(&socket, response).ok()) break;
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    requests_served_metric_->Increment();
   }
   // Shutdown (FIN to the peer) rather than Close: Stop() may concurrently
   // Shutdown() this socket too, and both only read the fd. The fd itself is
   // released when the Connection is destroyed, strictly after join.
   socket.Shutdown();
-  connections_open_.fetch_sub(1, std::memory_order_relaxed);
+  connections_open_metric_->Add(-1);
   connection->done.store(true, std::memory_order_release);
 }
 
 void RpcServer::HandleHello(const Frame& request, std::string* response,
-                            bool* negotiated) {
+                            uint32_t* features) {
   uint32_t peer_version = 0;
   uint32_t wanted = 0;
   const Status decoded = DecodeHello(request.payload, &peer_version, &wanted);
   if (!decoded.ok()) {
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    protocol_errors_metric_->Increment();
     AppendError(decoded, response);
     return;
   }
-  const uint32_t accepted = wanted & kFeatureMux;
-  if ((accepted & kFeatureMux) != 0 && !*negotiated) {
-    mux_connections_.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t accepted = wanted & (kFeatureMux | kFeatureTrace);
+  if ((accepted & kFeatureMux) != 0 && (*features & kFeatureMux) == 0) {
+    mux_connections_metric_->Increment();
   }
-  *negotiated = *negotiated || (accepted & kFeatureMux) != 0;
+  *features |= accepted;
   AppendHelloReply(accepted,
                    static_cast<uint32_t>(options_.max_inflight_per_conn),
                    response);
 }
 
-void RpcServer::HandleMuxEnvelope(const Frame& envelope, bool negotiated,
+void RpcServer::HandleMuxEnvelope(const Frame& envelope, uint32_t features,
                                   std::string* response) {
   uint64_t request_id = 0;
   Frame inner;
@@ -288,12 +342,12 @@ void RpcServer::HandleMuxEnvelope(const Frame& envelope, bool negotiated,
       DecodeMuxRequest(envelope.payload, &request_id, &inner);
   if (!decoded.ok()) {
     // The envelope itself was well-framed; only its payload is bad.
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    protocol_errors_metric_->Increment();
     AppendError(decoded, response);
     return;
   }
   std::string inner_response;
-  HandleRequest(inner, negotiated, &inner_response);
+  HandleRequest(inner, features, &inner_response);
   const Status wrapped =
       WrapMuxResponses(request_id, inner_response, response);
   if (!wrapped.ok()) {
@@ -302,8 +356,30 @@ void RpcServer::HandleMuxEnvelope(const Frame& envelope, bool negotiated,
   }
 }
 
-void RpcServer::HandleRequest(const Frame& request, bool negotiated,
+void RpcServer::HandleRequest(const Frame& request, uint32_t features,
                               std::string* response) {
+  if (options_.slow_request_us <= 0) {
+    DispatchRequest(request, features, response);
+    return;
+  }
+  Stopwatch timer;
+  DispatchRequest(request, features, response);
+  const int64_t elapsed_us = timer.ElapsedMicros();
+  if (elapsed_us >= options_.slow_request_us) {
+    slow_requests_metric_->Increment();
+    std::fprintf(stderr,
+                 "[magicrecs] slow request on %s:%u: tag=%.*s took %lldus "
+                 "(threshold %lldus)\n",
+                 options_.host.c_str(), static_cast<unsigned>(port()),
+                 static_cast<int>(MessageTagName(request.tag).size()),
+                 MessageTagName(request.tag).data(),
+                 static_cast<long long>(elapsed_us),
+                 static_cast<long long>(options_.slow_request_us));
+  }
+}
+
+void RpcServer::DispatchRequest(const Frame& request, uint32_t features,
+                                std::string* response) {
   const std::string_view payload = request.payload;
   Status status;
   switch (request.tag) {
@@ -316,19 +392,36 @@ void RpcServer::HandleRequest(const Frame& request, bool negotiated,
     case MessageTag::kPublishBatch: {
       std::vector<EdgeEvent> events;
       uint64_t batch_sequence = 0;
-      status = DecodePublishBatch(payload, &events, &batch_sequence);
+      TraceContext trace;
+      status = DecodePublishBatch(payload, &events, &batch_sequence, &trace);
+      if (status.ok() && trace.active()) {
+        trace.Stamp(TraceStage::kDaemonDequeue, options_.trace_party,
+                    SystemClock::Default()->Now());
+      }
       // A non-zero sequence marks an idempotent batch: a hedged re-send of
       // a frame this server already APPLIED (possibly on another
       // connection) is acked without applying it twice. A re-send racing
       // the original's in-flight apply waits for its outcome inside
       // BeginBatch — an ack always means some copy of the batch landed.
+      // The duplicate's ack carries no trace: the original's did, and a
+      // second set of stamps for one apply would double-count the stage.
       if (status.ok() && batch_sequence != 0 && BeginBatch(batch_sequence)) {
-        duplicate_batches_.fetch_add(1, std::memory_order_relaxed);
+        duplicate_batches_metric_->Increment();
         break;  // status is OK: ack the duplicate
       }
       if (status.ok()) {
         status = transport_->PublishBatch(events);
         if (batch_sequence != 0) FinishBatch(batch_sequence, status.ok());
+        if (status.ok() && trace.active()) {
+          trace.Stamp(TraceStage::kDetectorApply, options_.trace_party,
+                      SystemClock::Default()->Now());
+          // Echo the stamps on the ack ONLY toward a kFeatureTrace peer: a
+          // pre-trace decoder expects the ack payload to be empty.
+          if ((features & kFeatureTrace) != 0) {
+            AppendAck(response, &trace);
+            return;
+          }
+        }
       }
       break;
     }
@@ -347,9 +440,20 @@ void RpcServer::HandleRequest(const Frame& request, bool negotiated,
         // GatherReport tail forwards which partitions are missing — taken
         // from THIS call, not the shared last-call slot, so concurrent
         // gatherers never receive each other's coverage.
+        //
+        // Completed traces ride the reply's trace tail, one per gather
+        // (the oldest), and only toward a kFeatureTrace peer — TakeTraces
+        // is left undrained otherwise so a local operator can still read
+        // them.
+        TraceContext reply_trace;
+        if ((features & kFeatureTrace) != 0) {
+          std::vector<TraceContext> traces = transport_->TakeTraces();
+          if (!traces.empty()) reply_trace = std::move(traces.front());
+        }
         AppendRecommendationsReplyChunked(
             *recs, kRecommendationsChunkBytes, response,
-            report.complete() ? nullptr : &report);
+            report.complete() ? nullptr : &report,
+            reply_trace.active() ? &reply_trace : nullptr);
         return;
       }
       status = recs.status();
@@ -377,6 +481,7 @@ void RpcServer::HandleRequest(const Frame& request, bool negotiated,
       break;
     }
     case MessageTag::kStats: {
+      const bool negotiated = (features & kFeatureMux) != 0;
       Result<ClusterStats> stats = transport_->GetStats();
       if (stats.ok()) {
         // The server-loop counters ride only toward hello-speaking peers:
@@ -389,13 +494,25 @@ void RpcServer::HandleRequest(const Frame& request, bool negotiated,
       status = stats.status();
       break;
     }
+    case MessageTag::kStatsText: {
+      // The registry text exposition. No negotiation needed: the tag is
+      // new, so an old client never sends it and an old server answers
+      // kError(Unimplemented) through the default arm below.
+      Result<std::string> text = transport_->GetStatsText();
+      if (text.ok()) {
+        AppendStatsTextReply(*text, response);
+        return;
+      }
+      status = text.status();
+      break;
+    }
     case MessageTag::kPing:
       status = Status::OK();
       break;
     default:
       // Unknown or response-range tag: the frame itself was well-formed, so
       // the stream is still aligned — answer and keep serving.
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      protocol_errors_metric_->Increment();
       AppendError(
           Status::Unimplemented(StrFormat(
               "unknown message tag 0x%02x",

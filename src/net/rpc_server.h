@@ -63,6 +63,11 @@
 #include "util/result.h"
 #include "util/status.h"
 
+namespace magicrecs {
+class Counter;
+class Gauge;
+}  // namespace magicrecs
+
 namespace magicrecs::net {
 
 class EpollReactor;
@@ -119,9 +124,23 @@ struct RpcServerOptions {
   /// kMuxRequest become unknown tags — which is how the back-compat tests
   /// pin the downgrade path.
   bool enable_mux = true;
+
+  /// Log any request whose handler runs at least this long (stderr, plus
+  /// the rpc_slow_requests registry counter). Applies to both server
+  /// loops — the timing wraps the shared HandleRequest. 0 disables.
+  int64_t slow_request_us = 0;
+
+  /// Identity this server stamps into trace contexts (util/trace.h): a
+  /// partition-group daemon passes its global partition id, an all-hosting
+  /// daemon keeps the sentinel.
+  uint32_t trace_party = kTracePartyAllHosting;
 };
 
-/// Lifetime counters, readable while the server runs.
+/// Lifetime counters, readable while the server runs. Since PR 6 these are
+/// views over the process-wide MetricsRegistry (labeled server="host:port")
+/// minus a Start()-time baseline, so stats() stays per-server-lifetime even
+/// when a port is reused by sequential servers in one process while the
+/// kStatsText scrape surface sees the same counters with no extra plumbing.
 struct RpcServerStats {
   uint64_t connections_accepted = 0;
   uint64_t requests_served = 0;   ///< responses sent, errors included
@@ -135,6 +154,7 @@ struct RpcServerStats {
   uint64_t partial_writes = 0;    ///< writes cut short by a full buffer
   uint64_t inflight_stalls = 0;   ///< reads paused at the in-flight cap
   uint64_t mux_connections = 0;   ///< connections that negotiated mux
+  uint64_t slow_requests = 0;     ///< handlers past slow_request_us
 };
 
 class RpcServer {
@@ -179,24 +199,30 @@ class RpcServer {
 
   /// Appends the response frame(s) for one well-framed request to
   /// *response. Framing-level errors (which do close the connection) are
-  /// handled by the serving loop before dispatch reaches here.
-  /// `negotiated` marks a peer that completed the hello exchange — the
-  /// only peers the stats reply may grow its server-loop tail toward.
-  /// Thread-safe: the epoll loop calls it from several workers at once.
-  void HandleRequest(const Frame& request, bool negotiated,
+  /// handled by the serving loop before dispatch reaches here. `features`
+  /// is the hello-granted feature mask for the connection (0 for a peer
+  /// that never spoke hello): kFeatureMux gates the stats server-loop
+  /// tail, kFeatureTrace gates trace tails on replies. Thread-safe: the
+  /// epoll loop calls it from several workers at once. Also the slow-
+  /// request timing point for both loops.
+  void HandleRequest(const Frame& request, uint32_t features,
                      std::string* response);
 
-  /// Negotiates a kHello. Appends the reply frame and reports whether the
-  /// session is multiplexed from here on.
+  /// The untimed handler body behind HandleRequest.
+  void DispatchRequest(const Frame& request, uint32_t features,
+                       std::string* response);
+
+  /// Negotiates a kHello. Appends the reply frame and ORs the granted
+  /// feature bits into *features (a later hello can only widen the grant).
   void HandleHello(const Frame& request, std::string* response,
-                   bool* negotiated);
+                   uint32_t* features);
 
   /// Unwraps one kMuxRequest envelope, handles the inner request, and
   /// appends the id-wrapped reply frames (or a bare error for a mangled
   /// envelope payload — the stream itself is still aligned). Shared by
   /// both server loops so their error policy cannot diverge; thread-safe
   /// like HandleRequest.
-  void HandleMuxEnvelope(const Frame& envelope, bool negotiated,
+  void HandleMuxEnvelope(const Frame& envelope, uint32_t features,
                          std::string* response);
 
   /// Snapshot of the wire-visible server-loop counters.
@@ -255,15 +281,23 @@ class RpcServer {
       inflight_batches_;
   std::deque<uint64_t> seen_batch_order_;
 
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> requests_served_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
-  std::atomic<uint64_t> duplicate_batches_{0};
-  std::atomic<uint32_t> connections_open_{0};
-  std::atomic<uint64_t> partial_reads_{0};
-  std::atomic<uint64_t> partial_writes_{0};
-  std::atomic<uint64_t> inflight_stalls_{0};
-  std::atomic<uint64_t> mux_connections_{0};
+  /// Registry-backed counters (util/metrics.h), labeled with this server's
+  /// "host:port" and resolved once in Start() after the listen socket is
+  /// bound (an ephemeral port is only known then). The registry entries
+  /// are process-lifetime and monotonic; baseline_ records their values at
+  /// Start() so stats() can report per-server-lifetime deltas even when
+  /// sequential servers in one process reuse a port.
+  Counter* connections_accepted_metric_ = nullptr;
+  Counter* requests_served_metric_ = nullptr;
+  Counter* protocol_errors_metric_ = nullptr;
+  Counter* duplicate_batches_metric_ = nullptr;
+  Gauge* connections_open_metric_ = nullptr;
+  Counter* partial_reads_metric_ = nullptr;
+  Counter* partial_writes_metric_ = nullptr;
+  Counter* inflight_stalls_metric_ = nullptr;
+  Counter* mux_connections_metric_ = nullptr;
+  Counter* slow_requests_metric_ = nullptr;
+  RpcServerStats baseline_;
 };
 
 }  // namespace magicrecs::net

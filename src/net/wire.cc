@@ -43,6 +43,65 @@ constexpr uint8_t kServerLoopMarker = 0x01;
 constexpr size_t kMuxRequestPrefixBytes = 8;
 constexpr size_t kMuxResponsePrefixBytes = 8 + 1;
 
+// The trace tail (see wire.h, "Trace propagation"): marker, then
+// trace_id:u64 origin_us:i64 count:u8, then `count` 13-byte stamps. It is
+// always the LAST tail on any payload that carries it, so the decoder can
+// demand exact consumption — residue after a trace tail is corruption, not
+// a future extension (future extensions slot in BEFORE the trace tail).
+constexpr uint8_t kTraceMarker = 0x02;
+constexpr size_t kTraceStampBytes = 1 + 4 + 8;
+
+void PutTraceTail(const TraceContext& trace, std::string* out) {
+  PutU8(out, kTraceMarker);
+  PutU64(out, trace.trace_id);
+  PutI64(out, trace.origin_us);
+  PutU8(out, static_cast<uint8_t>(trace.stamps.size()));
+  for (const TraceStamp& stamp : trace.stamps) {
+    PutU8(out, stamp.stage);
+    PutU32(out, stamp.party);
+    PutI64(out, stamp.at_us);
+  }
+}
+
+size_t TraceTailBytes(const TraceContext& trace) {
+  return 1 + 8 + 8 + 1 + trace.stamps.size() * kTraceStampBytes;
+}
+
+/// Decodes the trace tail after its marker has been consumed. The stamp
+/// count is capped and validated against the actual remaining bytes BEFORE
+/// any allocation (a forged count must not reserve), and because the trace
+/// tail is always last, the stamps must consume the payload exactly.
+Status GetTraceTail(ByteReader* reader, const char* what,
+                    TraceContext* trace) {
+  uint8_t count = 0;
+  if (!reader->GetU64(&trace->trace_id) ||
+      !reader->GetI64(&trace->origin_us) || !reader->GetU8(&count)) {
+    return Status::InvalidArgument(
+        StrFormat("truncated %s trace tail", what));
+  }
+  if (count > kMaxTraceStamps) {
+    return Status::InvalidArgument(
+        StrFormat("%s trace tail stamp count %u exceeds the %zu cap", what,
+                  static_cast<unsigned>(count), kMaxTraceStamps));
+  }
+  if (static_cast<uint64_t>(count) * kTraceStampBytes !=
+      reader->remaining()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s trace tail stamp count %u does not match %zu payload bytes",
+        what, static_cast<unsigned>(count), reader->remaining()));
+  }
+  trace->stamps.clear();
+  trace->stamps.reserve(count);
+  for (uint8_t i = 0; i < count; ++i) {
+    TraceStamp stamp;
+    reader->GetU8(&stamp.stage);
+    reader->GetU32(&stamp.party);
+    reader->GetI64(&stamp.at_us);
+    trace->stamps.push_back(stamp);
+  }
+  return Status::OK();
+}
+
 ByteReader ReaderOf(std::string_view payload) {
   return ByteReader(reinterpret_cast<const uint8_t*>(payload.data()),
                     payload.size());
@@ -87,6 +146,7 @@ std::string_view MessageTagName(MessageTag tag) {
     case MessageTag::kKillReplica: return "kill-replica";
     case MessageTag::kRecoverReplica: return "recover-replica";
     case MessageTag::kStats: return "stats";
+    case MessageTag::kStatsText: return "stats-text";
     case MessageTag::kPing: return "ping";
     case MessageTag::kHello: return "hello";
     case MessageTag::kMuxRequest: return "mux-request";
@@ -94,6 +154,7 @@ std::string_view MessageTagName(MessageTag tag) {
     case MessageTag::kError: return "error";
     case MessageTag::kRecommendationsReply: return "recommendations-reply";
     case MessageTag::kStatsReply: return "stats-reply";
+    case MessageTag::kStatsTextReply: return "stats-text-reply";
     case MessageTag::kHelloReply: return "hello-reply";
     case MessageTag::kMuxResponse: return "mux-response";
   }
@@ -166,16 +227,19 @@ void AppendPublish(const EdgeEvent& event, std::string* out) {
 }
 
 void AppendPublishBatch(std::span<const EdgeEvent> events, std::string* out,
-                        uint64_t batch_sequence) {
+                        uint64_t batch_sequence, const TraceContext* trace) {
+  const bool has_trace = trace != nullptr && trace->active();
   std::string payload;
   payload.reserve(4 + events.size() * kEventBytes +
-                  (batch_sequence != 0 ? kBatchSequenceTailBytes : 0));
+                  (batch_sequence != 0 ? kBatchSequenceTailBytes : 0) +
+                  (has_trace ? TraceTailBytes(*trace) : 0));
   PutU32(&payload, static_cast<uint32_t>(events.size()));
   for (const EdgeEvent& event : events) PutEvent(event, &payload);
   if (batch_sequence != 0) {
     PutU8(&payload, kBatchSequenceMarker);
     PutU64(&payload, batch_sequence);
   }
+  if (has_trace) PutTraceTail(*trace, &payload);
   AppendFrame(MessageTag::kPublishBatch, payload, out);
 }
 
@@ -206,19 +270,18 @@ Status DecodePublish(std::string_view payload, EdgeEvent* event) {
 
 Status DecodePublishBatch(std::string_view payload,
                           std::vector<EdgeEvent>* events,
-                          uint64_t* batch_sequence) {
+                          uint64_t* batch_sequence, TraceContext* trace) {
+  if (trace != nullptr) *trace = TraceContext{};  // absent tail = no trace
   ByteReader reader = ReaderOf(payload);
   uint32_t count = 0;
   if (!reader.GetU32(&count)) return Truncated("publish-batch");
   // Validate the count against the actual byte budget BEFORE reserving, so a
-  // forged count cannot become a multi-gigabyte allocation. The idempotency
-  // tail (tail-growth versioning, see wire.h) adds exactly marker + u64
-  // bytes when present, and its marker is verified below — length alone
-  // never turns stray bytes into a sequence.
+  // forged count cannot become a multi-gigabyte allocation. Whatever follows
+  // the events must be marker-led tails (tail-growth versioning, see
+  // wire.h) — length alone never turns stray bytes into a sequence or a
+  // trace.
   const uint64_t event_bytes = static_cast<uint64_t>(count) * kEventBytes;
-  const bool has_sequence_tail =
-      event_bytes + kBatchSequenceTailBytes == reader.remaining();
-  if (event_bytes != reader.remaining() && !has_sequence_tail) {
+  if (event_bytes > reader.remaining()) {
     return Status::InvalidArgument(StrFormat(
         "publish-batch count %u does not match %zu payload bytes", count,
         reader.remaining()));
@@ -230,14 +293,27 @@ Status DecodePublishBatch(std::string_view payload,
     if (!GetEvent(&reader, &event)) return Truncated("publish-batch");
     events->push_back(event);
   }
+  // Tail loop: the idempotency tail (0x01, fixed size), then optionally the
+  // trace tail (0x02, variable size, always last and exactly consuming).
   uint64_t sequence = 0;
-  if (has_sequence_tail) {
+  bool saw_sequence = false;
+  while (reader.remaining() != 0) {
     uint8_t marker = 0;
-    if (!reader.GetU8(&marker) || marker != kBatchSequenceMarker) {
-      return Status::InvalidArgument(
-          "publish-batch sequence tail lacks its presence marker");
+    reader.GetU8(&marker);
+    if (marker == kBatchSequenceMarker && !saw_sequence) {
+      if (!reader.GetU64(&sequence)) return Truncated("publish-batch");
+      saw_sequence = true;
+      continue;
     }
-    if (!reader.GetU64(&sequence)) return Truncated("publish-batch");
+    if (marker == kTraceMarker) {
+      TraceContext decoded;
+      const Status status = GetTraceTail(&reader, "publish-batch", &decoded);
+      if (!status.ok()) return status;
+      if (trace != nullptr) *trace = std::move(decoded);
+      break;  // GetTraceTail consumed the payload exactly
+    }
+    return Status::InvalidArgument(
+        "publish-batch sequence tail lacks its presence marker");
   }
   if (batch_sequence != nullptr) *batch_sequence = sequence;
   return Status::OK();
@@ -407,7 +483,32 @@ Status DecodeMuxResponse(std::string_view payload, uint64_t* request_id,
 
 // --- responses ---------------------------------------------------------------
 
-void AppendAck(std::string* out) { AppendFrame(MessageTag::kAck, {}, out); }
+void AppendAck(std::string* out, const TraceContext* trace) {
+  if (trace == nullptr || !trace->active()) {
+    AppendFrame(MessageTag::kAck, {}, out);
+    return;
+  }
+  std::string payload;
+  payload.reserve(TraceTailBytes(*trace));
+  PutTraceTail(*trace, &payload);
+  AppendFrame(MessageTag::kAck, payload, out);
+}
+
+Status DecodeAck(std::string_view payload, TraceContext* trace) {
+  if (trace != nullptr) *trace = TraceContext{};  // absent tail = no trace
+  if (payload.empty()) return Status::OK();  // the pre-trace encoding
+  ByteReader reader = ReaderOf(payload);
+  uint8_t marker = 0;
+  reader.GetU8(&marker);
+  if (marker != kTraceMarker) {
+    return Status::InvalidArgument("ack trace tail lacks its presence marker");
+  }
+  TraceContext decoded;
+  const Status status = GetTraceTail(&reader, "ack", &decoded);
+  if (!status.ok()) return status;
+  if (trace != nullptr) *trace = std::move(decoded);
+  return Status::OK();
+}
 
 void AppendError(const Status& status, std::string* out) {
   std::string payload;
@@ -427,7 +528,8 @@ size_t RecWireBytes(const Recommendation& rec) {
 
 void AppendRecommendationsReply(std::span<const Recommendation> recs,
                                 bool has_more, std::string* out,
-                                const GatherReport* report) {
+                                const GatherReport* report,
+                                const TraceContext* trace) {
   std::string payload;
   PutU8(&payload, has_more ? 1 : 0);
   PutU32(&payload, static_cast<uint32_t>(recs.size()));
@@ -451,13 +553,17 @@ void AppendRecommendationsReply(std::span<const Recommendation> recs,
       PutU32(&payload, partition);
     }
   }
+  // The trace tail goes after the report tail (tail order is fixed: 0x01
+  // before 0x02) and only toward trace-negotiated peers (caller gates).
+  if (trace != nullptr && trace->active()) PutTraceTail(*trace, &payload);
   AppendFrame(MessageTag::kRecommendationsReply, payload, out);
 }
 
 void AppendRecommendationsReplyChunked(std::span<const Recommendation> recs,
                                        size_t max_payload_bytes,
                                        std::string* out,
-                                       const GatherReport* report) {
+                                       const GatherReport* report,
+                                       const TraceContext* trace) {
   size_t begin = 0;
   do {
     size_t end = begin;
@@ -469,10 +575,23 @@ void AppendRecommendationsReplyChunked(std::span<const Recommendation> recs,
       ++end;
     }
     const bool has_more = end < recs.size();
+    // Tails ride the LAST frame only, next to the gather report, so earlier
+    // frames stay byte-identical to a plain chunked reply.
     AppendRecommendationsReply(recs.subspan(begin, end - begin), has_more,
-                               out, has_more ? nullptr : report);
+                               out, has_more ? nullptr : report,
+                               has_more ? nullptr : trace);
     begin = end;
   } while (begin < recs.size());
+}
+
+void AppendStatsTextReply(std::string_view text, std::string* out) {
+  AppendFrame(MessageTag::kStatsTextReply, text, out);
+}
+
+Status DecodeStatsTextReply(std::string_view payload, std::string* text) {
+  // The payload IS the text exposition; any byte sequence is valid.
+  text->assign(payload);
+  return Status::OK();
 }
 
 void AppendStatsReply(const ClusterStats& stats, std::string* out,
@@ -530,8 +649,9 @@ Status DecodeError(std::string_view payload) {
 Status DecodeRecommendationsReply(std::string_view payload,
                                   std::vector<Recommendation>* recs,
                                   bool* has_more,
-                                  GatherReport* report) {
+                                  GatherReport* report, TraceContext* trace) {
   if (report != nullptr) *report = GatherReport{};  // absent tail = complete
+  if (trace != nullptr) *trace = TraceContext{};    // absent tail = no trace
   ByteReader reader = ReaderOf(payload);
   uint8_t more = 0;
   uint32_t count = 0;
@@ -563,35 +683,48 @@ Status DecodeRecommendationsReply(std::string_view payload,
     }
     recs->push_back(std::move(rec));
   }
-  if (reader.remaining() == 0) return Status::OK();
-  // GatherReport tail (tail-growth versioning): a degraded gather names the
-  // partitions missing from the merge. The tail must lead with its
-  // presence marker — trailing bytes that are not a marked tail are
-  // corruption, not coverage data — and the missing count is bounds-
-  // checked against the actual remaining bytes before reserving.
-  uint8_t marker = 0;
-  if (!reader.GetU8(&marker) || marker != kGatherReportMarker) {
+  // Tail loop (tail-growth versioning): the GatherReport tail (0x01), then
+  // optionally the trace tail (0x02, always last and exactly consuming).
+  // Trailing bytes that are not a marked tail are corruption, not coverage
+  // or trace data, and every count is bounds-checked against the actual
+  // remaining bytes before reserving.
+  bool saw_report = false;
+  while (reader.remaining() != 0) {
+    uint8_t marker = 0;
+    reader.GetU8(&marker);
+    if (marker == kGatherReportMarker && !saw_report) {
+      GatherReport tail;
+      uint32_t missing_count = 0;
+      if (!reader.GetU32(&tail.daemons_total) ||
+          !reader.GetU32(&tail.daemons_answered) ||
+          !reader.GetU32(&missing_count)) {
+        return Truncated("recommendations-reply gather-report");
+      }
+      if (static_cast<uint64_t>(missing_count) * 4 > reader.remaining()) {
+        return Status::InvalidArgument(
+            "recommendations-reply gather-report missing-partition count "
+            "does not match payload");
+      }
+      tail.missing_partitions.resize(missing_count);
+      for (uint32_t i = 0; i < missing_count; ++i) {
+        reader.GetU32(&tail.missing_partitions[i]);
+      }
+      if (report != nullptr) *report = std::move(tail);
+      saw_report = true;
+      continue;
+    }
+    if (marker == kTraceMarker) {
+      TraceContext decoded;
+      const Status status =
+          GetTraceTail(&reader, "recommendations-reply", &decoded);
+      if (!status.ok()) return status;
+      if (trace != nullptr) *trace = std::move(decoded);
+      break;  // GetTraceTail consumed the payload exactly
+    }
     return Status::InvalidArgument(
         "recommendations-reply gather-report tail lacks its presence "
         "marker");
   }
-  GatherReport tail;
-  uint32_t missing_count = 0;
-  if (!reader.GetU32(&tail.daemons_total) ||
-      !reader.GetU32(&tail.daemons_answered) ||
-      !reader.GetU32(&missing_count)) {
-    return Truncated("recommendations-reply gather-report");
-  }
-  if (static_cast<uint64_t>(missing_count) * 4 != reader.remaining()) {
-    return Status::InvalidArgument(
-        "recommendations-reply gather-report missing-partition count does "
-        "not match payload");
-  }
-  tail.missing_partitions.resize(missing_count);
-  for (uint32_t i = 0; i < missing_count; ++i) {
-    reader.GetU32(&tail.missing_partitions[i]);
-  }
-  if (report != nullptr) *report = std::move(tail);
   return Status::OK();
 }
 

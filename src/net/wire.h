@@ -31,9 +31,19 @@
 //   kRecoverReplica     partition:u32 replica:u32
 //   kStats                (empty)
 //   kPing                 (empty)
+//   kStatsText            (empty)
+//     Answered by kStatsTextReply: the serving process's metrics registry
+//     rendered in the stable text exposition (docs/observability.md). A
+//     pre-extension daemon answers kError(Unimplemented) — rule 3 of the
+//     versioning discipline — so scrapers degrade gracefully.
 //
 // Response payloads (server -> client):
 //   kAck                  (empty)
+//                         [marker:u8=0x02 trace-tail]
+//     The bracketed trace tail echoes a publish-batch's TraceContext back
+//     with the daemon's stamps added (see "Trace propagation" below). It is
+//     emitted only when the acked request itself carried a trace — trace in,
+//     trace out — so a sender that cannot decode the tail never receives it.
 //   kError              code:u8 message-bytes (to end of payload)
 //   kRecommendationsReply has_more:u8 count:u32 rec*
 //                         [marker:u8=0x01 daemons_total:u32
@@ -71,6 +81,22 @@
 //     GatherReport) are therefore tied to explicit operator opt-in
 //     (FanoutPolicy != strict): upgrade every binary first, enable the
 //     policy second (docs/wire-protocol.md, "Versioning and compatibility").
+//   kStatsTextReply       the registry text exposition, raw UTF-8 bytes
+//
+// Trace propagation (feature bit 1, kFeatureTrace):
+//   trace-tail := marker:u8=0x02 trace_id:u64 origin_us:i64 count:u8
+//                 (stage:u8 party:u32 at_us:i64)*
+//     A sampled publish-batch appends the trace tail AFTER the batch_seq
+//     tail (tails keep their introduction order; a 0x02 tail may appear
+//     without a 0x01 tail but never before one). The daemon stamps
+//     daemon-dequeue and detector-apply and echoes the context in the ack's
+//     trace tail; the gather reply's LAST frame may carry one completed
+//     context after the GatherReport tail. count is capped at
+//     kMaxTraceStamps (64) — a forged count is rejected before allocating.
+//     Emission is gated on the hello exchange: a client/broker requests
+//     kFeatureTrace, and only a connection whose HelloReply granted the bit
+//     ever carries a trace tail in either direction — unsampled batches and
+//     legacy peers see byte-identical pre-extension frames.
 //
 // Session negotiation and multiplexing (protocol version 1):
 //   kHello              marker:u8=0x01 proto_version:u32 features:u32
@@ -125,6 +151,7 @@
 #include "stream/event.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/trace.h"
 #include "util/types.h"
 
 namespace magicrecs::net {
@@ -143,6 +170,7 @@ enum class MessageTag : uint8_t {
   kPing = 0x09,
   kHello = 0x0A,
   kMuxRequest = 0x0B,
+  kStatsText = 0x0C,
 
   kAck = 0x80,
   kError = 0x81,
@@ -150,6 +178,7 @@ enum class MessageTag : uint8_t {
   kStatsReply = 0x83,
   kHelloReply = 0x84,
   kMuxResponse = 0x85,
+  kStatsTextReply = 0x86,
 };
 
 /// Wire protocol version carried by the hello exchange.
@@ -157,6 +186,7 @@ inline constexpr uint32_t kProtocolVersion = 1;
 
 /// Hello feature bits.
 inline constexpr uint32_t kFeatureMux = 1u << 0;
+inline constexpr uint32_t kFeatureTrace = 1u << 1;
 
 /// True for requests that must be applied in per-connection arrival order
 /// (they mutate the event stream or durable state); false for reads, which
@@ -199,9 +229,12 @@ Status DecodeFrameBody(const uint8_t* body, size_t body_len,
 void AppendPublish(const EdgeEvent& event, std::string* out);
 
 /// `batch_sequence` != 0 appends the idempotency tail (see the payload
-/// table); 0 emits the pre-extension encoding byte-identically.
+/// table); 0 emits the pre-extension encoding byte-identically. A non-null
+/// active() `trace` appends the trace tail after it — emit that ONLY on a
+/// connection whose hello granted kFeatureTrace.
 void AppendPublishBatch(std::span<const EdgeEvent> events, std::string* out,
-                        uint64_t batch_sequence = 0);
+                        uint64_t batch_sequence = 0,
+                        const TraceContext* trace = nullptr);
 void AppendEmptyRequest(MessageTag tag, std::string* out);  // take/drain/...
 void AppendCheckpoint(Timestamp created_at, std::string* out);
 void AppendReplicaOp(MessageTag tag, uint32_t partition, uint32_t replica,
@@ -210,10 +243,12 @@ void AppendReplicaOp(MessageTag tag, uint32_t partition, uint32_t replica,
 Status DecodePublish(std::string_view payload, EdgeEvent* event);
 
 /// `*batch_sequence` (optional) receives the idempotency tail, or 0 when
-/// the payload carries the pre-extension encoding.
+/// the payload carries the pre-extension encoding. `*trace` (optional)
+/// receives the trace tail, or an inactive context when absent.
 Status DecodePublishBatch(std::string_view payload,
                           std::vector<EdgeEvent>* events,
-                          uint64_t* batch_sequence = nullptr);
+                          uint64_t* batch_sequence = nullptr,
+                          TraceContext* trace = nullptr);
 Status DecodeCheckpoint(std::string_view payload, Timestamp* created_at);
 Status DecodeReplicaOp(std::string_view payload, uint32_t* partition,
                        uint32_t* replica);
@@ -256,24 +291,40 @@ Status DecodeMuxResponse(std::string_view payload, uint64_t* request_id,
 
 // --- response encoders / decoders --------------------------------------------
 
-void AppendAck(std::string* out);
+/// A non-null active() `trace` appends the ack's trace tail — echo a trace
+/// ONLY when the acked request itself carried one.
+void AppendAck(std::string* out, const TraceContext* trace = nullptr);
 void AppendError(const Status& status, std::string* out);
 
+/// `*trace` (optional) receives the ack's trace tail, or an inactive
+/// context when absent (the pre-extension empty payload).
+Status DecodeAck(std::string_view payload, TraceContext* trace = nullptr);
+
 /// One reply frame holding exactly these recommendations. A non-null
-/// `report` that is not complete() appends the GatherReport tail (only
-/// meaningful on the final frame of a chunked reply).
+/// `report` that is not complete() appends the GatherReport tail; a
+/// non-null active() `trace` appends the trace tail after it (both only
+/// meaningful on the final frame of a chunked reply, and the trace only
+/// toward a kFeatureTrace peer).
 void AppendRecommendationsReply(std::span<const Recommendation> recs,
                                 bool has_more, std::string* out,
-                                const GatherReport* report = nullptr);
+                                const GatherReport* report = nullptr,
+                                const TraceContext* trace = nullptr);
 
 /// Splits a gather across as many reply frames as its encoded size needs
 /// (target payload <= max_payload_bytes, one oversized rec still ships
 /// alone). Always emits at least one frame so an empty gather gets its
-/// empty reply. The GatherReport tail (if any) rides on the last frame.
+/// empty reply. The GatherReport and trace tails (if any) ride on the last
+/// frame.
 void AppendRecommendationsReplyChunked(std::span<const Recommendation> recs,
                                        size_t max_payload_bytes,
                                        std::string* out,
-                                       const GatherReport* report = nullptr);
+                                       const GatherReport* report = nullptr,
+                                       const TraceContext* trace = nullptr);
+
+/// The registry text exposition as a kStatsTextReply frame. The payload is
+/// the raw text; DecodeStatsTextReply exists for symmetry.
+void AppendStatsTextReply(std::string_view text, std::string* out);
+Status DecodeStatsTextReply(std::string_view payload, std::string* text);
 
 /// Default chunk budget: comfortably under kMaxFrameBodyBytes.
 inline constexpr size_t kRecommendationsChunkBytes = 4u << 20;
@@ -293,11 +344,13 @@ Status DecodeError(std::string_view payload);
 /// APPENDS the frame's recommendations to *recs (the caller accumulates
 /// across a chunked reply) and reports whether more frames follow.
 /// `*report` (optional) receives the GatherReport tail when present, or a
-/// complete report when absent (the pre-extension encoding).
+/// complete report when absent (the pre-extension encoding). `*trace`
+/// (optional) receives the trace tail, or an inactive context when absent.
 Status DecodeRecommendationsReply(std::string_view payload,
                                   std::vector<Recommendation>* recs,
                                   bool* has_more,
-                                  GatherReport* report = nullptr);
+                                  GatherReport* report = nullptr,
+                                  TraceContext* trace = nullptr);
 Status DecodeStatsReply(std::string_view payload, ClusterStats* stats);
 
 }  // namespace magicrecs::net

@@ -11,6 +11,7 @@
 #include "persist/codec.h"
 #include "persist/crc32.h"
 #include "persist/file_util.h"
+#include "util/metrics.h"
 #include "util/str_format.h"
 
 namespace magicrecs {
@@ -166,6 +167,12 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(
   }
 
   std::unique_ptr<WalWriter> writer(new WalWriter(options));
+  MetricsRegistry* registry = MetricsRegistry::Default();
+  writer->records_metric_ = registry->GetCounter("wal_records_appended");
+  writer->fsyncs_metric_ = registry->GetCounter("wal_fsyncs");
+  writer->segments_metric_ = registry->GetCounter("wal_segments_created");
+  writer->group_commit_metric_ =
+      registry->GetHistogram("wal_group_commit_batch");
   const std::vector<std::string> segments = ListWalSegments(options.dir);
   if (segments.empty()) {
     MAGICRECS_RETURN_IF_ERROR(writer->OpenSegment(1));
@@ -244,6 +251,7 @@ Status WalWriter::OpenSegment(uint64_t index) {
   segment_index_ = index;
   segment_bytes_ = kSegmentHeaderBytes;
   ++stats_.segments_created;
+  if (segments_metric_ != nullptr) segments_metric_->Increment();
   return Status::OK();
 }
 
@@ -266,6 +274,7 @@ Status WalWriter::Append(const EdgeEvent& event) {
   segment_bytes_ += encode_buf_.size();
   ++stats_.records_appended;
   stats_.bytes_appended += encode_buf_.size();
+  if (records_metric_ != nullptr) records_metric_->Increment();
   if (options_.sync_each_append) {
     // Group commit: one fdatasync amortized over fsync_batch appends. The
     // deferred appends sit in the stdio/OS buffers; Sync() and Close()
@@ -273,6 +282,10 @@ Status WalWriter::Append(const EdgeEvent& event) {
     // lose the (bounded) tail.
     if (options_.fsync_batch <= 1 ||
         ++appends_since_fsync_ >= options_.fsync_batch) {
+      if (group_commit_metric_ != nullptr) {
+        group_commit_metric_->Record(static_cast<int64_t>(
+            options_.fsync_batch <= 1 ? 1 : appends_since_fsync_));
+      }
       return Sync();
     }
   }
@@ -291,6 +304,7 @@ Status WalWriter::Sync() {
                                       std::strerror(errno)));
   }
   ++stats_.fsyncs;
+  if (fsyncs_metric_ != nullptr) fsyncs_metric_->Increment();
   return Status::OK();
 }
 

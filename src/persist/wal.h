@@ -35,6 +35,9 @@
 
 namespace magicrecs {
 
+class Counter;
+class HistogramMetric;
+
 /// Counters maintained by a WalWriter across its lifetime.
 struct WalWriterStats {
   uint64_t records_appended = 0;
@@ -93,6 +96,15 @@ class WalWriter {
   size_t appends_since_fsync_ = 0;  // group-commit position
   std::string encode_buf_;
   WalWriterStats stats_;
+
+  // Process-registry mirrors (util/metrics.h), resolved once at Open() so
+  // the append path increments through cached pointers. The writer is
+  // thread-compatible but the counters themselves are atomic, so the scrape
+  // surface may read them while an append is in flight.
+  Counter* records_metric_ = nullptr;
+  Counter* fsyncs_metric_ = nullptr;
+  Counter* segments_metric_ = nullptr;
+  HistogramMetric* group_commit_metric_ = nullptr;
 };
 
 /// Outcome of one replay pass.

@@ -1,14 +1,68 @@
 #include "util/metrics.h"
 
+#include <algorithm>
+
 #include "util/str_format.h"
 
 namespace magicrecs {
+
+namespace {
+
+/// Formats a double without trailing-zero noise ("4" not "4.000000", but
+/// "4.5" stays "4.5"): stable exposition output must not depend on printf
+/// default precision.
+std::string CompactDouble(double v) {
+  std::string s = StrFormat("%.3f", v);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+std::string HistogramSummaryText(const Histogram& h) {
+  return StrFormat("count=%llu p50=%s p90=%s p99=%s max=%lld mean=%s",
+                   static_cast<unsigned long long>(h.Count()),
+                   CompactDouble(h.Percentile(50)).c_str(),
+                   CompactDouble(h.Percentile(90)).c_str(),
+                   CompactDouble(h.Percentile(99)).c_str(),
+                   static_cast<long long>(h.Max()),
+                   CompactDouble(h.Mean()).c_str());
+}
+
+std::string JsonEscapeKey(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (const char c : key) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricKey(const std::string& name, const MetricLabels& labels) {
+  if (labels.empty()) return name;
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name + "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ",";
+    key += sorted[i].first + "=\"" + sorted[i].second + "\"";
+  }
+  key += "}";
+  return key;
+}
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const MetricLabels& labels) {
+  return GetCounter(MetricKey(name, labels));
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
@@ -18,10 +72,27 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   return slot.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const MetricLabels& labels) {
+  return GetGauge(MetricKey(name, labels));
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>();
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
+                                               const MetricLabels& labels) {
+  return GetHistogram(MetricKey(name, labels));
+}
+
 std::vector<std::string> MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
-  out.reserve(counters_.size() + gauges_.size());
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, counter] : counters_) {
     out.push_back(StrFormat("%s %llu", name.c_str(),
                             static_cast<unsigned long long>(counter->Value())));
@@ -30,7 +101,99 @@ std::vector<std::string> MetricsRegistry::Snapshot() const {
     out.push_back(StrFormat("%s %lld", name.c_str(),
                             static_cast<long long>(gauge->Value())));
   }
+  for (const auto& [name, histogram] : histograms_) {
+    out.push_back(StrFormat(
+        "%s %s", name.c_str(),
+        HistogramSummaryText(histogram->Snapshot()).c_str()));
+  }
   return out;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  // Copy the metric pointers out under the map lock, then read values
+  // unlocked: Value()/Snapshot() are individually safe, and holding the
+  // registry mutex across the whole render would serialize against every
+  // hot-path GetCounter() miss.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const HistogramMetric*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+  }
+  std::string out;
+  for (const auto& [name, c] : counters) {
+    out += StrFormat("counter %s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(c->Value()));
+  }
+  for (const auto& [name, g] : gauges) {
+    out += StrFormat("gauge %s %lld\n", name.c_str(),
+                     static_cast<long long>(g->Value()));
+  }
+  for (const auto& [name, h] : histograms) {
+    out += StrFormat("hist %s %s\n", name.c_str(),
+                     HistogramSummaryText(h->Snapshot()).c_str());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const HistogramMetric*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+  }
+  std::string out = "{";
+  bool first = true;
+  const auto append_key = [&out, &first](const std::string& key) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscapeKey(key) + "\": ";
+  };
+  for (const auto& [name, c] : counters) {
+    append_key(name);
+    out += StrFormat("%llu", static_cast<unsigned long long>(c->Value()));
+  }
+  for (const auto& [name, g] : gauges) {
+    append_key(name);
+    out += StrFormat("%lld", static_cast<long long>(g->Value()));
+  }
+  for (const auto& [name, h] : histograms) {
+    const Histogram snapshot = h->Snapshot();
+    append_key(name);
+    out += StrFormat(
+        "{\"count\": %llu, \"p50\": %s, \"p90\": %s, \"p99\": %s, "
+        "\"max\": %lld, \"mean\": %s}",
+        static_cast<unsigned long long>(snapshot.Count()),
+        CompactDouble(snapshot.Percentile(50)).c_str(),
+        CompactDouble(snapshot.Percentile(90)).c_str(),
+        CompactDouble(snapshot.Percentile(99)).c_str(),
+        static_cast<long long>(snapshot.Max()),
+        CompactDouble(snapshot.Mean()).c_str());
+  }
+  out += "}";
+  return out;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
 }
 
 }  // namespace magicrecs

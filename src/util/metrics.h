@@ -1,6 +1,20 @@
-// Lightweight operational metrics: named counters and gauges with a
-// snapshot/report facility, the in-process equivalent of the service
-// dashboards a production deployment would export to.
+// Lightweight operational metrics: named counters, gauges, and latency
+// histograms with a snapshot/report facility, the in-process equivalent of
+// the service dashboards a production deployment would export to.
+//
+// One process-wide registry (MetricsRegistry::Default()) is the export
+// surface: every subsystem registers its counters there, the kStatsText RPC
+// and the daemon's JSONL exporter render it, and nothing else needs to know
+// which subsystem owns which counter. Labels attach dimensions to a name
+// ("publish_apply_us{partition=\"3\"}"); the label set is canonicalized
+// into the key, so the same (name, labels) pair always returns the same
+// metric object.
+//
+// Counters are strictly monotonic: there is deliberately no Reset() — a
+// reset racing a concurrent Snapshot() would produce a non-monotonic read,
+// and every consumer (rate computation, drift checks between ClusterStats
+// and the scrape surface) assumes monotonicity. Callers that need "since X"
+// deltas record a baseline and subtract (see RpcServer::stats()).
 
 #ifndef MAGICRECS_UTIL_METRICS_H_
 #define MAGICRECS_UTIL_METRICS_H_
@@ -11,7 +25,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "util/histogram.h"
 
 namespace magicrecs {
 
@@ -22,7 +39,18 @@ class Counter {
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
   uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  /// Raises the counter to `target` if it is currently below it (no-op
+  /// otherwise). For scrape-time mirroring of thread-compatible sources
+  /// (WAL stats, detector stats) into the registry: the mirrored value may
+  /// be read from a stale snapshot, and monotonicity must survive that.
+  void RaiseTo(uint64_t target) {
+    uint64_t current = value_.load(std::memory_order_relaxed);
+    while (current < target &&
+           !value_.compare_exchange_weak(current, target,
+                                         std::memory_order_relaxed)) {
+    }
+  }
 
  private:
   std::atomic<uint64_t> value_{0};
@@ -39,23 +67,87 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
-/// Registry of named metrics. Lookup creates on first use. Thread-safe.
+/// Mutex-guarded wrapper around the thread-compatible util/histogram.h
+/// type, so many threads can Record() into one registry entry. Keep one
+/// labeled histogram per hot thread (e.g. per partition) when contention
+/// matters.
+class HistogramMetric {
+ public:
+  void Record(int64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    histogram_.Record(value);
+  }
+
+  void Merge(const Histogram& other) {
+    std::lock_guard<std::mutex> lock(mu_);
+    histogram_.Merge(other);
+  }
+
+  /// Replaces the contents wholesale. For scrape-time collectors that
+  /// recompute a distribution from a thread-compatible source (detector
+  /// stats) on every scrape — Merge() would double-count.
+  void ReplaceWith(const Histogram& other) {
+    std::lock_guard<std::mutex> lock(mu_);
+    histogram_ = other;
+  }
+
+  /// Consistent copy of the current distribution.
+  Histogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return histogram_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram histogram_;
+};
+
+/// Label dimensions for a metric, e.g. {{"partition", "3"}}.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical exposition key: `name` alone, or `name{k="v",...}` with the
+/// labels sorted by key.
+std::string MetricKey(const std::string& name, const MetricLabels& labels);
+
+/// Registry of named metrics. Lookup creates on first use; the returned
+/// pointers remain valid for the registry's lifetime, so hot paths resolve
+/// once and increment through the cached pointer. Thread-safe.
 class MetricsRegistry {
  public:
-  /// Returns the counter registered under `name`, creating it if needed.
-  /// The pointer remains valid for the registry's lifetime.
   Counter* GetCounter(const std::string& name);
+  Counter* GetCounter(const std::string& name, const MetricLabels& labels);
 
-  /// Returns the gauge registered under `name`, creating it if needed.
   Gauge* GetGauge(const std::string& name);
+  Gauge* GetGauge(const std::string& name, const MetricLabels& labels);
 
-  /// Sorted "name value" lines for reporting.
+  HistogramMetric* GetHistogram(const std::string& name);
+  HistogramMetric* GetHistogram(const std::string& name,
+                                const MetricLabels& labels);
+
+  /// Sorted "name value" lines for reporting (histograms render their
+  /// one-line summary).
   std::vector<std::string> Snapshot() const;
+
+  /// Stable text exposition, one metric per line, sorted by key:
+  ///   counter <key> <value>
+  ///   gauge <key> <value>
+  ///   hist <key> count=<n> p50=<v> p90=<v> p99=<v> max=<v> mean=<v>
+  /// The leading kind token and the key are the machine-checkable contract
+  /// (CI greps it); see docs/observability.md.
+  std::string RenderText() const;
+
+  /// One-line JSON object {"key": value, ..., "hist_key": {...}} for the
+  /// JSONL file exporter.
+  std::string RenderJson() const;
+
+  /// The process-wide registry every subsystem reports into.
+  static MetricsRegistry* Default();
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
 };
 
 }  // namespace magicrecs

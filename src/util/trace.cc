@@ -1,0 +1,72 @@
+#include "util/trace.h"
+
+#include <algorithm>
+
+#include "util/str_format.h"
+
+namespace magicrecs {
+
+std::string_view TraceStageName(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kBrokerEncode:
+      return "broker-encode";
+    case TraceStage::kDaemonDequeue:
+      return "daemon-dequeue";
+    case TraceStage::kDetectorApply:
+      return "detector-apply";
+    case TraceStage::kGather:
+      return "gather";
+  }
+  return "unknown";
+}
+
+void TraceContext::Stamp(TraceStage stage, uint32_t party, int64_t at_us) {
+  if (stamps.size() >= kMaxTraceStamps) return;
+  TraceStamp stamp;
+  stamp.stage = static_cast<uint8_t>(stage);
+  stamp.party = party;
+  stamp.at_us = at_us;
+  stamps.push_back(stamp);
+}
+
+void TraceContext::MergeStampsFrom(const TraceContext& other) {
+  for (const TraceStamp& stamp : other.stamps) {
+    if (std::find(stamps.begin(), stamps.end(), stamp) != stamps.end()) {
+      continue;
+    }
+    if (stamps.size() >= kMaxTraceStamps) return;
+    stamps.push_back(stamp);
+  }
+}
+
+const TraceStamp* TraceContext::Find(TraceStage stage) const {
+  const TraceStamp* found = nullptr;
+  for (const TraceStamp& stamp : stamps) {
+    if (stamp.stage == static_cast<uint8_t>(stage)) found = &stamp;
+  }
+  return found;
+}
+
+std::string TraceContext::ToString() const {
+  std::string out = StrFormat("trace %016llx origin=%lld",
+                              static_cast<unsigned long long>(trace_id),
+                              static_cast<long long>(origin_us));
+  for (const TraceStamp& stamp : stamps) {
+    std::string party;
+    if (stamp.party == kTracePartyBroker) {
+      party = "broker";
+    } else if (stamp.party == kTracePartyAllHosting) {
+      party = "daemon";
+    } else {
+      party = StrFormat("p%u", stamp.party);
+    }
+    out += StrFormat(
+        " %s:%s@+%lldus", party.c_str(),
+        std::string(TraceStageName(static_cast<TraceStage>(stamp.stage)))
+            .c_str(),
+        static_cast<long long>(stamp.at_us - origin_us));
+  }
+  return out;
+}
+
+}  // namespace magicrecs

@@ -104,7 +104,11 @@ inline Group StartGroup(const StaticGraph& graph, uint32_t group_size,
     ClusterOptions options = MakeClusterOptions(1, replicas, k);
     options.group_size = group_size;
     options.group_partition = p;
-    g.daemons.push_back(StartDaemon(graph, options));
+    // Group members stamp traces with their global partition id, exactly
+    // as magicrecsd wires it for a partition-group deployment.
+    net::RpcServerOptions server_options;
+    server_options.trace_party = p;
+    g.daemons.push_back(StartDaemon(graph, options, server_options));
     net::FanoutEndpoint endpoint;
     endpoint.port = g.daemons.back().server->port();
     endpoint.partition = p;

@@ -612,13 +612,179 @@ TEST(WireTest, EveryTagHasAName) {
         MessageTag::kTakeRecommendations, MessageTag::kDrain,
         MessageTag::kCheckpoint, MessageTag::kKillReplica,
         MessageTag::kRecoverReplica, MessageTag::kStats, MessageTag::kPing,
-        MessageTag::kHello, MessageTag::kMuxRequest, MessageTag::kAck,
-        MessageTag::kError, MessageTag::kRecommendationsReply,
-        MessageTag::kStatsReply, MessageTag::kHelloReply,
-        MessageTag::kMuxResponse}) {
+        MessageTag::kHello, MessageTag::kMuxRequest, MessageTag::kStatsText,
+        MessageTag::kAck, MessageTag::kError,
+        MessageTag::kRecommendationsReply, MessageTag::kStatsReply,
+        MessageTag::kHelloReply, MessageTag::kMuxResponse,
+        MessageTag::kStatsTextReply}) {
     EXPECT_NE(MessageTagName(tag), "unknown");
   }
   EXPECT_EQ(MessageTagName(static_cast<MessageTag>(0x55)), "unknown");
+}
+
+// --- trace propagation -------------------------------------------------------
+
+TraceContext MakeTrace() {
+  TraceContext trace;
+  trace.trace_id = 0xABCDEF0123456789ull;
+  trace.origin_us = 1'700'000'000'000'000;
+  trace.Stamp(TraceStage::kBrokerEncode, kTracePartyBroker,
+              trace.origin_us + 12);
+  trace.Stamp(TraceStage::kDaemonDequeue, 3, trace.origin_us + 480);
+  trace.Stamp(TraceStage::kDetectorApply, 3, trace.origin_us + 950);
+  return trace;
+}
+
+TEST(WireTest, PublishBatchTraceTailRoundTrips) {
+  const std::vector<EdgeEvent> events = {MakeEvent(1, 2, 100),
+                                         MakeEvent(3, 4, 200)};
+  const TraceContext trace = MakeTrace();
+  std::string frame;
+  AppendPublishBatch(events, &frame, /*batch_sequence=*/77, &trace);
+  std::vector<EdgeEvent> decoded;
+  uint64_t sequence = 0;
+  TraceContext out;
+  ASSERT_TRUE(DecodePublishBatch(DecodeWhole(frame).payload, &decoded,
+                                 &sequence, &out)
+                  .ok());
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(sequence, 77u) << "sequence tail must coexist with the trace";
+  EXPECT_EQ(out, trace);
+
+  // The tail also rides without a sequence (strict-mode broker).
+  frame.clear();
+  AppendPublishBatch(events, &frame, /*batch_sequence=*/0, &trace);
+  sequence = 99;
+  out = TraceContext{};
+  ASSERT_TRUE(DecodePublishBatch(DecodeWhole(frame).payload, &decoded,
+                                 &sequence, &out)
+                  .ok());
+  EXPECT_EQ(sequence, 0u);
+  EXPECT_EQ(out, trace);
+}
+
+TEST(WireTest, UnsampledPublishBatchIsByteIdenticalToPreTraceEncoding) {
+  // The back-compat lock: an unsampled publish (no trace, or an inactive
+  // context) must emit exactly the bytes a pre-trace broker emitted, so
+  // legacy peers and golden captures never see the extension.
+  const std::vector<EdgeEvent> events = {MakeEvent(7, 8, 300)};
+  std::string pre_trace;
+  AppendPublishBatch(events, &pre_trace, /*batch_sequence=*/5);
+  std::string null_trace;
+  AppendPublishBatch(events, &null_trace, 5, nullptr);
+  EXPECT_EQ(pre_trace, null_trace);
+  std::string inactive_trace;
+  const TraceContext inactive;  // trace_id == 0: "no trace"
+  AppendPublishBatch(events, &inactive_trace, 5, &inactive);
+  EXPECT_EQ(pre_trace, inactive_trace);
+
+  // And decoding the pre-trace bytes reports "no trace", clearing stale
+  // out-param state.
+  std::vector<EdgeEvent> decoded;
+  uint64_t sequence = 0;
+  TraceContext out = MakeTrace();
+  ASSERT_TRUE(DecodePublishBatch(DecodeWhole(pre_trace).payload, &decoded,
+                                 &sequence, &out)
+                  .ok());
+  EXPECT_FALSE(out.active());
+}
+
+TEST(WireTest, PublishBatchRejectsForgedTraceStampCount) {
+  const std::vector<EdgeEvent> events = {MakeEvent(1, 2, 100)};
+  const TraceContext trace = MakeTrace();
+  std::string frame;
+  AppendPublishBatch(events, &frame, 0, &trace);
+  std::string payload = DecodeWhole(frame).payload;
+  // The stamp count byte sits right before the 13-byte stamps at the tail.
+  const size_t count_pos = payload.size() - trace.stamps.size() * 13 - 1;
+  payload[count_pos] = '\xff';  // 255 stamps: over the 64 cap
+  std::vector<EdgeEvent> decoded;
+  uint64_t sequence = 0;
+  TraceContext out;
+  EXPECT_TRUE(DecodePublishBatch(payload, &decoded, &sequence, &out)
+                  .IsInvalidArgument());
+  // An in-cap count that overstates the actual bytes is a mismatch too.
+  payload[count_pos] = '\x08';
+  EXPECT_TRUE(DecodePublishBatch(payload, &decoded, &sequence, &out)
+                  .IsInvalidArgument());
+  // And a truncated stamp list is rejected, never partially decoded.
+  std::string truncated = DecodeWhole(frame).payload;
+  truncated.resize(truncated.size() - 5);
+  EXPECT_TRUE(DecodePublishBatch(truncated, &decoded, &sequence, &out)
+                  .IsInvalidArgument());
+}
+
+TEST(WireTest, AckTraceEchoRoundTrips) {
+  // The plain ack stays byte-empty (legacy shape)...
+  std::string plain;
+  AppendAck(&plain);
+  const Frame plain_decoded = DecodeWhole(plain);
+  EXPECT_EQ(plain_decoded.tag, MessageTag::kAck);
+  EXPECT_TRUE(plain_decoded.payload.empty());
+  TraceContext out = MakeTrace();
+  ASSERT_TRUE(DecodeAck(plain_decoded.payload, &out).ok());
+  EXPECT_FALSE(out.active()) << "stale out-param state must be cleared";
+
+  // ...and the traced ack echoes the daemon's stamps.
+  const TraceContext trace = MakeTrace();
+  std::string traced;
+  AppendAck(&traced, &trace);
+  ASSERT_TRUE(DecodeAck(DecodeWhole(traced).payload, &out).ok());
+  EXPECT_EQ(out, trace);
+
+  // Residue that does not lead with the trace marker is corruption.
+  std::string mangled = DecodeWhole(traced).payload;
+  mangled[0] = '\x7d';
+  EXPECT_TRUE(DecodeAck(mangled, &out).IsInvalidArgument());
+}
+
+TEST(WireTest, RecommendationsReplyTraceTailRoundTrips) {
+  GatherReport report;
+  report.daemons_total = 4;
+  report.daemons_answered = 3;
+  report.missing_partitions = {2};
+  const TraceContext trace = MakeTrace();
+  std::vector<Recommendation> recs(1);
+  recs[0].user = 11;
+
+  std::string frame;
+  AppendRecommendationsReply(recs, /*has_more=*/false, &frame, &report,
+                             &trace);
+  std::vector<Recommendation> decoded;
+  bool has_more = true;
+  GatherReport decoded_report;
+  TraceContext out;
+  ASSERT_TRUE(DecodeRecommendationsReply(DecodeWhole(frame).payload, &decoded,
+                                         &has_more, &decoded_report, &out)
+                  .ok());
+  EXPECT_EQ(decoded_report, report)
+      << "report tail must coexist with the trace tail";
+  EXPECT_EQ(out, trace);
+
+  // Without a trace the bytes are identical to the pre-trace encoding.
+  std::string with_null;
+  AppendRecommendationsReply(recs, false, &with_null, &report, nullptr);
+  std::string pre_trace;
+  AppendRecommendationsReply(recs, false, &pre_trace, &report);
+  EXPECT_EQ(with_null, pre_trace);
+}
+
+TEST(WireTest, StatsTextReplyRoundTrips) {
+  const std::string text =
+      "# source broker\ncounter rpc_requests_served 42\n";
+  std::string frame;
+  AppendStatsTextReply(text, &frame);
+  const Frame decoded = DecodeWhole(frame);
+  EXPECT_EQ(decoded.tag, MessageTag::kStatsTextReply);
+  std::string out;
+  ASSERT_TRUE(DecodeStatsTextReply(decoded.payload, &out).ok());
+  EXPECT_EQ(out, text);
+
+  // Empty exposition is legal (a fresh registry).
+  frame.clear();
+  AppendStatsTextReply("", &frame);
+  ASSERT_TRUE(DecodeStatsTextReply(DecodeWhole(frame).payload, &out).ok());
+  EXPECT_TRUE(out.empty());
 }
 
 // --- session negotiation / multiplexing --------------------------------------
@@ -771,7 +937,7 @@ TEST(WireTest, OrderSensitivityClassification) {
   }
   for (const MessageTag tag :
        {MessageTag::kTakeRecommendations, MessageTag::kStats,
-        MessageTag::kPing, MessageTag::kHello}) {
+        MessageTag::kStatsText, MessageTag::kPing, MessageTag::kHello}) {
     EXPECT_FALSE(IsOrderSensitive(tag)) << MessageTagName(tag);
   }
 }

@@ -1,5 +1,6 @@
 #include "util/metrics.h"
 
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -14,8 +15,16 @@ TEST(CounterTest, IncrementAndValue) {
   c.Increment();
   c.Increment(5);
   EXPECT_EQ(c.Value(), 6u);
-  c.Reset();
-  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, RaiseToIsMonotone) {
+  Counter c;
+  c.RaiseTo(10);
+  EXPECT_EQ(c.Value(), 10u);
+  c.RaiseTo(4);  // stale mirror read: never lowers
+  EXPECT_EQ(c.Value(), 10u);
+  c.RaiseTo(12);
+  EXPECT_EQ(c.Value(), 12u);
 }
 
 TEST(GaugeTest, SetAndAdd) {
@@ -23,6 +32,38 @@ TEST(GaugeTest, SetAndAdd) {
   g.Set(10);
   g.Add(-3);
   EXPECT_EQ(g.Value(), 7);
+}
+
+TEST(HistogramMetricTest, RecordAndSnapshot) {
+  HistogramMetric h;
+  h.Record(1);
+  h.Record(3);
+  const Histogram snapshot = h.Snapshot();
+  EXPECT_EQ(snapshot.Count(), 2u);
+  EXPECT_EQ(snapshot.Max(), 3);
+}
+
+TEST(HistogramMetricTest, ReplaceWithDoesNotAccumulate) {
+  HistogramMetric h;
+  Histogram source;
+  source.Record(5);
+  // A scrape-time collector recomputes the distribution every scrape:
+  // ReplaceWith must land the same count each time, where Merge would
+  // double it.
+  h.ReplaceWith(source);
+  h.ReplaceWith(source);
+  EXPECT_EQ(h.Snapshot().Count(), 1u);
+  h.Merge(source);
+  EXPECT_EQ(h.Snapshot().Count(), 2u);
+}
+
+TEST(MetricKeyTest, CanonicalizesLabels) {
+  EXPECT_EQ(MetricKey("events", {}), "events");
+  EXPECT_EQ(MetricKey("apply_us", {{"partition", "3"}}),
+            "apply_us{partition=\"3\"}");
+  // Label order must not matter: the key sorts them.
+  EXPECT_EQ(MetricKey("x", {{"b", "2"}, {"a", "1"}}),
+            MetricKey("x", {{"a", "1"}, {"b", "2"}}));
 }
 
 TEST(MetricsRegistryTest, SameNameSameCounter) {
@@ -38,6 +79,18 @@ TEST(MetricsRegistryTest, DistinctNamesDistinctMetrics) {
   MetricsRegistry registry;
   EXPECT_NE(registry.GetCounter("a"), registry.GetCounter("b"));
   EXPECT_NE(registry.GetGauge("a"), registry.GetGauge("b"));
+  EXPECT_NE(registry.GetHistogram("a"), registry.GetHistogram("b"));
+}
+
+TEST(MetricsRegistryTest, LabeledLookupsAreDistinctPerLabelSet) {
+  MetricsRegistry registry;
+  Counter* p0 = registry.GetCounter("apply", {{"partition", "0"}});
+  Counter* p1 = registry.GetCounter("apply", {{"partition", "1"}});
+  EXPECT_NE(p0, p1);
+  // The same (name, labels) pair resolves to the same object regardless of
+  // label order.
+  EXPECT_EQ(registry.GetCounter("x", {{"a", "1"}, {"b", "2"}}),
+            registry.GetCounter("x", {{"b", "2"}, {"a", "1"}}));
 }
 
 TEST(MetricsRegistryTest, SnapshotContainsAll) {
@@ -48,6 +101,41 @@ TEST(MetricsRegistryTest, SnapshotContainsAll) {
   ASSERT_EQ(lines.size(), 2u);
   EXPECT_EQ(lines[0], "events 3");
   EXPECT_EQ(lines[1], "depth -2");
+}
+
+TEST(MetricsRegistryTest, RenderTextExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("events")->Increment(3);
+  registry.GetGauge("depth")->Set(-2);
+  registry.GetHistogram("lat_us", {{"partition", "0"}})->Record(4);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("counter events 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("gauge depth -2\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("hist lat_us{partition=\"0\"} count=1 p50=4 p90=4 "
+                      "p99=4 max=4 mean=4\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, RenderJsonIsOneObject) {
+  MetricsRegistry registry;
+  registry.GetCounter("events")->Increment(3);
+  registry.GetHistogram("lat_us")->Record(4);
+  const std::string json = registry.RenderJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(json.find('\n'), std::string::npos) << json;
+  EXPECT_NE(json.find("\"events\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lat_us\": {\"count\": 1"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, RenderJsonEscapesLabelQuotes) {
+  MetricsRegistry registry;
+  registry.GetCounter("c", {{"server", "127.0.0.1:80"}})->Increment();
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"c{server=\\\"127.0.0.1:80\\\"}\": 1"),
+            std::string::npos)
+      << json;
 }
 
 TEST(MetricsRegistryTest, ConcurrentAccessIsSafe) {
@@ -62,6 +150,33 @@ TEST(MetricsRegistryTest, ConcurrentAccessIsSafe) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(registry.GetCounter("shared")->Value(), 4'000u);
+}
+
+// The scrape surface renders while hot paths record: lookups, increments,
+// histogram records, and both renderers race here so TSan can prove the
+// registry's locking (this test is in CI's TSan set).
+TEST(MetricsRegistryTest, ConcurrentRecordAndRenderIsSafe) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 500; ++i) {
+        registry.GetCounter("hot")->Increment();
+        registry.GetHistogram("lat", {{"thread", t == 0 ? "0" : "1"}})
+            ->Record(i);
+        registry.GetCounter("raised")->RaiseTo(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  threads.emplace_back([&registry] {
+    for (int i = 0; i < 200; ++i) {
+      (void)registry.RenderText();
+      (void)registry.RenderJson();
+      (void)registry.Snapshot();
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("hot")->Value(), 1'000u);
 }
 
 }  // namespace

@@ -21,12 +21,16 @@
 // once it is serving (scripts wait for it), then blocks until SIGINT or
 // SIGTERM, and shuts down cleanly (draining workers, syncing the WAL).
 
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "cluster/cluster.h"
 #include "cluster/transport.h"
@@ -34,6 +38,8 @@
 #include "gen/social_graph.h"
 #include "graph/graph_io.h"
 #include "net/rpc_server.h"
+#include "util/clock.h"
+#include "util/metrics.h"
 #include "util/str_format.h"
 
 namespace {
@@ -65,6 +71,69 @@ struct DaemonOptions {
   net::ServerLoop server_loop = net::ServerLoop::kAuto;
   size_t max_inflight_per_conn = 64;
   int rpc_workers = 4;
+
+  // Observability (docs/observability.md). slow_request_ms = 0 disables the
+  // slow-request log; metrics_dump_interval_s = 0 disables the JSONL
+  // exporter.
+  int64_t slow_request_ms = 0;
+  int64_t metrics_dump_interval_s = 0;
+  std::string metrics_dump_path = "metrics.jsonl";
+};
+
+/// Background JSONL metrics exporter: appends one RenderJson() line per
+/// tick, timestamped, until stopped. The file is opened per tick so log
+/// rotation (rename + recreate) just works.
+class MetricsDumper {
+ public:
+  MetricsDumper(std::string path, int64_t interval_s)
+      : path_(std::move(path)), interval_s_(interval_s) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~MetricsDumper() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::seconds(interval_s_),
+                   [this] { return stop_; });
+      // One final dump on shutdown so short runs never lose their tail.
+      lock.unlock();
+      DumpOnce();
+      lock.lock();
+      if (stop_) return;
+    }
+  }
+
+  void DumpOnce() {
+    const std::string json = MetricsRegistry::Default()->RenderJson();
+    std::FILE* out = std::fopen(path_.c_str(), "a");
+    if (out == nullptr) {
+      std::fprintf(stderr, "magicrecsd: cannot append metrics to %s\n",
+                   path_.c_str());
+      return;
+    }
+    // Splice the tick timestamp into the registry's one-line object.
+    std::fprintf(out, "{\"ts_us\":%lld%s%s\n",
+                 static_cast<long long>(SystemClock::Default()->Now()),
+                 json.size() > 2 ? "," : "", json.c_str() + 1);
+    std::fclose(out);
+  }
+
+  const std::string path_;
+  const int64_t interval_s_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
 };
 
 void PrintUsage() {
@@ -95,6 +164,10 @@ void PrintUsage() {
       "                         requests per connection before the reactor\n"
       "                         stops reading that peer (64)\n"
       "  --rpc-workers=N        epoll loop: request worker threads (4)\n"
+      "  --slow-request-ms=N    log requests slower than N ms; 0 = off (0)\n"
+      "  --metrics-dump-interval=N  append a metrics JSONL line every N\n"
+      "                         seconds; 0 = off (0)\n"
+      "  --metrics-dump-path=PATH   JSONL exporter target (metrics.jsonl)\n"
       "  --persist-dir=PATH     WAL + snapshot directory, empty = off\n"
       "  --fsync-batch=N        group-commit batch with --fsync (1)\n"
       "  --fsync                fdatasync WAL appends\n"
@@ -170,6 +243,13 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* options) {
     } else if (FlagValue(arg, "rpc-workers", &value)) {
       options->rpc_workers =
           static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (FlagValue(arg, "slow-request-ms", &value)) {
+      options->slow_request_ms = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (FlagValue(arg, "metrics-dump-interval", &value)) {
+      options->metrics_dump_interval_s =
+          std::strtoll(value.c_str(), nullptr, 10);
+    } else if (FlagValue(arg, "metrics-dump-path", &value)) {
+      options->metrics_dump_path = value;
     } else if (FlagValue(arg, "persist-dir", &value)) {
       options->cluster.persist.dir = value;
     } else if (FlagValue(arg, "fsync-batch", &value)) {
@@ -253,6 +333,13 @@ int main(int argc, char** argv) {
   server_options.loop = options.server_loop;
   server_options.max_inflight_per_conn = options.max_inflight_per_conn;
   server_options.worker_threads = options.rpc_workers;
+  server_options.slow_request_us = options.slow_request_ms * 1000;
+  // Partition-group members stamp traces with their global partition id so
+  // a merged trace tells the daemons apart; an all-hosting daemon uses the
+  // sentinel.
+  if (options.cluster.group_size > 0) {
+    server_options.trace_party = options.cluster.group_partition;
+  }
   auto server = net::RpcServer::Start(transport->get(), server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "magicrecsd: starting server: %s\n",
@@ -278,6 +365,12 @@ int main(int argc, char** argv) {
               options.inline_mode ? "inline" : "threaded",
               std::string(net::ServerLoopFlag((*server)->loop())).c_str());
   std::fflush(stdout);
+
+  std::unique_ptr<MetricsDumper> dumper;
+  if (options.metrics_dump_interval_s > 0) {
+    dumper = std::make_unique<MetricsDumper>(options.metrics_dump_path,
+                                             options.metrics_dump_interval_s);
+  }
 
   int signal = 0;
   sigwait(&signals, &signal);
