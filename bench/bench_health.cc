@@ -1,0 +1,161 @@
+// Experiment T-health — cost of the observability/health plumbing.
+//
+// The health autopilot rides the hot daemons' scrape path: a monitor thread
+// snapshots the registry into a time series, computes windowed counter
+// rates, runs the rule engine over every party, and journals transitions.
+// All of that must stay far below the evaluation interval (default 250 ms)
+// even for wide groups, or the monitor starts stealing the CPU it is meant
+// to watch. Four rows, all section "health" in BENCH_net.json:
+//
+//   sample      — MetricsTimeSeries::Sample of a realistically-sized
+//                 registry (ops/s; one op = one full snapshot append)
+//   rate        — CounterRate over a 10s window (ops/s)
+//   evaluate    — HealthEngine::Evaluate with 32 parties (ops/s)
+//   journal     — EventLog::Append to a real file (ops/s)
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_json.h"
+#include "health/health_engine.h"
+#include "util/clock.h"
+#include "util/event_log.h"
+#include "util/metrics.h"
+#include "util/timeseries.h"
+
+using namespace magicrecs;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A registry shaped like a real daemon's: server counters, per-partition
+/// histograms, broker mirrors — ~64 metrics.
+void PopulateRegistry(MetricsRegistry* registry) {
+  for (int p = 0; p < 8; ++p) {
+    const std::string label = StrFormat("%d", p);
+    registry->GetCounter("rpc_requests_served", {{"server", label}})
+        ->Increment(1000 + p);
+    registry->GetCounter("rpc_inflight_stalls", {{"server", label}})
+        ->Increment(p);
+    registry->GetCounter("rpc_protocol_errors", {{"server", label}});
+    registry->GetGauge("rpc_connections_open", {{"server", label}})->Set(4);
+    registry->GetHistogram("publish_apply_us", {{"partition", label}})
+        ->Record(80 + p);
+    registry->GetHistogram("detector_query_us", {{"partition", label}})
+        ->Record(40 + p);
+  }
+  registry->GetCounter("events_published")->Increment(50'000);
+  registry->GetCounter("broker_hedged_publishes")->Increment(3);
+  registry->GetCounter("broker_replayed_events")->Increment(12);
+  registry->GetGauge("broker_policy")->Set(0);
+}
+
+double SampleOpsPerSec(const MetricsRegistry& registry, size_t iters) {
+  MetricsTimeSeries series(256);
+  Stopwatch timer;
+  for (size_t i = 0; i < iters; ++i) {
+    series.Sample(registry, static_cast<int64_t>(i) * 1'000'000);
+  }
+  return static_cast<double>(iters) / timer.ElapsedSeconds();
+}
+
+double RateOpsPerSec(const MetricsRegistry& registry, size_t iters) {
+  MetricsTimeSeries series(256);
+  // 64 samples, one per "second": plenty for a 10s window walk.
+  for (int i = 0; i < 64; ++i) {
+    series.Sample(registry, static_cast<int64_t>(i) * 1'000'000);
+  }
+  const std::string key = MetricKey("rpc_requests_served", {{"server", "0"}});
+  double sink = 0;
+  Stopwatch timer;
+  for (size_t i = 0; i < iters; ++i) {
+    sink += series.CounterRate(key, 10'000'000).value_or(0);
+  }
+  const double per_sec = static_cast<double>(iters) / timer.ElapsedSeconds();
+  if (sink < 0) std::printf("unreachable %f\n", sink);  // defeat DCE
+  return per_sec;
+}
+
+double EvaluateOpsPerSec(size_t parties, size_t iters) {
+  HealthEngine engine;
+  HealthInputs inputs;
+  for (size_t p = 0; p < parties; ++p) {
+    HealthInputs::Party party;
+    party.name = StrFormat("p%zu", p);
+    // A mix of states so the rule walk is not all-healthy short-circuit:
+    // every 8th party has a filling replay buffer, every 16th is slow.
+    party.replay_capacity = 65'536;
+    if (p % 8 == 0) party.replay_events = 30'000;
+    if (p % 16 == 0) party.slow_request_rate_per_s = 9.0;
+    inputs.parties.push_back(party);
+  }
+  std::vector<HealthTransition> transitions;
+  Stopwatch timer;
+  for (size_t i = 0; i < iters; ++i) {
+    transitions.clear();
+    engine.Evaluate(inputs, static_cast<int64_t>(i + 1) * 250'000,
+                    &transitions);
+  }
+  return static_cast<double>(iters) / timer.ElapsedSeconds();
+}
+
+double JournalOpsPerSec(const std::string& path, size_t iters) {
+  EventLog journal(path);
+  Stopwatch timer;
+  for (size_t i = 0; i < iters; ++i) {
+    journal.Append(static_cast<int64_t>(i), "health_transition",
+                   {LogEvent::Str("party", "p3"),
+                    LogEvent::Str("from", "healthy"),
+                    LogEvent::Str("to", "degraded"),
+                    LogEvent::Str("reason", "replay-backlog"),
+                    LogEvent::Str("detail", "replay_events=30000/65536")});
+  }
+  const double per_sec = static_cast<double>(iters) / timer.ElapsedSeconds();
+  if (journal.write_failures() != 0) {
+    std::fprintf(stderr, "journal writes failed (%llu)\n",
+                 static_cast<unsigned long long>(journal.write_failures()));
+    std::exit(1);
+  }
+  return per_sec;
+}
+
+}  // namespace
+
+int main() {
+  MetricsRegistry registry;
+  PopulateRegistry(&registry);
+
+  bench::JsonRows rows;
+  std::printf("T-health: observability plumbing cost\n");
+  std::printf("%-10s %14s\n", "op", "ops/s");
+
+  const double sample = SampleOpsPerSec(registry, 20'000);
+  std::printf("%-10s %14.0f\n", "sample", sample);
+  rows.AddThroughput("health", "sample", 64, sample, 0);
+
+  const double rate = RateOpsPerSec(registry, 200'000);
+  std::printf("%-10s %14.0f\n", "rate", rate);
+  rows.AddThroughput("health", "rate", 64, rate, 0);
+
+  const double evaluate = EvaluateOpsPerSec(/*parties=*/32, 50'000);
+  std::printf("%-10s %14.0f\n", "evaluate", evaluate);
+  rows.AddThroughput("health", "evaluate", 32, evaluate, 0);
+
+  const fs::path dir =
+      fs::temp_directory_path() /
+      StrFormat("bench_health_%d", static_cast<int>(::getpid()));
+  fs::create_directories(dir);
+  const double journal =
+      JournalOpsPerSec((dir / "journal.jsonl").string(), 50'000);
+  std::printf("%-10s %14.0f\n", "journal", journal);
+  rows.AddThroughput("health", "journal", 1, journal, 0);
+  fs::remove_all(dir);
+
+  rows.MergeWrite("BENCH_net.json");
+  return 0;
+}

@@ -21,19 +21,52 @@
 // answered, and the GatherReport names the missing partitions. The
 // expected recommendation is then only required when the partition owning
 // A2 actually answered.
+//
+// Autopilot chaos drill (the CI health smoke): --autopilot --chaos-drill
+// [--journal=PATH] [--health-interval-ms=N] runs the scenario strict, then
+// keeps publishing a trickle and narrates the broker's self-driven policy
+// flips so an orchestrator (CI) can kill and restart a daemon around it:
+//   DRILL: ready              -> kill a daemon now
+//   DRILL: flipped to quorum  -> restart the daemon (same port)
+//   DRILL: recovered to strict
+// Exits 0 only if both flips happened; the journal file records every
+// health transition and flip with its triggering window values.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "gen/figure1.h"
 #include "net/fanout_cluster.h"
 
 using namespace magicrecs;
 
+namespace {
+
+/// Trickle-publishes until the broker's active policy equals `want` or the
+/// deadline passes. Publish failures are expected while strict + dead.
+bool AwaitPolicy(net::FanoutCluster* broker, net::FanoutPolicy want,
+                 int deadline_ms, Timestamp* at) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (broker->active_policy() == want) return true;
+    EdgeEvent tick;
+    tick.edge = {figure1::kB1, figure1::kC1, ++*at};
+    (void)broker->Publish(tick);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return broker->active_policy() == want;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   net::FanoutClusterOptions options;
+  bool chaos_drill = false;
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (std::strncmp(argv[i], "--policy=", 9) == 0) {
@@ -55,6 +88,23 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(argv[i] + 9, nullptr, 10));
       continue;
     }
+    if (std::strcmp(argv[i], "--autopilot") == 0) {
+      options.autopilot = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--journal=", 10) == 0) {
+      options.event_journal_path = argv[i] + 10;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--health-interval-ms=", 21) == 0) {
+      options.health_interval_ms =
+          static_cast<int>(std::strtol(argv[i] + 21, nullptr, 10));
+      continue;
+    }
+    if (std::strcmp(argv[i], "--chaos-drill") == 0) {
+      chaos_drill = true;
+      continue;
+    }
     net::FanoutEndpoint endpoint;
     const char* colon = std::strchr(argv[i], ':');
     endpoint.port =
@@ -68,9 +118,21 @@ int main(int argc, char** argv) {
   if (options.endpoints.empty()) {
     std::fprintf(stderr,
                  "usage: example_fanout_quickstart [--policy=strict|quorum|"
-                 "best-effort] [--quorum=N] PORT:PARTITION "
+                 "best-effort] [--quorum=N] [--autopilot] [--chaos-drill] "
+                 "[--journal=PATH] [--health-interval-ms=N] PORT:PARTITION "
                  "[PORT:PARTITION ...]\n");
     return 2;
+  }
+  if (chaos_drill) {
+    // The drill narrates autopilot flips to an orchestrator, so tune for
+    // drill time (fast ticks, short dwell, short redial backoff) and
+    // line-buffer stdout — the orchestrator tails it through a pipe/file.
+    options.autopilot = true;
+    if (options.health_interval_ms > 100) options.health_interval_ms = 50;
+    options.health.min_dwell_us = 500'000;
+    options.health.recover_evaluations = 2;
+    options.max_reconnect_backoff_ms = 200;
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);
   }
   const bool degraded = options.policy != net::FanoutPolicy::kStrict;
 
@@ -177,5 +239,22 @@ int main(int argc, char** argv) {
   }
   std::printf("OK: Figure-1 recommendation gathered across the partition "
               "group\n");
+
+  if (chaos_drill) {
+    Timestamp at = 1'000'000;  // past the scenario's edge timestamps
+    std::printf("DRILL: ready\n");
+    if (!AwaitPolicy(broker->get(), net::FanoutPolicy::kQuorum,
+                     /*deadline_ms=*/60'000, &at)) {
+      std::fprintf(stderr, "DRILL FAIL: never flipped to quorum\n");
+      return 1;
+    }
+    std::printf("DRILL: flipped to quorum\n");
+    if (!AwaitPolicy(broker->get(), net::FanoutPolicy::kStrict,
+                     /*deadline_ms=*/60'000, &at)) {
+      std::fprintf(stderr, "DRILL FAIL: never recovered to strict\n");
+      return 1;
+    }
+    std::printf("DRILL: recovered to strict\n");
+  }
   return 0;
 }

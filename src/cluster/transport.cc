@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/clock.h"
 #include "util/metrics.h"
 #include "util/str_format.h"
 
@@ -105,6 +106,11 @@ Result<HashPartitioner> ClusterTransport::Partitioner() const {
 
 Result<std::string> ClusterTransport::GetStatsText() {
   return MetricsRegistry::Default()->RenderText();
+}
+
+Result<HealthReport> ClusterTransport::GetHealth() {
+  return HealthReportFromRegistry(*MetricsRegistry::Default(),
+                                  SystemClock::Default()->Now());
 }
 
 std::vector<TraceContext> ClusterTransport::TakeTraces() { return {}; }

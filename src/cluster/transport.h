@@ -29,6 +29,7 @@
 
 #include "cluster/cluster.h"
 #include "core/recommendation.h"
+#include "health/health_engine.h"
 #include "stream/event.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -219,6 +220,16 @@ class ClusterTransport {
   /// processes (the fan-out broker, RemoteCluster) override it to pull the
   /// remote surface too. Serves the kStatsText RPC.
   virtual Result<std::string> GetStatsText();
+
+  /// Health of this endpoint and its constituent parties, as last
+  /// evaluated by a health engine (src/health/health_engine.h). The
+  /// default reconstructs party states from the process registry's
+  /// `health{party="..."}` gauges — the ones a HealthMonitor publishes —
+  /// so any transport in a monitored process answers for free; the fan-out
+  /// broker overrides with its own engine's full report (reasons and
+  /// details included). An empty report means no health engine has
+  /// evaluated yet.
+  virtual Result<HealthReport> GetHealth();
 
   /// Moves out the completed end-to-end traces collected since the last
   /// call (bounded; oldest dropped first). Only transports that originate

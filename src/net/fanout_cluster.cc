@@ -77,11 +77,13 @@ Result<std::unique_ptr<FanoutCluster>> FanoutCluster::Connect(
 
   std::unique_ptr<FanoutCluster> cluster(new FanoutCluster(options));
   cluster->group_size_ = group_size;
+  cluster->StartHealthMonitor();
   return cluster;
 }
 
 FanoutCluster::FanoutCluster(const FanoutClusterOptions& options)
     : options_(options) {
+  active_policy_.store(options.policy, std::memory_order_relaxed);
   // Batch sequences must be unique across broker incarnations, not just
   // within one: the daemons' dedup window is keyed by the raw u64 and
   // outlives any one broker's connections, so a counter restarting at 1
@@ -226,7 +228,7 @@ void FanoutCluster::DropConn(Daemon* daemon,
 
 size_t FanoutCluster::RequiredQuorum() const {
   const size_t n = daemons_.size();
-  switch (options_.policy) {
+  switch (active_policy_.load(std::memory_order_relaxed)) {
     case FanoutPolicy::kStrict: return n;
     case FanoutPolicy::kQuorum:
       return options_.gather_quorum == 0
@@ -260,8 +262,17 @@ std::vector<FanoutCluster::Slot> FanoutCluster::AcquireAll() {
     if (conn.ok()) {
       slot.conn = std::move(conn).value();
       // A reachable daemon is first owed whatever a degraded policy parked
-      // for it while it was away — replay preserves publish order.
-      if (degraded()) FlushReplayOn(&slot);
+      // for it while it was away — replay preserves publish order. Frames
+      // can also be owed AFTER the autopilot flipped back to strict (the
+      // flip-back gate requires empty buffers, but a racing publish can
+      // park between the check and the flip), so any non-empty buffer
+      // flushes regardless of the active policy.
+      bool owed = false;
+      {
+        std::lock_guard<std::mutex> replay_lock(slot.daemon->replay_mu);
+        owed = !slot.daemon->replay.empty();
+      }
+      if (degraded() || owed) FlushReplayOn(&slot);
     } else {
       slot.status = conn.status();
     }
@@ -437,13 +448,13 @@ Status FanoutCluster::Publish(const EdgeEvent& event) {
 
 void FanoutCluster::ReapOneAck(Slot* slot,
                                const std::vector<std::string>& frames,
-                               TraceContext* trace) {
+                               bool sequenced, TraceContext* trace) {
   // On a kError reply the session stays usable (the server answered; later
   // acks still arrive) so only the first error is recorded; a transport
   // failure or silence past the deadline fails the lane — after, under a
   // degraded policy, one hedge attempt re-issues the unacked frames under
   // fresh request_ids.
-  const bool hedging = degraded() && options_.hedge_after_ms > 0;
+  const bool hedging = sequenced && options_.hedge_after_ms > 0;
   while (slot->live() && slot->acked < slot->calls.size()) {
     // With hedging on, acks are awaited only for the hedge threshold —
     // both before the hedge (so it can fire) and after it (so a server
@@ -493,7 +504,7 @@ void FanoutCluster::ReapOneAck(Slot* slot,
       return;
     }
     if (slot->status.ok()) slot->status = TagError(*slot->daemon, status);
-    if (!TryHedgePublish(slot, frames)) {
+    if (!TryHedgePublish(slot, frames, sequenced)) {
       slot->poisoned = true;
       DropConn(slot->daemon, slot->conn, /*start_backoff=*/true);
       return;
@@ -504,8 +515,9 @@ void FanoutCluster::ReapOneAck(Slot* slot,
 }
 
 bool FanoutCluster::TryHedgePublish(Slot* slot,
-                                    const std::vector<std::string>& frames) {
-  if (!degraded() || options_.hedge_after_ms <= 0 || slot->hedged) {
+                                    const std::vector<std::string>& frames,
+                                    bool sequenced) {
+  if (!sequenced || options_.hedge_after_ms <= 0 || slot->hedged) {
     return false;
   }
   if (closed_.load(std::memory_order_acquire)) return false;
@@ -592,6 +604,19 @@ Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
   if (closed_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("fan-out cluster is closed");
   }
+  // Admission control: when the health monitor flagged replay saturation,
+  // fail fast instead of pushing a buffer to its hard bound and dropping
+  // events mid-frame. The journal has the shed_start event with the
+  // triggering depths.
+  if (shedding_.load(std::memory_order_relaxed)) {
+    shed_publishes_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "broker is shedding publishes: replay buffers near capacity (see "
+        "the health journal's shed_start event)");
+  }
+  // One policy snapshot steers this whole call: a concurrent autopilot
+  // flip must not leave some frames sequence-tagged and others not.
+  const bool entered_degraded = degraded();
   // Sampling decision for end-to-end tracing: 1 in trace_sample_every
   // publishes originates a TraceContext. Unsampled publishes never touch a
   // clock and their frames are byte-identical to a pre-trace broker's.
@@ -624,7 +649,7 @@ Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
   frame_events.reserve(frames.capacity());
   for (size_t i = 0; i < events.size(); i += chunk) {
     const size_t n = std::min(chunk, events.size() - i);
-    const uint64_t sequence = degraded() ? NextBatchSequence() : 0;
+    const uint64_t sequence = entered_degraded ? NextBatchSequence() : 0;
     std::string frame;
     AppendPublishBatch(events.subspan(i, n), &frame, sequence);
     if (i == 0 && trace.active()) {
@@ -650,7 +675,7 @@ Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
     for (Slot& slot : slots) {
       if (!slot.live()) continue;
       if (slot.calls.size() - slot.acked >= window) {
-        ReapOneAck(&slot, frames, trace_out);
+        ReapOneAck(&slot, frames, entered_degraded, trace_out);
       }
       if (!slot.live()) continue;
       // The traced variant of frame 0 rides only to lanes whose hello
@@ -672,7 +697,7 @@ Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
       // One hedge may revive the lane; the current frame then still needs
       // to go out under its own fresh id so slot.calls stays aligned with
       // the frame list.
-      if (TryHedgePublish(&slot, frames)) {
+      if (TryHedgePublish(&slot, frames, entered_degraded)) {
         Result<MuxConnection::CallHandle> retry =
             slot.conn->Start(frames[f], options_.recv_timeout_ms);
         if (retry.ok()) {
@@ -691,10 +716,14 @@ Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
   }
   for (Slot& slot : slots) {
     while (slot.live() && slot.acked < slot.calls.size()) {
-      ReapOneAck(&slot, frames, trace_out);
+      ReapOneAck(&slot, frames, entered_degraded, trace_out);
     }
   }
-  if (degraded()) {
+  // Queue-to-replay only for calls that ENTERED degraded: their frames
+  // carry batch sequences, so a frame that was applied but never acked
+  // dedups on replay. Untagged strict-mode frames must fail instead —
+  // replaying one that half-landed would double-apply it.
+  if (entered_degraded) {
     for (Slot& slot : slots) QueueUnsent(&slot, frames, frame_events);
   }
   // Park the trace for the gather stamp only if at least one daemon echoed
@@ -1062,22 +1091,11 @@ Result<std::string> FanoutCluster::GetStatsText() {
     return Status::FailedPrecondition("fan-out cluster is closed");
   }
   // Mirror the broker-side degraded-mode atomics into the process registry
-  // at scrape time. RaiseTo (CAS-to-max) keeps concurrent scrapes and the
-  // monotone sources consistent without double-counting.
-  MetricsRegistry* registry = MetricsRegistry::Default();
-  registry->GetCounter("broker_degraded_gathers")
-      ->RaiseTo(degraded_gathers_.load(std::memory_order_relaxed));
-  registry->GetCounter("broker_hedged_publishes")
-      ->RaiseTo(hedged_publishes_.load(std::memory_order_relaxed));
-  registry->GetCounter("broker_replayed_events")
-      ->RaiseTo(replayed_events_.load(std::memory_order_relaxed));
-  registry->GetCounter("broker_replay_dropped_events")
-      ->RaiseTo(replay_dropped_events_.load(std::memory_order_relaxed));
-  registry->GetCounter("broker_rescue_dropped")
-      ->RaiseTo(rescue_dropped_.load(std::memory_order_relaxed));
+  // at scrape time (the health monitor mirrors the same set each tick).
+  MirrorBrokerCounters();
 
   std::string out = "# source broker\n";
-  out += registry->RenderText();
+  out += MetricsRegistry::Default()->RenderText();
 
   // Scrape every daemon concurrently. A daemon that cannot answer (down,
   // or a pre-kStatsText binary answering kError) degrades to an annotated
@@ -1214,6 +1232,216 @@ Status FanoutCluster::Ping() {
   return VerifyTopology();
 }
 
+// --- health autopilot --------------------------------------------------------
+
+std::string FanoutCluster::PartyName(const Daemon& daemon) const {
+  const FanoutEndpoint& e = daemon.endpoint;
+  return e.partition == FanoutEndpoint::kAllPartitions
+             ? StrFormat("%s:%u", e.host.c_str(), e.port)
+             : StrFormat("p%u", e.partition);
+}
+
+void FanoutCluster::MirrorBrokerCounters() {
+  // RaiseTo (CAS-to-max) keeps concurrent mirrors (monitor tick, scrape)
+  // and the monotone sources consistent without double-counting.
+  MetricsRegistry* registry = MetricsRegistry::Default();
+  registry->GetCounter("broker_degraded_gathers")
+      ->RaiseTo(degraded_gathers_.load(std::memory_order_relaxed));
+  registry->GetCounter("broker_hedged_publishes")
+      ->RaiseTo(hedged_publishes_.load(std::memory_order_relaxed));
+  registry->GetCounter("broker_replayed_events")
+      ->RaiseTo(replayed_events_.load(std::memory_order_relaxed));
+  registry->GetCounter("broker_replay_dropped_events")
+      ->RaiseTo(replay_dropped_events_.load(std::memory_order_relaxed));
+  registry->GetCounter("broker_rescue_dropped")
+      ->RaiseTo(rescue_dropped_.load(std::memory_order_relaxed));
+  registry->GetCounter("broker_policy_flips")
+      ->RaiseTo(policy_flips_.load(std::memory_order_relaxed));
+  registry->GetCounter("broker_shed_publishes")
+      ->RaiseTo(shed_publishes_.load(std::memory_order_relaxed));
+  registry->GetGauge("broker_policy")
+      ->Set(static_cast<int64_t>(active_policy()));
+  registry->GetGauge("broker_shedding")->Set(shedding() ? 1 : 0);
+}
+
+void FanoutCluster::StartHealthMonitor() {
+  // The journal exists under every configuration (tests read its in-memory
+  // ring; non-autopilot brokers can still be pointed at a path); the
+  // monitor thread only spins up when the autopilot is on.
+  journal_ = std::make_unique<EventLog>(options_.event_journal_path);
+  if (!options_.autopilot) return;
+  HealthMonitorOptions monitor_options;
+  monitor_options.interval_ms = std::max(1, options_.health_interval_ms);
+  monitor_options.thresholds = options_.health;
+  monitor_ = std::make_unique<HealthMonitor>(
+      MetricsRegistry::Default(), journal_.get(),
+      [this](const MetricsTimeSeries& series, int64_t window_us,
+             HealthInputs* inputs) {
+        CollectHealthInputs(series, window_us, inputs);
+      },
+      monitor_options,
+      [this](const HealthReport& report,
+             const std::vector<HealthTransition>& transitions) {
+        OnHealthReport(report, transitions);
+      },
+      [this] { MirrorBrokerCounters(); });
+}
+
+void FanoutCluster::CollectHealthInputs(const MetricsTimeSeries& series,
+                                        int64_t window_us,
+                                        HealthInputs* inputs) {
+  // Permanent event loss in-window (replay rejections, rescue overflow) is
+  // the broker's own failure to uphold the degraded contract — it scores
+  // the "broker" party, not a daemon.
+  const double loss_rate =
+      series.CounterRate("broker_replay_dropped_events", window_us)
+          .value_or(0) +
+      series.CounterRate("broker_rescue_dropped", window_us).value_or(0);
+
+  bool shed_raise = false;
+  bool shed_all_clear = true;
+  double worst_frac = 0;
+  std::string worst_party;
+  for (const auto& daemon : daemons_) {
+    HealthInputs::Party party;
+    party.name = PartyName(*daemon);
+    {
+      std::lock_guard<std::mutex> lock(daemon->mu);
+      // backoff_ms resets to 0 on a successful dial, so nonzero means the
+      // most recent attempt failed — the circuit breaker is (or was) open.
+      party.unreachable = daemon->backoff_ms != 0;
+      party.gathers_missed_consecutive = daemon->gathers_missed_consecutive;
+    }
+    {
+      std::lock_guard<std::mutex> lock(daemon->replay_mu);
+      party.replay_events = daemon->replay_events;
+    }
+    party.replay_capacity = options_.replay_buffer_events;
+    if (options_.shed_replay_frac > 0 && party.replay_capacity > 0) {
+      const double frac = static_cast<double>(party.replay_events) /
+                          static_cast<double>(party.replay_capacity);
+      if (frac >= options_.shed_replay_frac) shed_raise = true;
+      if (frac >= options_.shed_replay_frac / 2) shed_all_clear = false;
+      if (frac > worst_frac) {
+        worst_frac = frac;
+        worst_party = party.name;
+      }
+    }
+    inputs->parties.push_back(std::move(party));
+  }
+
+  HealthInputs::Party broker;
+  broker.name = "broker";
+  broker.replay_loss_rate_per_s = loss_rate;
+  inputs->parties.push_back(std::move(broker));
+
+  // Load-shed hysteresis: raise at shed_replay_frac, clear only once every
+  // buffer is back under half of it. Runs here (not in the observer)
+  // because this is where the replay depths are already in hand.
+  if (options_.shed_replay_frac > 0) {
+    const bool was_shedding = shedding_.load(std::memory_order_relaxed);
+    if (!was_shedding && shed_raise) {
+      shedding_.store(true, std::memory_order_relaxed);
+      if (journal_ != nullptr) {
+        journal_->Append(
+            SystemClock::Default()->Now(), "shed_start",
+            {LogEvent::Str("party", worst_party),
+             LogEvent::Num("replay_frac", worst_frac),
+             LogEvent::Num("shed_replay_frac", options_.shed_replay_frac)});
+      }
+    } else if (was_shedding && shed_all_clear) {
+      shedding_.store(false, std::memory_order_relaxed);
+      if (journal_ != nullptr) {
+        journal_->Append(SystemClock::Default()->Now(), "shed_stop",
+                         {LogEvent::Num("replay_frac", worst_frac)});
+      }
+    }
+  }
+}
+
+void FanoutCluster::OnHealthReport(
+    const HealthReport& report,
+    const std::vector<HealthTransition>& transitions) {
+  (void)transitions;  // journaled by the monitor itself
+  // The autopilot only manages a strict-configured broker: a configured
+  // degraded policy is already at or past what a flip would grant.
+  if (options_.policy != FanoutPolicy::kStrict) return;
+
+  bool any_daemon_unhealthy = false;
+  const PartyHealth* worst = nullptr;
+  for (const PartyHealth& party : report.parties) {
+    if (party.party == "broker") continue;
+    if (party.state == HealthState::kHealthy) continue;
+    any_daemon_unhealthy = true;
+    if (worst == nullptr || party.state > worst->state) worst = &party;
+  }
+
+  const FanoutPolicy current = active_policy();
+  FanoutPolicy desired = current;
+  if (any_daemon_unhealthy) {
+    desired = FanoutPolicy::kQuorum;
+  } else {
+    // Flip back only when every replay buffer has drained: AcquireAll
+    // flushes owed frames under any policy, but strict gathers would
+    // count still-parked events as missing, and the whole point of the
+    // dwell was to be sure before tightening the contract again.
+    bool replay_empty = true;
+    for (const auto& daemon : daemons_) {
+      std::lock_guard<std::mutex> lock(daemon->replay_mu);
+      if (daemon->replay_events != 0) {
+        replay_empty = false;
+        break;
+      }
+    }
+    if (replay_empty) desired = FanoutPolicy::kStrict;
+  }
+
+  if (desired == current || options_.pin_policy) {
+    MetricsRegistry::Default()->GetGauge("broker_policy")
+        ->Set(static_cast<int64_t>(current));
+    return;
+  }
+
+  active_policy_.store(desired, std::memory_order_relaxed);
+  policy_flips_.fetch_add(1, std::memory_order_relaxed);
+  MetricsRegistry::Default()->GetGauge("broker_policy")
+      ->Set(static_cast<int64_t>(desired));
+  const std::string trigger_party = worst != nullptr ? worst->party : "";
+  const std::string reason =
+      worst != nullptr ? std::string(HealthReasonName(worst->reason))
+                       : std::string(HealthReasonName(HealthReason::kRecovered));
+  const std::string detail =
+      worst != nullptr ? worst->detail
+                       : "all parties healthy through dwell, replay drained";
+  if (journal_ != nullptr) {
+    journal_->Append(report.at_us, "policy_flip",
+                     {LogEvent::Str("from", std::string(FanoutPolicyName(
+                                                current))),
+                      LogEvent::Str("to", std::string(FanoutPolicyName(
+                                              desired))),
+                      LogEvent::Str("trigger_party", trigger_party),
+                      LogEvent::Str("reason", reason),
+                      LogEvent::Str("detail", detail)});
+  }
+  std::fprintf(stderr, "fanout broker: policy %s -> %s%s%s%s\n",
+               std::string(FanoutPolicyName(current)).c_str(),
+               std::string(FanoutPolicyName(desired)).c_str(),
+               trigger_party.empty() ? "" : " (",
+               trigger_party.empty()
+                   ? ""
+                   : (trigger_party + ": " + reason + ", " + detail).c_str(),
+               trigger_party.empty() ? "" : ")");
+}
+
+Result<HealthReport> FanoutCluster::GetHealth() {
+  std::shared_lock<std::shared_mutex> lifecycle(lifecycle_mu_);
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("fan-out cluster is closed");
+  }
+  if (monitor_ != nullptr) return monitor_->Latest();
+  return ClusterTransport::GetHealth();
+}
+
 Status FanoutCluster::Close() {
   if (closed_.exchange(true)) return Status::OK();
   for (const auto& daemon : daemons_) {
@@ -1232,6 +1460,10 @@ Status FanoutCluster::Close() {
   // Barrier: wait out the in-flight calls (their awaits just failed) so
   // the destructor can never free Daemon state under one.
   std::unique_lock<std::shared_mutex> lifecycle(lifecycle_mu_);
+  // Join the health monitor before daemon state is cleared: its collector
+  // walks daemon mutexes and replay depths, and GetHealth() dereferences
+  // it under the shared lifecycle lock this barrier just drained.
+  monitor_.reset();
   // With no call in flight anymore, drop everything a degraded run parked:
   // rescued recommendations must not survive into a rebuilt broker's
   // gathers, and replay buffers must not pin memory after close.

@@ -96,8 +96,11 @@
 
 #include "cluster/partitioner.h"
 #include "cluster/transport.h"
+#include "health/health_engine.h"
+#include "health/health_monitor.h"
 #include "net/mux_connection.h"
 #include "net/wire.h"
+#include "util/event_log.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -200,6 +203,42 @@ struct FanoutClusterOptions {
   /// successful take). Overflow drops the newest rescued entries and
   /// counts them in ClusterStats::rescue_dropped.
   size_t max_pending_recommendations = 1 << 16;
+
+  // --- health autopilot ------------------------------------------------------
+
+  /// Run the broker-side health engine: a monitor thread samples the
+  /// registry every health_interval_ms, scores every daemon plus the
+  /// broker itself (src/health/health_engine.h), publishes
+  /// `health{party=...}` gauges, journals transitions — and flips the
+  /// ACTIVE policy strict→quorum while any daemon is unhealthy, then back
+  /// once every party has been healthy through the engine's dwell +
+  /// recovery hysteresis AND every replay buffer has drained (flipping to
+  /// strict with frames still parked would strand them). Only meaningful
+  /// when `policy` is kStrict: a configured degraded policy is already at
+  /// or past what the autopilot would flip to, so it is left alone.
+  bool autopilot = false;
+
+  /// Evaluation cadence of the broker health engine.
+  int health_interval_ms = 250;
+
+  /// Rule thresholds + anti-flap tuning (docs/observability.md).
+  HealthThresholds health;
+
+  /// JSONL journal for health transitions, policy flips, and load-shed
+  /// events ("" = in-memory ring only; see EventLog::Recent()).
+  std::string event_journal_path;
+
+  /// Operator override: keep evaluating and journaling health, but never
+  /// flip the active policy (docs/operations.md's "pin the policy").
+  bool pin_policy = false;
+
+  /// Load shedding: while any daemon's replay buffer is at least this
+  /// full, PublishBatch fails fast with ResourceExhausted instead of
+  /// pushing the buffer to its hard bound and dropping events. Shedding
+  /// clears once every buffer is back below half this fraction
+  /// (hysteresis). 0 disables. Requires autopilot (the monitor is what
+  /// evaluates it).
+  double shed_replay_frac = 0.9;
 };
 
 /// The fan-out/gather broker endpoint. Thread-safe; concurrent callers
@@ -256,6 +295,25 @@ class FanoutCluster : public ClusterTransport {
 
   /// The group partitioner replica ops are routed with.
   Result<HashPartitioner> Partitioner() const override;
+
+  /// The broker engine's latest report: the broker party plus one party
+  /// per daemon, with reasons and triggering values. Falls back to the
+  /// registry-gauge reconstruction when the autopilot is off.
+  Result<HealthReport> GetHealth() override;
+
+  /// The policy currently steering gathers/hedging/replay — the autopilot
+  /// may have flipped it away from options.policy.
+  FanoutPolicy active_policy() const {
+    return active_policy_.load(std::memory_order_relaxed);
+  }
+
+  /// True while admission control is rejecting publishes (see
+  /// FanoutClusterOptions::shed_replay_frac).
+  bool shedding() const { return shedding_.load(std::memory_order_relaxed); }
+
+  /// The event journal (never null once Connect returns; in-memory only
+  /// when no path was configured). Transitions, flips, and shed events.
+  EventLog* journal() { return journal_.get(); }
 
   /// Round-trips every daemon AND verifies each actually hosts what the
   /// endpoint list claims — group size, hosted partition, partitioner salt
@@ -379,8 +437,14 @@ class FanoutCluster : public ClusterTransport {
   /// connection, and record the tagged error.
   bool AwaitReply(Slot* slot, std::vector<Frame>* frames);
 
-  /// True under a degraded policy (anything but kStrict).
-  bool degraded() const { return options_.policy != FanoutPolicy::kStrict; }
+  /// True under a degraded ACTIVE policy (anything but kStrict). The
+  /// active policy starts as options.policy and is flipped by the
+  /// autopilot; every degraded-mode gate (replay, hedging, sequence
+  /// tagging, quorum tolerance) keys off it, never off the configured one.
+  bool degraded() const {
+    return active_policy_.load(std::memory_order_relaxed) !=
+           FanoutPolicy::kStrict;
+  }
 
   /// Next idempotent batch sequence (never 0, the "no dedup" marker).
   uint64_t NextBatchSequence();
@@ -415,16 +479,21 @@ class FanoutCluster : public ClusterTransport {
   /// frame under fresh request_ids — on the standing connection when it
   /// survived (server-side stall), on a redial (without opening the
   /// backoff window) when it died. True iff the lane is live again with
-  /// slot->calls realigned to the frame list.
-  bool TryHedgePublish(Slot* slot, const std::vector<std::string>& frames);
+  /// slot->calls realigned to the frame list. `sequenced` says whether the
+  /// frames carry batch sequences (the call entered under a degraded
+  /// policy): hedging an unsequenced frame could double-apply it, so the
+  /// hedge only fires when they do — a mid-call autopilot flip must not
+  /// change that.
+  bool TryHedgePublish(Slot* slot, const std::vector<std::string>& frames,
+                       bool sequenced);
 
   /// Awaits the oldest unacked publish frame on the lane, hedging once on
-  /// failure when the policy allows. kError replies record the first
-  /// server error but keep the lane (the session is still usable). A
-  /// non-null `trace` folds the stamps echoed on an ack's trace tail into
-  /// the publish's originating context.
+  /// failure when the policy allows (see TryHedgePublish on `sequenced`).
+  /// kError replies record the first server error but keep the lane (the
+  /// session is still usable). A non-null `trace` folds the stamps echoed
+  /// on an ack's trace tail into the publish's originating context.
   void ReapOneAck(Slot* slot, const std::vector<std::string>& frames,
-                  TraceContext* trace);
+                  bool sequenced, TraceContext* trace);
 
   /// Awaits and decodes one kStatsReply on a slot; false on any failure
   /// (recorded in the slot's status).
@@ -446,6 +515,31 @@ class FanoutCluster : public ClusterTransport {
 
   /// The daemon hosting `partition`, or null.
   Daemon* RouteToPartition(uint32_t partition);
+
+  // --- health autopilot plumbing (see StartHealthMonitor in the .cc) --------
+
+  /// Gauge/party label for a daemon: "pN" for a partition-group member,
+  /// "host:port" for an all-hosting daemon.
+  std::string PartyName(const Daemon& daemon) const;
+
+  /// Spawns journal_ + monitor_ (Connect tail, after topology validation).
+  void StartHealthMonitor();
+
+  /// Monitor pre-sample hook: mirrors the broker's degraded-mode atomics
+  /// into the registry so windowed rate queries see them (the same
+  /// mirroring GetStatsText performs at scrape time).
+  void MirrorBrokerCounters();
+
+  /// Monitor collector: one HealthInputs party per daemon plus "broker".
+  /// Also evaluates the load-shed hysteresis, since it already holds the
+  /// replay depths.
+  void CollectHealthInputs(const MetricsTimeSeries& series, int64_t window_us,
+                           HealthInputs* inputs);
+
+  /// Monitor observer: decides the desired active policy from the report
+  /// and flips (journaled) unless pinned.
+  void OnHealthReport(const HealthReport& report,
+                      const std::vector<HealthTransition>& transitions);
 
   FanoutClusterOptions options_;
   std::vector<std::unique_ptr<Daemon>> daemons_;
@@ -483,6 +577,26 @@ class FanoutCluster : public ClusterTransport {
   std::atomic<uint64_t> replayed_events_{0};
   std::atomic<uint64_t> replay_dropped_events_{0};
   std::atomic<uint64_t> rescue_dropped_{0};
+
+  // --- health autopilot state ------------------------------------------------
+
+  /// The policy actually steering this broker. Equals options_.policy
+  /// until the autopilot flips it.
+  std::atomic<FanoutPolicy> active_policy_{FanoutPolicy::kStrict};
+
+  /// Admission control: set/cleared by the monitor's shed hysteresis,
+  /// checked at the top of PublishBatch.
+  std::atomic<bool> shedding_{false};
+
+  std::atomic<uint64_t> policy_flips_{0};
+  std::atomic<uint64_t> shed_publishes_{0};
+
+  /// Journal + monitor. Created by Connect (journal always, monitor only
+  /// with autopilot on); the monitor is torn down at the top of Close(),
+  /// before daemon state is severed, since its collector reads daemon
+  /// mutexes and replay depths.
+  std::unique_ptr<EventLog> journal_;
+  std::unique_ptr<HealthMonitor> monitor_;
 
   /// Publishes seen, for the 1-in-trace_sample_every sampling decision.
   std::atomic<uint64_t> publish_count_{0};

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "health/health_monitor.h"
 #include "net/epoll_reactor.h"
 #include "net/frame_io.h"
 #include "util/clock.h"
@@ -117,6 +118,44 @@ Result<std::unique_ptr<RpcServer>> RpcServer::Start(
     server->accept_thread_ =
         std::thread([s = server.get()] { s->AcceptLoop(); });
   }
+  if (options.health_interval_ms > 0) {
+    // Self-health: the daemon grades its own serving behavior from the
+    // same registry counters the scrape surface renders. Only the rate
+    // rules fire — replay depth and gather staleness are the broker's
+    // view of this daemon, not its own.
+    std::string party = options.health_party;
+    if (party.empty()) {
+      party = options.trace_party == kTracePartyAllHosting
+                  ? StrFormat("%s:%u", options.host.c_str(),
+                              static_cast<unsigned>(server->port()))
+                  : StrFormat("p%u", options.trace_party);
+    }
+    const MetricLabels labels = {
+        {"server", StrFormat("%s:%u", options.host.c_str(),
+                             static_cast<unsigned>(server->port()))}};
+    const std::string stalls_key = MetricKey("rpc_inflight_stalls", labels);
+    const std::string errors_key = MetricKey("rpc_protocol_errors", labels);
+    const std::string slow_key = MetricKey("rpc_slow_requests", labels);
+    HealthMonitorOptions monitor_options;
+    monitor_options.interval_ms = options.health_interval_ms;
+    monitor_options.thresholds = options.health;
+    server->health_monitor_ = std::make_unique<HealthMonitor>(
+        MetricsRegistry::Default(), options.event_journal,
+        [party, stalls_key, errors_key, slow_key](
+            const MetricsTimeSeries& series, int64_t window_us,
+            HealthInputs* inputs) {
+          HealthInputs::Party self;
+          self.name = party;
+          self.inflight_stall_rate_per_s =
+              series.CounterRate(stalls_key, window_us).value_or(0);
+          self.protocol_error_rate_per_s =
+              series.CounterRate(errors_key, window_us).value_or(0);
+          self.slow_request_rate_per_s =
+              series.CounterRate(slow_key, window_us).value_or(0);
+          inputs->parties.push_back(std::move(self));
+        },
+        monitor_options);
+  }
   return server;
 }
 
@@ -125,6 +164,10 @@ RpcServer::~RpcServer() { Stop(); }
 void RpcServer::Stop() {
   if (stopped_) return;
   stopped_ = true;
+  // Join the health monitor first: its collector reads this server's
+  // registry counters through cached pointers, and the journal it writes
+  // is only guaranteed to outlive the server, not Stop().
+  health_monitor_.reset();
   stopping_.store(true, std::memory_order_release);
   listener_.Close();  // unblocks Accept() / wakes the reactor
   if (reactor_ != nullptr) reactor_->Stop();

@@ -58,6 +58,7 @@
 #include <unordered_set>
 
 #include "cluster/transport.h"
+#include "health/health_engine.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "util/result.h"
@@ -65,7 +66,9 @@
 
 namespace magicrecs {
 class Counter;
+class EventLog;
 class Gauge;
+class HealthMonitor;
 }  // namespace magicrecs
 
 namespace magicrecs::net {
@@ -134,6 +137,26 @@ struct RpcServerOptions {
   /// partition-group daemon passes its global partition id, an all-hosting
   /// daemon keeps the sentinel.
   uint32_t trace_party = kTracePartyAllHosting;
+
+  /// > 0 runs a self-health monitor (health/health_monitor.h) on this
+  /// interval: windowed rates of this server's own in-flight stalls,
+  /// protocol errors, and slow requests feed the rule engine, whose state
+  /// lands in the `health{party=...}` gauge the kStatsText scrape renders.
+  /// 0 (the default) runs no monitor thread.
+  int health_interval_ms = 0;
+
+  /// Rule thresholds for the self-health monitor. Only the rate rules
+  /// apply — a daemon has no replay buffers or gather staleness of its
+  /// own; those are the broker's view of it.
+  HealthThresholds health;
+
+  /// Where health transitions are journaled (JSONL, util/event_log.h).
+  /// Borrowed, may be null, must outlive the server when set.
+  EventLog* event_journal = nullptr;
+
+  /// Party name the monitor reports under. Empty derives one: "pN" when
+  /// trace_party names a partition, else "host:port".
+  std::string health_party;
 };
 
 /// Lifetime counters, readable while the server runs. Since PR 6 these are
@@ -298,6 +321,11 @@ class RpcServer {
   Counter* mux_connections_metric_ = nullptr;
   Counter* slow_requests_metric_ = nullptr;
   RpcServerStats baseline_;
+
+  /// Self-health monitor (present only when health_interval_ms > 0).
+  /// Created last in Start(), destroyed first in Stop(): its collector
+  /// reads this server's registry counters, which outlive both.
+  std::unique_ptr<HealthMonitor> health_monitor_;
 };
 
 }  // namespace magicrecs::net

@@ -67,6 +67,36 @@ void Histogram::Merge(const Histogram& other) {
   sum_squares_ += other.sum_squares_;
 }
 
+Histogram Histogram::DeltaSince(const Histogram& earlier) const {
+  Histogram delta;
+  int lowest = -1;
+  int highest = -1;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t before = earlier.buckets_[i];
+    const uint64_t now = buckets_[i];
+    const uint64_t d = now > before ? now - before : 0;
+    delta.buckets_[i] = d;
+    if (d > 0) {
+      if (lowest < 0) lowest = i;
+      highest = i;
+    }
+    delta.count_ += d;
+  }
+  if (delta.count_ == 0) return delta;
+  delta.sum_ = std::max(0.0, sum_ - earlier.sum_);
+  delta.sum_squares_ = std::max(0.0, sum_squares_ - earlier.sum_squares_);
+  // Window extremes: the low bound of the lowest populated delta bucket and
+  // the high bound of the highest, the latter clamped by the cumulative max
+  // (any window's max is <= the cumulative max; the cumulative min may
+  // predate the window, so it cannot tighten the other side).
+  delta.min_ = static_cast<int64_t>(BucketLow(lowest));
+  const uint64_t high = std::min(
+      BucketHigh(highest), static_cast<uint64_t>(std::max<int64_t>(max_, 0)));
+  delta.max_ = static_cast<int64_t>(high);
+  if (delta.max_ < delta.min_) delta.max_ = delta.min_;
+  return delta;
+}
+
 double Histogram::Quantile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);

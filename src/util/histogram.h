@@ -27,6 +27,15 @@ class Histogram {
   /// Merges another histogram into this one.
   void Merge(const Histogram& other);
 
+  /// The distribution of observations recorded between `earlier` (an older
+  /// snapshot of this same histogram) and now: per-bucket subtraction, exact
+  /// count/sum/sum-of-squares, min/max approximated by the bucket bounds of
+  /// the delta's populated range (the window's exact extremes are not
+  /// recoverable from two cumulative snapshots). Buckets where `earlier` is
+  /// ahead clamp to zero, so a mismatched pair degrades instead of
+  /// underflowing.
+  Histogram DeltaSince(const Histogram& earlier) const;
+
   /// Value at quantile q in [0, 1], linearly interpolated inside the
   /// containing bucket. Returns 0 for an empty histogram.
   double Quantile(double q) const;

@@ -38,26 +38,155 @@ std::string JsonEscapeKey(const std::string& key) {
   return out;
 }
 
+/// Replaces exposition-grammar characters in a metric name or label key
+/// with '_'. Names and keys are structural tokens, not data: escaping them
+/// would push the complexity onto every line-oriented consumer, so they are
+/// sanitized instead and the rejection is counted.
+std::string SanitizeStructural(const std::string& token, bool* changed) {
+  std::string out = token;
+  for (char& c : out) {
+    switch (c) {
+      case ' ':
+      case '\t':
+      case '\n':
+      case '\r':
+      case '{':
+      case '}':
+      case '"':
+      case ',':
+      case '=':
+      case '|':
+      case '\\':
+        c = '_';
+        *changed = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+/// Sanitizes a prebuilt key handed to the single-argument Get* overloads.
+/// Keys built by MetricKey() never contain raw whitespace or `|` (label
+/// values arrive escaped), so only line/token-breaking characters are
+/// replaced; braces, quotes, and backslashes are legitimate key structure.
+std::string SanitizePrebuiltKey(const std::string& key, bool* changed) {
+  std::string out = key;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '|') {
+      c = '_';
+      *changed = true;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
-std::string MetricKey(const std::string& name, const MetricLabels& labels) {
-  if (labels.empty()) return name;
-  MetricLabels sorted = labels;
-  std::sort(sorted.begin(), sorted.end());
-  std::string key = name + "{";
-  for (size_t i = 0; i < sorted.size(); ++i) {
-    if (i > 0) key += ",";
-    key += sorted[i].first + "=\"" + sorted[i].second + "\"";
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case ' ':
+        out += "\\s";
+        break;
+      case '|':
+        // Not `\|`: a literal pipe in the escaped form would survive into
+        // the key, where pipes are reserved (the prebuilt-key sanitizer
+        // defangs them). `\p` keeps the escaped value pipe-free.
+        out += "\\p";
+        break;
+      default:
+        out.push_back(c);
+        break;
+    }
   }
-  key += "}";
+  return out;
+}
+
+std::string UnescapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != '\\' || i + 1 == value.size()) {
+      if (value[i] != '\\') out.push_back(value[i]);
+      continue;
+    }
+    const char next = value[++i];
+    switch (next) {
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 's':
+        out.push_back(' ');
+        break;
+      case 'p':
+        out.push_back('|');
+        break;
+      default:
+        out.push_back(next);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string MetricKey(const std::string& name, const MetricLabels& labels) {
+  bool changed = false;
+  std::string key = SanitizeStructural(name, &changed);
+  if (!labels.empty()) {
+    MetricLabels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    key += "{";
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      if (i > 0) key += ",";
+      key += SanitizeStructural(sorted[i].first, &changed) + "=\"" +
+             EscapeLabelValue(sorted[i].second) + "\"";
+    }
+    key += "}";
+  }
+  if (changed) {
+    MetricsRegistry::Default()->GetCounter("metrics_sanitized_keys")
+        ->Increment();
+  }
   return key;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
-  return slot.get();
+  bool changed = false;
+  const std::string key = SanitizePrebuiltKey(name, &changed);
+  Counter* counter;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = counters_[key];
+    if (!slot) slot = std::make_unique<Counter>();
+    counter = slot.get();
+  }
+  if (changed) GetCounter("metrics_sanitized_keys")->Increment();
+  return counter;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
@@ -66,10 +195,17 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = gauges_[name];
-  if (!slot) slot = std::make_unique<Gauge>();
-  return slot.get();
+  bool changed = false;
+  const std::string key = SanitizePrebuiltKey(name, &changed);
+  Gauge* gauge;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = gauges_[key];
+    if (!slot) slot = std::make_unique<Gauge>();
+    gauge = slot.get();
+  }
+  if (changed) GetCounter("metrics_sanitized_keys")->Increment();
+  return gauge;
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
@@ -78,10 +214,17 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 }
 
 HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<HistogramMetric>();
-  return slot.get();
+  bool changed = false;
+  const std::string key = SanitizePrebuiltKey(name, &changed);
+  HistogramMetric* histogram;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = histograms_[key];
+    if (!slot) slot = std::make_unique<HistogramMetric>();
+    histogram = slot.get();
+  }
+  if (changed) GetCounter("metrics_sanitized_keys")->Increment();
+  return histogram;
 }
 
 HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
@@ -189,6 +332,31 @@ std::string MetricsRegistry::RenderJson() const {
   }
   out += "}";
   return out;
+}
+
+void MetricsRegistry::Export(MetricsSnapshotData* out) const {
+  out->counters.clear();
+  out->gauges.clear();
+  out->histograms.clear();
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const HistogramMetric*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+  }
+  for (const auto& [name, c] : counters) out->counters[name] = c->Value();
+  for (const auto& [name, g] : gauges) out->gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms) {
+    out->histograms.emplace(name, h->Snapshot());
+  }
 }
 
 MetricsRegistry* MetricsRegistry::Default() {

@@ -105,9 +105,36 @@ class HistogramMetric {
 /// Label dimensions for a metric, e.g. {{"partition", "3"}}.
 using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
+/// Escapes a label value for embedding in a metric key so the text
+/// exposition stays line-oriented and space-splittable: backslash, double
+/// quote, newline, CR, tab, space, and `|` become two-character backslash
+/// sequences (`\\` `\"` `\n` `\r` `\t` `\s` `\p`). `|` maps to `\p`
+/// (not `\|`) so no literal pipe survives escaping — pipes are reserved
+/// as a field separator and defanged outright by the prebuilt-key
+/// sanitizer. Applied by MetricKey(); exposed so scrapers and tests can
+/// round-trip hostile values.
+std::string EscapeLabelValue(const std::string& value);
+
+/// Inverse of EscapeLabelValue. Unknown escapes decode to the escaped
+/// character itself; a trailing lone backslash is dropped.
+std::string UnescapeLabelValue(const std::string& value);
+
 /// Canonical exposition key: `name` alone, or `name{k="v",...}` with the
-/// labels sorted by key.
+/// labels sorted by key and the values escaped (EscapeLabelValue). Metric
+/// names and label keys are structural — characters that would corrupt the
+/// exposition grammar (whitespace, `{}`, `"`, `,`, `=`, `|`, backslash) are
+/// replaced with `_` rather than escaped, and the registry counts such
+/// rejections in `metrics_sanitized_keys`.
 std::string MetricKey(const std::string& name, const MetricLabels& labels);
+
+/// A point-in-time copy of every metric in a registry, keyed by exposition
+/// key. This is the structured feed for the windowed time-series
+/// (util/timeseries.h) and the health engine built on it.
+struct MetricsSnapshotData {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Histogram> histograms;
+};
 
 /// Registry of named metrics. Lookup creates on first use; the returned
 /// pointers remain valid for the registry's lifetime, so hot paths resolve
@@ -139,6 +166,11 @@ class MetricsRegistry {
   /// One-line JSON object {"key": value, ..., "hist_key": {...}} for the
   /// JSONL file exporter.
   std::string RenderJson() const;
+
+  /// Copies every metric's current value into `out` (cleared first).
+  /// Histograms are deep-copied so the caller can difference snapshots
+  /// later (Histogram::DeltaSince).
+  void Export(MetricsSnapshotData* out) const;
 
   /// The process-wide registry every subsystem reports into.
   static MetricsRegistry* Default();

@@ -1,0 +1,74 @@
+#include "util/metrics_export.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace magicrecs {
+
+MetricsJsonlDumper::MetricsJsonlDumper(std::string path, int64_t interval_s,
+                                       MetricsRegistry* registry, Clock* clock)
+    : path_(std::move(path)),
+      interval_s_(interval_s),
+      registry_(registry),
+      clock_(clock) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+MetricsJsonlDumper::~MetricsJsonlDumper() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void MetricsJsonlDumper::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::seconds(interval_s_),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    DumpNow();
+    lock.lock();
+  }
+  // One final dump on shutdown so short runs never lose their tail. This
+  // runs even when stop_ was set before the thread's first wait — a
+  // dumper destroyed moments after construction still writes one line.
+  lock.unlock();
+  DumpNow();
+}
+
+void MetricsJsonlDumper::DumpNow() {
+  const std::string json = registry_->RenderJson();
+  int64_t ts;
+  {
+    // Serialize writers and keep ts_us strictly monotone per dumper even
+    // when two dumps land in the same microsecond: consumers difference
+    // consecutive lines by ts_us.
+    std::lock_guard<std::mutex> lock(mu_);
+    ts = clock_->Now();
+    if (ts <= last_ts_) ts = last_ts_ + 1;
+    last_ts_ = ts;
+    ++dumps_;
+    std::FILE* out = std::fopen(path_.c_str(), "a");
+    if (out == nullptr) {
+      std::fprintf(stderr, "metrics dumper: cannot append metrics to %s\n",
+                   path_.c_str());
+      return;
+    }
+    // Splice the tick timestamp into the registry's one-line object.
+    std::fprintf(out, "{\"ts_us\":%lld%s%s\n", static_cast<long long>(ts),
+                 json.size() > 2 ? "," : "", json.c_str() + 1);
+    std::fclose(out);
+  }
+}
+
+uint64_t MetricsJsonlDumper::dumps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dumps_;
+}
+
+}  // namespace magicrecs

@@ -1,0 +1,62 @@
+// Background JSONL metrics exporter, extracted from magicrecsd so tests
+// can drive it directly: appends one timestamped RenderJson() line per
+// tick until stopped, plus one final dump at destruction so short runs and
+// clean shutdowns never lose their tail.
+//
+// The file is opened in append mode per tick, so external log rotation
+// (rename + recreate) works without signaling the process, and sequential
+// daemon runs appending to the same path produce a parseable concatenation.
+
+#ifndef MAGICRECS_UTIL_METRICS_EXPORT_H_
+#define MAGICRECS_UTIL_METRICS_EXPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/clock.h"
+#include "util/metrics.h"
+
+namespace magicrecs {
+
+/// Dumps `registry` to `path` as JSONL every `interval_s` seconds from a
+/// background thread started by the constructor. Destruction stops the
+/// thread after one final dump.
+class MetricsJsonlDumper {
+ public:
+  MetricsJsonlDumper(std::string path, int64_t interval_s,
+                     MetricsRegistry* registry = MetricsRegistry::Default(),
+                     Clock* clock = SystemClock::Default());
+  ~MetricsJsonlDumper();
+
+  MetricsJsonlDumper(const MetricsJsonlDumper&) = delete;
+  MetricsJsonlDumper& operator=(const MetricsJsonlDumper&) = delete;
+
+  /// Appends one line now, off-schedule (tests; operators poking a daemon).
+  /// Safe concurrently with the background thread.
+  void DumpNow();
+
+  /// Lines this dumper appended (including failed opens, which log to
+  /// stderr instead of writing).
+  uint64_t dumps() const;
+
+ private:
+  void Loop();
+
+  const std::string path_;
+  const int64_t interval_s_;
+  MetricsRegistry* const registry_;
+  Clock* const clock_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  int64_t last_ts_ = 0;
+  uint64_t dumps_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_UTIL_METRICS_EXPORT_H_

@@ -1,0 +1,151 @@
+#include "util/timeseries.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace magicrecs {
+
+MetricsTimeSeries::MetricsTimeSeries(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 2)) {}
+
+void MetricsTimeSeries::Sample(const MetricsRegistry& registry,
+                               int64_t now_us) {
+  MetricsSnapshotData data;
+  registry.Export(&data);
+  SampleData(std::move(data), now_us);
+}
+
+void MetricsTimeSeries::SampleData(MetricsSnapshotData data, int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(MetricsSample{now_us, std::move(data)});
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+size_t MetricsTimeSeries::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+int64_t MetricsTimeSeries::SpanUs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < 2) return 0;
+  return ring_.back().at_us - ring_.front().at_us;
+}
+
+size_t MetricsTimeSeries::BaseIndexLocked(int64_t window_us) const {
+  const int64_t cutoff = ring_.back().at_us - window_us;
+  // Oldest sample still inside the window...
+  size_t base = ring_.size() - 1;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    if (ring_[i].at_us >= cutoff) {
+      base = i;
+      break;
+    }
+  }
+  // ...but never the newest itself: step back one so there is always an
+  // interval to difference over, even when sampling is slower than the
+  // requested window.
+  if (base == ring_.size() - 1) base = ring_.size() - 2;
+  return base;
+}
+
+Result<uint64_t> MetricsTimeSeries::CounterDelta(const std::string& key,
+                                                 int64_t window_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < 2) {
+    return Status::FailedPrecondition(
+        "counter delta needs at least two samples");
+  }
+  const MetricsSample& newest = ring_.back();
+  const auto now_it = newest.data.counters.find(key);
+  if (now_it == newest.data.counters.end()) {
+    return Status::NotFound("no counter " + key + " in newest sample");
+  }
+  const MetricsSample& base = ring_[BaseIndexLocked(window_us)];
+  const auto base_it = base.data.counters.find(key);
+  const uint64_t before =
+      base_it == base.data.counters.end() ? 0 : base_it->second;
+  return now_it->second > before ? now_it->second - before : uint64_t{0};
+}
+
+Result<double> MetricsTimeSeries::CounterRate(const std::string& key,
+                                              int64_t window_us) const {
+  uint64_t delta = 0;
+  int64_t elapsed_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < 2) {
+      return Status::FailedPrecondition(
+          "counter rate needs at least two samples");
+    }
+    const MetricsSample& newest = ring_.back();
+    const auto now_it = newest.data.counters.find(key);
+    if (now_it == newest.data.counters.end()) {
+      return Status::NotFound("no counter " + key + " in newest sample");
+    }
+    const MetricsSample& base = ring_[BaseIndexLocked(window_us)];
+    const auto base_it = base.data.counters.find(key);
+    const uint64_t before =
+        base_it == base.data.counters.end() ? 0 : base_it->second;
+    delta = now_it->second > before ? now_it->second - before : 0;
+    elapsed_us = newest.at_us - base.at_us;
+  }
+  if (elapsed_us <= 0) {
+    return Status::FailedPrecondition("window base and newest sample coincide");
+  }
+  return static_cast<double>(delta) * 1e6 / static_cast<double>(elapsed_us);
+}
+
+Result<Histogram> MetricsTimeSeries::HistogramDelta(const std::string& key,
+                                                    int64_t window_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < 2) {
+    return Status::FailedPrecondition(
+        "histogram delta needs at least two samples");
+  }
+  const MetricsSample& newest = ring_.back();
+  const auto now_it = newest.data.histograms.find(key);
+  if (now_it == newest.data.histograms.end()) {
+    return Status::NotFound("no histogram " + key + " in newest sample");
+  }
+  const MetricsSample& base = ring_[BaseIndexLocked(window_us)];
+  const auto base_it = base.data.histograms.find(key);
+  if (base_it == base.data.histograms.end()) {
+    return now_it->second.DeltaSince(Histogram());
+  }
+  return now_it->second.DeltaSince(base_it->second);
+}
+
+Result<int64_t> MetricsTimeSeries::GaugeLast(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) {
+    return Status::FailedPrecondition("gauge last needs at least one sample");
+  }
+  const auto it = ring_.back().data.gauges.find(key);
+  if (it == ring_.back().data.gauges.end()) {
+    return Status::NotFound("no gauge " + key + " in newest sample");
+  }
+  return it->second;
+}
+
+Result<int64_t> MetricsTimeSeries::GaugeMax(const std::string& key,
+                                            int64_t window_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) {
+    return Status::FailedPrecondition("gauge max needs at least one sample");
+  }
+  const size_t base =
+      ring_.size() < 2 ? 0 : BaseIndexLocked(window_us);
+  bool seen = false;
+  int64_t best = 0;
+  for (size_t i = base; i < ring_.size(); ++i) {
+    const auto it = ring_[i].data.gauges.find(key);
+    if (it == ring_[i].data.gauges.end()) continue;
+    if (!seen || it->second > best) best = it->second;
+    seen = true;
+  }
+  if (!seen) return Status::NotFound("no gauge " + key + " in window");
+  return best;
+}
+
+}  // namespace magicrecs

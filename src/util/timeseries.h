@@ -1,0 +1,99 @@
+// Windowed time-series over the metrics registry: a bounded ring of
+// periodic MetricsRegistry snapshots plus the windowed queries that turn
+// monotone counters into rates, cumulative histograms into per-window
+// distributions, and gauges into last/max readings.
+//
+// The registry itself is deliberately rate-free (counters are monotone and
+// never reset; see util/metrics.h) — this is the layer that differences it.
+// A health engine (src/health/health_engine.h) samples one of these on a
+// timer and asks "how many inflight stalls per second over the last 10s?"
+// instead of staring at a lifetime total.
+//
+// Sampling and queries take explicit timestamps via the sampler, so tests
+// drive the ring with a SimulatedClock and assert exact window math.
+
+#ifndef MAGICRECS_UTIL_TIMESERIES_H_
+#define MAGICRECS_UTIL_TIMESERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "util/metrics.h"
+#include "util/result.h"
+
+namespace magicrecs {
+
+/// One registry snapshot with the time it was taken (microseconds, same
+/// epoch as util/clock.h).
+struct MetricsSample {
+  int64_t at_us = 0;
+  MetricsSnapshotData data;
+};
+
+/// Bounded ring of registry snapshots with windowed queries. Thread-safe:
+/// one sampler thread appends while scrape/health threads query.
+///
+/// Window semantics: a query over `window_us` compares the newest sample
+/// against the oldest sample taken within `[newest - window_us, newest]`
+/// (the "base"). With only one sample in the window but older samples
+/// available, the nearest older sample is used so a rate is always computed
+/// from two distinct points; with fewer than two samples total, rate and
+/// delta queries fail with FailedPrecondition.
+class MetricsTimeSeries {
+ public:
+  /// `capacity` bounds the ring; the oldest sample is evicted when full.
+  /// 256 samples at a 1s interval is ~4 minutes of history — enough for
+  /// 10s/60s windows with slack for slow scrapes.
+  explicit MetricsTimeSeries(size_t capacity = 256);
+
+  /// Snapshots `registry` at time `now_us` and appends it to the ring.
+  void Sample(const MetricsRegistry& registry, int64_t now_us);
+
+  /// Appends a prebuilt snapshot (the test seam).
+  void SampleData(MetricsSnapshotData data, int64_t now_us);
+
+  size_t size() const;
+
+  /// Time between the oldest and newest samples, 0 with fewer than two.
+  int64_t SpanUs() const;
+
+  /// Counter increase from the window base to the newest sample. A counter
+  /// absent at the base (registered mid-window) counts from zero; a counter
+  /// absent from the newest sample is NotFound.
+  Result<uint64_t> CounterDelta(const std::string& key,
+                                int64_t window_us) const;
+
+  /// CounterDelta divided by the elapsed seconds between base and newest
+  /// sample (the *actual* span, not the nominal window, so irregular
+  /// sampling does not skew the rate).
+  Result<double> CounterRate(const std::string& key, int64_t window_us) const;
+
+  /// The distribution recorded between the window base and the newest
+  /// sample (Histogram::DeltaSince). A histogram absent at the base
+  /// diffs against empty.
+  Result<Histogram> HistogramDelta(const std::string& key,
+                                   int64_t window_us) const;
+
+  /// Gauge value in the newest sample; NotFound if absent there.
+  Result<int64_t> GaugeLast(const std::string& key) const;
+
+  /// Maximum gauge value across every sample in the window (including the
+  /// base), NotFound if absent from all of them.
+  Result<int64_t> GaugeMax(const std::string& key, int64_t window_us) const;
+
+ private:
+  // Index of the window base for the newest sample, under mu_.
+  // Pre: ring_.size() >= 2.
+  size_t BaseIndexLocked(int64_t window_us) const;
+
+  mutable std::mutex mu_;
+  std::deque<MetricsSample> ring_;
+  const size_t capacity_;
+};
+
+}  // namespace magicrecs
+
+#endif  // MAGICRECS_UTIL_TIMESERIES_H_

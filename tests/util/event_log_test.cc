@@ -1,0 +1,106 @@
+#include "util/event_log.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../persist/scoped_temp_dir.h"
+
+namespace magicrecs {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+TEST(LogEventTest, RendersFlatJson) {
+  LogEvent event;
+  event.ts_us = 42;
+  event.type = "policy_flip";
+  event.fields = {LogEvent::Str("from", "strict"),
+                  LogEvent::Num("flips", static_cast<uint64_t>(3))};
+  EXPECT_EQ(event.RenderJson(),
+            "{\"ts_us\":42,\"type\":\"policy_flip\","
+            "\"from\":\"strict\",\"flips\":3}");
+}
+
+TEST(LogEventTest, EscapesHostileStrings) {
+  LogEvent event;
+  event.ts_us = 1;
+  event.type = "t";
+  event.fields = {LogEvent::Str("detail", "a\"b\\c\nd\te")};
+  const std::string json = event.RenderJson();
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd\\te"), std::string::npos) << json;
+  // The rendered line itself must stay one line.
+  EXPECT_EQ(json.find('\n'), std::string::npos) << json;
+}
+
+TEST(EventLogTest, InMemoryRingOnly) {
+  EventLog log;  // no path
+  log.Append(10, "a", {});
+  log.Append(20, "b", {LogEvent::Str("k", "v")});
+  EXPECT_EQ(log.appended(), 2u);
+  EXPECT_EQ(log.write_failures(), 0u);
+  const std::vector<LogEvent> recent = log.Recent();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].type, "a");
+  EXPECT_EQ(recent[1].ts_us, 20);
+  EXPECT_EQ(recent[1].fields[0].value, "v");
+}
+
+TEST(EventLogTest, RingIsBounded) {
+  EventLog log("", /*recent_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    log.Append(i, "tick", {});
+  }
+  const std::vector<LogEvent> recent = log.Recent();
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_EQ(recent.front().ts_us, 6);  // oldest evicted
+  EXPECT_EQ(recent.back().ts_us, 9);
+  EXPECT_EQ(log.appended(), 10u);
+}
+
+TEST(EventLogTest, AppendsJsonlToFile) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/journal.jsonl";
+  EventLog log(path);
+  log.Append(1, "health_transition", {LogEvent::Str("party", "p2")});
+  log.Append(2, "policy_flip", {LogEvent::Str("to", "quorum")});
+  const std::string content = ReadAll(path);
+  EXPECT_EQ(content,
+            "{\"ts_us\":1,\"type\":\"health_transition\",\"party\":\"p2\"}\n"
+            "{\"ts_us\":2,\"type\":\"policy_flip\",\"to\":\"quorum\"}\n");
+}
+
+TEST(EventLogTest, SurvivesRotation) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/journal.jsonl";
+  EventLog log(path);
+  log.Append(1, "before", {});
+  // Rotate: rename the file out from under the journal. The per-append
+  // open must recreate the path instead of following the moved inode.
+  ASSERT_EQ(std::rename(path.c_str(), (path + ".1").c_str()), 0);
+  log.Append(2, "after", {});
+  EXPECT_EQ(ReadAll(path + ".1"), "{\"ts_us\":1,\"type\":\"before\"}\n");
+  EXPECT_EQ(ReadAll(path), "{\"ts_us\":2,\"type\":\"after\"}\n");
+  EXPECT_EQ(log.write_failures(), 0u);
+}
+
+TEST(EventLogTest, WriteFailureStillLandsInRing) {
+  EventLog log("/nonexistent-dir-for-sure/journal.jsonl");
+  log.Append(1, "evt", {});
+  EXPECT_EQ(log.write_failures(), 1u);
+  EXPECT_EQ(log.Recent().size(), 1u);
+}
+
+}  // namespace
+}  // namespace magicrecs

@@ -1,0 +1,137 @@
+#include "util/metrics_export.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/clock.h"
+#include "util/metrics.h"
+#include "../persist/scoped_temp_dir.h"
+
+namespace magicrecs {
+namespace {
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return {};
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < content.size()) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    lines.push_back(content.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  return lines;
+}
+
+long long TsOf(const std::string& line) {
+  long long ts = -1;
+  EXPECT_EQ(std::sscanf(line.c_str(), "{\"ts_us\":%lld", &ts), 1) << line;
+  return ts;
+}
+
+TEST(MetricsJsonlDumperTest, EachLineIsOneTimestampedObject) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/metrics.jsonl";
+  MetricsRegistry registry;
+  registry.GetCounter("events")->Increment(3);
+  SimulatedClock clock(1'000'000);
+  {
+    // A long interval: only the explicit dump and the destructor's final
+    // dump write lines.
+    MetricsJsonlDumper dumper(path, /*interval_s=*/3600, &registry, &clock);
+    dumper.DumpNow();
+    clock.Advance(1'000'000);
+  }
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);  // DumpNow + final dump at destruction
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"events\": 3"), std::string::npos) << line;
+  }
+  EXPECT_EQ(TsOf(lines[0]), 1'000'000);
+  EXPECT_EQ(TsOf(lines[1]), 2'000'000);
+}
+
+TEST(MetricsJsonlDumperTest, TimestampsAreStrictlyMonotone) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/metrics.jsonl";
+  MetricsRegistry registry;
+  SimulatedClock clock(500);  // frozen: every raw read returns 500
+  {
+    MetricsJsonlDumper dumper(path, 3600, &registry, &clock);
+    dumper.DumpNow();
+    dumper.DumpNow();
+    dumper.DumpNow();
+  }
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 4u);
+  long long prev = -1;
+  for (const std::string& line : lines) {
+    const long long ts = TsOf(line);
+    EXPECT_GT(ts, prev) << "ts_us must strictly increase per dumper";
+    prev = ts;
+  }
+}
+
+TEST(MetricsJsonlDumperTest, AppendAcrossRestartConcatenatesParseably) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/metrics.jsonl";
+  MetricsRegistry registry;
+  registry.GetCounter("events")->Increment();
+  SimulatedClock clock(1000);
+  {
+    MetricsJsonlDumper first(path, 3600, &registry, &clock);
+    clock.Advance(1000);
+  }  // final dump at ts=2000
+  clock.Advance(1000);
+  {
+    // A restarted daemon appends to the same file; the concatenation must
+    // still be one valid object per line.
+    MetricsJsonlDumper second(path, 3600, &registry, &clock);
+    clock.Advance(1000);
+  }  // final dump at ts=4000
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(TsOf(lines[0]), 2000);
+  EXPECT_EQ(TsOf(lines[1]), 4000);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST(MetricsJsonlDumperTest, EmptyRegistryStillRendersAnObject) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/metrics.jsonl";
+  MetricsRegistry registry;  // nothing registered
+  SimulatedClock clock(7);
+  { MetricsJsonlDumper dumper(path, 3600, &registry, &clock); }
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "{\"ts_us\":7}");
+}
+
+TEST(MetricsJsonlDumperTest, CountsDumps) {
+  ScopedTempDir dir;
+  MetricsRegistry registry;
+  SimulatedClock clock(1);
+  MetricsJsonlDumper dumper(dir.path() + "/m.jsonl", 3600, &registry, &clock);
+  EXPECT_EQ(dumper.dumps(), 0u);
+  dumper.DumpNow();
+  dumper.DumpNow();
+  EXPECT_EQ(dumper.dumps(), 2u);
+}
+
+}  // namespace
+}  // namespace magicrecs

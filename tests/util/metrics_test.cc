@@ -179,5 +179,88 @@ TEST(MetricsRegistryTest, ConcurrentRecordAndRenderIsSafe) {
   EXPECT_EQ(registry.GetCounter("hot")->Value(), 1'000u);
 }
 
+TEST(LabelEscapingTest, RoundTripsHostileValues) {
+  const std::string hostile = "a b|c\"d\\e\nf\rg\th";
+  const std::string escaped = EscapeLabelValue(hostile);
+  // Every structural character of the text exposition is gone.
+  EXPECT_EQ(escaped.find(' '), std::string::npos) << escaped;
+  EXPECT_EQ(escaped.find('|'), std::string::npos) << escaped;
+  EXPECT_EQ(escaped.find('\n'), std::string::npos) << escaped;
+  EXPECT_EQ(escaped.find('\r'), std::string::npos) << escaped;
+  EXPECT_EQ(escaped.find('\t'), std::string::npos) << escaped;
+  EXPECT_EQ(UnescapeLabelValue(escaped), hostile);
+}
+
+TEST(LabelEscapingTest, UnescapeToleratesMalformedInput) {
+  EXPECT_EQ(UnescapeLabelValue("plain"), "plain");
+  EXPECT_EQ(UnescapeLabelValue("\\x"), "x");  // unknown escape: literal
+  EXPECT_EQ(UnescapeLabelValue("tail\\"), "tail");  // lone trailing backslash
+}
+
+// The regression behind this suite: a label value carrying spaces, pipes,
+// or newlines must not corrupt the line- and space-delimited kStatsText
+// exposition (one "type key value" per line, keys free of spaces).
+TEST(MetricsRegistryTest, HostileLabelValuesCannotCorruptTheExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("req", {{"peer", "evil host|9 count=1\ncounter fake"}})
+      ->Increment(7);
+  registry.GetGauge("depth", {{"q", "a b"}})->Set(3);
+  const std::string text = registry.RenderText();
+  // Still exactly one line per metric...
+  size_t lines = 0;
+  for (const char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, 2u) << text;
+  // ...the injected "counter fake" never became its own line...
+  EXPECT_EQ(text.find("\ncounter fake"), std::string::npos) << text;
+  // ...and each line still splits into exactly "type key value".
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = line.find(' ', sp1 + 1);
+    ASSERT_NE(sp2, std::string::npos) << line;
+    EXPECT_EQ(line.find(' ', sp2 + 1), std::string::npos) << line;
+  }
+  // The original value is still recoverable from the key.
+  EXPECT_NE(text.find(EscapeLabelValue("evil host|9 count=1\ncounter fake")),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, HostileNamesAreSanitizedOnInsert) {
+  MetricsRegistry registry;
+  // Structural characters in a metric NAME or label KEY (not value) are
+  // replaced outright — there is no quoting position for them.
+  Counter* weird = registry.GetCounter("a b\nc", {{"k v", "1"}});
+  weird->Increment();
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("counter a_b_c{k_v=\"1\"} 1\n"), std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, PrebuiltKeysWithLineBreaksAreDefanged) {
+  MetricsRegistry registry;
+  // The single-arg path receives prebuilt canonical keys, where braces and
+  // quotes are legal — but raw line breaks and pipes never are.
+  registry.GetCounter("evil\nname|x")->Increment();
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("counter evil_name_x 1\n"), std::string::npos) << text;
+}
+
+TEST(MetricsRegistryTest, SanitizationIsCounted) {
+  // MetricKey() tallies sanitized lookups in the DEFAULT registry (the
+  // sanitizer has no handle on the registry being addressed), so read the
+  // counter as a before/after delta.
+  Counter* tally =
+      MetricsRegistry::Default()->GetCounter("metrics_sanitized_keys");
+  const uint64_t before = tally->Value();
+  (void)MetricKey("bad name", {});
+  EXPECT_EQ(tally->Value(), before + 1);
+  (void)MetricKey("fine", {{"also", "fine"}});
+  EXPECT_EQ(tally->Value(), before + 1);
+}
+
 }  // namespace
 }  // namespace magicrecs

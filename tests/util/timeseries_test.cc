@@ -1,0 +1,136 @@
+#include "util/timeseries.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.h"
+
+namespace magicrecs {
+namespace {
+
+// Seconds in microseconds, to keep the window math readable.
+constexpr int64_t kSec = 1'000'000;
+
+MetricsSnapshotData Snap(uint64_t events, int64_t depth) {
+  MetricsSnapshotData data;
+  data.counters["events"] = events;
+  data.gauges["depth"] = depth;
+  return data;
+}
+
+TEST(MetricsTimeSeriesTest, NeedsTwoSamplesForADelta) {
+  MetricsTimeSeries series;
+  EXPECT_FALSE(series.CounterDelta("events", 10 * kSec).ok());
+  series.SampleData(Snap(5, 0), 1 * kSec);
+  const auto delta = series.CounterDelta("events", 10 * kSec);
+  ASSERT_FALSE(delta.ok());
+  EXPECT_TRUE(delta.status().IsFailedPrecondition());
+}
+
+TEST(MetricsTimeSeriesTest, CounterDeltaAndRateOverWindow) {
+  MetricsTimeSeries series;
+  series.SampleData(Snap(100, 0), 0);
+  series.SampleData(Snap(150, 0), 5 * kSec);
+  series.SampleData(Snap(400, 0), 10 * kSec);
+  // A 5s window bases at the t=5s sample: 400 - 150 over 5 elapsed seconds.
+  ASSERT_TRUE(series.CounterDelta("events", 5 * kSec).ok());
+  EXPECT_EQ(*series.CounterDelta("events", 5 * kSec), 250u);
+  EXPECT_DOUBLE_EQ(*series.CounterRate("events", 5 * kSec), 50.0);
+  // A window spanning everything bases at the oldest sample.
+  EXPECT_EQ(*series.CounterDelta("events", 60 * kSec), 300u);
+  EXPECT_DOUBLE_EQ(*series.CounterRate("events", 60 * kSec), 30.0);
+}
+
+TEST(MetricsTimeSeriesTest, RateUsesActualElapsedNotNominalWindow) {
+  MetricsTimeSeries series;
+  // Samples 2s apart but queried with a 10s window: the rate must divide
+  // by the real 2s span, not the nominal 10.
+  series.SampleData(Snap(0, 0), 0);
+  series.SampleData(Snap(20, 0), 2 * kSec);
+  EXPECT_DOUBLE_EQ(*series.CounterRate("events", 10 * kSec), 10.0);
+}
+
+TEST(MetricsTimeSeriesTest, TightWindowStillSpansTwoSamples) {
+  MetricsTimeSeries series;
+  series.SampleData(Snap(0, 0), 0);
+  series.SampleData(Snap(10, 0), 10 * kSec);
+  // The 1s window holds only the newest sample; the base steps back to the
+  // nearest older sample so the rate is still computed from two points.
+  EXPECT_EQ(*series.CounterDelta("events", 1 * kSec), 10u);
+}
+
+TEST(MetricsTimeSeriesTest, CounterBornMidWindowCountsFromZero) {
+  MetricsTimeSeries series;
+  series.SampleData(Snap(0, 0), 0);
+  MetricsSnapshotData with_new = Snap(0, 0);
+  with_new.counters["late"] = 7;
+  series.SampleData(with_new, 5 * kSec);
+  EXPECT_EQ(*series.CounterDelta("late", 10 * kSec), 7u);
+}
+
+TEST(MetricsTimeSeriesTest, MissingCounterIsNotFound) {
+  MetricsTimeSeries series;
+  series.SampleData(Snap(0, 0), 0);
+  series.SampleData(Snap(1, 0), kSec);
+  const auto delta = series.CounterDelta("no_such", 10 * kSec);
+  ASSERT_FALSE(delta.ok());
+  EXPECT_TRUE(delta.status().IsNotFound());
+}
+
+TEST(MetricsTimeSeriesTest, GaugeLastAndWindowedMax) {
+  MetricsTimeSeries series;
+  series.SampleData(Snap(0, 3), 0);
+  series.SampleData(Snap(0, 9), 5 * kSec);
+  series.SampleData(Snap(0, 4), 10 * kSec);
+  EXPECT_EQ(*series.GaugeLast("depth"), 4);
+  // The 5s window includes the t=5s base sample where the gauge peaked.
+  EXPECT_EQ(*series.GaugeMax("depth", 5 * kSec), 9);
+  EXPECT_EQ(*series.GaugeMax("depth", 60 * kSec), 9);
+}
+
+TEST(MetricsTimeSeriesTest, HistogramDeltaIsolatesTheWindow) {
+  MetricsTimeSeries series;
+  Histogram early;
+  early.Record(10);
+  early.Record(10);
+  MetricsSnapshotData base;
+  base.histograms["lat"] = early;
+  series.SampleData(base, 0);
+
+  Histogram late = early;
+  late.Record(1000);
+  MetricsSnapshotData newest;
+  newest.histograms["lat"] = late;
+  series.SampleData(newest, 5 * kSec);
+
+  const auto delta = series.HistogramDelta("lat", 10 * kSec);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->Count(), 1u);  // only the in-window observation
+  EXPECT_GE(delta->Max(), 512);   // bucket lower bound of the 1000 record
+}
+
+TEST(MetricsTimeSeriesTest, RingEvictsOldestAtCapacity) {
+  MetricsTimeSeries series(/*capacity=*/3);
+  for (int i = 0; i < 10; ++i) {
+    series.SampleData(Snap(static_cast<uint64_t>(i), 0), i * kSec);
+  }
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_EQ(series.SpanUs(), 2 * kSec);
+  // The widest query only reaches the oldest surviving sample (t=7s).
+  EXPECT_EQ(*series.CounterDelta("events", 60 * kSec), 2u);
+}
+
+TEST(MetricsTimeSeriesTest, SamplesALiveRegistry) {
+  MetricsRegistry registry;
+  registry.GetCounter("ticks")->Increment(4);
+  MetricsTimeSeries series;
+  series.Sample(registry, 0);
+  registry.GetCounter("ticks")->Increment(6);
+  series.Sample(registry, kSec);
+  EXPECT_EQ(*series.CounterDelta("ticks", 10 * kSec), 6u);
+  EXPECT_DOUBLE_EQ(*series.CounterRate("ticks", 10 * kSec), 6.0);
+}
+
+}  // namespace
+}  // namespace magicrecs

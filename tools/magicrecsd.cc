@@ -21,16 +21,12 @@
 // once it is serving (scripts wait for it), then blocks until SIGINT or
 // SIGTERM, and shuts down cleanly (draining workers, syncing the WAL).
 
-#include <chrono>
-#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 
 #include "cluster/cluster.h"
 #include "cluster/transport.h"
@@ -39,7 +35,9 @@
 #include "graph/graph_io.h"
 #include "net/rpc_server.h"
 #include "util/clock.h"
+#include "util/event_log.h"
 #include "util/metrics.h"
+#include "util/metrics_export.h"
 #include "util/str_format.h"
 
 namespace {
@@ -74,66 +72,13 @@ struct DaemonOptions {
 
   // Observability (docs/observability.md). slow_request_ms = 0 disables the
   // slow-request log; metrics_dump_interval_s = 0 disables the JSONL
-  // exporter.
+  // exporter (util/metrics_export.h); health_interval_ms = 0 disables the
+  // self-health monitor.
   int64_t slow_request_ms = 0;
   int64_t metrics_dump_interval_s = 0;
   std::string metrics_dump_path = "metrics.jsonl";
-};
-
-/// Background JSONL metrics exporter: appends one RenderJson() line per
-/// tick, timestamped, until stopped. The file is opened per tick so log
-/// rotation (rename + recreate) just works.
-class MetricsDumper {
- public:
-  MetricsDumper(std::string path, int64_t interval_s)
-      : path_(std::move(path)), interval_s_(interval_s) {
-    thread_ = std::thread([this] { Loop(); });
-  }
-
-  ~MetricsDumper() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    thread_.join();
-  }
-
- private:
-  void Loop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (!stop_) {
-      cv_.wait_for(lock, std::chrono::seconds(interval_s_),
-                   [this] { return stop_; });
-      // One final dump on shutdown so short runs never lose their tail.
-      lock.unlock();
-      DumpOnce();
-      lock.lock();
-      if (stop_) return;
-    }
-  }
-
-  void DumpOnce() {
-    const std::string json = MetricsRegistry::Default()->RenderJson();
-    std::FILE* out = std::fopen(path_.c_str(), "a");
-    if (out == nullptr) {
-      std::fprintf(stderr, "magicrecsd: cannot append metrics to %s\n",
-                   path_.c_str());
-      return;
-    }
-    // Splice the tick timestamp into the registry's one-line object.
-    std::fprintf(out, "{\"ts_us\":%lld%s%s\n",
-                 static_cast<long long>(SystemClock::Default()->Now()),
-                 json.size() > 2 ? "," : "", json.c_str() + 1);
-    std::fclose(out);
-  }
-
-  const std::string path_;
-  const int64_t interval_s_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::thread thread_;
+  int health_interval_ms = 0;
+  std::string health_journal_path;
 };
 
 void PrintUsage() {
@@ -168,6 +113,10 @@ void PrintUsage() {
       "  --metrics-dump-interval=N  append a metrics JSONL line every N\n"
       "                         seconds; 0 = off (0)\n"
       "  --metrics-dump-path=PATH   JSONL exporter target (metrics.jsonl)\n"
+      "  --health-interval-ms=N self-health evaluation interval; publishes\n"
+      "                         the health{party=...} gauge; 0 = off (0)\n"
+      "  --health-journal=PATH  append health transitions as JSONL\n"
+      "                         (requires --health-interval-ms)\n"
       "  --persist-dir=PATH     WAL + snapshot directory, empty = off\n"
       "  --fsync-batch=N        group-commit batch with --fsync (1)\n"
       "  --fsync                fdatasync WAL appends\n"
@@ -250,6 +199,11 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* options) {
           std::strtoll(value.c_str(), nullptr, 10);
     } else if (FlagValue(arg, "metrics-dump-path", &value)) {
       options->metrics_dump_path = value;
+    } else if (FlagValue(arg, "health-interval-ms", &value)) {
+      options->health_interval_ms =
+          static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (FlagValue(arg, "health-journal", &value)) {
+      options->health_journal_path = value;
     } else if (FlagValue(arg, "persist-dir", &value)) {
       options->cluster.persist.dir = value;
     } else if (FlagValue(arg, "fsync-batch", &value)) {
@@ -340,6 +294,16 @@ int main(int argc, char** argv) {
   if (options.cluster.group_size > 0) {
     server_options.trace_party = options.cluster.group_partition;
   }
+  // Self-health monitor: the journal must outlive the server (its monitor
+  // writes transitions until Stop()), so it is created first here and
+  // destroyed last by scope.
+  std::unique_ptr<EventLog> health_journal;
+  if (options.health_interval_ms > 0) {
+    health_journal =
+        std::make_unique<EventLog>(options.health_journal_path);
+    server_options.health_interval_ms = options.health_interval_ms;
+    server_options.event_journal = health_journal.get();
+  }
   auto server = net::RpcServer::Start(transport->get(), server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "magicrecsd: starting server: %s\n",
@@ -366,10 +330,10 @@ int main(int argc, char** argv) {
               std::string(net::ServerLoopFlag((*server)->loop())).c_str());
   std::fflush(stdout);
 
-  std::unique_ptr<MetricsDumper> dumper;
+  std::unique_ptr<MetricsJsonlDumper> dumper;
   if (options.metrics_dump_interval_s > 0) {
-    dumper = std::make_unique<MetricsDumper>(options.metrics_dump_path,
-                                             options.metrics_dump_interval_s);
+    dumper = std::make_unique<MetricsJsonlDumper>(
+        options.metrics_dump_path, options.metrics_dump_interval_s);
   }
 
   int signal = 0;
