@@ -1,141 +1,334 @@
 // Ablation A1 — the intersection kernel ("intersections can be implemented
 // efficiently using well-known algorithms", §2).
 //
-// Pairwise: merge vs galloping across size ratios (the crossover justifies
-// kGallopRatioThreshold). k-of-n: scan-count vs heap-merge vs
-// candidate-verify on per-event-shaped inputs, including the celebrity-list
-// case candidate-verify exists for.
+// Plain-printf harness (no Google Benchmark dependency, so CI can run it):
+//
+//   * pairwise ratio sweep: scalar merge vs galloping vs their AVX2
+//     variants across size ratios — the crossover table behind
+//     kGallopRatioThreshold (methodology: docs/experiments-a1.md);
+//   * hub shapes: bitset ∩ array and bitset ∩ bitset against the scalar
+//     merge on hub-degree lists — the crossover behind
+//     AutoHubDegreeThreshold;
+//   * k-of-n: scan-count vs heap-merge vs candidate-verify on per-event
+//     shapes, including the celebrity list candidate-verify exists for.
+//
+// Emits the machine-readable "intersect" section into BENCH_net.json
+// (merged; other benches' sections are preserved). The "speedup" field is
+// time(scalar reference)/time(kernel) on the same shape — machine-
+// independent, so tools/check_bench_regression.py gates on it.
+//
+// Exit status: --check additionally fails (exit 1) unless the hub-skew
+// bitset rows hold a >= 2x speedup over scalar merge and the SIMD merge
+// beats scalar on the balanced row (skipped without AVX2).
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
+#include "intersect/bitset.h"
 #include "intersect/intersect.h"
+#include "intersect/simd.h"
 #include "intersect/threshold.h"
+#include "graph/static_graph.h"
+#include "util/clock.h"
 #include "util/random.h"
 
-namespace magicrecs {
+using namespace magicrecs;
+
 namespace {
 
 std::vector<VertexId> SortedRandom(size_t n, uint32_t universe, Rng* rng) {
-  std::vector<VertexId> v;
-  v.reserve(n);
+  if (n >= universe / 2) {
+    // Dense regime: rejection into a set would crawl (or spin forever when
+    // n > universe). Strided walk keeps the density while staying O(n).
+    const uint64_t max_gap = std::max<uint64_t>(1, universe / n);
+    std::vector<VertexId> out;
+    out.reserve(n);
+    uint64_t v = rng->UniformInt(max_gap + 1);
+    while (out.size() < n && v < universe) {
+      out.push_back(static_cast<VertexId>(v));
+      v += 1 + rng->UniformInt(max_gap);
+    }
+    return out;
+  }
   std::set<VertexId> s;
   while (s.size() < n) {
     s.insert(static_cast<VertexId>(rng->UniformInt(universe)));
   }
-  v.assign(s.begin(), s.end());
-  return v;
+  return {s.begin(), s.end()};
 }
 
-// --- pairwise: ratio sweep ----------------------------------------------------
+/// Times fn() (which must touch `elems` list elements per call) until the
+/// run is long enough to trust; returns seconds per call.
+template <typename Fn>
+double TimePerCall(Fn&& fn) {
+  // Warm the caches, then run for >= 40ms.
+  fn();
+  size_t calls = 1;
+  for (;;) {
+    const Stopwatch timer;
+    for (size_t i = 0; i < calls; ++i) fn();
+    const double seconds = timer.ElapsedSeconds();
+    if (seconds >= 0.04) return seconds / static_cast<double>(calls);
+    calls = seconds <= 0.0 ? calls * 16
+                           : static_cast<size_t>(0.06 * calls / seconds) + 1;
+  }
+}
 
-void BM_PairwiseIntersect(benchmark::State& state,
-                          size_t (*fn)(std::span<const VertexId>,
-                                       std::span<const VertexId>,
-                                       std::vector<VertexId>*)) {
-  const size_t small_size = 64;
-  const size_t ratio = static_cast<size_t>(state.range(0));
-  Rng rng(42);
-  const auto small = SortedRandom(small_size, 1'000'000, &rng);
-  const auto large = SortedRandom(small_size * ratio, 1'000'000, &rng);
+struct KernelTime {
+  const char* name;
+  double seconds;  // per intersection
+};
+
+/// One pairwise shape: |small| fixed, ratio sweeps. Returns the per-kernel
+/// times, scalar-merge first (the speedup reference).
+std::vector<KernelTime> TimePairwise(const std::vector<VertexId>& a,
+                                     const std::vector<VertexId>& b) {
   std::vector<VertexId> out;
-  for (auto _ : state) {
-    out.clear();
-    benchmark::DoNotOptimize(fn(small, large, &out));
+  out.reserve(std::min(a.size(), b.size()));
+  std::vector<KernelTime> times;
+  for (const IntersectKernel kernel :
+       {IntersectKernel::kScalarMerge, IntersectKernel::kScalarGalloping,
+        IntersectKernel::kSimdMerge, IntersectKernel::kSimdGalloping,
+        IntersectKernel::kAuto}) {
+    const double seconds = TimePerCall([&] {
+      out.clear();
+      Intersect(a, b, &out, kernel);
+    });
+    times.push_back({IntersectKernelName(kernel).data(), seconds});
   }
-  state.SetLabel("ratio 1:" + std::to_string(ratio));
+  return times;
 }
 
-BENCHMARK_CAPTURE(BM_PairwiseIntersect, merge, &IntersectMerge)
-    ->Arg(1)
-    ->Arg(8)
-    ->Arg(64)
-    ->Arg(1024);
-BENCHMARK_CAPTURE(BM_PairwiseIntersect, galloping, &IntersectGalloping)
-    ->Arg(1)
-    ->Arg(8)
-    ->Arg(64)
-    ->Arg(1024);
-BENCHMARK_CAPTURE(BM_PairwiseIntersect, auto_select, &IntersectAuto)
-    ->Arg(1)
-    ->Arg(8)
-    ->Arg(64)
-    ->Arg(1024);
+constexpr const char* kJsonPath = "BENCH_net.json";
 
-// --- k-of-n: balanced per-event shape ------------------------------------------
+bool g_check_failed = false;
 
-void BM_Threshold(benchmark::State& state, ThresholdAlgorithm algo) {
-  const size_t num_lists = 6;
-  const size_t list_size = static_cast<size_t>(state.range(0));
+void RequireSpeedup(const char* what, double speedup, double floor) {
+  if (speedup < floor) {
+    std::fprintf(stderr, "CHECK FAILED: %s speedup %.2fx < %.2fx\n", what,
+                 speedup, floor);
+    g_check_failed = true;
+  }
+}
+
+void PairwiseSweep(bench::JsonRows* rows, bool check) {
+  std::printf("--- pairwise, |small|=4096, universe=4M ---\n");
+  std::printf("%10s", "ratio");
+  for (const char* name :
+       {"scalar-merge", "scalar-gallop", "simd-merge", "simd-gallop", "auto"}) {
+    std::printf(" %14s", name);
+  }
+  std::printf("   (us/op; speedup vs scalar-merge in parens)\n");
+
+  Rng rng(42);
+  const size_t small_size = 4'096;
+  const auto small = SortedRandom(small_size, 4'000'000, &rng);
+  for (const size_t ratio : {1ul, 4ul, 8ul, 16ul, 32ul, 64ul, 256ul, 1024ul}) {
+    const uint32_t universe = static_cast<uint32_t>(
+        std::max<size_t>(4'000'000, 4 * small_size * ratio));
+    const auto large = SortedRandom(small_size * ratio, universe, &rng);
+    const auto times = TimePairwise(small, large);
+    const double scalar_merge = times[0].seconds;
+    const double total_elems =
+        static_cast<double>(small.size() + large.size());
+    std::printf("%9zu:1", ratio);
+    for (const KernelTime& t : times) {
+      std::printf(" %8.1f (%3.1fx)", t.seconds * 1e6, scalar_merge / t.seconds);
+    }
+    std::printf("\n");
+    const std::string shape = "ratio-" + std::to_string(ratio);
+    for (const KernelTime& t : times) {
+      rows->AddKernel("intersect", t.name, shape.c_str(),
+                      total_elems / t.seconds / 1e6, scalar_merge / t.seconds);
+    }
+    if (check && ratio == 1 && SimdEnabled()) {
+      // times[2] is simd-merge; on the balanced row the AVX2 block merge
+      // must beat the scalar merge outright.
+      RequireSpeedup("simd-merge on ratio-1", scalar_merge / times[2].seconds,
+                     1.0);
+    }
+  }
+  std::printf("\nkGallopRatioThreshold = %zu (crossover: gallop wins from "
+              "the ratio where its column beats merge)\n\n",
+              kGallopRatioThreshold);
+}
+
+void HubSweep(bench::JsonRows* rows, bool check) {
+  // Hub shapes: both lists are hub-degree over a 1M-vertex universe. The
+  // bitset kernels get the bitmap for free in production (the hub index is
+  // built once per graph load), so FillBitset is outside the timed region.
+  constexpr size_t kUniverse = 1'000'000;
   Rng rng(7);
-  std::vector<std::vector<VertexId>> storage;
-  for (size_t i = 0; i < num_lists; ++i) {
-    storage.push_back(
-        SortedRandom(list_size, static_cast<uint32_t>(list_size * 4), &rng));
+  std::printf("--- hub shapes, universe=1M (bitmaps prebuilt, as in the "
+              "hub index) ---\n");
+  std::printf("%22s %14s %14s %10s\n", "shape", "kernel", "us/op", "speedup");
+
+  const auto hub_a = SortedRandom(kUniverse / 10, kUniverse, &rng);
+  const auto hub_b = SortedRandom(kUniverse / 10, kUniverse, &rng);
+  const auto tail = SortedRandom(1'000, kUniverse, &rng);
+  std::vector<uint64_t> wa, wb;
+  FillBitset(hub_a, kUniverse, &wa);
+  FillBitset(hub_b, kUniverse, &wb);
+  const BitsetView va{wa.data(), wa.size()};
+  const BitsetView vb{wb.data(), wb.size()};
+
+  std::vector<VertexId> out;
+  out.reserve(kUniverse / 10);
+
+  // hub ∩ hub: AND + popcount vs scalar merge of two 100k lists.
+  {
+    const double scalar = TimePerCall([&] {
+      out.clear();
+      IntersectMerge(hub_a, hub_b, &out);
+    });
+    const double bitset = TimePerCall([&] {
+      out.clear();
+      IntersectBitsetBitset(va, vb, &out);
+    });
+    const double count_only = TimePerCall(
+        [&] { (void)IntersectBitsetBitsetCount(va, vb); });
+    const double elems = static_cast<double>(hub_a.size() + hub_b.size());
+    std::printf("%22s %14s %14.1f %9.1fx\n", "hub-hub 100k:100k",
+                "scalar-merge", scalar * 1e6, 1.0);
+    std::printf("%22s %14s %14.1f %9.1fx\n", "", "bitset-bitset",
+                bitset * 1e6, scalar / bitset);
+    std::printf("%22s %14s %14.1f %9.1fx\n", "", "bitset-count",
+                count_only * 1e6, scalar / count_only);
+    rows->AddKernel("intersect", "scalar-merge", "hub-hub", elems / scalar / 1e6,
+                    1.0);
+    rows->AddKernel("intersect", "bitset-bitset", "hub-hub",
+                    elems / bitset / 1e6, scalar / bitset);
+    rows->AddKernel("intersect", "bitset-count", "hub-hub",
+                    elems / count_only / 1e6, scalar / count_only);
+    if (check) {
+      RequireSpeedup("bitset-bitset on hub-hub", scalar / bitset, 2.0);
+    }
   }
-  std::vector<std::span<const VertexId>> lists(storage.begin(), storage.end());
-  std::vector<ThresholdMatch> out;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ThresholdIntersect(lists, 3, &out, algo));
+
+  // hub ∩ array: O(1) probes vs galloping the 100k list (what
+  // CandidateVerify did before the hub index existed).
+  {
+    const double scalar = TimePerCall([&] {
+      out.clear();
+      IntersectGalloping(tail, hub_a, &out);
+    });
+    const double bitset = TimePerCall([&] {
+      out.clear();
+      IntersectBitsetArray(va, tail, &out);
+    });
+    const double elems = static_cast<double>(tail.size());
+    std::printf("%22s %14s %14.1f %9.1fx\n", "hub-array 100k:1k",
+                "scalar-gallop", scalar * 1e6, 1.0);
+    std::printf("%22s %14s %14.1f %9.1fx\n", "", "bitset-array",
+                bitset * 1e6, scalar / bitset);
+    rows->AddKernel("intersect", "scalar-galloping", "hub-array",
+                    elems / scalar / 1e6, 1.0);
+    rows->AddKernel("intersect", "bitset-array", "hub-array",
+                    elems / bitset / 1e6, scalar / bitset);
+    if (check) {
+      RequireSpeedup("bitset-array on hub-array", scalar / bitset, 2.0);
+    }
   }
-  state.SetLabel("6 lists of " + std::to_string(list_size) + ", k=3");
+
+  // Hub-degree crossover: at which density does the bitmap probe beat the
+  // merge? This is the measurement AutoHubDegreeThreshold encodes
+  // (num_vertices/32, floored at kMinHubDegree).
+  std::printf("\n%22s %14s %14s %10s\n", "density (1/x)", "merge us",
+              "bitset us", "speedup");
+  for (const size_t inv_density : {8ul, 16ul, 32ul, 64ul, 128ul}) {
+    const auto list = SortedRandom(kUniverse / inv_density, kUniverse, &rng);
+    std::vector<uint64_t> w;
+    FillBitset(list, kUniverse, &w);
+    const BitsetView view{w.data(), w.size()};
+    const double merge = TimePerCall([&] {
+      out.clear();
+      IntersectMerge(list, hub_a, &out);
+    });
+    const double bitset = TimePerCall([&] {
+      out.clear();
+      IntersectBitsetArray(view, hub_a, &out);
+    });
+    std::printf("%22zu %14.1f %14.1f %9.1fx\n", inv_density, merge * 1e6,
+                bitset * 1e6, merge / bitset);
+  }
+  std::printf("\nAutoHubDegreeThreshold: degree >= num_vertices/32 "
+              "(bitmap <= 2x array memory), floor %zu\n\n", kMinHubDegree);
 }
 
-BENCHMARK_CAPTURE(BM_Threshold, scan_count, ThresholdAlgorithm::kScanCount)
-    ->Arg(32)
-    ->Arg(512)
-    ->Arg(8192);
-BENCHMARK_CAPTURE(BM_Threshold, heap_merge, ThresholdAlgorithm::kHeapMerge)
-    ->Arg(32)
-    ->Arg(512)
-    ->Arg(8192);
-BENCHMARK_CAPTURE(BM_Threshold, candidate_verify,
-                  ThresholdAlgorithm::kCandidateVerify)
-    ->Arg(32)
-    ->Arg(512)
-    ->Arg(8192);
-BENCHMARK_CAPTURE(BM_Threshold, auto_select, ThresholdAlgorithm::kAuto)
-    ->Arg(32)
-    ->Arg(512)
-    ->Arg(8192);
-
-// --- k-of-n: one celebrity list (the candidate-verify case) --------------------
-
-void BM_ThresholdCelebrity(benchmark::State& state, ThresholdAlgorithm algo) {
-  // Two small lists + one huge follower list (a celebrity B).
-  const size_t celebrity_size = static_cast<size_t>(state.range(0));
-  Rng rng(11);
-  std::vector<std::vector<VertexId>> storage;
-  storage.push_back(SortedRandom(64, 1'000'000, &rng));
-  storage.push_back(SortedRandom(64, 1'000'000, &rng));
-  storage.push_back(SortedRandom(celebrity_size, 1'000'000, &rng));
-  std::vector<std::span<const VertexId>> lists(storage.begin(), storage.end());
-  std::vector<ThresholdMatch> out;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ThresholdIntersect(lists, 2, &out, algo));
+void ThresholdSweep() {
+  std::printf("--- k-of-n (6 lists, k=3) ---\n");
+  std::printf("%12s %14s %14s %14s %14s\n", "list size", "scan-count",
+              "heap-merge", "cand-verify", "auto");
+  Rng rng(7);
+  for (const size_t list_size : {32ul, 512ul, 8'192ul}) {
+    std::vector<std::vector<VertexId>> storage;
+    for (size_t i = 0; i < 6; ++i) {
+      storage.push_back(SortedRandom(
+          list_size, static_cast<uint32_t>(list_size * 4), &rng));
+    }
+    std::vector<std::span<const VertexId>> lists(storage.begin(),
+                                                 storage.end());
+    std::vector<ThresholdMatch> out;
+    std::printf("%12zu", list_size);
+    for (const ThresholdAlgorithm algo :
+         {ThresholdAlgorithm::kScanCount, ThresholdAlgorithm::kHeapMerge,
+          ThresholdAlgorithm::kCandidateVerify, ThresholdAlgorithm::kAuto}) {
+      const double seconds =
+          TimePerCall([&] { ThresholdIntersect(lists, 3, &out, algo); });
+      std::printf(" %12.1fus", seconds * 1e6);
+    }
+    std::printf("\n");
   }
-  state.SetLabel("2x64 + celebrity " + std::to_string(celebrity_size) +
-                 ", k=2");
-}
 
-BENCHMARK_CAPTURE(BM_ThresholdCelebrity, scan_count,
-                  ThresholdAlgorithm::kScanCount)
-    ->Arg(10'000)
-    ->Arg(100'000);
-BENCHMARK_CAPTURE(BM_ThresholdCelebrity, heap_merge,
-                  ThresholdAlgorithm::kHeapMerge)
-    ->Arg(10'000)
-    ->Arg(100'000);
-BENCHMARK_CAPTURE(BM_ThresholdCelebrity, candidate_verify,
-                  ThresholdAlgorithm::kCandidateVerify)
-    ->Arg(10'000)
-    ->Arg(100'000);
-BENCHMARK_CAPTURE(BM_ThresholdCelebrity, auto_select, ThresholdAlgorithm::kAuto)
-    ->Arg(10'000)
-    ->Arg(100'000);
+  std::printf("\n--- k-of-n celebrity (2x64 + one huge list, k=2) ---\n");
+  std::printf("%12s %14s %14s %14s %14s\n", "celebrity", "scan-count",
+              "heap-merge", "cand-verify", "auto");
+  for (const size_t celebrity : {10'000ul, 100'000ul}) {
+    Rng crng(11);
+    std::vector<std::vector<VertexId>> storage;
+    storage.push_back(SortedRandom(64, 1'000'000, &crng));
+    storage.push_back(SortedRandom(64, 1'000'000, &crng));
+    storage.push_back(SortedRandom(celebrity, 1'000'000, &crng));
+    std::vector<std::span<const VertexId>> lists(storage.begin(),
+                                                 storage.end());
+    std::vector<ThresholdMatch> out;
+    std::printf("%12zu", celebrity);
+    for (const ThresholdAlgorithm algo :
+         {ThresholdAlgorithm::kScanCount, ThresholdAlgorithm::kHeapMerge,
+          ThresholdAlgorithm::kCandidateVerify, ThresholdAlgorithm::kAuto}) {
+      const double seconds =
+          TimePerCall([&] { ThresholdIntersect(lists, 2, &out, algo); });
+      std::printf(" %12.1fus", seconds * 1e6);
+    }
+    std::printf("\n");
+  }
+}
 
 }  // namespace
-}  // namespace magicrecs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+
+  std::printf("=== A1: intersection kernels (avx2=%s, simd=%s) ===\n\n",
+              CpuSupportsAvx2() ? "yes" : "no",
+              SimdEnabled() ? "on" : "off");
+  bench::JsonRows rows;
+  PairwiseSweep(&rows, check);
+  HubSweep(&rows, check);
+  ThresholdSweep();
+  rows.MergeWrite(kJsonPath);
+
+  if (g_check_failed) {
+    std::fprintf(stderr, "\nbench_intersection --check FAILED\n");
+    return 1;
+  }
+  return 0;
+}

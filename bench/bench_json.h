@@ -31,6 +31,17 @@ class JsonRows {
         static_cast<unsigned long long>(recs)));
   }
 
+  /// One intersection-kernel measurement. `speedup` is time(scalar
+  /// reference on the same shape) / time(kernel) — machine-independent, so
+  /// it is the gated field; melems_per_sec is informational.
+  void AddKernel(const char* section, const char* kernel, const char* shape,
+                 double melems_per_sec, double speedup) {
+    Add(section, StrFormat(
+        "{\"section\": \"%s\", \"kernel\": \"%s\", \"shape\": \"%s\", "
+        "\"melems_per_sec\": %.1f, \"speedup\": %.2f}",
+        section, kernel, shape, melems_per_sec, speedup));
+  }
+
   void AddConnScale(const char* loop, size_t connections,
                     double requests_per_sec, long server_threads) {
     Add("conn-scale", StrFormat(

@@ -8,9 +8,11 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "workload.h"
 #include "cluster/cluster.h"
 #include "core/diamond_detector.h"
+#include "intersect/simd.h"
 #include "util/clock.h"
 #include "util/str_format.h"
 
@@ -100,6 +102,65 @@ void ThreadedClusterSweep() {
               "bottleneck);\nquery work is what partitioning divides.\n");
 }
 
+/// Kernel ablation on one detector: the same stream with the SIMD probes
+/// and the hub bitsets toggled. events/s is machine-dependent but the
+/// relative spread shows what each layer buys on the full OnEdge path
+/// (dynamic-index insert + gather + threshold intersect), not just inside
+/// the intersection microbenchmark.
+void KernelAblationSweep(bench::JsonRows* rows) {
+  std::printf("\n--- kernel ablation, single detector (100k users) ---\n");
+  std::printf("%18s %12s %14s %14s\n", "config", "events", "events/s",
+              "recs");
+
+  WorkloadConfig config;
+  config.num_users = 100'000;
+  config.num_events = 30'000;
+  // Heavier popularity skew than T1's sweep: celebrity B's are what the
+  // hub bitsets and the SIMD verify probes exist for.
+  config.popularity_exponent = 1.2;
+  config.burst_fraction = 0.02;
+  config.mean_burst_size = 3;
+  config.seed = 100'000;
+  Workload w = MakeWorkload(config);
+
+  struct Config {
+    const char* name;
+    bool simd;
+    bool hubs;
+  };
+  for (const Config& c : {Config{"scalar", false, false},
+                          Config{"simd", true, false},
+                          Config{"simd+hubs", true, true}}) {
+    const bool prior = SetSimdEnabled(c.simd);
+    StaticGraph index = w.follower_index.Transpose().Transpose();  // copy
+    if (c.hubs) index.BuildHubIndex();
+    DiamondOptions opt = ProductionOptions();
+    opt.use_hub_bitsets = c.hubs;
+    // Best-of-2 passes: this box is one shared core, and a mid-run stall
+    // would otherwise masquerade as a kernel regression in the gated rows.
+    double rate = 0;
+    uint64_t total_recs = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+      DiamondDetector detector(&index, opt);
+      std::vector<Recommendation> recs;
+      total_recs = 0;
+      Stopwatch timer;
+      for (const TimestampedEdge& e : w.events) {
+        recs.clear();
+        if (!detector.OnEdge(e.src, e.dst, e.created_at, &recs).ok()) return;
+        total_recs += recs.size();
+      }
+      rate = std::max(
+          rate, static_cast<double>(w.events.size()) / timer.ElapsedSeconds());
+    }
+    SetSimdEnabled(prior);
+    std::printf("%18s %12zu %14s %14s\n", c.name, w.events.size(),
+                HumanCount(rate).c_str(),
+                HumanCount(double(total_recs)).c_str());
+    rows->AddThroughput("throughput-kernels", c.name, 1, rate, total_recs);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -107,5 +168,8 @@ int main() {
               "insertions/s) ===\n\n");
   SingleDetectorSweep();
   ThreadedClusterSweep();
+  bench::JsonRows rows;
+  KernelAblationSweep(&rows);
+  rows.MergeWrite("BENCH_net.json");
   return 0;
 }

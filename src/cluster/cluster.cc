@@ -86,6 +86,7 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(
     MAGICRECS_ASSIGN_OR_RETURN(
         StaticGraph shard,
         BuildPartitionShard(full_follower_index, partitioner, p));
+    shard.BuildHubIndex();
     // Replicas of a partition share the immutable shard; each owns its D.
     auto shared_shard = std::make_shared<const StaticGraph>(std::move(shard));
     for (uint32_t r = 0; r < options.replicas_per_partition; ++r) {
@@ -157,15 +158,25 @@ Status Cluster::OnEdge(VertexId src, VertexId dst, Timestamp t,
   return OnEdgeEvent(event, out);
 }
 
-Status Cluster::OnEdgeEvent(EdgeEvent event,
-                            std::vector<Recommendation>* out) {
-  if (running_) {
-    return Status::FailedPrecondition(
-        "inline OnEdge cannot be mixed with threaded mode");
+Status Cluster::AssignSequenceAndLogBatch(std::span<EdgeEvent> events) {
+  if (wal_ == nullptr) {
+    for (EdgeEvent& event : events) {
+      event.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::OK();
   }
-  MAGICRECS_RETURN_IF_ERROR(AssignSequenceAndLog(&event));
-  events_published_.fetch_add(1, std::memory_order_relaxed);
+  // One wal_mu_ round-trip covers the whole wire batch: sequences stay
+  // contiguous in the log and the lock cost amortizes over the batch.
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  for (EdgeEvent& event : events) {
+    event.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+    MAGICRECS_RETURN_IF_ERROR(wal_->Append(event));
+  }
+  return Status::OK();
+}
 
+Status Cluster::ApplyInline(const EdgeEvent& event,
+                            std::vector<Recommendation>* out) {
   for (size_t i = 0; i < servers_.size(); ++i) {
     const uint64_t mask = alive_masks_[i]->load(std::memory_order_acquire);
     const Stopwatch apply_timer;
@@ -176,6 +187,33 @@ Status Cluster::OnEdgeEvent(EdgeEvent event,
       MAGICRECS_RETURN_IF_ERROR(servers_[i][r]->OnEvent(event, emit, out));
     }
     apply_histograms_[i]->Record(apply_timer.ElapsedMicros());
+  }
+  return Status::OK();
+}
+
+Status Cluster::OnEdgeEvent(EdgeEvent event,
+                            std::vector<Recommendation>* out) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "inline OnEdge cannot be mixed with threaded mode");
+  }
+  MAGICRECS_RETURN_IF_ERROR(AssignSequenceAndLog(&event));
+  events_published_.fetch_add(1, std::memory_order_relaxed);
+  return ApplyInline(event, out);
+}
+
+Status Cluster::OnEdgeEventBatch(std::span<const EdgeEvent> events,
+                                 std::vector<Recommendation>* out) {
+  if (running_) {
+    return Status::FailedPrecondition(
+        "inline OnEdge cannot be mixed with threaded mode");
+  }
+  if (events.empty()) return Status::OK();
+  std::vector<EdgeEvent> batch(events.begin(), events.end());
+  MAGICRECS_RETURN_IF_ERROR(AssignSequenceAndLogBatch(batch));
+  events_published_.fetch_add(batch.size(), std::memory_order_relaxed);
+  for (const EdgeEvent& event : batch) {
+    MAGICRECS_RETURN_IF_ERROR(ApplyInline(event, out));
   }
   return Status::OK();
 }
@@ -215,6 +253,26 @@ Status Cluster::Publish(EdgeEvent event) {
     }
   }
   events_published_.fetch_add(1, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Cluster::PublishBatch(std::span<const EdgeEvent> events) {
+  if (!running_) {
+    return Status::FailedPrecondition("cluster is not running; call Start()");
+  }
+  if (events.empty()) return Status::OK();
+  std::vector<EdgeEvent> batch(events.begin(), events.end());
+  MAGICRECS_RETURN_IF_ERROR(AssignSequenceAndLogBatch(batch));
+  for (const EdgeEvent& event : batch) {
+    for (auto& partition_inboxes : inboxes_) {
+      for (auto& inbox : partition_inboxes) {
+        if (!inbox->Push(event)) {
+          return Status::Aborted("cluster stopped during publish");
+        }
+      }
+    }
+    events_published_.fetch_add(1, std::memory_order_release);
+  }
   return Status::OK();
 }
 

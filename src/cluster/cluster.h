@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -139,6 +140,12 @@ class Cluster {
   /// assigned here; any caller-provided value is overwritten.
   Status OnEdgeEvent(EdgeEvent event, std::vector<Recommendation>* out);
 
+  /// Applies a whole wire batch synchronously: sequences + WAL-appends every
+  /// event under one wal_mu_ acquisition, then runs the detectors event by
+  /// event. One lock round-trip per batch instead of per event.
+  Status OnEdgeEventBatch(std::span<const EdgeEvent> events,
+                          std::vector<Recommendation>* out);
+
   // --- Threaded mode ---------------------------------------------------------
 
   /// Spawns one worker thread per replica. FailedPrecondition if running.
@@ -147,6 +154,11 @@ class Cluster {
   /// Broker fan-out: enqueues the event on every replica's inbox (blocking
   /// on backpressure). Assigns the event's sequence number.
   Status Publish(EdgeEvent event);
+
+  /// Batch fan-out: sequences and WAL-appends the whole batch under one
+  /// wal_mu_ acquisition, then enqueues every event. Same per-event
+  /// semantics as Publish called in a loop, amortized locking.
+  Status PublishBatch(std::span<const EdgeEvent> events);
 
   /// Blocks until every replica has consumed everything published so far.
   void Drain();
@@ -248,6 +260,14 @@ class Cluster {
   bool ShouldEmit(uint32_t local, uint32_t replica, uint64_t sequence) const;
 
   void WorkerLoop(uint32_t local, uint32_t replica);
+
+  /// Stamps sequence numbers on (and WAL-appends) a whole batch under a
+  /// single wal_mu_ acquisition.
+  Status AssignSequenceAndLogBatch(std::span<EdgeEvent> events);
+
+  /// The inline-mode per-event apply shared by OnEdgeEvent and
+  /// OnEdgeEventBatch (event already sequenced and logged).
+  Status ApplyInline(const EdgeEvent& event, std::vector<Recommendation>* out);
 
   /// Assigns the event's sequence number and, when persistence is on,
   /// appends it to the WAL — atomically together, so the log is ordered by

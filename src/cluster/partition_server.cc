@@ -35,6 +35,7 @@ Result<std::unique_ptr<PartitionServer>> PartitionServer::Create(
   MAGICRECS_ASSIGN_OR_RETURN(
       StaticGraph shard,
       BuildPartitionShard(full_follower_index, partitioner, partition_id));
+  shard.BuildHubIndex();
   return std::unique_ptr<PartitionServer>(new PartitionServer(
       std::make_shared<const StaticGraph>(std::move(shard)), partition_id,
       options));

@@ -276,6 +276,7 @@ class LocalClusterTransport : public ClusterTransport {
   ~LocalClusterTransport() override;
 
   Status Publish(const EdgeEvent& event) override;
+  Status PublishBatch(std::span<const EdgeEvent> events) override;
   Status Drain() override;
   Result<std::vector<Recommendation>> TakeRecommendations() override;
   Status Checkpoint(Timestamp created_at) override;

@@ -66,13 +66,18 @@ Status DiamondDetector::OnEdge(VertexId src, VertexId dst, Timestamp t,
   }
   stats_.intersection_sizes.Record(static_cast<int64_t>(actors_.size()));
 
-  // Bottom half: gather the actors' follower lists from S …
+  // Bottom half: gather the actors' follower lists from S (hub actors also
+  // carry their bitmap view for O(1) verification probes) …
   lists_.clear();
+  bitsets_.clear();
   list_sources_.clear();
+  const bool use_bitsets =
+      options_.use_hub_bitsets && follower_index_->has_hub_index();
   for (const TimestampedInEdge& actor : actors_) {
     const auto followers = follower_index_->Neighbors(actor.src);
     if (followers.empty()) continue;
     lists_.push_back(followers);
+    if (use_bitsets) bitsets_.push_back(follower_index_->HubBitset(actor.src));
     list_sources_.push_back(actor.src);
   }
   if (lists_.size() < options_.k) {
@@ -81,7 +86,8 @@ Status DiamondDetector::OnEdge(VertexId src, VertexId dst, Timestamp t,
   }
 
   // … and find every account in >= k of them.
-  ThresholdIntersect(lists_, options_.k, &matches_, options_.algorithm);
+  ThresholdIntersect(lists_, options_.k, &matches_, options_.algorithm,
+                     use_bitsets ? &bitsets_ : nullptr);
   stats_.raw_candidates += matches_.size();
 
   for (const ThresholdMatch& match : matches_) {

@@ -58,6 +58,11 @@ struct DiamondOptions {
   /// Threshold-intersection strategy (kAuto selects per query).
   ThresholdAlgorithm algorithm = ThresholdAlgorithm::kAuto;
 
+  /// Probe hub followers' bitmaps (StaticGraph::BuildHubIndex) during
+  /// candidate verification instead of galloping their sorted arrays.
+  /// No-op when the follower index has no hub index built.
+  bool use_hub_bitsets = true;
+
   /// Rejects out-of-order event timestamps instead of clamping them.
   bool strict_time_order = false;
 };
@@ -146,6 +151,7 @@ class DiamondDetector {
   // hot path.
   std::vector<TimestampedInEdge> actors_;
   std::vector<std::span<const VertexId>> lists_;
+  std::vector<BitsetView> bitsets_;
   std::vector<VertexId> list_sources_;
   std::vector<ThresholdMatch> matches_;
 };

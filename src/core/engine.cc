@@ -8,6 +8,7 @@ namespace magicrecs {
 RecommenderEngine::RecommenderEngine(StaticGraph follower_index,
                                      const EngineOptions& options)
     : options_(options), follower_index_(std::move(follower_index)) {
+  follower_index_.BuildHubIndex();
   detector_ =
       std::make_unique<DiamondDetector>(&follower_index_, options_.detector);
 }

@@ -55,6 +55,7 @@ Result<std::unique_ptr<MotifEngine>> MotifEngine::Create(
     auto rebuilt = builder.Build();
     index = std::move(rebuilt).value();
   }
+  index.BuildHubIndex();
 
   DynamicGraphOptions dyn;
   dyn.window = PlanWindow(plan);
@@ -107,11 +108,13 @@ Status MotifEngine::OnEdge(VertexId src, VertexId dst, Timestamp t,
       }
       case PlanOpKind::kGatherStaticLists: {
         lists_.clear();
+        bitsets_.clear();
         list_sources_.clear();
         for (const TimestampedInEdge& actor : actors_) {
           const auto list = static_index_.Neighbors(actor.src);
           if (list.empty()) continue;
           lists_.push_back(list);
+          bitsets_.push_back(static_index_.HubBitset(actor.src));
           list_sources_.push_back(actor.src);
         }
         break;
@@ -121,7 +124,8 @@ Status MotifEngine::OnEdge(VertexId src, VertexId dst, Timestamp t,
           stats_.query_micros.Record(timer.ElapsedMicros());
           return Status::OK();
         }
-        ThresholdIntersect(lists_, op.k, &matches_, op.algorithm);
+        ThresholdIntersect(lists_, op.k, &matches_, op.algorithm,
+                           static_index_.has_hub_index() ? &bitsets_ : nullptr);
         stats_.raw_candidates += matches_.size();
         break;
       }

@@ -66,6 +66,7 @@ class MotifEngine {
   // Scratch, reused per event.
   std::vector<TimestampedInEdge> actors_;
   std::vector<std::span<const VertexId>> lists_;
+  std::vector<BitsetView> bitsets_;
   std::vector<VertexId> list_sources_;
   std::vector<ThresholdMatch> matches_;
 };

@@ -8,9 +8,44 @@
 
 namespace magicrecs {
 
+size_t AutoHubDegreeThreshold(size_t num_vertices) {
+  return std::max(kMinHubDegree, num_vertices / 32);
+}
+
 bool StaticGraph::HasEdge(VertexId src, VertexId dst) const {
+  if (IsHub(src)) {
+    return dst < num_vertices() && HubBitset(src).Test(dst);
+  }
   const auto neighbors = Neighbors(src);
   return std::binary_search(neighbors.begin(), neighbors.end(), dst);
+}
+
+void StaticGraph::BuildHubIndex(size_t hub_degree_threshold) {
+  const size_t v = num_vertices();
+  if (hub_degree_threshold == 0) {
+    hub_degree_threshold = AutoHubDegreeThreshold(v);
+  }
+  if (has_hub_index() && hub_degree_threshold_ == hub_degree_threshold) {
+    return;
+  }
+  hub_degree_threshold_ = hub_degree_threshold;
+  hub_words_per_row_ = (v + 63) / 64;
+  hub_slot_.assign(v, kNoHubSlot);
+  hub_count_ = 0;
+  for (size_t src = 0; src < v; ++src) {
+    if (offsets_[src + 1] - offsets_[src] >= hub_degree_threshold) {
+      hub_slot_[src] = static_cast<uint32_t>(hub_count_++);
+    }
+  }
+  hub_words_.assign(hub_count_ * hub_words_per_row_, 0);
+  for (size_t src = 0; src < v; ++src) {
+    if (hub_slot_[src] == kNoHubSlot) continue;
+    uint64_t* row = hub_words_.data() + size_t{hub_slot_[src]} * hub_words_per_row_;
+    for (uint64_t i = offsets_[src]; i < offsets_[src + 1]; ++i) {
+      const VertexId t = targets_[i];
+      row[static_cast<size_t>(t) >> 6] |= uint64_t{1} << (t & 63);
+    }
+  }
 }
 
 void StaticGraph::ForEachEdge(

@@ -17,13 +17,24 @@
 #include <vector>
 
 #include "graph/edge.h"
+#include "intersect/bitset.h"
 #include "util/result.h"
 #include "util/status.h"
 #include "util/types.h"
 
 namespace magicrecs {
 
-/// Immutable CSR graph with per-source sorted, de-duplicated neighbor lists.
+/// Degree at or above which a vertex's adjacency additionally gets a bitmap
+/// in the hub index. A hub's bitmap costs num_vertices/8 bytes vs 4*degree
+/// for the array, so degree >= num_vertices/32 caps the bitmap overhead at
+/// 2x the array it shadows; the floor keeps small graphs bitmap-free where
+/// binary search is already cache-resident. Crossover measured by
+/// bench_intersection (docs/experiments-a1.md).
+inline constexpr size_t kMinHubDegree = 256;
+size_t AutoHubDegreeThreshold(size_t num_vertices);
+
+/// Immutable CSR graph with per-source sorted, de-duplicated neighbor lists,
+/// plus an optional hybrid bitset view for hub vertices (BuildHubIndex).
 class StaticGraph {
  public:
   /// Empty graph with zero vertices.
@@ -48,8 +59,34 @@ class StaticGraph {
   /// Out-degree of `src` (0 for out-of-range ids).
   size_t OutDegree(VertexId src) const { return Neighbors(src).size(); }
 
-  /// True iff the edge src -> dst exists. O(log degree) binary search.
+  /// True iff the edge src -> dst exists. O(1) bit probe when `src` is an
+  /// indexed hub, O(log degree) binary search otherwise.
   bool HasEdge(VertexId src, VertexId dst) const;
+
+  /// Builds the hybrid adjacency view: every vertex with degree >=
+  /// `hub_degree_threshold` (0 = AutoHubDegreeThreshold) additionally gets a
+  /// bitmap over [0, num_vertices), packed into one contiguous arena so
+  /// hub ∩ hub runs word-parallel and hub membership probes are O(1).
+  /// Derived data only — rebuild after DecodeFrom; call before the graph is
+  /// shared across threads. Idempotent for a given threshold.
+  void BuildHubIndex(size_t hub_degree_threshold = 0);
+
+  bool has_hub_index() const { return hub_words_per_row_ > 0; }
+  size_t hub_degree_threshold() const { return hub_degree_threshold_; }
+  size_t num_hubs() const { return hub_count_; }
+
+  /// True iff `v` has a bitmap in the hub index.
+  bool IsHub(VertexId v) const {
+    return v < hub_slot_.size() && hub_slot_[v] != kNoHubSlot;
+  }
+
+  /// Bitmap over [0, num_vertices) of `v`'s neighbors; an empty view when
+  /// `v` is not an indexed hub (callers fall back to the array list).
+  BitsetView HubBitset(VertexId v) const {
+    if (!IsHub(v)) return {};
+    return {hub_words_.data() + size_t{hub_slot_[v]} * hub_words_per_row_,
+            hub_words_per_row_};
+  }
 
   /// Invokes `fn(src, dst)` for every edge in CSR order.
   void ForEachEdge(
@@ -60,10 +97,12 @@ class StaticGraph {
   /// ("A follows B"). O(V + E).
   StaticGraph Transpose() const;
 
-  /// Bytes held by the CSR arrays.
+  /// Bytes held by the CSR arrays and the hub-index arena.
   size_t MemoryUsage() const {
     return offsets_.size() * sizeof(uint64_t) +
-           targets_.size() * sizeof(VertexId);
+           targets_.size() * sizeof(VertexId) +
+           hub_words_.size() * sizeof(uint64_t) +
+           hub_slot_.size() * sizeof(uint32_t);
   }
 
   /// Appends a self-delimiting binary encoding of the CSR arrays to *out
@@ -77,8 +116,18 @@ class StaticGraph {
  private:
   friend class StaticGraphBuilder;
 
+  static constexpr uint32_t kNoHubSlot = UINT32_MAX;
+
   std::vector<uint64_t> offsets_;  // size num_vertices()+1
   std::vector<VertexId> targets_;  // size num_edges(), sorted per source
+
+  // Hybrid hub view (BuildHubIndex): hub_slot_[v] is the row index of v's
+  // bitmap inside the hub_words_ arena, kNoHubSlot for array-only vertices.
+  size_t hub_degree_threshold_ = 0;
+  size_t hub_words_per_row_ = 0;
+  size_t hub_count_ = 0;
+  std::vector<uint32_t> hub_slot_;  // size num_vertices() once built
+  std::vector<uint64_t> hub_words_;  // hub_count_ * hub_words_per_row_
 };
 
 /// Accumulates edges and produces a StaticGraph. Edges may arrive in any

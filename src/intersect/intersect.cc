@@ -2,7 +2,55 @@
 
 #include <algorithm>
 
+#include "intersect/simd.h"
+
 namespace magicrecs {
+
+std::string_view IntersectKernelName(IntersectKernel kernel) {
+  switch (kernel) {
+    case IntersectKernel::kAuto:
+      return "auto";
+    case IntersectKernel::kScalarMerge:
+      return "scalar-merge";
+    case IntersectKernel::kScalarGalloping:
+      return "scalar-galloping";
+    case IntersectKernel::kSimdMerge:
+      return "simd-merge";
+    case IntersectKernel::kSimdGalloping:
+      return "simd-galloping";
+  }
+  return "unknown";
+}
+
+bool IntersectKernelVectorized(IntersectKernel kernel) {
+  switch (kernel) {
+    case IntersectKernel::kSimdMerge:
+    case IntersectKernel::kSimdGalloping:
+      return SimdEnabled();
+    case IntersectKernel::kAuto:
+    case IntersectKernel::kScalarMerge:
+    case IntersectKernel::kScalarGalloping:
+      return true;
+  }
+  return false;
+}
+
+size_t Intersect(std::span<const VertexId> a, std::span<const VertexId> b,
+                 std::vector<VertexId>* out, IntersectKernel kernel) {
+  switch (kernel) {
+    case IntersectKernel::kAuto:
+      return IntersectAuto(a, b, out);
+    case IntersectKernel::kScalarMerge:
+      return IntersectMerge(a, b, out);
+    case IntersectKernel::kScalarGalloping:
+      return IntersectGalloping(a, b, out);
+    case IntersectKernel::kSimdMerge:
+      return IntersectMergeSimd(a, b, out);
+    case IntersectKernel::kSimdGalloping:
+      return IntersectGallopingSimd(a, b, out);
+  }
+  return 0;
+}
 
 size_t IntersectMerge(std::span<const VertexId> a, std::span<const VertexId> b,
                       std::vector<VertexId>* out) {
@@ -62,15 +110,22 @@ size_t IntersectGalloping(std::span<const VertexId> a,
   return out->size() - before;
 }
 
+IntersectKernel SelectIntersectKernel(size_t size_a, size_t size_b) {
+  const size_t small = std::min(size_a, size_b);
+  const size_t large = std::max(size_a, size_b);
+  const bool gallop = small > 0 && large / small >= kGallopRatioThreshold;
+  if (SimdEnabled()) {
+    return gallop ? IntersectKernel::kSimdGalloping
+                  : IntersectKernel::kSimdMerge;
+  }
+  return gallop ? IntersectKernel::kScalarGalloping
+                : IntersectKernel::kScalarMerge;
+}
+
 size_t IntersectAuto(std::span<const VertexId> a, std::span<const VertexId> b,
                      std::vector<VertexId>* out) {
-  const size_t small = std::min(a.size(), b.size());
-  const size_t large = std::max(a.size(), b.size());
-  if (small == 0) return 0;
-  if (large / small >= kGallopRatioThreshold) {
-    return IntersectGalloping(a, b, out);
-  }
-  return IntersectMerge(a, b, out);
+  if (a.empty() || b.empty()) return 0;
+  return Intersect(a, b, out, SelectIntersectKernel(a.size(), b.size()));
 }
 
 size_t IntersectCount(std::span<const VertexId> a,

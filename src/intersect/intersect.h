@@ -2,22 +2,60 @@
 // leans on for computing which A's follow both B's (§2). Lists are sorted
 // ascending with no duplicates, the invariant StaticGraph guarantees.
 //
-// Two families:
+// Two scalar families:
 //   * linear merge: optimal when list sizes are comparable;
 //   * galloping (exponential search) probe of the larger list: optimal at
 //     O(small * log(large/small)) when sizes are skewed — the common case
 //     here, since follower-list sizes span five orders of magnitude.
+//
+// Each family also has an AVX2 variant (intersect/simd.h) selected at
+// runtime from CPU features; hub-vertex lists additionally have a bitset
+// representation (intersect/bitset.h, graph/static_graph.h). Every kernel
+// is selectable by IntersectKernel so tests and benches can pin a path;
+// all kernels are bit-identical (tests/intersect/differential_test.cc).
 
 #ifndef MAGICRECS_INTERSECT_INTERSECT_H_
 #define MAGICRECS_INTERSECT_INTERSECT_H_
 
 #include <cstddef>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "util/types.h"
 
 namespace magicrecs {
+
+/// The selectable pairwise intersection kernels (mirrors
+/// ThresholdAlgorithm's role for the k-of-n layer). kAuto picks by size
+/// ratio and CPU features; the SIMD kernels silently run their scalar
+/// sibling when AVX2 is unavailable, so every value is always safe.
+enum class IntersectKernel {
+  kAuto = 0,
+  kScalarMerge,
+  kScalarGalloping,
+  kSimdMerge,
+  kSimdGalloping,
+};
+
+std::string_view IntersectKernelName(IntersectKernel kernel);
+
+/// All kernels, in a stable order for test/bench sweeps.
+inline constexpr IntersectKernel kAllIntersectKernels[] = {
+    IntersectKernel::kAuto, IntersectKernel::kScalarMerge,
+    IntersectKernel::kScalarGalloping, IntersectKernel::kSimdMerge,
+    IntersectKernel::kSimdGalloping,
+};
+
+/// True iff `kernel` will actually run vectorized on this host (scalar
+/// kernels: always true; SIMD kernels: AVX2 present and enabled).
+bool IntersectKernelVectorized(IntersectKernel kernel);
+
+/// Appends a ∩ b to *out via the requested kernel. Returns the number
+/// appended. The result is identical for every kernel.
+size_t Intersect(std::span<const VertexId> a, std::span<const VertexId> b,
+                 std::vector<VertexId>* out,
+                 IntersectKernel kernel = IntersectKernel::kAuto);
 
 /// Appends a ∩ b to *out (kept sorted). Returns the number appended.
 size_t IntersectMerge(std::span<const VertexId> a, std::span<const VertexId> b,
@@ -29,17 +67,28 @@ size_t IntersectGalloping(std::span<const VertexId> a,
                           std::span<const VertexId> b,
                           std::vector<VertexId>* out);
 
-/// Chooses merge vs galloping from the size ratio (crossover measured by
-/// bench_intersection; see EXPERIMENTS.md A1).
+/// Chooses merge vs galloping from the size ratio, and the SIMD variant of
+/// the winner when the CPU has AVX2 (crossover measured by
+/// bench_intersection; see docs/experiments-a1.md).
 size_t IntersectAuto(std::span<const VertexId> a, std::span<const VertexId> b,
                      std::vector<VertexId>* out);
+
+/// The concrete kernel IntersectAuto runs for the given list sizes on this
+/// host — exposed (like SelectThresholdAlgorithm) so tests and benches can
+/// assert the picker chooses the measured winner. Never returns kAuto.
+IntersectKernel SelectIntersectKernel(size_t size_a, size_t size_b);
 
 /// |a ∩ b| without materializing the result.
 size_t IntersectCount(std::span<const VertexId> a,
                       std::span<const VertexId> b);
 
-/// Size ratio above which IntersectAuto switches to galloping.
-inline constexpr size_t kGallopRatioThreshold = 16;
+/// Size ratio above which IntersectAuto switches to galloping. Re-measured
+/// with the AVX2 kernels (bench_intersection ratio sweep, methodology in
+/// docs/experiments-a1.md): the vectorized block merge stays ahead of
+/// galloping until ~64:1 — four times further than the scalar crossover the
+/// old value of 16 encoded — because the merge's all-lanes compares
+/// amortize where the galloper's probe latencies do not.
+inline constexpr size_t kGallopRatioThreshold = 64;
 
 }  // namespace magicrecs
 

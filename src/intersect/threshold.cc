@@ -6,6 +6,8 @@
 #include <queue>
 #include <unordered_map>
 
+#include "intersect/simd.h"
+
 namespace magicrecs {
 
 std::string_view ThresholdAlgorithmName(ThresholdAlgorithm algo) {
@@ -69,25 +71,15 @@ size_t HeapMerge(const std::vector<std::span<const VertexId>>& lists, size_t k,
   return out->size();
 }
 
-/// First index >= `from` whose element is >= key (gallop + binary search).
-size_t GallopLowerBound(std::span<const VertexId> sorted, size_t from,
-                        VertexId key) {
-  size_t lo = from;
-  size_t hi = lo + 1;
-  while (hi < sorted.size() && sorted[hi] < key) {
-    const size_t step = hi - lo;
-    lo = hi;
-    hi += step * 2;
-  }
-  hi = std::min(hi, sorted.size());
-  const auto it =
-      std::lower_bound(sorted.begin() + static_cast<std::ptrdiff_t>(lo),
-                       sorted.begin() + static_cast<std::ptrdiff_t>(hi), key);
-  return static_cast<size_t>(it - sorted.begin());
+/// Empty view when no bitsets were provided for this query.
+BitsetView BitsetFor(const std::vector<BitsetView>* bitsets, size_t index) {
+  if (bitsets == nullptr || index >= bitsets->size()) return {};
+  return (*bitsets)[index];
 }
 
 size_t CandidateVerify(const std::vector<std::span<const VertexId>>& lists,
-                       size_t k, std::vector<ThresholdMatch>* out) {
+                       size_t k, std::vector<ThresholdMatch>* out,
+                       const std::vector<BitsetView>* bitsets) {
   const size_t n = lists.size();
   // Order list indices by size: the n-k+1 smallest seed the candidate set,
   // the k-1 largest are only probed.
@@ -116,8 +108,9 @@ size_t CandidateVerify(const std::vector<std::span<const VertexId>>& lists,
               return a.id < b.id;
             });
 
-  // Verify candidates against each large list with a galloping cursor; the
-  // candidates are sorted, so probes only move forward.
+  // Verify candidates against each large list. A list with a hub bitmap is
+  // one O(1) bit probe; the rest use a galloping cursor with SIMD-finished
+  // probes — candidates are sorted, so cursors only move forward.
   const size_t num_verify = n - num_seed;  // == k-1
   std::vector<size_t> cursor(num_verify, 0);
   for (auto& cand : candidates) {
@@ -126,10 +119,16 @@ size_t CandidateVerify(const std::vector<std::span<const VertexId>>& lists,
       // Early exit: cannot reach k even if all remaining lists match.
       if (count + (num_verify - vl) < k) break;
       if (count >= k) break;
-      const auto list = lists[order[num_seed + vl]];
+      const size_t list_index = order[num_seed + vl];
+      const BitsetView bits = BitsetFor(bitsets, list_index);
+      if (!bits.empty()) {
+        if (bits.Test(cand.id)) ++count;
+        continue;
+      }
+      const auto list = lists[list_index];
       size_t& pos = cursor[vl];
       if (pos >= list.size()) continue;
-      pos = GallopLowerBound(list, pos, cand.id);
+      pos = SimdGallopLowerBound(list, pos, cand.id);
       if (pos < list.size() && list[pos] == cand.id) {
         ++count;
         ++pos;
@@ -140,7 +139,13 @@ size_t CandidateVerify(const std::vector<std::span<const VertexId>>& lists,
       // exactly so every strategy reports identical counts. Matches are
       // sparse, so the extra O(n log) per match is negligible.
       uint32_t exact = 0;
-      for (const auto& list : lists) {
+      for (size_t li = 0; li < n; ++li) {
+        const BitsetView bits = BitsetFor(bitsets, li);
+        if (!bits.empty()) {
+          if (bits.Test(cand.id)) ++exact;
+          continue;
+        }
+        const auto& list = lists[li];
         if (std::binary_search(list.begin(), list.end(), cand.id)) ++exact;
       }
       out->push_back(ThresholdMatch{cand.id, exact});
@@ -170,7 +175,8 @@ ThresholdAlgorithm SelectThresholdAlgorithm(
 
 size_t ThresholdIntersect(const std::vector<std::span<const VertexId>>& lists,
                           size_t k, std::vector<ThresholdMatch>* out,
-                          ThresholdAlgorithm algo) {
+                          ThresholdAlgorithm algo,
+                          const std::vector<BitsetView>* bitsets) {
   out->clear();
   if (k == 0) k = 1;
   if (lists.empty() || k > lists.size()) return 0;
@@ -183,7 +189,7 @@ size_t ThresholdIntersect(const std::vector<std::span<const VertexId>>& lists,
     case ThresholdAlgorithm::kHeapMerge:
       return HeapMerge(lists, k, out);
     case ThresholdAlgorithm::kCandidateVerify:
-      return CandidateVerify(lists, k, out);
+      return CandidateVerify(lists, k, out, bitsets);
     case ThresholdAlgorithm::kAuto:
       break;
   }

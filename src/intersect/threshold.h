@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "intersect/bitset.h"
 #include "util/types.h"
 
 namespace magicrecs {
@@ -51,9 +52,16 @@ std::string_view ThresholdAlgorithmName(ThresholdAlgorithm algo);
 /// ascending id order. Returns the number of matches.
 ///
 /// k == 0 is treated as k == 1. If k > lists.size() the result is empty.
+///
+/// `bitsets`, when non-null, runs parallel to `lists`: entry i is an O(1)
+/// membership view of lists[i] (a hub's bitmap from StaticGraph::HubBitset),
+/// or an empty view when none exists. CandidateVerify probes bitmapped
+/// lists with one bit test instead of a galloping search; results are
+/// identical with or without the views.
 size_t ThresholdIntersect(const std::vector<std::span<const VertexId>>& lists,
                           size_t k, std::vector<ThresholdMatch>* out,
-                          ThresholdAlgorithm algo = ThresholdAlgorithm::kAuto);
+                          ThresholdAlgorithm algo = ThresholdAlgorithm::kAuto,
+                          const std::vector<BitsetView>* bitsets = nullptr);
 
 /// The heuristic used by kAuto, exposed for tests and benches: picks
 /// CandidateVerify when size skew is extreme, ScanCount for small inputs,

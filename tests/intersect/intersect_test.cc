@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "intersect/simd.h"
 #include "util/random.h"
 
 namespace magicrecs {
@@ -94,14 +95,74 @@ TEST_P(PairwiseIntersectTest, RandomizedAgainstReference) {
   }
 }
 
+// Enum-dispatch wrappers so the kernel selector runs the same contract
+// suite as the direct entry points.
+size_t DispatchSimdMerge(std::span<const VertexId> a,
+                         std::span<const VertexId> b,
+                         std::vector<VertexId>* out) {
+  return Intersect(a, b, out, IntersectKernel::kSimdMerge);
+}
+size_t DispatchSimdGalloping(std::span<const VertexId> a,
+                             std::span<const VertexId> b,
+                             std::vector<VertexId>* out) {
+  return Intersect(a, b, out, IntersectKernel::kSimdGalloping);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Algorithms, PairwiseIntersectTest,
     ::testing::Values(IntersectCase{"merge", &IntersectMerge},
                       IntersectCase{"galloping", &IntersectGalloping},
-                      IntersectCase{"auto", &IntersectAuto}),
+                      IntersectCase{"auto", &IntersectAuto},
+                      IntersectCase{"simd_merge", &IntersectMergeSimd},
+                      IntersectCase{"simd_galloping", &IntersectGallopingSimd},
+                      IntersectCase{"dispatch_simd_merge", &DispatchSimdMerge},
+                      IntersectCase{"dispatch_simd_galloping",
+                                    &DispatchSimdGalloping}),
     [](const ::testing::TestParamInfo<IntersectCase>& info) {
       return info.param.name;
     });
+
+TEST(IntersectKernelTest, NamesAndVectorizationFlags) {
+  EXPECT_EQ(IntersectKernelName(IntersectKernel::kAuto), "auto");
+  EXPECT_EQ(IntersectKernelName(IntersectKernel::kScalarMerge),
+            "scalar-merge");
+  EXPECT_EQ(IntersectKernelName(IntersectKernel::kScalarGalloping),
+            "scalar-galloping");
+  EXPECT_EQ(IntersectKernelName(IntersectKernel::kSimdMerge), "simd-merge");
+  EXPECT_EQ(IntersectKernelName(IntersectKernel::kSimdGalloping),
+            "simd-galloping");
+  // Scalar kernels always "run as selected"; SIMD kernels only when AVX2
+  // is present and enabled.
+  EXPECT_TRUE(IntersectKernelVectorized(IntersectKernel::kScalarMerge));
+  EXPECT_TRUE(IntersectKernelVectorized(IntersectKernel::kScalarGalloping));
+  EXPECT_EQ(IntersectKernelVectorized(IntersectKernel::kSimdMerge),
+            SimdEnabled());
+  EXPECT_EQ(IntersectKernelVectorized(IntersectKernel::kSimdGalloping),
+            SimdEnabled());
+}
+
+TEST(IntersectKernelTest, AllKernelsAgreeViaDispatcher) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::set<VertexId> sa, sb;
+    for (size_t i = 0; i < rng.UniformInt(300); ++i) {
+      sa.insert(static_cast<VertexId>(rng.UniformInt(600)));
+    }
+    for (size_t i = 0; i < rng.UniformInt(300); ++i) {
+      sb.insert(static_cast<VertexId>(rng.UniformInt(600)));
+    }
+    std::vector<VertexId> a(sa.begin(), sa.end()), b(sb.begin(), sb.end());
+    std::vector<VertexId> expected;
+    IntersectMerge(a, b, &expected);
+    for (const IntersectKernel kernel : kAllIntersectKernels) {
+      std::vector<VertexId> out;
+      const size_t n = Intersect(a, b, &out, kernel);
+      EXPECT_EQ(n, out.size()) << IntersectKernelName(kernel);
+      EXPECT_EQ(out, expected)
+          << IntersectKernelName(kernel) << " trial " << trial;
+    }
+  }
+}
 
 TEST(IntersectCountTest, MatchesMaterializedSize) {
   Rng rng(7);
@@ -118,6 +179,33 @@ TEST(IntersectCountTest, MatchesMaterializedSize) {
     IntersectMerge(a, b, &out);
     EXPECT_EQ(IntersectCount(a, b), out.size());
   }
+}
+
+TEST(IntersectAutoTest, PickerFollowsMeasuredCrossover) {
+  // The regime boundary (measured by bench_intersection; methodology in
+  // docs/experiments-a1.md): comparable sizes merge, skew >= the ratio
+  // threshold gallops. The picker must land the SIMD variant of the winner
+  // exactly when the SIMD paths are live on this host.
+  const bool simd = SimdEnabled();
+  const IntersectKernel merge_kind =
+      simd ? IntersectKernel::kSimdMerge : IntersectKernel::kScalarMerge;
+  const IntersectKernel gallop_kind = simd ? IntersectKernel::kSimdGalloping
+                                           : IntersectKernel::kScalarGalloping;
+  EXPECT_EQ(SelectIntersectKernel(100, 100), merge_kind);
+  EXPECT_EQ(SelectIntersectKernel(100, 100 * kGallopRatioThreshold - 1),
+            merge_kind);
+  EXPECT_EQ(SelectIntersectKernel(100, 100 * kGallopRatioThreshold),
+            gallop_kind);
+  EXPECT_EQ(SelectIntersectKernel(3, 100'000), gallop_kind);
+  // Order of arguments must not matter.
+  EXPECT_EQ(SelectIntersectKernel(100'000, 3), gallop_kind);
+
+  // And with SIMD forced off, the scalar winner is picked instead.
+  const bool prior = SetSimdEnabled(false);
+  EXPECT_EQ(SelectIntersectKernel(100, 100), IntersectKernel::kScalarMerge);
+  EXPECT_EQ(SelectIntersectKernel(3, 100'000),
+            IntersectKernel::kScalarGalloping);
+  SetSimdEnabled(prior);
 }
 
 TEST(IntersectAutoTest, UsesGallopOnSkewWithoutChangingResult) {

@@ -1,0 +1,201 @@
+// Property tests for ThresholdIntersect: on randomized Zipf-shaped list
+// families — the in-degree profile the paper's follow graph actually has —
+// every algorithm (ScanCount, HeapMerge, CandidateVerify, and whatever kAuto
+// selects) must agree on both the matched ids AND their occurrence counts,
+// for every k from 1 to n, with and without hub bitset views. The k == 0 and
+// k > n boundary contracts are locked down explicitly.
+//
+// Failures print the seed; rerun with MAGICRECS_FUZZ_SEED=<seed>.
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "intersect/bitset.h"
+#include "intersect/simd.h"
+#include "intersect/threshold.h"
+#include "util/random.h"
+
+namespace magicrecs {
+namespace {
+
+uint64_t BaseSeed() {
+  if (const char* env = std::getenv("MAGICRECS_FUZZ_SEED")) {
+    return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 0x7e5707d1440ull;  // arbitrary fixed default
+}
+
+constexpr ThresholdAlgorithm kConcreteAlgos[] = {
+    ThresholdAlgorithm::kScanCount,
+    ThresholdAlgorithm::kHeapMerge,
+    ThresholdAlgorithm::kCandidateVerify,
+};
+
+/// A family of sorted duplicate-free lists drawn from a Zipf(universe, q)
+/// popularity model: popular ids land in many lists, the tail in few — the
+/// shape that separates ScanCount from CandidateVerify in practice.
+std::vector<std::vector<VertexId>> ZipfFamily(Rng* rng, size_t n,
+                                              uint64_t universe, double q) {
+  const ZipfDistribution zipf(universe, q);
+  std::vector<std::vector<VertexId>> lists(n);
+  for (std::vector<VertexId>& list : lists) {
+    // Log-normal list length: most actors follow few, some follow many.
+    const size_t len = static_cast<size_t>(rng->LogNormal(3.0, 1.2));
+    std::set<VertexId> s;
+    for (size_t i = 0; i < len; ++i) {
+      s.insert(static_cast<VertexId>(zipf.Sample(rng) - 1));
+    }
+    list.assign(s.begin(), s.end());
+  }
+  // One hub-shaped outlier so the CandidateVerify + bitset path sees real
+  // skew: a long near-dense list.
+  if (!lists.empty() && rng->Bernoulli(0.5)) {
+    std::set<VertexId> s;
+    const size_t len = universe / 2 + rng->UniformInt(universe / 4);
+    while (s.size() < len) {
+      s.insert(static_cast<VertexId>(rng->UniformInt(universe)));
+    }
+    lists.back().assign(s.begin(), s.end());
+  }
+  return lists;
+}
+
+/// Brute-force reference: occurrence counting over a map.
+std::vector<ThresholdMatch> Reference(
+    const std::vector<std::vector<VertexId>>& lists, size_t k) {
+  if (k == 0) k = 1;
+  if (k > lists.size()) return {};
+  std::map<VertexId, uint32_t> counts;
+  for (const auto& list : lists) {
+    for (const VertexId v : list) ++counts[v];
+  }
+  std::vector<ThresholdMatch> out;
+  for (const auto& [id, count] : counts) {
+    if (count >= k) out.push_back({id, count});
+  }
+  return out;
+}
+
+std::vector<BitsetView> MakeBitsets(
+    const std::vector<std::vector<VertexId>>& lists, uint64_t universe,
+    std::vector<std::vector<uint64_t>>* storage, Rng* rng) {
+  storage->assign(lists.size(), {});
+  std::vector<BitsetView> views(lists.size());
+  for (size_t i = 0; i < lists.size(); ++i) {
+    // Bitmap roughly the longer lists — mirroring production, where only
+    // hubs carry bitmaps — plus a random sprinkle so short-list bitset
+    // probing is exercised too.
+    if (lists[i].size() * 4 >= universe || rng->Bernoulli(0.25)) {
+      FillBitset(lists[i], universe, &(*storage)[i]);
+      views[i] = {(*storage)[i].data(), (*storage)[i].size()};
+    }
+  }
+  return views;
+}
+
+void CheckFamily(const std::vector<std::vector<VertexId>>& lists,
+                 uint64_t universe, uint64_t seed, int trial, Rng* rng) {
+  std::vector<std::span<const VertexId>> spans(lists.begin(), lists.end());
+  std::vector<std::vector<uint64_t>> bitset_storage;
+  const std::vector<BitsetView> bitsets =
+      MakeBitsets(lists, universe, &bitset_storage, rng);
+
+  for (size_t k = 1; k <= lists.size(); ++k) {
+    const std::vector<ThresholdMatch> expected = Reference(lists, k);
+    for (const ThresholdAlgorithm algo :
+         {ThresholdAlgorithm::kAuto, ThresholdAlgorithm::kScanCount,
+          ThresholdAlgorithm::kHeapMerge,
+          ThresholdAlgorithm::kCandidateVerify}) {
+      std::vector<ThresholdMatch> got;
+      const size_t n = ThresholdIntersect(spans, k, &got, algo);
+      ASSERT_EQ(n, got.size())
+          << ThresholdAlgorithmName(algo) << " count mismatch; seed=" << seed
+          << " trial=" << trial << " k=" << k;
+      ASSERT_EQ(got, expected)
+          << ThresholdAlgorithmName(algo) << " diverged (ids or counts); "
+          << "seed=" << seed << " trial=" << trial << " k=" << k
+          << " n_lists=" << lists.size();
+
+      // Same query with hub bitset views must be identical.
+      std::vector<ThresholdMatch> got_bits;
+      ThresholdIntersect(spans, k, &got_bits, algo, &bitsets);
+      ASSERT_EQ(got_bits, expected)
+          << ThresholdAlgorithmName(algo) << " diverged with bitsets; "
+          << "seed=" << seed << " trial=" << trial << " k=" << k;
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ThresholdPropertyTest, AllAlgorithmsAgreeOnZipfFamilies) {
+  const uint64_t seed = BaseSeed();
+  RecordProperty("seed", std::to_string(seed));
+  Rng rng(seed);
+  for (int trial = 0; trial < 120; ++trial) {
+    const size_t n = 1 + rng.UniformInt(10);
+    const uint64_t universe = 64 + rng.UniformInt(1'000);
+    const double q = 0.7 + rng.UniformDouble() * 1.0;  // Zipf exponent
+    const auto lists = ZipfFamily(&rng, n, universe, q);
+    CheckFamily(lists, universe, seed, trial, &rng);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ThresholdPropertyTest, AgreesWithSimdDisabled) {
+  // CandidateVerify's probes route through SimdGallopLowerBound; the scalar
+  // fallback must be observationally identical.
+  const bool prior = SetSimdEnabled(false);
+  const uint64_t seed = BaseSeed() ^ 0x5ca1a5;
+  RecordProperty("seed", std::to_string(seed));
+  Rng rng(seed);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 1 + rng.UniformInt(8);
+    const uint64_t universe = 64 + rng.UniformInt(600);
+    const auto lists = ZipfFamily(&rng, n, universe, 1.1);
+    CheckFamily(lists, universe, seed, trial, &rng);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+  SetSimdEnabled(prior);
+}
+
+TEST(ThresholdPropertyTest, KZeroBehavesAsKOne) {
+  Rng rng(77);
+  const auto lists = ZipfFamily(&rng, 5, 256, 1.0);
+  std::vector<std::span<const VertexId>> spans(lists.begin(), lists.end());
+  for (const ThresholdAlgorithm algo : kConcreteAlgos) {
+    std::vector<ThresholdMatch> k0, k1;
+    ThresholdIntersect(spans, 0, &k0, algo);
+    ThresholdIntersect(spans, 1, &k1, algo);
+    EXPECT_EQ(k0, k1) << ThresholdAlgorithmName(algo);
+  }
+}
+
+TEST(ThresholdPropertyTest, KBeyondListCountIsEmpty) {
+  Rng rng(78);
+  const auto lists = ZipfFamily(&rng, 4, 256, 1.0);
+  std::vector<std::span<const VertexId>> spans(lists.begin(), lists.end());
+  for (const ThresholdAlgorithm algo : kConcreteAlgos) {
+    std::vector<ThresholdMatch> out{{42, 1}};  // must be cleared
+    EXPECT_EQ(ThresholdIntersect(spans, spans.size() + 1, &out, algo), 0u)
+        << ThresholdAlgorithmName(algo);
+    EXPECT_TRUE(out.empty()) << ThresholdAlgorithmName(algo);
+  }
+}
+
+TEST(ThresholdPropertyTest, EmptyFamilyIsEmpty) {
+  std::vector<std::span<const VertexId>> spans;
+  for (const ThresholdAlgorithm algo : kConcreteAlgos) {
+    std::vector<ThresholdMatch> out;
+    EXPECT_EQ(ThresholdIntersect(spans, 1, &out, algo), 0u);
+    EXPECT_TRUE(out.empty());
+  }
+}
+
+}  // namespace
+}  // namespace magicrecs

@@ -39,15 +39,21 @@ MEASUREMENTS = {
     "recs",
     "count",
     "server_threads",
+    "melems_per_sec",
+    "speedup",
 }
 
 # measurement -> direction: +1 means higher is better (throughput), -1
 # means lower is better (latency). Only these gate the check; the rest are
-# informational.
+# informational. "speedup" (bench_intersection's intersect section) is
+# time(scalar reference)/time(kernel) on the same shape — machine-
+# independent, so it catches kernel regressions that absolute rates would
+# hide behind hardware variance.
 GATED = {
     "events_per_sec": +1,
     "requests_per_sec": +1,
     "p99_us": -1,
+    "speedup": +1,
 }
 
 
