@@ -198,7 +198,7 @@ void EpollReactor::UpdateInterest(Conn* conn) {
   if (!conn->read_paused && !conn->eof_seen && !conn->close_after_flush) {
     wanted |= EPOLLIN;
   }
-  if (conn->outbox.size() > conn->outbox_off) wanted |= EPOLLOUT;
+  if (!conn->outbox.empty()) wanted |= EPOLLOUT;
   if (wanted == conn->interest) return;
   epoll_event ev{};
   ev.events = wanted;
@@ -310,7 +310,9 @@ void EpollReactor::DrainFrames(Conn* conn) {
 void EpollReactor::SettleFramingError(Conn* conn) {
   if (conn->framing_error.ok() || conn->close_after_flush) return;
   if (conn->inflight != 0 || !conn->parked.empty()) return;
-  AppendError(conn->framing_error, &conn->outbox);
+  std::string error;
+  AppendError(conn->framing_error, &error);
+  conn->outbox.Append(FrameBuf::Wrap(std::move(error)));
   server_->requests_served_metric_->Increment();
   conn->close_after_flush = true;
 }
@@ -322,14 +324,16 @@ void EpollReactor::ParkFrame(Conn* conn, Frame frame) {
     // connection state no worker may touch. Demanding a quiet connection
     // keeps the reply from overtaking responses still owed to earlier
     // requests.
+    std::string reply;
     if (conn->inflight != 0 || !conn->parked.empty()) {
       server_->protocol_errors_metric_->Increment();
       AppendError(
           Status::FailedPrecondition("hello must precede in-flight requests"),
-          &conn->outbox);
+          &reply);
     } else {
-      server_->HandleHello(frame, &conn->outbox, &conn->features);
+      server_->HandleHello(frame, &reply, &conn->features);
     }
+    conn->outbox.Append(FrameBuf::Wrap(std::move(reply)));
     server_->requests_served_metric_->Increment();
     return;
   }
@@ -387,9 +391,11 @@ void EpollReactor::Dispatch(Conn* conn, Parked parked) {
     completion.conn_id = conn_id;
     completion.order_sensitive = p.order_sensitive;
     if (p.is_mux) {
-      server_->HandleMuxEnvelope(p.frame, features, &completion.bytes);
+      server_->HandleMuxEnvelope(p.frame, features, &completion.buf);
     } else {
-      server_->HandleRequest(p.frame, features, &completion.bytes);
+      std::string response;
+      server_->HandleRequest(p.frame, features, &response);
+      completion.buf = FrameBuf::Wrap(std::move(response));
     }
     {
       std::lock_guard<std::mutex> lock(completions_mu_);
@@ -411,7 +417,7 @@ void EpollReactor::DrainCompletions() {
     Conn* conn = it->second.get();
     conn->inflight--;
     if (completion.order_sensitive) conn->serial_busy = false;
-    conn->outbox += completion.bytes;
+    conn->outbox.Append(std::move(completion.buf));
     server_->requests_served_metric_->Increment();
     // Room freed: resume a paused read (the assembler may already hold the
     // next frames) and dispatch whatever became eligible. A connection
@@ -433,33 +439,35 @@ void EpollReactor::DrainCompletions() {
 }
 
 bool EpollReactor::FlushOutbox(Conn* conn) {
-  while (conn->outbox.size() > conn->outbox_off) {
-    Result<IoChunk> chunk = conn->socket.WriteChunk(
-        conn->outbox.data() + conn->outbox_off,
-        conn->outbox.size() - conn->outbox_off);
+  // Scatter/gather flush with partial-write carry: FillIov exposes the
+  // unsent segments, the kernel takes what fits, Advance moves the cursor.
+  // No compaction memmoves — a deep backlog costs O(bytes) total.
+  while (!conn->outbox.empty()) {
+    struct iovec iov[kMaxIovPerWritev];
+    const int iovcnt = conn->outbox.FillIov(iov, kMaxIovPerWritev);
+    Result<IoChunk> chunk = conn->socket.WritevChunk(iov, iovcnt);
     if (!chunk.ok()) {
       DestroyConn(conn);
       return false;
     }
-    conn->outbox_off += chunk->bytes;
+    server_->writev_calls_metric_->Increment();
+    if (chunk->bytes > 0) {
+      server_->egress_bytes_metric_->Increment(chunk->bytes);
+      const size_t frames = conn->outbox.Advance(chunk->bytes);
+      server_->frames_per_writev_metric_->Record(
+          static_cast<int64_t>(frames));
+    }
     if (chunk->would_block) {
       server_->partial_writes_metric_->Increment();
       break;
     }
-  }
-  if (conn->outbox_off == conn->outbox.size()) {
-    conn->outbox.clear();
-    conn->outbox_off = 0;
-  } else if (conn->outbox_off > (256u << 10)) {
-    conn->outbox.erase(0, conn->outbox_off);
-    conn->outbox_off = 0;
   }
   UpdateInterest(conn);
   return true;
 }
 
 bool EpollReactor::MaybeClose(Conn* conn) {
-  const bool flushed = conn->outbox.size() == conn->outbox_off;
+  const bool flushed = conn->outbox.empty();
   if (conn->close_after_flush && flushed) {
     DestroyConn(conn);
     return false;

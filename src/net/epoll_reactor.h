@@ -42,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/frame_buf.h"
 #include "net/frame_io.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -87,9 +88,11 @@ class EpollReactor {
     TcpSocket socket;
     FrameAssembler assembler;
 
-    /// Response bytes owed to the peer; [outbox_off, size) is unsent.
-    std::string outbox;
-    size_t outbox_off = 0;
+    /// Response frames owed to the peer: refcounted segments flushed via
+    /// writev with a partial-write cursor — never concatenated, never
+    /// compacted (the old string outbox memmoved up to 256 KiB per flush
+    /// cycle under backpressure).
+    OutboxChain outbox;
 
     std::deque<Parked> parked;
     size_t inflight = 0;       ///< dispatched, completion not yet drained
@@ -107,11 +110,13 @@ class EpollReactor {
     uint32_t interest = 0;     ///< epoll events currently registered
   };
 
-  /// One finished request, handed from a worker back to the reactor.
+  /// One finished request, handed from a worker back to the reactor. The
+  /// reply rides as a FrameBuf so appending it to the outbox splices
+  /// segment references instead of copying bytes.
   struct Completion {
     uint64_t conn_id = 0;
     bool order_sensitive = false;
-    std::string bytes;
+    FrameBuf buf;
   };
 
   void Run();

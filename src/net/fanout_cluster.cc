@@ -292,7 +292,7 @@ void FanoutCluster::FlushReplayOn(Slot* slot) {
     const ReplayFrame& frame = daemon->replay.front();
     std::vector<Frame> reply;
     const Status status = slot->conn->CallOne(
-        frame.bytes, options_.recv_timeout_ms, &reply);
+        frame.frame, options_.recv_timeout_ms, &reply);
     if (!status.ok()) {
       // The daemon went away again mid-replay: fail the lane, keep the
       // unacked frames parked for the next attempt.
@@ -330,7 +330,9 @@ void FanoutCluster::FlushReplayOn(Slot* slot) {
 }
 
 void FanoutCluster::StartAll(std::vector<Slot>* slots,
-                             const std::string& request) {
+                             const FrameBuf& request) {
+  // Every lane's Start copies the FrameBuf — segment references onto the
+  // same payload block, never the bytes.
   for (Slot& slot : *slots) {
     if (!slot.live()) continue;
     Result<MuxConnection::CallHandle> started =
@@ -403,7 +405,7 @@ Status FanoutCluster::BroadcastForAck(const std::string& request,
     return Status::FailedPrecondition("fan-out cluster is closed");
   }
   std::vector<Slot> slots = AcquireAll();
-  StartAll(&slots, request);
+  StartAll(&slots, FrameBuf::Wrap(request));
   for (Slot& slot : slots) {
     std::vector<Frame> reply;
     if (!AwaitReply(&slot, &reply)) continue;
@@ -447,7 +449,7 @@ Status FanoutCluster::Publish(const EdgeEvent& event) {
 }
 
 void FanoutCluster::ReapOneAck(Slot* slot,
-                               const std::vector<std::string>& frames,
+                               const std::vector<FrameBuf>& frames,
                                bool sequenced, TraceContext* trace) {
   // On a kError reply the session stays usable (the server answered; later
   // acks still arrive) so only the first error is recorded; a transport
@@ -515,7 +517,7 @@ void FanoutCluster::ReapOneAck(Slot* slot,
 }
 
 bool FanoutCluster::TryHedgePublish(Slot* slot,
-                                    const std::vector<std::string>& frames,
+                                    const std::vector<FrameBuf>& frames,
                                     bool sequenced) {
   if (!sequenced || options_.hedge_after_ms <= 0 || slot->hedged) {
     return false;
@@ -564,7 +566,7 @@ bool FanoutCluster::TryHedgePublish(Slot* slot,
 }
 
 void FanoutCluster::QueueUnsent(Slot* slot,
-                                const std::vector<std::string>& frames,
+                                const std::vector<FrameBuf>& frames,
                                 const std::vector<size_t>& frame_events) {
   // Only an unreachable lane parks frames: no connection at all (circuit
   // breaker / connect failure) or a transport failure mid-call. A healthy
@@ -634,17 +636,20 @@ Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
   }
 
   // Encode once: the same chunked kPublishBatch frames stream to every
-  // daemon (each partition ingests the full stream). Degraded policies tag
-  // every frame with a batch sequence so hedged re-sends are idempotent;
-  // strict mode emits the untagged (pre-extension) bytes. A sampled
-  // publish additionally encodes a traced VARIANT of the first frame: the
-  // trace tail rides only toward trace-negotiated lanes, while hedges and
-  // the replay buffer reuse the canonical plain bytes (a replayed trace
-  // would stamp a long-finished pipeline).
+  // daemon (each partition ingests the full stream). Each frame becomes a
+  // refcounted FrameBuf, so the N lanes (and all their pipeline slots, the
+  // hedge re-sends, and the replay buffer) share ONE payload block per
+  // frame — fan-out costs segment references, never a byte copy. Degraded
+  // policies tag every frame with a batch sequence so hedged re-sends are
+  // idempotent; strict mode emits the untagged (pre-extension) bytes. A
+  // sampled publish additionally encodes a traced VARIANT of the first
+  // frame: the trace tail rides only toward trace-negotiated lanes, while
+  // hedges and the replay buffer reuse the canonical plain bytes (a
+  // replayed trace would stamp a long-finished pipeline).
   const size_t chunk = std::max<size_t>(1, options_.publish_chunk_events);
-  std::vector<std::string> frames;
+  std::vector<FrameBuf> frames;
   std::vector<size_t> frame_events;
-  std::string traced_first_frame;
+  FrameBuf traced_first_frame;
   frames.reserve((events.size() + chunk - 1) / chunk);
   frame_events.reserve(frames.capacity());
   for (size_t i = 0; i < events.size(); i += chunk) {
@@ -655,10 +660,11 @@ Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
     if (i == 0 && trace.active()) {
       trace.Stamp(TraceStage::kBrokerEncode, kTracePartyBroker,
                   SystemClock::Default()->Now());
-      AppendPublishBatch(events.subspan(i, n), &traced_first_frame, sequence,
-                         &trace);
+      std::string traced;
+      AppendPublishBatch(events.subspan(i, n), &traced, sequence, &trace);
+      traced_first_frame = FrameBuf::Wrap(std::move(traced));
     }
-    frames.push_back(std::move(frame));
+    frames.push_back(FrameBuf::Wrap(std::move(frame)));
     frame_events.push_back(n);
   }
 
@@ -680,12 +686,12 @@ Status FanoutCluster::PublishBatch(std::span<const EdgeEvent> events) {
       if (!slot.live()) continue;
       // The traced variant of frame 0 rides only to lanes whose hello
       // granted kFeatureTrace; everyone else gets the canonical bytes.
-      const std::string& bytes =
+      const FrameBuf& buf =
           (f == 0 && trace.active() && slot.conn->trace_negotiated())
               ? traced_first_frame
               : frames[f];
       Result<MuxConnection::CallHandle> started =
-          slot.conn->Start(bytes, options_.recv_timeout_ms);
+          slot.conn->Start(buf, options_.recv_timeout_ms);
       if (started.ok()) {
         slot.calls.push_back(std::move(started).value());
         continue;
@@ -764,7 +770,7 @@ Result<std::vector<Recommendation>> FanoutCluster::TakeRecommendations(
   }
 
   std::vector<Slot> slots = AcquireAll();
-  StartAll(&slots, request);
+  StartAll(&slots, FrameBuf::Wrap(std::move(request)));
   // Gather: each daemon streams its share as chunked reply frames; the
   // merged result is their concatenation (cross-partition ordering is
   // unspecified, exactly as with the in-process broker). A daemon that is
@@ -996,7 +1002,7 @@ Result<ClusterStats> FanoutCluster::GetStats() {
   // snapshots are taken concurrently (minimally skewed in time) instead of
   // one round trip after another.
   std::vector<Slot> slots = AcquireAll();
-  StartAll(&slots, request);
+  StartAll(&slots, FrameBuf::Wrap(std::move(request)));
   ClusterStats merged;
   size_t answered = 0;
   for (Slot& slot : slots) {
@@ -1104,7 +1110,7 @@ Result<std::string> FanoutCluster::GetStatsText() {
   std::string request;
   AppendEmptyRequest(MessageTag::kStatsText, &request);
   std::vector<Slot> slots = AcquireAll();
-  StartAll(&slots, request);
+  StartAll(&slots, FrameBuf::Wrap(std::move(request)));
   for (Slot& slot : slots) {
     const FanoutEndpoint& e = slot.daemon->endpoint;
     std::string header =
@@ -1178,7 +1184,7 @@ Status FanoutCluster::VerifyTopology() {
   std::string request;
   AppendEmptyRequest(MessageTag::kStats, &request);
   std::vector<Slot> slots = AcquireAll();
-  StartAll(&slots, request);
+  StartAll(&slots, FrameBuf::Wrap(std::move(request)));
   for (Slot& slot : slots) {
     ClusterStats stats;
     if (!AwaitStatsReply(&slot, &stats)) continue;

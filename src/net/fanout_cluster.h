@@ -98,6 +98,7 @@
 #include "cluster/transport.h"
 #include "health/health_engine.h"
 #include "health/health_monitor.h"
+#include "net/frame_buf.h"
 #include "net/mux_connection.h"
 #include "net/wire.h"
 #include "util/event_log.h"
@@ -330,8 +331,10 @@ class FanoutCluster : public ClusterTransport {
  private:
   /// One encoded publish frame parked for a daemon that could not take it,
   /// plus how many events it carries (the unit the buffer bound counts).
+  /// The frame is a refcounted view of the batch's canonical encoding —
+  /// parking it costs segment references, not a byte copy.
   struct ReplayFrame {
-    std::string bytes;
+    FrameBuf frame;
     size_t events = 0;
   };
 
@@ -429,7 +432,7 @@ class FanoutCluster : public ClusterTransport {
   // became reachable again (degraded policies only), so every broker call
   // is a replay opportunity.
   std::vector<Slot> AcquireAll();
-  void StartAll(std::vector<Slot>* slots, const std::string& request);
+  void StartAll(std::vector<Slot>* slots, const FrameBuf& request);
   Status FirstError(const std::vector<Slot>& slots) const;
 
   /// Awaits the slot's single-exchange reply. On success the reply frames
@@ -472,7 +475,7 @@ class FanoutCluster : public ClusterTransport {
   /// buffer after a lane failure, clearing the slot's transport error.
   /// Overflow queues nothing more, counts the dropped events, and sets the
   /// explicit ResourceExhausted status instead.
-  void QueueUnsent(Slot* slot, const std::vector<std::string>& frames,
+  void QueueUnsent(Slot* slot, const std::vector<FrameBuf>& frames,
                    const std::vector<size_t>& frame_events);
 
   /// One hedge attempt for a failed publish lane: re-issues every unacked
@@ -484,7 +487,7 @@ class FanoutCluster : public ClusterTransport {
   /// policy): hedging an unsequenced frame could double-apply it, so the
   /// hedge only fires when they do — a mid-call autopilot flip must not
   /// change that.
-  bool TryHedgePublish(Slot* slot, const std::vector<std::string>& frames,
+  bool TryHedgePublish(Slot* slot, const std::vector<FrameBuf>& frames,
                        bool sequenced);
 
   /// Awaits the oldest unacked publish frame on the lane, hedging once on
@@ -492,7 +495,7 @@ class FanoutCluster : public ClusterTransport {
   /// kError replies record the first server error but keep the lane (the
   /// session is still usable). A non-null `trace` folds the stamps echoed
   /// on an ack's trace tail into the publish's originating context.
-  void ReapOneAck(Slot* slot, const std::vector<std::string>& frames,
+  void ReapOneAck(Slot* slot, const std::vector<FrameBuf>& frames,
                   bool sequenced, TraceContext* trace);
 
   /// Awaits and decodes one kStatsReply on a slot; false on any failure

@@ -1,0 +1,251 @@
+#include "net/frame_buf.h"
+
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+#include "persist/codec.h"
+#include "persist/crc32.h"
+
+namespace magicrecs::net {
+namespace {
+
+using persist::Crc32c;
+using persist::MaskCrc;
+using persist::PutU32;
+using persist::PutU64;
+using persist::PutU8;
+
+/// Frames in an already-encoded buffer, by walking the length prefixes.
+/// Misaligned residue (never produced by the encoders) counts as one more
+/// so the byte totals still reconcile in the metrics.
+size_t CountFrames(std::string_view bytes) {
+  size_t count = 0;
+  while (bytes.size() >= kFrameHeaderBytes) {
+    uint32_t body_len = 0;
+    std::memcpy(&body_len, bytes.data(), sizeof(body_len));
+    if (body_len == 0 ||
+        bytes.size() < kFrameHeaderBytes + static_cast<size_t>(body_len)) {
+      break;
+    }
+    ++count;
+    bytes.remove_prefix(kFrameHeaderBytes + body_len);
+  }
+  if (!bytes.empty()) ++count;
+  return count;
+}
+
+}  // namespace
+
+FrameBuf::Block FrameBuf::MakeBlock(std::string bytes) {
+  return std::make_shared<const std::string>(std::move(bytes));
+}
+
+FrameBuf FrameBuf::Wrap(std::string bytes) {
+  return FromBlock(MakeBlock(std::move(bytes)));
+}
+
+FrameBuf FrameBuf::FromBlock(Block block) {
+  FrameBuf buf;
+  if (block == nullptr || block->empty()) return buf;
+  buf.size_ = block->size();
+  buf.frame_count_ = CountFrames(*block);
+  buf.segments_.push_back(Segment{std::move(block), 0, buf.size_});
+  return buf;
+}
+
+FrameBuf FrameBuf::Frame(MessageTag tag, std::string_view prefix,
+                         const std::vector<Segment>& body,
+                         const uint32_t* body_crc) {
+  size_t body_bytes = 0;
+  for (const Segment& segment : body) body_bytes += segment.len;
+  const size_t body_len = 1 + prefix.size() + body_bytes;
+
+  // The owned header block carries everything unique to this frame:
+  // length, CRC, tag, and the envelope prefix. The CRC covers the body
+  // (tag + prefix + shared segments) and is chained across the segments,
+  // then patched over its placeholder — the same bytes AppendFrame
+  // produces over the flattened body.
+  auto header = std::make_shared<std::string>();
+  header->reserve(kFrameHeaderBytes + 1 + prefix.size());
+  PutU32(header.get(), static_cast<uint32_t>(body_len));
+  PutU32(header.get(), 0);  // crc placeholder
+  PutU8(header.get(), static_cast<uint8_t>(tag));
+  header->append(prefix);
+  uint32_t crc =
+      Crc32c(header->data() + kFrameHeaderBytes, 1 + prefix.size());
+  if (body_crc != nullptr) {
+    crc = persist::Crc32cCombine(crc, *body_crc, body_bytes);
+  } else {
+    for (const Segment& segment : body) {
+      crc = Crc32c(segment.data(), segment.len, crc);
+    }
+  }
+  const uint32_t masked = MaskCrc(crc);
+  std::memcpy(header->data() + sizeof(uint32_t), &masked, sizeof(masked));
+
+  FrameBuf buf;
+  buf.segments_.reserve(1 + body.size());
+  buf.size_ = header->size();
+  buf.segments_.push_back(Segment{std::move(header), 0, buf.size_});
+  for (const Segment& segment : body) {
+    if (segment.len == 0) continue;
+    buf.segments_.push_back(segment);
+    buf.size_ += segment.len;
+  }
+  buf.frame_count_ = 1;
+  return buf;
+}
+
+std::vector<FrameBuf::Segment> FrameBuf::BodySegments() const {
+  std::vector<Segment> body;
+  if (frame_count_ != 1 || size_ <= kFrameHeaderBytes) return body;
+  size_t skip = kFrameHeaderBytes;
+  for (const Segment& segment : segments_) {
+    if (skip >= segment.len) {
+      skip -= segment.len;
+      continue;
+    }
+    body.push_back(
+        Segment{segment.block, segment.off + skip, segment.len - skip});
+    skip = 0;
+  }
+  return body;
+}
+
+void FrameBuf::Append(FrameBuf other) {
+  if (other.empty()) return;
+  segments_.reserve(segments_.size() + other.segments_.size());
+  for (Segment& segment : other.segments_) {
+    segments_.push_back(std::move(segment));
+  }
+  size_ += other.size_;
+  frame_count_ += other.frame_count_;
+}
+
+std::string FrameBuf::Flatten() const {
+  std::string out;
+  out.reserve(size_);
+  for (const Segment& segment : segments_) {
+    out.append(segment.data(), segment.len);
+  }
+  return out;
+}
+
+FrameBuf WrapMuxRequestShared(uint64_t request_id, const FrameBuf& frame) {
+  const std::vector<FrameBuf::Segment> body = frame.BodySegments();
+  assert(!body.empty() &&
+         "WrapMuxRequestShared needs exactly one complete frame");
+  std::string prefix;
+  prefix.reserve(sizeof(uint64_t));
+  persist::PutU64(&prefix, request_id);
+  // The inner frame's header already stores a (masked) CRC over exactly
+  // the body segments re-carried here — unmask it and combine, so wrapping
+  // the same payload for N recipients never re-checksums it.
+  const std::vector<FrameBuf::Segment>& segs = frame.segments();
+  if (!segs.empty() && segs[0].len >= kFrameHeaderBytes) {
+    uint32_t masked = 0;
+    std::memcpy(&masked, segs[0].data() + sizeof(uint32_t), sizeof(masked));
+    const uint32_t body_crc = persist::UnmaskCrc(masked);
+    return FrameBuf::Frame(MessageTag::kMuxRequest, prefix, body, &body_crc);
+  }
+  return FrameBuf::Frame(MessageTag::kMuxRequest, prefix, body);
+}
+
+Result<FrameBuf> WrapMuxResponsesShared(uint64_t request_id,
+                                        FrameBuf::Block frames) {
+  if (frames == nullptr || frames->empty()) {
+    return Status::InvalidArgument("mux response wrap needs >= 1 frame");
+  }
+  FrameBuf out;
+  size_t off = 0;
+  while (off < frames->size()) {
+    uint32_t body_len = 0;
+    if (frames->size() - off < kFrameHeaderBytes) {
+      return Status::InvalidArgument(
+          "mux response wrap given a misaligned frame buffer");
+    }
+    std::memcpy(&body_len, frames->data() + off, sizeof(body_len));
+    if (body_len == 0 ||
+        frames->size() - off <
+            kFrameHeaderBytes + static_cast<size_t>(body_len)) {
+      return Status::InvalidArgument(
+          "mux response wrap given a misaligned frame buffer");
+    }
+    const size_t body_off = off + kFrameHeaderBytes;
+    off = body_off + body_len;
+    const bool last = off == frames->size();
+    std::string prefix;
+    prefix.reserve(sizeof(uint64_t) + 1);
+    persist::PutU64(&prefix, request_id);
+    persist::PutU8(&prefix, last ? 1 : 0);
+    // Each inner frame carries its own masked CRC over the body slice we
+    // re-carry — unmask and combine instead of re-walking the chunk.
+    uint32_t masked = 0;
+    std::memcpy(&masked, frames->data() + body_off - sizeof(uint32_t),
+                sizeof(masked));
+    const uint32_t body_crc = persist::UnmaskCrc(masked);
+    out.Append(FrameBuf::Frame(
+        MessageTag::kMuxResponse, prefix,
+        {FrameBuf::Segment{frames, body_off, body_len}}, &body_crc));
+  }
+  return out;
+}
+
+void OutboxChain::Append(FrameBuf buf) {
+  if (buf.empty()) return;
+  pending_bytes_ += buf.size();
+  bufs_.push_back(std::move(buf));
+}
+
+int OutboxChain::FillIov(struct iovec* iov, int max_iov) const {
+  int count = 0;
+  size_t seg_index = front_seg_;
+  size_t seg_off = front_off_;
+  for (const FrameBuf& buf : bufs_) {
+    const std::vector<FrameBuf::Segment>& segments = buf.segments();
+    for (; seg_index < segments.size(); ++seg_index) {
+      if (count == max_iov) return count;
+      const FrameBuf::Segment& segment = segments[seg_index];
+      iov[count].iov_base =
+          const_cast<char*>(segment.data() + seg_off);
+      iov[count].iov_len = segment.len - seg_off;
+      seg_off = 0;
+      ++count;
+    }
+    seg_index = 0;
+  }
+  return count;
+}
+
+size_t OutboxChain::Advance(size_t bytes) {
+  assert(bytes <= pending_bytes_);
+  pending_bytes_ -= bytes;
+  size_t frames_retired = 0;
+  while (bytes > 0) {
+    FrameBuf& front = bufs_.front();
+    const FrameBuf::Segment& segment = front.segments()[front_seg_];
+    const size_t left = segment.len - front_off_;
+    if (bytes < left) {
+      front_off_ += bytes;
+      return frames_retired;
+    }
+    bytes -= left;
+    front_off_ = 0;
+    if (++front_seg_ == front.segments().size()) {
+      frames_retired += front.frame_count();
+      bufs_.pop_front();
+      front_seg_ = 0;
+    }
+  }
+  return frames_retired;
+}
+
+void OutboxChain::Clear() {
+  bufs_.clear();
+  front_seg_ = 0;
+  front_off_ = 0;
+  pending_bytes_ = 0;
+}
+
+}  // namespace magicrecs::net

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "net/frame_buf.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "util/status.h"
@@ -27,6 +28,10 @@ Status ReadFrame(TcpSocket* socket, Frame* frame, bool* clean_eof = nullptr);
 
 /// Writes pre-assembled frame bytes (from the Append* wire encoders).
 Status WriteFrames(TcpSocket* socket, const std::string& bytes);
+
+/// Scatter/gather write of a frame chain: the segments go out through
+/// WritevAll in kMaxIovPerWritev-sized batches, never flattened.
+Status WriteFrames(TcpSocket* socket, const FrameBuf& frames);
 
 /// Incremental frame parser for the non-blocking reactor: bytes arrive in
 /// arbitrary slices (a header split across two reads, ten frames in one),

@@ -106,6 +106,10 @@ void MuxConnection::Shutdown() {
 void MuxConnection::FailAllLocked(const Status& status) {
   broken_ = true;
   if (broken_status_.ok()) broken_status_ = status;
+  // Unsent frames are for calls that are all failing here; drop the block
+  // references. An active writer clears the chain itself when it observes
+  // broken_ — its captured iovecs must stay pinned until then.
+  if (!writer_active_) outbox_.Clear();
   for (auto& [id, call] : pending_) {
     if (!call->done) {
       call->status = status;
@@ -184,53 +188,94 @@ void MuxConnection::ReaderLoop() {
 
 Result<MuxConnection::CallHandle> MuxConnection::Start(
     const std::string& framed_request, int cap_wait_ms) {
-  std::lock_guard<std::mutex> send_lock(send_mu_);
-  CallHandle call;
-  std::string wrapped;
-  const std::string* bytes = &framed_request;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    // Muxed sessions honor the server's advertised in-flight cap: waiting
-    // here (with the send lock held — later Starts queue behind) is the
-    // client half of the reactor's backpressure. The wait is bounded: a
-    // daemon that stops answering stops freeing slots, and every timeout
-    // that could notice lives in Await, which a hung Start never reaches.
-    if (muxed_ && server_max_inflight_ > 0) {
-      const auto slot_free = [&] {
-        return broken_ || pending_.size() < server_max_inflight_;
-      };
-      if (cap_wait_ms > 0) {
-        if (!cv_.wait_for(lock, std::chrono::milliseconds(cap_wait_ms),
-                          slot_free)) {
-          return Status::Unavailable(StrFormat(
-              "no in-flight slot freed in %dms (%zu of %u outstanding)",
-              cap_wait_ms, pending_.size(), server_max_inflight_));
-        }
-      } else {
-        cv_.wait(lock, slot_free);
+  // One copy into a shared block; the FrameBuf path shares it from there.
+  return Start(FrameBuf::Wrap(framed_request), cap_wait_ms);
+}
+
+Result<MuxConnection::CallHandle> MuxConnection::Start(
+    FrameBuf framed_request, int cap_wait_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Muxed sessions honor the server's advertised in-flight cap: waiting
+  // here is the client half of the reactor's backpressure. The wait is
+  // bounded: a daemon that stops answering stops freeing slots, and every
+  // timeout that could notice lives in Await, which a hung Start never
+  // reaches.
+  if (muxed_ && server_max_inflight_ > 0) {
+    const auto slot_free = [&] {
+      return broken_ || pending_.size() < server_max_inflight_;
+    };
+    if (cap_wait_ms > 0) {
+      if (!cv_.wait_for(lock, std::chrono::milliseconds(cap_wait_ms),
+                        slot_free)) {
+        return Status::Unavailable(StrFormat(
+            "no in-flight slot freed in %dms (%zu of %u outstanding)",
+            cap_wait_ms, pending_.size(), server_max_inflight_));
       }
-    }
-    if (broken_) return broken_status_;
-    call = std::make_shared<Call>();
-    call->id = next_id_++;
-    if (options_.slow_call_us > 0) call->started_at_us = SteadyNowMicros();
-    if (muxed_) {
-      pending_.emplace(call->id, call);
     } else {
-      fifo_.push_back(call);
+      cv_.wait(lock, slot_free);
     }
   }
+  if (broken_) return broken_status_;
+  CallHandle call = std::make_shared<Call>();
+  call->id = next_id_++;
+  if (options_.slow_call_us > 0) call->started_at_us = SteadyNowMicros();
+  // Registration and outbox enqueue happen in the SAME mu_ critical
+  // section, so registration order == wire order — the legacy FIFO's
+  // correctness condition (the old code held a dedicated send lock across
+  // the whole blocking write for this; the chain needs only this section).
   if (muxed_) {
-    AppendMuxRequest(call->id, framed_request, &wrapped);
-    bytes = &wrapped;
+    pending_.emplace(call->id, call);
+    outbox_.Append(WrapMuxRequestShared(call->id, framed_request));
+  } else {
+    fifo_.push_back(call);
+    outbox_.Append(std::move(framed_request));
   }
-  const Status written = socket_.WriteAll(bytes->data(), bytes->size());
-  if (!written.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    FailAllLocked(written);
-    return written;
-  }
+  const Status written = FlushOutboxLocked(lock);
+  if (!written.ok()) return written;
   return call;
+}
+
+Status MuxConnection::FlushOutboxLocked(std::unique_lock<std::mutex>& lock) {
+  if (writer_active_) {
+    // Another thread is draining the chain; it will carry these frames in
+    // order. If its write fails, FailAllLocked fails this call too — the
+    // error surfaces at Await.
+    return Status::OK();
+  }
+  writer_active_ = true;
+  Status result = Status::OK();
+  while (true) {
+    if (broken_) {
+      outbox_.Clear();
+      result = broken_status_;
+      break;
+    }
+    if (outbox_.empty()) break;
+    struct iovec iov[kMaxIovPerWritev];
+    const int iovcnt = outbox_.FillIov(iov, kMaxIovPerWritev);
+    lock.unlock();
+    // The blocks behind these iovecs are pinned by outbox_, which only
+    // this (sole) writer advances; concurrent Starts may Append, and a
+    // deque push_back leaves existing elements in place.
+    Result<IoChunk> chunk = socket_.WritevChunk(iov, iovcnt);
+    if (chunk.ok() && chunk->bytes == 0 && chunk->would_block) {
+      // Socket buffer full mid-jumbo-frame: wait for room with mu_
+      // RELEASED, bounded so a Shutdown() (which severs the socket and
+      // wakes the poll) is noticed promptly either way.
+      (void)socket_.PollWritable(100);
+    }
+    lock.lock();
+    if (!chunk.ok()) {
+      writer_active_ = false;
+      outbox_.Clear();
+      const Status status = chunk.status();
+      FailAllLocked(status);
+      return status;
+    }
+    if (chunk->bytes > 0) outbox_.Advance(chunk->bytes);
+  }
+  writer_active_ = false;
+  return result;
 }
 
 Status MuxConnection::Await(const CallHandle& call, int timeout_ms,
@@ -329,6 +374,13 @@ Status MuxConnection::CallOne(const std::string& framed_request,
                               int timeout_ms, std::vector<Frame>* frames) {
   MAGICRECS_ASSIGN_OR_RETURN(CallHandle call,
                              Start(framed_request, timeout_ms));
+  return Await(call, timeout_ms, frames);
+}
+
+Status MuxConnection::CallOne(FrameBuf framed_request, int timeout_ms,
+                              std::vector<Frame>* frames) {
+  MAGICRECS_ASSIGN_OR_RETURN(
+      CallHandle call, Start(std::move(framed_request), timeout_ms));
   return Await(call, timeout_ms, frames);
 }
 

@@ -42,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/frame_buf.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "util/result.h"
@@ -126,6 +127,18 @@ class MuxConnection {
   Result<CallHandle> Start(const std::string& framed_request,
                            int cap_wait_ms = 0);
 
+  /// Zero-copy Start: the request rides as a FrameBuf, so a muxed send
+  /// builds its kMuxRequest envelope around the SAME payload block the
+  /// caller encoded (the fan-out broker hands one refcounted publish frame
+  /// to every daemon and every pipeline slot this way — no per-daemon
+  /// copy). Sends go through a per-connection outbox chain drained by
+  /// whichever caller becomes the writer; a Start that arrives while
+  /// another thread is mid-write enqueues and returns once registered —
+  /// its bytes follow in order, and a failure of that later write fails
+  /// the call at Await. No lock is held across blocking socket I/O, so
+  /// concurrent small calls are never convoyed behind one jumbo frame.
+  Result<CallHandle> Start(FrameBuf framed_request, int cap_wait_ms = 0);
+
   /// Waits for the call's final reply frame and moves the frames out.
   /// `timeout_ms` 0 waits forever; otherwise it bounds SILENCE — each
   /// arriving reply frame extends the deadline, so a chunked reply that
@@ -146,6 +159,8 @@ class MuxConnection {
   /// silence.
   Status CallOne(const std::string& framed_request, int timeout_ms,
                  std::vector<Frame>* frames);
+  Status CallOne(FrameBuf framed_request, int timeout_ms,
+                 std::vector<Frame>* frames);
 
   /// Severs the socket: outstanding calls fail with Unavailable, the
   /// reader exits. Idempotent; the destructor calls it.
@@ -165,16 +180,24 @@ class MuxConnection {
   /// Caller holds mu_.
   void FailAllLocked(const Status& status);
 
+  /// Drains outbox_ through scatter/gather writev. The first caller to
+  /// find no writer active becomes the writer and drains until the chain
+  /// is empty (including frames other threads enqueue meanwhile — write
+  /// combining); everyone else returns immediately, their frames carried
+  /// in order. mu_ is NEVER held across socket I/O: the writer fills its
+  /// iovecs under the lock, releases it for the sendmsg (and for the
+  /// bounded poll when the socket buffer is full), and re-acquires it to
+  /// advance the cursor — the bounded per-write hold that keeps a jumbo
+  /// frame from convoying concurrent request_ids. `lock` must hold mu_ on
+  /// entry and holds it again on return.
+  Status FlushOutboxLocked(std::unique_lock<std::mutex>& lock);
+
   MuxConnectionOptions options_;
   TcpSocket socket_;
   bool muxed_ = false;
   uint32_t features_ = 0;
   uint32_t server_max_inflight_ = 0;
   std::thread reader_;
-
-  /// Serializes socket writes AND (with mu_) keeps legacy FIFO
-  /// registration in write order. Lock order: send_mu_ before mu_.
-  std::mutex send_mu_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -183,6 +206,13 @@ class MuxConnection {
   Status broken_status_;
   std::unordered_map<uint64_t, CallHandle> pending_;  ///< muxed sessions
   std::deque<CallHandle> fifo_;                       ///< legacy sessions
+
+  /// Frames owed to the socket, in registration order (mu_ guards the
+  /// chain and writer_active_; the sole active writer is the only Advance
+  /// caller, so the iovec pointers it captured stay pinned while mu_ is
+  /// released around the syscall — Append only push_backs).
+  OutboxChain outbox_;
+  bool writer_active_ = false;
 };
 
 }  // namespace magicrecs::net

@@ -99,6 +99,12 @@ Result<std::unique_ptr<RpcServer>> RpcServer::Start(
         registry->GetCounter("rpc_mux_connections", labels);
     server->slow_requests_metric_ =
         registry->GetCounter("rpc_slow_requests", labels);
+    server->writev_calls_metric_ =
+        registry->GetCounter("rpc_writev_calls", labels);
+    server->egress_bytes_metric_ =
+        registry->GetCounter("rpc_egress_bytes", labels);
+    server->frames_per_writev_metric_ =
+        registry->GetHistogram("rpc_frames_per_writev", labels);
     RpcServerStats& base = server->baseline_;
     base.connections_accepted = server->connections_accepted_metric_->Value();
     base.requests_served = server->requests_served_metric_->Value();
@@ -312,8 +318,17 @@ void RpcServer::ServeConnection(Connection* connection) {
   TcpSocket& socket = connection->socket;
   connections_open_metric_->Add(1);
   Frame request;
-  std::string response;
   uint32_t features = 0;
+  // One logical reply = one scatter/gather WritevAll over the FrameBuf's
+  // segments — the threads loop shares the chain egress path (and its
+  // metrics) with the reactor.
+  const auto write_reply = [&](FrameBuf reply) {
+    writev_calls_metric_->Increment();
+    egress_bytes_metric_->Increment(reply.size());
+    frames_per_writev_metric_->Record(
+        static_cast<int64_t>(reply.frame_count()));
+    return WriteFrames(&socket, reply);
+  };
   while (!stopping_.load(std::memory_order_acquire)) {
     bool clean_eof = false;
     const Status read = ReadFrame(&socket, &request, &clean_eof);
@@ -323,30 +338,34 @@ void RpcServer::ServeConnection(Connection* connection) {
         // tell the peer why, then drop the connection — after a framing
         // error the stream offsets can no longer be trusted.
         protocol_errors_metric_->Increment();
-        response.clear();
-        AppendError(read, &response);
-        (void)WriteFrames(&socket, response);
+        std::string error;
+        AppendError(read, &error);
+        (void)write_reply(FrameBuf::Wrap(std::move(error)));
         requests_served_metric_->Increment();
       } else if (!clean_eof) {
         protocol_errors_metric_->Increment();
       }
       break;
     }
-    response.clear();
+    FrameBuf reply;
     // Session frames first: the hello handshake flips the connection into
     // mux framing, under which each request arrives as an envelope and
     // every reply frame is wrapped with the request's id. This loop is
     // serial, so replies still go out in request order — legal: mux allows
     // reordering, it never requires it.
     if (request.tag == MessageTag::kHello && options_.enable_mux) {
+      std::string response;
       HandleHello(request, &response, &features);
+      reply = FrameBuf::Wrap(std::move(response));
     } else if (request.tag == MessageTag::kMuxRequest &&
                options_.enable_mux) {
-      HandleMuxEnvelope(request, features, &response);
+      HandleMuxEnvelope(request, features, &reply);
     } else {
+      std::string response;
       HandleRequest(request, features, &response);
+      reply = FrameBuf::Wrap(std::move(response));
     }
-    if (!WriteFrames(&socket, response).ok()) break;
+    if (!write_reply(std::move(reply)).ok()) break;
     requests_served_metric_->Increment();
   }
   // Shutdown (FIN to the peer) rather than Close: Stop() may concurrently
@@ -397,6 +416,36 @@ void RpcServer::HandleMuxEnvelope(const Frame& envelope, uint32_t features,
     response->clear();
     AppendError(wrapped, response);
   }
+}
+
+void RpcServer::HandleMuxEnvelope(const Frame& envelope, uint32_t features,
+                                  FrameBuf* response) {
+  uint64_t request_id = 0;
+  Frame inner;
+  const Status decoded =
+      DecodeMuxRequest(envelope.payload, &request_id, &inner);
+  if (!decoded.ok()) {
+    // The envelope itself was well-framed; only its payload is bad.
+    protocol_errors_metric_->Increment();
+    std::string error;
+    AppendError(decoded, &error);
+    *response = FrameBuf::Wrap(std::move(error));
+    return;
+  }
+  // The inner reply frames are encoded once; each kMuxResponse envelope
+  // slices its body out of that block instead of copying it — the
+  // server-side half of the zero-copy egress path.
+  std::string inner_response;
+  HandleRequest(inner, features, &inner_response);
+  Result<FrameBuf> wrapped = WrapMuxResponsesShared(
+      request_id, FrameBuf::MakeBlock(std::move(inner_response)));
+  if (!wrapped.ok()) {
+    std::string error;
+    AppendError(wrapped.status(), &error);
+    *response = FrameBuf::Wrap(std::move(error));
+    return;
+  }
+  *response = std::move(wrapped).value();
 }
 
 void RpcServer::HandleRequest(const Frame& request, uint32_t features,

@@ -59,6 +59,7 @@
 
 #include "cluster/transport.h"
 #include "health/health_engine.h"
+#include "net/frame_buf.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "util/result.h"
@@ -69,6 +70,7 @@ class Counter;
 class EventLog;
 class Gauge;
 class HealthMonitor;
+class HistogramMetric;
 }  // namespace magicrecs
 
 namespace magicrecs::net {
@@ -248,6 +250,13 @@ class RpcServer {
   void HandleMuxEnvelope(const Frame& envelope, uint32_t features,
                          std::string* response);
 
+  /// Zero-copy form of the above: the inner reply frames are encoded once
+  /// and every kMuxResponse envelope shares that block — no per-chunk body
+  /// copy. Both server loops send through this one; byte-identical to the
+  /// string form (locked by the egress tests).
+  void HandleMuxEnvelope(const Frame& envelope, uint32_t features,
+                         FrameBuf* response);
+
   /// Snapshot of the wire-visible server-loop counters.
   ServerLoopStats SnapshotLoopStats() const;
 
@@ -320,6 +329,13 @@ class RpcServer {
   Counter* inflight_stalls_metric_ = nullptr;
   Counter* mux_connections_metric_ = nullptr;
   Counter* slow_requests_metric_ = nullptr;
+
+  // Zero-copy egress counters: writev (sendmsg) calls issued, bytes they
+  // moved, and a histogram of whole frames each call retired — the
+  // coalescing the iovec chain buys over one-write-per-response.
+  Counter* writev_calls_metric_ = nullptr;
+  Counter* egress_bytes_metric_ = nullptr;
+  HistogramMetric* frames_per_writev_metric_ = nullptr;
   RpcServerStats baseline_;
 
   /// Self-health monitor (present only when health_interval_ms > 0).

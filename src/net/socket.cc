@@ -215,6 +215,78 @@ Result<IoChunk> TcpSocket::WriteChunk(const void* data, size_t n) {
   return chunk;
 }
 
+Result<IoChunk> TcpSocket::WritevChunk(const struct iovec* iov, int iovcnt) {
+  IoChunk chunk;
+  while (true) {
+    msghdr msg{};
+    msg.msg_iov = const_cast<struct iovec*>(iov);
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    // MSG_NOSIGNAL: a dead peer must surface as a Status, not SIGPIPE.
+    // MSG_DONTWAIT: one attempt only, even on a blocking fd — the caller
+    // owns the decision to wait (PollWritable) and what to do meanwhile.
+    const ssize_t written =
+        ::sendmsg(fd_, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (written >= 0) {
+      chunk.bytes = static_cast<size_t>(written);
+      return chunk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      chunk.would_block = true;
+      return chunk;
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return Status::Unavailable("connection closed by peer");
+    }
+    return Errno("sendmsg");
+  }
+}
+
+Status TcpSocket::WritevAll(struct iovec* iov, int iovcnt) {
+  int index = 0;
+  while (index < iovcnt) {
+    msghdr msg{};
+    msg.msg_iov = iov + index;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt - index);
+    const ssize_t written = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking fd with a full buffer: wait for room, then retry.
+        MAGICRECS_ASSIGN_OR_RETURN(const bool writable, PollWritable(-1));
+        (void)writable;
+        continue;
+      }
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable("connection closed by peer");
+      }
+      return Errno("sendmsg");
+    }
+    size_t taken = static_cast<size_t>(written);
+    while (index < iovcnt && taken >= iov[index].iov_len) {
+      taken -= iov[index].iov_len;
+      ++index;
+    }
+    if (index < iovcnt && taken > 0) {
+      iov[index].iov_base = static_cast<char*>(iov[index].iov_base) + taken;
+      iov[index].iov_len -= taken;
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> TcpSocket::PollWritable(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLOUT;
+  int polled;
+  do {
+    polled = ::poll(&pfd, 1, timeout_ms);
+  } while (polled < 0 && errno == EINTR);
+  if (polled < 0) return Errno("poll(POLLOUT)");
+  return polled > 0;
+}
+
 Status TcpSocket::SetNoDelay(bool enabled) {
   const int flag = enabled ? 1 : 0;
   if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag)) != 0) {

@@ -6,6 +6,8 @@
 #ifndef MAGICRECS_NET_SOCKET_H_
 #define MAGICRECS_NET_SOCKET_H_
 
+#include <sys/uio.h>
+
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -75,6 +77,22 @@ class TcpSocket {
   /// buffer takes. A full buffer on a non-blocking fd reports would_block
   /// (possibly after a short write); a dead peer is Unavailable.
   Result<IoChunk> WriteChunk(const void* data, size_t n);
+
+  /// One scatter/gather sendmsg attempt over `iov[0..iovcnt)`. Never
+  /// blocks regardless of the fd's mode (MSG_DONTWAIT): a full socket
+  /// buffer reports would_block, which lets the mux client's writer poll
+  /// for room without holding its lock while the reader blocks in recv.
+  /// Same error mapping as WriteChunk.
+  Result<IoChunk> WritevChunk(const struct iovec* iov, int iovcnt);
+
+  /// Writes every byte the iovec array covers, retrying partial writes
+  /// and polling for socket-buffer room — the scatter/gather WriteAll.
+  /// MUTATES the array (entries are consumed/adjusted as bytes go out).
+  Status WritevAll(struct iovec* iov, int iovcnt);
+
+  /// Polls the fd for writability. True when writable, false on the
+  /// timeout; fd-level failures surface as the Status.
+  Result<bool> PollWritable(int timeout_ms);
 
   /// Bounds every subsequent blocking read: a peer silent for longer than
   /// `millis` makes ReadFull fail with Unavailable ("timed out") instead of

@@ -524,39 +524,75 @@ size_t RecWireBytes(const Recommendation& rec) {
   return 4 + 4 + 4 + 4 + 8 + 4 + 4 * rec.witnesses.size();
 }
 
+/// In-place frame writer: reserves the 8-byte header + tag in the
+/// destination string, lets the payload encode straight into it, then
+/// patches the length and CRC over their placeholders — the arena-backed
+/// alternative to staging the payload in a temporary string and having
+/// AppendFrame copy it. Byte-identical to AppendFrame (the length and CRC
+/// land via the same memcpy layout SplitFrame and the decoders read).
+class FrameWriter {
+ public:
+  FrameWriter(MessageTag tag, std::string* out)
+      : out_(out), frame_pos_(out->size()) {
+    PutU32(out_, 0);  // body_len placeholder
+    PutU32(out_, 0);  // crc placeholder
+    PutU8(out_, static_cast<uint8_t>(tag));
+  }
+
+  std::string* payload() { return out_; }
+
+  void Finish() {
+    const size_t body_len = out_->size() - frame_pos_ - kFrameHeaderBytes;
+    const uint32_t len = static_cast<uint32_t>(body_len);
+    std::memcpy(out_->data() + frame_pos_, &len, sizeof(len));
+    const uint32_t crc = MaskCrc(
+        Crc32c(out_->data() + frame_pos_ + kFrameHeaderBytes, body_len));
+    std::memcpy(out_->data() + frame_pos_ + sizeof(uint32_t), &crc,
+                sizeof(crc));
+  }
+
+ private:
+  std::string* out_;
+  size_t frame_pos_;
+};
+
 }  // namespace
 
 void AppendRecommendationsReply(std::span<const Recommendation> recs,
                                 bool has_more, std::string* out,
                                 const GatherReport* report,
                                 const TraceContext* trace) {
-  std::string payload;
-  PutU8(&payload, has_more ? 1 : 0);
-  PutU32(&payload, static_cast<uint32_t>(recs.size()));
+  size_t rec_bytes = 0;
+  for (const Recommendation& rec : recs) rec_bytes += RecWireBytes(rec);
+  out->reserve(out->size() + kFrameHeaderBytes + 1 + 1 + 4 + rec_bytes);
+  FrameWriter frame(MessageTag::kRecommendationsReply, out);
+  std::string* payload = frame.payload();
+  PutU8(payload, has_more ? 1 : 0);
+  PutU32(payload, static_cast<uint32_t>(recs.size()));
   for (const Recommendation& rec : recs) {
-    PutU32(&payload, rec.user);
-    PutU32(&payload, rec.item);
-    PutU32(&payload, rec.witness_count);
-    PutU32(&payload, rec.trigger);
-    PutI64(&payload, rec.event_time);
-    PutU32(&payload, static_cast<uint32_t>(rec.witnesses.size()));
-    for (const VertexId witness : rec.witnesses) PutU32(&payload, witness);
+    PutU32(payload, rec.user);
+    PutU32(payload, rec.item);
+    PutU32(payload, rec.witness_count);
+    PutU32(payload, rec.trigger);
+    PutI64(payload, rec.event_time);
+    PutU32(payload, static_cast<uint32_t>(rec.witnesses.size()));
+    for (const VertexId witness : rec.witnesses) PutU32(payload, witness);
   }
   // A complete gather omits the tail: healthy-path bytes stay identical to
   // the pre-extension encoding (tail-growth versioning, see wire.h).
   if (report != nullptr && !report->complete()) {
-    PutU8(&payload, kGatherReportMarker);
-    PutU32(&payload, report->daemons_total);
-    PutU32(&payload, report->daemons_answered);
-    PutU32(&payload, static_cast<uint32_t>(report->missing_partitions.size()));
+    PutU8(payload, kGatherReportMarker);
+    PutU32(payload, report->daemons_total);
+    PutU32(payload, report->daemons_answered);
+    PutU32(payload, static_cast<uint32_t>(report->missing_partitions.size()));
     for (const uint32_t partition : report->missing_partitions) {
-      PutU32(&payload, partition);
+      PutU32(payload, partition);
     }
   }
   // The trace tail goes after the report tail (tail order is fixed: 0x01
   // before 0x02) and only toward trace-negotiated peers (caller gates).
-  if (trace != nullptr && trace->active()) PutTraceTail(*trace, &payload);
-  AppendFrame(MessageTag::kRecommendationsReply, payload, out);
+  if (trace != nullptr && trace->active()) PutTraceTail(*trace, payload);
+  frame.Finish();
 }
 
 void AppendRecommendationsReplyChunked(std::span<const Recommendation> recs,

@@ -1,6 +1,12 @@
 #include "persist/crc32.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <nmmintrin.h>
+#define MAGICRECS_CRC32_X86 1
+#endif
 
 namespace magicrecs::persist {
 namespace {
@@ -22,15 +28,110 @@ std::array<uint32_t, 256> MakeTable() {
 
 const std::array<uint32_t, 256> kTable = MakeTable();
 
+uint32_t Crc32cTable(const uint8_t* p, size_t size, uint32_t crc) {
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#ifdef MAGICRECS_CRC32_X86
+
+// SSE4.2 CRC32 instruction implements exactly this polynomial (reflected
+// 0x1EDC6F41), so the hardware path is bit-identical to the table walk —
+// locked by the persist round-trip tests and the wire byte-identity tests.
+__attribute__((target("sse4.2"))) uint32_t Crc32cHw(const uint8_t* p,
+                                                    size_t size,
+                                                    uint32_t crc) {
+  // Byte head until 8-byte alignment, then 8-byte strides, then byte tail.
+  while (size > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --size;
+  }
+  uint64_t crc64 = crc;
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    size -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (size > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --size;
+  }
+  return crc;
+}
+
+bool DetectSse42() { return __builtin_cpu_supports("sse4.2"); }
+const bool kHaveSse42 = DetectSse42();
+
+#endif  // MAGICRECS_CRC32_X86
+
+// --- combine support ------------------------------------------------------
+//
+// Feeding a zero byte into the CRC register is a linear map over GF(2), so
+// advancing a register across N zero bytes is that matrix raised to the Nth
+// power. kShift caches the squarings (one matrix per power-of-two byte
+// count); a combine then multiplies the register by one matrix per set bit
+// of len_b. Identity used (zlib's crc32_combine):
+//   crc(A||B) = shift(crc(A), |B|) ^ crc(B)
+// which holds for the finalized (~in / ~out) values our Crc32c returns.
+
+uint32_t MatVec(const uint32_t* m, uint32_t v) {
+  uint32_t r = 0;
+  for (; v != 0; v >>= 1, ++m) {
+    if (v & 1) r ^= *m;
+  }
+  return r;
+}
+
+void MatSquare(uint32_t* out, const uint32_t* m) {
+  for (int i = 0; i < 32; ++i) out[i] = MatVec(m, m[i]);
+}
+
+struct ShiftTables {
+  // m[k] advances a CRC register across 2^k zero bytes.
+  uint32_t m[64][32];
+};
+
+ShiftTables MakeShiftTables() {
+  // One zero *bit*: reflected-poly register step (bit 0 folds into the
+  // polynomial, every other bit shifts down one).
+  uint32_t bit[32];
+  bit[0] = 0x82f63b78u;
+  for (int i = 1; i < 32; ++i) bit[i] = 1u << (i - 1);
+  uint32_t sq2[32], sq4[32];
+  MatSquare(sq2, bit);   // 2 zero bits
+  MatSquare(sq4, sq2);   // 4 zero bits
+  ShiftTables t{};
+  MatSquare(t.m[0], sq4);  // 8 zero bits = 1 zero byte
+  for (int k = 1; k < 64; ++k) MatSquare(t.m[k], t.m[k - 1]);
+  return t;
+}
+
+const ShiftTables kShift = MakeShiftTables();
+
 }  // namespace
 
 uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
   const auto* p = static_cast<const uint8_t*>(data);
   uint32_t crc = ~seed;
-  for (size_t i = 0; i < size; ++i) {
-    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+#ifdef MAGICRECS_CRC32_X86
+  if (kHaveSse42) {
+    return ~Crc32cHw(p, size, crc);
   }
-  return ~crc;
+#endif
+  return ~Crc32cTable(p, size, crc);
+}
+
+uint32_t Crc32cCombine(uint32_t crc_a, uint32_t crc_b, size_t len_b) {
+  uint32_t crc = crc_a;
+  for (int k = 0; len_b != 0; ++k, len_b >>= 1) {
+    if (len_b & 1) crc = MatVec(kShift.m[k], crc);
+  }
+  return crc ^ crc_b;
 }
 
 }  // namespace magicrecs::persist
